@@ -1,0 +1,130 @@
+//! Property-based tests for the persistent allocator.
+
+use nvm_alloc::{AllocConfig, AllocError, PmemAlloc, PmemPtr, SizeClass};
+use nvm_pmem::{CrashResolution, Region, SimConfig, SimPmem};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn small_heap() -> (SimPmem, PmemAlloc, Region) {
+    let cfg = AllocConfig {
+        classes: vec![
+            SizeClass {
+                slot_size: 32,
+                slots: 24,
+            },
+            SizeClass {
+                slot_size: 64,
+                slots: 12,
+            },
+            SizeClass {
+                slot_size: 256,
+                slots: 6,
+            },
+        ],
+    };
+    let size = PmemAlloc::required_size(&cfg);
+    let mut pm = SimPmem::new(size, SimConfig::fast_test());
+    let region = Region::new(0, size);
+    let a = PmemAlloc::create(&mut pm, region, &cfg).unwrap();
+    (pm, a, region)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate a blob of this size filled with this byte.
+    Alloc(usize, u8),
+    /// Free the i-th live allocation (mod live count).
+    Free(usize),
+    /// Read the i-th live allocation and verify.
+    Read(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..240, any::<u8>()).prop_map(|(n, b)| Op::Alloc(n, b)),
+            any::<usize>().prop_map(Op::Free),
+            any::<usize>().prop_map(Op::Read),
+        ],
+        1..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The allocator behaves like an oracle map of live allocations:
+    /// reads return exactly what was written, frees make pointers invalid,
+    /// capacity errors are the only failures, and accounting matches.
+    #[test]
+    fn oracle_equivalence(ops in ops()) {
+        let (mut pm, mut heap, _) = small_heap();
+        let mut live: Vec<(PmemPtr, Vec<u8>)> = Vec::new();
+        let mut freed: Vec<PmemPtr> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc(n, b) => {
+                    let blob = vec![b; n];
+                    match heap.alloc(&mut pm, &blob) {
+                        Ok(p) => {
+                            // A fresh pointer never aliases a live one.
+                            prop_assert!(live.iter().all(|(q, _)| *q != p));
+                            freed.retain(|q| *q != p); // slot reuse is fine
+                            live.push((p, blob));
+                        }
+                        Err(AllocError::OutOfMemory) => {}
+                        Err(e) => prop_assert!(false, "unexpected {e}"),
+                    }
+                }
+                Op::Free(i) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (p, _) = live.remove(i % live.len());
+                    heap.free(&mut pm, p).unwrap();
+                    freed.push(p);
+                }
+                Op::Read(i) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (p, blob) = &live[i % live.len()];
+                    prop_assert_eq!(&heap.read(&mut pm, *p).unwrap(), blob);
+                }
+            }
+        }
+
+        // Accounting and end-state checks.
+        prop_assert_eq!(heap.allocated(&mut pm), live.len() as u64);
+        for (p, blob) in &live {
+            prop_assert_eq!(&heap.read(&mut pm, *p).unwrap(), blob);
+        }
+        for p in &freed {
+            prop_assert!(heap.read(&mut pm, *p).is_err(), "freed ptr readable");
+        }
+    }
+
+    /// Crash + reopen: live blobs (all individually committed) survive
+    /// any crash resolution verbatim.
+    #[test]
+    fn committed_blobs_survive_crashes(
+        blobs in prop::collection::vec((1usize..200, any::<u8>()), 1..12),
+        seed in any::<u64>(),
+    ) {
+        let (mut pm, mut heap, region) = small_heap();
+        let mut stored: HashMap<PmemPtr, Vec<u8>> = HashMap::new();
+        for (n, b) in blobs {
+            let blob = vec![b; n];
+            if let Ok(p) = heap.alloc(&mut pm, &blob) {
+                stored.insert(p, blob);
+            }
+        }
+        pm.crash(CrashResolution::Random(seed));
+        let heap = PmemAlloc::open(&mut pm, region).unwrap();
+        prop_assert_eq!(heap.allocated(&mut pm), stored.len() as u64);
+        for (p, blob) in &stored {
+            prop_assert_eq!(&heap.read(&mut pm, *p).unwrap(), blob);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Optional undo-log wrapper shared by the baseline schemes.
+
+use nvm_pmem::{Pmem, Region};
+use nvm_table::ConsistencyMode;
+use nvm_wal::UndoLog;
+
+/// A consistency journal: either a no-op (bare scheme) or an undo log
+/// (the paper's `-L` variants). All baseline mutations funnel their
+/// pre-images through this type, so switching modes changes *only* the
+/// consistency cost, never the scheme's logic.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    log: Option<UndoLog>,
+}
+
+impl Journal {
+    /// Creates the journal, initializing the log region when `mode`
+    /// requires one.
+    pub fn create<P: Pmem>(pm: &mut P, mode: ConsistencyMode, region: Region) -> Self {
+        Journal {
+            log: match mode {
+                ConsistencyMode::None => None,
+                ConsistencyMode::UndoLog => Some(UndoLog::create(pm, region)),
+            },
+        }
+    }
+
+    /// Attaches to an existing journal region.
+    pub fn open(mode: ConsistencyMode, region: Region) -> Self {
+        Journal {
+            log: match mode {
+                ConsistencyMode::None => None,
+                ConsistencyMode::UndoLog => Some(UndoLog::open(region)),
+            },
+        }
+    }
+
+    /// The mode this journal runs in.
+    pub fn mode(&self) -> ConsistencyMode {
+        if self.log.is_some() {
+            ConsistencyMode::UndoLog
+        } else {
+            ConsistencyMode::None
+        }
+    }
+
+    /// Opens a transaction (no-op without a log).
+    pub fn begin<P: Pmem>(&mut self, pm: &mut P) {
+        if let Some(log) = self.log.as_mut() {
+            log.begin(pm);
+        }
+    }
+
+    /// Records a pre-image (no-op without a log). Volatile until
+    /// [`Journal::seal`].
+    pub fn record<P: Pmem>(&mut self, pm: &mut P, off: usize, len: usize) {
+        if let Some(log) = self.log.as_mut() {
+            log.record(pm, off, len);
+        }
+    }
+
+    /// Makes recorded pre-images durable (one batched flush + fence).
+    /// Must precede the in-place writes they protect.
+    pub fn seal<P: Pmem>(&mut self, pm: &mut P) {
+        if let Some(log) = self.log.as_mut() {
+            log.seal(pm);
+        }
+    }
+
+    /// Record + seal in one step (incremental multi-write updates).
+    pub fn record_sealed<P: Pmem>(&mut self, pm: &mut P, off: usize, len: usize) {
+        if let Some(log) = self.log.as_mut() {
+            log.record_sealed(pm, off, len);
+        }
+    }
+
+    /// Commits (no-op without a log).
+    pub fn commit<P: Pmem>(&mut self, pm: &mut P) {
+        if let Some(log) = self.log.as_mut() {
+            log.commit(pm);
+        }
+    }
+
+    /// Rolls back an in-flight transaction after a crash. Returns whether
+    /// a rollback happened.
+    pub fn recover<P: Pmem>(&mut self, pm: &mut P) -> bool {
+        match self.log.as_mut() {
+            Some(log) => log.recover(pm),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_pmem::{Pmem, SimConfig, SimPmem};
+
+    #[test]
+    fn none_mode_is_free() {
+        let mut pm = SimPmem::new(8192, SimConfig::fast_test());
+        let mut j = Journal::create(&mut pm, ConsistencyMode::None, Region::new(0, 1024));
+        pm.reset_stats();
+        j.begin(&mut pm);
+        j.record(&mut pm, 2048, 16);
+        j.commit(&mut pm);
+        assert_eq!(pm.stats().writes, 0);
+        assert_eq!(pm.stats().flushes, 0);
+        assert!(!j.recover(&mut pm));
+        assert_eq!(j.mode(), ConsistencyMode::None);
+    }
+
+    #[test]
+    fn undo_mode_logs_and_recovers() {
+        let mut pm = SimPmem::new(8192, SimConfig::fast_test());
+        pm.write_u64(2048, 77);
+        pm.persist(2048, 8);
+        let mut j = Journal::create(&mut pm, ConsistencyMode::UndoLog, Region::new(0, 1024));
+        assert_eq!(j.mode(), ConsistencyMode::UndoLog);
+        j.begin(&mut pm);
+        j.record(&mut pm, 2048, 8);
+        j.seal(&mut pm);
+        pm.write_u64(2048, 88);
+        pm.persist(2048, 8);
+        // No commit: simulate crash, reopen, roll back.
+        pm.crash(nvm_pmem::CrashResolution::PersistAll);
+        let mut j2 = Journal::open(ConsistencyMode::UndoLog, Region::new(0, 1024));
+        assert!(j2.recover(&mut pm));
+        assert_eq!(pm.read_u64(2048), 77);
+    }
+}

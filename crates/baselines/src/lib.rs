@@ -1,0 +1,33 @@
+//! Baseline NVM hashing schemes the paper compares against.
+//!
+//! Three schemes, each faithful to its published description and each
+//! buildable in two consistency modes (see
+//! [`ConsistencyMode`](nvm_table::ConsistencyMode)):
+//!
+//! * [`LinearProbing`] — classic open addressing with Knuth's backward-
+//!   shift deletion. Great insert/query locality (probes are contiguous),
+//!   the paper's example of expensive deletes.
+//! * [`Pfht`] — Debnath et al.'s *PCM-friendly hash table*: a cuckoo
+//!   variant with 4-cell buckets, two hash functions, **at most one
+//!   displacement** per insert, and a small linear-search stash (3 % of
+//!   the table) for insertion failures.
+//! * [`PathHash`] — Zuo & Hua's *path hashing*: an inverted complete
+//!   binary tree where an item may sit anywhere on the paths from its two
+//!   hashed leaves toward the root; position sharing removes extra writes
+//!   but the path cells are scattered across levels (poor locality).
+//!
+//! `ConsistencyMode::None` reproduces the schemes as published (writes are
+//! persisted, but multi-cell updates are not failure-atomic);
+//! `ConsistencyMode::UndoLog` is the paper's `-L` variant that wraps every
+//! update in an undo-log transaction, which is what the consistency-cost
+//! experiments (Figures 2, 5, 6) measure.
+
+mod journal;
+mod linear;
+mod path;
+mod pfht;
+
+pub use journal::Journal;
+pub use linear::LinearProbing;
+pub use path::PathHash;
+pub use pfht::Pfht;

@@ -1,0 +1,472 @@
+//! Linear probing with backward-shift deletion.
+//!
+//! The traditional DRAM scheme ([24] in the paper): key `x` starts at slot
+//! `h(x)` and probes successive slots until a free cell. Deletion uses
+//! Knuth's backward-shift algorithm (no tombstones): the hole left by the
+//! deleted item is repeatedly filled with the next cluster member that is
+//! allowed to move back, which keeps the probe invariant but costs many
+//! extra NVM writes — the paper's "complicated delete process".
+
+use crate::journal::Journal;
+use nvm_hashfn::{HashKey, HashPair, Pod};
+use nvm_pmem::{Pmem, Region, RegionAllocator, CACHELINE};
+use nvm_table::{
+    CellArray, ConsistencyMode, HashScheme, InsertError, PmemBitmap, TableHeader,
+};
+use std::collections::HashMap;
+use std::marker::PhantomData;
+
+/// Magic word ("LINPROB1").
+const MAGIC: u64 = 0x4C49_4E50_524F_4231;
+
+/// Undo-log capacity: backward shift can move a whole cluster; size for
+/// deep clusters at high load factors.
+const LOG_RECORDS: usize = 4096;
+
+/// A linear-probing hash table over a pmem pool.
+#[derive(Debug)]
+pub struct LinearProbing<P: Pmem, K: HashKey, V: Pod> {
+    n: u64,
+    seed: u64,
+    hash: HashPair,
+    header: TableHeader,
+    bitmap: PmemBitmap,
+    cells: CellArray<K, V>,
+    journal: Journal,
+    region: Region,
+    _marker: PhantomData<fn(&mut P)>,
+}
+
+impl<P: Pmem, K: HashKey, V: Pod> LinearProbing<P, K, V> {
+    fn log_bytes() -> usize {
+        nvm_wal::UndoLog::region_size(LOG_RECORDS, CellArray::<K, V>::CELL_SIZE.max(8))
+    }
+
+    fn layout(region: Region, n: u64) -> (Region, Region, Region, Region) {
+        let mut alloc = RegionAllocator::new(region.off, region.end());
+        let header = alloc.alloc_lines(TableHeader::SIZE);
+        let bitmap = alloc.alloc_lines(PmemBitmap::region_size(n).max(8));
+        let cells = alloc.alloc_lines(CellArray::<K, V>::region_size(n));
+        let log = alloc.alloc_lines(Self::log_bytes());
+        (header, bitmap, cells, log)
+    }
+
+    /// Pool bytes needed for `n` cells.
+    pub fn required_size(n: u64) -> usize {
+        TableHeader::SIZE
+            + PmemBitmap::region_size(n).max(8)
+            + CellArray::<K, V>::region_size(n)
+            + Self::log_bytes()
+            + 4 * CACHELINE
+    }
+
+    fn assemble(region: Region, n: u64, seed: u64, journal: Journal, header: TableHeader) -> Self {
+        let (_, b, c, _) = Self::layout(region, n);
+        LinearProbing {
+            n,
+            seed,
+            hash: HashPair::from_seed(seed),
+            header,
+            bitmap: PmemBitmap::attach(b, n),
+            cells: CellArray::attach(c, n),
+            journal,
+            region,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Creates a fresh table with `n` cells (power of two).
+    pub fn create(
+        pm: &mut P,
+        region: Region,
+        n: u64,
+        seed: u64,
+        mode: ConsistencyMode,
+    ) -> Result<Self, String> {
+        if !n.is_power_of_two() {
+            return Err(format!("cell count {n} is not a power of two"));
+        }
+        if region.len < Self::required_size(n) {
+            return Err(format!(
+                "region too small: {} < {}",
+                region.len,
+                Self::required_size(n)
+            ));
+        }
+        let (h_r, b, _c, log_r) = Self::layout(region, n);
+        PmemBitmap::create(pm, b, n);
+        let journal = Journal::create(pm, mode, log_r);
+        let mode_flag = match mode {
+            ConsistencyMode::None => 0,
+            ConsistencyMode::UndoLog => 1,
+        };
+        let header = TableHeader::create(pm, h_r, MAGIC, seed, &[n, mode_flag]);
+        Ok(Self::assemble(region, n, seed, journal, header))
+    }
+
+    /// Header location (first allocation of `layout`), computable without
+    /// knowing the geometry — `open` must not run the full layout before
+    /// validating the header, or a bogus region would panic instead of
+    /// erroring.
+    fn header_region(region: Region) -> Region {
+        Region::new(nvm_pmem::align_up(region.off, CACHELINE), TableHeader::SIZE)
+    }
+
+    /// Re-opens a table from its region.
+    pub fn open(pm: &mut P, region: Region) -> Result<Self, String> {
+        let h_r = Self::header_region(region);
+        if !region.contains(h_r.off, h_r.len) {
+            return Err("region too small for a table header".into());
+        }
+        let header = TableHeader::open(pm, h_r, MAGIC)?;
+        let n = header.geometry(pm, 0);
+        if !n.is_power_of_two() || region.len < Self::required_size(n) {
+            return Err(format!("persisted geometry ({n} cells) does not fit the region"));
+        }
+        let mode = if header.geometry(pm, 1) == 1 {
+            ConsistencyMode::UndoLog
+        } else {
+            ConsistencyMode::None
+        };
+        let seed = header.seed(pm);
+        let (_, _, _, log_r) = Self::layout(region, n);
+        let journal = Journal::open(mode, log_r);
+        Ok(Self::assemble(region, n, seed, journal, header))
+    }
+
+
+    /// The persisted hash seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The pool region this table occupies.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// Home slot of `key`.
+    #[inline]
+    fn home(&self, key: &K) -> u64 {
+        self.hash.h1(key) & (self.n - 1)
+    }
+
+    #[inline]
+    fn next(&self, i: u64) -> u64 {
+        (i + 1) & (self.n - 1)
+    }
+
+    /// Finds the cell holding `key`, walking the probe sequence.
+    fn find(&self, pm: &mut P, key: &K) -> Option<u64> {
+        let mut i = self.home(key);
+        for _ in 0..self.n {
+            if !self.bitmap.get(pm, i) {
+                return None; // probe invariant: cluster ended
+            }
+            if self.cells.read_key(pm, i) == *key {
+                return Some(i);
+            }
+            i = self.next(i);
+        }
+        None
+    }
+
+    /// True if `home` lies cyclically in `(hole, i]` — i.e. the item at
+    /// `i` may NOT move back to `hole`.
+    #[inline]
+    fn in_range_cyclic(hole: u64, home: u64, i: u64) -> bool {
+        if hole < i {
+            hole < home && home <= i
+        } else {
+            home > hole || home <= i
+        }
+    }
+}
+
+impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for LinearProbing<P, K, V> {
+    fn name(&self) -> &'static str {
+        match self.journal.mode() {
+            ConsistencyMode::None => "linear",
+            ConsistencyMode::UndoLog => "linear-L",
+        }
+    }
+
+    fn insert(&mut self, pm: &mut P, key: K, value: V) -> Result<(), InsertError> {
+        let mut i = self.home(&key);
+        for _ in 0..self.n {
+            if !self.bitmap.get(pm, i) {
+                self.journal.begin(pm);
+                self.journal.record(pm, self.cells.cell_off(i), self.cells.entry_len());
+                self.journal.record(pm, self.bitmap.word_off_of(i), 8);
+                self.journal.record(pm, self.header.count_off(), 8);
+                self.journal.seal(pm);
+                self.cells.write_entry(pm, i, &key, &value);
+                self.cells.persist_entry(pm, i);
+                self.bitmap.set_and_persist(pm, i, true);
+                self.header.inc_count(pm);
+                self.journal.commit(pm);
+                return Ok(());
+            }
+            i = self.next(i);
+        }
+        Err(InsertError::TableFull)
+    }
+
+    fn get(&self, pm: &mut P, key: &K) -> Option<V> {
+        self.find(pm, key).map(|i| self.cells.read_value(pm, i))
+    }
+
+    fn remove(&mut self, pm: &mut P, key: &K) -> bool {
+        let Some(found) = self.find(pm, key) else {
+            return false;
+        };
+        // Backward-shift deletion (Knuth 6.4 Algorithm R): fill the hole
+        // with later cluster members whose home allows the move; every
+        // move is an extra NVM write — the cost the paper highlights.
+        self.journal.begin(pm);
+        let mut hole = found;
+        let mut i = found;
+        loop {
+            i = self.next(i);
+            if !self.bitmap.get(pm, i) {
+                break; // cluster ends: hole stays here
+            }
+            let home = self.home(&self.cells.read_key(pm, i));
+            if Self::in_range_cyclic(hole, home, i) {
+                continue; // item already reachable; leave it
+            }
+            // Move cell i into the hole.
+            self.journal.record(pm, self.cells.cell_off(hole), self.cells.entry_len());
+            self.journal.record(pm, self.bitmap.word_off_of(hole), 8);
+            self.journal.seal(pm);
+            let (k, v) = (self.cells.read_key(pm, i), self.cells.read_value(pm, i));
+            self.cells.write_entry(pm, hole, &k, &v);
+            self.cells.persist_entry(pm, hole);
+            self.bitmap.set_and_persist(pm, hole, true);
+            hole = i;
+        }
+        // Clear the final hole.
+        self.journal.record(pm, self.bitmap.word_off_of(hole), 8);
+        self.journal.record(pm, self.cells.cell_off(hole), self.cells.entry_len());
+        self.journal.record(pm, self.header.count_off(), 8);
+        self.journal.seal(pm);
+        self.bitmap.set_and_persist(pm, hole, false);
+        self.cells.clear_entry(pm, hole);
+        self.cells.persist_entry(pm, hole);
+        self.header.dec_count(pm);
+        self.journal.commit(pm);
+        true
+    }
+
+    fn len(&self, pm: &mut P) -> u64 {
+        self.header.count(pm)
+    }
+
+    fn capacity(&self) -> u64 {
+        self.n
+    }
+
+    fn recover(&mut self, pm: &mut P) {
+        self.journal.recover(pm);
+        let mut count = 0;
+        for i in 0..self.n {
+            if self.bitmap.get(pm, i) {
+                count += 1;
+            } else if !self.cells.is_zeroed(pm, i) {
+                self.cells.clear_entry(pm, i);
+                self.cells.persist_entry(pm, i);
+            }
+        }
+        self.header.set_count(pm, count);
+    }
+
+    fn check_consistency(&self, pm: &mut P) -> Result<(), String> {
+        let mut occupied = 0u64;
+        let mut seen: HashMap<Vec<u8>, u64> = HashMap::new();
+        for i in 0..self.n {
+            if !self.bitmap.get(pm, i) {
+                if !self.cells.is_zeroed(pm, i) {
+                    return Err(format!("empty cell {i} not zeroed"));
+                }
+                continue;
+            }
+            occupied += 1;
+            let key = self.cells.read_key(pm, i);
+            // Probe invariant: every slot from home(key) to i is occupied.
+            let mut j = self.home(&key);
+            let mut reachable = false;
+            for _ in 0..self.n {
+                if j == i {
+                    reachable = true;
+                    break;
+                }
+                if !self.bitmap.get(pm, j) {
+                    break;
+                }
+                j = self.next(j);
+            }
+            if !reachable {
+                return Err(format!(
+                    "cell {i}: key unreachable from home {} (probe invariant broken)",
+                    self.home(&key)
+                ));
+            }
+            let mut kb = vec![0u8; K::SIZE];
+            key.write_to(&mut kb);
+            if let Some(prev) = seen.insert(kb, i) {
+                return Err(format!("duplicate key in cells {prev} and {i}"));
+            }
+        }
+        let count = self.len(pm);
+        if count != occupied {
+            return Err(format!("count {count} != occupied {occupied}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_pmem::{SimConfig, SimPmem};
+
+    fn make(n: u64, mode: ConsistencyMode) -> (SimPmem, LinearProbing<SimPmem, u64, u64>) {
+        let size = LinearProbing::<SimPmem, u64, u64>::required_size(n);
+        let mut pm = SimPmem::new(size, SimConfig::fast_test());
+        let t = LinearProbing::create(&mut pm, Region::new(0, size), n, 7, mode).unwrap();
+        (pm, t)
+    }
+
+    #[test]
+    fn roundtrip_both_modes() {
+        for mode in [ConsistencyMode::None, ConsistencyMode::UndoLog] {
+            let (mut pm, mut t) = make(256, mode);
+            for k in 0..150u64 {
+                t.insert(&mut pm, k, k * 2).unwrap();
+            }
+            for k in 0..150u64 {
+                assert_eq!(t.get(&mut pm, &k), Some(k * 2));
+            }
+            assert_eq!(t.len(&mut pm), 150);
+            t.check_consistency(&mut pm).unwrap();
+        }
+    }
+
+    #[test]
+    fn backward_shift_preserves_probe_invariant() {
+        let (mut pm, mut t) = make(64, ConsistencyMode::None);
+        // Fill densely so clusters form, then delete from cluster middles.
+        for k in 0..48u64 {
+            t.insert(&mut pm, k, k).unwrap();
+        }
+        for k in (0..48u64).step_by(3) {
+            assert!(t.remove(&mut pm, &k), "remove {k}");
+            t.check_consistency(&mut pm).unwrap();
+        }
+        for k in 0..48u64 {
+            let want = if k % 3 == 0 { None } else { Some(k) };
+            assert_eq!(t.get(&mut pm, &k), want, "key {k}");
+        }
+    }
+
+    #[test]
+    fn table_fills_to_one() {
+        // Linear probing has no fixed utilization bound: it fills to 1.0.
+        let (mut pm, mut t) = make(64, ConsistencyMode::None);
+        let mut inserted = 0;
+        let mut k = 0u64;
+        while inserted < 64 {
+            if t.insert(&mut pm, k, k).is_ok() {
+                inserted += 1;
+            }
+            k += 1;
+        }
+        assert_eq!(t.len(&mut pm), 64);
+        assert_eq!(t.insert(&mut pm, k, k), Err(InsertError::TableFull));
+        t.check_consistency(&mut pm).unwrap();
+    }
+
+    #[test]
+    fn reopen_preserves_state() {
+        let (mut pm, mut t) = make(128, ConsistencyMode::UndoLog);
+        for k in 0..60u64 {
+            t.insert(&mut pm, k, k + 9).unwrap();
+        }
+        let size = LinearProbing::<SimPmem, u64, u64>::required_size(128);
+        let t2 =
+            LinearProbing::<SimPmem, u64, u64>::open(&mut pm, Region::new(0, size)).unwrap();
+        assert_eq!(t2.name(), "linear-L");
+        for k in 0..60u64 {
+            assert_eq!(t2.get(&mut pm, &k), Some(k + 9));
+        }
+    }
+
+    #[test]
+    fn delete_costs_more_writes_than_insert() {
+        // The paper's observation: linear deletion is write-heavy.
+        let (mut pm, mut t) = make(256, ConsistencyMode::None);
+        for k in 0..190u64 {
+            t.insert(&mut pm, k, k).unwrap();
+        }
+        pm.reset_stats();
+        for k in 0..50u64 {
+            t.insert(&mut pm, k + 1000, k).unwrap();
+        }
+        let insert_writes = pm.stats().bytes_written;
+        pm.reset_stats();
+        for k in 0..50u64 {
+            t.remove(&mut pm, &k);
+        }
+        let delete_writes = pm.stats().bytes_written;
+        assert!(
+            delete_writes > insert_writes,
+            "delete {delete_writes} <= insert {insert_writes}"
+        );
+    }
+
+    #[test]
+    fn logged_mode_rolls_back_torn_delete() {
+        use nvm_pmem::{run_with_crash, CrashPlan, CrashResolution};
+        let (mut pm, mut t) = make(64, ConsistencyMode::UndoLog);
+        for k in 0..40u64 {
+            t.insert(&mut pm, k, k).unwrap();
+        }
+        let before: Vec<Option<u64>> = (0..40).map(|k| t.get(&mut pm, &k)).collect();
+        // Crash at each event inside a delete; after recovery the table
+        // must be exactly the pre-delete state or the post-delete state.
+        for at in 0.. {
+            let mut pm2 = pm.clone();
+            let size = LinearProbing::<SimPmem, u64, u64>::required_size(64);
+            let mut t2 = LinearProbing::<SimPmem, u64, u64>::open(
+                &mut pm2,
+                Region::new(0, size),
+            )
+            .unwrap();
+            let base = pm2.events();
+            pm2.set_crash_plan(Some(CrashPlan { at_event: base + at }));
+            let done = run_with_crash(|| t2.remove(&mut pm2, &17)).is_ok();
+            if done {
+                break;
+            }
+            pm2.crash(CrashResolution::Random(at));
+            let mut t3 = LinearProbing::<SimPmem, u64, u64>::open(
+                &mut pm2,
+                Region::new(0, size),
+            )
+            .unwrap();
+            t3.recover(&mut pm2);
+            t3.check_consistency(&mut pm2)
+                .unwrap_or_else(|e| panic!("crash at +{at}: {e}"));
+            // All-or-nothing: either 17 is still fully there or fully gone;
+            // every other key untouched.
+            for k in 0..40u64 {
+                if k == 17 {
+                    let got = t3.get(&mut pm2, &k);
+                    assert!(got == before[k as usize] || got.is_none());
+                } else {
+                    assert_eq!(t3.get(&mut pm2, &k), before[k as usize], "key {k} at +{at}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,495 @@
+//! Path hashing (Zuo & Hua, MSST 2017).
+//!
+//! Storage cells form an *inverted complete binary tree*: the leaf level
+//! has `2^n` cells and each deeper level halves (level *i* has `2^(n-i)`
+//! cells). Two hash functions map a key to two leaf positions; the key may
+//! be stored in any cell on the two root-ward paths (leaf `k` passes
+//! through node `k >> i` at level *i*). *Position sharing* means those
+//! path cells are shared among many keys, so no extra writes are needed on
+//! collisions. *Path shortening* keeps only the top `reserved_levels`
+//! levels (the paper uses 20).
+//!
+//! The locality profile is the foil for group hashing: consecutive path
+//! cells live in different level arrays, megabytes apart, so every probe
+//! step is a fresh cacheline — more L3 misses, higher latency.
+
+use crate::journal::Journal;
+use nvm_hashfn::{HashKey, HashPair, Pod};
+use nvm_pmem::{Pmem, Region, RegionAllocator, CACHELINE};
+use nvm_table::{
+    CellArray, ConsistencyMode, HashScheme, InsertError, PmemBitmap, TableHeader,
+};
+use std::collections::HashMap;
+use std::marker::PhantomData;
+
+/// Magic word ("PATHHSH1").
+const MAGIC: u64 = 0x5041_5448_4853_4831;
+
+/// The paper's reserved-level default.
+pub const DEFAULT_RESERVED_LEVELS: u32 = 20;
+
+/// Undo-log capacity (single-cell updates + bitmap + count).
+const LOG_RECORDS: usize = 8;
+
+/// A path hash table over a pmem pool.
+#[derive(Debug)]
+pub struct PathHash<P: Pmem, K: HashKey, V: Pod> {
+    /// log2 of the leaf level size.
+    leaf_bits: u32,
+    /// Number of levels kept (path shortening).
+    levels: u32,
+    seed: u64,
+    hash: HashPair,
+    header: TableHeader,
+    /// Occupancy over the concatenated level arrays.
+    bitmap: PmemBitmap,
+    /// Concatenated level arrays: level 0 (leaves) first.
+    cells: CellArray<K, V>,
+    /// Start index of each level within the concatenated arrays.
+    level_base: Vec<u64>,
+    total: u64,
+    journal: Journal,
+    region: Region,
+    _marker: PhantomData<fn(&mut P)>,
+}
+
+impl<P: Pmem, K: HashKey, V: Pod> PathHash<P, K, V> {
+    /// Cells in a table with `leaf_bits` and `levels`.
+    pub fn cell_count(leaf_bits: u32, levels: u32) -> u64 {
+        (0..levels.min(leaf_bits + 1))
+            .map(|i| 1u64 << (leaf_bits - i))
+            .sum()
+    }
+
+    /// Picks `(leaf_bits, levels)` whose cell count best fits (≤) a total
+    /// budget, with the paper's reserved-level default.
+    pub fn geometry_for(total_cells: u64) -> (u32, u32) {
+        assert!(total_cells >= 3, "table too small for path hashing");
+        let mut leaf_bits = 1;
+        while Self::cell_count(leaf_bits + 1, DEFAULT_RESERVED_LEVELS) <= total_cells {
+            leaf_bits += 1;
+        }
+        (leaf_bits, DEFAULT_RESERVED_LEVELS.min(leaf_bits + 1))
+    }
+
+    fn level_bases(leaf_bits: u32, levels: u32) -> Vec<u64> {
+        let mut bases = Vec::with_capacity(levels as usize);
+        let mut acc = 0u64;
+        for i in 0..levels.min(leaf_bits + 1) {
+            bases.push(acc);
+            acc += 1u64 << (leaf_bits - i);
+        }
+        bases
+    }
+
+    fn log_bytes() -> usize {
+        nvm_wal::UndoLog::region_size(LOG_RECORDS, CellArray::<K, V>::CELL_SIZE.max(8))
+    }
+
+    fn layout(region: Region, total: u64) -> (Region, Region, Region, Region) {
+        let mut alloc = RegionAllocator::new(region.off, region.end());
+        let header = alloc.alloc_lines(TableHeader::SIZE);
+        let bitmap = alloc.alloc_lines(PmemBitmap::region_size(total).max(8));
+        let cells = alloc.alloc_lines(CellArray::<K, V>::region_size(total));
+        let log = alloc.alloc_lines(Self::log_bytes());
+        (header, bitmap, cells, log)
+    }
+
+    /// Pool bytes needed for the given geometry.
+    pub fn required_size(leaf_bits: u32, levels: u32) -> usize {
+        let total = Self::cell_count(leaf_bits, levels);
+        TableHeader::SIZE
+            + PmemBitmap::region_size(total).max(8)
+            + CellArray::<K, V>::region_size(total)
+            + Self::log_bytes()
+            + 4 * CACHELINE
+    }
+
+    fn assemble(
+        region: Region,
+        leaf_bits: u32,
+        levels: u32,
+        seed: u64,
+        journal: Journal,
+        header: TableHeader,
+    ) -> Self {
+        let levels = levels.min(leaf_bits + 1);
+        let total = Self::cell_count(leaf_bits, levels);
+        let (_, b, c, _) = Self::layout(region, total);
+        PathHash {
+            leaf_bits,
+            levels,
+            seed,
+            hash: HashPair::from_seed(seed),
+            header,
+            bitmap: PmemBitmap::attach(b, total),
+            cells: CellArray::attach(c, total),
+            level_base: Self::level_bases(leaf_bits, levels),
+            total,
+            journal,
+            region,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Creates a fresh path hash table.
+    pub fn create(
+        pm: &mut P,
+        region: Region,
+        leaf_bits: u32,
+        levels: u32,
+        seed: u64,
+        mode: ConsistencyMode,
+    ) -> Result<Self, String> {
+        if leaf_bits == 0 || leaf_bits > 40 {
+            return Err(format!("bad leaf_bits {leaf_bits}"));
+        }
+        if levels == 0 {
+            return Err("need at least one level".into());
+        }
+        if region.len < Self::required_size(leaf_bits, levels.min(leaf_bits + 1)) {
+            return Err("region too small".into());
+        }
+        let levels = levels.min(leaf_bits + 1);
+        let total = Self::cell_count(leaf_bits, levels);
+        let (h_r, b, _c, log_r) = Self::layout(region, total);
+        PmemBitmap::create(pm, b, total);
+        let journal = Journal::create(pm, mode, log_r);
+        let mode_flag = matches!(mode, ConsistencyMode::UndoLog) as u64;
+        let header = TableHeader::create(
+            pm,
+            h_r,
+            MAGIC,
+            seed,
+            &[leaf_bits as u64, levels as u64, mode_flag],
+        );
+        Ok(Self::assemble(region, leaf_bits, levels, seed, journal, header))
+    }
+
+    /// Header location; see `LinearProbing::header_region` for why this
+    /// bypasses `layout`.
+    fn header_region(region: Region) -> Region {
+        Region::new(nvm_pmem::align_up(region.off, CACHELINE), TableHeader::SIZE)
+    }
+
+    /// Re-opens an existing table.
+    pub fn open(pm: &mut P, region: Region) -> Result<Self, String> {
+        let h_r = Self::header_region(region);
+        if !region.contains(h_r.off, h_r.len) {
+            return Err("region too small for a table header".into());
+        }
+        let header = TableHeader::open(pm, h_r, MAGIC)?;
+        let leaf_bits = header.geometry(pm, 0) as u32;
+        let levels = header.geometry(pm, 1) as u32;
+        if leaf_bits == 0
+            || leaf_bits > 40
+            || levels == 0
+            || region.len < Self::required_size(leaf_bits, levels.min(leaf_bits + 1))
+        {
+            return Err("persisted geometry does not fit the region".into());
+        }
+        let mode = if header.geometry(pm, 2) == 1 {
+            ConsistencyMode::UndoLog
+        } else {
+            ConsistencyMode::None
+        };
+        let seed = header.seed(pm);
+        let total = Self::cell_count(leaf_bits, levels);
+        let (_, _, _, log_r) = Self::layout(region, total);
+        let journal = Journal::open(mode, log_r);
+        Ok(Self::assemble(region, leaf_bits, levels, seed, journal, header))
+    }
+
+
+    /// The persisted hash seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The pool region this table occupies.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// The two leaf positions of `key`.
+    #[inline]
+    fn leaves_of(&self, key: &K) -> (u64, u64) {
+        let mask = (1u64 << self.leaf_bits) - 1;
+        (self.hash.h1(key) & mask, self.hash.h2(key) & mask)
+    }
+
+    /// Global cell index of the node at `level` on the path from `leaf`.
+    #[inline]
+    fn path_cell(&self, leaf: u64, level: u32) -> u64 {
+        self.level_base[level as usize] + (leaf >> level)
+    }
+
+    /// Visits the candidate cells of `key` level by level (leaf pair,
+    /// then their parents, ...). Returns the first cell where `f` says
+    /// stop.
+    fn scan_paths(&self, pm: &mut P, key: &K, mut f: impl FnMut(&mut P, u64) -> bool) -> Option<u64> {
+        let (l1, l2) = self.leaves_of(key);
+        for level in 0..self.levels {
+            let c1 = self.path_cell(l1, level);
+            if f(pm, c1) {
+                return Some(c1);
+            }
+            let c2 = self.path_cell(l2, level);
+            if c2 != c1 && f(pm, c2) {
+                return Some(c2);
+            }
+        }
+        None
+    }
+
+    /// Locates `key`.
+    fn find(&self, pm: &mut P, key: &K) -> Option<u64> {
+        let bitmap = self.bitmap;
+        let cells = self.cells;
+        self.scan_paths(pm, key, |pm, idx| {
+            bitmap.get(pm, idx) && cells.read_key(pm, idx) == *key
+        })
+    }
+
+    /// Items stored per level (diagnostic).
+    pub fn level_occupancy(&self, pm: &mut P) -> Vec<u64> {
+        (0..self.levels as usize)
+            .map(|i| {
+                let base = self.level_base[i];
+                let size = 1u64 << (self.leaf_bits - i as u32);
+                self.bitmap.count_ones_in_range(pm, base, size)
+            })
+            .collect()
+    }
+}
+
+impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for PathHash<P, K, V> {
+    fn name(&self) -> &'static str {
+        match self.journal.mode() {
+            ConsistencyMode::None => "path",
+            ConsistencyMode::UndoLog => "path-L",
+        }
+    }
+
+    fn insert(&mut self, pm: &mut P, key: K, value: V) -> Result<(), InsertError> {
+        let bitmap = self.bitmap;
+        let target = self.scan_paths(pm, &key, |pm, idx| !bitmap.get(pm, idx));
+        let Some(idx) = target else {
+            return Err(InsertError::TableFull);
+        };
+        self.journal.begin(pm);
+        self.journal.record(pm, self.cells.cell_off(idx), self.cells.entry_len());
+        self.journal.record(pm, self.bitmap.word_off_of(idx), 8);
+        self.journal.record(pm, self.header.count_off(), 8);
+        self.journal.seal(pm);
+        self.cells.write_entry(pm, idx, &key, &value);
+        self.cells.persist_entry(pm, idx);
+        self.bitmap.set_and_persist(pm, idx, true);
+        self.header.inc_count(pm);
+        self.journal.commit(pm);
+        Ok(())
+    }
+
+    fn get(&self, pm: &mut P, key: &K) -> Option<V> {
+        self.find(pm, key).map(|idx| self.cells.read_value(pm, idx))
+    }
+
+    fn remove(&mut self, pm: &mut P, key: &K) -> bool {
+        let Some(idx) = self.find(pm, key) else {
+            return false;
+        };
+        self.journal.begin(pm);
+        self.journal.record(pm, self.bitmap.word_off_of(idx), 8);
+        self.journal.record(pm, self.cells.cell_off(idx), self.cells.entry_len());
+        self.journal.record(pm, self.header.count_off(), 8);
+        self.journal.seal(pm);
+        self.bitmap.set_and_persist(pm, idx, false);
+        self.cells.clear_entry(pm, idx);
+        self.cells.persist_entry(pm, idx);
+        self.header.dec_count(pm);
+        self.journal.commit(pm);
+        true
+    }
+
+    fn len(&self, pm: &mut P) -> u64 {
+        self.header.count(pm)
+    }
+
+    fn capacity(&self) -> u64 {
+        self.total
+    }
+
+    fn recover(&mut self, pm: &mut P) {
+        self.journal.recover(pm);
+        let mut count = 0;
+        for i in 0..self.total {
+            if self.bitmap.get(pm, i) {
+                count += 1;
+            } else if !self.cells.is_zeroed(pm, i) {
+                self.cells.clear_entry(pm, i);
+                self.cells.persist_entry(pm, i);
+            }
+        }
+        self.header.set_count(pm, count);
+    }
+
+    fn check_consistency(&self, pm: &mut P) -> Result<(), String> {
+        let mut occupied = 0u64;
+        let mut seen: HashMap<Vec<u8>, u64> = HashMap::new();
+        for i in 0..self.total {
+            if !self.bitmap.get(pm, i) {
+                if !self.cells.is_zeroed(pm, i) {
+                    return Err(format!("empty cell {i} not zeroed"));
+                }
+                continue;
+            }
+            occupied += 1;
+            let key = self.cells.read_key(pm, i);
+            // The cell must lie on one of the key's two paths.
+            let (l1, l2) = self.leaves_of(&key);
+            let level = self
+                .level_base
+                .iter()
+                .rposition(|&b| b <= i)
+                .expect("level_base[0] == 0");
+            let on_path = self.path_cell(l1, level as u32) == i
+                || self.path_cell(l2, level as u32) == i;
+            if !on_path {
+                return Err(format!("cell {i} (level {level}) not on its key's paths"));
+            }
+            let mut kb = vec![0u8; K::SIZE];
+            key.write_to(&mut kb);
+            if let Some(prev) = seen.insert(kb, i) {
+                return Err(format!("duplicate key in cells {prev} and {i}"));
+            }
+        }
+        let count = self.len(pm);
+        if count != occupied {
+            return Err(format!("count {count} != occupied {occupied}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_pmem::{SimConfig, SimPmem};
+
+    fn make(
+        leaf_bits: u32,
+        levels: u32,
+        mode: ConsistencyMode,
+    ) -> (SimPmem, PathHash<SimPmem, u64, u64>) {
+        let size = PathHash::<SimPmem, u64, u64>::required_size(leaf_bits, levels);
+        let mut pm = SimPmem::new(size, SimConfig::fast_test());
+        let t =
+            PathHash::create(&mut pm, Region::new(0, size), leaf_bits, levels, 11, mode).unwrap();
+        (pm, t)
+    }
+
+    #[test]
+    fn cell_count_is_geometric_sum() {
+        assert_eq!(PathHash::<SimPmem, u64, u64>::cell_count(3, 4), 8 + 4 + 2 + 1);
+        assert_eq!(PathHash::<SimPmem, u64, u64>::cell_count(3, 20), 15); // clamped
+        assert_eq!(PathHash::<SimPmem, u64, u64>::cell_count(10, 1), 1024);
+    }
+
+    #[test]
+    fn geometry_for_fits_budget() {
+        for total in [100u64, 1 << 12, 1 << 20] {
+            let (lb, lv) = PathHash::<SimPmem, u64, u64>::geometry_for(total);
+            assert!(PathHash::<SimPmem, u64, u64>::cell_count(lb, lv) <= total);
+            // And it is not wastefully small: doubling the leaves must bust
+            // the budget.
+            assert!(
+                PathHash::<SimPmem, u64, u64>::cell_count(lb + 1, DEFAULT_RESERVED_LEVELS)
+                    > total
+            );
+        }
+    }
+
+    #[test]
+    fn roundtrip_both_modes() {
+        for mode in [ConsistencyMode::None, ConsistencyMode::UndoLog] {
+            let (mut pm, mut t) = make(8, 6, mode);
+            for k in 0..300u64 {
+                t.insert(&mut pm, k, k * 2).unwrap();
+            }
+            for k in 0..300u64 {
+                assert_eq!(t.get(&mut pm, &k), Some(k * 2));
+            }
+            for k in 0..100u64 {
+                assert!(t.remove(&mut pm, &k));
+            }
+            assert_eq!(t.len(&mut pm), 200);
+            t.check_consistency(&mut pm).unwrap();
+        }
+    }
+
+    #[test]
+    fn collisions_climb_levels() {
+        let (mut pm, mut t) = make(6, 5, ConsistencyMode::None);
+        // Fill well past the leaf level.
+        let mut inserted = 0;
+        for k in 0..200u64 {
+            if t.insert(&mut pm, k, k).is_ok() {
+                inserted += 1;
+            }
+        }
+        let occ = t.level_occupancy(&mut pm);
+        assert!(occ[0] > 0);
+        assert!(occ[1..].iter().any(|&n| n > 0), "no overflow into levels: {occ:?}");
+        assert_eq!(occ.iter().sum::<u64>(), inserted);
+        t.check_consistency(&mut pm).unwrap();
+    }
+
+    #[test]
+    fn high_space_utilization() {
+        // Path hashing's selling point: >90 % utilization before failure.
+        let (mut pm, mut t) = make(8, 8, ConsistencyMode::None);
+        let mut k = 0u64;
+        loop {
+            if t.insert(&mut pm, k, k).is_err() {
+                break;
+            }
+            k += 1;
+        }
+        let util = t.len(&mut pm) as f64 / t.capacity() as f64;
+        assert!(util > 0.75, "utilization {util:.3} too low");
+        t.check_consistency(&mut pm).unwrap();
+    }
+
+    #[test]
+    fn reopen_preserves_state() {
+        let (mut pm, mut t) = make(7, 5, ConsistencyMode::UndoLog);
+        for k in 0..80u64 {
+            t.insert(&mut pm, k, k + 3).unwrap();
+        }
+        let size = PathHash::<SimPmem, u64, u64>::required_size(7, 5);
+        let t2 = PathHash::<SimPmem, u64, u64>::open(&mut pm, Region::new(0, size)).unwrap();
+        assert_eq!(t2.name(), "path-L");
+        assert_eq!(t2.len(&mut pm), 80);
+        for k in 0..80u64 {
+            assert_eq!(t2.get(&mut pm, &k), Some(k + 3));
+        }
+        t2.check_consistency(&mut pm).unwrap();
+    }
+
+    #[test]
+    fn shared_root_cells_dedup_in_scan() {
+        // With one leaf bit and two levels (3 cells), every key's two
+        // paths share the root; scanning must not double-visit it
+        // (the c2 != c1 check) and the table must saturate at ≤ 3 items.
+        let (mut pm, mut t) = make(1, 2, ConsistencyMode::None);
+        let mut stored = 0u64;
+        for k in 0..64u64 {
+            if t.insert(&mut pm, k, k).is_ok() {
+                stored += 1;
+            }
+        }
+        assert!((2..=3).contains(&stored), "stored {stored}");
+        assert_eq!(t.len(&mut pm), stored);
+        t.check_consistency(&mut pm).unwrap();
+    }
+}

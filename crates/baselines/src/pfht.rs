@@ -1,0 +1,536 @@
+//! PFHT — the PCM-friendly hash table (Debnath et al., INFLOW/OSR 2015/16).
+//!
+//! A cuckoo-hashing variant tuned for NVM's expensive writes:
+//!
+//! * buckets of 4 cells (one or two cachelines), two hash functions;
+//! * an insert tries both candidate buckets, then performs **at most one
+//!   displacement** (moving one resident item to its alternate bucket) —
+//!   never the long cascading eviction chains of classic cuckoo hashing;
+//! * items that still do not fit go to a **stash** sized at 3 % of the
+//!   table, searched linearly.
+//!
+//! The paper compares group hashing against PFHT bare and with undo
+//! logging (PFHT-L).
+
+use crate::journal::Journal;
+use nvm_hashfn::{HashKey, HashPair, Pod};
+use nvm_pmem::{Pmem, Region, RegionAllocator, CACHELINE};
+use nvm_table::{
+    CellArray, ConsistencyMode, HashScheme, InsertError, PmemBitmap, TableHeader,
+};
+use std::collections::HashMap;
+use std::marker::PhantomData;
+
+/// Magic word ("PFHT0001").
+const MAGIC: u64 = 0x5046_4854_3030_3031;
+
+/// Cells per bucket (the published design).
+pub const BUCKET_CELLS: u64 = 4;
+
+/// Stash fraction: 3 % of the main table.
+pub const STASH_PERCENT: u64 = 3;
+
+/// Undo-log capacity: an insert touches at most two cells (+bitmap words,
+/// count); deletes one.
+const LOG_RECORDS: usize = 16;
+
+/// The PFHT table: `n_buckets * 4` main cells plus a stash.
+#[derive(Debug)]
+pub struct Pfht<P: Pmem, K: HashKey, V: Pod> {
+    n_buckets: u64,
+    stash_cells: u64,
+    seed: u64,
+    hash: HashPair,
+    header: TableHeader,
+    /// Occupancy for main cells followed by stash cells.
+    bitmap: PmemBitmap,
+    cells: CellArray<K, V>,
+    journal: Journal,
+    region: Region,
+    _marker: PhantomData<fn(&mut P)>,
+}
+
+impl<P: Pmem, K: HashKey, V: Pod> Pfht<P, K, V> {
+    /// Splits a total cell budget into (buckets, stash cells): the main
+    /// table takes the largest power-of-two bucket count fitting the
+    /// budget, and the stash is the published "extra stash with 3 % size
+    /// of the hash table" — *on top*, exactly as the paper configures
+    /// PFHT (so PFHT's total footprint runs ≤3 % over the nominal budget,
+    /// the same allowance the paper grants it).
+    pub fn geometry_for(total_cells: u64) -> (u64, u64) {
+        assert!(total_cells >= 2 * BUCKET_CELLS, "table too small for PFHT");
+        let n_buckets = {
+            let b = total_cells / BUCKET_CELLS;
+            if b.is_power_of_two() {
+                b
+            } else {
+                b.next_power_of_two() / 2
+            }
+        }
+        .max(1);
+        let stash = (n_buckets * BUCKET_CELLS * STASH_PERCENT / 100).max(1);
+        (n_buckets, stash)
+    }
+
+    fn total_cells(n_buckets: u64, stash_cells: u64) -> u64 {
+        n_buckets * BUCKET_CELLS + stash_cells
+    }
+
+    fn log_bytes() -> usize {
+        nvm_wal::UndoLog::region_size(LOG_RECORDS, CellArray::<K, V>::CELL_SIZE.max(8))
+    }
+
+    fn layout(region: Region, total: u64) -> (Region, Region, Region, Region) {
+        let mut alloc = RegionAllocator::new(region.off, region.end());
+        let header = alloc.alloc_lines(TableHeader::SIZE);
+        let bitmap = alloc.alloc_lines(PmemBitmap::region_size(total).max(8));
+        let cells = alloc.alloc_lines(CellArray::<K, V>::region_size(total));
+        let log = alloc.alloc_lines(Self::log_bytes());
+        (header, bitmap, cells, log)
+    }
+
+    /// Pool bytes needed for the given geometry.
+    pub fn required_size(n_buckets: u64, stash_cells: u64) -> usize {
+        let total = Self::total_cells(n_buckets, stash_cells);
+        TableHeader::SIZE
+            + PmemBitmap::region_size(total).max(8)
+            + CellArray::<K, V>::region_size(total)
+            + Self::log_bytes()
+            + 4 * CACHELINE
+    }
+
+    fn assemble(
+        region: Region,
+        n_buckets: u64,
+        stash_cells: u64,
+        seed: u64,
+        journal: Journal,
+        header: TableHeader,
+    ) -> Self {
+        let total = Self::total_cells(n_buckets, stash_cells);
+        let (_, b, c, _) = Self::layout(region, total);
+        Pfht {
+            n_buckets,
+            stash_cells,
+            seed,
+            hash: HashPair::from_seed(seed),
+            header,
+            bitmap: PmemBitmap::attach(b, total),
+            cells: CellArray::attach(c, total),
+            journal,
+            region,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Creates a fresh PFHT (`n_buckets` a power of two).
+    pub fn create(
+        pm: &mut P,
+        region: Region,
+        n_buckets: u64,
+        stash_cells: u64,
+        seed: u64,
+        mode: ConsistencyMode,
+    ) -> Result<Self, String> {
+        if !n_buckets.is_power_of_two() {
+            return Err(format!("bucket count {n_buckets} is not a power of two"));
+        }
+        if stash_cells == 0 {
+            return Err("stash must have at least one cell".into());
+        }
+        if region.len < Self::required_size(n_buckets, stash_cells) {
+            return Err("region too small".into());
+        }
+        let total = Self::total_cells(n_buckets, stash_cells);
+        let (h_r, b, _c, log_r) = Self::layout(region, total);
+        PmemBitmap::create(pm, b, total);
+        let journal = Journal::create(pm, mode, log_r);
+        let mode_flag = matches!(mode, ConsistencyMode::UndoLog) as u64;
+        let header =
+            TableHeader::create(pm, h_r, MAGIC, seed, &[n_buckets, stash_cells, mode_flag]);
+        Ok(Self::assemble(region, n_buckets, stash_cells, seed, journal, header))
+    }
+
+    /// Header location; see `LinearProbing::header_region` for why this
+    /// bypasses `layout`.
+    fn header_region(region: Region) -> Region {
+        Region::new(nvm_pmem::align_up(region.off, CACHELINE), TableHeader::SIZE)
+    }
+
+    /// Re-opens an existing PFHT.
+    pub fn open(pm: &mut P, region: Region) -> Result<Self, String> {
+        let h_r = Self::header_region(region);
+        if !region.contains(h_r.off, h_r.len) {
+            return Err("region too small for a table header".into());
+        }
+        let header = TableHeader::open(pm, h_r, MAGIC)?;
+        let n_buckets = header.geometry(pm, 0);
+        let stash_cells = header.geometry(pm, 1);
+        if !n_buckets.is_power_of_two()
+            || stash_cells == 0
+            || region.len < Self::required_size(n_buckets, stash_cells)
+        {
+            return Err("persisted geometry does not fit the region".into());
+        }
+        let mode = if header.geometry(pm, 2) == 1 {
+            ConsistencyMode::UndoLog
+        } else {
+            ConsistencyMode::None
+        };
+        let seed = header.seed(pm);
+        let total = Self::total_cells(n_buckets, stash_cells);
+        let (_, _, _, log_r) = Self::layout(region, total);
+        let journal = Journal::open(mode, log_r);
+        Ok(Self::assemble(region, n_buckets, stash_cells, seed, journal, header))
+    }
+
+
+    /// The persisted hash seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The pool region this table occupies.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// The two candidate buckets of `key`.
+    #[inline]
+    fn buckets_of(&self, key: &K) -> (u64, u64) {
+        (
+            self.hash.h1(key) & (self.n_buckets - 1),
+            self.hash.h2(key) & (self.n_buckets - 1),
+        )
+    }
+
+    /// Index of cell `slot` in bucket `b`.
+    #[inline]
+    fn bucket_cell(&self, b: u64, slot: u64) -> u64 {
+        b * BUCKET_CELLS + slot
+    }
+
+    /// First stash cell index.
+    #[inline]
+    fn stash_base(&self) -> u64 {
+        self.n_buckets * BUCKET_CELLS
+    }
+
+    /// Finds a free slot in bucket `b`.
+    fn free_slot_in(&self, pm: &mut P, b: u64) -> Option<u64> {
+        (0..BUCKET_CELLS)
+            .map(|s| self.bucket_cell(b, s))
+            .find(|&idx| !self.bitmap.get(pm, idx))
+    }
+
+    /// Writes `(key, value)` into `idx` with the usual commit sequence.
+    fn place(&mut self, pm: &mut P, idx: u64, key: &K, value: &V) {
+        self.journal.record(pm, self.cells.cell_off(idx), self.cells.entry_len());
+        self.journal.record(pm, self.bitmap.word_off_of(idx), 8);
+        self.journal.record(pm, self.header.count_off(), 8);
+        self.journal.seal(pm);
+        self.cells.write_entry(pm, idx, key, value);
+        self.cells.persist_entry(pm, idx);
+        self.bitmap.set_and_persist(pm, idx, true);
+        self.header.inc_count(pm);
+    }
+
+    /// Locates `key` anywhere (buckets, then stash).
+    fn find(&self, pm: &mut P, key: &K) -> Option<u64> {
+        let (b1, b2) = self.buckets_of(key);
+        for b in [b1, b2] {
+            for s in 0..BUCKET_CELLS {
+                let idx = self.bucket_cell(b, s);
+                if self.bitmap.get(pm, idx) && self.cells.read_key(pm, idx) == *key {
+                    return Some(idx);
+                }
+            }
+        }
+        // Linear stash search — the cost PFHT pays at high load factors.
+        let base = self.stash_base();
+        for i in 0..self.stash_cells {
+            let idx = base + i;
+            if self.bitmap.get(pm, idx) && self.cells.read_key(pm, idx) == *key {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// Number of items currently in the stash (diagnostic).
+    pub fn stash_used(&self, pm: &mut P) -> u64 {
+        self.bitmap
+            .count_ones_in_range(pm, self.stash_base(), self.stash_cells)
+    }
+}
+
+impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for Pfht<P, K, V> {
+    fn name(&self) -> &'static str {
+        match self.journal.mode() {
+            ConsistencyMode::None => "PFHT",
+            ConsistencyMode::UndoLog => "PFHT-L",
+        }
+    }
+
+    fn insert(&mut self, pm: &mut P, key: K, value: V) -> Result<(), InsertError> {
+        let (b1, b2) = self.buckets_of(&key);
+
+        // 1. A free slot in either candidate bucket.
+        for b in [b1, b2] {
+            if let Some(idx) = self.free_slot_in(pm, b) {
+                self.journal.begin(pm);
+                self.place(pm, idx, &key, &value);
+                self.journal.commit(pm);
+                return Ok(());
+            }
+        }
+
+        // 2. At most one displacement: move some resident of b1 or b2 to
+        //    its alternate bucket if that has room.
+        for b in [b1, b2] {
+            for s in 0..BUCKET_CELLS {
+                let idx = self.bucket_cell(b, s);
+                let resident = self.cells.read_key(pm, idx);
+                let (r1, r2) = self.buckets_of(&resident);
+                let alt = if r1 == b { r2 } else { r1 };
+                if alt == b {
+                    continue; // both hashes map here; cannot move
+                }
+                if let Some(alt_idx) = self.free_slot_in(pm, alt) {
+                    self.journal.begin(pm);
+                    // Move resident to its alternate bucket (write first,
+                    // then flip bits — the new copy is durable before the
+                    // old disappears).
+                    let rv = self.cells.read_value(pm, idx);
+                    self.journal
+                        .record(pm, self.cells.cell_off(alt_idx), self.cells.entry_len());
+                    self.journal.record(pm, self.bitmap.word_off_of(alt_idx), 8);
+                    self.journal.seal(pm);
+                    self.cells.write_entry(pm, alt_idx, &resident, &rv);
+                    self.cells.persist_entry(pm, alt_idx);
+                    self.bitmap.set_and_persist(pm, alt_idx, true);
+                    self.journal.record_sealed(pm, self.bitmap.word_off_of(idx), 8);
+                    self.bitmap.set_and_persist(pm, idx, false);
+                    // Place the new item in the freed slot.
+                    self.place(pm, idx, &key, &value);
+                    self.journal.commit(pm);
+                    return Ok(());
+                }
+            }
+        }
+
+        // 3. Stash.
+        let base = self.stash_base();
+        if let Some(idx) = self.bitmap.find_zero_in_range(pm, base, self.stash_cells) {
+            self.journal.begin(pm);
+            self.place(pm, idx, &key, &value);
+            self.journal.commit(pm);
+            return Ok(());
+        }
+        Err(InsertError::TableFull)
+    }
+
+    fn get(&self, pm: &mut P, key: &K) -> Option<V> {
+        self.find(pm, key).map(|idx| self.cells.read_value(pm, idx))
+    }
+
+    fn remove(&mut self, pm: &mut P, key: &K) -> bool {
+        let Some(idx) = self.find(pm, key) else {
+            return false;
+        };
+        self.journal.begin(pm);
+        self.journal.record(pm, self.bitmap.word_off_of(idx), 8);
+        self.journal.record(pm, self.cells.cell_off(idx), self.cells.entry_len());
+        self.journal.record(pm, self.header.count_off(), 8);
+        self.journal.seal(pm);
+        self.bitmap.set_and_persist(pm, idx, false);
+        self.cells.clear_entry(pm, idx);
+        self.cells.persist_entry(pm, idx);
+        self.header.dec_count(pm);
+        self.journal.commit(pm);
+        true
+    }
+
+    fn len(&self, pm: &mut P) -> u64 {
+        self.header.count(pm)
+    }
+
+    fn capacity(&self) -> u64 {
+        Self::total_cells(self.n_buckets, self.stash_cells)
+    }
+
+    fn recover(&mut self, pm: &mut P) {
+        self.journal.recover(pm);
+        let total = self.capacity();
+        let mut count = 0;
+        for i in 0..total {
+            if self.bitmap.get(pm, i) {
+                count += 1;
+            } else if !self.cells.is_zeroed(pm, i) {
+                self.cells.clear_entry(pm, i);
+                self.cells.persist_entry(pm, i);
+            }
+        }
+        self.header.set_count(pm, count);
+    }
+
+    fn check_consistency(&self, pm: &mut P) -> Result<(), String> {
+        let mut occupied = 0u64;
+        let mut seen: HashMap<Vec<u8>, u64> = HashMap::new();
+        let total = self.capacity();
+        let stash_base = self.stash_base();
+        for i in 0..total {
+            if !self.bitmap.get(pm, i) {
+                if !self.cells.is_zeroed(pm, i) {
+                    return Err(format!("empty cell {i} not zeroed"));
+                }
+                continue;
+            }
+            occupied += 1;
+            let key = self.cells.read_key(pm, i);
+            if i < stash_base {
+                let b = i / BUCKET_CELLS;
+                let (b1, b2) = self.buckets_of(&key);
+                if b != b1 && b != b2 {
+                    return Err(format!(
+                        "cell {i}: key belongs to buckets {b1}/{b2}, found in {b}"
+                    ));
+                }
+            }
+            let mut kb = vec![0u8; K::SIZE];
+            key.write_to(&mut kb);
+            if let Some(prev) = seen.insert(kb, i) {
+                return Err(format!("duplicate key in cells {prev} and {i}"));
+            }
+        }
+        let count = self.len(pm);
+        if count != occupied {
+            return Err(format!("count {count} != occupied {occupied}"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_pmem::{SimConfig, SimPmem};
+
+    fn make(n_buckets: u64, mode: ConsistencyMode) -> (SimPmem, Pfht<SimPmem, u64, u64>) {
+        let stash = (n_buckets * BUCKET_CELLS * 3 / 100).max(4);
+        let size = Pfht::<SimPmem, u64, u64>::required_size(n_buckets, stash);
+        let mut pm = SimPmem::new(size, SimConfig::fast_test());
+        let t = Pfht::create(&mut pm, Region::new(0, size), n_buckets, stash, 3, mode).unwrap();
+        (pm, t)
+    }
+
+    #[test]
+    fn roundtrip_both_modes() {
+        for mode in [ConsistencyMode::None, ConsistencyMode::UndoLog] {
+            let (mut pm, mut t) = make(64, mode);
+            for k in 0..180u64 {
+                t.insert(&mut pm, k, k + 1).unwrap();
+            }
+            for k in 0..180u64 {
+                assert_eq!(t.get(&mut pm, &k), Some(k + 1));
+            }
+            for k in 0..90u64 {
+                assert!(t.remove(&mut pm, &k));
+            }
+            assert_eq!(t.len(&mut pm), 90);
+            t.check_consistency(&mut pm).unwrap();
+        }
+    }
+
+    #[test]
+    fn geometry_for_respects_budget() {
+        for total in [256u64, 1 << 12, 1 << 16, 100_000] {
+            let (b, s) = Pfht::<SimPmem, u64, u64>::geometry_for(total);
+            assert!(b.is_power_of_two());
+            // Main table within budget; stash is the paper's 3% extra.
+            assert!(b * BUCKET_CELLS <= total, "total {total}: {b} buckets");
+            assert!(
+                b * BUCKET_CELLS + s <= total + total * 3 / 100 + 1,
+                "total {total}: {b} buckets + {s} stash"
+            );
+            assert!(s >= 1);
+        }
+    }
+
+    #[test]
+    fn fills_past_both_buckets_into_stash() {
+        // Drive to saturation: the table is only "full" once the stash is,
+        // so at the first failed insert every stash cell is occupied.
+        let (mut pm, mut t) = make(16, ConsistencyMode::None); // 64 main cells
+        let mut k = 0u64;
+        let mut stored = vec![];
+        loop {
+            if t.insert(&mut pm, k, k).is_ok() {
+                stored.push(k);
+            } else {
+                break;
+            }
+            k += 1;
+        }
+        let stash = t.stash_used(&mut pm);
+        assert!(stash > 0, "stash unused at saturation");
+        assert_eq!(
+            stash,
+            t.capacity() - 16 * BUCKET_CELLS,
+            "table full implies stash full"
+        );
+        t.check_consistency(&mut pm).unwrap();
+        for &key in &stored {
+            assert_eq!(t.get(&mut pm, &key), Some(key));
+        }
+    }
+
+    #[test]
+    fn displacement_happens_and_preserves_items() {
+        // Dense fill forces case-2 inserts (single displacement).
+        let (mut pm, mut t) = make(8, ConsistencyMode::None); // 32 main cells
+        let mut keys = vec![];
+        for k in 0..30u64 {
+            if t.insert(&mut pm, k, k * 7).is_ok() {
+                keys.push(k);
+            }
+        }
+        for &k in &keys {
+            assert_eq!(t.get(&mut pm, &k), Some(k * 7));
+        }
+        t.check_consistency(&mut pm).unwrap();
+    }
+
+    #[test]
+    fn table_full_when_stash_exhausted() {
+        let (mut pm, mut t) = make(4, ConsistencyMode::None); // 16 main + 4 stash
+        let mut k = 0u64;
+        let mut full = false;
+        while k < 1000 {
+            if t.insert(&mut pm, k, k).is_err() {
+                full = true;
+                break;
+            }
+            k += 1;
+        }
+        assert!(full, "tiny PFHT never filled");
+        assert!(t.len(&mut pm) <= t.capacity());
+        t.check_consistency(&mut pm).unwrap();
+    }
+
+    #[test]
+    fn reopen_preserves_state() {
+        let (mut pm, mut t) = make(32, ConsistencyMode::None);
+        for k in 0..50u64 {
+            t.insert(&mut pm, k, k).unwrap();
+        }
+        let stash = (32 * BUCKET_CELLS * 3 / 100).max(4);
+        let size = Pfht::<SimPmem, u64, u64>::required_size(32, stash);
+        let t2 = Pfht::<SimPmem, u64, u64>::open(&mut pm, Region::new(0, size)).unwrap();
+        assert_eq!(t2.len(&mut pm), 50);
+        assert_eq!(t2.name(), "PFHT");
+        for k in 0..50u64 {
+            assert_eq!(t2.get(&mut pm, &k), Some(k));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Wall-clock analogue of Figure 2: the cost of undo logging on the three
+//! baseline schemes (insert and delete paths; queries are read-only and
+//! unaffected).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gh_bench::{build_real, fill_real, fresh_keys};
+use nvm_table::ConsistencyMode;
+
+const CELLS: u64 = 1 << 14;
+const SEED: u64 = 9;
+
+fn bench_updates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2/insert_delete_pair");
+    for scheme in ["linear", "pfht", "path"] {
+        for (mode, tag) in [
+            (ConsistencyMode::None, ""),
+            (ConsistencyMode::UndoLog, "-L"),
+        ] {
+            let (mut pm, mut table) = build_real(scheme, CELLS, mode);
+            let filled = fill_real(&mut pm, &mut table, 0.5, SEED);
+            let keys = fresh_keys(SEED, filled.len(), 4096);
+            let mut i = 0usize;
+            g.bench_function(format!("{scheme}{tag}"), |b| {
+                b.iter_batched(
+                    || {
+                        let k = keys[i % keys.len()];
+                        i += 1;
+                        k
+                    },
+                    |k| {
+                        // Insert + delete keeps the load factor steady so
+                        // every iteration sees the same table shape.
+                        table.insert(&mut pm, k, k).unwrap();
+                        assert!(table.remove(&mut pm, &k));
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_updates
+}
+criterion_main!(benches);

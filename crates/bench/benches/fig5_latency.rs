@@ -1,0 +1,81 @@
+//! Wall-clock analogue of Figure 5: per-operation latency of the
+//! consistent schemes (logged baselines + group hashing) at load factors
+//! 0.5 and 0.75.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gh_bench::{build_real, fill_real, fresh_keys, BenchScheme};
+use nvm_pmem::RealPmem;
+use nvm_table::ConsistencyMode;
+
+const CELLS: u64 = 1 << 14;
+const SEED: u64 = 5;
+
+fn schemes() -> Vec<(&'static str, ConsistencyMode, String)> {
+    vec![
+        ("linear", ConsistencyMode::UndoLog, "linear-L".into()),
+        ("pfht", ConsistencyMode::UndoLog, "PFHT-L".into()),
+        ("path", ConsistencyMode::UndoLog, "path-L".into()),
+        ("group", ConsistencyMode::None, "group".into()),
+    ]
+}
+
+fn prepared(
+    scheme: &str,
+    mode: ConsistencyMode,
+    lf: f64,
+) -> (RealPmem, BenchScheme, Vec<u64>, Vec<u64>) {
+    let (mut pm, mut table) = build_real(scheme, CELLS, mode);
+    let filled = fill_real(&mut pm, &mut table, lf, SEED);
+    let fresh = fresh_keys(SEED, filled.len(), 4096);
+    (pm, table, filled, fresh)
+}
+
+fn bench_query(c: &mut Criterion) {
+    for lf in [0.5, 0.75] {
+        let mut g = c.benchmark_group(format!("fig5/query/lf{lf}"));
+        for (scheme, mode, label) in schemes() {
+            let (mut pm, table, filled, _) = prepared(scheme, mode, lf);
+            let mut i = 0usize;
+            g.bench_function(&label, |b| {
+                b.iter(|| {
+                    let k = filled[i % filled.len()];
+                    i += 1;
+                    assert!(table.get(&mut pm, &k).is_some());
+                })
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_insert_delete(c: &mut Criterion) {
+    for lf in [0.5, 0.75] {
+        let mut g = c.benchmark_group(format!("fig5/insert_delete/lf{lf}"));
+        for (scheme, mode, label) in schemes() {
+            let (mut pm, mut table, _, fresh) = prepared(scheme, mode, lf);
+            let mut i = 0usize;
+            g.bench_function(&label, |b| {
+                b.iter_batched(
+                    || {
+                        let k = fresh[i % fresh.len()];
+                        i += 1;
+                        k
+                    },
+                    |k| {
+                        table.insert(&mut pm, k, k).unwrap();
+                        assert!(table.remove(&mut pm, &k));
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_query, bench_insert_delete
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Figure 7 analogue: time-to-saturation and achieved space utilization.
+//!
+//! Space utilization itself is a deterministic quantity (the harness
+//! `fig7` binary reports it); this bench measures the *cost* of filling
+//! each bounded-utilization scheme to its saturation point, and prints
+//! the utilization it reached as auxiliary output.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gh_bench::build_real;
+use nvm_table::ConsistencyMode;
+use nvm_traces::{RandomNum, Trace};
+
+const CELLS: u64 = 1 << 12;
+
+fn bench_fill_to_full(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7/fill_until_full");
+    g.sample_size(10);
+    for scheme in ["pfht", "path", "group"] {
+        g.bench_function(scheme, |b| {
+            b.iter(|| {
+                let (mut pm, mut table) = build_real(scheme, CELLS, ConsistencyMode::None);
+                let mut trace = RandomNum::new(3);
+                let mut n = 0u64;
+                loop {
+                    let k = trace.next_key();
+                    if table.insert(&mut pm, k, k).is_err() {
+                        break;
+                    }
+                    n += 1;
+                }
+                n
+            })
+        });
+        // Auxiliary: report the deterministic utilization once.
+        let (mut pm, mut table) = build_real(scheme, CELLS, ConsistencyMode::None);
+        let mut trace = RandomNum::new(3);
+        let mut n = 0u64;
+        while table.insert(&mut pm, trace.next_key(), 0).is_ok() {
+            n += 1;
+        }
+        println!(
+            "[fig7] {scheme}: utilization {:.1}% ({n}/{} cells)",
+            100.0 * n as f64 / table.capacity() as f64,
+            table.capacity()
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_fill_to_full
+}
+criterion_main!(benches);

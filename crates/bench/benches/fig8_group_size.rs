@@ -1,0 +1,70 @@
+//! Figure 8 analogue: group size vs wall-clock operation latency.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gh_bench::{fresh_keys, BENCH_NVM_NS};
+use group_hash::{GroupHash, GroupHashConfig};
+use nvm_pmem::{RealPmem, Region};
+use nvm_table::InsertError;
+use nvm_traces::{RandomNum, Trace};
+
+const CELLS_PER_LEVEL: u64 = 1 << 13;
+const SEED: u64 = 6;
+
+fn build(group_size: u64) -> (RealPmem, GroupHash<RealPmem, u64, u64>, Vec<u64>) {
+    let cfg = GroupHashConfig::new(CELLS_PER_LEVEL, group_size).with_seed(SEED);
+    let size = GroupHash::<RealPmem, u64, u64>::required_size(&cfg);
+    let mut pm = RealPmem::with_write_latency(size, BENCH_NVM_NS);
+    let mut t = GroupHash::create(&mut pm, Region::new(0, size), cfg).unwrap();
+    let mut trace = RandomNum::new(SEED);
+    let target = CELLS_PER_LEVEL; // LF 0.5 of both levels
+    let mut filled = Vec::with_capacity(target as usize);
+    while (filled.len() as u64) < target {
+        let k = trace.next_key();
+        match t.insert(&mut pm, k, k) {
+            Ok(()) => filled.push(k),
+            Err(InsertError::TableFull) => break,
+            Err(e) => panic!("{e}"),
+        }
+    }
+    (pm, t, filled)
+}
+
+fn bench_group_sizes(c: &mut Criterion) {
+    for gs in [64u64, 128, 256, 512, 1024] {
+        let (mut pm, mut table, filled) = build(gs);
+        let fresh = fresh_keys(SEED, filled.len(), 4096);
+
+        let mut g = c.benchmark_group(format!("fig8/g{gs}"));
+        let mut qi = 0usize;
+        g.bench_function("query", |b| {
+            b.iter(|| {
+                let k = filled[qi % filled.len()];
+                qi += 1;
+                assert!(table.get(&mut pm, &k).is_some());
+            })
+        });
+        let mut ii = 0usize;
+        g.bench_function("insert_delete", |b| {
+            b.iter_batched(
+                || {
+                    let k = fresh[ii % fresh.len()];
+                    ii += 1;
+                    k
+                },
+                |k| {
+                    table.insert(&mut pm, k, k).unwrap();
+                    assert!(table.remove(&mut pm, &k));
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_group_sizes
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Table 3 analogue: wall-clock recovery time vs table size, compared to
+//! the build time (the paper reports recovery at ≈0.93 % of the build).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gh_bench::BENCH_NVM_NS;
+use group_hash::{GroupHash, GroupHashConfig};
+use nvm_pmem::{RealPmem, Region};
+use nvm_traces::{RandomNum, Trace};
+use std::time::Instant;
+
+fn build_filled(cells_per_level: u64) -> (RealPmem, GroupHash<RealPmem, u64, u64>) {
+    let cfg = GroupHashConfig::new(cells_per_level, 256.min(cells_per_level));
+    let size = GroupHash::<RealPmem, u64, u64>::required_size(&cfg);
+    let mut pm = RealPmem::with_write_latency(size, BENCH_NVM_NS);
+    let mut t = GroupHash::create(&mut pm, Region::new(0, size), cfg).unwrap();
+    let mut trace = RandomNum::new(1);
+    for _ in 0..cells_per_level {
+        // LF 0.5 overall
+        let k = trace.next_key();
+        let _ = t.insert(&mut pm, k, k);
+    }
+    (pm, t)
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3/recovery");
+    g.sample_size(10);
+    for log2 in [12u32, 13, 14, 15] {
+        let cells_per_level = 1u64 << log2;
+        // Build once (outside the measured region) and report build time
+        // for the percentage comparison.
+        let t0 = Instant::now();
+        let (mut pm, mut table) = build_filled(cells_per_level);
+        let build = t0.elapsed();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("2^{}cells", log2 + 1)),
+            &cells_per_level,
+            |b, _| b.iter(|| table.recover(&mut pm)),
+        );
+        // One-shot percentage print (recovery after the bench warm-up is
+        // representative: the table state is unchanged by recover()).
+        let r0 = Instant::now();
+        table.recover(&mut pm);
+        let rec = r0.elapsed();
+        println!(
+            "[table3] 2^{} cells: build {:?}, recovery {:?} ({:.2}%)",
+            log2 + 1,
+            build,
+            rec,
+            100.0 * rec.as_secs_f64() / build.as_secs_f64()
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_recovery
+}
+criterion_main!(benches);

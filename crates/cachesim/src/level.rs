@@ -1,0 +1,214 @@
+//! A single set-associative cache level with true-LRU replacement.
+
+use crate::config::LevelConfig;
+
+/// Sentinel tag meaning "way is empty".
+const EMPTY: u64 = u64::MAX;
+
+/// One cache level. Tags are full line numbers (address >> 6), so distinct
+/// lines never alias; sets are indexed by `line % num_sets`.
+///
+/// LRU is tracked with a per-level monotonic counter and per-way timestamps;
+/// ties are impossible because the counter is bumped on every touch.
+#[derive(Debug, Clone)]
+pub struct CacheLevel {
+    ways: usize,
+    sets: usize,
+    /// `sets * ways` tags, row-major by set.
+    tags: Vec<u64>,
+    /// Timestamp of last touch, parallel to `tags`.
+    stamps: Vec<u64>,
+    tick: u64,
+}
+
+impl CacheLevel {
+    pub fn new(config: &LevelConfig) -> Self {
+        let sets = config.num_sets();
+        let ways = config.ways;
+        CacheLevel {
+            ways,
+            sets,
+            tags: vec![EMPTY; sets * ways],
+            stamps: vec![0; sets * ways],
+            tick: 0,
+        }
+    }
+
+    #[inline]
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = (line % self.sets as u64) as usize;
+        let start = set * self.ways;
+        start..start + self.ways
+    }
+
+    /// If `line` is resident, refreshes its LRU stamp and returns `true`.
+    #[inline]
+    pub fn touch(&mut self, line: usize) -> bool {
+        let line = line as u64;
+        let range = self.set_range(line);
+        self.tick += 1;
+        for i in range {
+            if self.tags[i] == line {
+                self.stamps[i] = self.tick;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Inserts `line`, evicting the LRU way of its set if necessary.
+    /// Idempotent if the line is already present (refreshes its stamp).
+    #[inline]
+    pub fn insert(&mut self, line: usize) {
+        let line = line as u64;
+        let range = self.set_range(line);
+        self.tick += 1;
+        let mut victim = range.start;
+        let mut victim_stamp = u64::MAX;
+        for i in range {
+            if self.tags[i] == line {
+                self.stamps[i] = self.tick;
+                return;
+            }
+            if self.tags[i] == EMPTY {
+                // Empty way always wins over eviction.
+                victim = i;
+                victim_stamp = 0;
+            } else if self.stamps[i] < victim_stamp {
+                victim = i;
+                victim_stamp = self.stamps[i];
+            }
+        }
+        self.tags[victim] = line;
+        self.stamps[victim] = self.tick;
+    }
+
+    /// Removes `line` if present (clflush invalidation).
+    #[inline]
+    pub fn evict_line(&mut self, line: usize) {
+        let line = line as u64;
+        let range = self.set_range(line);
+        for i in range {
+            if self.tags[i] == line {
+                self.tags[i] = EMPTY;
+                self.stamps[i] = 0;
+                return;
+            }
+        }
+    }
+
+    /// Residency check without touching LRU state.
+    pub fn contains(&self, line: usize) -> bool {
+        let line = line as u64;
+        self.set_range(line).any(|i| self.tags[i] == line)
+    }
+
+    /// Number of resident lines (test/debug aid).
+    pub fn occupancy(&self) -> usize {
+        self.tags.iter().filter(|&&t| t != EMPTY).count()
+    }
+
+    /// Capacity in lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Empties the level.
+    pub fn clear(&mut self) {
+        self.tags.fill(EMPTY);
+        self.stamps.fill(0);
+        self.tick = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn level(sets: usize, ways: usize) -> CacheLevel {
+        CacheLevel::new(&LevelConfig {
+            size_bytes: sets * ways * crate::LINE_BYTES,
+            ways,
+        })
+    }
+
+    #[test]
+    fn insert_then_touch() {
+        let mut l = level(4, 2);
+        assert!(!l.touch(7));
+        l.insert(7);
+        assert!(l.touch(7));
+        assert!(l.contains(7));
+    }
+
+    #[test]
+    fn lru_order_respected() {
+        let mut l = level(1, 3); // one set, 3 ways
+        l.insert(1);
+        l.insert(2);
+        l.insert(3);
+        l.touch(1); // order now: 2 (LRU), 3, 1
+        l.insert(4); // evicts 2
+        assert!(!l.contains(2));
+        assert!(l.contains(1) && l.contains(3) && l.contains(4));
+    }
+
+    #[test]
+    fn empty_way_preferred_over_eviction() {
+        let mut l = level(1, 2);
+        l.insert(1);
+        l.insert(2); // fills the empty way; 1 must survive
+        assert!(l.contains(1));
+        assert!(l.contains(2));
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut l = level(2, 2);
+        l.insert(5);
+        l.insert(5);
+        assert_eq!(l.occupancy(), 1);
+    }
+
+    #[test]
+    fn evict_line_removes_only_target() {
+        let mut l = level(1, 2);
+        l.insert(1);
+        l.insert(2);
+        l.evict_line(1);
+        assert!(!l.contains(1));
+        assert!(l.contains(2));
+        assert_eq!(l.occupancy(), 1);
+    }
+
+    #[test]
+    fn sets_do_not_interfere() {
+        let mut l = level(4, 1); // direct mapped
+        l.insert(0);
+        l.insert(1);
+        l.insert(2);
+        l.insert(3);
+        assert_eq!(l.occupancy(), 4);
+        l.insert(4); // maps to set 0, evicts line 0 only
+        assert!(!l.contains(0));
+        assert!(l.contains(1) && l.contains(2) && l.contains(3) && l.contains(4));
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity() {
+        let mut l = level(8, 4);
+        for line in 0..10_000usize {
+            l.insert(line.wrapping_mul(2654435761) % 4096);
+        }
+        assert!(l.occupancy() <= l.capacity_lines());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut l = level(2, 2);
+        l.insert(9);
+        l.clear();
+        assert_eq!(l.occupancy(), 0);
+        assert!(!l.contains(9));
+    }
+}

@@ -1,0 +1,140 @@
+//! Access statistics for the cache hierarchy.
+
+use crate::AccessKind;
+
+/// Hit/miss counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl LevelStats {
+    /// Hit ratio in [0, 1]; 0 if no accesses reached this level.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Hierarchy-wide statistics. A miss at level *i* is counted at *i* and the
+/// access then probes level *i+1*; an access that misses the last level is a
+/// memory access.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub reads: u64,
+    pub writes: u64,
+    pub invalidations: u64,
+    pub prefetches: u64,
+    levels: Vec<LevelStats>,
+}
+
+impl CacheStats {
+    pub(crate) fn new(num_levels: usize) -> Self {
+        CacheStats {
+            reads: 0,
+            writes: 0,
+            invalidations: 0,
+            prefetches: 0,
+            levels: vec![LevelStats::default(); num_levels],
+        }
+    }
+
+    pub(crate) fn record_access(&mut self, kind: AccessKind) {
+        match kind {
+            AccessKind::Read => self.reads += 1,
+            AccessKind::Write => self.writes += 1,
+        }
+    }
+
+    pub(crate) fn record_hit(&mut self, level: usize) {
+        self.levels[level].hits += 1;
+    }
+
+    pub(crate) fn record_miss(&mut self, level: usize) {
+        self.levels[level].misses += 1;
+    }
+
+    pub(crate) fn record_invalidation(&mut self) {
+        self.invalidations += 1;
+    }
+
+    pub(crate) fn record_prefetch(&mut self) {
+        self.prefetches += 1;
+    }
+
+    pub(crate) fn reset(&mut self) {
+        let n = self.levels.len();
+        *self = CacheStats::new(n);
+    }
+
+    /// Per-level counters (0 = L1).
+    pub fn level(&self, i: usize) -> LevelStats {
+        self.levels[i]
+    }
+
+    /// Total accesses (reads + writes).
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Misses at the outermost (last-level) cache — the paper's "L3
+    /// cache misses".
+    pub fn llc_misses(&self) -> u64 {
+        self.levels.last().map(|l| l.misses).unwrap_or(0)
+    }
+
+    /// Difference of two snapshots (`self - earlier`), for measuring a
+    /// window of execution.
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        assert_eq!(self.levels.len(), earlier.levels.len());
+        CacheStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            invalidations: self.invalidations - earlier.invalidations,
+            prefetches: self.prefetches - earlier.prefetches,
+            levels: self
+                .levels
+                .iter()
+                .zip(&earlier.levels)
+                .map(|(a, b)| LevelStats {
+                    hits: a.hits - b.hits,
+                    misses: a.misses - b.misses,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_bounds() {
+        let s = LevelStats { hits: 3, misses: 1 };
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+        assert_eq!(LevelStats::default().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let mut a = CacheStats::new(2);
+        a.record_access(AccessKind::Read);
+        a.record_miss(0);
+        a.record_miss(1);
+        let snap = a.clone();
+        a.record_access(AccessKind::Write);
+        a.record_hit(0);
+        let d = a.delta_since(&snap);
+        assert_eq!(d.reads, 0);
+        assert_eq!(d.writes, 1);
+        assert_eq!(d.level(0).hits, 1);
+        assert_eq!(d.level(0).misses, 0);
+        assert_eq!(d.accesses(), 1);
+    }
+}

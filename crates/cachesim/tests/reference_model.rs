@@ -1,0 +1,115 @@
+//! Model-based testing: the optimized set-associative LRU level must
+//! behave identically to a naive reference implementation (per-set
+//! ordered lists) on arbitrary access traces.
+
+use nvm_cachesim::{CacheLevel, LevelConfig, LINE_BYTES};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// The obviously-correct reference: per-set MRU-ordered deques.
+struct RefCache {
+    sets: Vec<VecDeque<usize>>,
+    ways: usize,
+}
+
+impl RefCache {
+    fn new(n_sets: usize, ways: usize) -> Self {
+        RefCache {
+            sets: (0..n_sets).map(|_| VecDeque::new()).collect(),
+            ways,
+        }
+    }
+
+    fn set_of(&self, line: usize) -> usize {
+        line % self.sets.len()
+    }
+
+    fn touch(&mut self, line: usize) -> bool {
+        let s = self.set_of(line);
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            set.remove(pos);
+            set.push_front(line);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, line: usize) {
+        let s = self.set_of(line);
+        if self.touch(line) {
+            return;
+        }
+        let set = &mut self.sets[s];
+        if set.len() == self.ways {
+            set.pop_back();
+        }
+        set.push_front(line);
+    }
+
+    fn evict(&mut self, line: usize) {
+        let s = self.set_of(line);
+        self.sets[s].retain(|&l| l != line);
+    }
+
+    fn contains(&self, line: usize) -> bool {
+        self.sets[self.set_of(line)].contains(&line)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// touch-then-insert-on-miss — what the hierarchy does per access.
+    Access(usize),
+    Evict(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..64).prop_map(Op::Access),
+            (0usize..64).prop_map(Op::Evict),
+        ],
+        1..600,
+    )
+}
+
+proptest! {
+    #[test]
+    fn level_matches_reference(ops in ops(), sets in 1usize..9, ways in 1usize..5) {
+        // Round sets to what the config accepts (any non-zero works).
+        let mut level = CacheLevel::new(&LevelConfig {
+            size_bytes: sets * ways * LINE_BYTES,
+            ways,
+        });
+        let mut reference = RefCache::new(sets, ways);
+
+        for op in ops {
+            match op {
+                Op::Access(line) => {
+                    let hit = level.touch(line);
+                    let ref_hit = reference.touch(line);
+                    prop_assert_eq!(hit, ref_hit, "hit mismatch on line {}", line);
+                    if !hit {
+                        level.insert(line);
+                        reference.insert(line);
+                    }
+                }
+                Op::Evict(line) => {
+                    level.evict_line(line);
+                    reference.evict(line);
+                }
+            }
+        }
+
+        // Final residency agrees on every line.
+        for line in 0..64 {
+            prop_assert_eq!(
+                level.contains(line),
+                reference.contains(line),
+                "residency mismatch on line {}", line
+            );
+        }
+    }
+}

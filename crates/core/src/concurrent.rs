@@ -1,0 +1,241 @@
+//! A sharded concurrent wrapper (extension beyond the paper).
+//!
+//! The paper's table is single-writer. For multi-threaded use the natural
+//! NVM-friendly construction is sharding: route each key by an independent
+//! hash to one of `S` shards, each a private `(pool, GroupHash)` pair
+//! behind a mutex. Shards never share cachelines or persistence state, so
+//! every per-shard consistency argument carries over verbatim, and threads
+//! only contend when they touch the same shard.
+
+use crate::config::GroupHashConfig;
+use crate::table::GroupHash;
+use nvm_hashfn::{HashKey, Pod, SplitMix64};
+use nvm_pmem::{Pmem, Region};
+use nvm_table::InsertError;
+use parking_lot::Mutex;
+
+struct Shard<P: Pmem, K: HashKey, V: Pod> {
+    pm: P,
+    table: GroupHash<P, K, V>,
+}
+
+/// A thread-safe group hash table built from independent shards.
+pub struct ShardedGroupHash<P: Pmem, K: HashKey, V: Pod> {
+    shards: Vec<Mutex<Shard<P, K, V>>>,
+    /// Seed for the shard-routing hash (independent of table seeds).
+    route_seed: u64,
+}
+
+impl<P: Pmem, K: HashKey, V: Pod> ShardedGroupHash<P, K, V> {
+    /// Builds `n_shards` shards. `make_pool(i)` must return a pool of at
+    /// least [`GroupHash::required_size`] bytes for `per_shard_config`.
+    /// Each shard's table gets a distinct hash seed derived from the
+    /// config's seed.
+    pub fn create(
+        n_shards: usize,
+        per_shard_config: GroupHashConfig,
+        mut make_pool: impl FnMut(usize) -> P,
+    ) -> Result<Self, String> {
+        assert!(n_shards > 0, "need at least one shard");
+        let mut seeds = SplitMix64::new(per_shard_config.seed);
+        let route_seed = seeds.next();
+        let mut shards = Vec::with_capacity(n_shards);
+        for i in 0..n_shards {
+            let mut pm = make_pool(i);
+            let cfg = per_shard_config.with_seed(seeds.next());
+            let region = Region::new(0, GroupHash::<P, K, V>::required_size(&cfg));
+            if pm.len() < region.len {
+                return Err(format!(
+                    "shard {i} pool too small: {} < {}",
+                    pm.len(),
+                    region.len
+                ));
+            }
+            let table = GroupHash::create(&mut pm, region, cfg)?;
+            shards.push(Mutex::new(Shard { pm, table }));
+        }
+        Ok(ShardedGroupHash { shards, route_seed })
+    }
+
+    #[inline]
+    fn shard_of(&self, key: &K) -> usize {
+        (key.hash64(self.route_seed) % self.shards.len() as u64) as usize
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Inserts `(key, value)` into the owning shard.
+    pub fn insert(&self, key: K, value: V) -> Result<(), InsertError> {
+        let mut s = self.shards[self.shard_of(&key)].lock();
+        let Shard { pm, table } = &mut *s;
+        table.insert(pm, key, value)
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let mut s = self.shards[self.shard_of(key)].lock();
+        let Shard { pm, table } = &mut *s;
+        table.get(pm, key)
+    }
+
+    /// Removes `key`, returning whether it was present.
+    pub fn remove(&self, key: &K) -> bool {
+        let mut s = self.shards[self.shard_of(key)].lock();
+        let Shard { pm, table } = &mut *s;
+        table.remove(pm, key)
+    }
+
+    /// Total entries across shards. Consistent only when quiescent.
+    pub fn len(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                let mut s = s.lock();
+                let Shard { pm, table } = &mut *s;
+                table.len(pm)
+            })
+            .sum()
+    }
+
+    /// True when every shard is empty. Consistent only when quiescent.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs recovery on every shard.
+    pub fn recover_all(&self) {
+        for s in &self.shards {
+            let mut s = s.lock();
+            let Shard { pm, table } = &mut *s;
+            table.recover(pm);
+        }
+    }
+
+    /// Checks consistency of every shard.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        for (i, s) in self.shards.iter().enumerate() {
+            let mut s = s.lock();
+            let Shard { pm, table } = &mut *s;
+            crate::analysis::check_consistency(table, pm).map_err(|e| format!("shard {i}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_pmem::{SimConfig, SimPmem};
+    use std::sync::Arc;
+
+    fn build(n_shards: usize) -> ShardedGroupHash<SimPmem, u64, u64> {
+        let cfg = GroupHashConfig::new(1 << 10, 64);
+        let size = GroupHash::<SimPmem, u64, u64>::required_size(&cfg);
+        ShardedGroupHash::create(n_shards, cfg, |_| {
+            SimPmem::new(size, SimConfig::fast_test())
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn single_thread_roundtrip() {
+        let t = build(4);
+        for k in 0..500u64 {
+            t.insert(k, k * 2).unwrap();
+        }
+        assert_eq!(t.len(), 500);
+        for k in 0..500u64 {
+            assert_eq!(t.get(&k), Some(k * 2));
+        }
+        for k in 0..250u64 {
+            assert!(t.remove(&k));
+        }
+        assert_eq!(t.len(), 250);
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let t = build(8);
+        for k in 0..2000u64 {
+            t.insert(k, k).unwrap();
+        }
+        // Every shard should own a non-trivial share.
+        let per_shard: Vec<u64> = t
+            .shards
+            .iter()
+            .map(|s| {
+                let mut s = s.lock();
+                let Shard { pm, table } = &mut *s;
+                table.len(pm)
+            })
+            .collect();
+        assert!(per_shard.iter().all(|&n| n > 100), "{per_shard:?}");
+    }
+
+    #[test]
+    fn concurrent_inserts_and_reads() {
+        let t = Arc::new(build(8));
+        let threads: Vec<_> = (0..4u64)
+            .map(|tid| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        let k = tid * 10_000 + i;
+                        t.insert(k, k + 1).unwrap();
+                        assert_eq!(t.get(&k), Some(k + 1));
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(t.len(), 2000);
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn concurrent_mixed_workload() {
+        let t = Arc::new(build(4));
+        for k in 0..1000u64 {
+            t.insert(k, k).unwrap();
+        }
+        let threads: Vec<_> = (0..4u64)
+            .map(|tid| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    let lo = tid * 250;
+                    for k in lo..lo + 250 {
+                        assert_eq!(t.get(&k), Some(k));
+                        assert!(t.remove(&k));
+                        assert_eq!(t.get(&k), None);
+                        t.insert(k, k + 7).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(t.len(), 1000);
+        for k in 0..1000u64 {
+            assert_eq!(t.get(&k), Some(k + 7));
+        }
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn recover_all_shards() {
+        let t = build(3);
+        for k in 0..300u64 {
+            t.insert(k, k).unwrap();
+        }
+        t.recover_all();
+        assert_eq!(t.len(), 300);
+        t.check_consistency().unwrap();
+    }
+}

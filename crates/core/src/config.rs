@@ -1,0 +1,266 @@
+//! Construction parameters and ablation knobs for [`GroupHash`].
+//!
+//! [`GroupHash`]: crate::GroupHash
+
+/// How updates are committed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommitStrategy {
+    /// The paper's design: persist the cell, then atomically flip its
+    /// occupancy bit (8-byte failure-atomic write). No duplicate copies.
+    #[default]
+    AtomicBitmap,
+    /// Ablation: force every update through an undo-log transaction, like
+    /// the `-L` baselines. Quantifies exactly what the bitmap commit saves.
+    UndoLog,
+}
+
+/// Physical placement of a group's collision-resolution cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProbeLayout {
+    /// The paper's design: group *i* of level 2 is the contiguous range
+    /// `[i * group_size, (i+1) * group_size)`.
+    #[default]
+    Contiguous,
+    /// Ablation: the same *partition* of cells into groups, but group *i*
+    /// owns cells `{i + j * n_groups}` — every probe step jumps
+    /// `n_groups` cells, destroying spatial locality while keeping the
+    /// collision combinatorics identical. Isolates the value of group
+    /// sharing's contiguity (the paper's observation 2).
+    Strided,
+}
+
+/// How many hash functions address level 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChoiceMode {
+    /// The paper's design: one hash function; collisions go to the single
+    /// matched group. Best locality, ~82 % utilization.
+    #[default]
+    Single,
+    /// The extension the paper sketches in §4.4: a second hash function
+    /// gives each key two candidate slots and two candidate groups,
+    /// raising utilization at the cost of probing two scattered regions
+    /// ("the continuity of the collision resolution cells is damaged").
+    TwoChoice,
+}
+
+/// Where the global `count` lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CountMode {
+    /// The paper's design: `count` is persistent and updated with
+    /// `AtomicInc + Persist` on every insert/delete (one extra flush per
+    /// operation); recovery repairs at most one lost update.
+    #[default]
+    Persistent,
+    /// Ablation: `count` is DRAM-resident and rebuilt from the bitmaps on
+    /// open/recovery, trading one flush per update for a full-table scan
+    /// at recovery (which Algorithm 4 performs anyway).
+    Volatile,
+}
+
+/// Parameters for creating a group hash table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupHashConfig {
+    /// Cells per level. The table's total capacity is `2 * cells_per_level`.
+    /// Must be a power of two.
+    pub cells_per_level: u64,
+    /// Cells per group (the paper's default is 256). Must be a power of
+    /// two dividing `cells_per_level`.
+    pub group_size: u64,
+    /// Hash seed (persisted; derives the hash function).
+    pub seed: u64,
+    pub commit: CommitStrategy,
+    pub probe: ProbeLayout,
+    pub count_mode: CountMode,
+    pub choice: ChoiceMode,
+}
+
+impl GroupHashConfig {
+    /// Paper-default knobs with the given geometry.
+    pub fn new(cells_per_level: u64, group_size: u64) -> Self {
+        GroupHashConfig {
+            cells_per_level,
+            group_size,
+            seed: 0x6772_6F75_7068_6173, // "grouphas"
+            commit: CommitStrategy::default(),
+            probe: ProbeLayout::default(),
+            count_mode: CountMode::default(),
+            choice: ChoiceMode::default(),
+        }
+    }
+
+    /// The paper's default group size.
+    pub const DEFAULT_GROUP_SIZE: u64 = 256;
+
+    /// Paper defaults sized for `total_cells` cells across both levels.
+    pub fn for_total_cells(total_cells: u64) -> Self {
+        assert!(total_cells >= 2, "need at least two cells");
+        let per_level = (total_cells / 2).next_power_of_two();
+        let per_level = if per_level > total_cells / 2 {
+            per_level / 2
+        } else {
+            per_level
+        };
+        let group = Self::DEFAULT_GROUP_SIZE.min(per_level);
+        GroupHashConfig::new(per_level.max(1), group.max(1))
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the commit strategy (ablation).
+    pub fn with_commit(mut self, commit: CommitStrategy) -> Self {
+        self.commit = commit;
+        self
+    }
+
+    /// Overrides the probe layout (ablation).
+    pub fn with_probe(mut self, probe: ProbeLayout) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// Overrides the count mode (ablation).
+    pub fn with_count_mode(mut self, count_mode: CountMode) -> Self {
+        self.count_mode = count_mode;
+        self
+    }
+
+    /// Overrides the choice mode (the paper's two-hash extension, §4.4).
+    pub fn with_choice(mut self, choice: ChoiceMode) -> Self {
+        self.choice = choice;
+        self
+    }
+
+    /// Validates the geometry.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.cells_per_level.is_power_of_two() {
+            return Err(format!(
+                "cells_per_level {} is not a power of two",
+                self.cells_per_level
+            ));
+        }
+        if !self.group_size.is_power_of_two() {
+            return Err(format!("group_size {} is not a power of two", self.group_size));
+        }
+        if self.group_size > self.cells_per_level {
+            return Err(format!(
+                "group_size {} exceeds cells_per_level {}",
+                self.group_size, self.cells_per_level
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of groups per level.
+    pub fn n_groups(&self) -> u64 {
+        self.cells_per_level / self.group_size
+    }
+
+    /// Packs the ablation knobs into a persisted flags word.
+    pub(crate) fn flags(&self) -> u64 {
+        let mut f = 0u64;
+        if self.commit == CommitStrategy::UndoLog {
+            f |= 1;
+        }
+        if self.probe == ProbeLayout::Strided {
+            f |= 2;
+        }
+        if self.count_mode == CountMode::Volatile {
+            f |= 4;
+        }
+        if self.choice == ChoiceMode::TwoChoice {
+            f |= 8;
+        }
+        f
+    }
+
+    /// Inverse of [`GroupHashConfig::flags`].
+    pub(crate) fn from_persisted(
+        cells_per_level: u64,
+        group_size: u64,
+        seed: u64,
+        flags: u64,
+    ) -> Self {
+        GroupHashConfig {
+            cells_per_level,
+            group_size,
+            seed,
+            commit: if flags & 1 != 0 {
+                CommitStrategy::UndoLog
+            } else {
+                CommitStrategy::AtomicBitmap
+            },
+            probe: if flags & 2 != 0 {
+                ProbeLayout::Strided
+            } else {
+                ProbeLayout::Contiguous
+            },
+            count_mode: if flags & 4 != 0 {
+                CountMode::Volatile
+            } else {
+                CountMode::Persistent
+            },
+            choice: if flags & 8 != 0 {
+                ChoiceMode::TwoChoice
+            } else {
+                ChoiceMode::Single
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(GroupHashConfig::new(1024, 256).validate().is_ok());
+        assert!(GroupHashConfig::new(1000, 256).validate().is_err());
+        assert!(GroupHashConfig::new(1024, 100).validate().is_err());
+        assert!(GroupHashConfig::new(64, 128).validate().is_err());
+        assert!(GroupHashConfig::new(64, 64).validate().is_ok());
+    }
+
+    #[test]
+    fn for_total_cells_halves() {
+        let c = GroupHashConfig::for_total_cells(1 << 20);
+        assert_eq!(c.cells_per_level, 1 << 19);
+        assert_eq!(c.group_size, 256);
+        c.validate().unwrap();
+        // Tiny tables clamp the group size.
+        let tiny = GroupHashConfig::for_total_cells(64);
+        assert_eq!(tiny.cells_per_level, 32);
+        assert_eq!(tiny.group_size, 32);
+        tiny.validate().unwrap();
+    }
+
+    #[test]
+    fn flags_roundtrip() {
+        for commit in [CommitStrategy::AtomicBitmap, CommitStrategy::UndoLog] {
+            for probe in [ProbeLayout::Contiguous, ProbeLayout::Strided] {
+                for cm in [CountMode::Persistent, CountMode::Volatile] {
+                    for ch in [ChoiceMode::Single, ChoiceMode::TwoChoice] {
+                        let c = GroupHashConfig::new(256, 16)
+                            .with_commit(commit)
+                            .with_probe(probe)
+                            .with_count_mode(cm)
+                            .with_choice(ch)
+                            .with_seed(99);
+                        let r = GroupHashConfig::from_persisted(256, 16, 99, c.flags());
+                        assert_eq!(c, r);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn n_groups() {
+        assert_eq!(GroupHashConfig::new(1024, 256).n_groups(), 4);
+        assert_eq!(GroupHashConfig::new(1024, 1024).n_groups(), 1);
+    }
+}

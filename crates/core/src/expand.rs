@@ -1,0 +1,142 @@
+//! Capacity expansion.
+//!
+//! Algorithm 1 returns *table full* when a key's matched group has no free
+//! cell; the paper notes "the capacity of the hash table needs to be
+//! expanded" without giving a mechanism. This module provides the natural
+//! one: build a larger table in a fresh region and rehash every entry into
+//! it. The rehash is crash-safe without any extra machinery because the
+//! source table is never modified and the destination is only *valid* once
+//! its header (written last during `create`) carries the magic word; a
+//! crash mid-expansion simply leaves the old table authoritative.
+
+use crate::config::GroupHashConfig;
+use crate::table::GroupHash;
+use nvm_hashfn::{HashKey, Pod};
+use nvm_pmem::{Pmem, Region};
+use nvm_table::InsertError;
+
+impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
+    /// Creates a new table in `dst_region` with `dst_config` and rehashes
+    /// every entry of `self` into it. Returns the new table.
+    ///
+    /// Fails with [`InsertError::TableFull`] if the destination cannot fit
+    /// some entry (callers normally double `cells_per_level`).
+    pub fn expand_into(
+        &self,
+        pm: &mut P,
+        dst_region: Region,
+        dst_config: GroupHashConfig,
+    ) -> Result<GroupHash<P, K, V>, ExpandError> {
+        let mut dst =
+            GroupHash::create(pm, dst_region, dst_config).map_err(ExpandError::Create)?;
+        // Collect first: both tables live in the same pool and the visitor
+        // borrows `pm` for reads.
+        let mut entries = Vec::with_capacity(self.len(pm) as usize);
+        self.for_each_entry(pm, |k, v| entries.push((k, v)));
+        for (k, v) in entries {
+            dst.insert(pm, k, v).map_err(ExpandError::Insert)?;
+        }
+        Ok(dst)
+    }
+
+    /// Convenience: a doubled-geometry configuration preserving seed and
+    /// ablation knobs.
+    pub fn doubled_config(&self) -> GroupHashConfig {
+        let mut c = *self.config();
+        c.cells_per_level *= 2;
+        c
+    }
+}
+
+/// Why an expansion failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExpandError {
+    /// Destination region/config invalid.
+    Create(String),
+    /// An entry did not fit in the destination (pathological geometry).
+    Insert(InsertError),
+}
+
+impl std::fmt::Display for ExpandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExpandError::Create(e) => write!(f, "creating destination table: {e}"),
+            ExpandError::Insert(e) => write!(f, "rehashing entry: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExpandError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_pmem::{SimConfig, SimPmem};
+    use nvm_table::HashScheme;
+
+    #[test]
+    fn expansion_preserves_entries() {
+        let cfg = GroupHashConfig::new(128, 16);
+        let small = GroupHash::<SimPmem, u64, u64>::required_size(&cfg);
+        let big_cfg = GroupHashConfig::new(256, 16).with_seed(cfg.seed);
+        let big = GroupHash::<SimPmem, u64, u64>::required_size(&big_cfg);
+        let mut pm = SimPmem::new(small + big + 128, SimConfig::fast_test());
+
+        let mut t =
+            GroupHash::<SimPmem, u64, u64>::create(&mut pm, Region::new(0, small), cfg).unwrap();
+        for k in 0..100u64 {
+            t.insert(&mut pm, k, k * 3).unwrap();
+        }
+        let t2 = t
+            .expand_into(&mut pm, Region::new(small, big + 128), big_cfg)
+            .unwrap();
+        assert_eq!(t2.len(&mut pm), 100);
+        for k in 0..100u64 {
+            assert_eq!(t2.get(&mut pm, &k), Some(k * 3));
+        }
+        t2.check_consistency(&mut pm).unwrap();
+        // Source untouched.
+        assert_eq!(t.len(&mut pm), 100);
+        t.check_consistency(&mut pm).unwrap();
+    }
+
+    #[test]
+    fn doubled_config_doubles_cells() {
+        let cfg = GroupHashConfig::new(128, 16);
+        let size = GroupHash::<SimPmem, u64, u64>::required_size(&cfg);
+        let mut pm = SimPmem::new(size, SimConfig::fast_test());
+        let t = GroupHash::<SimPmem, u64, u64>::create(&mut pm, Region::new(0, size), cfg)
+            .unwrap();
+        let d = t.doubled_config();
+        assert_eq!(d.cells_per_level, 256);
+        assert_eq!(d.group_size, 16);
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn expansion_after_table_full() {
+        // Fill a single-group table until full, then expand and continue.
+        let cfg = GroupHashConfig::new(32, 32);
+        let small = GroupHash::<SimPmem, u64, u64>::required_size(&cfg);
+        let big_cfg = GroupHashConfig::new(128, 32);
+        let big = GroupHash::<SimPmem, u64, u64>::required_size(&big_cfg);
+        let mut pm = SimPmem::new(small + big + 128, SimConfig::fast_test());
+        let mut t =
+            GroupHash::<SimPmem, u64, u64>::create(&mut pm, Region::new(0, small), cfg).unwrap();
+        let mut k = 0u64;
+        let full_at = loop {
+            match t.insert(&mut pm, k, k) {
+                Ok(()) => k += 1,
+                Err(InsertError::TableFull) => break k,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        };
+        let mut t2 = t
+            .expand_into(&mut pm, Region::new(small, big + 128), big_cfg)
+            .unwrap();
+        // The key that failed now fits.
+        t2.insert(&mut pm, full_at, full_at).unwrap();
+        assert_eq!(t2.len(&mut pm), t.len(&mut pm) + 1);
+        t2.check_consistency(&mut pm).unwrap();
+    }
+}

@@ -1,0 +1,212 @@
+//! Automatic capacity growth.
+//!
+//! Algorithm 1 returns *table full* when a key's matched group has no
+//! free cell; [`GroupHash::expand_into`] rehashes into a larger table.
+//! `ResizingGroupHash` automates the loop for applications that do not
+//! want to manage pools themselves: it owns the current `(pool, table)`
+//! pair plus a pool factory, and on a full insert builds a table with
+//! doubled `cells_per_level` in a fresh pool, migrates, and retries.
+//!
+//! Crash safety across a resize follows from `expand_into`'s argument:
+//! the old pool is never modified during migration and the new table
+//! becomes valid only when its header's magic commits; a crash mid-resize
+//! leaves the old pool authoritative. (With volatile pools the point is
+//! moot; with image-backed pools the application persists the *new* image
+//! and only then retires the old one.)
+
+use crate::config::GroupHashConfig;
+use crate::table::GroupHash;
+use nvm_hashfn::{HashKey, Pod};
+use nvm_pmem::{Pmem, Region};
+use nvm_table::InsertError;
+
+/// A group hash table that grows itself when an insert finds its group
+/// full.
+pub struct ResizingGroupHash<P: Pmem, K: HashKey, V: Pod> {
+    pm: P,
+    table: GroupHash<P, K, V>,
+    make_pool: Box<dyn FnMut(usize) -> P + Send>,
+    resizes: u32,
+}
+
+impl<P: Pmem, K: HashKey, V: Pod> ResizingGroupHash<P, K, V> {
+    /// Creates the initial table with `config` in a pool from
+    /// `make_pool(bytes)`.
+    pub fn create(
+        config: GroupHashConfig,
+        mut make_pool: impl FnMut(usize) -> P + Send + 'static,
+    ) -> Result<Self, String> {
+        let size = GroupHash::<P, K, V>::required_size(&config);
+        let mut pm = make_pool(size);
+        if pm.len() < size {
+            return Err(format!("factory pool too small: {} < {size}", pm.len()));
+        }
+        let table = GroupHash::create(&mut pm, Region::new(0, size), config)?;
+        Ok(ResizingGroupHash {
+            pm,
+            table,
+            make_pool: Box::new(make_pool),
+            resizes: 0,
+        })
+    }
+
+    /// Doubles capacity: new pool, rehash, swap.
+    fn grow(&mut self) -> Result<(), InsertError> {
+        let new_cfg = self.table.doubled_config();
+        let size = GroupHash::<P, K, V>::required_size(&new_cfg);
+        let mut new_pm = (self.make_pool)(size);
+        assert!(new_pm.len() >= size, "factory pool too small for resize");
+        let mut new_table = GroupHash::create(&mut new_pm, Region::new(0, size), new_cfg)
+            .expect("doubled config is valid");
+
+        // Migrate via bulk load (amortized persists; crash-safe per
+        // bulk_load's phase argument).
+        let mut entries = Vec::with_capacity(self.table.len(&mut self.pm) as usize);
+        self.table
+            .for_each_entry(&mut self.pm, |k, v| entries.push((k, v)));
+        let report = new_table.bulk_load(&mut new_pm, entries);
+        if report.rejected > 0 {
+            // Doubling not enough (pathological skew): caller retries and
+            // we grow again on the next failure.
+            debug_assert!(false, "doubling rejected {} entries", report.rejected);
+        }
+        self.pm = new_pm;
+        self.table = new_table;
+        self.resizes += 1;
+        Ok(())
+    }
+
+    /// Inserts, growing as needed (at most a few attempts; each doubles).
+    pub fn insert(&mut self, key: K, value: V) -> Result<(), InsertError> {
+        for _ in 0..4 {
+            match self.table.insert(&mut self.pm, key, value) {
+                Ok(()) => return Ok(()),
+                Err(InsertError::TableFull) => self.grow()?,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(InsertError::TableFull)
+    }
+
+    /// Looks up `key`.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.table.get(&mut self.pm, key)
+    }
+
+    /// Removes `key`.
+    pub fn remove(&mut self, key: &K) -> bool {
+        self.table.remove(&mut self.pm, key)
+    }
+
+    /// Updates an existing key's value in place.
+    pub fn update_in_place(&mut self, key: &K, value: V) -> bool {
+        self.table.update_in_place(&mut self.pm, key, value)
+    }
+
+    /// Entries stored.
+    pub fn len(&mut self) -> u64 {
+        self.table.len(&mut self.pm)
+    }
+
+    /// True when empty.
+    pub fn is_empty(&mut self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total cells of the current table.
+    pub fn capacity(&self) -> u64 {
+        self.table.capacity()
+    }
+
+    /// How many times the table has grown.
+    pub fn resizes(&self) -> u32 {
+        self.resizes
+    }
+
+    /// Access to the current pool and table (e.g. for consistency checks
+    /// or saving the pool image).
+    pub fn parts_mut(&mut self) -> (&mut P, &GroupHash<P, K, V>) {
+        (&mut self.pm, &self.table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_pmem::{SimConfig, SimPmem};
+    use nvm_table::HashScheme;
+
+    fn make(initial_cells_per_level: u64) -> ResizingGroupHash<SimPmem, u64, u64> {
+        let cfg = GroupHashConfig::new(initial_cells_per_level, 16.min(initial_cells_per_level));
+        ResizingGroupHash::create(cfg, |size| SimPmem::new(size, SimConfig::fast_test()))
+            .unwrap()
+    }
+
+    #[test]
+    fn grows_transparently_past_initial_capacity() {
+        let mut t = make(32); // initial capacity 64 cells
+        for k in 0..1000u64 {
+            t.insert(k, k * 3).unwrap();
+        }
+        assert_eq!(t.len(), 1000);
+        assert!(t.resizes() >= 4, "resizes: {}", t.resizes());
+        assert!(t.capacity() >= 1000);
+        for k in 0..1000u64 {
+            assert_eq!(t.get(&k), Some(k * 3), "key {k}");
+        }
+        let (pm, table) = t.parts_mut();
+        table.check_consistency(pm).unwrap();
+    }
+
+    #[test]
+    fn removals_and_updates_survive_growth() {
+        let mut t = make(32);
+        for k in 0..400u64 {
+            t.insert(k, k).unwrap();
+        }
+        for k in (0..400u64).step_by(2) {
+            assert!(t.remove(&k));
+        }
+        for k in (1..400u64).step_by(2) {
+            assert!(t.update_in_place(&k, k + 9000));
+        }
+        for k in 400..800u64 {
+            t.insert(k, k).unwrap(); // more growth after deletions
+        }
+        assert_eq!(t.len(), 200 + 400);
+        for k in (1..400u64).step_by(2) {
+            assert_eq!(t.get(&k), Some(k + 9000));
+        }
+        for k in (0..400u64).step_by(2) {
+            assert_eq!(t.get(&k), None);
+        }
+        let (pm, table) = t.parts_mut();
+        table.check_consistency(pm).unwrap();
+    }
+
+    #[test]
+    fn no_growth_when_capacity_suffices() {
+        let mut t = make(1 << 10);
+        for k in 0..500u64 {
+            t.insert(k, k).unwrap();
+        }
+        assert_eq!(t.resizes(), 0);
+    }
+
+    #[test]
+    fn preserves_config_knobs_across_growth() {
+        use crate::config::ChoiceMode;
+        let cfg = GroupHashConfig::new(32, 16).with_choice(ChoiceMode::TwoChoice);
+        let mut t = ResizingGroupHash::<SimPmem, u64, u64>::create(cfg, |size| {
+            SimPmem::new(size, SimConfig::fast_test())
+        })
+        .unwrap();
+        for k in 0..500u64 {
+            t.insert(k, k).unwrap();
+        }
+        assert!(t.resizes() > 0);
+        let (pm, table) = t.parts_mut();
+        assert_eq!(table.config().choice, ChoiceMode::TwoChoice);
+        table.check_consistency(pm).unwrap();
+    }
+}

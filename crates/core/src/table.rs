@@ -1,0 +1,907 @@
+//! The group hash table: layout, Algorithms 1–4, and the
+//! [`HashScheme`] implementation.
+
+use crate::config::{ChoiceMode, CommitStrategy, CountMode, GroupHashConfig, ProbeLayout};
+use nvm_hashfn::{HashKey, HashPair, Pod};
+use nvm_pmem::{Pmem, Region, RegionAllocator, CACHELINE};
+use nvm_table::{CellArray, HashScheme, InsertError, PmemBitmap, TableHeader};
+use nvm_wal::UndoLog;
+use std::marker::PhantomData;
+
+/// Magic word identifying a group-hash header ("GRPHASH1").
+const MAGIC: u64 = 0x4752_5048_4153_4831;
+
+/// Reserved undo-log footprint (used only by the forced-logging ablation,
+/// but always carved so the layout is config-independent).
+const LOG_BYTES: usize = 1024;
+
+/// Which level a cell index refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Level {
+    One,
+    Two,
+}
+
+/// The paper's hash table. See the crate docs for the design; all
+/// persistent state lives in the pool region handed to
+/// [`GroupHash::create`], and [`GroupHash::open`] reconstructs the table
+/// from that region alone.
+#[derive(Debug)]
+pub struct GroupHash<P: Pmem, K: HashKey, V: Pod> {
+    config: GroupHashConfig,
+    hash: HashPair,
+    header: TableHeader,
+    bitmap1: PmemBitmap,
+    bitmap2: PmemBitmap,
+    cells1: CellArray<K, V>,
+    cells2: CellArray<K, V>,
+    log: Option<UndoLog>,
+    /// Cached count for [`CountMode::Volatile`].
+    volatile_count: u64,
+    region: Region,
+    _marker: PhantomData<fn(&mut P)>,
+}
+
+impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
+    /// Carves `region` into the table's sub-regions. Deterministic, so
+    /// `open` can redo it from persisted geometry.
+    fn layout(
+        region: Region,
+        n: u64,
+    ) -> (Region, Region, Region, Region, Region, Region) {
+        let mut alloc = RegionAllocator::new(region.off, region.end());
+        let header = alloc.alloc_lines(TableHeader::SIZE);
+        let bitmap1 = alloc.alloc_lines(PmemBitmap::region_size(n).max(8));
+        let bitmap2 = alloc.alloc_lines(PmemBitmap::region_size(n).max(8));
+        let cells1 = alloc.alloc_lines(CellArray::<K, V>::region_size(n));
+        let cells2 = alloc.alloc_lines(CellArray::<K, V>::region_size(n));
+        let log = alloc.alloc_lines(LOG_BYTES);
+        (header, bitmap1, bitmap2, cells1, cells2, log)
+    }
+
+    /// Pool bytes needed for a table with this configuration.
+    pub fn required_size(config: &GroupHashConfig) -> usize {
+        let n = config.cells_per_level;
+        TableHeader::SIZE
+            + 2 * (PmemBitmap::region_size(n).max(8) + CACHELINE)
+            + 2 * (CellArray::<K, V>::region_size(n) + CACHELINE)
+            + LOG_BYTES
+            + 2 * CACHELINE
+    }
+
+    fn assemble(region: Region, config: GroupHashConfig, header: TableHeader) -> Self {
+        let n = config.cells_per_level;
+        let (_, b1, b2, c1, c2, log_r) = Self::layout(region, n);
+        let log = match config.commit {
+            CommitStrategy::UndoLog => Some(UndoLog::open(log_r)),
+            CommitStrategy::AtomicBitmap => None,
+        };
+        GroupHash {
+            config,
+            hash: HashPair::from_seed(config.seed),
+            header,
+            bitmap1: PmemBitmap::attach(b1, n),
+            bitmap2: PmemBitmap::attach(b2, n),
+            cells1: CellArray::attach(c1, n),
+            cells2: CellArray::attach(c2, n),
+            log,
+            volatile_count: 0,
+            region,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Creates and initializes a fresh table in `region`.
+    pub fn create(pm: &mut P, region: Region, config: GroupHashConfig) -> Result<Self, String> {
+        config.validate()?;
+        let need = Self::required_size(&config);
+        if region.len < need {
+            return Err(format!("region too small: {} < {need}", region.len));
+        }
+        let n = config.cells_per_level;
+        let (h_r, b1, b2, _c1, _c2, log_r) = Self::layout(region, n);
+        // Cells are left as-is: the bitmap decides occupancy, and recovery
+        // only trusts cells whose bit is set.
+        PmemBitmap::create(pm, b1, n);
+        PmemBitmap::create(pm, b2, n);
+        if config.commit == CommitStrategy::UndoLog {
+            UndoLog::create(pm, log_r);
+        }
+        let header = TableHeader::create(
+            pm,
+            h_r,
+            MAGIC,
+            config.seed,
+            &[n, config.group_size, K::SIZE as u64, V::SIZE as u64, config.flags()],
+        );
+        Ok(Self::assemble(region, config, header))
+    }
+
+    /// Header location (first allocation of `layout`), computable without
+    /// the geometry — `open` must validate the header before running the
+    /// full layout, or a bogus region would panic instead of erroring.
+    fn header_region(region: Region) -> Region {
+        Region::new(
+            nvm_pmem::align_up(region.off, CACHELINE),
+            TableHeader::SIZE,
+        )
+    }
+
+    /// Re-opens a table previously created in `region` (e.g. after a
+    /// crash). Call [`GroupHash::recover`] before using it.
+    pub fn open(pm: &mut P, region: Region) -> Result<Self, String> {
+        let h_r = Self::header_region(region);
+        if !region.contains(h_r.off, h_r.len) {
+            return Err("region too small for a table header".into());
+        }
+        let header = TableHeader::open(pm, h_r, MAGIC)?;
+        let n = header.geometry(pm, 0);
+        let group_size = header.geometry(pm, 1);
+        let key_size = header.geometry(pm, 2);
+        let value_size = header.geometry(pm, 3);
+        let flags = header.geometry(pm, 4);
+        if key_size != K::SIZE as u64 || value_size != V::SIZE as u64 {
+            return Err(format!(
+                "type mismatch: persisted K/V sizes {key_size}/{value_size}, \
+                 requested {}/{}",
+                K::SIZE,
+                V::SIZE
+            ));
+        }
+        let seed = header.seed(pm);
+        let config = GroupHashConfig::from_persisted(n, group_size, seed, flags);
+        config.validate()?;
+        if region.len < Self::required_size(&config) {
+            return Err("region smaller than persisted geometry requires".into());
+        }
+        let mut t = Self::assemble(region, config, header);
+        if t.config.count_mode == CountMode::Volatile {
+            t.volatile_count = t.bitmap1.count_ones(pm) + t.bitmap2.count_ones(pm);
+        }
+        Ok(t)
+    }
+
+    /// The configuration (as persisted).
+    pub fn config(&self) -> &GroupHashConfig {
+        &self.config
+    }
+
+    /// The pool region this table occupies.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// Level-1 slot for `key` (the paper's `k = h(key)`).
+    #[inline]
+    pub fn slot_of(&self, key: &K) -> u64 {
+        self.hash.h1(key) & (self.config.cells_per_level - 1)
+    }
+
+    /// Second candidate slot under [`ChoiceMode::TwoChoice`]; `None` in the
+    /// paper's single-hash design or when both hashes coincide.
+    #[inline]
+    pub fn slot2_of(&self, key: &K) -> Option<u64> {
+        match self.config.choice {
+            ChoiceMode::Single => None,
+            ChoiceMode::TwoChoice => {
+                let s2 = self.hash.h2(key) & (self.config.cells_per_level - 1);
+                (s2 != self.slot_of(key)).then_some(s2)
+            }
+        }
+    }
+
+    /// Group number of level-1 slot `k`.
+    #[inline]
+    fn group_of(&self, k: u64) -> u64 {
+        k / self.config.group_size
+    }
+
+    /// The `i`-th level-2 cell of group `g` under the configured layout.
+    #[inline]
+    fn group_cell(&self, g: u64, i: u64) -> u64 {
+        match self.config.probe {
+            ProbeLayout::Contiguous => g * self.config.group_size + i,
+            ProbeLayout::Strided => g + i * self.config.n_groups(),
+        }
+    }
+
+    /// Group that owns level-2 cell `idx` (inverse of `group_cell`).
+    #[inline]
+    fn group_of_l2(&self, idx: u64) -> u64 {
+        match self.config.probe {
+            ProbeLayout::Contiguous => idx / self.config.group_size,
+            ProbeLayout::Strided => idx % self.config.n_groups(),
+        }
+    }
+
+    fn bump_count(&mut self, pm: &mut P, up: bool) {
+        match self.config.count_mode {
+            CountMode::Persistent => {
+                if up {
+                    self.header.inc_count(pm);
+                } else {
+                    self.header.dec_count(pm);
+                }
+            }
+            CountMode::Volatile => {
+                if up {
+                    self.volatile_count += 1;
+                } else {
+                    self.volatile_count -= 1;
+                }
+            }
+        }
+    }
+
+    /// Sets the count to an absolute value with the usual atomic+persist
+    /// commit (bulk operations).
+    pub(crate) fn set_count_committed(&mut self, pm: &mut P, count: u64) {
+        match self.config.count_mode {
+            CountMode::Persistent => self.header.set_count(pm, count),
+            CountMode::Volatile => self.volatile_count = count,
+        }
+    }
+
+    fn level_parts(&self, level: Level) -> (PmemBitmap, CellArray<K, V>) {
+        match level {
+            Level::One => (self.bitmap1, self.cells1),
+            Level::Two => (self.bitmap2, self.cells2),
+        }
+    }
+
+    /// Commits an insert at `(level, idx)`: Algorithm 1 lines 4–9 / 16–21.
+    fn commit_insert(&mut self, pm: &mut P, level: Level, idx: u64, key: &K, value: &V) {
+        let (bitmap, cells) = self.level_parts(level);
+        if self.config.commit == CommitStrategy::UndoLog {
+            // Ablation: duplicate-copy the touched ranges first.
+            let count_off = self.header.count_off();
+            let log = self.log.as_mut().expect("undo log present");
+            log.begin(pm);
+            log.record(pm, cells.cell_off(idx), cells.entry_len());
+            log.record(pm, bitmap.word_off_of(idx), 8);
+            if self.config.count_mode == CountMode::Persistent {
+                log.record(pm, count_off, 8);
+            }
+            log.seal(pm);
+        }
+        cells.write_entry(pm, idx, key, value);
+        cells.persist_entry(pm, idx);
+        bitmap.set_and_persist(pm, idx, true);
+        self.bump_count(pm, true);
+        if self.config.commit == CommitStrategy::UndoLog {
+            self.log.as_mut().expect("undo log present").commit(pm);
+        }
+    }
+
+    /// Commits a delete at `(level, idx)`: Algorithm 3 lines 4–9 / 16–21.
+    /// Note the inverted order versus insert: the bit is cleared *first*,
+    /// so a crash mid-erase leaves an unreferenced (bit = 0) cell that
+    /// recovery wipes.
+    fn commit_delete(&mut self, pm: &mut P, level: Level, idx: u64) {
+        let (bitmap, cells) = self.level_parts(level);
+        if self.config.commit == CommitStrategy::UndoLog {
+            let count_off = self.header.count_off();
+            let log = self.log.as_mut().expect("undo log present");
+            log.begin(pm);
+            log.record(pm, bitmap.word_off_of(idx), 8);
+            log.record(pm, cells.cell_off(idx), cells.entry_len());
+            if self.config.count_mode == CountMode::Persistent {
+                log.record(pm, count_off, 8);
+            }
+            log.seal(pm);
+        }
+        bitmap.set_and_persist(pm, idx, false);
+        cells.clear_entry(pm, idx);
+        cells.persist_entry(pm, idx);
+        self.bump_count(pm, false);
+        if self.config.commit == CommitStrategy::UndoLog {
+            self.log.as_mut().expect("undo log present").commit(pm);
+        }
+    }
+
+    /// Finds an empty level-2 cell in group `g`, honouring the probe
+    /// layout.
+    fn find_free_in_group(&self, pm: &mut P, g: u64) -> Option<u64> {
+        match self.config.probe {
+            ProbeLayout::Contiguous => {
+                let start = g * self.config.group_size;
+                self.bitmap2.find_zero_in_range(pm, start, self.config.group_size)
+            }
+            ProbeLayout::Strided => {
+                for i in 0..self.config.group_size {
+                    let idx = self.group_cell(g, i);
+                    if !self.bitmap2.get(pm, idx) {
+                        return Some(idx);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Scans group `g`'s level-2 cells for `key`; returns the cell index.
+    ///
+    /// In the contiguous layout the scan is word-wise: one bitmap read
+    /// covers 64 cells, and the occupied cells are then compared in
+    /// ascending address order — an access pattern the hardware stream
+    /// prefetcher locks onto (the mechanism behind the paper's
+    /// "a single memory access can prefetch the following cells").
+    fn find_key_in_group(&self, pm: &mut P, g: u64, key: &K) -> Option<u64> {
+        match self.config.probe {
+            ProbeLayout::Contiguous => {
+                let start = g * self.config.group_size;
+                let end = start + self.config.group_size;
+                let mut base = start;
+                while base < end {
+                    let mut word = self.bitmap2.word_containing(pm, base);
+                    // Mask off bits outside [start, end) within this word
+                    // (only relevant for groups smaller than 64).
+                    let lo = base % 64;
+                    if lo != 0 {
+                        word &= u64::MAX << lo;
+                    }
+                    let word_base = base - lo;
+                    let span = (end - word_base).min(64);
+                    if span < 64 {
+                        word &= (1u64 << span) - 1;
+                    }
+                    while word != 0 {
+                        let bit = word.trailing_zeros() as u64;
+                        let idx = word_base + bit;
+                        if self.cells2.read_key(pm, idx) == *key {
+                            return Some(idx);
+                        }
+                        word &= word - 1;
+                    }
+                    base = word_base + 64;
+                }
+                None
+            }
+            ProbeLayout::Strided => {
+                for i in 0..self.config.group_size {
+                    let idx = self.group_cell(g, i);
+                    if self.bitmap2.get(pm, idx) && self.cells2.read_key(pm, idx) == *key {
+                        return Some(idx);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Candidate level-1 slots for `key`, primary first.
+    #[inline]
+    fn candidate_slots(&self, key: &K) -> (u64, Option<u64>) {
+        (self.slot_of(key), self.slot2_of(key))
+    }
+
+    /// Algorithm 1 (with the §4.4 two-choice extension when configured:
+    /// try the second slot and the second matched group before giving up).
+    pub fn insert(&mut self, pm: &mut P, key: K, value: V) -> Result<(), InsertError> {
+        let (k1, k2) = self.candidate_slots(&key);
+        if !self.bitmap1.get(pm, k1) {
+            self.commit_insert(pm, Level::One, k1, &key, &value);
+            return Ok(());
+        }
+        if let Some(k2) = k2 {
+            if !self.bitmap1.get(pm, k2) {
+                self.commit_insert(pm, Level::One, k2, &key, &value);
+                return Ok(());
+            }
+        }
+        let g1 = self.group_of(k1);
+        if let Some(idx) = self.find_free_in_group(pm, g1) {
+            self.commit_insert(pm, Level::Two, idx, &key, &value);
+            return Ok(());
+        }
+        if let Some(k2) = k2 {
+            let g2 = self.group_of(k2);
+            if g2 != g1 {
+                if let Some(idx) = self.find_free_in_group(pm, g2) {
+                    self.commit_insert(pm, Level::Two, idx, &key, &value);
+                    return Ok(());
+                }
+            }
+        }
+        // "If there are no empty cells in the matched group, the
+        // capacity of the hash table needs to be expanded."
+        Err(InsertError::TableFull)
+    }
+
+    /// Algorithm 2.
+    pub fn get(&self, pm: &mut P, key: &K) -> Option<V> {
+        self.locate(pm, key)
+            .map(|(level, idx)| match level {
+                Level::One => self.cells1.read_value(pm, idx),
+                Level::Two => self.cells2.read_value(pm, idx),
+            })
+    }
+
+    /// Finds the `(level, cell)` holding `key`, probing the candidate
+    /// slot(s) then the matched group(s).
+    fn locate(&self, pm: &mut P, key: &K) -> Option<(Level, u64)> {
+        let (k1, k2) = self.candidate_slots(key);
+        if self.bitmap1.get(pm, k1) && self.cells1.read_key(pm, k1) == *key {
+            return Some((Level::One, k1));
+        }
+        if let Some(k2) = k2 {
+            if self.bitmap1.get(pm, k2) && self.cells1.read_key(pm, k2) == *key {
+                return Some((Level::One, k2));
+            }
+        }
+        let g1 = self.group_of(k1);
+        if let Some(idx) = self.find_key_in_group(pm, g1, key) {
+            return Some((Level::Two, idx));
+        }
+        if let Some(k2) = k2 {
+            let g2 = self.group_of(k2);
+            if g2 != g1 {
+                if let Some(idx) = self.find_key_in_group(pm, g2, key) {
+                    return Some((Level::Two, idx));
+                }
+            }
+        }
+        None
+    }
+
+    /// Updates the value of an existing `key` in place, returning whether
+    /// the key was found.
+    ///
+    /// The value bytes are overwritten and persisted where they are. For
+    /// values of 8 bytes or less this is **failure-atomic** (the write is
+    /// a single aligned store — cells are 8-byte aligned and the key
+    /// prefix is a multiple of 8 for all provided key types): a crash
+    /// leaves either the old or the new value. For larger values a crash
+    /// mid-update can tear at 8-byte granularity; use remove+insert (or
+    /// an indirection pointer as `nvm-kv` does) when multi-word values
+    /// must switch atomically.
+    pub fn update_in_place(&mut self, pm: &mut P, key: &K, value: V) -> bool {
+        match self.locate(pm, key) {
+            Some((level, idx)) => {
+                let (_, cells) = self.level_parts(level);
+                let mut buf = [0u8; 64];
+                debug_assert!(V::SIZE <= 64);
+                value.write_to(&mut buf[..V::SIZE]);
+                let off = cells.cell_off(idx) + K::SIZE;
+                pm.write(off, &buf[..V::SIZE]);
+                pm.persist(off, V::SIZE);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Algorithm 3.
+    pub fn remove(&mut self, pm: &mut P, key: &K) -> bool {
+        match self.locate(pm, key) {
+            Some((level, idx)) => {
+                self.commit_delete(pm, level, idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Algorithm 4: post-crash recovery. Scans the whole table, erases any
+    /// cell whose occupancy bit is clear (wiping partial inserts/deletes),
+    /// and recounts `count`. Idempotent; O(capacity).
+    pub fn recover(&mut self, pm: &mut P) {
+        // Forced-logging ablation: roll back an in-flight transaction
+        // before trusting the cells.
+        if let Some(log) = self.log.as_mut() {
+            log.recover(pm);
+        }
+        let n = self.config.cells_per_level;
+        let mut count = 0u64;
+        for i in 0..n {
+            for level in [Level::One, Level::Two] {
+                let (bitmap, cells) = self.level_parts(level);
+                if bitmap.get(pm, i) {
+                    count += 1;
+                } else if !cells.is_zeroed(pm, i) {
+                    // The paper resets unconditionally; skipping the write
+                    // when already zero is state-identical and saves NVM
+                    // writes.
+                    cells.clear_entry(pm, i);
+                    cells.persist_entry(pm, i);
+                }
+            }
+        }
+        match self.config.count_mode {
+            CountMode::Persistent => self.header.set_count(pm, count),
+            CountMode::Volatile => self.volatile_count = count,
+        }
+    }
+
+    /// Occupied cells.
+    pub fn len(&self, pm: &mut P) -> u64 {
+        match self.config.count_mode {
+            CountMode::Persistent => self.header.count(pm),
+            CountMode::Volatile => self.volatile_count,
+        }
+    }
+
+    /// True when no cell is occupied.
+    pub fn is_empty(&self, pm: &mut P) -> bool {
+        self.len(pm) == 0
+    }
+
+    /// Total cells across both levels.
+    pub fn capacity(&self) -> u64 {
+        2 * self.config.cells_per_level
+    }
+
+    /// Visits every stored `(key, value)` pair. Level 1 first, then level
+    /// 2, each in index order.
+    pub fn for_each_entry(&self, pm: &mut P, mut f: impl FnMut(K, V)) {
+        let n = self.config.cells_per_level;
+        for level in [Level::One, Level::Two] {
+            let (bitmap, cells) = self.level_parts(level);
+            for i in 0..n {
+                if bitmap.get(pm, i) {
+                    f(cells.read_key(pm, i), cells.read_value(pm, i));
+                }
+            }
+        }
+    }
+
+    // ---- crate-internal accessors for analysis/expansion ----
+
+    pub(crate) fn parts(
+        &self,
+    ) -> (
+        &GroupHashConfig,
+        PmemBitmap,
+        PmemBitmap,
+        CellArray<K, V>,
+        CellArray<K, V>,
+    ) {
+        (&self.config, self.bitmap1, self.bitmap2, self.cells1, self.cells2)
+    }
+
+    pub(crate) fn group_of_l2_cell(&self, idx: u64) -> u64 {
+        self.group_of_l2(idx)
+    }
+}
+
+impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for GroupHash<P, K, V> {
+    fn name(&self) -> &'static str {
+        "group"
+    }
+
+    fn insert(&mut self, pm: &mut P, key: K, value: V) -> Result<(), InsertError> {
+        GroupHash::insert(self, pm, key, value)
+    }
+
+    fn get(&self, pm: &mut P, key: &K) -> Option<V> {
+        GroupHash::get(self, pm, key)
+    }
+
+    fn remove(&mut self, pm: &mut P, key: &K) -> bool {
+        GroupHash::remove(self, pm, key)
+    }
+
+    fn len(&self, pm: &mut P) -> u64 {
+        GroupHash::len(self, pm)
+    }
+
+    fn capacity(&self) -> u64 {
+        GroupHash::capacity(self)
+    }
+
+    fn recover(&mut self, pm: &mut P) {
+        GroupHash::recover(self, pm)
+    }
+
+    fn check_consistency(&self, pm: &mut P) -> Result<(), String> {
+        crate::analysis::check_consistency(self, pm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{make, make_cfg};
+    use nvm_pmem::{SimConfig, SimPmem};
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let (mut pm, mut t, _) = make(256, 16);
+        assert_eq!(t.get(&mut pm, &5), None);
+        t.insert(&mut pm, 5, 50).unwrap();
+        assert_eq!(t.get(&mut pm, &5), Some(50));
+        assert_eq!(t.len(&mut pm), 1);
+        assert!(t.remove(&mut pm, &5));
+        assert_eq!(t.get(&mut pm, &5), None);
+        assert_eq!(t.len(&mut pm), 0);
+        assert!(!t.remove(&mut pm, &5));
+    }
+
+    #[test]
+    fn collisions_go_to_matched_group() {
+        let (mut pm, mut t, _) = make(256, 16);
+        // Insert enough keys to force level-2 placements.
+        for k in 0..200u64 {
+            t.insert(&mut pm, k, k * 10).unwrap();
+        }
+        for k in 0..200u64 {
+            assert_eq!(t.get(&mut pm, &k), Some(k * 10), "key {k}");
+        }
+        t.check_consistency(&mut pm).unwrap();
+        assert_eq!(t.len(&mut pm), 200);
+    }
+
+    #[test]
+    fn fill_to_capacity_overflows_gracefully() {
+        let (mut pm, mut t, _) = make(64, 64); // single group: capacity 128
+        let mut inserted = 0u64;
+        let mut k = 0u64;
+        while inserted < 128 {
+            match t.insert(&mut pm, k, k) {
+                Ok(()) => inserted += 1,
+                Err(InsertError::TableFull) => break,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            k += 1;
+        }
+        // A single-group table fills its level-2 group completely; level 1
+        // keeps only direct hits, so TableFull must appear at or before
+        // 128 and after 64 (all level-2 cells usable).
+        assert!(t.len(&mut pm) >= 64, "len {}", t.len(&mut pm));
+        assert!(t.len(&mut pm) <= 128);
+        t.check_consistency(&mut pm).unwrap();
+        // Everything inserted is still retrievable.
+        for key in 0..k {
+            if t.get(&mut pm, &key).is_some() {
+                assert_eq!(t.get(&mut pm, &key), Some(key));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_insert_shadows_until_removed() {
+        // Paper semantics: insert doesn't probe for duplicates.
+        let (mut pm, mut t, _) = make(256, 16);
+        t.insert(&mut pm, 7, 1).unwrap();
+        t.insert(&mut pm, 7, 2).unwrap();
+        // One of the copies is visible; removing twice drains both.
+        assert!(t.get(&mut pm, &7).is_some());
+        assert!(t.remove(&mut pm, &7));
+        assert!(t.get(&mut pm, &7).is_some());
+        assert!(t.remove(&mut pm, &7));
+        assert_eq!(t.get(&mut pm, &7), None);
+    }
+
+    #[test]
+    fn insert_unique_rejects_duplicates() {
+        let (mut pm, mut t, _) = make(256, 16);
+        t.insert_unique(&mut pm, 7, 1).unwrap();
+        assert_eq!(
+            t.insert_unique(&mut pm, 7, 2),
+            Err(InsertError::DuplicateKey)
+        );
+        assert_eq!(t.get(&mut pm, &7), Some(1));
+    }
+
+    #[test]
+    fn update_in_place_swaps_value() {
+        let (mut pm, mut t, _) = make(256, 16);
+        for k in 0..120u64 {
+            t.insert(&mut pm, k, k).unwrap();
+        }
+        assert!(t.update_in_place(&mut pm, &7, 700));
+        assert_eq!(t.get(&mut pm, &7), Some(700));
+        assert!(!t.update_in_place(&mut pm, &9999, 1));
+        assert_eq!(t.len(&mut pm), 120);
+        t.check_consistency(&mut pm).unwrap();
+    }
+
+    #[test]
+    fn update_in_place_is_atomic_under_crash() {
+        use nvm_pmem::{run_with_crash, CrashPlan, CrashResolution};
+        let (pm0, t0, region) = make(64, 16);
+        let mut pm0 = pm0;
+        let mut t0 = t0;
+        t0.insert(&mut pm0, 5, 111).unwrap();
+        for at in 0..20 {
+            let mut pm = pm0.clone();
+            let mut t = GroupHash::<SimPmem, u64, u64>::open(&mut pm, region).unwrap();
+            let base = pm.events();
+            pm.set_crash_plan(Some(CrashPlan { at_event: base + at }));
+            let done = run_with_crash(|| t.update_in_place(&mut pm, &5, 222)).is_ok();
+            pm.crash(CrashResolution::Random(at));
+            let mut t = GroupHash::<SimPmem, u64, u64>::open(&mut pm, region).unwrap();
+            t.recover(&mut pm);
+            let got = t.get(&mut pm, &5);
+            assert!(
+                got == Some(111) || got == Some(222),
+                "torn update at +{at}: {got:?}"
+            );
+            if done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn open_matches_created_table() {
+        let (mut pm, mut t, region) = make(256, 16);
+        for k in 0..100u64 {
+            t.insert(&mut pm, k, k + 1000).unwrap();
+        }
+        let t2 = GroupHash::<SimPmem, u64, u64>::open(&mut pm, region).unwrap();
+        assert_eq!(t2.len(&mut pm), 100);
+        for k in 0..100u64 {
+            assert_eq!(t2.get(&mut pm, &k), Some(k + 1000));
+        }
+        t2.check_consistency(&mut pm).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_wrong_types() {
+        let (mut pm, _t, region) = make(256, 16);
+        assert!(GroupHash::<SimPmem, u64, u128>::open(&mut pm, region).is_err());
+        assert!(GroupHash::<SimPmem, [u8; 16], u64>::open(&mut pm, region).is_err());
+    }
+
+    #[test]
+    fn for_each_entry_visits_all() {
+        let (mut pm, mut t, _) = make(256, 16);
+        for k in 0..50u64 {
+            t.insert(&mut pm, k, k * 2).unwrap();
+        }
+        let mut seen = std::collections::HashMap::new();
+        t.for_each_entry(&mut pm, |k, v| {
+            seen.insert(k, v);
+        });
+        assert_eq!(seen.len(), 50);
+        for k in 0..50u64 {
+            assert_eq!(seen[&k], k * 2);
+        }
+    }
+
+    #[test]
+    fn wide_key_value_types() {
+        let cfg = GroupHashConfig::new(128, 16);
+        let size = GroupHash::<SimPmem, [u8; 16], [u8; 16]>::required_size(&cfg);
+        let mut pm = SimPmem::new(size, SimConfig::fast_test());
+        let mut t =
+            GroupHash::<SimPmem, [u8; 16], [u8; 16]>::create(&mut pm, Region::new(0, size), cfg)
+                .unwrap();
+        let k = [0xAB; 16];
+        let v = [0xCD; 16];
+        t.insert(&mut pm, k, v).unwrap();
+        assert_eq!(t.get(&mut pm, &k), Some(v));
+        t.check_consistency(&mut pm).unwrap();
+    }
+
+    #[test]
+    fn strided_layout_behaves_identically() {
+        let cfg = GroupHashConfig::new(256, 16).with_probe(ProbeLayout::Strided);
+        let (mut pm, mut t, _) = make_cfg(cfg);
+        for k in 0..180u64 {
+            t.insert(&mut pm, k, k).unwrap();
+        }
+        for k in 0..180u64 {
+            assert_eq!(t.get(&mut pm, &k), Some(k));
+        }
+        t.check_consistency(&mut pm).unwrap();
+        for k in 0..180u64 {
+            assert!(t.remove(&mut pm, &k));
+        }
+        assert_eq!(t.len(&mut pm), 0);
+        t.check_consistency(&mut pm).unwrap();
+    }
+
+    #[test]
+    fn two_choice_behaves_identically() {
+        let cfg = GroupHashConfig::new(256, 16).with_choice(ChoiceMode::TwoChoice);
+        let (mut pm, mut t, region) = make_cfg(cfg);
+        for k in 0..200u64 {
+            t.insert(&mut pm, k, k + 9).unwrap();
+        }
+        for k in 0..200u64 {
+            assert_eq!(t.get(&mut pm, &k), Some(k + 9));
+        }
+        t.check_consistency(&mut pm).unwrap();
+        for k in 0..100u64 {
+            assert!(t.remove(&mut pm, &k));
+        }
+        assert_eq!(t.len(&mut pm), 100);
+        t.check_consistency(&mut pm).unwrap();
+        // Reopen keeps the mode.
+        let t2 = GroupHash::<SimPmem, u64, u64>::open(&mut pm, region).unwrap();
+        assert_eq!(t2.config().choice, ChoiceMode::TwoChoice);
+        assert_eq!(t2.len(&mut pm), 100);
+    }
+
+    #[test]
+    fn two_choice_improves_utilization() {
+        // The paper's §4.4 claim: a second hash function raises the
+        // space-utilization ratio (at a locality cost).
+        let fill_until_full = |cfg: GroupHashConfig| {
+            let (mut pm, mut t, _) = make_cfg(cfg);
+            let mut k = 0u64;
+            loop {
+                match t.insert(&mut pm, k.wrapping_mul(0x9E3779B97F4A7C15), k) {
+                    Ok(()) => k += 1,
+                    Err(InsertError::TableFull) => break,
+                    Err(e) => panic!("{e}"),
+                }
+            }
+            t.len(&mut pm) as f64 / t.capacity() as f64
+        };
+        let single = fill_until_full(GroupHashConfig::new(512, 64));
+        let double = fill_until_full(
+            GroupHashConfig::new(512, 64).with_choice(ChoiceMode::TwoChoice),
+        );
+        assert!(
+            double > single + 0.03,
+            "two-choice {double:.3} should beat single {single:.3}"
+        );
+    }
+
+    #[test]
+    fn logged_commit_behaves_identically() {
+        let cfg = GroupHashConfig::new(256, 16).with_commit(CommitStrategy::UndoLog);
+        let (mut pm, mut t, _) = make_cfg(cfg);
+        for k in 0..100u64 {
+            t.insert(&mut pm, k, k + 5).unwrap();
+        }
+        for k in 0..50u64 {
+            assert!(t.remove(&mut pm, &k));
+        }
+        for k in 50..100u64 {
+            assert_eq!(t.get(&mut pm, &k), Some(k + 5));
+        }
+        t.check_consistency(&mut pm).unwrap();
+    }
+
+    #[test]
+    fn volatile_count_matches_persistent() {
+        let cfg_v = GroupHashConfig::new(256, 16).with_count_mode(CountMode::Volatile);
+        let (mut pm_v, mut tv, region) = make_cfg(cfg_v);
+        let (mut pm_p, mut tp, _) = make(256, 16);
+        for k in 0..120u64 {
+            tv.insert(&mut pm_v, k, k).unwrap();
+            tp.insert(&mut pm_p, k, k).unwrap();
+        }
+        for k in 0..40u64 {
+            tv.remove(&mut pm_v, &k);
+            tp.remove(&mut pm_p, &k);
+        }
+        assert_eq!(tv.len(&mut pm_v), tp.len(&mut pm_p));
+        // Volatile count is rebuilt on open.
+        let tv2 = GroupHash::<SimPmem, u64, u64>::open(&mut pm_v, region).unwrap();
+        assert_eq!(tv2.len(&mut pm_v), 80);
+    }
+
+    #[test]
+    fn volatile_count_skips_header_flushes() {
+        let cfg_v = GroupHashConfig::new(256, 16).with_count_mode(CountMode::Volatile);
+        let (mut pm_v, mut tv, _) = make_cfg(cfg_v);
+        let (mut pm_p, mut tp, _) = make(256, 16);
+        pm_v.reset_stats();
+        pm_p.reset_stats();
+        tv.insert(&mut pm_v, 1, 1).unwrap();
+        tp.insert(&mut pm_p, 1, 1).unwrap();
+        assert!(pm_v.stats().flushes < pm_p.stats().flushes);
+    }
+
+    #[test]
+    fn paper_insert_flush_budget() {
+        // The paper's insert: persist cell + persist bitmap + persist count
+        // = 3 flushed lines, 3 fences. No more (that is the whole point).
+        let (mut pm, mut t, _) = make(256, 16);
+        pm.reset_stats();
+        t.insert(&mut pm, 1, 1).unwrap();
+        assert_eq!(pm.stats().flushes, 3);
+        assert_eq!(pm.stats().fences, 3);
+        // And the logged ablation costs strictly more.
+        let cfg = GroupHashConfig::new(256, 16).with_commit(CommitStrategy::UndoLog);
+        let (mut pm_l, mut tl, _) = make_cfg(cfg);
+        pm_l.reset_stats();
+        tl.insert(&mut pm_l, 1, 1).unwrap();
+        assert!(pm_l.stats().flushes >= 2 * pm.stats().flushes);
+    }
+}

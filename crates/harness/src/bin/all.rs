@@ -1,0 +1,33 @@
+//! Runs every experiment in sequence (Figures 2, 5, 6, 7, 8; Table 3).
+use gh_harness::{experiments, Args};
+
+fn main() {
+    let args = Args::parse();
+    let out = args.out_dir.as_deref();
+
+    println!("# Group hashing reproduction — full experiment sweep\n");
+    for (i, t) in experiments::fig2::run(&args).iter().enumerate() {
+        t.emit(out, &format!("fig2_{i}"));
+    }
+    let runs = experiments::fig5::collect(&args);
+    experiments::fig5::latency_table(&runs).emit(out, "fig5_latency");
+    experiments::fig5::miss_table(&runs).emit(out, "fig6_misses");
+    for t in experiments::fig7::run(&args) {
+        t.emit(out, "fig7_utilization");
+    }
+    for t in experiments::fig8::run(&args) {
+        t.emit(out, "fig8_group_size");
+    }
+    for t in experiments::table3::run(&args) {
+        t.emit(out, "table3_recovery");
+    }
+    for t in experiments::wear::run(&args) {
+        t.emit(out, "wear");
+    }
+    for t in experiments::prefetch::run(&args) {
+        t.emit(out, "prefetch_ablation");
+    }
+    for t in experiments::nvm_sweep::run(&args) {
+        t.emit(out, "nvm_sweep");
+    }
+}

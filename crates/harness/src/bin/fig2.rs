@@ -1,0 +1,9 @@
+//! Regenerates Figure 2 (consistency cost of logging).
+use gh_harness::{experiments::fig2, Args};
+
+fn main() {
+    let args = Args::parse();
+    for (i, t) in fig2::run(&args).iter().enumerate() {
+        t.emit(args.out_dir.as_deref(), &format!("fig2_{i}"));
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 7 (space utilization ratios).
+use gh_harness::{experiments::fig7, Args};
+
+fn main() {
+    let args = Args::parse();
+    for t in fig7::run(&args) {
+        t.emit(args.out_dir.as_deref(), "fig7_utilization");
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 8 (group size vs latency and utilization).
+use gh_harness::{experiments::fig8, Args};
+
+fn main() {
+    let args = Args::parse();
+    for t in fig8::run(&args) {
+        t.emit(args.out_dir.as_deref(), "fig8_group_size");
+    }
+}

@@ -1,0 +1,9 @@
+//! Extension experiment: NVM technology latency sweep.
+use gh_harness::{experiments::nvm_sweep, Args};
+
+fn main() {
+    let args = Args::parse();
+    for t in nvm_sweep::run(&args) {
+        t.emit(args.out_dir.as_deref(), "nvm_sweep");
+    }
+}

@@ -1,0 +1,9 @@
+//! Extension experiment: stream-prefetcher ablation.
+use gh_harness::{experiments::prefetch, Args};
+
+fn main() {
+    let args = Args::parse();
+    for t in prefetch::run(&args) {
+        t.emit(args.out_dir.as_deref(), "prefetch_ablation");
+    }
+}

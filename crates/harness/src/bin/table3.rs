@@ -1,0 +1,9 @@
+//! Regenerates Table 3 (failure recovery time).
+use gh_harness::{experiments::table3, Args};
+
+fn main() {
+    let args = Args::parse();
+    for t in table3::run(&args) {
+        t.emit(args.out_dir.as_deref(), "table3_recovery");
+    }
+}

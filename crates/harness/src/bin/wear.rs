@@ -1,0 +1,9 @@
+//! Extension experiment: NVM wear distribution per scheme.
+use gh_harness::{experiments::wear, Args};
+
+fn main() {
+    let args = Args::parse();
+    for t in wear::run(&args) {
+        t.emit(args.out_dir.as_deref(), "wear");
+    }
+}

@@ -1,0 +1,139 @@
+//! Figure 2 — the consistency cost of logging (paper §2.3).
+//!
+//! RandomNum trace, load factor 0.5. Linear probing, PFHT, and path
+//! hashing each run bare and with undo logging; the paper reports that
+//! the logged versions are ≈1.95× slower on insert+delete (Fig 2a) and
+//! take ≈2.16× more L3 misses (Fig 2b).
+
+use crate::experiments::runner::run_workload;
+use crate::tablefmt::{count, ns, ratio, Table};
+use crate::{Args, SchemeKind, TraceKind};
+use nvm_table::OpKind;
+use nvm_traces::WorkloadReport;
+
+/// The (bare, logged) pairs of Figure 2.
+const PAIRS: [(SchemeKind, SchemeKind); 3] = [
+    (SchemeKind::Linear, SchemeKind::LinearL),
+    (SchemeKind::Pfht, SchemeKind::PfhtL),
+    (SchemeKind::Path, SchemeKind::PathL),
+];
+
+/// Raw reports for all six configurations.
+pub fn collect(args: &Args) -> Vec<WorkloadReport> {
+    let cells = args.cells_for(TraceKind::RandomNum);
+    PAIRS
+        .iter()
+        .flat_map(|&(bare, logged)| [bare, logged])
+        .map(|kind| {
+            run_workload(
+                kind,
+                TraceKind::RandomNum,
+                cells,
+                0.5,
+                args.ops,
+                args.seed,
+                args.group_size,
+            )
+        })
+        .collect()
+}
+
+/// Builds the Fig 2(a) latency table, Fig 2(b) miss table, and the
+/// logged/bare ratio summary.
+pub fn run(args: &Args) -> Vec<Table> {
+    let reports = collect(args);
+
+    let mut lat = Table::new(
+        "Figure 2(a): request latency, RandomNum @ LF 0.5 (ns/op, simulated)",
+        &["scheme", "insert", "query", "delete"],
+    );
+    let mut miss = Table::new(
+        "Figure 2(b): L3 cache misses per request, RandomNum @ LF 0.5",
+        &["scheme", "insert", "query", "delete"],
+    );
+    for r in &reports {
+        lat.row(vec![
+            r.scheme.clone(),
+            ns(r.insert.avg_ns()),
+            ns(r.query.avg_ns()),
+            ns(r.delete.avg_ns()),
+        ]);
+        miss.row(vec![
+            r.scheme.clone(),
+            count(r.insert.avg_llc_misses()),
+            count(r.query.avg_llc_misses()),
+            count(r.delete.avg_llc_misses()),
+        ]);
+    }
+
+    let mut ratios = Table::new(
+        "Figure 2 summary: logged vs bare on insert+delete (paper: 1.95x latency, 2.16x misses)",
+        &["pair", "latency ratio", "L3 miss ratio"],
+    );
+    let mut lat_sum = 0.0;
+    let mut miss_sum = 0.0;
+    for (i, &(bare, _)) in PAIRS.iter().enumerate() {
+        let b = &reports[2 * i];
+        let l = &reports[2 * i + 1];
+        let upd = |r: &WorkloadReport, f: fn(&WorkloadReport, OpKind) -> f64| {
+            (f(r, OpKind::Insert) + f(r, OpKind::Delete)) / 2.0
+        };
+        let lat_ratio = upd(l, |r, k| r.of(k).avg_ns()) / upd(b, |r, k| r.of(k).avg_ns());
+        let miss_ratio = upd(l, |r, k| r.of(k).avg_llc_misses())
+            / upd(b, |r, k| r.of(k).avg_llc_misses()).max(1e-9);
+        lat_sum += lat_ratio;
+        miss_sum += miss_ratio;
+        ratios.row(vec![
+            format!("{} vs -L", bare.label()),
+            ratio(lat_ratio),
+            ratio(miss_ratio),
+        ]);
+    }
+    ratios.row(vec![
+        "mean".into(),
+        ratio(lat_sum / PAIRS.len() as f64),
+        ratio(miss_sum / PAIRS.len() as f64),
+    ]);
+
+    vec![lat, miss, ratios]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_args() -> Args {
+        Args {
+            cells_log2: Some(10),
+            ops: 60,
+            ..Args::default()
+        }
+    }
+
+    #[test]
+    fn logging_slows_updates() {
+        let reports = collect(&tiny_args());
+        assert_eq!(reports.len(), 6);
+        for i in 0..3 {
+            let bare = &reports[2 * i];
+            let logged = &reports[2 * i + 1];
+            let b = bare.insert.avg_ns() + bare.delete.avg_ns();
+            let l = logged.insert.avg_ns() + logged.delete.avg_ns();
+            assert!(
+                l > 1.4 * b,
+                "{}: logged {l:.0}ns vs bare {b:.0}ns",
+                bare.scheme
+            );
+            // Queries don't write; logging must not slow them much.
+            assert!(logged.query.avg_ns() < 1.3 * bare.query.avg_ns() + 50.0);
+        }
+    }
+
+    #[test]
+    fn tables_have_expected_shape() {
+        let tables = run(&tiny_args());
+        assert_eq!(tables.len(), 3);
+        assert_eq!(tables[0].len(), 6);
+        assert_eq!(tables[2].len(), 4); // 3 pairs + mean
+    }
+}

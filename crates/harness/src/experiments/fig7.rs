@@ -1,0 +1,99 @@
+//! Figure 7 — space utilization ratios.
+//!
+//! Utilization = the load factor at the first failed insert. The paper
+//! reports path ≈ highest, PFHT slightly lower, group ≈ 82 % (a deliberate
+//! trade: one hash function and contiguous groups buy cache efficiency at
+//! some utilization cost). Linear probing is excluded — it fills to 1.0.
+
+use crate::experiments::runner::utilization;
+use crate::tablefmt::{percent, Table};
+use crate::{Args, SchemeKind, TraceKind};
+
+/// Measured utilization for every (scheme, trace) pair of the figure.
+pub fn collect(args: &Args) -> Vec<(SchemeKind, TraceKind, f64)> {
+    let mut out = Vec::new();
+    for kind in SchemeKind::BOUNDED_UTIL {
+        for trace in TraceKind::ALL {
+            let cells = args.cells_for(trace);
+            out.push((
+                kind,
+                trace,
+                utilization(kind, trace, cells, args.seed, args.group_size),
+            ));
+        }
+    }
+    out
+}
+
+/// Builds the Figure 7 table (schemes × traces).
+pub fn run(args: &Args) -> Vec<Table> {
+    let data = collect(args);
+    let mut t = Table::new(
+        "Figure 7: space utilization ratio (load factor at first failed insert)",
+        &["scheme", "RandomNum", "Bag-of-Words", "Fingerprint"],
+    );
+    // Note: "group-2c" is this reproduction's extension row (paper §4.4
+    // sketches it without evaluating); the paper's Figure 7 has only the
+    // first three schemes.
+    for kind in SchemeKind::BOUNDED_UTIL {
+        let row: Vec<f64> = TraceKind::ALL
+            .iter()
+            .map(|&tr| {
+                data.iter()
+                    .find(|(k, t, _)| *k == kind && *t == tr)
+                    .map(|&(_, _, u)| u)
+                    .expect("collected")
+            })
+            .collect();
+        t.row(vec![
+            kind.label().into(),
+            percent(row[0]),
+            percent(row[1]),
+            percent(row[2]),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's ordering: path ≥ PFHT > group ≈ 0.82.
+    #[test]
+    fn utilization_ordering_matches_paper() {
+        let cells = 1 << 12;
+        let path = utilization(SchemeKind::Path, TraceKind::RandomNum, cells, 7, 256);
+        let pfht = utilization(SchemeKind::Pfht, TraceKind::RandomNum, cells, 7, 256);
+        let group = utilization(SchemeKind::Group, TraceKind::RandomNum, cells, 7, 256);
+        assert!(path > group, "path {path:.3} vs group {group:.3}");
+        assert!(pfht > group, "pfht {pfht:.3} vs group {group:.3}");
+        assert!(
+            (0.70..0.95).contains(&group),
+            "group utilization {group:.3} (paper: ~0.82)"
+        );
+    }
+
+    #[test]
+    fn table_shape() {
+        let tables = run(&Args {
+            cells_log2: Some(10),
+            ..Args::default()
+        });
+        assert_eq!(tables.len(), 1);
+        assert_eq!(tables[0].len(), 4); // 3 paper schemes + group-2c extension
+    }
+
+    /// The §4.4 extension: two hash choices must raise group hashing's
+    /// utilization.
+    #[test]
+    fn two_choice_raises_utilization() {
+        let cells = 1 << 12;
+        let single = utilization(SchemeKind::Group, TraceKind::RandomNum, cells, 7, 256);
+        let double = utilization(SchemeKind::Group2C, TraceKind::RandomNum, cells, 7, 256);
+        assert!(
+            double > single,
+            "two-choice {double:.3} vs single {single:.3}"
+        );
+    }
+}

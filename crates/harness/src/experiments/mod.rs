@@ -1,0 +1,13 @@
+//! One module per paper experiment. Each exposes `run(&Args) -> Vec<Table>`
+//! so the `all` binary can chain them; the per-figure binaries print the
+//! same tables.
+
+pub mod fig2;
+pub mod fig5;
+pub mod fig7;
+pub mod fig8;
+pub mod nvm_sweep;
+pub mod prefetch;
+pub mod runner;
+pub mod table3;
+pub mod wear;

@@ -1,0 +1,62 @@
+//! Experiment harness: regenerates every figure and table of the paper's
+//! evaluation (§4) on the deterministic NVM simulator.
+//!
+//! One binary per experiment (`fig2`, `fig5`, `fig6`, `fig7`, `fig8`,
+//! `table3`, plus `all`), each printing paper-style tables and optionally
+//! writing CSV. Run them in release mode:
+//!
+//! ```text
+//! cargo run --release -p gh-harness --bin fig5 -- --cells-log2 20
+//! cargo run --release -p gh-harness --bin all  -- --out-dir results
+//! ```
+//!
+//! Default table sizes are scaled down from the paper's 2^23–2^25 cells so
+//! a full run finishes in minutes; pass `--full` for paper sizes. The
+//! experiments reproduce *relative* behaviour (who wins, by what factor,
+//! where crossovers fall); absolute nanoseconds depend on the latency
+//! model (see `nvm_pmem::LatencyModel`).
+
+pub mod args;
+pub mod experiments;
+pub mod schemes;
+pub mod tablefmt;
+
+pub use args::Args;
+pub use schemes::{build_any, AnyScheme, SchemeKind};
+pub use tablefmt::Table;
+
+/// Key/value shapes used by the paper's traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// 16-byte items: u64 key, u64 value.
+    RandomNum,
+    /// 16-byte items: DocID‖WordID key, u64 value.
+    BagOfWords,
+    /// 32-byte items: MD5 key, 16-byte value.
+    Fingerprint,
+}
+
+impl TraceKind {
+    pub const ALL: [TraceKind; 3] = [
+        TraceKind::RandomNum,
+        TraceKind::BagOfWords,
+        TraceKind::Fingerprint,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceKind::RandomNum => "RandomNum",
+            TraceKind::BagOfWords => "Bag-of-Words",
+            TraceKind::Fingerprint => "Fingerprint",
+        }
+    }
+
+    /// Paper table-size preset (cells) for this trace (§4.1).
+    pub fn paper_cells_log2(self) -> u32 {
+        match self {
+            TraceKind::RandomNum => 23,
+            TraceKind::BagOfWords => 24,
+            TraceKind::Fingerprint => 25,
+        }
+    }
+}

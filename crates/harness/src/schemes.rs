@@ -1,0 +1,248 @@
+//! Unified construction and dispatch over the compared hashing schemes.
+
+use group_hash::{ChoiceMode, GroupHash, GroupHashConfig};
+use nvm_baselines::{LinearProbing, PathHash, Pfht};
+use nvm_hashfn::{HashKey, Pod};
+use nvm_pmem::{Pmem, Region, SimConfig, SimPmem};
+use nvm_table::{ConsistencyMode, HashScheme, InsertError};
+
+/// The seven configurations compared in the paper's figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    Linear,
+    LinearL,
+    Pfht,
+    PfhtL,
+    Path,
+    PathL,
+    Group,
+    /// Extension (paper §4.4): group hashing with a second hash function.
+    Group2C,
+}
+
+impl SchemeKind {
+    /// Everything, bare baselines included (Figure 2's cast).
+    pub const ALL: [SchemeKind; 8] = [
+        SchemeKind::Linear,
+        SchemeKind::LinearL,
+        SchemeKind::Pfht,
+        SchemeKind::PfhtL,
+        SchemeKind::Path,
+        SchemeKind::PathL,
+        SchemeKind::Group,
+        SchemeKind::Group2C,
+    ];
+
+    /// The consistent schemes compared in Figures 5–6 (logged baselines +
+    /// group hashing).
+    pub const CONSISTENT: [SchemeKind; 4] = [
+        SchemeKind::LinearL,
+        SchemeKind::PfhtL,
+        SchemeKind::PathL,
+        SchemeKind::Group,
+    ];
+
+    /// The schemes with a bounded space-utilization ratio (Figure 7;
+    /// linear probing fills to 1.0 and is excluded by the paper).
+    pub const BOUNDED_UTIL: [SchemeKind; 4] = [
+        SchemeKind::Pfht,
+        SchemeKind::Path,
+        SchemeKind::Group,
+        SchemeKind::Group2C,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            SchemeKind::Linear => "linear",
+            SchemeKind::LinearL => "linear-L",
+            SchemeKind::Pfht => "PFHT",
+            SchemeKind::PfhtL => "PFHT-L",
+            SchemeKind::Path => "path",
+            SchemeKind::PathL => "path-L",
+            SchemeKind::Group => "group",
+            SchemeKind::Group2C => "group-2c",
+        }
+    }
+
+    fn mode(self) -> ConsistencyMode {
+        match self {
+            SchemeKind::LinearL | SchemeKind::PfhtL | SchemeKind::PathL => {
+                ConsistencyMode::UndoLog
+            }
+            _ => ConsistencyMode::None,
+        }
+    }
+}
+
+/// A scheme-erased persistent hash table (enum dispatch keeps everything
+/// monomorphized and `HashScheme`'s `&mut P` signatures object-unsafe-free).
+pub enum AnyScheme<P: Pmem, K: HashKey, V: Pod> {
+    Linear(LinearProbing<P, K, V>),
+    Pfht(Pfht<P, K, V>),
+    Path(PathHash<P, K, V>),
+    Group(GroupHash<P, K, V>),
+}
+
+macro_rules! dispatch {
+    ($self:ident, $t:ident => $e:expr) => {
+        match $self {
+            AnyScheme::Linear($t) => $e,
+            AnyScheme::Pfht($t) => $e,
+            AnyScheme::Path($t) => $e,
+            AnyScheme::Group($t) => $e,
+        }
+    };
+}
+
+impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for AnyScheme<P, K, V> {
+    fn name(&self) -> &'static str {
+        dispatch!(self, t => HashScheme::<P, K, V>::name(t))
+    }
+    fn insert(&mut self, pm: &mut P, key: K, value: V) -> Result<(), InsertError> {
+        dispatch!(self, t => HashScheme::<P, K, V>::insert(t, pm, key, value))
+    }
+    fn get(&self, pm: &mut P, key: &K) -> Option<V> {
+        dispatch!(self, t => HashScheme::<P, K, V>::get(t, pm, key))
+    }
+    fn remove(&mut self, pm: &mut P, key: &K) -> bool {
+        dispatch!(self, t => HashScheme::<P, K, V>::remove(t, pm, key))
+    }
+    fn len(&self, pm: &mut P) -> u64 {
+        dispatch!(self, t => HashScheme::<P, K, V>::len(t, pm))
+    }
+    fn capacity(&self) -> u64 {
+        dispatch!(self, t => HashScheme::<P, K, V>::capacity(t))
+    }
+    fn recover(&mut self, pm: &mut P) {
+        dispatch!(self, t => HashScheme::<P, K, V>::recover(t, pm))
+    }
+    fn check_consistency(&self, pm: &mut P) -> Result<(), String> {
+        dispatch!(self, t => HashScheme::<P, K, V>::check_consistency(t, pm))
+    }
+}
+
+/// Builds `kind` sized for a `total_cells` budget (a power of two) on a
+/// fresh simulated pool. `group_size` applies to group hashing only.
+pub fn build_any<K: HashKey, V: Pod>(
+    kind: SchemeKind,
+    total_cells: u64,
+    seed: u64,
+    sim: SimConfig,
+    group_size: u64,
+) -> (SimPmem, AnyScheme<SimPmem, K, V>) {
+    assert!(total_cells.is_power_of_two(), "cell budget must be 2^k");
+    match kind {
+        SchemeKind::Linear | SchemeKind::LinearL => {
+            let size = LinearProbing::<SimPmem, K, V>::required_size(total_cells);
+            let mut pm = SimPmem::new(size, sim);
+            let t = LinearProbing::create(
+                &mut pm,
+                Region::new(0, size),
+                total_cells,
+                seed,
+                kind.mode(),
+            )
+            .expect("linear create");
+            (pm, AnyScheme::Linear(t))
+        }
+        SchemeKind::Pfht | SchemeKind::PfhtL => {
+            let (buckets, stash) = Pfht::<SimPmem, K, V>::geometry_for(total_cells);
+            let size = Pfht::<SimPmem, K, V>::required_size(buckets, stash);
+            let mut pm = SimPmem::new(size, sim);
+            let t = Pfht::create(
+                &mut pm,
+                Region::new(0, size),
+                buckets,
+                stash,
+                seed,
+                kind.mode(),
+            )
+            .expect("pfht create");
+            (pm, AnyScheme::Pfht(t))
+        }
+        SchemeKind::Path | SchemeKind::PathL => {
+            let (leaf_bits, levels) = PathHash::<SimPmem, K, V>::geometry_for(total_cells);
+            let size = PathHash::<SimPmem, K, V>::required_size(leaf_bits, levels);
+            let mut pm = SimPmem::new(size, sim);
+            let t = PathHash::create(
+                &mut pm,
+                Region::new(0, size),
+                leaf_bits,
+                levels,
+                seed,
+                kind.mode(),
+            )
+            .expect("path create");
+            (pm, AnyScheme::Path(t))
+        }
+        SchemeKind::Group | SchemeKind::Group2C => {
+            let choice = if kind == SchemeKind::Group2C {
+                ChoiceMode::TwoChoice
+            } else {
+                ChoiceMode::Single
+            };
+            let cfg = GroupHashConfig::new(total_cells / 2, group_size.min(total_cells / 2))
+                .with_seed(seed)
+                .with_choice(choice);
+            let size = GroupHash::<SimPmem, K, V>::required_size(&cfg);
+            let mut pm = SimPmem::new(size, sim);
+            let t = GroupHash::create(&mut pm, Region::new(0, size), cfg).expect("group create");
+            (pm, AnyScheme::Group(t))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_schemes_build_and_roundtrip() {
+        for kind in SchemeKind::ALL {
+            let (mut pm, mut t) =
+                build_any::<u64, u64>(kind, 1 << 10, 7, SimConfig::fast_test(), 64);
+            if kind != SchemeKind::Group2C {
+                assert_eq!(t.name(), kind.label());
+            }
+            for k in 0..200u64 {
+                t.insert(&mut pm, k, k + 1).unwrap();
+            }
+            for k in 0..200u64 {
+                assert_eq!(t.get(&mut pm, &k), Some(k + 1), "{kind:?} key {k}");
+            }
+            for k in 0..100u64 {
+                assert!(t.remove(&mut pm, &k), "{kind:?} remove {k}");
+            }
+            assert_eq!(t.len(&mut pm), 100);
+            t.check_consistency(&mut pm)
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn capacities_respect_budget() {
+        for kind in SchemeKind::ALL {
+            let (_pm, t) = build_any::<u64, u64>(kind, 1 << 12, 1, SimConfig::fast_test(), 256);
+            let cap = t.capacity();
+            // PFHT carries the paper's 3% extra stash on top of the budget.
+            assert!(cap <= (1 << 12) + (1 << 12) * 3 / 100 + 1, "{kind:?}: {cap}");
+            assert!(cap >= (1 << 12) * 9 / 10, "{kind:?} wastes budget: {cap}");
+        }
+    }
+
+    #[test]
+    fn wide_items_build() {
+        for kind in [SchemeKind::Group, SchemeKind::PfhtL] {
+            let (mut pm, mut t) = build_any::<[u8; 16], [u8; 16]>(
+                kind,
+                1 << 8,
+                2,
+                SimConfig::fast_test(),
+                64,
+            );
+            let k = [9u8; 16];
+            t.insert(&mut pm, k, k).unwrap();
+            assert_eq!(t.get(&mut pm, &k), Some(k));
+        }
+    }
+}

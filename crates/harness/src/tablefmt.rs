@@ -1,0 +1,173 @@
+//! Plain-text result tables + CSV output.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple right-aligned results table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows are present.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String], widths: &[usize]| {
+            let mut first = true;
+            for (c, w) in cells.iter().zip(widths) {
+                if !first {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{c:>w$}", w = w);
+                first = false;
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers, &widths);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row, &widths);
+        }
+        out
+    }
+
+    /// CSV rendering (headers + rows, comma-separated, minimal quoting).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(esc).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(esc).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Prints to stdout and, if `out_dir` is given, writes `<name>.csv`.
+    pub fn emit(&self, out_dir: Option<&Path>, name: &str) {
+        println!("{}", self.render());
+        if let Some(dir) = out_dir {
+            std::fs::create_dir_all(dir).expect("create out dir");
+            let path = dir.join(format!("{name}.csv"));
+            std::fs::write(&path, self.to_csv()).expect("write csv");
+            println!("[csv] {}", path.display());
+        }
+    }
+}
+
+/// Formats nanoseconds with 1 decimal.
+pub fn ns(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats a ratio/percentage with 2/1 decimals.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a count with 2 decimals.
+pub fn count(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a percentage.
+pub fn percent(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "12345".into()]);
+        let r = t.render();
+        assert!(r.contains("== demo =="));
+        let lines: Vec<&str> = r.lines().collect();
+        // Data lines have equal width.
+        assert_eq!(lines[3].len(), lines[4].len());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1,5".into(), "plain".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"1,5\",plain"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ns(1234.56), "1234.6");
+        assert_eq!(ratio(1.954), "1.95x");
+        assert_eq!(percent(0.821), "82.1%");
+        assert_eq!(count(2.345), "2.35");
+    }
+
+    #[test]
+    fn emit_writes_csv() {
+        let dir = std::env::temp_dir().join("gh-harness-test-csv");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["1".into()]);
+        t.emit(Some(&dir), "unit");
+        let body = std::fs::read_to_string(dir.join("unit.csv")).unwrap();
+        assert_eq!(body, "a\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,95 @@
+//! Hash functions, digests, and fixed-size key/value traits.
+//!
+//! Persistent hash tables in this workspace are generic over a key type
+//! implementing [`HashKey`] and a value type implementing [`Pod`]. Both are
+//! fixed-size, byte-serializable, and `Copy`, because cells live at fixed
+//! offsets inside a persistent memory pool.
+//!
+//! The hashing primitives are implemented from scratch (the workspace builds
+//! every substrate it depends on):
+//!
+//! * [`xxhash64`] — the reference xxHash64 algorithm, validated against the
+//!   official test vectors; used as the table hash function.
+//! * [`murmur3_x64_128`] — MurmurHash3's 128-bit x64 variant, used when a
+//!   second independent 64-bit stream is convenient.
+//! * [`splitmix64`] — the SplitMix64 mixer; used to derive per-table seeds
+//!   and as a cheap integer finalizer.
+//! * [`md5()`](md5()) — RFC 1321 MD5, used by the Fingerprint trace generator to
+//!   produce realistic 16-byte content digests.
+
+pub mod md5;
+mod mix;
+mod murmur;
+mod pod;
+mod xxh;
+
+pub use md5::{md5, Md5, Md5Digest};
+pub use mix::{splitmix64, SplitMix64};
+pub use murmur::murmur3_x64_128;
+pub use pod::{HashKey, Pod};
+pub use xxh::xxhash64;
+
+/// A pair of independent hash functions over the same key type, as used by
+/// two-choice schemes (PFHT, path hashing). Group hashing and linear probing
+/// use only the first.
+///
+/// Both functions are xxHash64 under distinct seeds derived from a single
+/// table seed via SplitMix64, so a table's whole hash family is captured by
+/// one persisted 8-byte seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashPair {
+    seed1: u64,
+    seed2: u64,
+}
+
+impl HashPair {
+    /// Derives both seeds from `table_seed`.
+    pub fn from_seed(table_seed: u64) -> Self {
+        let mut sm = SplitMix64::new(table_seed);
+        HashPair {
+            seed1: sm.next(),
+            seed2: sm.next(),
+        }
+    }
+
+    /// Primary hash of `key`.
+    #[inline]
+    pub fn h1<K: HashKey>(&self, key: &K) -> u64 {
+        key.hash64(self.seed1)
+    }
+
+    /// Secondary hash of `key`, independent of [`HashPair::h1`].
+    #[inline]
+    pub fn h2<K: HashKey>(&self, key: &K) -> u64 {
+        key.hash64(self.seed2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_pair_is_deterministic() {
+        let p = HashPair::from_seed(42);
+        let q = HashPair::from_seed(42);
+        assert_eq!(p.h1(&123u64), q.h1(&123u64));
+        assert_eq!(p.h2(&123u64), q.h2(&123u64));
+    }
+
+    #[test]
+    fn hash_pair_streams_differ() {
+        let p = HashPair::from_seed(42);
+        // The two streams should disagree on essentially every key.
+        let disagreements = (0u64..1000).filter(|k| p.h1(k) != p.h2(k)).count();
+        assert!(disagreements >= 999);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = HashPair::from_seed(1);
+        let q = HashPair::from_seed(2);
+        let disagreements = (0u64..1000).filter(|k| p.h1(k) != q.h1(k)).count();
+        assert!(disagreements >= 999);
+    }
+}

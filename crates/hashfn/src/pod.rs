@@ -1,0 +1,170 @@
+//! Fixed-size plain-old-data key/value traits.
+//!
+//! Persistent cells live at fixed offsets in a pmem pool, so keys and values
+//! must have a compile-time-known byte width and a stable serialization.
+//! All integers serialize little-endian; byte arrays are verbatim.
+
+use crate::xxh::xxhash64;
+
+/// A fixed-size, byte-serializable, copyable value.
+///
+/// `SIZE` is the serialized width in bytes. `write_to`/`read_from` must
+/// round-trip exactly and must touch exactly `SIZE` bytes.
+pub trait Pod: Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static {
+    /// Serialized width in bytes.
+    const SIZE: usize;
+
+    /// Serializes into `buf[..Self::SIZE]`.
+    fn write_to(&self, buf: &mut [u8]);
+
+    /// Deserializes from `buf[..Self::SIZE]`.
+    fn read_from(buf: &[u8]) -> Self;
+
+    /// The all-zero-bytes value — what an erased persistent cell contains.
+    fn zeroed() -> Self;
+}
+
+/// A [`Pod`] usable as a hash-table key: equality plus a seeded 64-bit hash.
+pub trait HashKey: Pod + Eq {
+    /// Seeded 64-bit hash of the key. Implementations must depend on every
+    /// key byte and on the seed.
+    fn hash64(&self, seed: u64) -> u64;
+}
+
+macro_rules! impl_pod_int {
+    ($($t:ty),*) => {$(
+        impl Pod for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+            #[inline]
+            fn write_to(&self, buf: &mut [u8]) {
+                buf[..Self::SIZE].copy_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn read_from(buf: &[u8]) -> Self {
+                <$t>::from_le_bytes(buf[..Self::SIZE].try_into().unwrap())
+            }
+            #[inline]
+            fn zeroed() -> Self {
+                0
+            }
+        }
+        impl HashKey for $t {
+            #[inline]
+            fn hash64(&self, seed: u64) -> u64 {
+                xxhash64(&self.to_le_bytes(), seed)
+            }
+        }
+    )*};
+}
+
+impl_pod_int!(u8, u16, u32, u64, u128, i32, i64);
+
+impl<const N: usize> Pod for [u8; N] {
+    const SIZE: usize = N;
+    #[inline]
+    fn write_to(&self, buf: &mut [u8]) {
+        buf[..N].copy_from_slice(self);
+    }
+    #[inline]
+    fn read_from(buf: &[u8]) -> Self {
+        buf[..N].try_into().unwrap()
+    }
+    #[inline]
+    fn zeroed() -> Self {
+        [0; N]
+    }
+}
+
+impl<const N: usize> HashKey for [u8; N] {
+    #[inline]
+    fn hash64(&self, seed: u64) -> u64 {
+        xxhash64(self, seed)
+    }
+}
+
+impl Pod for () {
+    const SIZE: usize = 0;
+    #[inline]
+    fn write_to(&self, _buf: &mut [u8]) {}
+    #[inline]
+    fn read_from(_buf: &[u8]) -> Self {}
+    #[inline]
+    fn zeroed() -> Self {}
+}
+
+/// A pair of pods, laid out first-then-second with no padding.
+impl<A: Pod, B: Pod> Pod for (A, B) {
+    const SIZE: usize = A::SIZE + B::SIZE;
+    #[inline]
+    fn write_to(&self, buf: &mut [u8]) {
+        self.0.write_to(&mut buf[..A::SIZE]);
+        self.1.write_to(&mut buf[A::SIZE..A::SIZE + B::SIZE]);
+    }
+    #[inline]
+    fn read_from(buf: &[u8]) -> Self {
+        (A::read_from(&buf[..A::SIZE]), B::read_from(&buf[A::SIZE..]))
+    }
+    #[inline]
+    fn zeroed() -> Self {
+        (A::zeroed(), B::zeroed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Pod>(v: T) {
+        let mut buf = vec![0u8; T::SIZE];
+        v.write_to(&mut buf);
+        assert_eq!(T::read_from(&buf), v);
+    }
+
+    #[test]
+    fn int_roundtrips() {
+        roundtrip(0xDEADBEEFu32);
+        roundtrip(u64::MAX);
+        roundtrip(0x0123_4567_89AB_CDEF_0011_2233_4455_6677u128);
+        roundtrip(-42i64);
+        roundtrip(0xA5u8);
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        roundtrip([1u8, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16]);
+    }
+
+    #[test]
+    fn tuple_layout_is_concatenation() {
+        let v: (u32, u64) = (0x11223344, 0x5566778899AABBCC);
+        let mut buf = [0u8; 12];
+        v.write_to(&mut buf);
+        assert_eq!(&buf[..4], &0x11223344u32.to_le_bytes());
+        assert_eq!(&buf[4..], &0x5566778899AABBCCu64.to_le_bytes());
+        roundtrip(v);
+    }
+
+    #[test]
+    fn unit_is_zero_sized() {
+        assert_eq!(<() as Pod>::SIZE, 0);
+        roundtrip(());
+    }
+
+    #[test]
+    fn hash_depends_on_all_bytes() {
+        let base = [0u8; 16];
+        let h0 = base.hash64(1);
+        for i in 0..16 {
+            let mut k = base;
+            k[i] = 1;
+            assert_ne!(k.hash64(1), h0, "byte {i} ignored by hash");
+        }
+    }
+
+    #[test]
+    fn int_and_bytes_hash_consistently() {
+        // u64 hashes as its LE bytes.
+        let k: u64 = 0x0102030405060708;
+        assert_eq!(k.hash64(5), k.to_le_bytes().hash64(5));
+    }
+}

@@ -1,0 +1,185 @@
+//! `ghkv` — a small CLI for group-hashing KV pool files.
+//!
+//! Pools are disk images of the simulated NVM (see `nvm_pmem::SimPmem::
+//! save_image`); every command loads the image, applies the operation,
+//! and writes the image back — the moral equivalent of mapping a real
+//! NVM region per process run.
+//!
+//! ```text
+//! ghkv <pool-file> create [--items N] [--avg-value N]
+//! ghkv <pool-file> set <key> <value>
+//! ghkv <pool-file> get <key>
+//! ghkv <pool-file> del <key>
+//! ghkv <pool-file> list [--limit N]
+//! ghkv <pool-file> stats
+//! ghkv <pool-file> gc
+//! ```
+
+use nvm_kv::{KvConfig, PmemKv};
+use nvm_pmem::{Pmem, Region, SimConfig, SimPmem};
+use std::path::Path;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ghkv <pool-file> <command>\n\
+         commands:\n  \
+         create [--items N] [--avg-value N]   make a new pool\n  \
+         set <key> <value>                    store an entry\n  \
+         get <key>                            print an entry's value\n  \
+         del <key>                            delete an entry\n  \
+         list [--limit N]                     print entries\n  \
+         stats                                entry/slot/pool statistics\n  \
+         gc                                   sweep leaked heap slots"
+    );
+    exit(2)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("ghkv: {msg}");
+    exit(1)
+}
+
+fn sim_config() -> SimConfig {
+    // CLI runs don't need the cache/latency model's fidelity; the tiny
+    // hierarchy keeps load/save snappy on big pools.
+    SimConfig::fast_test()
+}
+
+fn load(path: &Path) -> (SimPmem, PmemKv<SimPmem>) {
+    let mut pm = SimPmem::load_image(path, sim_config())
+        .unwrap_or_else(|e| fail(format!("opening {}: {e}", path.display())));
+    let region = Region::new(0, pm.len());
+    let mut kv = PmemKv::open(&mut pm, region).unwrap_or_else(|e| fail(e));
+    // Always run recovery: the previous writer may have been killed.
+    kv.recover(&mut pm);
+    (pm, kv)
+}
+
+fn store(path: &Path, pm: &SimPmem) {
+    pm.save_image(path)
+        .unwrap_or_else(|e| fail(format!("saving {}: {e}", path.display())));
+}
+
+/// Extracts `--flag N` from args, returning the remainder.
+fn take_flag(args: &mut Vec<String>, flag: &str, default: u64) -> u64 {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            fail(format!("missing value for {flag}"));
+        }
+        let v = args[pos + 1]
+            .parse()
+            .unwrap_or_else(|e| fail(format!("{flag}: {e}")));
+        args.drain(pos..=pos + 1);
+        v
+    } else {
+        default
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let pool = std::path::PathBuf::from(args.remove(0));
+    let cmd = args.remove(0);
+
+    match cmd.as_str() {
+        "create" => {
+            let items = take_flag(&mut args, "--items", 100_000);
+            let avg_value = take_flag(&mut args, "--avg-value", 128);
+            if !args.is_empty() {
+                usage();
+            }
+            let cfg = KvConfig::for_capacity(items, avg_value);
+            let size = PmemKv::<SimPmem>::required_size(&cfg);
+            let mut pm = SimPmem::new(size, sim_config());
+            PmemKv::create(&mut pm, Region::new(0, size), &cfg).unwrap_or_else(|e| fail(e));
+            store(&pool, &pm);
+            println!(
+                "created {} ({:.1} MiB, ~{items} entries x {avg_value}B values)",
+                pool.display(),
+                size as f64 / (1 << 20) as f64
+            );
+        }
+        "set" => {
+            if args.len() != 2 {
+                usage();
+            }
+            let (mut pm, mut kv) = load(&pool);
+            kv.set(&mut pm, args[0].as_bytes(), args[1].as_bytes())
+                .unwrap_or_else(|e| fail(e));
+            store(&pool, &pm);
+        }
+        "get" => {
+            if args.len() != 1 {
+                usage();
+            }
+            let (mut pm, kv) = load(&pool);
+            match kv.get(&mut pm, args[0].as_bytes()) {
+                Some(v) => println!("{}", String::from_utf8_lossy(&v)),
+                None => {
+                    eprintln!("ghkv: key not found");
+                    exit(1);
+                }
+            }
+        }
+        "del" => {
+            if args.len() != 1 {
+                usage();
+            }
+            let (mut pm, mut kv) = load(&pool);
+            let was_there = kv.delete(&mut pm, args[0].as_bytes());
+            store(&pool, &pm);
+            if !was_there {
+                eprintln!("ghkv: key not found");
+                exit(1);
+            }
+        }
+        "list" => {
+            let limit = take_flag(&mut args, "--limit", u64::MAX);
+            if !args.is_empty() {
+                usage();
+            }
+            let (mut pm, kv) = load(&pool);
+            let mut shown = 0u64;
+            kv.for_each(&mut pm, |k, v| {
+                if shown < limit {
+                    println!(
+                        "{}\t{}",
+                        String::from_utf8_lossy(k),
+                        String::from_utf8_lossy(v)
+                    );
+                }
+                shown += 1;
+            });
+            if shown > limit {
+                eprintln!("... ({} more)", shown - limit);
+            }
+        }
+        "stats" => {
+            if !args.is_empty() {
+                usage();
+            }
+            let (mut pm, kv) = load(&pool);
+            let (entries, slots) = kv.usage(&mut pm);
+            println!("pool:    {} ({} bytes)", pool.display(), pm.len());
+            println!("entries: {entries}");
+            println!("slots:   {slots} ({} leaked)", slots - entries);
+            kv.check_consistency(&mut pm)
+                .map(|_| println!("status:  consistent"))
+                .unwrap_or_else(|e| fail(format!("INCONSISTENT: {e}")));
+        }
+        "gc" => {
+            if !args.is_empty() {
+                usage();
+            }
+            let (mut pm, mut kv) = load(&pool);
+            let n = kv.gc(&mut pm);
+            store(&pool, &pm);
+            println!("reclaimed {n} leaked slots");
+        }
+        _ => usage(),
+    }
+}

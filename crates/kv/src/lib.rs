@@ -1,0 +1,579 @@
+//! A small crash-consistent key-value engine on group hashing.
+//!
+//! The paper's table stores fixed-size cells; real stores (the
+//! memcached-class systems its introduction cites) hold string keys and
+//! variable-size values. `PmemKv` composes the workspace's pieces into
+//! that system, inside one persistent pool:
+//!
+//! * a [`GroupHash`] **index** mapping 16-byte key fingerprints
+//!   (MurmurHash3 x64-128) to 8-byte persistent pointers;
+//! * a [`PmemAlloc`] **heap** holding `[key_len | key | value]` blobs, so
+//!   fingerprint collisions are detected by comparing the stored key.
+//!
+//! # Crash consistency, without a log
+//!
+//! Every mutation is a sequence of individually-committed steps ordered
+//! so that a crash anywhere leaves the store *consistent*, at worst
+//! *leaking* heap slots that [`PmemKv::gc`] reclaims:
+//!
+//! * **insert**: commit blob → commit index entry. Crash between: an
+//!   unreferenced blob (leak).
+//! * **update**: commit new blob → atomically swap the 8-byte pointer in
+//!   the index (old value or new value, never torn) → free old blob.
+//!   Crash windows leak either the new or the old blob.
+//! * **delete**: remove index entry (atomic bitmap clear) → free blob.
+//!   Crash between: a leak.
+//!
+//! The index itself is exactly the paper's structure, so its own
+//! crash-recovery story (Algorithm 4) carries over; [`PmemKv::recover`]
+//! runs it and then sweeps leaks.
+
+use group_hash::{GroupHash, GroupHashConfig};
+use nvm_alloc::{AllocConfig, AllocError, PmemAlloc, PmemPtr};
+use nvm_hashfn::murmur3_x64_128;
+use nvm_pmem::{align_up, Pmem, Region, RegionAllocator, CACHELINE};
+use nvm_table::InsertError;
+use std::collections::HashSet;
+
+/// Magic word identifying a KV header ("NVKVSTR1").
+const MAGIC: u64 = 0x4E56_4B56_5354_5231;
+
+/// Errors from the KV engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvError {
+    /// The index has no free cell for this key.
+    IndexFull,
+    /// The heap cannot store this value.
+    Heap(AllocError),
+    /// Construction/open failed.
+    Layout(String),
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::IndexFull => write!(f, "index full"),
+            KvError::Heap(e) => write!(f, "heap: {e}"),
+            KvError::Layout(e) => write!(f, "layout: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {}
+
+impl From<AllocError> for KvError {
+    fn from(e: AllocError) -> Self {
+        KvError::Heap(e)
+    }
+}
+
+/// Engine geometry.
+#[derive(Debug, Clone)]
+pub struct KvConfig {
+    /// Index cells per level (power of two); capacity ≈ 2× this.
+    pub index_cells_per_level: u64,
+    /// Group size for the index.
+    pub group_size: u64,
+    /// Heap slot-storage budget in bytes.
+    pub heap_bytes: u64,
+    /// Hash seed.
+    pub seed: u64,
+}
+
+impl KvConfig {
+    /// A store sized for roughly `items` entries of ≤`avg_value` bytes.
+    pub fn for_capacity(items: u64, avg_value: u64) -> Self {
+        let cells = (items * 2).next_power_of_two().max(128);
+        KvConfig {
+            index_cells_per_level: cells / 2,
+            group_size: 64.min(cells / 2),
+            // 2x headroom: the balanced class split cannot match every
+            // value-size distribution exactly.
+            heap_bytes: (items * (avg_value + 64) * 2).max(4096),
+            seed: 0x4B56_5354,
+        }
+    }
+}
+
+/// The engine. All persistent state lives in its pool region.
+pub struct PmemKv<P: Pmem> {
+    index: GroupHash<P, [u8; 16], u64>,
+    heap: PmemAlloc,
+    region: Region,
+}
+
+impl<P: Pmem> PmemKv<P> {
+    /// Header: magic + the four config words (self-describing pools).
+    const HEADER_LEN: usize = 40;
+
+    fn split(region: Region, config: &KvConfig) -> Result<(Region, Region, Region), String> {
+        let index_cfg = Self::index_config(config);
+        let index_size = GroupHash::<P, [u8; 16], u64>::required_size(&index_cfg);
+        let heap_cfg = AllocConfig::balanced(config.heap_bytes);
+        let heap_size = PmemAlloc::required_size(&heap_cfg);
+        let mut alloc = RegionAllocator::new(region.off, region.end());
+        if region.len < Self::HEADER_LEN + index_size + heap_size + 320 {
+            return Err(format!(
+                "region too small: {} < {}",
+                region.len,
+                Self::HEADER_LEN + index_size + heap_size + 320
+            ));
+        }
+        let header_r = alloc.alloc_lines(Self::HEADER_LEN);
+        let index_r = alloc.alloc_lines(index_size);
+        let heap_r = alloc.alloc_lines(heap_size);
+        Ok((header_r, index_r, heap_r))
+    }
+
+    fn index_config(config: &KvConfig) -> GroupHashConfig {
+        GroupHashConfig::new(config.index_cells_per_level, config.group_size)
+            .with_seed(config.seed)
+    }
+
+    /// Pool bytes needed for `config`.
+    pub fn required_size(config: &KvConfig) -> usize {
+        let index_cfg = Self::index_config(config);
+        Self::HEADER_LEN
+            + GroupHash::<P, [u8; 16], u64>::required_size(&index_cfg)
+            + PmemAlloc::required_size(&AllocConfig::balanced(config.heap_bytes))
+            + 576
+    }
+
+    /// Creates a fresh store in `region`.
+    pub fn create(pm: &mut P, region: Region, config: &KvConfig) -> Result<Self, KvError> {
+        let (header_r, index_r, heap_r) = Self::split(region, config).map_err(KvError::Layout)?;
+        let index = GroupHash::create(pm, index_r, Self::index_config(config))
+            .map_err(KvError::Layout)?;
+        let heap = PmemAlloc::create(pm, heap_r, &AllocConfig::balanced(config.heap_bytes))
+            .map_err(KvError::Layout)?;
+        // Self-describing header: config words first, magic last.
+        pm.write_u64(header_r.off + 8, config.index_cells_per_level);
+        pm.write_u64(header_r.off + 16, config.group_size);
+        pm.write_u64(header_r.off + 24, config.heap_bytes);
+        pm.write_u64(header_r.off + 32, config.seed);
+        pm.persist(header_r.off, Self::HEADER_LEN);
+        pm.atomic_write_u64(header_r.off, MAGIC);
+        pm.persist(header_r.off, 8);
+        Ok(PmemKv {
+            index,
+            heap,
+            region,
+        })
+    }
+
+    /// Reads the persisted configuration of a store in `region`.
+    pub fn read_config(pm: &mut P, region: Region) -> Result<KvConfig, KvError> {
+        let off = align_up(region.off, CACHELINE);
+        if !region.contains(off, Self::HEADER_LEN) {
+            return Err(KvError::Layout("region too small for a KV header".into()));
+        }
+        if pm.read_u64(off) != MAGIC {
+            return Err(KvError::Layout("KV magic mismatch".into()));
+        }
+        Ok(KvConfig {
+            index_cells_per_level: pm.read_u64(off + 8),
+            group_size: pm.read_u64(off + 16),
+            heap_bytes: pm.read_u64(off + 24),
+            seed: pm.read_u64(off + 32),
+        })
+    }
+
+    /// Re-opens a store from its persisted header — no configuration
+    /// needed.
+    pub fn open(pm: &mut P, region: Region) -> Result<Self, KvError> {
+        let config = Self::read_config(pm, region)?;
+        let (_, index_r, heap_r) = Self::split(region, &config).map_err(KvError::Layout)?;
+        let index = GroupHash::open(pm, index_r).map_err(KvError::Layout)?;
+        let heap = PmemAlloc::open(pm, heap_r).map_err(KvError::Layout)?;
+        Ok(PmemKv {
+            index,
+            heap,
+            region,
+        })
+    }
+
+    /// 16-byte fingerprint of `key`.
+    fn fingerprint(key: &[u8]) -> [u8; 16] {
+        let (lo, hi) = murmur3_x64_128(key, 0x4B56);
+        let mut f = [0u8; 16];
+        f[..8].copy_from_slice(&lo.to_le_bytes());
+        f[8..].copy_from_slice(&hi.to_le_bytes());
+        f
+    }
+
+    fn encode_blob(key: &[u8], value: &[u8]) -> Vec<u8> {
+        let mut blob = Vec::with_capacity(4 + key.len() + value.len());
+        blob.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        blob.extend_from_slice(key);
+        blob.extend_from_slice(value);
+        blob
+    }
+
+    fn decode_blob(blob: &[u8]) -> (&[u8], &[u8]) {
+        let klen = u32::from_le_bytes(blob[..4].try_into().unwrap()) as usize;
+        (&blob[4..4 + klen], &blob[4 + klen..])
+    }
+
+    /// Reads the blob behind an index entry and checks the stored key.
+    fn load_checked(&self, pm: &mut P, ptr: u64, key: &[u8]) -> Option<Vec<u8>> {
+        let blob = self.heap.read(pm, PmemPtr(ptr)).ok()?;
+        let (stored_key, value) = Self::decode_blob(&blob);
+        (stored_key == key).then(|| value.to_vec())
+    }
+
+    /// Stores `key → value` (insert or update).
+    pub fn set(&mut self, pm: &mut P, key: &[u8], value: &[u8]) -> Result<(), KvError> {
+        let fp = Self::fingerprint(key);
+        let blob = Self::encode_blob(key, value);
+        match self.index.get(pm, &fp) {
+            Some(old_ptr) => {
+                // Update: commit new blob, atomically swap the pointer,
+                // then free the old blob.
+                let new_ptr = self.heap.alloc(pm, &blob)?;
+                let swapped = self.index.update_in_place(pm, &fp, new_ptr.0);
+                debug_assert!(swapped);
+                // Old blob now unreachable; reclaim it.
+                let _ = self.heap.free(pm, PmemPtr(old_ptr));
+                Ok(())
+            }
+            None => {
+                let ptr = self.heap.alloc(pm, &blob)?;
+                match self.index.insert(pm, fp, ptr.0) {
+                    Ok(()) => Ok(()),
+                    Err(InsertError::TableFull) => {
+                        // Index refused: roll the blob back (still crash
+                        // safe — worst case it leaks and gc reclaims).
+                        let _ = self.heap.free(pm, ptr);
+                        Err(KvError::IndexFull)
+                    }
+                    Err(e) => unreachable!("insert: {e}"),
+                }
+            }
+        }
+    }
+
+    /// Fetches `key`'s value.
+    pub fn get(&self, pm: &mut P, key: &[u8]) -> Option<Vec<u8>> {
+        let fp = Self::fingerprint(key);
+        let ptr = self.index.get(pm, &fp)?;
+        self.load_checked(pm, ptr, key)
+    }
+
+    /// Deletes `key`, returning whether it was present.
+    pub fn delete(&mut self, pm: &mut P, key: &[u8]) -> bool {
+        let fp = Self::fingerprint(key);
+        let Some(ptr) = self.index.get(pm, &fp) else {
+            return false;
+        };
+        // Verify before destroying (fingerprint collision paranoia).
+        if self.load_checked(pm, ptr, key).is_none() {
+            return false;
+        }
+        let removed = self.index.remove(pm, &fp);
+        debug_assert!(removed);
+        let _ = self.heap.free(pm, PmemPtr(ptr));
+        true
+    }
+
+    /// Number of entries.
+    pub fn len(&self, pm: &mut P) -> u64 {
+        self.index.len(pm)
+    }
+
+    /// True when the store holds no entries.
+    pub fn is_empty(&self, pm: &mut P) -> bool {
+        self.len(pm) == 0
+    }
+
+    /// Post-crash recovery: repairs the index (Algorithm 4) and sweeps
+    /// leaked heap slots. Returns the number of leaks reclaimed.
+    pub fn recover(&mut self, pm: &mut P) -> u64 {
+        self.index.recover(pm);
+        self.gc(pm)
+    }
+
+    /// Mark-and-sweep: frees heap slots not referenced by the index.
+    /// Returns the number reclaimed.
+    pub fn gc(&mut self, pm: &mut P) -> u64 {
+        let mut live: HashSet<u64> = HashSet::new();
+        self.index.for_each_entry(pm, |_, ptr| {
+            live.insert(ptr);
+        });
+        let mut dead = Vec::new();
+        self.heap.for_each_allocated(pm, |p| {
+            if !live.contains(&p.0) {
+                dead.push(p);
+            }
+        });
+        let n = dead.len() as u64;
+        for p in dead {
+            let _ = self.heap.free(pm, p);
+        }
+        n
+    }
+
+    /// Structural validation: index invariants, every index pointer
+    /// resolves to an allocated blob whose stored key fingerprints back
+    /// to its index cell, and no two entries share a blob.
+    pub fn check_consistency(&self, pm: &mut P) -> Result<(), String> {
+        use nvm_table::HashScheme;
+        self.index.check_consistency(pm)?;
+        let mut entries = Vec::new();
+        self.index.for_each_entry(pm, |fp, ptr| {
+            entries.push((fp, ptr));
+        });
+        let mut seen = HashSet::new();
+        for (fp, ptr) in entries {
+            if !seen.insert(ptr) {
+                return Err(format!("blob {ptr:#x} referenced twice"));
+            }
+            let blob = self
+                .heap
+                .read(pm, PmemPtr(ptr))
+                .map_err(|e| format!("index points at bad blob: {e}"))?;
+            let (key, _) = Self::decode_blob(&blob);
+            if Self::fingerprint(key) != fp {
+                return Err(format!("blob {ptr:#x} key does not match its fingerprint"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Visits every `(key, value)` pair (order unspecified).
+    pub fn for_each(&self, pm: &mut P, mut f: impl FnMut(&[u8], &[u8])) {
+        let mut ptrs = Vec::new();
+        self.index.for_each_entry(pm, |_, ptr| ptrs.push(ptr));
+        for ptr in ptrs {
+            if let Ok(blob) = self.heap.read(pm, PmemPtr(ptr)) {
+                let (k, v) = Self::decode_blob(&blob);
+                f(k, v);
+            }
+        }
+    }
+
+    /// (index entries, heap slots allocated) — equal when there are no
+    /// leaks.
+    pub fn usage(&self, pm: &mut P) -> (u64, u64) {
+        (self.index.len(pm), self.heap.allocated(pm))
+    }
+
+    /// The store's pool region.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_pmem::{CrashResolution, SimConfig, SimPmem};
+
+    fn setup(items: u64) -> (SimPmem, PmemKv<SimPmem>, Region, KvConfig) {
+        setup_avg(items, 64)
+    }
+
+    fn setup_avg(items: u64, avg_value: u64) -> (SimPmem, PmemKv<SimPmem>, Region, KvConfig) {
+        let cfg = KvConfig::for_capacity(items, avg_value);
+        let size = PmemKv::<SimPmem>::required_size(&cfg);
+        let mut pm = SimPmem::new(size, SimConfig::fast_test());
+        let region = Region::new(0, size);
+        let kv = PmemKv::create(&mut pm, region, &cfg).unwrap();
+        (pm, kv, region, cfg)
+    }
+
+    #[test]
+    fn set_get_delete_roundtrip() {
+        let (mut pm, mut kv, _, _) = setup(100);
+        kv.set(&mut pm, b"user:1", b"ada").unwrap();
+        kv.set(&mut pm, b"user:2", b"grace").unwrap();
+        assert_eq!(kv.get(&mut pm, b"user:1").as_deref(), Some(&b"ada"[..]));
+        assert_eq!(kv.get(&mut pm, b"user:2").as_deref(), Some(&b"grace"[..]));
+        assert_eq!(kv.get(&mut pm, b"user:3"), None);
+        assert!(kv.delete(&mut pm, b"user:1"));
+        assert_eq!(kv.get(&mut pm, b"user:1"), None);
+        assert!(!kv.delete(&mut pm, b"user:1"));
+        assert_eq!(kv.len(&mut pm), 1);
+        kv.check_consistency(&mut pm).unwrap();
+        assert_eq!(kv.usage(&mut pm), (1, 1));
+    }
+
+    #[test]
+    fn update_replaces_and_reclaims() {
+        let (mut pm, mut kv, _, _) = setup(100);
+        kv.set(&mut pm, b"k", b"small").unwrap();
+        kv.set(&mut pm, b"k", b"a much longer value that needs a bigger class")
+            .unwrap();
+        assert_eq!(
+            kv.get(&mut pm, b"k").as_deref(),
+            Some(&b"a much longer value that needs a bigger class"[..])
+        );
+        // No leak: old blob was freed.
+        assert_eq!(kv.usage(&mut pm), (1, 1));
+        kv.check_consistency(&mut pm).unwrap();
+    }
+
+    #[test]
+    fn variable_sizes_and_many_keys() {
+        let (mut pm, mut kv, _, _) = setup_avg(500, 256);
+        for i in 0..300u32 {
+            let key = format!("key-{i}");
+            let value = vec![i as u8; (i % 200) as usize];
+            kv.set(&mut pm, key.as_bytes(), &value).unwrap();
+        }
+        for i in 0..300u32 {
+            let key = format!("key-{i}");
+            assert_eq!(
+                kv.get(&mut pm, key.as_bytes()),
+                Some(vec![i as u8; (i % 200) as usize]),
+                "{key}"
+            );
+        }
+        assert_eq!(kv.len(&mut pm), 300);
+        kv.check_consistency(&mut pm).unwrap();
+    }
+
+    #[test]
+    fn reopen_preserves_store() {
+        let (mut pm, mut kv, region, _cfg) = setup(100);
+        kv.set(&mut pm, b"alpha", b"1").unwrap();
+        kv.set(&mut pm, b"beta", b"2").unwrap();
+        drop(kv);
+        let kv2 = PmemKv::open(&mut pm, region).unwrap();
+        assert_eq!(kv2.get(&mut pm, b"alpha").as_deref(), Some(&b"1"[..]));
+        assert_eq!(kv2.len(&mut pm), 2);
+        kv2.check_consistency(&mut pm).unwrap();
+    }
+
+    #[test]
+    fn gc_reclaims_orphans() {
+        let (mut pm, mut kv, _, _) = setup(100);
+        kv.set(&mut pm, b"live", b"v").unwrap();
+        // Fabricate a leak: allocate directly in the heap, bypassing the
+        // index (exactly the state a crash between blob and index commit
+        // leaves behind).
+        kv.heap.alloc(&mut pm, b"orphan").unwrap();
+        assert_eq!(kv.usage(&mut pm), (1, 2));
+        assert_eq!(kv.gc(&mut pm), 1);
+        assert_eq!(kv.usage(&mut pm), (1, 1));
+        assert_eq!(kv.get(&mut pm, b"live").as_deref(), Some(&b"v"[..]));
+        kv.check_consistency(&mut pm).unwrap();
+    }
+
+    #[test]
+    fn crash_anywhere_in_set_update_delete_is_safe() {
+        use nvm_pmem::{run_with_crash, CrashPlan};
+        let (mut pm0, mut kv0, region, _cfg) = setup(64);
+        kv0.set(&mut pm0, b"stable", b"rock").unwrap();
+        kv0.set(&mut pm0, b"victim", b"old-value").unwrap();
+
+        // Three in-flight ops to crash: fresh set, update, delete.
+        type OpFn = fn(&mut PmemKv<SimPmem>, &mut SimPmem);
+        let ops: [(&str, OpFn); 3] = [
+            ("set-new", |kv, pm| kv.set(pm, b"fresh", b"new").unwrap()),
+            ("update", |kv, pm| {
+                kv.set(pm, b"victim", b"new-value").unwrap()
+            }),
+            ("delete", |kv, pm| {
+                assert!(kv.delete(pm, b"victim"));
+            }),
+        ];
+        for (name, op) in ops {
+            let mut at = 0u64;
+            loop {
+                let mut pm = pm0.clone();
+                let mut kv = PmemKv::open(&mut pm, region).unwrap();
+                let base = pm.events();
+                pm.set_crash_plan(Some(CrashPlan {
+                    at_event: base + at,
+                }));
+                let done = run_with_crash(|| op(&mut kv, &mut pm)).is_ok();
+                pm.crash(CrashResolution::Random(at));
+
+                let mut kv = PmemKv::open(&mut pm, region).unwrap();
+                let leaks = kv.recover(&mut pm);
+                kv.check_consistency(&mut pm)
+                    .unwrap_or_else(|e| panic!("{name} crash at +{at}: {e}"));
+                // Stable entry always intact.
+                assert_eq!(
+                    kv.get(&mut pm, b"stable").as_deref(),
+                    Some(&b"rock"[..]),
+                    "{name} at +{at}"
+                );
+                // The targeted key is in a sane pre- or post-state.
+                match name {
+                    "set-new" => {
+                        let got = kv.get(&mut pm, b"fresh");
+                        assert!(
+                            got.is_none() || got.as_deref() == Some(b"new"),
+                            "{name} at +{at}: {got:?}"
+                        );
+                    }
+                    "update" => {
+                        let got = kv.get(&mut pm, b"victim");
+                        assert!(
+                            got.as_deref() == Some(b"old-value")
+                                || got.as_deref() == Some(b"new-value"),
+                            "{name} at +{at}: {got:?}"
+                        );
+                    }
+                    "delete" => {
+                        let got = kv.get(&mut pm, b"victim");
+                        assert!(
+                            got.is_none() || got.as_deref() == Some(b"old-value"),
+                            "{name} at +{at}: {got:?}"
+                        );
+                    }
+                    _ => unreachable!(),
+                }
+                // After recovery there are never leaks left behind.
+                let (entries, slots) = kv.usage(&mut pm);
+                assert_eq!(entries, slots, "{name} at +{at}: leak survived gc ({leaks})");
+                if done {
+                    break;
+                }
+                at += 1;
+                assert!(at < 300, "{name}: op never completed");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_keys_and_values() {
+        let (mut pm, mut kv, _, _) = setup(32);
+        kv.set(&mut pm, b"", b"empty-key").unwrap();
+        kv.set(&mut pm, b"empty-value", b"").unwrap();
+        assert_eq!(kv.get(&mut pm, b"").as_deref(), Some(&b"empty-key"[..]));
+        assert_eq!(kv.get(&mut pm, b"empty-value").as_deref(), Some(&b""[..]));
+        kv.check_consistency(&mut pm).unwrap();
+    }
+
+    #[test]
+    fn index_full_is_clean() {
+        let cfg = KvConfig {
+            index_cells_per_level: 16,
+            group_size: 16,
+            heap_bytes: 64 * 1024,
+            seed: 1,
+        };
+        let size = PmemKv::<SimPmem>::required_size(&cfg);
+        let mut pm = SimPmem::new(size, SimConfig::fast_test());
+        let mut kv = PmemKv::create(&mut pm, Region::new(0, size), &cfg).unwrap();
+        let mut stored = 0;
+        let mut full = false;
+        for i in 0..200u32 {
+            match kv.set(&mut pm, format!("k{i}").as_bytes(), b"v") {
+                Ok(()) => stored += 1,
+                Err(KvError::IndexFull) => {
+                    full = true;
+                    break;
+                }
+                Err(e) => panic!("{e}"),
+            }
+        }
+        assert!(full, "tiny index never filled ({stored} stored)");
+        // The failed insert must not leak its blob.
+        let (entries, slots) = kv.usage(&mut pm);
+        assert_eq!(entries, slots);
+        kv.check_consistency(&mut pm).unwrap();
+    }
+}

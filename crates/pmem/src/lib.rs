@@ -1,0 +1,133 @@
+//! Non-volatile memory substrate.
+//!
+//! The group-hashing paper runs on DRAM-emulated NVM: stores go through the
+//! CPU cache, `clflush` + `mfence` make them durable, and an extra write
+//! latency (300 ns by default) is charged after each cacheline flush. This
+//! crate provides that substrate twice, behind one trait:
+//!
+//! * [`SimPmem`] — a deterministic simulator. It models the volatile-cache /
+//!   persistent-media boundary explicitly: stores are volatile until the
+//!   line is flushed **and** a fence retires the flush; naturally-aligned
+//!   8-byte stores are failure-atomic (the paper's atomicity unit); larger
+//!   writes can tear at 8-byte boundaries on a crash. It is coupled to the
+//!   [`nvm_cachesim`] hierarchy for L3-miss accounting and to a simulated
+//!   clock for latency accounting, and it supports *crash injection* at any
+//!   memory event for consistency testing.
+//! * [`RealPmem`] — a 64-byte-aligned DRAM region driven by real
+//!   `clflush`/`sfence`/`mfence` intrinsics (`core::arch::x86_64`) plus a
+//!   calibrated spin to emulate NVM's slower writes, exactly the PMFS-style
+//!   methodology of the paper's testbed. Used for wall-clock benchmarks.
+//!
+//! Data structures built on top are generic over [`Pmem`], so the same table
+//! code runs under the simulator (deterministic experiments, crash tests)
+//! and on real intrinsics (criterion benches).
+//!
+//! # Consistency contract
+//!
+//! A store is **durable** only after (1) `flush` of its line and (2) a
+//! subsequent `fence`. On a simulated crash:
+//!
+//! * durable bytes survive verbatim;
+//! * every *non-durable* dirty 8-byte word independently either reaches the
+//!   media or not (seeded, reproducible) — lines can also be evicted by the
+//!   cache on their own, which is why unflushed data may still persist;
+//! * an aligned 8-byte word is never torn.
+
+mod clock;
+mod crash;
+mod image;
+mod real;
+mod region;
+mod sim;
+mod stats;
+
+pub use clock::{LatencyModel, SimClock};
+pub use crash::{run_with_crash, CrashPlan, CrashResolution, CrashSignal};
+pub use real::RealPmem;
+pub use region::{align_up, Region, RegionAllocator, CACHELINE};
+pub use sim::{SimConfig, SimPmem};
+pub use stats::PmemStats;
+
+use nvm_cachesim::CacheStats;
+
+/// Byte-addressable persistent memory with explicit persistence control.
+///
+/// Offsets are pool-relative byte addresses. All mutation is volatile until
+/// [`Pmem::flush`] + [`Pmem::fence`]; [`Pmem::persist`] is the common
+/// `clflush; mfence` pairing the paper calls *Persist*.
+pub trait Pmem {
+    /// Reads `buf.len()` bytes at `off`.
+    fn read(&mut self, off: usize, buf: &mut [u8]);
+
+    /// Writes `data` at `off`. Volatile until flushed and fenced.
+    fn write(&mut self, off: usize, data: &[u8]);
+
+    /// Reads a little-endian u64 at `off` (any alignment).
+    fn read_u64(&mut self, off: usize) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(off, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian u64 at `off` (any alignment; not atomic
+    /// unless 8-byte aligned).
+    fn write_u64(&mut self, off: usize, v: u64) {
+        self.write(off, &v.to_le_bytes());
+    }
+
+    /// Failure-atomic 8-byte store. `off` must be 8-byte aligned; panics
+    /// otherwise. This is the paper's commit primitive: on a crash the word
+    /// holds either the old or the new value, never a mixture.
+    fn atomic_write_u64(&mut self, off: usize, v: u64);
+
+    /// Initiates write-back-and-invalidate (`clflush`) of every cacheline
+    /// overlapping `[off, off + len)`. Durability requires a later `fence`.
+    fn flush(&mut self, off: usize, len: usize);
+
+    /// Orders and retires outstanding flushes (`mfence`).
+    fn fence(&mut self);
+
+    /// `flush` + `fence` — the paper's `Persist`.
+    fn persist(&mut self, off: usize, len: usize) {
+        self.flush(off, len);
+        self.fence();
+    }
+
+    /// Pool capacity in bytes.
+    fn len(&self) -> usize;
+
+    /// True if the pool has zero capacity.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Operation counters.
+    fn stats(&self) -> &PmemStats;
+
+    /// Resets operation counters (and, where applicable, cache statistics
+    /// and the simulated clock) without touching contents.
+    fn reset_stats(&mut self);
+
+    /// Simulated elapsed nanoseconds, if this backend models time.
+    fn sim_time_ns(&self) -> Option<u64> {
+        None
+    }
+
+    /// Cache-hierarchy statistics, if this backend models the CPU cache.
+    fn cache_stats(&self) -> Option<&CacheStats> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    #[test]
+    fn default_u64_roundtrip_on_sim() {
+        let mut p = SimPmem::new(4096, SimConfig::fast_test());
+        p.write_u64(16, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(p.read_u64(16), 0xDEAD_BEEF_CAFE_F00D);
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! Operation counters for pmem backends.
+
+/// Counts of persistence-relevant operations since the last reset.
+///
+/// The paper's write-efficiency argument is quantitative: logging roughly
+/// doubles `flushes` and `bytes_written`, and each flush both costs NVM
+/// write latency and invalidates a cacheline. These counters let tests
+/// assert those relationships exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PmemStats {
+    /// `read` calls.
+    pub reads: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// `write` calls (including atomic writes).
+    pub writes: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Failure-atomic 8-byte stores.
+    pub atomic_writes: u64,
+    /// Individual cachelines flushed (a `flush` spanning n lines counts n).
+    pub flushes: u64,
+    /// Memory fences.
+    pub fences: u64,
+}
+
+impl PmemStats {
+    pub fn reset(&mut self) {
+        *self = PmemStats::default();
+    }
+
+    /// `self - earlier`, for measuring a window.
+    pub fn delta_since(&self, earlier: &PmemStats) -> PmemStats {
+        PmemStats {
+            reads: self.reads - earlier.reads,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            writes: self.writes - earlier.writes,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            atomic_writes: self.atomic_writes - earlier.atomic_writes,
+            flushes: self.flushes - earlier.flushes,
+            fences: self.fences - earlier.fences,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_and_reset() {
+        let mut s = PmemStats {
+            reads: 5,
+            bytes_read: 40,
+            writes: 3,
+            bytes_written: 24,
+            atomic_writes: 1,
+            flushes: 2,
+            fences: 2,
+        };
+        let earlier = PmemStats {
+            reads: 1,
+            bytes_read: 8,
+            writes: 1,
+            bytes_written: 8,
+            atomic_writes: 0,
+            flushes: 1,
+            fences: 1,
+        };
+        let d = s.delta_since(&earlier);
+        assert_eq!(d.reads, 4);
+        assert_eq!(d.flushes, 1);
+        s.reset();
+        assert_eq!(s, PmemStats::default());
+    }
+}

@@ -1,0 +1,190 @@
+//! The persistent table header — the paper's *Global info* block.
+//!
+//! One cacheline holding, in order: a magic word (scheme identity +
+//! format version), the hash seed, the occupied-cell `count`, and up to
+//! five scheme-specific geometry words (e.g. `table_size`, `group_size`).
+//!
+//! `count` follows the paper's discipline exactly: it is modified with an
+//! 8-byte atomic store and persisted immediately (`AtomicInc(count);
+//! Persist(count)` in Algorithms 1 and 3). After a crash it may lag the
+//! bitmap by at most one operation, which recovery repairs by recounting.
+
+use nvm_pmem::{Pmem, Region, CACHELINE};
+
+const OFF_MAGIC: usize = 0;
+const OFF_SEED: usize = 8;
+const OFF_COUNT: usize = 16;
+const OFF_GEO: usize = 24;
+
+/// Number of scheme-specific geometry slots.
+pub const GEO_SLOTS: usize = 5;
+
+/// Header region size (one cacheline).
+const HEADER_LEN: usize = CACHELINE;
+
+/// A table header at a fixed pool region.
+#[derive(Debug, Clone, Copy)]
+pub struct TableHeader {
+    region: Region,
+}
+
+impl TableHeader {
+    /// Bytes a header occupies.
+    pub const SIZE: usize = HEADER_LEN;
+
+    /// Initializes a header: magic + seed + geometry, `count = 0`, all
+    /// persisted.
+    pub fn create<P: Pmem>(
+        pm: &mut P,
+        region: Region,
+        magic: u64,
+        seed: u64,
+        geometry: &[u64],
+    ) -> Self {
+        assert!(region.len >= HEADER_LEN, "header region too small");
+        assert_eq!(region.off % 8, 0, "header must be 8-byte aligned");
+        assert!(geometry.len() <= GEO_SLOTS, "too many geometry words");
+        let h = TableHeader { region };
+        pm.write_u64(region.off + OFF_SEED, seed);
+        pm.write_u64(region.off + OFF_COUNT, 0);
+        for (i, &g) in geometry.iter().enumerate() {
+            pm.write_u64(region.off + OFF_GEO + i * 8, g);
+        }
+        pm.persist(region.off, HEADER_LEN);
+        // Magic goes last: a header is valid only once fully initialized.
+        pm.atomic_write_u64(region.off + OFF_MAGIC, magic);
+        pm.persist(region.off + OFF_MAGIC, 8);
+        h
+    }
+
+    /// Attaches to an existing header, validating the magic word.
+    pub fn open<P: Pmem>(pm: &mut P, region: Region, expected_magic: u64) -> Result<Self, String> {
+        let magic = pm.read_u64(region.off + OFF_MAGIC);
+        if magic != expected_magic {
+            return Err(format!(
+                "header magic mismatch: found {magic:#x}, expected {expected_magic:#x}"
+            ));
+        }
+        Ok(TableHeader { region })
+    }
+
+    /// The persisted hash seed.
+    pub fn seed<P: Pmem>(&self, pm: &mut P) -> u64 {
+        pm.read_u64(self.region.off + OFF_SEED)
+    }
+
+    /// Geometry word `i`.
+    pub fn geometry<P: Pmem>(&self, pm: &mut P, i: usize) -> u64 {
+        assert!(i < GEO_SLOTS);
+        pm.read_u64(self.region.off + OFF_GEO + i * 8)
+    }
+
+    /// Current occupied-cell count.
+    pub fn count<P: Pmem>(&self, pm: &mut P) -> u64 {
+        pm.read_u64(self.region.off + OFF_COUNT)
+    }
+
+    /// The paper's `AtomicInc(count); Persist(count)`.
+    pub fn inc_count<P: Pmem>(&self, pm: &mut P) {
+        let c = self.count(pm);
+        pm.atomic_write_u64(self.region.off + OFF_COUNT, c + 1);
+        pm.persist(self.region.off + OFF_COUNT, 8);
+    }
+
+    /// The paper's `AtomicDec(count); Persist(count)`.
+    pub fn dec_count<P: Pmem>(&self, pm: &mut P) {
+        let c = self.count(pm);
+        assert!(c > 0, "count underflow");
+        pm.atomic_write_u64(self.region.off + OFF_COUNT, c - 1);
+        pm.persist(self.region.off + OFF_COUNT, 8);
+    }
+
+    /// Overwrites the count (recovery only).
+    pub fn set_count<P: Pmem>(&self, pm: &mut P, count: u64) {
+        pm.atomic_write_u64(self.region.off + OFF_COUNT, count);
+        pm.persist(self.region.off + OFF_COUNT, 8);
+    }
+
+    /// Pool offset of the `count` word (for undo logging).
+    pub fn count_off(&self) -> usize {
+        self.region.off + OFF_COUNT
+    }
+
+    /// The header's region.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_pmem::{CrashResolution, SimConfig, SimPmem};
+
+    const MAGIC: u64 = 0x6772_6F75_7048_6173; // "groupHas"
+
+    fn pool() -> SimPmem {
+        SimPmem::new(4096, SimConfig::fast_test())
+    }
+
+    #[test]
+    fn create_open_roundtrip() {
+        let mut pm = pool();
+        let r = Region::new(0, 64);
+        TableHeader::create(&mut pm, r, MAGIC, 77, &[100, 256]);
+        let h = TableHeader::open(&mut pm, r, MAGIC).unwrap();
+        assert_eq!(h.seed(&mut pm), 77);
+        assert_eq!(h.geometry(&mut pm, 0), 100);
+        assert_eq!(h.geometry(&mut pm, 1), 256);
+        assert_eq!(h.count(&mut pm), 0);
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let mut pm = pool();
+        let r = Region::new(0, 64);
+        TableHeader::create(&mut pm, r, MAGIC, 1, &[]);
+        assert!(TableHeader::open(&mut pm, r, MAGIC + 1).is_err());
+    }
+
+    #[test]
+    fn count_inc_dec() {
+        let mut pm = pool();
+        let h = TableHeader::create(&mut pm, Region::new(0, 64), MAGIC, 0, &[]);
+        h.inc_count(&mut pm);
+        h.inc_count(&mut pm);
+        assert_eq!(h.count(&mut pm), 2);
+        h.dec_count(&mut pm);
+        assert_eq!(h.count(&mut pm), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn dec_below_zero_panics() {
+        let mut pm = pool();
+        let h = TableHeader::create(&mut pm, Region::new(0, 64), MAGIC, 0, &[]);
+        h.dec_count(&mut pm);
+    }
+
+    #[test]
+    fn header_survives_crash_after_create() {
+        let mut pm = pool();
+        let r = Region::new(0, 64);
+        TableHeader::create(&mut pm, r, MAGIC, 9, &[5]);
+        pm.crash(CrashResolution::DropUnflushed);
+        let h = TableHeader::open(&mut pm, r, MAGIC).unwrap();
+        assert_eq!(h.seed(&mut pm), 9);
+        assert_eq!(h.geometry(&mut pm, 0), 5);
+    }
+
+    #[test]
+    fn count_update_is_durable() {
+        let mut pm = pool();
+        let r = Region::new(0, 64);
+        let h = TableHeader::create(&mut pm, r, MAGIC, 0, &[]);
+        h.inc_count(&mut pm);
+        pm.crash(CrashResolution::DropUnflushed);
+        let h = TableHeader::open(&mut pm, r, MAGIC).unwrap();
+        assert_eq!(h.count(&mut pm), 1);
+    }
+}

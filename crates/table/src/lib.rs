@@ -1,0 +1,28 @@
+//! Shared toolkit for persistent hash tables.
+//!
+//! Every scheme in the workspace (group hashing and the three baselines) is
+//! built from the same persistent primitives, so that performance and
+//! consistency comparisons measure the *scheme*, not incidental plumbing:
+//!
+//! * [`TableHeader`] — a cacheline of global metadata (the paper's *Global
+//!   info*: `count`, `group_size`, `table_size`, plus magic/seed), with the
+//!   paper's atomic-increment-then-persist counter discipline;
+//! * [`PmemBitmap`] — the per-cell occupancy bitmap. One bit per cell,
+//!   packed 64 to a word; setting or clearing a bit is a naturally-aligned
+//!   8-byte store — the paper's failure-atomic commit primitive;
+//! * [`CellArray`] — a contiguous array of fixed-size key/value cells;
+//! * [`HashScheme`] — the trait the workload driver and experiment harness
+//!   program against;
+//! * [`ConsistencyMode`] — whether a baseline wraps updates in the undo log
+//!   (the paper's `-L` variants) or runs bare.
+
+mod bitmap;
+mod cells;
+pub mod crashtest;
+mod header;
+mod scheme;
+
+pub use bitmap::PmemBitmap;
+pub use cells::CellArray;
+pub use header::TableHeader;
+pub use scheme::{ConsistencyMode, HashScheme, InsertError, OpKind};

@@ -1,0 +1,147 @@
+//! The common interface every hashing scheme implements.
+
+use nvm_hashfn::{HashKey, Pod};
+use nvm_pmem::Pmem;
+
+/// Why an insertion failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertError {
+    /// No free cell reachable by the scheme's collision policy. For the
+    /// space-utilization experiment (Figure 7) this is the event that
+    /// defines a scheme's utilization ratio.
+    TableFull,
+    /// The key is already present (only returned by `insert_unique`-style
+    /// entry points; the paper's Algorithm 1 never probes for duplicates).
+    DuplicateKey,
+}
+
+impl std::fmt::Display for InsertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InsertError::TableFull => write!(f, "no free cell reachable for this key"),
+            InsertError::DuplicateKey => write!(f, "key already present"),
+        }
+    }
+}
+
+impl std::error::Error for InsertError {}
+
+/// Consistency discipline for the baseline schemes.
+///
+/// Group hashing never needs a log (its 8-byte bitmap commit is the whole
+/// point); the baselines are measured both bare (`None`, the original
+/// published schemes) and logged (`UndoLog`, the paper's `-L` variants that
+/// actually guarantee recoverability).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConsistencyMode {
+    /// Writes are persisted but updates are not atomic across fields — a
+    /// crash mid-update can corrupt the structure.
+    #[default]
+    None,
+    /// Every update runs in an undo-log transaction.
+    UndoLog,
+}
+
+/// Request types measured by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    Insert,
+    Query,
+    Delete,
+}
+
+impl OpKind {
+    pub const ALL: [OpKind; 3] = [OpKind::Insert, OpKind::Query, OpKind::Delete];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Insert => "insert",
+            OpKind::Query => "query",
+            OpKind::Delete => "delete",
+        }
+    }
+}
+
+/// A persistent hash table over a pmem pool.
+///
+/// All persistent state lives in the pool; `self` holds only geometry
+/// derived from the persisted header, so a table can be re-opened from the
+/// raw pool bytes after a crash.
+pub trait HashScheme<P: Pmem, K: HashKey, V: Pod> {
+    /// Scheme name as used in the paper's figures ("linear", "PFHT", ...).
+    fn name(&self) -> &'static str;
+
+    /// Inserts `(key, value)`. Assumes `key` is not present (the paper's
+    /// Algorithm 1); inserting a duplicate shadows rather than updates.
+    fn insert(&mut self, pm: &mut P, key: K, value: V) -> Result<(), InsertError>;
+
+    /// Looks up `key`.
+    fn get(&self, pm: &mut P, key: &K) -> Option<V>;
+
+    /// Removes `key`, returning whether it was present.
+    fn remove(&mut self, pm: &mut P, key: &K) -> bool;
+
+    /// Occupied cells, read from the persistent header.
+    fn len(&self, pm: &mut P) -> u64;
+
+    /// Total cells (both levels / all buckets / stash included).
+    fn capacity(&self) -> u64;
+
+    /// `len / capacity`.
+    fn load_factor(&self, pm: &mut P) -> f64 {
+        self.len(pm) as f64 / self.capacity() as f64
+    }
+
+    /// True when no cell is occupied.
+    fn is_empty(&self, pm: &mut P) -> bool {
+        self.len(pm) == 0
+    }
+
+    /// Post-crash recovery: restores all structural invariants using only
+    /// persistent state. Idempotent.
+    fn recover(&mut self, pm: &mut P);
+
+    /// Verifies structural invariants (count matches occupancy, every key
+    /// reachable from its hash position, no duplicates). `Err` describes
+    /// the first violation. Test/debug aid — O(capacity).
+    fn check_consistency(&self, pm: &mut P) -> Result<(), String>;
+
+    /// Insert that first checks for presence, returning
+    /// [`InsertError::DuplicateKey`] instead of shadowing. Convenience for
+    /// library users; the paper's workloads use distinct keys.
+    fn insert_unique(&mut self, pm: &mut P, key: K, value: V) -> Result<(), InsertError> {
+        if self.get(pm, &key).is_some() {
+            return Err(InsertError::DuplicateKey);
+        }
+        self.insert(pm, key, value)
+    }
+
+    /// True if `key` is present.
+    fn contains(&self, pm: &mut P, key: &K) -> bool {
+        self.get(pm, key).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_error_display() {
+        assert!(InsertError::TableFull.to_string().contains("free cell"));
+        assert!(InsertError::DuplicateKey.to_string().contains("present"));
+    }
+
+    #[test]
+    fn op_kind_labels() {
+        assert_eq!(OpKind::ALL.len(), 3);
+        assert_eq!(OpKind::Insert.label(), "insert");
+        assert_eq!(OpKind::Query.label(), "query");
+        assert_eq!(OpKind::Delete.label(), "delete");
+    }
+
+    #[test]
+    fn consistency_default_is_none() {
+        assert_eq!(ConsistencyMode::default(), ConsistencyMode::None);
+    }
+}

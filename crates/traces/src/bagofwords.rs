@@ -1,0 +1,164 @@
+//! The *Bag-of-Words* trace (paper §4.1) — synthetic equivalent.
+//!
+//! The paper uses the UCI Bag-of-Words PubMed-abstracts collection
+//! (~8.2 M documents, 141,043-word vocabulary, ~730 M (doc, word) pairs)
+//! and keys each hash item by the DocID‖WordID combination; items are 16
+//! bytes. We do not redistribute the dataset; instead we generate a stream
+//! with the same documented shape: per-document distinct word sets whose
+//! words are Zipf-distributed over a PubMed-sized vocabulary and whose
+//! set sizes follow a lognormal-ish distribution around the corpus mean
+//! (~90 distinct words per abstract). Since a hash table is sensitive only
+//! to the key distribution — and DocID‖WordID composites are near-unique
+//! by construction either way — this preserves the trace's behaviour.
+
+use crate::{Trace, Zipf};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+
+/// PubMed's published vocabulary size.
+pub const PUBMED_VOCAB: usize = 141_043;
+
+/// Mean distinct words per PubMed abstract (corpus ≈ 730 M pairs / 8.2 M
+/// docs ≈ 89).
+pub const MEAN_WORDS_PER_DOC: f64 = 89.0;
+
+/// Synthetic PubMed-shaped `(DocID, WordID)` key stream.
+#[derive(Debug, Clone)]
+pub struct BagOfWords {
+    rng: ChaCha8Rng,
+    zipf: Zipf,
+    doc_id: u32,
+    /// Words already emitted for the current document.
+    current_doc_words: HashSet<u32>,
+    /// Distinct words remaining in the current document.
+    remaining_in_doc: usize,
+}
+
+impl BagOfWords {
+    /// Creates the trace with PubMed's published shape.
+    pub fn new(seed: u64) -> Self {
+        Self::with_vocab(seed, PUBMED_VOCAB)
+    }
+
+    /// Creates the trace with a custom vocabulary size (tests).
+    pub fn with_vocab(seed: u64, vocab: usize) -> Self {
+        BagOfWords {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            zipf: Zipf::new(vocab, 1.0),
+            doc_id: 0,
+            current_doc_words: HashSet::new(),
+            remaining_in_doc: 0,
+        }
+    }
+
+    /// Draws the next document's distinct-word count: lognormal-shaped,
+    /// mean ≈ [`MEAN_WORDS_PER_DOC`], clamped to `[1, vocab]`.
+    fn next_doc_len(&mut self) -> usize {
+        // Box-Muller normal, then exponentiate: sigma 0.6 around
+        // ln(mean) - sigma^2/2 keeps the arithmetic mean at the target.
+        let u1: f64 = self.rng.gen_range(1e-12..1.0);
+        let u2: f64 = self.rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let sigma = 0.6;
+        let mu = MEAN_WORDS_PER_DOC.ln() - sigma * sigma / 2.0;
+        let len = (mu + sigma * z).exp().round() as usize;
+        len.clamp(1, self.zipf.support())
+    }
+
+    fn start_new_doc(&mut self) {
+        self.doc_id += 1;
+        self.current_doc_words.clear();
+        self.remaining_in_doc = self.next_doc_len();
+    }
+}
+
+impl Trace for BagOfWords {
+    type Key = u64;
+
+    fn name(&self) -> &'static str {
+        "Bag-of-Words"
+    }
+
+    fn next_key(&mut self) -> u64 {
+        if self.remaining_in_doc == 0 {
+            self.start_new_doc();
+        }
+        // Draw a word not yet used in this document (rejection; the doc
+        // length is clamped to the vocabulary so this terminates).
+        let word = loop {
+            let w = self.zipf.sample(&mut self.rng) as u32;
+            if self.current_doc_words.insert(w) {
+                break w;
+            }
+            // Heavy Zipf heads can make rejection slow for huge docs;
+            // fall back to a uniform fresh word if the set is dense.
+            if self.current_doc_words.len() * 2 > self.zipf.support() {
+                let w = self.rng.gen_range(0..self.zipf.support() as u32);
+                if self.current_doc_words.insert(w) {
+                    break w;
+                }
+            }
+        };
+        self.remaining_in_doc -= 1;
+        // DocID ‖ WordID, as in the paper.
+        ((self.doc_id as u64) << 32) | word as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_distinct() {
+        let mut t = BagOfWords::new(5);
+        let keys = t.take_keys(20_000);
+        let set: HashSet<u64> = keys.iter().copied().collect();
+        assert_eq!(set.len(), keys.len());
+    }
+
+    #[test]
+    fn key_encodes_doc_and_word() {
+        let mut t = BagOfWords::new(5);
+        for _ in 0..5_000 {
+            let k = t.next_key();
+            let word = (k & 0xFFFF_FFFF) as usize;
+            let doc = k >> 32;
+            assert!(word < PUBMED_VOCAB);
+            assert!(doc >= 1);
+        }
+    }
+
+    #[test]
+    fn word_frequencies_are_skewed() {
+        let mut t = BagOfWords::with_vocab(6, 10_000);
+        let mut counts = vec![0u32; 10_000];
+        for _ in 0..50_000 {
+            counts[(t.next_key() & 0xFFFF_FFFF) as usize] += 1;
+        }
+        let head: u32 = counts[..10].iter().sum();
+        let mid: u32 = counts[5000..5010].iter().sum();
+        assert!(head > 20 * mid.max(1), "head {head} vs mid {mid}");
+    }
+
+    #[test]
+    fn doc_lengths_average_near_target() {
+        let mut t = BagOfWords::new(7);
+        let keys = t.take_keys(100_000);
+        let docs = (keys.last().unwrap() >> 32) as f64;
+        let mean = 100_000.0 / docs;
+        assert!(
+            (MEAN_WORDS_PER_DOC * 0.7..MEAN_WORDS_PER_DOC * 1.3).contains(&mean),
+            "mean words/doc {mean}"
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(
+            BagOfWords::new(9).take_keys(500),
+            BagOfWords::new(9).take_keys(500)
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Workload traces and the measurement driver (paper §4.1–4.2).
+//!
+//! The paper evaluates on three real-world traces. One is a synthetic
+//! construction we reproduce exactly; the other two are datasets we cannot
+//! redistribute, so we generate key streams with the same documented shape
+//! (see DESIGN.md's substitution table — the hash tables only ever see the
+//! key distribution):
+//!
+//! * [`RandomNum`] — uniform random integers in `[0, 2^26)`, 16-byte items
+//!   (the construction used by [26, 34] and §4.1).
+//! * [`BagOfWords`] — PubMed-abstract-shaped `(DocID, WordID)` pairs:
+//!   ~141 k-word vocabulary, Zipf-distributed word frequencies, lognormal
+//!   document lengths; keys are `DocID ‖ WordID`, 16-byte items.
+//! * [`Fingerprint`] — MD5 digests (computed with this workspace's own MD5)
+//!   of synthetic file identities from a simulated snapshot server;
+//!   16-byte keys, 32-byte items.
+//!
+//! [`Workload`] packages the paper's measurement protocol: fill the table
+//! to a target load factor, then insert 1000 fresh items, query 1000
+//! resident items, delete 1000 items, reporting per-op latency and L3
+//! misses.
+
+mod bagofwords;
+mod fingerprint;
+mod randomnum;
+mod workload;
+mod zipf;
+
+pub use bagofwords::BagOfWords;
+pub use fingerprint::Fingerprint;
+pub use randomnum::RandomNum;
+pub use workload::{OpMetrics, Workload, WorkloadReport};
+pub use zipf::Zipf;
+
+use nvm_hashfn::HashKey;
+
+/// A stream of distinct keys.
+///
+/// Generators are deterministic in their seed and deduplicate internally,
+/// so table semantics stay clean (the paper's Algorithm 1 assumes distinct
+/// keys).
+pub trait Trace {
+    /// Key type stored in the table.
+    type Key: HashKey;
+
+    /// Trace name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Produces the next distinct key.
+    fn next_key(&mut self) -> Self::Key;
+
+    /// Produces `n` distinct keys.
+    fn take_keys(&mut self, n: usize) -> Vec<Self::Key> {
+        (0..n).map(|_| self.next_key()).collect()
+    }
+}

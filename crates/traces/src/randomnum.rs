@@ -1,0 +1,103 @@
+//! The *RandomNum* trace (paper §4.1).
+//!
+//! "We generate the random integer ranging from 0 to 2^26 and use the
+//! generated integers as the keys of the hash items." Items are 16 bytes
+//! (u64 key + u64 value). The stream is deduplicated so every emitted key
+//! is distinct.
+
+use crate::Trace;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+
+/// Uniform random integer keys in `[0, 2^26)`.
+#[derive(Debug, Clone)]
+pub struct RandomNum {
+    rng: ChaCha8Rng,
+    emitted: HashSet<u64>,
+    bound: u64,
+}
+
+impl RandomNum {
+    /// The paper's key range: `[0, 2^26)`.
+    pub const DEFAULT_BOUND: u64 = 1 << 26;
+
+    /// Creates the trace with the paper's range.
+    pub fn new(seed: u64) -> Self {
+        Self::with_bound(seed, Self::DEFAULT_BOUND)
+    }
+
+    /// Creates the trace with a custom exclusive upper bound.
+    pub fn with_bound(seed: u64, bound: u64) -> Self {
+        assert!(bound >= 2, "degenerate key range");
+        RandomNum {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            emitted: HashSet::new(),
+            bound,
+        }
+    }
+}
+
+impl Trace for RandomNum {
+    type Key = u64;
+
+    fn name(&self) -> &'static str {
+        "RandomNum"
+    }
+
+    fn next_key(&mut self) -> u64 {
+        assert!(
+            (self.emitted.len() as u64) < self.bound,
+            "key space exhausted"
+        );
+        loop {
+            let k = self.rng.gen_range(0..self.bound);
+            if self.emitted.insert(k) {
+                return k;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_in_range_and_distinct() {
+        let mut t = RandomNum::new(1);
+        let keys = t.take_keys(10_000);
+        let set: HashSet<u64> = keys.iter().copied().collect();
+        assert_eq!(set.len(), keys.len());
+        assert!(keys.iter().all(|&k| k < RandomNum::DEFAULT_BOUND));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = RandomNum::new(7).take_keys(100);
+        let b = RandomNum::new(7).take_keys(100);
+        let c = RandomNum::new(8).take_keys(100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn small_bound_exhausts_cleanly() {
+        let mut t = RandomNum::with_bound(1, 16);
+        let keys = t.take_keys(16);
+        let set: HashSet<u64> = keys.into_iter().collect();
+        assert_eq!(set.len(), 16); // drew the whole space
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn over_drawing_panics() {
+        let mut t = RandomNum::with_bound(1, 4);
+        t.take_keys(5);
+    }
+
+    #[test]
+    fn name_matches_paper() {
+        assert_eq!(RandomNum::new(0).name(), "RandomNum");
+    }
+}

@@ -1,0 +1,358 @@
+//! The paper's measurement protocol (§4.2).
+//!
+//! "We first insert items into the hash table until the load factor
+//! reaches the predefined value. After that, we insert 1000 items into the
+//! hash table, then query and delete 1000 items from the hash table. At
+//! last, we calculate the average latency of requesting an item."
+//!
+//! [`Workload::run`] executes exactly that against any
+//! [`HashScheme`]/[`Trace`] pair, reporting per-operation latency
+//! (simulated nanoseconds under [`SimPmem`](nvm_pmem::SimPmem), wall-clock
+//! under [`RealPmem`](nvm_pmem::RealPmem)), L3 misses (when the backend
+//! models a cache), and persistence-operation counts.
+
+use crate::Trace;
+use nvm_hashfn::{HashKey, Pod};
+use nvm_pmem::{Pmem, PmemStats};
+use nvm_table::{HashScheme, InsertError, OpKind};
+use std::time::Instant;
+
+/// Per-phase measurements.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpMetrics {
+    /// Operations executed.
+    pub ops: u64,
+    /// Total latency across the phase, nanoseconds (simulated when the
+    /// backend provides a clock, wall-clock otherwise).
+    pub total_ns: u64,
+    /// L3 misses across the phase (0 if the backend has no cache model).
+    pub llc_misses: u64,
+    /// Persistence-operation deltas across the phase.
+    pub pmem: PmemStats,
+}
+
+impl OpMetrics {
+    /// Average latency per operation, nanoseconds.
+    pub fn avg_ns(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.ops as f64
+        }
+    }
+
+    /// Average L3 misses per operation.
+    pub fn avg_llc_misses(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.llc_misses as f64 / self.ops as f64
+        }
+    }
+
+    /// Average flushed cachelines per operation.
+    pub fn avg_flushes(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.pmem.flushes as f64 / self.ops as f64
+        }
+    }
+}
+
+/// Results of one full workload run.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Scheme name (e.g. "group", "linear-L").
+    pub scheme: String,
+    /// Trace name.
+    pub trace: String,
+    /// Load factor actually reached by the fill phase.
+    pub load_factor: f64,
+    /// Items resident after the fill phase.
+    pub fill_count: u64,
+    pub insert: OpMetrics,
+    pub query: OpMetrics,
+    pub delete: OpMetrics,
+}
+
+impl WorkloadReport {
+    /// Metrics for one op kind.
+    pub fn of(&self, kind: OpKind) -> &OpMetrics {
+        match kind {
+            OpKind::Insert => &self.insert,
+            OpKind::Query => &self.query,
+            OpKind::Delete => &self.delete,
+        }
+    }
+}
+
+/// The fill-then-measure workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Target `len / capacity` before measuring.
+    pub load_factor: f64,
+    /// Operations per measured phase (the paper uses 1000).
+    pub ops: usize,
+}
+
+impl Workload {
+    /// The paper's protocol at the given load factor.
+    pub fn paper(load_factor: f64) -> Self {
+        Workload {
+            load_factor,
+            ops: 1000,
+        }
+    }
+
+    /// Fills `table` from `trace` until `load_factor`. Returns the fill
+    /// keys. Stops early (returning fewer) if the scheme rejects an
+    /// insert first.
+    pub fn fill<P, K, V, S, T>(
+        &self,
+        pm: &mut P,
+        table: &mut S,
+        trace: &mut T,
+        mut value_of: impl FnMut(&K) -> V,
+    ) -> Vec<K>
+    where
+        P: Pmem,
+        K: HashKey,
+        V: Pod,
+        S: HashScheme<P, K, V>,
+        T: Trace<Key = K>,
+    {
+        let target = (self.load_factor * table.capacity() as f64) as u64;
+        let mut keys = Vec::with_capacity(target as usize);
+        while table.len(pm) < target {
+            let k = trace.next_key();
+            let v = value_of(&k);
+            match table.insert(pm, k, v) {
+                Ok(()) => keys.push(k),
+                Err(InsertError::TableFull) => break,
+                Err(e) => panic!("fill insert failed: {e}"),
+            }
+        }
+        keys
+    }
+
+    /// Runs the full protocol. `value_of` maps keys to stored values.
+    pub fn run<P, K, V, S, T>(
+        &self,
+        pm: &mut P,
+        table: &mut S,
+        trace: &mut T,
+        mut value_of: impl FnMut(&K) -> V,
+    ) -> WorkloadReport
+    where
+        P: Pmem,
+        K: HashKey,
+        V: Pod,
+        S: HashScheme<P, K, V>,
+        T: Trace<Key = K>,
+    {
+        let fill_keys = self.fill(pm, table, trace, &mut value_of);
+        let fill_count = table.len(pm);
+        let load_factor = table.load_factor(pm);
+
+        // Fresh keys for the measured inserts (also the delete victims,
+        // keeping the load factor steady across phases).
+        let insert_keys = trace.take_keys(self.ops);
+        // Query victims: resident fill keys, sampled evenly.
+        let step = (fill_keys.len() / self.ops.max(1)).max(1);
+        let query_keys: Vec<K> = fill_keys.iter().step_by(step).take(self.ops).copied().collect();
+
+        let insert = Self::measure(pm, |pm| {
+            let mut done = 0;
+            for k in &insert_keys {
+                if table.insert(pm, *k, value_of(k)).is_ok() {
+                    done += 1;
+                }
+            }
+            done
+        });
+
+        let query = Self::measure(pm, |pm| {
+            let mut found = 0;
+            for k in &query_keys {
+                if table.get(pm, k).is_some() {
+                    found += 1;
+                }
+            }
+            assert_eq!(found, query_keys.len() as u64, "resident key not found");
+            found
+        });
+
+        let delete = Self::measure(pm, |pm| {
+            let mut done = 0;
+            for k in &insert_keys {
+                if table.remove(pm, k) {
+                    done += 1;
+                }
+            }
+            done
+        });
+
+        WorkloadReport {
+            scheme: table.name().to_string(),
+            trace: trace.name().to_string(),
+            load_factor,
+            fill_count,
+            insert,
+            query,
+            delete,
+        }
+    }
+
+    /// Runs `phase`, measuring elapsed time (simulated when available),
+    /// LLC misses, and pmem-op deltas. `phase` returns the op count.
+    fn measure<P: Pmem>(pm: &mut P, phase: impl FnOnce(&mut P) -> u64) -> OpMetrics {
+        let stats_before = *pm.stats();
+        let cache_before = pm.cache_stats().cloned();
+        let sim_before = pm.sim_time_ns();
+        let wall = Instant::now();
+
+        let ops = phase(pm);
+
+        let total_ns = match (sim_before, pm.sim_time_ns()) {
+            (Some(a), Some(b)) => b - a,
+            _ => wall.elapsed().as_nanos() as u64,
+        };
+        let llc_misses = match (cache_before, pm.cache_stats()) {
+            (Some(a), Some(b)) => b.delta_since(&a).llc_misses(),
+            _ => 0,
+        };
+        OpMetrics {
+            ops,
+            total_ns,
+            llc_misses,
+            pmem: pm.stats().delta_since(&stats_before),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RandomNum;
+    use nvm_pmem::{Region, SimConfig, SimPmem};
+    use nvm_table::ConsistencyMode;
+
+    // The workload driver is scheme-agnostic; exercise it with a baseline
+    // (the baselines crate depends on traces only in dev, so use a tiny
+    // in-crate dummy instead).
+    struct Dummy {
+        map: std::collections::HashMap<u64, u64>,
+        cap: u64,
+    }
+
+    impl<P: Pmem> HashScheme<P, u64, u64> for Dummy {
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+        fn insert(&mut self, pm: &mut P, key: u64, value: u64) -> Result<(), InsertError> {
+            // Touch pmem so metrics are non-trivial.
+            pm.write_u64((key % 64) as usize * 8, value);
+            pm.persist((key % 64) as usize * 8, 8);
+            self.map.insert(key, value);
+            Ok(())
+        }
+        fn get(&self, pm: &mut P, key: &u64) -> Option<u64> {
+            pm.read_u64((key % 64) as usize * 8);
+            self.map.get(key).copied()
+        }
+        fn remove(&mut self, pm: &mut P, key: &u64) -> bool {
+            pm.write_u64((key % 64) as usize * 8, 0);
+            pm.persist((key % 64) as usize * 8, 8);
+            self.map.remove(key).is_some()
+        }
+        fn len(&self, _pm: &mut P) -> u64 {
+            self.map.len() as u64
+        }
+        fn capacity(&self) -> u64 {
+            self.cap
+        }
+        fn recover(&mut self, _pm: &mut P) {}
+        fn check_consistency(&self, _pm: &mut P) -> Result<(), String> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn protocol_reaches_load_factor_and_measures() {
+        let mut pm = SimPmem::new(4096, SimConfig::fast_test());
+        let mut t = Dummy {
+            map: Default::default(),
+            cap: 4096,
+        };
+        let mut trace = RandomNum::new(1);
+        let w = Workload { load_factor: 0.5, ops: 100 };
+        let r = w.run(&mut pm, &mut t, &mut trace, |&k| k + 1);
+        assert_eq!(r.scheme, "dummy");
+        assert_eq!(r.trace, "RandomNum");
+        assert!(r.load_factor >= 0.5 && r.load_factor < 0.55, "{}", r.load_factor);
+        assert_eq!(r.insert.ops, 100);
+        assert_eq!(r.query.ops, 100);
+        assert_eq!(r.delete.ops, 100);
+        assert!(r.insert.total_ns > 0);
+        assert!(r.insert.pmem.flushes >= 100);
+        // Load factor unchanged by the measured phases (insert == delete).
+        assert_eq!(t.map.len() as u64, r.fill_count);
+    }
+
+    #[test]
+    fn fill_stops_at_table_full() {
+        struct Tiny;
+        impl<P: Pmem> HashScheme<P, u64, u64> for Tiny {
+            fn name(&self) -> &'static str {
+                "tiny"
+            }
+            fn insert(&mut self, _pm: &mut P, _k: u64, _v: u64) -> Result<(), InsertError> {
+                Err(InsertError::TableFull)
+            }
+            fn get(&self, _pm: &mut P, _k: &u64) -> Option<u64> {
+                None
+            }
+            fn remove(&mut self, _pm: &mut P, _k: &u64) -> bool {
+                false
+            }
+            fn len(&self, _pm: &mut P) -> u64 {
+                0
+            }
+            fn capacity(&self) -> u64 {
+                100
+            }
+            fn recover(&mut self, _pm: &mut P) {}
+            fn check_consistency(&self, _pm: &mut P) -> Result<(), String> {
+                Ok(())
+            }
+        }
+        let mut pm = SimPmem::new(4096, SimConfig::fast_test());
+        let mut trace = RandomNum::new(2);
+        let keys = Workload::paper(0.9).fill(&mut pm, &mut Tiny, &mut trace, |&k| k);
+        assert!(keys.is_empty());
+    }
+
+    #[test]
+    fn avg_metrics_divide() {
+        let m = OpMetrics {
+            ops: 4,
+            total_ns: 400,
+            llc_misses: 8,
+            pmem: PmemStats {
+                flushes: 12,
+                ..Default::default()
+            },
+        };
+        assert_eq!(m.avg_ns(), 100.0);
+        assert_eq!(m.avg_llc_misses(), 2.0);
+        assert_eq!(m.avg_flushes(), 3.0);
+        assert_eq!(OpMetrics::default().avg_ns(), 0.0);
+    }
+
+    // Keep the unused imports meaningful for the integration-style test
+    // below (ConsistencyMode/Region re-exported use is exercised in the
+    // harness crate's tests).
+    #[allow(dead_code)]
+    fn _type_uses(_: ConsistencyMode, _: Region) {}
+}

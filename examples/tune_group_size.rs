@@ -1,0 +1,57 @@
+//! Group-size tuning (the paper's §4.5 trade-off, as a library user would
+//! run it on their own workload): sweep group sizes, report latency,
+//! L3 misses, and space utilization, and suggest a choice.
+//!
+//! ```text
+//! cargo run --release --example tune_group_size
+//! ```
+
+use group_hashing::harness::experiments::runner::{run_workload, utilization};
+use group_hashing::harness::{SchemeKind, TraceKind};
+
+fn main() {
+    let cells = 1 << 16;
+    let seed = 2018;
+    println!("sweeping group sizes on RandomNum, {cells} cells, LF 0.5\n");
+    println!(
+        "{:>10}  {:>10}  {:>10}  {:>10}  {:>9}  {:>11}",
+        "group size", "insert ns", "query ns", "delete ns", "util", "miss/query"
+    );
+
+    let mut best: Option<(u64, f64)> = None;
+    for gs in [16u64, 32, 64, 128, 256, 512, 1024] {
+        let r = run_workload(
+            SchemeKind::Group,
+            TraceKind::RandomNum,
+            cells,
+            0.5,
+            500,
+            seed,
+            gs,
+        );
+        let u = utilization(SchemeKind::Group, TraceKind::RandomNum, cells, seed, gs);
+        println!(
+            "{:>10}  {:>10.0}  {:>10.0}  {:>10.0}  {:>8.1}%  {:>11.2}",
+            gs,
+            r.insert.avg_ns(),
+            r.query.avg_ns(),
+            r.delete.avg_ns(),
+            u * 100.0,
+            r.query.avg_llc_misses(),
+        );
+        // Score: smallest group size whose utilization clears 80 %
+        // (the paper's rationale for picking 256).
+        if u >= 0.80 && best.is_none() {
+            best = Some((gs, u));
+        }
+    }
+
+    match best {
+        Some((gs, u)) => println!(
+            "\nsuggestion: group size {gs} — first size reaching >=80% utilization ({:.1}%) \
+             with the lowest latency among those",
+            u * 100.0
+        ),
+        None => println!("\nno group size reached 80% utilization at this table size"),
+    }
+}

@@ -1,0 +1,52 @@
+//! # group-hashing — facade crate
+//!
+//! One-stop entry point for the group-hashing reproduction workspace
+//! (*"A Write-efficient and Consistent Hashing Scheme for Non-Volatile
+//! Memory"*, ICPP 2018). Re-exports every sub-crate under a stable
+//! namespace; see the README for the architecture and `group_hash` (the
+//! `core` module here) for the main data structure.
+//!
+//! ```
+//! use group_hashing::core::{GroupHash, GroupHashConfig};
+//! use group_hashing::pmem::{Pmem, Region, SimConfig, SimPmem};
+//!
+//! let cfg = GroupHashConfig::new(1 << 8, 16);
+//! let size = GroupHash::<SimPmem, u64, u64>::required_size(&cfg);
+//! let mut pm = SimPmem::new(size, SimConfig::fast_test());
+//! let mut t = GroupHash::<_, u64, u64>::create(&mut pm, Region::new(0, size), cfg).unwrap();
+//! t.insert(&mut pm, 7, 70).unwrap();
+//! assert_eq!(t.get(&mut pm, &7), Some(70));
+//! ```
+
+/// The paper's contribution: the group hash table.
+pub use group_hash as core;
+
+/// Crash-consistent slab allocator for variable-size blobs.
+pub use nvm_alloc as alloc;
+
+/// Baseline schemes: linear probing, PFHT, path hashing.
+pub use nvm_baselines as baselines;
+
+/// Key-value engine: group-hash index + slab heap.
+pub use nvm_kv as kv;
+
+/// CPU cache hierarchy simulator.
+pub use nvm_cachesim as cachesim;
+
+/// Hash functions, MD5, key/value traits.
+pub use nvm_hashfn as hashfn;
+
+/// NVM substrate: simulated and real persistent memory.
+pub use nvm_pmem as pmem;
+
+/// Shared persistent-table toolkit.
+pub use nvm_table as table;
+
+/// Trace generators and the workload driver.
+pub use nvm_traces as traces;
+
+/// Undo-log substrate.
+pub use nvm_wal as wal;
+
+/// Experiment harness (figures/tables reproduction).
+pub use gh_harness as harness;

@@ -1,0 +1,127 @@
+//! Concurrency stress for the sharded table and the thread-safety
+//! boundary of the whole stack.
+
+use group_hashing::core::{GroupHash, GroupHashConfig, HashScheme, ShardedGroupHash};
+use group_hashing::pmem::{RealPmem, SimConfig, SimPmem};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+/// Heavy mixed workload from many threads against the sharded table on
+/// the real-intrinsics backend; afterwards every shard must be
+/// structurally consistent and hold exactly the surviving keys.
+#[test]
+fn sharded_mixed_stress_real_backend() {
+    let cfg = GroupHashConfig::new(1 << 12, 128);
+    let size = GroupHash::<RealPmem, u64, u64>::required_size(&cfg);
+    let table = Arc::new(
+        ShardedGroupHash::<RealPmem, u64, u64>::create(8, cfg, |_| {
+            RealPmem::with_write_latency(size, 0)
+        })
+        .unwrap(),
+    );
+
+    let threads = 8u64;
+    let per_thread = 4000u64;
+    let barrier = Arc::new(Barrier::new(threads as usize));
+    let survivors = Arc::new(AtomicU64::new(0));
+
+    let handles: Vec<_> = (0..threads)
+        .map(|tid| {
+            let table = Arc::clone(&table);
+            let barrier = Arc::clone(&barrier);
+            let survivors = Arc::clone(&survivors);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut kept = 0u64;
+                for i in 0..per_thread {
+                    // Disjoint key ranges per thread: deterministic final
+                    // state without cross-thread coordination.
+                    let k = tid * 1_000_000 + i;
+                    table.insert(k, k ^ 0xABCD).unwrap();
+                    if i % 3 == 0 {
+                        assert_eq!(table.get(&k), Some(k ^ 0xABCD));
+                    }
+                    if i % 5 == 0 {
+                        assert!(table.remove(&k));
+                    } else {
+                        kept += 1;
+                    }
+                }
+                survivors.fetch_add(kept, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    assert_eq!(table.len(), survivors.load(Ordering::Relaxed));
+    table.check_consistency().unwrap();
+    // Spot-check final contents.
+    for tid in 0..threads {
+        for i in [1u64, 2, 3, 4, 6, 7] {
+            let k = tid * 1_000_000 + i;
+            assert_eq!(table.get(&k), Some(k ^ 0xABCD), "key {k}");
+        }
+        assert_eq!(table.get(&(tid * 1_000_000)), None); // i % 5 == 0 removed
+    }
+}
+
+/// The simulator backend is also Send: a whole (pool, table) pair can
+/// move to another thread and continue (ownership transfer, the pattern
+/// a thread-per-shard service uses).
+#[test]
+fn sim_pool_moves_across_threads() {
+    let cfg = GroupHashConfig::new(256, 32);
+    let size = GroupHash::<SimPmem, u64, u64>::required_size(&cfg);
+    let mut pm = SimPmem::new(size, SimConfig::fast_test());
+    let region = group_hashing::pmem::Region::new(0, size);
+    let mut t = GroupHash::<SimPmem, u64, u64>::create(&mut pm, region, cfg).unwrap();
+    for k in 0..100u64 {
+        t.insert(&mut pm, k, k).unwrap();
+    }
+
+    let handle = std::thread::spawn(move || {
+        for k in 100..200u64 {
+            t.insert(&mut pm, k, k).unwrap();
+        }
+        (pm, t)
+    });
+    let (mut pm, t) = handle.join().unwrap();
+    assert_eq!(t.len(&mut pm), 200);
+    t.check_consistency(&mut pm).unwrap();
+}
+
+/// Concurrent read-heavy workload: many reader threads over disjoint
+/// shards never block each other into inconsistency.
+#[test]
+fn concurrent_readers_after_bulk_population() {
+    let cfg = GroupHashConfig::new(1 << 10, 64);
+    let size = GroupHash::<RealPmem, u64, u64>::required_size(&cfg);
+    let table = Arc::new(
+        ShardedGroupHash::<RealPmem, u64, u64>::create(4, cfg, |_| {
+            RealPmem::with_write_latency(size, 0)
+        })
+        .unwrap(),
+    );
+    for k in 0..3000u64 {
+        table.insert(k, k * 2).unwrap();
+    }
+
+    let handles: Vec<_> = (0..6)
+        .map(|r| {
+            let table = Arc::clone(&table);
+            std::thread::spawn(move || {
+                for pass in 0..5u64 {
+                    for k in (r..3000u64).step_by(6) {
+                        assert_eq!(table.get(&k), Some(k * 2), "reader {r} pass {pass}");
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(table.len(), 3000);
+}

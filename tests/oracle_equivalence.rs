@@ -1,0 +1,122 @@
+//! Every scheme must behave exactly like a `std::collections::HashMap`
+//! oracle over long randomized operation sequences (insert/get/remove of
+//! distinct keys, mixed with misses).
+
+use gh_harness::{build_any, SchemeKind};
+use group_hashing::pmem::SimConfig;
+use group_hashing::table::{HashScheme, InsertError};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u16),
+    Get(u16),
+    Remove(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u16..512).prop_map(Op::Insert),
+        (0u16..512).prop_map(Op::Get),
+        (0u16..512).prop_map(Op::Remove),
+    ]
+}
+
+fn check_scheme(kind: SchemeKind, ops: &[Op]) -> Result<(), TestCaseError> {
+    let (mut pm, mut table) = build_any::<u64, u64>(kind, 1 << 11, 3, SimConfig::fast_test(), 64);
+    let mut oracle: HashMap<u64, u64> = HashMap::new();
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Insert(k) => {
+                let k = k as u64;
+                if oracle.contains_key(&k) {
+                    continue; // table API assumes distinct keys
+                }
+                let v = k * 7 + 1;
+                match table.insert(&mut pm, k, v) {
+                    Ok(()) => {
+                        oracle.insert(k, v);
+                    }
+                    Err(InsertError::TableFull) => {} // oracle unchanged
+                    Err(e) => prop_assert!(false, "{kind:?} step {step}: {e}"),
+                }
+            }
+            Op::Get(k) => {
+                let k = k as u64;
+                prop_assert_eq!(
+                    table.get(&mut pm, &k),
+                    oracle.get(&k).copied(),
+                    "{:?} step {}: get({})",
+                    kind,
+                    step,
+                    k
+                );
+            }
+            Op::Remove(k) => {
+                let k = k as u64;
+                prop_assert_eq!(
+                    table.remove(&mut pm, &k),
+                    oracle.remove(&k).is_some(),
+                    "{:?} step {}: remove({})",
+                    kind,
+                    step,
+                    k
+                );
+            }
+        }
+    }
+    // Final state identical.
+    prop_assert_eq!(table.len(&mut pm), oracle.len() as u64);
+    for (&k, &v) in &oracle {
+        prop_assert_eq!(table.get(&mut pm, &k), Some(v));
+    }
+    table
+        .check_consistency(&mut pm)
+        .map_err(|e| TestCaseError::fail(format!("{kind:?}: {e}")))?;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn group_matches_oracle(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        check_scheme(SchemeKind::Group, &ops)?;
+    }
+
+    #[test]
+    fn linear_matches_oracle(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        check_scheme(SchemeKind::Linear, &ops)?;
+        check_scheme(SchemeKind::LinearL, &ops)?;
+    }
+
+    #[test]
+    fn pfht_matches_oracle(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        check_scheme(SchemeKind::Pfht, &ops)?;
+        check_scheme(SchemeKind::PfhtL, &ops)?;
+    }
+
+    #[test]
+    fn path_matches_oracle(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        check_scheme(SchemeKind::Path, &ops)?;
+        check_scheme(SchemeKind::PathL, &ops)?;
+    }
+}
+
+/// Deterministic long-run version (denser than the proptest cases).
+#[test]
+fn long_mixed_run_all_schemes() {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+    let ops: Vec<Op> = (0..5000)
+        .map(|_| match rng.gen_range(0..3) {
+            0 => Op::Insert(rng.gen_range(0..900)),
+            1 => Op::Get(rng.gen_range(0..900)),
+            _ => Op::Remove(rng.gen_range(0..900)),
+        })
+        .collect();
+    for kind in SchemeKind::ALL {
+        check_scheme(kind, &ops).unwrap_or_else(|e| panic!("{kind:?}: {e:?}"));
+    }
+}
