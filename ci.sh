@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate — run before every commit. Mirrors what a hosted CI
+# would run, strictest flags on: docs and lints are errors, not noise.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (workspace)"
+cargo test -q --workspace
+
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> ci.sh: all green"

@@ -9,6 +9,7 @@
 
 use crate::journal::Journal;
 use nvm_hashfn::{HashKey, HashPair, Pod};
+use nvm_metrics::SchemeInstrumentation;
 use nvm_pmem::{Pmem, Region, RegionAllocator, CACHELINE};
 use nvm_table::{
     CellArray, ConsistencyMode, HashScheme, InsertError, PmemBitmap, TableHeader,
@@ -33,6 +34,10 @@ pub struct LinearProbing<P: Pmem, K: HashKey, V: Pod> {
     bitmap: PmemBitmap,
     cells: CellArray<K, V>,
     journal: Journal,
+    /// Probe/occupancy/displacement recording (same schema as group
+    /// hashing). Pure DRAM arithmetic; never touches the pool.
+    #[cfg(feature = "instrument")]
+    instr: SchemeInstrumentation,
     region: Region,
     _marker: PhantomData<fn(&mut P)>,
 }
@@ -70,6 +75,8 @@ impl<P: Pmem, K: HashKey, V: Pod> LinearProbing<P, K, V> {
             bitmap: PmemBitmap::attach(b, n),
             cells: CellArray::attach(c, n),
             journal,
+            #[cfg(feature = "instrument")]
+            instr: SchemeInstrumentation::new(16),
             region,
             _marker: PhantomData,
         }
@@ -156,18 +163,46 @@ impl<P: Pmem, K: HashKey, V: Pod> LinearProbing<P, K, V> {
         (i + 1) & (self.n - 1)
     }
 
+    /// Records a completed lookup probe walk (no-op without the
+    /// `instrument` feature).
+    #[inline]
+    fn note_probe(&self, cells: u64) {
+        #[cfg(feature = "instrument")]
+        self.instr.record_probe(cells);
+        #[cfg(not(feature = "instrument"))]
+        let _ = cells;
+    }
+
+    /// Records one insert attempt: cells examined and occupied cells
+    /// stepped over (linear probing never relocates, so displacement is
+    /// always 0).
+    #[inline]
+    fn note_insert(&self, probes: u64, occupied: u64) {
+        #[cfg(feature = "instrument")]
+        {
+            self.instr.record_probe(probes);
+            self.instr.record_occupancy(occupied);
+            self.instr.record_displacement(0);
+        }
+        #[cfg(not(feature = "instrument"))]
+        let _ = (probes, occupied);
+    }
+
     /// Finds the cell holding `key`, walking the probe sequence.
     fn find(&self, pm: &mut P, key: &K) -> Option<u64> {
         let mut i = self.home(key);
-        for _ in 0..self.n {
+        for step in 0..self.n {
             if !self.bitmap.get(pm, i) {
+                self.note_probe(step + 1);
                 return None; // probe invariant: cluster ended
             }
             if self.cells.read_key(pm, i) == *key {
+                self.note_probe(step + 1);
                 return Some(i);
             }
             i = self.next(i);
         }
+        self.note_probe(self.n);
         None
     }
 
@@ -191,10 +226,22 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for LinearProbing<P, K, V>
         }
     }
 
+    fn instrumentation(&self) -> Option<&SchemeInstrumentation> {
+        #[cfg(feature = "instrument")]
+        {
+            Some(&self.instr)
+        }
+        #[cfg(not(feature = "instrument"))]
+        {
+            None
+        }
+    }
+
     fn insert(&mut self, pm: &mut P, key: K, value: V) -> Result<(), InsertError> {
         let mut i = self.home(&key);
-        for _ in 0..self.n {
+        for step in 0..self.n {
             if !self.bitmap.get(pm, i) {
+                self.note_insert(step + 1, step);
                 self.journal.begin(pm);
                 self.journal.record(pm, self.cells.cell_off(i), self.cells.entry_len());
                 self.journal.record(pm, self.bitmap.word_off_of(i), 8);
@@ -209,6 +256,7 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for LinearProbing<P, K, V>
             }
             i = self.next(i);
         }
+        self.note_insert(self.n, self.n);
         Err(InsertError::TableFull)
     }
 

@@ -15,6 +15,7 @@
 
 use crate::journal::Journal;
 use nvm_hashfn::{HashKey, HashPair, Pod};
+use nvm_metrics::SchemeInstrumentation;
 use nvm_pmem::{Pmem, Region, RegionAllocator, CACHELINE};
 use nvm_table::{
     CellArray, ConsistencyMode, HashScheme, InsertError, PmemBitmap, TableHeader,
@@ -49,6 +50,10 @@ pub struct PathHash<P: Pmem, K: HashKey, V: Pod> {
     level_base: Vec<u64>,
     total: u64,
     journal: Journal,
+    /// Probe/occupancy/displacement recording (same schema as group
+    /// hashing). Pure DRAM arithmetic; never touches the pool.
+    #[cfg(feature = "instrument")]
+    instr: SchemeInstrumentation,
     region: Region,
     _marker: PhantomData<fn(&mut P)>,
 }
@@ -127,6 +132,8 @@ impl<P: Pmem, K: HashKey, V: Pod> PathHash<P, K, V> {
             level_base: Self::level_bases(leaf_bits, levels),
             total,
             journal,
+            #[cfg(feature = "instrument")]
+            instr: SchemeInstrumentation::new(16),
             region,
             _marker: PhantomData,
         }
@@ -242,13 +249,42 @@ impl<P: Pmem, K: HashKey, V: Pod> PathHash<P, K, V> {
         None
     }
 
+    /// Records a completed lookup probe walk (no-op without the
+    /// `instrument` feature).
+    #[inline]
+    fn note_probe(&self, cells: u64) {
+        #[cfg(feature = "instrument")]
+        self.instr.record_probe(cells);
+        #[cfg(not(feature = "instrument"))]
+        let _ = cells;
+    }
+
+    /// Records one insert attempt: path cells examined and occupied path
+    /// cells stepped over (position sharing means path hashing never
+    /// relocates, so displacement is always 0).
+    #[inline]
+    fn note_insert(&self, probes: u64, occupied: u64) {
+        #[cfg(feature = "instrument")]
+        {
+            self.instr.record_probe(probes);
+            self.instr.record_occupancy(occupied);
+            self.instr.record_displacement(0);
+        }
+        #[cfg(not(feature = "instrument"))]
+        let _ = (probes, occupied);
+    }
+
     /// Locates `key`.
     fn find(&self, pm: &mut P, key: &K) -> Option<u64> {
         let bitmap = self.bitmap;
         let cells = self.cells;
-        self.scan_paths(pm, key, |pm, idx| {
+        let mut probes = 0u64;
+        let found = self.scan_paths(pm, key, |pm, idx| {
+            probes += 1;
             bitmap.get(pm, idx) && cells.read_key(pm, idx) == *key
-        })
+        });
+        self.note_probe(probes);
+        found
     }
 
     /// Items stored per level (diagnostic).
@@ -271,10 +307,31 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for PathHash<P, K, V> {
         }
     }
 
+    fn instrumentation(&self) -> Option<&SchemeInstrumentation> {
+        #[cfg(feature = "instrument")]
+        {
+            Some(&self.instr)
+        }
+        #[cfg(not(feature = "instrument"))]
+        {
+            None
+        }
+    }
+
     fn insert(&mut self, pm: &mut P, key: K, value: V) -> Result<(), InsertError> {
         let bitmap = self.bitmap;
-        let target = self.scan_paths(pm, &key, |pm, idx| !bitmap.get(pm, idx));
+        let mut probes = 0u64;
+        let mut occupied = 0u64;
+        let target = self.scan_paths(pm, &key, |pm, idx| {
+            probes += 1;
+            let free = !bitmap.get(pm, idx);
+            if !free {
+                occupied += 1;
+            }
+            free
+        });
         let Some(idx) = target else {
+            self.note_insert(probes, occupied);
             return Err(InsertError::TableFull);
         };
         self.journal.begin(pm);
@@ -287,6 +344,7 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for PathHash<P, K, V> {
         self.bitmap.set_and_persist(pm, idx, true);
         self.header.inc_count(pm);
         self.journal.commit(pm);
+        self.note_insert(probes, occupied);
         Ok(())
     }
 

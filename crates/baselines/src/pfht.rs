@@ -14,6 +14,7 @@
 
 use crate::journal::Journal;
 use nvm_hashfn::{HashKey, HashPair, Pod};
+use nvm_metrics::SchemeInstrumentation;
 use nvm_pmem::{Pmem, Region, RegionAllocator, CACHELINE};
 use nvm_table::{
     CellArray, ConsistencyMode, HashScheme, InsertError, PmemBitmap, TableHeader,
@@ -46,6 +47,10 @@ pub struct Pfht<P: Pmem, K: HashKey, V: Pod> {
     bitmap: PmemBitmap,
     cells: CellArray<K, V>,
     journal: Journal,
+    /// Probe/occupancy/displacement recording (same schema as group
+    /// hashing). Pure DRAM arithmetic; never touches the pool.
+    #[cfg(feature = "instrument")]
+    instr: SchemeInstrumentation,
     region: Region,
     _marker: PhantomData<fn(&mut P)>,
 }
@@ -118,6 +123,8 @@ impl<P: Pmem, K: HashKey, V: Pod> Pfht<P, K, V> {
             bitmap: PmemBitmap::attach(b, total),
             cells: CellArray::attach(c, total),
             journal,
+            #[cfg(feature = "instrument")]
+            instr: SchemeInstrumentation::new(2 * BUCKET_CELLS as usize),
             region,
             _marker: PhantomData,
         }
@@ -216,6 +223,31 @@ impl<P: Pmem, K: HashKey, V: Pod> Pfht<P, K, V> {
         self.n_buckets * BUCKET_CELLS
     }
 
+    /// Records a completed lookup probe walk (no-op without the
+    /// `instrument` feature).
+    #[inline]
+    fn note_probe(&self, cells: u64) {
+        #[cfg(feature = "instrument")]
+        self.instr.record_probe(cells);
+        #[cfg(not(feature = "instrument"))]
+        let _ = cells;
+    }
+
+    /// Records one insert attempt: cells examined, occupied cells stepped
+    /// over, and how many residents were displaced (0 or 1 — PFHT's "at
+    /// most one displacement" rule).
+    #[inline]
+    fn note_insert(&self, probes: u64, occupied: u64, displaced: u64) {
+        #[cfg(feature = "instrument")]
+        {
+            self.instr.record_probe(probes);
+            self.instr.record_occupancy(occupied);
+            self.instr.record_displacement(displaced);
+        }
+        #[cfg(not(feature = "instrument"))]
+        let _ = (probes, occupied, displaced);
+    }
+
     /// Finds a free slot in bucket `b`.
     fn free_slot_in(&self, pm: &mut P, b: u64) -> Option<u64> {
         (0..BUCKET_CELLS)
@@ -238,10 +270,13 @@ impl<P: Pmem, K: HashKey, V: Pod> Pfht<P, K, V> {
     /// Locates `key` anywhere (buckets, then stash).
     fn find(&self, pm: &mut P, key: &K) -> Option<u64> {
         let (b1, b2) = self.buckets_of(key);
+        let mut probes = 0u64;
         for b in [b1, b2] {
             for s in 0..BUCKET_CELLS {
                 let idx = self.bucket_cell(b, s);
+                probes += 1;
                 if self.bitmap.get(pm, idx) && self.cells.read_key(pm, idx) == *key {
+                    self.note_probe(probes);
                     return Some(idx);
                 }
             }
@@ -250,10 +285,13 @@ impl<P: Pmem, K: HashKey, V: Pod> Pfht<P, K, V> {
         let base = self.stash_base();
         for i in 0..self.stash_cells {
             let idx = base + i;
+            probes += 1;
             if self.bitmap.get(pm, idx) && self.cells.read_key(pm, idx) == *key {
+                self.note_probe(probes);
                 return Some(idx);
             }
         }
+        self.note_probe(probes);
         None
     }
 
@@ -272,17 +310,35 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for Pfht<P, K, V> {
         }
     }
 
+    fn instrumentation(&self) -> Option<&SchemeInstrumentation> {
+        #[cfg(feature = "instrument")]
+        {
+            Some(&self.instr)
+        }
+        #[cfg(not(feature = "instrument"))]
+        {
+            None
+        }
+    }
+
     fn insert(&mut self, pm: &mut P, key: K, value: V) -> Result<(), InsertError> {
         let (b1, b2) = self.buckets_of(&key);
+        let mut probes = 0u64;
+        let mut occupied = 0u64;
 
         // 1. A free slot in either candidate bucket.
         for b in [b1, b2] {
             if let Some(idx) = self.free_slot_in(pm, b) {
+                // Cells before the first free slot are occupied.
+                let off = idx - self.bucket_cell(b, 0);
                 self.journal.begin(pm);
                 self.place(pm, idx, &key, &value);
                 self.journal.commit(pm);
+                self.note_insert(probes + off + 1, occupied + off, 0);
                 return Ok(());
             }
+            probes += BUCKET_CELLS;
+            occupied += BUCKET_CELLS;
         }
 
         // 2. At most one displacement: move some resident of b1 or b2 to
@@ -291,12 +347,16 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for Pfht<P, K, V> {
             for s in 0..BUCKET_CELLS {
                 let idx = self.bucket_cell(b, s);
                 let resident = self.cells.read_key(pm, idx);
+                probes += 1;
                 let (r1, r2) = self.buckets_of(&resident);
                 let alt = if r1 == b { r2 } else { r1 };
                 if alt == b {
                     continue; // both hashes map here; cannot move
                 }
                 if let Some(alt_idx) = self.free_slot_in(pm, alt) {
+                    let alt_off = alt_idx - self.bucket_cell(alt, 0);
+                    probes += alt_off + 1;
+                    occupied += alt_off;
                     self.journal.begin(pm);
                     // Move resident to its alternate bucket (write first,
                     // then flip bits — the new copy is durable before the
@@ -314,19 +374,25 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for Pfht<P, K, V> {
                     // Place the new item in the freed slot.
                     self.place(pm, idx, &key, &value);
                     self.journal.commit(pm);
+                    self.note_insert(probes, occupied, 1);
                     return Ok(());
                 }
+                probes += BUCKET_CELLS;
+                occupied += BUCKET_CELLS;
             }
         }
 
         // 3. Stash.
         let base = self.stash_base();
         if let Some(idx) = self.bitmap.find_zero_in_range(pm, base, self.stash_cells) {
+            let off = idx - base;
             self.journal.begin(pm);
             self.place(pm, idx, &key, &value);
             self.journal.commit(pm);
+            self.note_insert(probes + off + 1, occupied + off, 0);
             return Ok(());
         }
+        self.note_insert(probes + self.stash_cells, occupied + self.stash_cells, 0);
         Err(InsertError::TableFull)
     }
 

@@ -3,7 +3,7 @@
 //! 0.5 and 0.75.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use gh_bench::{build_real, fill_real, fresh_keys, BenchScheme};
+use gh_bench::{build_real, fill_real, fresh_keys, probe_summary, BenchScheme};
 use nvm_pmem::RealPmem;
 use nvm_table::ConsistencyMode;
 
@@ -35,6 +35,9 @@ fn bench_query(c: &mut Criterion) {
         let mut g = c.benchmark_group(format!("fig5/query/lf{lf}"));
         for (scheme, mode, label) in schemes() {
             let (mut pm, table, filled, _) = prepared(scheme, mode, lf);
+            if let Some(s) = probe_summary(&table) {
+                eprintln!("[{label} lf{lf} after fill] {s}");
+            }
             let mut i = 0usize;
             g.bench_function(&label, |b| {
                 b.iter(|| {

@@ -61,6 +61,31 @@ impl BenchScheme {
             BenchScheme::Group(t) => HashScheme::<RealPmem, u64, u64>::capacity(t),
         }
     }
+
+    /// The scheme's probe/occupancy/displacement histograms. Always
+    /// `Some` here: gh-bench's dependency graph builds the scheme crates
+    /// with their `instrument` feature (via gh-harness).
+    pub fn instrumentation(&self) -> Option<&nvm_metrics::SchemeInstrumentation> {
+        match self {
+            BenchScheme::Linear(t) => HashScheme::<RealPmem, u64, u64>::instrumentation(t),
+            BenchScheme::Pfht(t) => HashScheme::<RealPmem, u64, u64>::instrumentation(t),
+            BenchScheme::Path(t) => HashScheme::<RealPmem, u64, u64>::instrumentation(t),
+            BenchScheme::Group(t) => HashScheme::<RealPmem, u64, u64>::instrumentation(t),
+        }
+    }
+}
+
+/// One-line probe-distribution context for a bench's setup phase, e.g.
+/// `probe p50 1.0 p95 2.0 max 7` — printed so wall-clock numbers can be
+/// read against the search effort behind them.
+pub fn probe_summary(table: &BenchScheme) -> Option<String> {
+    let i = table.instrumentation()?;
+    Some(format!(
+        "probe p50 {:.1} p95 {:.1} max {}",
+        i.probe.p50(),
+        i.probe.p95(),
+        i.probe.max().unwrap_or(0)
+    ))
 }
 
 /// Builds a scheme on a real pool sized for `total_cells`.
@@ -129,4 +154,20 @@ pub fn fresh_keys(seed: u64, skip: usize, n: usize) -> Vec<u64> {
     let mut trace = RandomNum::new(seed);
     let _ = trace.take_keys(skip);
     trace.take_keys(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_summary_available_after_fill() {
+        for name in ["linear", "pfht", "path", "group"] {
+            let (mut pm, mut t) = build_real(name, 1 << 10, ConsistencyMode::None);
+            let keys = fill_real(&mut pm, &mut t, 0.3, 3);
+            assert!(!keys.is_empty());
+            let s = probe_summary(&t).expect("instrument enabled via gh-harness");
+            assert!(s.contains("p50"), "{name}: {s}");
+        }
+    }
 }

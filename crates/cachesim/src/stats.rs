@@ -77,6 +77,11 @@ impl CacheStats {
         self.levels[i]
     }
 
+    /// All per-level counters, innermost (L1) first.
+    pub fn levels(&self) -> &[LevelStats] {
+        &self.levels
+    }
+
     /// Total accesses (reads + writes).
     pub fn accesses(&self) -> u64 {
         self.reads + self.writes
@@ -90,20 +95,24 @@ impl CacheStats {
 
     /// Difference of two snapshots (`self - earlier`), for measuring a
     /// window of execution.
+    ///
+    /// Saturating like `PmemStats::delta_since` in `nvm-pmem`: a reset
+    /// between the snapshot and now clamps each field to 0 instead of
+    /// wrapping.
     pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
         assert_eq!(self.levels.len(), earlier.levels.len());
         CacheStats {
-            reads: self.reads - earlier.reads,
-            writes: self.writes - earlier.writes,
-            invalidations: self.invalidations - earlier.invalidations,
-            prefetches: self.prefetches - earlier.prefetches,
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            invalidations: self.invalidations.saturating_sub(earlier.invalidations),
+            prefetches: self.prefetches.saturating_sub(earlier.prefetches),
             levels: self
                 .levels
                 .iter()
                 .zip(&earlier.levels)
                 .map(|(a, b)| LevelStats {
-                    hits: a.hits - b.hits,
-                    misses: a.misses - b.misses,
+                    hits: a.hits.saturating_sub(b.hits),
+                    misses: a.misses.saturating_sub(b.misses),
                 })
                 .collect(),
         }
@@ -136,5 +145,21 @@ mod tests {
         assert_eq!(d.level(0).hits, 1);
         assert_eq!(d.level(0).misses, 0);
         assert_eq!(d.accesses(), 1);
+    }
+
+    /// Regression: reset between snapshot and delta clamps to zero
+    /// rather than underflowing.
+    #[test]
+    fn delta_saturates_after_reset() {
+        let mut a = CacheStats::new(2);
+        a.record_access(AccessKind::Read);
+        a.record_miss(0);
+        a.record_hit(1);
+        let snap = a.clone();
+        a.reset();
+        let d = a.delta_since(&snap);
+        assert_eq!(d.reads, 0);
+        assert_eq!(d.level(0).misses, 0);
+        assert_eq!(d.level(1).hits, 0);
     }
 }

@@ -10,8 +10,9 @@
 use crate::config::GroupHashConfig;
 use crate::table::GroupHash;
 use nvm_hashfn::{HashKey, Pod, SplitMix64};
+use nvm_metrics::SchemeInstrumentation;
 use nvm_pmem::{Pmem, Region};
-use nvm_table::InsertError;
+use nvm_table::{HashScheme, InsertError};
 use parking_lot::Mutex;
 
 struct Shard<P: Pmem, K: HashKey, V: Pod> {
@@ -112,6 +113,25 @@ impl<P: Pmem, K: HashKey, V: Pod> ShardedGroupHash<P, K, V> {
             let Shard { pm, table } = &mut *s;
             table.recover(pm);
         }
+    }
+
+    /// Probe/occupancy/displacement histograms aggregated across all
+    /// shards — an owned snapshot merged under each shard's lock, so it
+    /// is internally consistent per shard but only globally consistent
+    /// when quiescent. `None` unless the crate was built with the
+    /// `instrument` feature.
+    pub fn instrumentation(&self) -> Option<SchemeInstrumentation> {
+        let mut agg: Option<SchemeInstrumentation> = None;
+        for s in &self.shards {
+            let guard = s.lock();
+            if let Some(i) = HashScheme::instrumentation(&guard.table) {
+                let a = agg.get_or_insert_with(|| {
+                    SchemeInstrumentation::new(guard.table.config().group_size as usize)
+                });
+                a.merge(i);
+            }
+        }
+        agg
     }
 
     /// Checks consistency of every shard.

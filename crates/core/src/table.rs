@@ -3,6 +3,7 @@
 
 use crate::config::{ChoiceMode, CommitStrategy, CountMode, GroupHashConfig, ProbeLayout};
 use nvm_hashfn::{HashKey, HashPair, Pod};
+use nvm_metrics::SchemeInstrumentation;
 use nvm_pmem::{Pmem, Region, RegionAllocator, CACHELINE};
 use nvm_table::{CellArray, HashScheme, InsertError, PmemBitmap, TableHeader};
 use nvm_wal::UndoLog;
@@ -38,6 +39,11 @@ pub struct GroupHash<P: Pmem, K: HashKey, V: Pod> {
     log: Option<UndoLog>,
     /// Cached count for [`CountMode::Volatile`].
     volatile_count: u64,
+    /// Probe/occupancy/displacement recording. Derived purely from
+    /// arithmetic the operations already do — recording never touches the
+    /// pool, so instrumented runs report identical `PmemStats`.
+    #[cfg(feature = "instrument")]
+    instr: SchemeInstrumentation,
     region: Region,
     _marker: PhantomData<fn(&mut P)>,
 }
@@ -86,9 +92,36 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
             cells2: CellArray::attach(c2, n),
             log,
             volatile_count: 0,
+            #[cfg(feature = "instrument")]
+            instr: SchemeInstrumentation::new(config.group_size as usize),
             region,
             _marker: PhantomData,
         }
+    }
+
+    /// Records a completed lookup-style probe sequence (no-op without the
+    /// `instrument` feature).
+    #[inline]
+    fn note_probe(&self, cells: u64) {
+        #[cfg(feature = "instrument")]
+        self.instr.record_probe(cells);
+        #[cfg(not(feature = "instrument"))]
+        let _ = cells;
+    }
+
+    /// Records one insert attempt: cells examined, occupied cells stepped
+    /// over before placement, and the scheme's displacement count (always
+    /// 0 — group hashing never relocates entries).
+    #[inline]
+    fn note_insert(&self, probes: u64, occupied: u64) {
+        #[cfg(feature = "instrument")]
+        {
+            self.instr.record_probe(probes);
+            self.instr.record_occupancy(occupied);
+            self.instr.record_displacement(0);
+        }
+        #[cfg(not(feature = "instrument"))]
+        let _ = (probes, occupied);
     }
 
     /// Creates and initializes a fresh table in `region`.
@@ -300,21 +333,27 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
     }
 
     /// Finds an empty level-2 cell in group `g`, honouring the probe
-    /// layout.
-    fn find_free_in_group(&self, pm: &mut P, g: u64) -> Option<u64> {
+    /// layout. Also returns how many cells were examined: the offset of
+    /// the free cell plus one, or the whole group on a miss (every cell
+    /// examined before the free one is occupied, which is what the
+    /// occupancy histogram records).
+    fn find_free_in_group(&self, pm: &mut P, g: u64) -> (Option<u64>, u64) {
         match self.config.probe {
             ProbeLayout::Contiguous => {
                 let start = g * self.config.group_size;
-                self.bitmap2.find_zero_in_range(pm, start, self.config.group_size)
+                match self.bitmap2.find_zero_in_range(pm, start, self.config.group_size) {
+                    Some(idx) => (Some(idx), idx - start + 1),
+                    None => (None, self.config.group_size),
+                }
             }
             ProbeLayout::Strided => {
                 for i in 0..self.config.group_size {
                     let idx = self.group_cell(g, i);
                     if !self.bitmap2.get(pm, idx) {
-                        return Some(idx);
+                        return (Some(idx), i + 1);
                     }
                 }
-                None
+                (None, self.config.group_size)
             }
         }
     }
@@ -326,7 +365,10 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
     /// ascending address order — an access pattern the hardware stream
     /// prefetcher locks onto (the mechanism behind the paper's
     /// "a single memory access can prefetch the following cells").
-    fn find_key_in_group(&self, pm: &mut P, g: u64, key: &K) -> Option<u64> {
+    /// The second return value counts key comparisons performed (occupied
+    /// cells whose key bytes were read), feeding the probe histogram.
+    fn find_key_in_group(&self, pm: &mut P, g: u64, key: &K) -> (Option<u64>, u64) {
+        let mut compared = 0u64;
         match self.config.probe {
             ProbeLayout::Contiguous => {
                 let start = g * self.config.group_size;
@@ -348,23 +390,27 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
                     while word != 0 {
                         let bit = word.trailing_zeros() as u64;
                         let idx = word_base + bit;
+                        compared += 1;
                         if self.cells2.read_key(pm, idx) == *key {
-                            return Some(idx);
+                            return (Some(idx), compared);
                         }
                         word &= word - 1;
                     }
                     base = word_base + 64;
                 }
-                None
+                (None, compared)
             }
             ProbeLayout::Strided => {
                 for i in 0..self.config.group_size {
                     let idx = self.group_cell(g, i);
-                    if self.bitmap2.get(pm, idx) && self.cells2.read_key(pm, idx) == *key {
-                        return Some(idx);
+                    if self.bitmap2.get(pm, idx) {
+                        compared += 1;
+                        if self.cells2.read_key(pm, idx) == *key {
+                            return (Some(idx), compared);
+                        }
                     }
                 }
-                None
+                (None, compared)
             }
         }
     }
@@ -379,32 +425,49 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
     /// try the second slot and the second matched group before giving up).
     pub fn insert(&mut self, pm: &mut P, key: K, value: V) -> Result<(), InsertError> {
         let (k1, k2) = self.candidate_slots(&key);
+        let mut probes = 1u64; // the k1 slot check
         if !self.bitmap1.get(pm, k1) {
             self.commit_insert(pm, Level::One, k1, &key, &value);
+            self.note_insert(probes, 0);
             return Ok(());
         }
         if let Some(k2) = k2 {
+            probes += 1;
             if !self.bitmap1.get(pm, k2) {
                 self.commit_insert(pm, Level::One, k2, &key, &value);
+                self.note_insert(probes, 1);
                 return Ok(());
             }
         }
+        // Occupied cells stepped over so far: every checked level-1 slot.
+        let mut occupied = probes;
         let g1 = self.group_of(k1);
-        if let Some(idx) = self.find_free_in_group(pm, g1) {
+        let (free, examined) = self.find_free_in_group(pm, g1);
+        probes += examined;
+        if let Some(idx) = free {
+            occupied += examined - 1;
             self.commit_insert(pm, Level::Two, idx, &key, &value);
+            self.note_insert(probes, occupied);
             return Ok(());
         }
+        occupied += examined;
         if let Some(k2) = k2 {
             let g2 = self.group_of(k2);
             if g2 != g1 {
-                if let Some(idx) = self.find_free_in_group(pm, g2) {
+                let (free, examined) = self.find_free_in_group(pm, g2);
+                probes += examined;
+                if let Some(idx) = free {
+                    occupied += examined - 1;
                     self.commit_insert(pm, Level::Two, idx, &key, &value);
+                    self.note_insert(probes, occupied);
                     return Ok(());
                 }
+                occupied += examined;
             }
         }
         // "If there are no empty cells in the matched group, the
         // capacity of the hash table needs to be expanded."
+        self.note_insert(probes, occupied);
         Err(InsertError::TableFull)
     }
 
@@ -418,29 +481,41 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
     }
 
     /// Finds the `(level, cell)` holding `key`, probing the candidate
-    /// slot(s) then the matched group(s).
+    /// slot(s) then the matched group(s). Records one probe-length sample
+    /// (cells examined) per call when instrumentation is enabled.
     fn locate(&self, pm: &mut P, key: &K) -> Option<(Level, u64)> {
         let (k1, k2) = self.candidate_slots(key);
+        let mut probes = 1u64;
         if self.bitmap1.get(pm, k1) && self.cells1.read_key(pm, k1) == *key {
+            self.note_probe(probes);
             return Some((Level::One, k1));
         }
         if let Some(k2) = k2 {
+            probes += 1;
             if self.bitmap1.get(pm, k2) && self.cells1.read_key(pm, k2) == *key {
+                self.note_probe(probes);
                 return Some((Level::One, k2));
             }
         }
         let g1 = self.group_of(k1);
-        if let Some(idx) = self.find_key_in_group(pm, g1, key) {
+        let (found, compared) = self.find_key_in_group(pm, g1, key);
+        probes += compared;
+        if let Some(idx) = found {
+            self.note_probe(probes);
             return Some((Level::Two, idx));
         }
         if let Some(k2) = k2 {
             let g2 = self.group_of(k2);
             if g2 != g1 {
-                if let Some(idx) = self.find_key_in_group(pm, g2, key) {
+                let (found, compared) = self.find_key_in_group(pm, g2, key);
+                probes += compared;
+                if let Some(idx) = found {
+                    self.note_probe(probes);
                     return Some((Level::Two, idx));
                 }
             }
         }
+        self.note_probe(probes);
         None
     }
 
@@ -595,6 +670,17 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for GroupHash<P, K, V> {
 
     fn check_consistency(&self, pm: &mut P) -> Result<(), String> {
         crate::analysis::check_consistency(self, pm)
+    }
+
+    fn instrumentation(&self) -> Option<&SchemeInstrumentation> {
+        #[cfg(feature = "instrument")]
+        {
+            Some(&self.instr)
+        }
+        #[cfg(not(feature = "instrument"))]
+        {
+            None
+        }
     }
 }
 

@@ -12,6 +12,7 @@ fn main() {
     let runs = experiments::fig5::collect(&args);
     experiments::fig5::latency_table(&runs).emit(out, "fig5_latency");
     experiments::fig5::miss_table(&runs).emit(out, "fig6_misses");
+    gh_harness::tablefmt::emit_json(out, "fig5", &experiments::fig5::metrics_json(&runs));
     for t in experiments::fig7::run(&args) {
         t.emit(out, "fig7_utilization");
     }

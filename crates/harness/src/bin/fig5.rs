@@ -1,8 +1,10 @@
 //! Regenerates Figure 5 (request latency across traces and load factors).
+use gh_harness::tablefmt::emit_json;
 use gh_harness::{experiments::fig5, Args};
 
 fn main() {
     let args = Args::parse();
     let runs = fig5::collect(&args);
     fig5::latency_table(&runs).emit(args.out_dir.as_deref(), "fig5_latency");
+    emit_json(args.out_dir.as_deref(), "fig5", &fig5::metrics_json(&runs));
 }

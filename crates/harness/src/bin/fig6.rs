@@ -1,8 +1,10 @@
 //! Regenerates Figure 6 (L3 cache misses across traces and load factors).
+use gh_harness::tablefmt::emit_json;
 use gh_harness::{experiments::fig5, Args};
 
 fn main() {
     let args = Args::parse();
     let runs = fig5::collect(&args);
     fig5::miss_table(&runs).emit(args.out_dir.as_deref(), "fig6_misses");
+    emit_json(args.out_dir.as_deref(), "fig6", &fig5::metrics_json(&runs));
 }

@@ -5,9 +5,10 @@
 //! the logged versions are ≈1.95× slower on insert+delete (Fig 2a) and
 //! take ≈2.16× more L3 misses (Fig 2b).
 
-use crate::experiments::runner::run_workload;
-use crate::tablefmt::{count, ns, ratio, Table};
+use crate::experiments::runner::{experiment_json, run_json, run_workload};
+use crate::tablefmt::{count, emit_json, ns, ratio, Table};
 use crate::{Args, SchemeKind, TraceKind};
+use nvm_metrics::Json;
 use nvm_table::OpKind;
 use nvm_traces::WorkloadReport;
 
@@ -38,10 +39,17 @@ pub fn collect(args: &Args) -> Vec<WorkloadReport> {
         .collect()
 }
 
+/// The experiment's JSON metrics document: one entry per configuration,
+/// each with the shared-schema `metrics` block.
+pub fn metrics_json(reports: &[WorkloadReport]) -> Json {
+    experiment_json("fig2", reports.iter().map(|r| run_json(r, &[])).collect())
+}
+
 /// Builds the Fig 2(a) latency table, Fig 2(b) miss table, and the
 /// logged/bare ratio summary.
 pub fn run(args: &Args) -> Vec<Table> {
     let reports = collect(args);
+    emit_json(args.out_dir.as_deref(), "fig2", &metrics_json(&reports));
 
     let mut lat = Table::new(
         "Figure 2(a): request latency, RandomNum @ LF 0.5 (ns/op, simulated)",

@@ -5,9 +5,10 @@
 //! One collection pass feeds both figures: a workload run yields latency
 //! (Fig 5) and miss counts (Fig 6) simultaneously.
 
-use crate::experiments::runner::run_workload;
-use crate::tablefmt::{count, ns, Table};
+use crate::experiments::runner::{experiment_json, run_json, run_workload};
+use crate::tablefmt::{count, emit_json, ns, Table};
 use crate::{Args, SchemeKind, TraceKind};
+use nvm_metrics::Json;
 use nvm_traces::WorkloadReport;
 
 /// Load factors evaluated by the paper.
@@ -35,6 +36,20 @@ pub fn collect(args: &Args) -> Vec<(TraceKind, f64, WorkloadReport)> {
         }
     }
     out
+}
+
+/// The Figures 5/6 JSON metrics document: one entry per (trace, load
+/// factor, scheme) run, each with the shared-schema `metrics` block —
+/// flush/fence counters, per-op latency histograms, and (for every
+/// scheme, group hashing and baselines alike) the probe-length
+/// histogram.
+pub fn metrics_json(runs: &[(TraceKind, f64, WorkloadReport)]) -> Json {
+    experiment_json(
+        "fig5",
+        runs.iter()
+            .map(|(_, lf, r)| run_json(r, &[("target_load_factor", Json::from(*lf))]))
+            .collect(),
+    )
 }
 
 /// Formats the collected runs as the Figure 5 (latency) table.
@@ -78,6 +93,7 @@ pub fn miss_table(runs: &[(TraceKind, f64, WorkloadReport)]) -> Table {
 /// Runs the experiment and returns both figures' tables.
 pub fn run(args: &Args) -> Vec<Table> {
     let runs = collect(args);
+    emit_json(args.out_dir.as_deref(), "fig5", &metrics_json(&runs));
     vec![latency_table(&runs), miss_table(&runs)]
 }
 
@@ -136,6 +152,47 @@ mod tests {
                 other.scheme,
                 other.query.avg_ns()
             );
+        }
+    }
+
+    /// The metrics document carries flush/fence counters and a
+    /// probe-length histogram for group hashing *and* the baselines,
+    /// under one shared schema (same section keys for every scheme).
+    #[test]
+    fn metrics_block_shares_schema_across_schemes() {
+        let runs = collect(&Args {
+            cells_log2: Some(9),
+            ops: 20,
+            ..Args::default()
+        });
+        let doc = metrics_json(&runs);
+        let entries = match doc.get("runs").unwrap() {
+            Json::Arr(v) => v,
+            other => panic!("runs must be an array, got {other:?}"),
+        };
+        assert_eq!(entries.len(), runs.len());
+        let find = |name: &str| {
+            entries
+                .iter()
+                .find(|e| matches!(e.get("scheme"), Some(Json::Str(s)) if s == name))
+                .unwrap_or_else(|| panic!("no {name} run"))
+        };
+        let section_keys = |e: &Json| match e.get("metrics").unwrap() {
+            Json::Obj(m) => m.keys().cloned().collect::<Vec<_>>(),
+            other => panic!("metrics must be an object, got {other:?}"),
+        };
+        let group = find("group");
+        let linear = find("linear-L");
+        assert_eq!(section_keys(group), section_keys(linear));
+        for e in [group, linear] {
+            let m = e.get("metrics").unwrap();
+            let pmem = m.get("pmem").unwrap();
+            assert!(pmem.get("flushes").and_then(Json::as_u64).unwrap() > 0);
+            assert!(pmem.get("fences").and_then(Json::as_u64).unwrap() > 0);
+            let probe = m.get("scheme").unwrap().get("probe").unwrap();
+            assert!(probe.get("count").and_then(Json::as_u64).unwrap() > 0);
+            let lat = m.get("latency").unwrap().get("insert").unwrap();
+            assert_eq!(lat.get("count").and_then(Json::as_u64), Some(20));
         }
     }
 

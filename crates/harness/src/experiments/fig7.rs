@@ -5,9 +5,10 @@
 //! trade: one hash function and contiguous groups buy cache efficiency at
 //! some utilization cost). Linear probing is excluded — it fills to 1.0.
 
-use crate::experiments::runner::utilization;
-use crate::tablefmt::{percent, Table};
+use crate::experiments::runner::{experiment_json, utilization};
+use crate::tablefmt::{emit_json, percent, Table};
 use crate::{Args, SchemeKind, TraceKind};
+use nvm_metrics::Json;
 
 /// Measured utilization for every (scheme, trace) pair of the figure.
 pub fn collect(args: &Args) -> Vec<(SchemeKind, TraceKind, f64)> {
@@ -25,9 +26,29 @@ pub fn collect(args: &Args) -> Vec<(SchemeKind, TraceKind, f64)> {
     out
 }
 
+/// The experiment's JSON metrics document. Figure 7 measures a single
+/// scalar per (scheme, trace), so the `metrics` block is just the
+/// utilization ratio.
+pub fn metrics_json(data: &[(SchemeKind, TraceKind, f64)]) -> Json {
+    let runs = data
+        .iter()
+        .map(|&(kind, trace, u)| {
+            let mut j = Json::obj();
+            j.insert("scheme", kind.label());
+            j.insert("trace", trace.label());
+            let mut m = Json::obj();
+            m.insert("utilization", u);
+            j.insert("metrics", m);
+            j
+        })
+        .collect();
+    experiment_json("fig7", runs)
+}
+
 /// Builds the Figure 7 table (schemes × traces).
 pub fn run(args: &Args) -> Vec<Table> {
     let data = collect(args);
+    emit_json(args.out_dir.as_deref(), "fig7", &metrics_json(&data));
     let mut t = Table::new(
         "Figure 7: space utilization ratio (load factor at first failed insert)",
         &["scheme", "RandomNum", "Bag-of-Words", "Fingerprint"],

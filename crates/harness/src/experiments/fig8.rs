@@ -4,9 +4,10 @@
 //! more cells on collision (latency grows) but smooth out occupancy
 //! imbalance (utilization grows); the paper picks 256 as the sweet spot.
 
-use crate::experiments::runner::{run_workload, utilization};
-use crate::tablefmt::{ns, percent, Table};
+use crate::experiments::runner::{experiment_json, run_json, run_workload, utilization};
+use crate::tablefmt::{emit_json, ns, percent, Table};
 use crate::{Args, SchemeKind, TraceKind};
+use nvm_metrics::Json;
 use nvm_traces::WorkloadReport;
 
 /// Group sizes swept by the paper.
@@ -33,9 +34,28 @@ pub fn collect(args: &Args) -> Vec<(u64, WorkloadReport, f64)> {
         .collect()
 }
 
+/// The experiment's JSON metrics document: one entry per group size,
+/// the shared-schema `metrics` block plus the utilization scalar.
+pub fn metrics_json(data: &[(u64, WorkloadReport, f64)]) -> Json {
+    let runs = data
+        .iter()
+        .map(|(gs, r, u)| {
+            run_json(
+                r,
+                &[
+                    ("group_size", Json::from(*gs)),
+                    ("utilization", Json::from(*u)),
+                ],
+            )
+        })
+        .collect();
+    experiment_json("fig8", runs)
+}
+
 /// Builds the Figure 8(a) latency sweep and 8(b) utilization sweep.
 pub fn run(args: &Args) -> Vec<Table> {
     let data = collect(args);
+    emit_json(args.out_dir.as_deref(), "fig8", &metrics_json(&data));
     let mut t = Table::new(
         "Figure 8: group size vs latency (RandomNum @ LF 0.5) and space utilization",
         &["group size", "insert", "query", "delete", "utilization"],

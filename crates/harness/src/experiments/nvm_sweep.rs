@@ -9,9 +9,11 @@
 //! efficiency helps on every NVM, not only the slow ones — while
 //! absolute latencies scale with the write-back cost.
 
+use crate::experiments::runner::{experiment_json, run_json};
 use crate::schemes::{build_any, SchemeKind};
-use crate::tablefmt::{ns, ratio, Table};
+use crate::tablefmt::{emit_json, ns, ratio, Table};
 use crate::{Args, TraceKind};
+use nvm_metrics::Json;
 use nvm_pmem::{LatencyModel, SimConfig};
 use nvm_traces::{RandomNum, Workload, WorkloadReport};
 
@@ -72,9 +74,22 @@ pub fn collect(args: &Args) -> Vec<(&'static str, WorkloadReport, WorkloadReport
         .collect()
 }
 
+/// The experiment's JSON metrics document: group and linear-L entries
+/// per technology, tagged with the technology label.
+pub fn metrics_json(data: &[(&'static str, WorkloadReport, WorkloadReport)]) -> Json {
+    let mut runs = Vec::new();
+    for (label, group, linear_l) in data {
+        for r in [group, linear_l] {
+            runs.push(run_json(r, &[("technology", Json::from(*label))]));
+        }
+    }
+    experiment_json("nvm_sweep", runs)
+}
+
 /// Builds the sweep table.
 pub fn run(args: &Args) -> Vec<Table> {
     let data = collect(args);
+    emit_json(args.out_dir.as_deref(), "nvm_sweep", &metrics_json(&data));
     let mut t = Table::new(
         "Extension: NVM technology sweep (insert latency, RandomNum @ LF 0.5)",
         &["technology", "group", "linear-L", "group advantage"],

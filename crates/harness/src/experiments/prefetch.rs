@@ -11,10 +11,12 @@
 //! path hashing barely at all, because only ascending-line access
 //! patterns trigger it.
 
+use crate::experiments::runner::{experiment_json, run_json};
 use crate::schemes::{build_any, SchemeKind};
-use crate::tablefmt::{ns, ratio, Table};
+use crate::tablefmt::{emit_json, ns, ratio, Table};
 use crate::{Args, TraceKind};
 use nvm_cachesim::CacheConfig;
+use nvm_metrics::Json;
 use nvm_pmem::SimConfig;
 use nvm_traces::{RandomNum, Workload, WorkloadReport};
 
@@ -67,9 +69,21 @@ pub fn collect(args: &Args) -> Vec<(SchemeKind, WorkloadReport, WorkloadReport)>
         .collect()
 }
 
+/// The experiment's JSON metrics document: two entries per scheme, the
+/// `stream_prefetcher` flag distinguishing the ablation arms.
+pub fn metrics_json(data: &[(SchemeKind, WorkloadReport, WorkloadReport)]) -> Json {
+    let mut runs = Vec::new();
+    for (_, with, without) in data {
+        runs.push(run_json(with, &[("stream_prefetcher", Json::from(true))]));
+        runs.push(run_json(without, &[("stream_prefetcher", Json::from(false))]));
+    }
+    experiment_json("prefetch", runs)
+}
+
 /// Builds the ablation table.
 pub fn run(args: &Args) -> Vec<Table> {
     let data = collect(args);
+    emit_json(args.out_dir.as_deref(), "prefetch", &metrics_json(&data));
     let mut t = Table::new(
         "Extension: stream-prefetcher ablation (query latency, RandomNum @ LF 0.5)",
         &[

@@ -4,9 +4,35 @@
 use crate::schemes::{build_any, SchemeKind};
 use crate::TraceKind;
 use nvm_hashfn::{HashKey, Pod};
+use nvm_metrics::Json;
 use nvm_pmem::SimConfig;
 use nvm_table::{HashScheme, InsertError};
 use nvm_traces::{BagOfWords, Fingerprint, RandomNum, Trace, Workload, WorkloadReport};
+
+/// One run's entry in a `<name>_metrics.json` document: identifying
+/// labels, any experiment-specific `extra` fields, and the shared-schema
+/// `metrics` block (latency histograms + pmem/cache counters + scheme
+/// probe histograms — see DESIGN.md § Observability).
+pub fn run_json(report: &WorkloadReport, extra: &[(&str, Json)]) -> Json {
+    let mut j = Json::obj();
+    j.insert("scheme", report.scheme.as_str());
+    j.insert("trace", report.trace.as_str());
+    j.insert("load_factor", report.load_factor);
+    j.insert("fill_count", report.fill_count);
+    for (k, v) in extra {
+        j.insert(k, v.clone());
+    }
+    j.insert("metrics", report.metrics.to_json());
+    j
+}
+
+/// Wraps per-run entries into the standard experiment document.
+pub fn experiment_json(experiment: &str, runs: Vec<Json>) -> Json {
+    let mut j = Json::obj();
+    j.insert("experiment", experiment);
+    j.insert("runs", runs);
+    j
+}
 
 /// Runs the §4.2 protocol for one (scheme, trace) pair.
 pub fn run_workload(

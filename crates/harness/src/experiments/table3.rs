@@ -5,9 +5,11 @@
 //! time: recovery is ≈0.93 % of the build, independent of size. We sweep
 //! scaled-down sizes by default (`--full` restores the paper's).
 
-use crate::tablefmt::{percent, Table};
+use crate::experiments::runner::experiment_json;
+use crate::tablefmt::{emit_json, percent, Table};
 use crate::Args;
 use group_hash::{GroupHash, GroupHashConfig};
+use nvm_metrics::Json;
 use nvm_pmem::{Pmem, Region, SimConfig, SimPmem};
 use nvm_traces::{RandomNum, Workload};
 
@@ -77,8 +79,33 @@ pub fn measure_cells(
     }
 }
 
+/// The experiment's JSON metrics document: build/recovery simulated
+/// times per sweep point.
+pub fn metrics_json(points: &[RecoveryPoint]) -> Json {
+    let runs = points
+        .iter()
+        .map(|p| {
+            let mut j = Json::obj();
+            j.insert("scheme", "group");
+            j.insert("table_mb", p.table_mb);
+            let mut m = Json::obj();
+            m.insert("build_ns", p.build_ns);
+            m.insert("recovery_ns", p.recovery_ns);
+            m.insert("recovery_fraction", p.percentage());
+            j.insert("metrics", m);
+            j
+        })
+        .collect();
+    experiment_json("table3", runs)
+}
+
 /// Builds the Table 3 equivalent.
 pub fn run(args: &Args) -> Vec<Table> {
+    let points: Vec<RecoveryPoint> = sizes_mb(args)
+        .into_iter()
+        .map(|mb| measure(mb, args.seed, args.group_size))
+        .collect();
+    emit_json(args.out_dir.as_deref(), "table3", &metrics_json(&points));
     let mut t = Table::new(
         "Table 3: recovery time vs execution (build to LF 0.5) time, RandomNum",
         &[
@@ -88,10 +115,9 @@ pub fn run(args: &Args) -> Vec<Table> {
             "percentage",
         ],
     );
-    for mb in sizes_mb(args) {
-        let p = measure(mb, args.seed, args.group_size);
+    for p in &points {
         t.row(vec![
-            format!("{mb}MB"),
+            format!("{}MB", p.table_mb),
             format!("{:.1}", p.recovery_ns as f64 / 1e6),
             format!("{:.1}", p.build_ns as f64 / 1e6),
             percent(p.percentage()),

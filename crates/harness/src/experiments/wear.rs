@@ -14,9 +14,11 @@
 //!    hottest line (the `count` word) is the same order, but its total
 //!    write volume is the lowest.
 
+use crate::experiments::runner::experiment_json;
 use crate::schemes::{build_any, SchemeKind};
-use crate::tablefmt::{count, Table};
+use crate::tablefmt::{count, emit_json, Table};
 use crate::{Args, TraceKind};
+use nvm_metrics::Json;
 use nvm_pmem::SimConfig;
 use nvm_table::HashScheme;
 use nvm_traces::{RandomNum, Trace, Workload};
@@ -67,9 +69,29 @@ pub fn collect(args: &Args) -> Vec<WearRow> {
         .collect()
 }
 
+/// The experiment's JSON metrics document: write-back totals and the
+/// hottest-line skew per scheme.
+pub fn metrics_json(rows: &[WearRow]) -> Json {
+    let runs = rows
+        .iter()
+        .map(|r| {
+            let mut j = Json::obj();
+            j.insert("scheme", r.scheme.as_str());
+            let mut m = Json::obj();
+            m.insert("total_writebacks", r.total_writebacks);
+            m.insert("hottest_line_writebacks", u64::from(r.max_line));
+            m.insert("max_over_mean_skew", r.skew);
+            j.insert("metrics", m);
+            j
+        })
+        .collect();
+    experiment_json("wear", runs)
+}
+
 /// Builds the wear table.
 pub fn run(args: &Args) -> Vec<Table> {
     let rows = collect(args);
+    emit_json(args.out_dir.as_deref(), "wear", &metrics_json(&rows));
     let mut t = Table::new(
         format!(
             "Extension: NVM wear during {} insert+delete churn ops, RandomNum @ LF 0.5",

@@ -119,6 +119,9 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for AnyScheme<P, K, V> {
     fn check_consistency(&self, pm: &mut P) -> Result<(), String> {
         dispatch!(self, t => HashScheme::<P, K, V>::check_consistency(t, pm))
     }
+    fn instrumentation(&self) -> Option<&nvm_metrics::SchemeInstrumentation> {
+        dispatch!(self, t => HashScheme::<P, K, V>::instrumentation(t))
+    }
 }
 
 /// Builds `kind` sized for a `total_cells` budget (a power of two) on a
@@ -216,6 +219,27 @@ mod tests {
             assert_eq!(t.len(&mut pm), 100);
             t.check_consistency(&mut pm)
                 .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        }
+    }
+
+    /// The harness builds its scheme crates with `instrument`, so every
+    /// scheme must surface probe/occupancy/displacement histograms, one
+    /// probe sample per operation.
+    #[test]
+    fn every_scheme_records_instrumentation() {
+        for kind in SchemeKind::ALL {
+            let (mut pm, mut t) =
+                build_any::<u64, u64>(kind, 1 << 10, 11, SimConfig::fast_test(), 64);
+            for k in 0..100u64 {
+                t.insert(&mut pm, k, k + 1).unwrap();
+            }
+            for k in 0..100u64 {
+                assert!(t.get(&mut pm, &k).is_some());
+            }
+            let i = t.instrumentation().expect("instrument feature enabled");
+            assert_eq!(i.probe.count(), 200, "{kind:?}: inserts + gets");
+            assert_eq!(i.occupancy.count(), 100, "{kind:?}: one per insert");
+            assert_eq!(i.displacement.count(), 100, "{kind:?}: one per insert");
         }
     }
 

@@ -1,5 +1,6 @@
-//! Plain-text result tables + CSV output.
+//! Plain-text result tables + CSV/JSON output.
 
+use nvm_metrics::Json;
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -96,6 +97,21 @@ impl Table {
             std::fs::write(&path, self.to_csv()).expect("write csv");
             println!("[csv] {}", path.display());
         }
+    }
+}
+
+/// Writes an experiment's metrics document as `<name>_metrics.json`
+/// under `out_dir` and prints its path. Without an out dir the (large)
+/// document is not printed; a hint says how to get it.
+pub fn emit_json(out_dir: Option<&Path>, name: &str, doc: &Json) {
+    match out_dir {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).expect("create out dir");
+            let path = dir.join(format!("{name}_metrics.json"));
+            std::fs::write(&path, doc.to_string_pretty()).expect("write metrics json");
+            println!("[json] {}", path.display());
+        }
+        None => println!("[metrics] pass --out-dir to write {name}_metrics.json"),
     }
 }
 

@@ -12,6 +12,7 @@
 //! ghkv <pool-file> del <key>
 //! ghkv <pool-file> list [--limit N]
 //! ghkv <pool-file> stats
+//! ghkv <pool-file> metrics
 //! ghkv <pool-file> gc
 //! ```
 
@@ -30,6 +31,7 @@ fn usage() -> ! {
          del <key>                            delete an entry\n  \
          list [--limit N]                     print entries\n  \
          stats                                entry/slot/pool statistics\n  \
+         metrics                              observability snapshot (JSON)\n  \
          gc                                   sweep leaked heap slots"
     );
     exit(2)
@@ -170,6 +172,15 @@ fn main() {
             kv.check_consistency(&mut pm)
                 .map(|_| println!("status:  consistent"))
                 .unwrap_or_else(|e| fail(format!("INCONSISTENT: {e}")));
+        }
+        "metrics" => {
+            if !args.is_empty() {
+                usage();
+            }
+            let (pm, kv) = load(&pool);
+            // Counters cover this process's session (load + recovery);
+            // an image reload starts them from zero.
+            print!("{}", kv.metrics(&pm).to_string_pretty());
         }
         "gc" => {
             if !args.is_empty() {

@@ -31,8 +31,9 @@
 use group_hash::{GroupHash, GroupHashConfig};
 use nvm_alloc::{AllocConfig, AllocError, PmemAlloc, PmemPtr};
 use nvm_hashfn::murmur3_x64_128;
+use nvm_metrics::MetricsRegistry;
 use nvm_pmem::{align_up, Pmem, Region, RegionAllocator, CACHELINE};
-use nvm_table::InsertError;
+use nvm_table::{HashScheme, InsertError};
 use std::collections::HashSet;
 
 /// Magic word identifying a KV header ("NVKVSTR1").
@@ -361,6 +362,22 @@ impl<P: Pmem> PmemKv<P> {
     pub fn region(&self) -> Region {
         self.region
     }
+
+    /// The store's observability snapshot: cumulative pmem counters,
+    /// cache-hierarchy counters when the backend models one, and — when
+    /// built with the `instrument` feature — the index's
+    /// probe/occupancy/displacement histograms under `index`.
+    pub fn metrics(&self, pm: &P) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.set_pmem("pmem", pm.stats());
+        if let Some(c) = pm.cache_stats() {
+            reg.set_cache("cache", c);
+        }
+        if let Some(i) = HashScheme::<P, [u8; 16], u64>::instrumentation(&self.index) {
+            reg.set_instrumentation("index", i);
+        }
+        reg
+    }
 }
 
 #[cfg(test)]
@@ -395,6 +412,21 @@ mod tests {
         assert_eq!(kv.len(&mut pm), 1);
         kv.check_consistency(&mut pm).unwrap();
         assert_eq!(kv.usage(&mut pm), (1, 1));
+    }
+
+    #[test]
+    fn metrics_snapshot_has_pmem_counters() {
+        let (mut pm, mut kv, _, _) = setup(100);
+        kv.set(&mut pm, b"k", b"v").unwrap();
+        let json = kv.metrics(&pm).to_string_pretty();
+        assert!(json.contains("\"pmem\""), "{json}");
+        assert!(json.contains("\"flushes\""), "{json}");
+        // With `instrument` (directly or via feature unification) the
+        // index section carries the probe histogram.
+        if cfg!(feature = "instrument") {
+            assert!(json.contains("\"index\""), "{json}");
+            assert!(json.contains("\"probe\""), "{json}");
+        }
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! Cheap monotonic counters.
+
+use std::cell::Cell;
+
+/// A monotonically increasing event counter.
+///
+/// Uses [`Cell`] so hot read paths (`get`-style methods taking `&self`)
+/// can record without `&mut` plumbing; a bump compiles to a plain add.
+/// Not thread-safe — concurrent schemes keep one per shard and merge.
+#[derive(Debug, Default, Clone)]
+pub struct Counter(Cell<u64>);
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (saturating; these are event counts, not arithmetic).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get().saturating_add(n));
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.0.set(0);
+    }
+
+    /// Folds another counter's value into this one (shard aggregation).
+    pub fn merge(&self, other: &Counter) {
+        self.add(other.get());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_merges() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let d = Counter::new();
+        d.add(10);
+        c.merge(&d);
+        assert_eq!(c.get(), 15);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn add_saturates() {
+        let c = Counter::new();
+        c.add(u64::MAX);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+    }
+}

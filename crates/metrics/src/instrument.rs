@@ -1,0 +1,116 @@
+//! The shared per-scheme instrumentation schema.
+//!
+//! Every hash scheme in the workspace — group hashing and the three
+//! baselines — records the *same* three distributions so runs compare
+//! directly:
+//!
+//! * **probe** — cells/buckets examined by one operation (paper Fig. 7's
+//!   search-cost axis);
+//! * **occupancy** — entries already present in the destination
+//!   group/bucket when an insert lands (how full the structure runs);
+//! * **displacement** — relocations performed to make room for one insert
+//!   (0 for most inserts; path hashing and cuckoo-style moves raise it).
+//!
+//! The struct lives here, not in each scheme, so the bucket layouts are
+//! identical by construction.
+
+use crate::histogram::Histogram;
+use crate::json::Json;
+
+/// Probe/occupancy/displacement histograms recorded by one scheme
+/// instance (or one shard of a concurrent scheme).
+///
+/// All methods take `&self` ([`Histogram`] uses interior mutability), so
+/// read paths like `get` can record without `&mut`.
+#[derive(Debug, Clone)]
+pub struct SchemeInstrumentation {
+    /// Cells/buckets examined per operation.
+    pub probe: Histogram,
+    /// Destination group/bucket occupancy at insert time.
+    pub occupancy: Histogram,
+    /// Relocations per insert.
+    pub displacement: Histogram,
+}
+
+impl SchemeInstrumentation {
+    /// Instrumentation sized for groups/buckets of `group_size` slots.
+    pub fn new(group_size: usize) -> SchemeInstrumentation {
+        SchemeInstrumentation {
+            probe: Histogram::probe_lengths(),
+            occupancy: Histogram::occupancy(group_size.max(1)),
+            displacement: Histogram::probe_lengths(),
+        }
+    }
+
+    /// Records that an operation examined `cells` cells.
+    #[inline]
+    pub fn record_probe(&self, cells: u64) {
+        self.probe.record(cells);
+    }
+
+    /// Records the destination occupancy seen by an insert.
+    #[inline]
+    pub fn record_occupancy(&self, entries: u64) {
+        self.occupancy.record(entries);
+    }
+
+    /// Records how many entries an insert displaced.
+    #[inline]
+    pub fn record_displacement(&self, moves: u64) {
+        self.displacement.record(moves);
+    }
+
+    /// Folds another instance in (shard aggregation).
+    pub fn merge(&self, other: &SchemeInstrumentation) {
+        self.probe.merge(&other.probe);
+        self.occupancy.merge(&other.occupancy);
+        self.displacement.merge(&other.displacement);
+    }
+
+    /// Clears all samples.
+    pub fn reset(&self) {
+        self.probe.reset();
+        self.occupancy.reset();
+        self.displacement.reset();
+    }
+
+    /// Serializes as `{probe, occupancy, displacement}` histogram
+    /// objects — the schema every scheme emits.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.insert("probe", self.probe.to_json());
+        j.insert("occupancy", self.occupancy.to_json());
+        j.insert("displacement", self.displacement.to_json());
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_merges_across_shards() {
+        let a = SchemeInstrumentation::new(8);
+        let b = SchemeInstrumentation::new(8);
+        a.record_probe(2);
+        a.record_occupancy(3);
+        b.record_probe(5);
+        b.record_displacement(1);
+        a.merge(&b);
+        assert_eq!(a.probe.count(), 2);
+        assert_eq!(a.occupancy.count(), 1);
+        assert_eq!(a.displacement.count(), 1);
+        assert_eq!(a.probe.max(), Some(5));
+    }
+
+    #[test]
+    fn json_schema_is_three_histograms() {
+        let i = SchemeInstrumentation::new(4);
+        i.record_probe(1);
+        let j = i.to_json();
+        for key in ["probe", "occupancy", "displacement"] {
+            assert!(j.get(key).and_then(|h| h.get("count")).is_some());
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! A tiny self-contained JSON value with **stable, sorted key order**.
+//!
+//! The harness diffs metrics files across runs and pins them in tests, so
+//! serialization must be deterministic: objects are `BTreeMap`s and the
+//! writer walks them in key order. No external serializer is used.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value. Objects keep keys sorted (`BTreeMap`), which makes the
+/// serialized form stable across runs and platforms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Unsigned integers — the common case for counters.
+    U64(u64),
+    /// Signed integers, for deltas that can go negative.
+    I64(i64),
+    /// Finite floats; non-finite values serialize as `null`.
+    F64(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// An empty object, ready for [`Json::insert`].
+    pub fn obj() -> Json {
+        Json::Obj(BTreeMap::new())
+    }
+
+    /// Inserts `key` into an object value.
+    ///
+    /// # Panics
+    /// If `self` is not [`Json::Obj`].
+    pub fn insert(&mut self, key: &str, value: impl Into<Json>) -> &mut Self {
+        match self {
+            Json::Obj(map) => {
+                map.insert(key.to_string(), value.into());
+            }
+            other => panic!("Json::insert on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Looks up `key` in an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (accepting integer variants too).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(v) => Some(*v as f64),
+            Json::I64(v) => Some(*v as f64),
+            Json::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Pretty-printed JSON with two-space indentation and sorted keys.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => out.push_str(&v.to_string()),
+            Json::I64(v) => out.push_str(&v.to_string()),
+            Json::F64(v) => {
+                if v.is_finite() {
+                    // `{}` is Rust's shortest round-trip float form; it is
+                    // valid JSON (integral floats print without ".0",
+                    // which JSON also treats as a number).
+                    out.push_str(&v.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_pretty())
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::U64(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::U64(v as u64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::U64(v as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::I64(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::F64(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_key_order_and_escaping() {
+        let mut j = Json::obj();
+        j.insert("zeta", 1u64);
+        j.insert("alpha", "line\nbreak");
+        j.insert("mid", Json::Arr(vec![Json::U64(1), Json::Null]));
+        let s = j.to_string_pretty();
+        let alpha = s.find("alpha").unwrap();
+        let mid = s.find("mid").unwrap();
+        let zeta = s.find("zeta").unwrap();
+        assert!(alpha < mid && mid < zeta, "keys must be sorted: {s}");
+        assert!(s.contains("\\n"), "newline must be escaped: {s}");
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(Json::F64(f64::NAN).to_string_pretty().trim(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).to_string_pretty().trim(), "null");
+        assert_eq!(Json::F64(0.25).to_string_pretty().trim(), "0.25");
+    }
+
+    #[test]
+    fn accessors() {
+        let mut j = Json::obj();
+        j.insert("n", 7u64);
+        assert_eq!(j.get("n").and_then(Json::as_u64), Some(7));
+        assert_eq!(j.get("n").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(j.get("missing"), None);
+    }
+
+    #[test]
+    fn empty_containers_are_compact() {
+        assert_eq!(Json::obj().to_string_pretty().trim(), "{}");
+        assert_eq!(Json::Arr(vec![]).to_string_pretty().trim(), "[]");
+    }
+}

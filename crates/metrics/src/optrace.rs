@@ -1,0 +1,141 @@
+//! Scoped per-operation tracing.
+//!
+//! [`OpTrace::begin`] snapshots a backend's [`PmemStats`], cache state and
+//! simulated clock before a single table operation; [`OpTrace::end`]
+//! returns the [`OpDelta`] attributable to that operation alone. This is
+//! how tests pin the paper's per-op costs (e.g. one group-hash insert =
+//! 3 flushes + 3 fences; one bitmap commit = 1 flush) and how the harness
+//! builds per-op latency histograms.
+//!
+//! The trace is a begin/end pair rather than a `Drop` guard because the
+//! traced operation needs `&mut P` while the guard would hold `&P`.
+
+use crate::json::Json;
+use crate::registry::{cache_stats_json, pmem_stats_json};
+use nvm_cachesim::CacheStats;
+use nvm_pmem::{Pmem, PmemStats};
+use std::time::Instant;
+
+/// A snapshot taken at the start of one operation.
+#[derive(Debug, Clone)]
+pub struct OpTrace {
+    pmem: PmemStats,
+    cache: Option<CacheStats>,
+    sim_ns: Option<u64>,
+    wall: Instant,
+}
+
+/// What one operation cost, as counter deltas.
+#[derive(Debug, Clone)]
+pub struct OpDelta {
+    /// Persistence-operation deltas (flushes, fences, bytes written, …).
+    pub pmem: PmemStats,
+    /// Cache-hierarchy deltas, when the backend simulates caches.
+    pub cache: Option<CacheStats>,
+    /// Simulated nanoseconds elapsed, when the backend has a clock.
+    pub sim_ns: Option<u64>,
+    /// Wall-clock nanoseconds elapsed (always available; noisy).
+    pub wall_ns: u64,
+}
+
+impl OpTrace {
+    /// Snapshots `pm` before the operation.
+    pub fn begin<P: Pmem + ?Sized>(pm: &P) -> OpTrace {
+        OpTrace {
+            pmem: *pm.stats(),
+            cache: pm.cache_stats().cloned(),
+            sim_ns: pm.sim_time_ns(),
+            wall: Instant::now(),
+        }
+    }
+
+    /// Closes the trace, returning the deltas since [`OpTrace::begin`].
+    ///
+    /// Deltas are saturating: resetting the backend's stats mid-trace
+    /// yields zeros rather than a panic.
+    pub fn end<P: Pmem + ?Sized>(self, pm: &P) -> OpDelta {
+        let wall_ns = self.wall.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let cache = match (pm.cache_stats(), &self.cache) {
+            (Some(now), Some(then)) => Some(now.delta_since(then)),
+            _ => None,
+        };
+        let sim_ns = match (pm.sim_time_ns(), self.sim_ns) {
+            (Some(now), Some(then)) => Some(now.saturating_sub(then)),
+            _ => None,
+        };
+        OpDelta {
+            pmem: pm.stats().delta_since(&self.pmem),
+            cache,
+            sim_ns,
+            wall_ns,
+        }
+    }
+}
+
+impl OpDelta {
+    /// Last-level-cache misses caused by the operation (0 when the
+    /// backend does not simulate caches).
+    pub fn llc_misses(&self) -> u64 {
+        self.cache.as_ref().map(CacheStats::llc_misses).unwrap_or(0)
+    }
+
+    /// The operation's latency: simulated time when available (it is
+    /// deterministic), wall-clock otherwise.
+    pub fn latency_ns(&self) -> u64 {
+        self.sim_ns.unwrap_or(self.wall_ns)
+    }
+
+    /// Serializes as `{pmem, cache, sim_ns, wall_ns, latency_ns}` with
+    /// the registry's stable stats schemas.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.insert("pmem", pmem_stats_json(&self.pmem));
+        match &self.cache {
+            Some(c) => j.insert("cache", cache_stats_json(c)),
+            None => j.insert("cache", Json::Null),
+        };
+        match self.sim_ns {
+            Some(ns) => j.insert("sim_ns", ns),
+            None => j.insert("sim_ns", Json::Null),
+        };
+        j.insert("wall_ns", self.wall_ns);
+        j.insert("latency_ns", self.latency_ns());
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm_pmem::{SimConfig, SimPmem};
+
+    #[test]
+    fn delta_isolates_one_window() {
+        let mut pm = SimPmem::new(4096, SimConfig::fast_test());
+        pm.write(0, &[1u8; 64]);
+        pm.persist(0, 64);
+
+        let t = OpTrace::begin(&pm);
+        pm.write(64, &[2u8; 8]);
+        pm.persist(64, 8); // 1 line flushed + 1 fence
+        let d = t.end(&pm);
+
+        assert_eq!(d.pmem.flushes, 1);
+        assert_eq!(d.pmem.fences, 1);
+        assert_eq!(d.pmem.bytes_written, 8);
+        assert!(d.sim_ns.is_some());
+        assert!(d.latency_ns() > 0);
+        assert!(d.cache.is_some());
+    }
+
+    #[test]
+    fn reset_mid_trace_saturates_to_zero() {
+        let mut pm = SimPmem::new(4096, SimConfig::fast_test());
+        pm.write(0, &[3u8; 16]);
+        pm.persist(0, 16);
+        let t = OpTrace::begin(&pm);
+        pm.reset_stats();
+        let d = t.end(&pm);
+        assert_eq!(d.pmem, PmemStats::default());
+    }
+}

@@ -1,0 +1,147 @@
+//! The metrics registry: named sections serialized as one stable JSON
+//! document.
+
+use crate::counter::Counter;
+use crate::histogram::Histogram;
+use crate::instrument::SchemeInstrumentation;
+use crate::json::Json;
+use nvm_cachesim::CacheStats;
+use nvm_pmem::PmemStats;
+use std::collections::BTreeMap;
+
+/// Serializes [`PmemStats`] with the registry's stable field names.
+pub fn pmem_stats_json(s: &PmemStats) -> Json {
+    let mut j = Json::obj();
+    j.insert("reads", s.reads);
+    j.insert("bytes_read", s.bytes_read);
+    j.insert("writes", s.writes);
+    j.insert("bytes_written", s.bytes_written);
+    j.insert("atomic_writes", s.atomic_writes);
+    j.insert("flushes", s.flushes);
+    j.insert("fences", s.fences);
+    j
+}
+
+/// Serializes [`CacheStats`] (totals, LLC misses, and per-level
+/// hit/miss counts, innermost first).
+pub fn cache_stats_json(s: &CacheStats) -> Json {
+    let mut j = Json::obj();
+    j.insert("reads", s.reads);
+    j.insert("writes", s.writes);
+    j.insert("invalidations", s.invalidations);
+    j.insert("prefetches", s.prefetches);
+    j.insert("llc_misses", s.llc_misses());
+    let mut levels = Vec::new();
+    for l in s.levels() {
+        let mut lj = Json::obj();
+        lj.insert("hits", l.hits);
+        lj.insert("misses", l.misses);
+        levels.push(lj);
+    }
+    j.insert("levels", levels);
+    j
+}
+
+/// A collection of named metric sections that serializes to one stable
+/// JSON object.
+///
+/// Section names sort in the output (objects are `BTreeMap`s), so two
+/// runs that record the same metrics produce byte-identical documents —
+/// which is what lets the harness diff metrics files and tests pin them.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsRegistry {
+    sections: BTreeMap<String, Json>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Inserts (or replaces) a section with an arbitrary JSON value.
+    pub fn set(&mut self, name: &str, value: impl Into<Json>) -> &mut Self {
+        self.sections.insert(name.to_string(), value.into());
+        self
+    }
+
+    /// Records a plain counter value.
+    pub fn set_counter(&mut self, name: &str, c: &Counter) -> &mut Self {
+        self.set(name, c.get())
+    }
+
+    /// Records a histogram under `name` with the stable histogram schema.
+    pub fn set_histogram(&mut self, name: &str, h: &Histogram) -> &mut Self {
+        self.set(name, h.to_json())
+    }
+
+    /// Records pmem counters under `name`.
+    pub fn set_pmem(&mut self, name: &str, s: &PmemStats) -> &mut Self {
+        self.set(name, pmem_stats_json(s))
+    }
+
+    /// Records cache-hierarchy counters under `name`.
+    pub fn set_cache(&mut self, name: &str, s: &CacheStats) -> &mut Self {
+        self.set(name, cache_stats_json(s))
+    }
+
+    /// Records a scheme's probe/occupancy/displacement block under
+    /// `name`.
+    pub fn set_instrumentation(&mut self, name: &str, i: &SchemeInstrumentation) -> &mut Self {
+        self.set(name, i.to_json())
+    }
+
+    /// Whether any sections have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// The registry as one JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(self.sections.clone())
+    }
+
+    /// Pretty JSON with sorted keys — the on-disk metrics format.
+    pub fn to_string_pretty(&self) -> String {
+        self.to_json().to_string_pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_sorted_and_stable() {
+        let mut r = MetricsRegistry::new();
+        let c = Counter::new();
+        c.add(7);
+        r.set_counter("z_ops", &c);
+        let h = Histogram::new(vec![1, 2]);
+        h.record(1);
+        r.set_histogram("a_probe", &h);
+        r.set("scheme", "group");
+        let s1 = r.to_string_pretty();
+        let s2 = r.clone().to_string_pretty();
+        assert_eq!(s1, s2, "serialization must be deterministic");
+        let a = s1.find("a_probe").unwrap();
+        let z = s1.find("z_ops").unwrap();
+        assert!(a < z, "keys must sort: {s1}");
+    }
+
+    #[test]
+    fn pmem_stats_schema() {
+        let s = PmemStats {
+            reads: 1,
+            bytes_read: 8,
+            writes: 2,
+            bytes_written: 16,
+            atomic_writes: 1,
+            flushes: 3,
+            fences: 4,
+        };
+        let j = pmem_stats_json(&s);
+        assert_eq!(j.get("flushes").and_then(Json::as_u64), Some(3));
+        assert_eq!(j.get("fences").and_then(Json::as_u64), Some(4));
+        assert_eq!(j.get("bytes_written").and_then(Json::as_u64), Some(16));
+    }
+}

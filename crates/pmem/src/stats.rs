@@ -30,15 +30,19 @@ impl PmemStats {
     }
 
     /// `self - earlier`, for measuring a window.
+    ///
+    /// Saturating: if the counters were reset between the `earlier`
+    /// snapshot and now, each field clamps to 0 instead of wrapping (a
+    /// reset mid-window previously panicked in debug builds).
     pub fn delta_since(&self, earlier: &PmemStats) -> PmemStats {
         PmemStats {
-            reads: self.reads - earlier.reads,
-            bytes_read: self.bytes_read - earlier.bytes_read,
-            writes: self.writes - earlier.writes,
-            bytes_written: self.bytes_written - earlier.bytes_written,
-            atomic_writes: self.atomic_writes - earlier.atomic_writes,
-            flushes: self.flushes - earlier.flushes,
-            fences: self.fences - earlier.fences,
+            reads: self.reads.saturating_sub(earlier.reads),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            writes: self.writes.saturating_sub(earlier.writes),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            atomic_writes: self.atomic_writes.saturating_sub(earlier.atomic_writes),
+            flushes: self.flushes.saturating_sub(earlier.flushes),
+            fences: self.fences.saturating_sub(earlier.fences),
         }
     }
 }
@@ -72,5 +76,25 @@ mod tests {
         assert_eq!(d.flushes, 1);
         s.reset();
         assert_eq!(s, PmemStats::default());
+    }
+
+    /// Regression: a reset between snapshot and delta used to underflow
+    /// (panic in debug builds). It must clamp to zero instead.
+    #[test]
+    fn delta_saturates_after_reset() {
+        let earlier = PmemStats {
+            reads: 10,
+            bytes_read: 80,
+            writes: 7,
+            bytes_written: 56,
+            atomic_writes: 2,
+            flushes: 4,
+            fences: 4,
+        };
+        let mut now = earlier;
+        now.reset();
+        now.reads = 3; // fewer than the pre-reset snapshot
+        let d = now.delta_since(&earlier);
+        assert_eq!(d, PmemStats::default());
     }
 }

@@ -1,6 +1,7 @@
 //! The common interface every hashing scheme implements.
 
 use nvm_hashfn::{HashKey, Pod};
+use nvm_metrics::SchemeInstrumentation;
 use nvm_pmem::Pmem;
 
 /// Why an insertion failed.
@@ -119,6 +120,15 @@ pub trait HashScheme<P: Pmem, K: HashKey, V: Pod> {
     /// True if `key` is present.
     fn contains(&self, pm: &mut P, key: &K) -> bool {
         self.get(pm, key).is_some()
+    }
+
+    /// The scheme's probe/occupancy/displacement histograms, when the
+    /// implementation records them (schemes compile recording behind an
+    /// `instrument` feature; without it this stays `None` and the hooks
+    /// cost nothing). Concurrent wrappers return an aggregate across
+    /// shards.
+    fn instrumentation(&self) -> Option<&SchemeInstrumentation> {
+        None
     }
 }
 

@@ -12,7 +12,9 @@
 //! models a cache), and persistence-operation counts.
 
 use crate::Trace;
+use nvm_cachesim::CacheStats;
 use nvm_hashfn::{HashKey, Pod};
+use nvm_metrics::{Histogram, Json, MetricsRegistry, OpTrace, SchemeInstrumentation};
 use nvm_pmem::{Pmem, PmemStats};
 use nvm_table::{HashScheme, InsertError, OpKind};
 use std::time::Instant;
@@ -60,6 +62,58 @@ impl OpMetrics {
     }
 }
 
+/// Distribution-level metrics gathered alongside the phase averages:
+/// per-op latency histograms (one [`OpTrace`] window per measured op),
+/// cumulative persistence/cache counters for the whole run (fill phase
+/// included), and the scheme's own probe/occupancy/displacement
+/// histograms when it records them.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Per-op latency distribution of the measured insert phase
+    /// (simulated ns when the backend has a clock, wall-clock otherwise).
+    pub insert_latency: Histogram,
+    /// Per-op latency distribution of the measured query phase.
+    pub query_latency: Histogram,
+    /// Per-op latency distribution of the measured delete phase.
+    pub delete_latency: Histogram,
+    /// Persistence-operation totals across the whole run, fill included.
+    pub pmem_total: PmemStats,
+    /// Cache-hierarchy totals across the whole run, when the backend
+    /// models a cache.
+    pub cache_total: Option<CacheStats>,
+    /// The scheme's probe/occupancy/displacement histograms — `None`
+    /// unless the scheme was built with its `instrument` feature.
+    pub scheme: Option<SchemeInstrumentation>,
+}
+
+impl RunMetrics {
+    /// Packs the metrics into a [`MetricsRegistry`] with the stable
+    /// section names every experiment shares: `latency` (per-phase
+    /// histograms), `pmem`, and optionally `cache` and `scheme`.
+    pub fn to_registry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        let mut lat = Json::obj();
+        lat.insert("insert", self.insert_latency.to_json());
+        lat.insert("query", self.query_latency.to_json());
+        lat.insert("delete", self.delete_latency.to_json());
+        reg.set("latency", lat);
+        reg.set_pmem("pmem", &self.pmem_total);
+        if let Some(c) = &self.cache_total {
+            reg.set_cache("cache", c);
+        }
+        if let Some(s) = &self.scheme {
+            reg.set_instrumentation("scheme", s);
+        }
+        reg
+    }
+
+    /// The registry serialized as one JSON object (the `metrics` block
+    /// the harness embeds in its results files).
+    pub fn to_json(&self) -> Json {
+        self.to_registry().to_json()
+    }
+}
+
 /// Results of one full workload run.
 #[derive(Debug, Clone)]
 pub struct WorkloadReport {
@@ -74,6 +128,8 @@ pub struct WorkloadReport {
     pub insert: OpMetrics,
     pub query: OpMetrics,
     pub delete: OpMetrics,
+    /// Latency distributions and cumulative counters for the run.
+    pub metrics: RunMetrics,
 }
 
 impl WorkloadReport {
@@ -151,6 +207,9 @@ impl Workload {
         S: HashScheme<P, K, V>,
         T: Trace<Key = K>,
     {
+        let run_stats_before = *pm.stats();
+        let run_cache_before = pm.cache_stats().cloned();
+
         let fill_keys = self.fill(pm, table, trace, &mut value_of);
         let fill_count = table.len(pm);
         let load_factor = table.load_factor(pm);
@@ -162,10 +221,20 @@ impl Workload {
         let step = (fill_keys.len() / self.ops.max(1)).max(1);
         let query_keys: Vec<K> = fill_keys.iter().step_by(step).take(self.ops).copied().collect();
 
+        // Per-op latency distributions: one OpTrace window per measured
+        // op. The trace only snapshots DRAM-side counters, so it never
+        // perturbs the simulated clock or cache state it observes.
+        let insert_latency = Histogram::latency_ns();
+        let query_latency = Histogram::latency_ns();
+        let delete_latency = Histogram::latency_ns();
+
         let insert = Self::measure(pm, |pm| {
             let mut done = 0;
             for k in &insert_keys {
-                if table.insert(pm, *k, value_of(k)).is_ok() {
+                let tr = OpTrace::begin(pm);
+                let ok = table.insert(pm, *k, value_of(k)).is_ok();
+                insert_latency.record(tr.end(pm).latency_ns());
+                if ok {
                     done += 1;
                 }
             }
@@ -175,7 +244,10 @@ impl Workload {
         let query = Self::measure(pm, |pm| {
             let mut found = 0;
             for k in &query_keys {
-                if table.get(pm, k).is_some() {
+                let tr = OpTrace::begin(pm);
+                let hit = table.get(pm, k).is_some();
+                query_latency.record(tr.end(pm).latency_ns());
+                if hit {
                     found += 1;
                 }
             }
@@ -186,12 +258,27 @@ impl Workload {
         let delete = Self::measure(pm, |pm| {
             let mut done = 0;
             for k in &insert_keys {
-                if table.remove(pm, k) {
+                let tr = OpTrace::begin(pm);
+                let hit = table.remove(pm, k);
+                delete_latency.record(tr.end(pm).latency_ns());
+                if hit {
                     done += 1;
                 }
             }
             done
         });
+
+        let metrics = RunMetrics {
+            insert_latency,
+            query_latency,
+            delete_latency,
+            pmem_total: pm.stats().delta_since(&run_stats_before),
+            cache_total: match (run_cache_before, pm.cache_stats()) {
+                (Some(a), Some(b)) => Some(b.delta_since(&a)),
+                _ => None,
+            },
+            scheme: table.instrumentation().cloned(),
+        };
 
         WorkloadReport {
             scheme: table.name().to_string(),
@@ -201,6 +288,7 @@ impl Workload {
             insert,
             query,
             delete,
+            metrics,
         }
     }
 
@@ -298,6 +386,19 @@ mod tests {
         assert!(r.insert.pmem.flushes >= 100);
         // Load factor unchanged by the measured phases (insert == delete).
         assert_eq!(t.map.len() as u64, r.fill_count);
+        // The metrics block saw every measured op and the whole run's
+        // persistence traffic (fill included, so ≥ the insert phase's).
+        assert_eq!(r.metrics.insert_latency.count(), 100);
+        assert_eq!(r.metrics.query_latency.count(), 100);
+        assert_eq!(r.metrics.delete_latency.count(), 100);
+        assert!(r.metrics.insert_latency.p50() > 0.0);
+        assert!(r.metrics.pmem_total.flushes > r.insert.pmem.flushes);
+        assert!(r.metrics.cache_total.is_some());
+        // Dummy never records scheme instrumentation.
+        assert!(r.metrics.scheme.is_none());
+        let json = r.metrics.to_json().to_string_pretty();
+        assert!(json.contains("\"flushes\""), "{json}");
+        assert!(json.contains("\"latency\""), "{json}");
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Offline stand-in for the `rand_chacha` crate.
+//!
+//! Implements the genuine ChaCha stream cipher (Bernstein 2008) with 8
+//! rounds as a deterministic, seedable random-number generator exposing
+//! the [`rand`] traits. Output quality therefore matches the upstream
+//! crate; the exact word stream may differ from upstream's (block-counter
+//! conventions), which no test in this workspace depends on.
+
+use rand::{RngCore, SeedableRng};
+
+/// One ChaCha quarter round on the 16-word state.
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+/// The ChaCha8 generator: 256-bit key (the seed), 64-bit block counter,
+/// 64-bit stream id (always 0 here).
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key words (seed).
+    key: [u32; 8],
+    /// Block counter.
+    counter: u64,
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next word index within `block` (16 = exhausted).
+    index: usize,
+}
+
+impl ChaCha8Rng {
+    const ROUNDS: usize = 8;
+    /// "expand 32-byte k"
+    const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+
+    fn refill(&mut self) {
+        let mut s = [0u32; 16];
+        s[..4].copy_from_slice(&Self::SIGMA);
+        s[4..12].copy_from_slice(&self.key);
+        s[12] = self.counter as u32;
+        s[13] = (self.counter >> 32) as u32;
+        s[14] = 0;
+        s[15] = 0;
+        let input = s;
+        for _ in 0..Self::ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut s, 0, 4, 8, 12);
+            quarter_round(&mut s, 1, 5, 9, 13);
+            quarter_round(&mut s, 2, 6, 10, 14);
+            quarter_round(&mut s, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut s, 0, 5, 10, 15);
+            quarter_round(&mut s, 1, 6, 11, 12);
+            quarter_round(&mut s, 2, 7, 8, 13);
+            quarter_round(&mut s, 3, 4, 9, 14);
+        }
+        for (o, i) in s.iter_mut().zip(input.iter()) {
+            *o = o.wrapping_add(*i);
+        }
+        self.block = s;
+        self.index = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    /// Resets the stream position to block 0 (keeps the key).
+    pub fn set_word_pos(&mut self, word: u64) {
+        self.counter = word / 16;
+        self.refill();
+        self.index = (word % 16) as usize;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, c) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(c.try_into().unwrap());
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let va: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn keystream_changes_every_block() {
+        let mut r = ChaCha8Rng::seed_from_u64(1);
+        let b1: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
+        let b2: Vec<u32> = (0..16).map(|_| r.next_u32()).collect();
+        assert_ne!(b1, b2);
+    }
+
+    #[test]
+    fn uniformity_smoke() {
+        // Mean of 10k uniform [0,1) draws should be near 0.5.
+        let mut r = ChaCha8Rng::seed_from_u64(7);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        // All 64 bit positions should toggle.
+        let mut or = 0u64;
+        let mut and = u64::MAX;
+        for _ in 0..1000 {
+            let v = r.next_u64();
+            or |= v;
+            and &= v;
+        }
+        assert_eq!(or, u64::MAX);
+        assert_eq!(and, 0);
+    }
+
+    #[test]
+    fn set_word_pos_rewinds() {
+        let mut r = ChaCha8Rng::seed_from_u64(9);
+        let first: Vec<u32> = (0..20).map(|_| r.next_u32()).collect();
+        r.set_word_pos(0);
+        let again: Vec<u32> = (0..20).map(|_| r.next_u32()).collect();
+        assert_eq!(first, again);
+    }
+}

@@ -1,0 +1,75 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! No code in the workspace currently calls rayon at runtime (it is a
+//! declared bench dependency only), so this stub provides just enough to
+//! satisfy the dependency graph plus a sequential [`prelude`] fallback:
+//! `par_iter`/`into_par_iter` here are the ordinary serial iterators.
+//! If real data-parallel speedups are ever needed, vendor the actual
+//! crate or gate the parallel path behind a feature.
+
+/// Sequential stand-ins for rayon's parallel iterator entry points.
+pub mod prelude {
+    /// `par_iter()` as a plain shared-reference iterator.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item type of the iterator.
+        type Item: 'a;
+        /// Iterator type returned.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Sequential `par_iter`.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a, C> IntoParallelRefIterator<'a> for C
+    where
+        &'a C: IntoIterator<Item = &'a T>,
+        C: ?Sized + 'a,
+    {
+        type Item = &'a T;
+        type Iter = <&'a C as IntoIterator>::IntoIter;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `into_par_iter()` as a plain owning iterator.
+    pub trait IntoParallelIterator {
+        /// Item type of the iterator.
+        type Item;
+        /// Iterator type returned.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Sequential `into_par_iter`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<C: IntoIterator> IntoParallelIterator for C {
+        type Item = C::Item;
+        type Iter = C::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+/// Runs the two closures (sequentially here; in real rayon, in parallel).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn sequential_fallbacks_iterate() {
+        let v = vec![1u64, 2, 3];
+        let s: u64 = v.par_iter().sum();
+        assert_eq!(s, 6);
+        let t: u64 = v.into_par_iter().map(|x| x * 2).sum();
+        assert_eq!(t, 12);
+        assert_eq!(super::join(|| 1, || 2), (1, 2));
+    }
+}
