@@ -10,6 +10,12 @@ cargo build --release
 echo "==> cargo test -q (workspace)"
 cargo test -q --workspace
 
+echo "==> cargo test -q (group-hash, instrument feature)"
+cargo test -q -p group-hash --features instrument
+
+echo "==> cargo bench --no-run (benches must compile)"
+cargo bench --no-run --workspace
+
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 

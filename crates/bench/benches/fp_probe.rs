@@ -1,0 +1,80 @@
+//! Probe-path benches for the DRAM fingerprint cache (DESIGN.md § The
+//! fingerprint cache).
+//!
+//! The cache trades one DRAM byte per cell for skipping the NVM key read
+//! of almost every mismatching occupied cell. Wall-clock wins should show
+//! up where scans are longest: negative lookups at large group sizes.
+//! Positive lookups bound the overhead of the extra tag computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gh_bench::{fresh_keys, BENCH_NVM_NS};
+use group_hash::{FpMode, GroupHash, GroupHashConfig};
+use nvm_pmem::{RealPmem, Region};
+use nvm_table::InsertError;
+use nvm_traces::{RandomNum, Trace};
+
+const CELLS_PER_LEVEL: u64 = 1 << 13;
+const SEED: u64 = 8;
+
+fn build(cfg: GroupHashConfig) -> (RealPmem, GroupHash<RealPmem, u64, u64>, Vec<u64>) {
+    let size = GroupHash::<RealPmem, u64, u64>::required_size(&cfg);
+    let mut pm = RealPmem::with_write_latency(size, BENCH_NVM_NS);
+    let mut t = GroupHash::create(&mut pm, Region::new(0, size), cfg).unwrap();
+    let mut trace = RandomNum::new(SEED);
+    let mut filled = Vec::new();
+    while (filled.len() as u64) < CELLS_PER_LEVEL {
+        let k = trace.next_key();
+        match t.insert(&mut pm, k, k) {
+            Ok(()) => filled.push(k),
+            Err(InsertError::TableFull) => break,
+            Err(e) => panic!("{e}"),
+        }
+    }
+    (pm, t, filled)
+}
+
+fn bench_mode(c: &mut Criterion, group_size: u64, fp: FpMode) {
+    let label = match fp {
+        FpMode::Off => "off",
+        FpMode::On => "on",
+    };
+    let cfg = GroupHashConfig::new(CELLS_PER_LEVEL, group_size)
+        .with_seed(SEED)
+        .with_fp_mode(fp);
+    let (mut pm, table, filled) = build(cfg);
+    // fresh_keys skips the fill stream's prefix (plus the possible final
+    // rejected draw), so these all miss.
+    let absent = fresh_keys(SEED, filled.len() + 1, 4096);
+    let mut g = c.benchmark_group(format!("fp_probe/gs{group_size}"));
+    let mut pi = 0usize;
+    g.bench_function(format!("{label}/positive"), |b| {
+        b.iter(|| {
+            let k = filled[pi % filled.len()];
+            pi += 1;
+            assert!(table.get(&mut pm, &k).is_some());
+        })
+    });
+    let mut ni = 0usize;
+    g.bench_function(format!("{label}/negative"), |b| {
+        b.iter(|| {
+            let k = absent[ni % absent.len()];
+            ni += 1;
+            assert!(table.get(&mut pm, &k).is_none());
+        })
+    });
+    g.finish();
+}
+
+fn fp_probe(c: &mut Criterion) {
+    for gs in [16u64, 64, 256] {
+        bench_mode(c, gs, FpMode::Off);
+        bench_mode(c, gs, FpMode::On);
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = fp_probe
+}
+criterion_main!(benches);

@@ -98,7 +98,9 @@ impl TableAnalysis {
 /// 3. every occupied level-1 cell holds a key that hashes to that slot;
 /// 4. every occupied level-2 cell holds a key whose group matches the
 ///    cell's owning group;
-/// 5. no key appears twice.
+/// 5. no key appears twice;
+/// 6. under [`FpMode::On`](crate::FpMode), the volatile fingerprint cache
+///    agrees with the pool for every occupied cell.
 pub fn check_consistency<P: Pmem, K: HashKey, V: Pod>(
     table: &GroupHash<P, K, V>,
     pm: &mut P,
@@ -161,7 +163,7 @@ pub fn check_consistency<P: Pmem, K: HashKey, V: Pod>(
             "count field says {count}, bitmaps say {occupied}"
         ));
     }
-    Ok(())
+    table.verify_fp_cache(pm)
 }
 
 #[cfg(test)]

@@ -89,6 +89,23 @@ impl<P: Pmem, K: HashKey, V: Pod> ShardedGroupHash<P, K, V> {
         table.remove(pm, key)
     }
 
+    /// Inserts `(key, value)` only if `key` is absent (atomic per shard:
+    /// the probe and the insert happen under the owning shard's lock).
+    pub fn insert_unique(&self, key: K, value: V) -> Result<(), InsertError> {
+        let mut s = self.shards[self.shard_of(&key)].lock();
+        let Shard { pm, table } = &mut *s;
+        table.insert_unique(pm, key, value)
+    }
+
+    /// Updates the value of an existing `key` in place, returning whether
+    /// the key was found. Same failure-atomicity caveats as
+    /// [`GroupHash::update_in_place`]; atomic per shard.
+    pub fn update_in_place(&self, key: &K, value: V) -> bool {
+        let mut s = self.shards[self.shard_of(key)].lock();
+        let Shard { pm, table } = &mut *s;
+        table.update_in_place(pm, key, value)
+    }
+
     /// Total entries across shards. Consistent only when quiescent.
     pub fn len(&self) -> u64 {
         self.shards
@@ -245,6 +262,84 @@ mod tests {
         for k in 0..1000u64 {
             assert_eq!(t.get(&k), Some(k + 7));
         }
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn update_in_place_and_insert_unique_roundtrip() {
+        let t = build(4);
+        t.insert_unique(5, 50).unwrap();
+        assert_eq!(
+            t.insert_unique(5, 51),
+            Err(nvm_table::InsertError::DuplicateKey)
+        );
+        assert_eq!(t.get(&5), Some(50));
+        assert!(t.update_in_place(&5, 500));
+        assert_eq!(t.get(&5), Some(500));
+        assert!(!t.update_in_place(&6, 1));
+        assert_eq!(t.len(), 1);
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn concurrent_updates_in_place() {
+        // Each thread owns a disjoint key range: inserts via insert_unique,
+        // then repeatedly updates in place while other threads hammer
+        // their own ranges; values must never tear or leak across keys.
+        let t = Arc::new(build(8));
+        let threads: Vec<_> = (0..4u64)
+            .map(|tid| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    let lo = tid * 1000;
+                    for k in lo..lo + 200 {
+                        t.insert_unique(k, k).unwrap();
+                        assert_eq!(t.insert_unique(k, 0), Err(InsertError::DuplicateKey));
+                    }
+                    for round in 1..=5u64 {
+                        for k in lo..lo + 200 {
+                            assert!(t.update_in_place(&k, k + round));
+                            assert_eq!(t.get(&k), Some(k + round));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(t.len(), 800);
+        for tid in 0..4u64 {
+            for k in tid * 1000..tid * 1000 + 200 {
+                assert_eq!(t.get(&k), Some(k + 5));
+            }
+        }
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn sharded_fingerprint_mode_roundtrip() {
+        use crate::config::FpMode;
+        let cfg = GroupHashConfig::new(1 << 10, 64).with_fp_mode(FpMode::On);
+        let size = GroupHash::<SimPmem, u64, u64>::required_size(&cfg);
+        let t: ShardedGroupHash<SimPmem, u64, u64> =
+            ShardedGroupHash::create(4, cfg, |_| SimPmem::new(size, SimConfig::fast_test()))
+                .unwrap();
+        for k in 0..800u64 {
+            t.insert(k, k * 2).unwrap();
+        }
+        for k in 0..400u64 {
+            assert!(t.remove(&k));
+        }
+        for k in 400..800u64 {
+            assert_eq!(t.get(&k), Some(k * 2));
+            assert!(t.update_in_place(&k, k));
+        }
+        t.recover_all();
+        for k in 400..800u64 {
+            assert_eq!(t.get(&k), Some(k));
+        }
+        // check_consistency verifies the per-shard fingerprint caches.
         t.check_consistency().unwrap();
     }
 

@@ -57,6 +57,19 @@ pub enum CountMode {
     Volatile,
 }
 
+/// Whether the table keeps a DRAM-resident fingerprint cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FpMode {
+    /// The paper-faithful path: every probe reads key bytes from the pool.
+    #[default]
+    Off,
+    /// Accelerator: one volatile tag byte per cell (from a third hash of
+    /// the key) filters probes so key bytes are only read when the tag
+    /// matches. Adds zero persisted state and zero flushes; the cache is
+    /// rebuilt from the bitmaps + cells on `open`/`recover`.
+    On,
+}
+
 /// Parameters for creating a group hash table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GroupHashConfig {
@@ -72,6 +85,7 @@ pub struct GroupHashConfig {
     pub probe: ProbeLayout,
     pub count_mode: CountMode,
     pub choice: ChoiceMode,
+    pub fp: FpMode,
 }
 
 impl GroupHashConfig {
@@ -85,6 +99,7 @@ impl GroupHashConfig {
             probe: ProbeLayout::default(),
             count_mode: CountMode::default(),
             choice: ChoiceMode::default(),
+            fp: FpMode::default(),
         }
     }
 
@@ -134,6 +149,12 @@ impl GroupHashConfig {
         self
     }
 
+    /// Enables/disables the volatile fingerprint cache (extension).
+    pub fn with_fp_mode(mut self, fp: FpMode) -> Self {
+        self.fp = fp;
+        self
+    }
+
     /// Validates the geometry.
     pub fn validate(&self) -> Result<(), String> {
         if !self.cells_per_level.is_power_of_two() {
@@ -174,6 +195,9 @@ impl GroupHashConfig {
         if self.choice == ChoiceMode::TwoChoice {
             f |= 8;
         }
+        if self.fp == FpMode::On {
+            f |= 16;
+        }
         f
     }
 
@@ -208,6 +232,7 @@ impl GroupHashConfig {
             } else {
                 ChoiceMode::Single
             },
+            fp: if flags & 16 != 0 { FpMode::On } else { FpMode::Off },
         }
     }
 }
@@ -244,14 +269,17 @@ mod tests {
             for probe in [ProbeLayout::Contiguous, ProbeLayout::Strided] {
                 for cm in [CountMode::Persistent, CountMode::Volatile] {
                     for ch in [ChoiceMode::Single, ChoiceMode::TwoChoice] {
-                        let c = GroupHashConfig::new(256, 16)
-                            .with_commit(commit)
-                            .with_probe(probe)
-                            .with_count_mode(cm)
-                            .with_choice(ch)
-                            .with_seed(99);
-                        let r = GroupHashConfig::from_persisted(256, 16, 99, c.flags());
-                        assert_eq!(c, r);
+                        for fp in [FpMode::Off, FpMode::On] {
+                            let c = GroupHashConfig::new(256, 16)
+                                .with_commit(commit)
+                                .with_probe(probe)
+                                .with_count_mode(cm)
+                                .with_choice(ch)
+                                .with_fp_mode(fp)
+                                .with_seed(99);
+                            let r = GroupHashConfig::from_persisted(256, 16, 99, c.flags());
+                            assert_eq!(c, r);
+                        }
                     }
                 }
             }

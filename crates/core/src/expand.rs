@@ -114,6 +114,35 @@ mod tests {
     }
 
     #[test]
+    fn expansion_preserves_fingerprint_cache() {
+        use crate::config::FpMode;
+        let cfg = GroupHashConfig::new(128, 16).with_fp_mode(FpMode::On);
+        let small = GroupHash::<SimPmem, u64, u64>::required_size(&cfg);
+        let big_cfg = GroupHashConfig::new(256, 16)
+            .with_seed(cfg.seed)
+            .with_fp_mode(FpMode::On);
+        let big = GroupHash::<SimPmem, u64, u64>::required_size(&big_cfg);
+        let mut pm = SimPmem::new(small + big + 128, SimConfig::fast_test());
+
+        let mut t =
+            GroupHash::<SimPmem, u64, u64>::create(&mut pm, Region::new(0, small), cfg).unwrap();
+        for k in 0..100u64 {
+            t.insert(&mut pm, k, k * 3).unwrap();
+        }
+        let t2 = t
+            .expand_into(&mut pm, Region::new(small, big + 128), big_cfg)
+            .unwrap();
+        assert_eq!(t2.config().fp, FpMode::On);
+        // The destination's volatile tag cache was maintained insert-by-
+        // insert during the rehash; verify it agrees with the pool.
+        t2.verify_fp_cache(&mut pm).unwrap();
+        t2.check_consistency(&mut pm).unwrap();
+        for k in 0..100u64 {
+            assert_eq!(t2.get(&mut pm, &k), Some(k * 3));
+        }
+    }
+
+    #[test]
     fn expansion_after_table_full() {
         // Fill a single-group table until full, then expand and continue.
         let cfg = GroupHashConfig::new(32, 32);

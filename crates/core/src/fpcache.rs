@@ -1,0 +1,170 @@
+//! DRAM-resident per-cell fingerprint cache.
+//!
+//! One volatile tag byte per cell, per level, derived from a third hash
+//! stream ([`HashPair::h3`]) so the tag carries information the slot index
+//! does not already encode. The cache is a **pure accelerator**: nothing
+//! is persisted, no flush or fence is ever issued on its behalf, and the
+//! table's NVM state is bit-identical with the cache on or off. On
+//! `open`/`recover` it is rebuilt from the occupancy bitmaps + cells, the
+//! only authoritative state.
+//!
+//! Group scans consult the cache word-wise: eight tags load as one `u64`
+//! and are compared against the probe tag with the SWAR zero-byte trick
+//! (no unsafe SIMD), then ANDed with the corresponding occupancy bits so
+//! only plausible cells have their key bytes read from the pool.
+//!
+//! [`HashPair::h3`]: nvm_hashfn::HashPair::h3
+
+/// Broadcasts `tag` into all eight lanes of a `u64`.
+#[inline]
+pub(crate) fn broadcast(tag: u8) -> u64 {
+    u64::from(tag) * 0x0101_0101_0101_0101
+}
+
+/// Returns an 8-bit mask whose bit `i` is set iff byte `i` (little-endian
+/// lane order) of `word` equals `tag`.
+///
+/// Lane-equality uses the SWAR zero-byte test on
+/// `x = word ^ broadcast(tag)`. Note the *exact* per-byte variant: the
+/// textbook `(x - 0x01…) & !x & 0x80…` only answers "is there a zero
+/// byte" — its subtraction borrows can mark the byte above a zero byte
+/// too. Adding `0x7F` to each byte's low 7 bits instead never carries
+/// across lanes, so `y | x` has a byte's high bit set iff that byte is
+/// nonzero. The zero-byte high bits are then compressed to the low 8
+/// bits with a carry-free multiply (all partial products land on
+/// distinct bit positions).
+#[inline]
+pub(crate) fn match_bits(word: u64, tag: u8) -> u64 {
+    const LO7: u64 = 0x7F7F_7F7F_7F7F_7F7F;
+    let x = word ^ broadcast(tag);
+    let y = (x & LO7).wrapping_add(LO7);
+    let hi = !(y | x | LO7); // bit 8i+7 set iff byte i of x is zero
+    ((hi >> 7).wrapping_mul(0x0102_0408_1020_4080)) >> 56
+}
+
+/// The volatile tag arrays for a two-level table. Indexed by level
+/// (0 = level 1, 1 = level 2) and cell index.
+#[derive(Debug, Clone)]
+pub(crate) struct FpCache {
+    levels: [Vec<u8>; 2],
+}
+
+impl FpCache {
+    /// A zeroed cache for `cells_per_level` cells in each level. The
+    /// arrays are padded to a multiple of 64 bytes so word loads near the
+    /// end of tiny tables never index out of bounds (padding tags are
+    /// never candidates — their occupancy bits are always clear).
+    pub fn new(cells_per_level: u64) -> FpCache {
+        let len = (cells_per_level as usize).next_multiple_of(64);
+        FpCache {
+            levels: [vec![0; len], vec![0; len]],
+        }
+    }
+
+    /// The cached tag for `(level, idx)`. Only meaningful while the
+    /// cell's occupancy bit is set.
+    #[inline]
+    pub fn get(&self, level: usize, idx: u64) -> u8 {
+        self.levels[level][idx as usize]
+    }
+
+    /// Records `tag` for `(level, idx)` (on insert / bulk load / rebuild).
+    #[inline]
+    pub fn set(&mut self, level: usize, idx: u64, tag: u8) {
+        self.levels[level][idx as usize] = tag;
+    }
+
+    /// Zeroes the tag for `(level, idx)` (on delete; keeps the cache
+    /// canonical so rebuilds compare bit-for-bit).
+    #[inline]
+    pub fn clear(&mut self, level: usize, idx: u64) {
+        self.levels[level][idx as usize] = 0;
+    }
+
+    /// Loads the eight tags `[byte_base, byte_base + 8)` of `level` as a
+    /// little-endian word. `byte_base` must be 8-byte aligned.
+    #[inline]
+    pub fn word(&self, level: usize, byte_base: u64) -> u64 {
+        debug_assert_eq!(byte_base % 8, 0);
+        let b = byte_base as usize;
+        u64::from_le_bytes(self.levels[level][b..b + 8].try_into().unwrap())
+    }
+
+    /// Zeroes every tag (rebuild preamble).
+    pub fn reset(&mut self) {
+        for l in &mut self.levels {
+            l.fill(0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scalar reference for the SWAR lane-equality compress.
+    fn match_bits_ref(word: u64, tag: u8) -> u64 {
+        let mut m = 0u64;
+        for i in 0..8 {
+            if (word >> (8 * i)) as u8 == tag {
+                m |= 1 << i;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn swar_matches_scalar_reference() {
+        // Deterministic pseudo-random coverage plus adversarial corners.
+        let mut x = 0x243F_6A88_85A3_08D3u64; // splitmix-ish walk
+        for _ in 0..10_000 {
+            x = x
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(29)
+                .wrapping_add(1);
+            let tag = (x >> 56) as u8;
+            assert_eq!(match_bits(x, tag), match_bits_ref(x, tag), "word {x:#x}");
+            assert_eq!(match_bits(x, 0), match_bits_ref(x, 0));
+        }
+        for word in [0u64, u64::MAX, 0x0001_0203_0405_0607, broadcast(0x7F)] {
+            for tag in [0u8, 1, 0x7F, 0x80, 0xFF] {
+                assert_eq!(match_bits(word, tag), match_bits_ref(word, tag));
+            }
+        }
+    }
+
+    #[test]
+    fn match_bits_all_and_none() {
+        assert_eq!(match_bits(broadcast(0xAB), 0xAB), 0xFF);
+        assert_eq!(match_bits(broadcast(0xAB), 0xAC), 0);
+    }
+
+    #[test]
+    fn word_loads_tags_in_lane_order() {
+        let mut fp = FpCache::new(64);
+        for i in 0..8u64 {
+            fp.set(1, 8 + i, 0x10 + i as u8);
+        }
+        let w = fp.word(1, 8);
+        assert_eq!(match_bits(w, 0x13), 1 << 3);
+        fp.clear(1, 11);
+        assert_eq!(match_bits(fp.word(1, 8), 0x13), 0);
+    }
+
+    #[test]
+    fn padding_allows_word_loads_on_tiny_tables() {
+        let fp = FpCache::new(4); // padded to 64
+        assert_eq!(fp.word(0, 0), 0);
+        assert_eq!(fp.word(1, 56), 0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut fp = FpCache::new(128);
+        fp.set(0, 3, 9);
+        fp.set(1, 100, 7);
+        fp.reset();
+        assert_eq!(fp.get(0, 3), 0);
+        assert_eq!(fp.get(1, 100), 0);
+    }
+}

@@ -68,6 +68,7 @@ mod bulk;
 mod concurrent;
 mod config;
 mod expand;
+mod fpcache;
 mod resize;
 mod table;
 
@@ -78,7 +79,7 @@ pub use analysis::{GroupFill, TableAnalysis};
 pub use bulk::BulkLoadReport;
 pub use concurrent::ShardedGroupHash;
 pub use resize::ResizingGroupHash;
-pub use config::{ChoiceMode, CommitStrategy, CountMode, GroupHashConfig, ProbeLayout};
+pub use config::{ChoiceMode, CommitStrategy, CountMode, FpMode, GroupHashConfig, ProbeLayout};
 pub use table::GroupHash;
 
 // Re-exported so downstream users need only this crate for the common case.

@@ -194,6 +194,32 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_cache_survives_growth() {
+        use crate::config::FpMode;
+        // Growth migrates via bulk_load, which must keep the volatile tag
+        // cache in step with every placement it makes in the new table.
+        let cfg = GroupHashConfig::new(32, 16).with_fp_mode(FpMode::On);
+        let mut t = ResizingGroupHash::<SimPmem, u64, u64>::create(cfg, |size| {
+            SimPmem::new(size, SimConfig::fast_test())
+        })
+        .unwrap();
+        for k in 0..600u64 {
+            t.insert(k, k + 1).unwrap();
+        }
+        assert!(t.resizes() > 0);
+        for k in (0..600u64).step_by(3) {
+            assert!(t.remove(&k));
+        }
+        let (pm, table) = t.parts_mut();
+        assert_eq!(table.config().fp, FpMode::On);
+        table.verify_fp_cache(pm).unwrap();
+        table.check_consistency(pm).unwrap();
+        for k in 0..600u64 {
+            assert_eq!(t.get(&k), (k % 3 != 0).then_some(k + 1), "key {k}");
+        }
+    }
+
+    #[test]
     fn preserves_config_knobs_across_growth() {
         use crate::config::ChoiceMode;
         let cfg = GroupHashConfig::new(32, 16).with_choice(ChoiceMode::TwoChoice);

@@ -1,7 +1,8 @@
 //! The group hash table: layout, Algorithms 1–4, and the
 //! [`HashScheme`] implementation.
 
-use crate::config::{ChoiceMode, CommitStrategy, CountMode, GroupHashConfig, ProbeLayout};
+use crate::config::{ChoiceMode, CommitStrategy, CountMode, FpMode, GroupHashConfig, ProbeLayout};
+use crate::fpcache::{match_bits, FpCache};
 use nvm_hashfn::{HashKey, HashPair, Pod};
 use nvm_metrics::SchemeInstrumentation;
 use nvm_pmem::{Pmem, Region, RegionAllocator, CACHELINE};
@@ -23,6 +24,17 @@ enum Level {
     Two,
 }
 
+impl Level {
+    /// The [`FpCache`] array index for this level.
+    #[inline]
+    fn idx(self) -> usize {
+        match self {
+            Level::One => 0,
+            Level::Two => 1,
+        }
+    }
+}
+
 /// The paper's hash table. See the crate docs for the design; all
 /// persistent state lives in the pool region handed to
 /// [`GroupHash::create`], and [`GroupHash::open`] reconstructs the table
@@ -39,6 +51,9 @@ pub struct GroupHash<P: Pmem, K: HashKey, V: Pod> {
     log: Option<UndoLog>,
     /// Cached count for [`CountMode::Volatile`].
     volatile_count: u64,
+    /// DRAM-resident fingerprint tags for [`FpMode::On`]; never persisted,
+    /// rebuilt from bitmaps + cells on `open`/`recover`.
+    fp: Option<FpCache>,
     /// Probe/occupancy/displacement recording. Derived purely from
     /// arithmetic the operations already do — recording never touches the
     /// pool, so instrumented runs report identical `PmemStats`.
@@ -92,6 +107,7 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
             cells2: CellArray::attach(c2, n),
             log,
             volatile_count: 0,
+            fp: (config.fp == FpMode::On).then(|| FpCache::new(n)),
             #[cfg(feature = "instrument")]
             instr: SchemeInstrumentation::new(config.group_size as usize),
             region,
@@ -122,6 +138,32 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
         }
         #[cfg(not(feature = "instrument"))]
         let _ = (probes, occupied);
+    }
+
+    /// Records key loads issued from the pool by a lookup-style probe
+    /// (recorded in both fingerprint modes, so filtered and unfiltered
+    /// runs report the probe path's NVM traffic in the same counter).
+    #[inline]
+    fn note_key_reads(&self, n: u64) {
+        #[cfg(feature = "instrument")]
+        self.instr.fingerprint.key_reads.add(n);
+        #[cfg(not(feature = "instrument"))]
+        let _ = n;
+    }
+
+    /// Records fingerprint-filter outcomes: occupied cells skipped on a
+    /// tag mismatch, tag matches whose key compared unequal, and tag
+    /// matches confirmed by the key bytes.
+    #[inline]
+    fn note_fp(&self, skips: u64, false_positives: u64, hits: u64) {
+        #[cfg(feature = "instrument")]
+        {
+            self.instr.fingerprint.skips.add(skips);
+            self.instr.fingerprint.false_positives.add(false_positives);
+            self.instr.fingerprint.hits.add(hits);
+        }
+        #[cfg(not(feature = "instrument"))]
+        let _ = (skips, false_positives, hits);
     }
 
     /// Creates and initializes a fresh table in `region`.
@@ -191,6 +233,7 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
         if t.config.count_mode == CountMode::Volatile {
             t.volatile_count = t.bitmap1.count_ones(pm) + t.bitmap2.count_ones(pm);
         }
+        t.rebuild_fp_cache(pm);
         Ok(t)
     }
 
@@ -221,6 +264,65 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
                 (s2 != self.slot_of(key)).then_some(s2)
             }
         }
+    }
+
+    /// The volatile fingerprint tag for `key`: the low byte of the third
+    /// hash stream, so tags are uncorrelated with the slot/group the
+    /// placement hashes choose (a tag that re-encoded `h1` bits would
+    /// carry no information within a group, where those bits are equal).
+    #[inline]
+    pub fn fp_tag(&self, key: &K) -> u8 {
+        self.hash.h3(key) as u8
+    }
+
+    /// Rebuilds the fingerprint cache from the bitmaps + cells (the only
+    /// authoritative state). No-op under [`FpMode::Off`]. O(capacity),
+    /// reading one key per occupied cell.
+    fn rebuild_fp_cache(&mut self, pm: &mut P) {
+        let Some(mut fp) = self.fp.take() else { return };
+        fp.reset();
+        let n = self.config.cells_per_level;
+        for level in [Level::One, Level::Two] {
+            let (bitmap, cells) = self.level_parts(level);
+            let mut base = 0u64;
+            while base < n {
+                let mut word = bitmap.word_containing(pm, base);
+                while word != 0 {
+                    let idx = base + word.trailing_zeros() as u64;
+                    let tag = self.fp_tag(&cells.read_key(pm, idx));
+                    fp.set(level.idx(), idx, tag);
+                    word &= word - 1;
+                }
+                base += 64;
+            }
+        }
+        self.fp = Some(fp);
+    }
+
+    /// Checks that the fingerprint cache agrees with the pool: every
+    /// occupied cell's cached tag must equal the tag of the key stored
+    /// there (free cells are ignored — their tags are never consulted).
+    /// `Ok` under [`FpMode::Off`].
+    pub fn verify_fp_cache(&self, pm: &mut P) -> Result<(), String> {
+        let Some(fp) = &self.fp else { return Ok(()) };
+        for level in [Level::One, Level::Two] {
+            let (bitmap, cells) = self.level_parts(level);
+            for i in 0..self.config.cells_per_level {
+                if !bitmap.get(pm, i) {
+                    continue;
+                }
+                let want = self.fp_tag(&cells.read_key(pm, i));
+                let got = fp.get(level.idx(), i);
+                if got != want {
+                    return Err(format!(
+                        "fingerprint cache stale at level {}/cell {i}: \
+                         cached {got:#04x}, key tag {want:#04x}",
+                        level.idx() + 1
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Group number of level-1 slot `k`.
@@ -301,6 +403,13 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
         cells.persist_entry(pm, idx);
         bitmap.set_and_persist(pm, idx, true);
         self.bump_count(pm, true);
+        if self.fp.is_some() {
+            // DRAM only — no pool write, no flush, no fence.
+            let tag = self.fp_tag(key);
+            if let Some(fp) = &mut self.fp {
+                fp.set(level.idx(), idx, tag);
+            }
+        }
         if self.config.commit == CommitStrategy::UndoLog {
             self.log.as_mut().expect("undo log present").commit(pm);
         }
@@ -327,6 +436,9 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
         cells.clear_entry(pm, idx);
         cells.persist_entry(pm, idx);
         self.bump_count(pm, false);
+        if let Some(fp) = &mut self.fp {
+            fp.clear(level.idx(), idx);
+        }
         if self.config.commit == CommitStrategy::UndoLog {
             self.log.as_mut().expect("undo log present").commit(pm);
         }
@@ -347,9 +459,22 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
                 }
             }
             ProbeLayout::Strided => {
+                // The stride is `n_groups`, so consecutive probe steps
+                // often land in the same 64-bit word; hoist the word read
+                // like the contiguous path instead of one `get` per cell.
+                let mut cached: Option<(u64, u64)> = None; // (word_base, word)
                 for i in 0..self.config.group_size {
                     let idx = self.group_cell(g, i);
-                    if !self.bitmap2.get(pm, idx) {
+                    let word_base = idx & !63;
+                    let word = match cached {
+                        Some((b, w)) if b == word_base => w,
+                        _ => {
+                            let w = self.bitmap2.word_containing(pm, idx);
+                            cached = Some((word_base, w));
+                            w
+                        }
+                    };
+                    if word >> (idx % 64) & 1 == 0 {
                         return (Some(idx), i + 1);
                     }
                 }
@@ -365,10 +490,26 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
     /// ascending address order — an access pattern the hardware stream
     /// prefetcher locks onto (the mechanism behind the paper's
     /// "a single memory access can prefetch the following cells").
-    /// The second return value counts key comparisons performed (occupied
-    /// cells whose key bytes were read), feeding the probe histogram.
-    fn find_key_in_group(&self, pm: &mut P, g: u64, key: &K) -> (Option<u64>, u64) {
-        let mut compared = 0u64;
+    ///
+    /// `tag` is `Some` exactly under [`FpMode::On`]: the scan then goes
+    /// *tag-first* — eight cached tags load as one word, a SWAR compare
+    /// against the probe tag ANDed with the occupancy bits selects the
+    /// candidate cells, and only those have their key bytes read from the
+    /// pool.
+    ///
+    /// The second return value counts occupied cells examined in scan
+    /// order up to (and including) the hit — the same value in both
+    /// fingerprint modes, so probe histograms stay mode-independent and
+    /// comparable (under `FpMode::On` an "examined" cell may have been
+    /// resolved from its DRAM tag alone).
+    fn find_key_in_group(
+        &self,
+        pm: &mut P,
+        g: u64,
+        key: &K,
+        tag: Option<u8>,
+    ) -> (Option<u64>, u64) {
+        let mut examined = 0u64;
         match self.config.probe {
             ProbeLayout::Contiguous => {
                 let start = g * self.config.group_size;
@@ -387,30 +528,95 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
                     if span < 64 {
                         word &= (1u64 << span) - 1;
                     }
-                    while word != 0 {
-                        let bit = word.trailing_zeros() as u64;
-                        let idx = word_base + bit;
-                        compared += 1;
-                        if self.cells2.read_key(pm, idx) == *key {
-                            return (Some(idx), compared);
+                    match tag {
+                        Some(tag) => {
+                            let fp = self.fp.as_ref().expect("tag implies cache");
+                            // Tag-first: 8 cells (one tag word) at a time.
+                            let mut sub = 0u64;
+                            while sub < 64 {
+                                let occ = word >> sub & 0xFF;
+                                if occ != 0 {
+                                    let tags = fp.word(Level::Two.idx(), word_base + sub);
+                                    let cand = match_bits(tags, tag) & occ;
+                                    let mut c = cand;
+                                    while c != 0 {
+                                        let bit = c.trailing_zeros() as u64;
+                                        let idx = word_base + sub + bit;
+                                        self.note_key_reads(1);
+                                        if self.cells2.read_key(pm, idx) == *key {
+                                            let below = (1u64 << bit) - 1;
+                                            examined +=
+                                                u64::from((occ & (below | 1 << bit)).count_ones());
+                                            let skipped = (occ & !cand & below).count_ones();
+                                            self.note_fp(u64::from(skipped), 0, 1);
+                                            return (Some(idx), examined);
+                                        }
+                                        self.note_fp(0, 1, 0);
+                                        c &= c - 1;
+                                    }
+                                    examined += u64::from(occ.count_ones());
+                                    self.note_fp(u64::from((occ & !cand).count_ones()), 0, 0);
+                                }
+                                sub += 8;
+                            }
                         }
-                        word &= word - 1;
+                        None => {
+                            while word != 0 {
+                                let bit = word.trailing_zeros() as u64;
+                                let idx = word_base + bit;
+                                examined += 1;
+                                self.note_key_reads(1);
+                                if self.cells2.read_key(pm, idx) == *key {
+                                    return (Some(idx), examined);
+                                }
+                                word &= word - 1;
+                            }
+                        }
                     }
                     base = word_base + 64;
                 }
-                (None, compared)
+                (None, examined)
             }
             ProbeLayout::Strided => {
+                // Hoisted occupancy-word reads (stride = n_groups, so
+                // consecutive steps often share a word); per-cell tag
+                // checks — strided tags are not adjacent in the cache, so
+                // there is no word to load.
+                let mut cached: Option<(u64, u64)> = None;
                 for i in 0..self.config.group_size {
                     let idx = self.group_cell(g, i);
-                    if self.bitmap2.get(pm, idx) {
-                        compared += 1;
-                        if self.cells2.read_key(pm, idx) == *key {
-                            return (Some(idx), compared);
+                    let word_base = idx & !63;
+                    let word = match cached {
+                        Some((b, w)) if b == word_base => w,
+                        _ => {
+                            let w = self.bitmap2.word_containing(pm, idx);
+                            cached = Some((word_base, w));
+                            w
+                        }
+                    };
+                    if word >> (idx % 64) & 1 == 0 {
+                        continue;
+                    }
+                    examined += 1;
+                    if let Some(tag) = tag {
+                        let fp = self.fp.as_ref().expect("tag implies cache");
+                        if fp.get(Level::Two.idx(), idx) != tag {
+                            self.note_fp(1, 0, 0);
+                            continue;
                         }
                     }
+                    self.note_key_reads(1);
+                    if self.cells2.read_key(pm, idx) == *key {
+                        if tag.is_some() {
+                            self.note_fp(0, 0, 1);
+                        }
+                        return (Some(idx), examined);
+                    }
+                    if tag.is_some() {
+                        self.note_fp(0, 1, 0);
+                    }
                 }
-                (None, compared)
+                (None, examined)
             }
         }
     }
@@ -480,25 +686,53 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
             })
     }
 
+    /// Checks whether level-1 slot `k` holds `key`, reading the key bytes
+    /// only when the slot is occupied and (under [`FpMode::On`]) its
+    /// cached tag matches.
+    #[inline]
+    fn level1_holds(&self, pm: &mut P, k: u64, key: &K, tag: Option<u8>) -> bool {
+        if !self.bitmap1.get(pm, k) {
+            return false;
+        }
+        if let Some(tag) = tag {
+            let fp = self.fp.as_ref().expect("tag implies cache");
+            if fp.get(Level::One.idx(), k) != tag {
+                self.note_fp(1, 0, 0);
+                return false;
+            }
+        }
+        self.note_key_reads(1);
+        let hit = self.cells1.read_key(pm, k) == *key;
+        if tag.is_some() {
+            if hit {
+                self.note_fp(0, 0, 1);
+            } else {
+                self.note_fp(0, 1, 0);
+            }
+        }
+        hit
+    }
+
     /// Finds the `(level, cell)` holding `key`, probing the candidate
     /// slot(s) then the matched group(s). Records one probe-length sample
     /// (cells examined) per call when instrumentation is enabled.
     fn locate(&self, pm: &mut P, key: &K) -> Option<(Level, u64)> {
         let (k1, k2) = self.candidate_slots(key);
+        let tag = self.fp.as_ref().map(|_| self.fp_tag(key));
         let mut probes = 1u64;
-        if self.bitmap1.get(pm, k1) && self.cells1.read_key(pm, k1) == *key {
+        if self.level1_holds(pm, k1, key, tag) {
             self.note_probe(probes);
             return Some((Level::One, k1));
         }
         if let Some(k2) = k2 {
             probes += 1;
-            if self.bitmap1.get(pm, k2) && self.cells1.read_key(pm, k2) == *key {
+            if self.level1_holds(pm, k2, key, tag) {
                 self.note_probe(probes);
                 return Some((Level::One, k2));
             }
         }
         let g1 = self.group_of(k1);
-        let (found, compared) = self.find_key_in_group(pm, g1, key);
+        let (found, compared) = self.find_key_in_group(pm, g1, key, tag);
         probes += compared;
         if let Some(idx) = found {
             self.note_probe(probes);
@@ -507,7 +741,7 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
         if let Some(k2) = k2 {
             let g2 = self.group_of(k2);
             if g2 != g1 {
-                let (found, compared) = self.find_key_in_group(pm, g2, key);
+                let (found, compared) = self.find_key_in_group(pm, g2, key, tag);
                 probes += compared;
                 if let Some(idx) = found {
                     self.note_probe(probes);
@@ -586,6 +820,9 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
             CountMode::Persistent => self.header.set_count(pm, count),
             CountMode::Volatile => self.volatile_count = count,
         }
+        // The volatile tags may describe pre-crash state; rebuild them
+        // from the (now repaired) bitmaps + cells.
+        self.rebuild_fp_cache(pm);
     }
 
     /// Occupied cells.
@@ -636,6 +873,17 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
 
     pub(crate) fn group_of_l2_cell(&self, idx: u64) -> u64 {
         self.group_of_l2(idx)
+    }
+
+    /// Detaches the fingerprint cache so bulk operations can update tags
+    /// while iterating with `&self` accessors (NLL-friendly); pair with
+    /// [`GroupHash::put_fp`].
+    pub(crate) fn take_fp(&mut self) -> Option<FpCache> {
+        self.fp.take()
+    }
+
+    pub(crate) fn put_fp(&mut self, fp: Option<FpCache>) {
+        self.fp = fp;
     }
 }
 
@@ -972,6 +1220,192 @@ mod tests {
         tv.insert(&mut pm_v, 1, 1).unwrap();
         tp.insert(&mut pm_p, 1, 1).unwrap();
         assert!(pm_v.stats().flushes < pm_p.stats().flushes);
+    }
+
+    #[test]
+    fn fingerprint_mode_behaves_identically() {
+        let cfg = GroupHashConfig::new(256, 16).with_fp_mode(FpMode::On);
+        let (mut pm, mut t, region) = make_cfg(cfg);
+        for k in 0..200u64 {
+            t.insert(&mut pm, k, k * 7).unwrap();
+        }
+        for k in 0..200u64 {
+            assert_eq!(t.get(&mut pm, &k), Some(k * 7));
+        }
+        for k in 200..400u64 {
+            assert_eq!(t.get(&mut pm, &k), None, "negative lookup {k}");
+        }
+        t.check_consistency(&mut pm).unwrap(); // includes verify_fp_cache
+        for k in 0..100u64 {
+            assert!(t.remove(&mut pm, &k));
+            assert_eq!(t.get(&mut pm, &k), None);
+        }
+        assert!(t.update_in_place(&mut pm, &150, 1));
+        assert_eq!(t.get(&mut pm, &150), Some(1));
+        t.check_consistency(&mut pm).unwrap();
+        // Reopen keeps the mode and rebuilds an agreeing cache.
+        let t2 = GroupHash::<SimPmem, u64, u64>::open(&mut pm, region).unwrap();
+        assert_eq!(t2.config().fp, FpMode::On);
+        t2.verify_fp_cache(&mut pm).unwrap();
+        for k in 100..200u64 {
+            assert_eq!(t2.get(&mut pm, &k), Some(if k == 150 { 1 } else { k * 7 }));
+        }
+    }
+
+    #[test]
+    fn fingerprint_matches_off_mode_state() {
+        // Same ops, fp on vs off: the NVM image must be bit-identical
+        // (the cache is a pure accelerator).
+        let (mut pm_off, mut t_off, _) = make(256, 16);
+        let cfg = GroupHashConfig::new(256, 16).with_fp_mode(FpMode::On);
+        let (mut pm_on, mut t_on, _) = make_cfg(cfg);
+        for k in 0..150u64 {
+            t_off.insert(&mut pm_off, k, k).unwrap();
+            t_on.insert(&mut pm_on, k, k).unwrap();
+        }
+        for k in 0..50u64 {
+            assert_eq!(t_off.remove(&mut pm_off, &k), t_on.remove(&mut pm_on, &k));
+        }
+        // Compare the whole pool except the header's flags slot (the
+        // persisted FpMode bit is the single intended difference).
+        let len = pm_off.len();
+        let mut a = vec![0u8; len];
+        let mut b = vec![0u8; len];
+        pm_off.read(0, &mut a);
+        pm_on.read(0, &mut b);
+        // The flags geometry slot (header offset 56) is the single
+        // intended difference: the persisted FpMode bit.
+        let diff: Vec<usize> = (0..len).filter(|&i| a[i] != b[i]).collect();
+        assert!(
+            !diff.is_empty() && diff.iter().all(|&i| (56..64).contains(&i)),
+            "unexpected NVM divergence at offsets {:?}",
+            &diff[..diff.len().min(8)]
+        );
+    }
+
+    #[test]
+    fn fingerprint_strided_roundtrip() {
+        let cfg = GroupHashConfig::new(256, 16)
+            .with_probe(ProbeLayout::Strided)
+            .with_fp_mode(FpMode::On);
+        let (mut pm, mut t, _) = make_cfg(cfg);
+        for k in 0..180u64 {
+            t.insert(&mut pm, k, k).unwrap();
+        }
+        for k in 0..180u64 {
+            assert_eq!(t.get(&mut pm, &k), Some(k));
+        }
+        for k in 180..360u64 {
+            assert_eq!(t.get(&mut pm, &k), None);
+        }
+        t.check_consistency(&mut pm).unwrap();
+        for k in 0..180u64 {
+            assert!(t.remove(&mut pm, &k));
+        }
+        t.check_consistency(&mut pm).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_two_choice_roundtrip() {
+        let cfg = GroupHashConfig::new(256, 16)
+            .with_choice(ChoiceMode::TwoChoice)
+            .with_fp_mode(FpMode::On);
+        let (mut pm, mut t, _) = make_cfg(cfg);
+        for k in 0..220u64 {
+            t.insert(&mut pm, k, k + 3).unwrap();
+        }
+        for k in 0..220u64 {
+            assert_eq!(t.get(&mut pm, &k), Some(k + 3));
+        }
+        for k in 1000..1200u64 {
+            assert_eq!(t.get(&mut pm, &k), None);
+        }
+        t.check_consistency(&mut pm).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_insert_flush_budget_unchanged() {
+        // The cache must be free on the write path: exactly the paper's
+        // 3 flushes / 3 fences per insert, and identical remove costs.
+        let (mut pm_off, mut t_off, _) = make(256, 16);
+        let cfg = GroupHashConfig::new(256, 16).with_fp_mode(FpMode::On);
+        let (mut pm_on, mut t_on, _) = make_cfg(cfg);
+        pm_off.reset_stats();
+        pm_on.reset_stats();
+        t_off.insert(&mut pm_off, 1, 1).unwrap();
+        t_on.insert(&mut pm_on, 1, 1).unwrap();
+        assert_eq!(pm_on.stats().flushes, 3);
+        assert_eq!(pm_on.stats().fences, 3);
+        assert_eq!(pm_on.stats().flushes, pm_off.stats().flushes);
+        assert_eq!(pm_on.stats().fences, pm_off.stats().fences);
+        assert_eq!(pm_on.stats().writes, pm_off.stats().writes);
+        assert_eq!(pm_on.stats().atomic_writes, pm_off.stats().atomic_writes);
+        pm_off.reset_stats();
+        pm_on.reset_stats();
+        assert!(t_off.remove(&mut pm_off, &1));
+        assert!(t_on.remove(&mut pm_on, &1));
+        assert_eq!(pm_on.stats().flushes, pm_off.stats().flushes);
+        assert_eq!(pm_on.stats().fences, pm_off.stats().fences);
+        assert_eq!(pm_on.stats().bytes_written, pm_off.stats().bytes_written);
+    }
+
+    #[test]
+    fn fingerprint_cuts_key_reads_on_negative_lookups() {
+        // The accelerator's whole point: far fewer pool reads when the
+        // probed keys are absent. (bytes_read compares the full probe
+        // path; the harness experiment quantifies the cell-key reads.)
+        let run = |fp: FpMode| {
+            let cfg = GroupHashConfig::new(1 << 12, 64).with_fp_mode(fp);
+            let (mut pm, mut t, _) = make_cfg(cfg);
+            for k in 0..4000u64 {
+                t.insert(&mut pm, k, k).unwrap();
+            }
+            pm.reset_stats();
+            for k in 100_000..101_000u64 {
+                assert_eq!(t.get(&mut pm, &k), None);
+            }
+            pm.stats().bytes_read
+        };
+        let off = run(FpMode::Off);
+        let on = run(FpMode::On);
+        assert!(
+            on * 2 < off,
+            "fp cache should halve negative-probe NVM reads: {on} vs {off}"
+        );
+    }
+
+    #[cfg(feature = "instrument")]
+    #[test]
+    fn fingerprint_counters_and_probe_parity() {
+        // Probe histograms are defined to be mode-independent, and the
+        // fingerprint counters must account for every occupied cell the
+        // scan passed: key_reads = hits + false_positives.
+        let run = |fp: FpMode| {
+            let cfg = GroupHashConfig::new(512, 32).with_fp_mode(fp);
+            let (mut pm, mut t, _) = make_cfg(cfg);
+            for k in 0..700u64 {
+                let _ = t.insert(&mut pm, k, k);
+            }
+            for k in 0..700u64 {
+                let _ = t.get(&mut pm, &k);
+            }
+            for k in 5000..5500u64 {
+                assert_eq!(t.get(&mut pm, &k), None);
+            }
+            t
+        };
+        let t_off = run(FpMode::Off);
+        let t_on = run(FpMode::On);
+        let (i_off, i_on) = (&t_off.instr, &t_on.instr);
+        assert_eq!(i_off.probe.count(), i_on.probe.count());
+        assert_eq!(i_off.probe.to_json().to_string(), i_on.probe.to_json().to_string());
+        let f = &i_on.fingerprint;
+        assert_eq!(f.key_reads.get(), f.hits.get() + f.false_positives.get());
+        assert!(f.skips.get() > 0, "tag filter never skipped a cell");
+        assert!(f.key_reads.get() < i_off.fingerprint.key_reads.get());
+        // Off mode: no filter outcomes, only raw key reads.
+        assert_eq!(i_off.fingerprint.hits.get(), 0);
+        assert_eq!(i_off.fingerprint.skips.get(), 0);
     }
 
     #[test]

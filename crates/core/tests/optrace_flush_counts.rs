@@ -15,12 +15,16 @@
 //! * the bitmap commit itself is exactly one flush of one atomic 8-byte
 //!   store.
 
-use group_hash::{GroupHash, GroupHashConfig};
+use group_hash::{FpMode, GroupHash, GroupHashConfig};
 use nvm_metrics::{OpDelta, OpTrace};
 use nvm_pmem::{Pmem, Region, SimConfig, SimPmem};
 
 fn build() -> (SimPmem, GroupHash<SimPmem, u64, u64>) {
-    let cfg = GroupHashConfig::new(1 << 10, 64).with_seed(9);
+    build_with_fp(FpMode::Off)
+}
+
+fn build_with_fp(fp: FpMode) -> (SimPmem, GroupHash<SimPmem, u64, u64>) {
+    let cfg = GroupHashConfig::new(1 << 10, 64).with_seed(9).with_fp_mode(fp);
     let size = GroupHash::<SimPmem, u64, u64>::required_size(&cfg);
     let mut pm = SimPmem::new(size, SimConfig::paper_default());
     let table = GroupHash::create(&mut pm, Region::new(0, size), cfg).unwrap();
@@ -110,6 +114,45 @@ fn commit_bit_is_one_flush_of_one_atomic_store() {
     // The atomic store is the only write (atomics count as writes too).
     assert_eq!(d.pmem.writes, 1);
     assert_eq!(d.pmem.bytes_written, 8);
+}
+
+#[test]
+fn fingerprint_cache_never_changes_persistence_costs() {
+    // The DRAM fingerprint cache is a pure accelerator: with FpMode::On
+    // every operation must issue *exactly* the same persistence traffic
+    // as the paper-faithful path. Pin the budgets side by side.
+    let (mut pm_off, mut off) = build_with_fp(FpMode::Off);
+    let (mut pm_on, mut on) = build_with_fp(FpMode::On);
+    for k in 0..200u64 {
+        let d_off = traced(&mut pm_off, |pm| off.insert(pm, k, k + 1).unwrap());
+        let d_on = traced(&mut pm_on, |pm| on.insert(pm, k, k + 1).unwrap());
+        assert_eq!((d_on.pmem.flushes, d_on.pmem.fences), (3, 3), "key {k}");
+        assert_eq!(d_on.pmem.atomic_writes, 2, "key {k}");
+        assert_eq!(
+            (d_off.pmem.flushes, d_off.pmem.fences, d_off.pmem.writes, d_off.pmem.bytes_written),
+            (d_on.pmem.flushes, d_on.pmem.fences, d_on.pmem.writes, d_on.pmem.bytes_written),
+            "insert of key {k} diverged"
+        );
+    }
+    for k in 0..100u64 {
+        let d_off = traced(&mut pm_off, |pm| assert!(off.remove(pm, &k)));
+        let d_on = traced(&mut pm_on, |pm| assert!(on.remove(pm, &k)));
+        assert_eq!((d_on.pmem.flushes, d_on.pmem.fences), (3, 3), "key {k}");
+        assert_eq!(d_on.pmem.atomic_writes, 2, "key {k}");
+        assert_eq!(d_on.pmem.bytes_written, 32, "key {k}");
+        assert_eq!(
+            (d_off.pmem.flushes, d_off.pmem.fences, d_off.pmem.writes, d_off.pmem.bytes_written),
+            (d_on.pmem.flushes, d_on.pmem.fences, d_on.pmem.writes, d_on.pmem.bytes_written),
+            "remove of key {k} diverged"
+        );
+    }
+    for k in 100..200u64 {
+        let d = traced(&mut pm_on, |pm| {
+            assert_eq!(on.get(pm, &k), Some(k + 1));
+        });
+        assert_eq!((d.pmem.flushes, d.pmem.fences), (0, 0), "{:?}", d.pmem);
+        assert_eq!(d.pmem.writes + d.pmem.atomic_writes, 0, "{:?}", d.pmem);
+    }
 }
 
 #[test]

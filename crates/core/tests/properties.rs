@@ -1,7 +1,7 @@
 //! Property-based tests for group hashing.
 
 use group_hash::{
-    ChoiceMode, CommitStrategy, CountMode, GroupHash, GroupHashConfig, HashScheme,
+    ChoiceMode, CommitStrategy, CountMode, FpMode, GroupHash, GroupHashConfig, HashScheme,
     ProbeLayout, TableAnalysis,
 };
 use nvm_pmem::{run_with_crash, CrashPlan, CrashResolution, Region, SimConfig, SimPmem};
@@ -44,6 +44,10 @@ fn all_configs() -> Vec<GroupHashConfig> {
         GroupHashConfig::new(128, 16).with_count_mode(CountMode::Volatile),
         GroupHashConfig::new(128, 16).with_choice(ChoiceMode::TwoChoice),
         GroupHashConfig::new(128, 128),
+        GroupHashConfig::new(128, 16).with_fp_mode(FpMode::On),
+        GroupHashConfig::new(128, 16)
+            .with_probe(ProbeLayout::Strided)
+            .with_fp_mode(FpMode::On),
     ]
 }
 
@@ -171,6 +175,82 @@ proptest! {
             }
             prop_assert_eq!(t.len(&mut pm), committed.len() as u64);
         }
+    }
+
+    /// With the fingerprint cache on, a crash at a random event followed by
+    /// `open` + `recover` rebuilds the volatile tag cache so that it agrees
+    /// exactly with the bitmaps and cells: every occupied cell's tag
+    /// matches its key's third-hash byte (free cells are ignored).
+    /// `check_consistency` includes `verify_fp_cache`, so this also
+    /// re-proves all structural invariants under `FpMode::On`.
+    #[test]
+    fn fingerprint_cache_rebuilt_after_crash(
+        ops in ops_strategy(120),
+        crash_frac in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let cfg = GroupHashConfig::new(128, 16).with_fp_mode(FpMode::On);
+        let (mut pm, mut t, _) = fresh(cfg);
+
+        // First pass: count total events for this workload (inserts are
+        // guarded by an oracle — the raw insert permits duplicates).
+        let mut oracle: HashMap<u64, u64> = HashMap::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => {
+                    let k = k as u64;
+                    if !oracle.contains_key(&k) && t.insert(&mut pm, k, v).is_ok() {
+                        oracle.insert(k, v);
+                    }
+                }
+                Op::Remove(k) => {
+                    let k = k as u64;
+                    if t.remove(&mut pm, &k) {
+                        oracle.remove(&k);
+                    }
+                }
+                Op::Get(k) => {
+                    t.get(&mut pm, &(k as u64));
+                }
+            }
+        }
+        let total_events = pm.events();
+        prop_assume!(total_events > 0);
+        let crash_at = (total_events as f64 * crash_frac) as u64;
+
+        // Second pass on a fresh pool with the crash armed.
+        let (mut pm, mut t, region) = fresh(cfg);
+        pm.set_crash_plan(Some(CrashPlan { at_event: crash_at }));
+        let mut committed: HashMap<u64, u64> = HashMap::new();
+        let _ = run_with_crash(|| {
+            for op in &ops {
+                match *op {
+                    Op::Insert(k, v) => {
+                        let k = k as u64;
+                        if !committed.contains_key(&k) && t.insert(&mut pm, k, v).is_ok() {
+                            committed.insert(k, v);
+                        }
+                    }
+                    Op::Remove(k) => {
+                        let k = k as u64;
+                        if t.remove(&mut pm, &k) {
+                            committed.remove(&k);
+                        }
+                    }
+                    Op::Get(k) => {
+                        t.get(&mut pm, &(k as u64));
+                    }
+                }
+            }
+        });
+
+        pm.crash(CrashResolution::Random(seed));
+        let mut t = Table::open(&mut pm, region).unwrap();
+        t.recover(&mut pm);
+        t.verify_fp_cache(&mut pm)
+            .map_err(|e| TestCaseError::fail(format!("fp cache after crash@{crash_at}: {e}")))?;
+        t.check_consistency(&mut pm)
+            .map_err(|e| TestCaseError::fail(format!("crash@{crash_at}: {e}")))?;
     }
 
     /// Occupancy analysis invariants: group totals sum to `len`, no group

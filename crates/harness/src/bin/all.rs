@@ -31,4 +31,10 @@ fn main() {
     for t in experiments::nvm_sweep::run(&args) {
         t.emit(out, "nvm_sweep");
     }
+    for (t, name) in experiments::fingerprint::run(&args)
+        .iter()
+        .zip(["fingerprint", "fingerprint_summary"])
+    {
+        t.emit(out, name);
+    }
 }

@@ -1,0 +1,10 @@
+//! Extension experiment: DRAM fingerprint-cache read savings.
+use gh_harness::{experiments::fingerprint, Args};
+
+fn main() {
+    let args = Args::parse();
+    let names = ["fingerprint", "fingerprint_summary"];
+    for (t, name) in fingerprint::run(&args).iter().zip(names) {
+        t.emit(args.out_dir.as_deref(), name);
+    }
+}

@@ -31,24 +31,30 @@ pub use xxh::xxhash64;
 
 /// A pair of independent hash functions over the same key type, as used by
 /// two-choice schemes (PFHT, path hashing). Group hashing and linear probing
-/// use only the first.
+/// use only the first. A third stream exists for metadata that must stay
+/// uncorrelated with cell placement (e.g. fingerprint tags).
 ///
-/// Both functions are xxHash64 under distinct seeds derived from a single
+/// All functions are xxHash64 under distinct seeds derived from a single
 /// table seed via SplitMix64, so a table's whole hash family is captured by
 /// one persisted 8-byte seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HashPair {
     seed1: u64,
     seed2: u64,
+    seed3: u64,
 }
 
 impl HashPair {
-    /// Derives both seeds from `table_seed`.
+    /// Derives all seeds from `table_seed`. The derivation order is part of
+    /// the on-NVM format: `seed1` and `seed2` are the first two SplitMix64
+    /// outputs, exactly as before `seed3` existed, so existing pools rehash
+    /// identically.
     pub fn from_seed(table_seed: u64) -> Self {
         let mut sm = SplitMix64::new(table_seed);
         HashPair {
             seed1: sm.next(),
             seed2: sm.next(),
+            seed3: sm.next(),
         }
     }
 
@@ -62,6 +68,14 @@ impl HashPair {
     #[inline]
     pub fn h2<K: HashKey>(&self, key: &K) -> u64 {
         key.hash64(self.seed2)
+    }
+
+    /// Tertiary hash of `key`, independent of both placement streams.
+    /// Tables derive volatile fingerprint tags from this stream so that a
+    /// tag carries information the slot index does not already encode.
+    #[inline]
+    pub fn h3<K: HashKey>(&self, key: &K) -> u64 {
+        key.hash64(self.seed3)
     }
 }
 
@@ -83,6 +97,14 @@ mod tests {
         // The two streams should disagree on essentially every key.
         let disagreements = (0u64..1000).filter(|k| p.h1(k) != p.h2(k)).count();
         assert!(disagreements >= 999);
+    }
+
+    #[test]
+    fn third_stream_is_independent() {
+        let p = HashPair::from_seed(42);
+        let vs_h1 = (0u64..1000).filter(|k| p.h3(k) != p.h1(k)).count();
+        let vs_h2 = (0u64..1000).filter(|k| p.h3(k) != p.h2(k)).count();
+        assert!(vs_h1 >= 999 && vs_h2 >= 999);
     }
 
     #[test]

@@ -14,8 +14,55 @@
 //! The struct lives here, not in each scheme, so the bucket layouts are
 //! identical by construction.
 
+use crate::counter::Counter;
 use crate::histogram::Histogram;
 use crate::json::Json;
+
+/// Counters for a volatile fingerprint-filter layer on the probe path.
+///
+/// Schemes without such a layer leave all four at zero; `key_reads` is
+/// also recorded when the filter is disabled so filtered and unfiltered
+/// runs report the probe path's NVM key reads in the same place.
+#[derive(Debug, Default, Clone)]
+pub struct FingerprintCounters {
+    /// Tag matched and the key bytes matched too.
+    pub hits: Counter,
+    /// Occupied cells whose key read was skipped (tag mismatch).
+    pub skips: Counter,
+    /// Tag matched but the key bytes did not.
+    pub false_positives: Counter,
+    /// Key loads issued from the pool by lookup-style probes.
+    pub key_reads: Counter,
+}
+
+impl FingerprintCounters {
+    /// Folds another instance in (shard aggregation).
+    pub fn merge(&self, other: &FingerprintCounters) {
+        self.hits.merge(&other.hits);
+        self.skips.merge(&other.skips);
+        self.false_positives.merge(&other.false_positives);
+        self.key_reads.merge(&other.key_reads);
+    }
+
+    /// Clears all counters.
+    pub fn reset(&self) {
+        self.hits.reset();
+        self.skips.reset();
+        self.false_positives.reset();
+        self.key_reads.reset();
+    }
+
+    /// Serializes as a flat `{hits, skips, false_positives, key_reads}`
+    /// object.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.insert("hits", Json::from(self.hits.get()));
+        j.insert("skips", Json::from(self.skips.get()));
+        j.insert("false_positives", Json::from(self.false_positives.get()));
+        j.insert("key_reads", Json::from(self.key_reads.get()));
+        j
+    }
+}
 
 /// Probe/occupancy/displacement histograms recorded by one scheme
 /// instance (or one shard of a concurrent scheme).
@@ -30,6 +77,8 @@ pub struct SchemeInstrumentation {
     pub occupancy: Histogram,
     /// Relocations per insert.
     pub displacement: Histogram,
+    /// Fingerprint-filter effectiveness (zero for unfiltered schemes).
+    pub fingerprint: FingerprintCounters,
 }
 
 impl SchemeInstrumentation {
@@ -39,6 +88,7 @@ impl SchemeInstrumentation {
             probe: Histogram::probe_lengths(),
             occupancy: Histogram::occupancy(group_size.max(1)),
             displacement: Histogram::probe_lengths(),
+            fingerprint: FingerprintCounters::default(),
         }
     }
 
@@ -65,6 +115,7 @@ impl SchemeInstrumentation {
         self.probe.merge(&other.probe);
         self.occupancy.merge(&other.occupancy);
         self.displacement.merge(&other.displacement);
+        self.fingerprint.merge(&other.fingerprint);
     }
 
     /// Clears all samples.
@@ -72,15 +123,18 @@ impl SchemeInstrumentation {
         self.probe.reset();
         self.occupancy.reset();
         self.displacement.reset();
+        self.fingerprint.reset();
     }
 
     /// Serializes as `{probe, occupancy, displacement}` histogram
-    /// objects — the schema every scheme emits.
+    /// objects — the schema every scheme emits — plus a `fingerprint`
+    /// counter object.
     pub fn to_json(&self) -> Json {
         let mut j = Json::obj();
         j.insert("probe", self.probe.to_json());
         j.insert("occupancy", self.occupancy.to_json());
         j.insert("displacement", self.displacement.to_json());
+        j.insert("fingerprint", self.fingerprint.to_json());
         j
     }
 }
@@ -112,5 +166,25 @@ mod tests {
         for key in ["probe", "occupancy", "displacement"] {
             assert!(j.get(key).and_then(|h| h.get("count")).is_some());
         }
+        for key in ["hits", "skips", "false_positives", "key_reads"] {
+            assert!(j.get("fingerprint").and_then(|f| f.get(key)).is_some());
+        }
+    }
+
+    #[test]
+    fn fingerprint_counters_merge_and_reset() {
+        let a = SchemeInstrumentation::new(4);
+        let b = SchemeInstrumentation::new(4);
+        a.fingerprint.hits.inc();
+        a.fingerprint.key_reads.add(3);
+        b.fingerprint.skips.add(5);
+        b.fingerprint.false_positives.inc();
+        a.merge(&b);
+        assert_eq!(a.fingerprint.hits.get(), 1);
+        assert_eq!(a.fingerprint.skips.get(), 5);
+        assert_eq!(a.fingerprint.false_positives.get(), 1);
+        assert_eq!(a.fingerprint.key_reads.get(), 3);
+        a.reset();
+        assert_eq!(a.fingerprint.skips.get(), 0);
     }
 }
