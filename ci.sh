@@ -13,6 +13,29 @@ cargo test -q --workspace
 echo "==> cargo test -q (group-hash, instrument feature)"
 cargo test -q -p group-hash --features instrument
 
+echo "==> cargo test -q (nvm-table conformance, instrument features)"
+cargo test -q -p nvm-table --features group-hash/instrument,nvm-baselines/instrument
+
+echo "==> layering lint (no upward dependencies)"
+# The crate layering is probe-plan/cell-store toolkit (nvm-table) ->
+# schemes (group-hash, nvm-baselines) -> harness (gh-harness). Imports
+# must only point down the stack, and probe-plan modules are pure
+# geometry — they never touch pmem.
+lint_fail=0
+if grep -rn "group_hash\|nvm_baselines\|gh_harness" crates/table/src; then
+  echo "layering violation: nvm-table must not import scheme or harness crates" >&2
+  lint_fail=1
+fi
+if grep -rn "gh_harness" crates/core/src crates/baselines/src; then
+  echo "layering violation: scheme crates must not import the harness" >&2
+  lint_fail=1
+fi
+if grep -rn "nvm_pmem" crates/table/src/probe.rs crates/core/src/table/probe.rs; then
+  echo "layering violation: probe-plan modules must stay I/O-free (found nvm_pmem)" >&2
+  lint_fail=1
+fi
+[ "$lint_fail" -eq 0 ]
+
 echo "==> cargo bench --no-run (benches must compile)"
 cargo bench --no-run --workspace
 

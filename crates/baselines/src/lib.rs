@@ -21,13 +21,18 @@
 //! `ConsistencyMode::UndoLog` is the paper's `-L` variant that wraps every
 //! update in an undo-log transaction, which is what the consistency-cost
 //! experiments (Figures 2, 5, 6) measure.
+//!
+//! All three schemes are pure *ops-layer* code: probe sequences come from
+//! the shared probe plans in [`nvm_table::probe`], and persistence goes
+//! through the shared [`CellStore`](nvm_table::CellStore) +
+//! [`Journal`] cell-store primitives — no baseline
+//! carries a private bitmap scan, cell codec, or journal wrapper.
 
-mod journal;
 mod linear;
 mod path;
 mod pfht;
 
-pub use journal::Journal;
 pub use linear::LinearProbing;
+pub use nvm_table::Journal;
 pub use path::PathHash;
 pub use pfht::Pfht;

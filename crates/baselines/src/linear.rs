@@ -6,13 +6,18 @@
 //! deleted item is repeatedly filled with the next cluster member that is
 //! allowed to move back, which keeps the probe invariant but costs many
 //! extra NVM writes — the paper's "complicated delete process".
+//!
+//! Ops-layer only: the probe sequence is a pure
+//! [`LinearPlan`](nvm_table::probe::LinearPlan) and every committed write
+//! goes through the shared [`CellStore`] + [`Journal`] primitives.
 
-use crate::journal::Journal;
 use nvm_hashfn::{HashKey, HashPair, Pod};
 use nvm_metrics::SchemeInstrumentation;
 use nvm_pmem::{Pmem, Region, RegionAllocator, CACHELINE};
+use nvm_table::probe::LinearPlan;
 use nvm_table::{
-    CellArray, ConsistencyMode, HashScheme, InsertError, PmemBitmap, TableHeader,
+    CellArray, CellStore, ConsistencyMode, HashScheme, InsertError, Journal, PmemBitmap,
+    TableError, TableHeader,
 };
 use std::collections::HashMap;
 use std::marker::PhantomData;
@@ -27,12 +32,11 @@ const LOG_RECORDS: usize = 4096;
 /// A linear-probing hash table over a pmem pool.
 #[derive(Debug)]
 pub struct LinearProbing<P: Pmem, K: HashKey, V: Pod> {
-    n: u64,
+    plan: LinearPlan,
     seed: u64,
     hash: HashPair,
     header: TableHeader,
-    bitmap: PmemBitmap,
-    cells: CellArray<K, V>,
+    store: CellStore<K, V>,
     journal: Journal,
     /// Probe/occupancy/displacement recording (same schema as group
     /// hashing). Pure DRAM arithmetic; never touches the pool.
@@ -68,12 +72,11 @@ impl<P: Pmem, K: HashKey, V: Pod> LinearProbing<P, K, V> {
     fn assemble(region: Region, n: u64, seed: u64, journal: Journal, header: TableHeader) -> Self {
         let (_, b, c, _) = Self::layout(region, n);
         LinearProbing {
-            n,
+            plan: LinearPlan::new(n),
             seed,
             hash: HashPair::from_seed(seed),
             header,
-            bitmap: PmemBitmap::attach(b, n),
-            cells: CellArray::attach(c, n),
+            store: CellStore::attach(b, c, n),
             journal,
             #[cfg(feature = "instrument")]
             instr: SchemeInstrumentation::new(16),
@@ -89,19 +92,20 @@ impl<P: Pmem, K: HashKey, V: Pod> LinearProbing<P, K, V> {
         n: u64,
         seed: u64,
         mode: ConsistencyMode,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, TableError> {
         if !n.is_power_of_two() {
-            return Err(format!("cell count {n} is not a power of two"));
+            return Err(TableError::Config(format!(
+                "cell count {n} is not a power of two"
+            )));
         }
         if region.len < Self::required_size(n) {
-            return Err(format!(
-                "region too small: {} < {}",
-                region.len,
-                Self::required_size(n)
-            ));
+            return Err(TableError::RegionTooSmall {
+                have: region.len,
+                need: Self::required_size(n),
+            });
         }
-        let (h_r, b, _c, log_r) = Self::layout(region, n);
-        PmemBitmap::create(pm, b, n);
+        let (h_r, b, c, log_r) = Self::layout(region, n);
+        CellStore::<K, V>::create(pm, b, c, n);
         let journal = Journal::create(pm, mode, log_r);
         let mode_flag = match mode {
             ConsistencyMode::None => 0,
@@ -120,15 +124,19 @@ impl<P: Pmem, K: HashKey, V: Pod> LinearProbing<P, K, V> {
     }
 
     /// Re-opens a table from its region.
-    pub fn open(pm: &mut P, region: Region) -> Result<Self, String> {
+    pub fn open(pm: &mut P, region: Region) -> Result<Self, TableError> {
         let h_r = Self::header_region(region);
         if !region.contains(h_r.off, h_r.len) {
-            return Err("region too small for a table header".into());
+            return Err(TableError::Corrupt(
+                "region too small for a table header".into(),
+            ));
         }
         let header = TableHeader::open(pm, h_r, MAGIC)?;
         let n = header.geometry(pm, 0);
         if !n.is_power_of_two() || region.len < Self::required_size(n) {
-            return Err(format!("persisted geometry ({n} cells) does not fit the region"));
+            return Err(TableError::Corrupt(format!(
+                "persisted geometry ({n} cells) does not fit the region"
+            )));
         }
         let mode = if header.geometry(pm, 1) == 1 {
             ConsistencyMode::UndoLog
@@ -140,7 +148,6 @@ impl<P: Pmem, K: HashKey, V: Pod> LinearProbing<P, K, V> {
         let journal = Journal::open(mode, log_r);
         Ok(Self::assemble(region, n, seed, journal, header))
     }
-
 
     /// The persisted hash seed.
     pub fn seed(&self) -> u64 {
@@ -155,12 +162,7 @@ impl<P: Pmem, K: HashKey, V: Pod> LinearProbing<P, K, V> {
     /// Home slot of `key`.
     #[inline]
     fn home(&self, key: &K) -> u64 {
-        self.hash.h1(key) & (self.n - 1)
-    }
-
-    #[inline]
-    fn next(&self, i: u64) -> u64 {
-        (i + 1) & (self.n - 1)
+        self.plan.home(self.hash.h1(key))
     }
 
     /// Records a completed lookup probe walk (no-op without the
@@ -190,31 +192,18 @@ impl<P: Pmem, K: HashKey, V: Pod> LinearProbing<P, K, V> {
 
     /// Finds the cell holding `key`, walking the probe sequence.
     fn find(&self, pm: &mut P, key: &K) -> Option<u64> {
-        let mut i = self.home(key);
-        for step in 0..self.n {
-            if !self.bitmap.get(pm, i) {
-                self.note_probe(step + 1);
+        for (step, i) in self.plan.sequence(self.home(key)).enumerate() {
+            if !self.store.is_occupied(pm, i) {
+                self.note_probe(step as u64 + 1);
                 return None; // probe invariant: cluster ended
             }
-            if self.cells.read_key(pm, i) == *key {
-                self.note_probe(step + 1);
+            if self.store.read_key(pm, i) == *key {
+                self.note_probe(step as u64 + 1);
                 return Some(i);
             }
-            i = self.next(i);
         }
-        self.note_probe(self.n);
+        self.note_probe(self.plan.n());
         None
-    }
-
-    /// True if `home` lies cyclically in `(hole, i]` — i.e. the item at
-    /// `i` may NOT move back to `hole`.
-    #[inline]
-    fn in_range_cyclic(hole: u64, home: u64, i: u64) -> bool {
-        if hole < i {
-            hole < home && home <= i
-        } else {
-            home > hole || home <= i
-        }
     }
 }
 
@@ -238,30 +227,24 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for LinearProbing<P, K, V>
     }
 
     fn insert(&mut self, pm: &mut P, key: K, value: V) -> Result<(), InsertError> {
-        let mut i = self.home(&key);
-        for step in 0..self.n {
-            if !self.bitmap.get(pm, i) {
-                self.note_insert(step + 1, step);
+        for (step, i) in self.plan.sequence(self.home(&key)).enumerate() {
+            if !self.store.is_occupied(pm, i) {
+                self.note_insert(step as u64 + 1, step as u64);
                 self.journal.begin(pm);
-                self.journal.record(pm, self.cells.cell_off(i), self.cells.entry_len());
-                self.journal.record(pm, self.bitmap.word_off_of(i), 8);
-                self.journal.record(pm, self.header.count_off(), 8);
-                self.journal.seal(pm);
-                self.cells.write_entry(pm, i, &key, &value);
-                self.cells.persist_entry(pm, i);
-                self.bitmap.set_and_persist(pm, i, true);
+                self.store
+                    .stage_publish(pm, &mut self.journal, i, Some(self.header.count_off()));
+                self.store.publish(pm, i, &key, &value);
                 self.header.inc_count(pm);
                 self.journal.commit(pm);
                 return Ok(());
             }
-            i = self.next(i);
         }
-        self.note_insert(self.n, self.n);
+        self.note_insert(self.plan.n(), self.plan.n());
         Err(InsertError::TableFull)
     }
 
     fn get(&self, pm: &mut P, key: &K) -> Option<V> {
-        self.find(pm, key).map(|i| self.cells.read_value(pm, i))
+        self.find(pm, key).map(|i| self.store.read_value(pm, i))
     }
 
     fn remove(&mut self, pm: &mut P, key: &K) -> bool {
@@ -275,32 +258,24 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for LinearProbing<P, K, V>
         let mut hole = found;
         let mut i = found;
         loop {
-            i = self.next(i);
-            if !self.bitmap.get(pm, i) {
+            i = self.plan.step(i);
+            if !self.store.is_occupied(pm, i) {
                 break; // cluster ends: hole stays here
             }
-            let home = self.home(&self.cells.read_key(pm, i));
-            if Self::in_range_cyclic(hole, home, i) {
+            let home = self.home(&self.store.read_key(pm, i));
+            if LinearPlan::must_stay(hole, home, i) {
                 continue; // item already reachable; leave it
             }
             // Move cell i into the hole.
-            self.journal.record(pm, self.cells.cell_off(hole), self.cells.entry_len());
-            self.journal.record(pm, self.bitmap.word_off_of(hole), 8);
-            self.journal.seal(pm);
-            let (k, v) = (self.cells.read_key(pm, i), self.cells.read_value(pm, i));
-            self.cells.write_entry(pm, hole, &k, &v);
-            self.cells.persist_entry(pm, hole);
-            self.bitmap.set_and_persist(pm, hole, true);
+            self.store.stage_publish(pm, &mut self.journal, hole, None);
+            let (k, v) = (self.store.read_key(pm, i), self.store.read_value(pm, i));
+            self.store.publish(pm, hole, &k, &v);
             hole = i;
         }
         // Clear the final hole.
-        self.journal.record(pm, self.bitmap.word_off_of(hole), 8);
-        self.journal.record(pm, self.cells.cell_off(hole), self.cells.entry_len());
-        self.journal.record(pm, self.header.count_off(), 8);
-        self.journal.seal(pm);
-        self.bitmap.set_and_persist(pm, hole, false);
-        self.cells.clear_entry(pm, hole);
-        self.cells.persist_entry(pm, hole);
+        self.store
+            .stage_retract(pm, &mut self.journal, hole, Some(self.header.count_off()));
+        self.store.retract(pm, hole);
         self.header.dec_count(pm);
         self.journal.commit(pm);
         true
@@ -311,47 +286,37 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for LinearProbing<P, K, V>
     }
 
     fn capacity(&self) -> u64 {
-        self.n
+        self.plan.n()
     }
 
     fn recover(&mut self, pm: &mut P) {
         self.journal.recover(pm);
-        let mut count = 0;
-        for i in 0..self.n {
-            if self.bitmap.get(pm, i) {
-                count += 1;
-            } else if !self.cells.is_zeroed(pm, i) {
-                self.cells.clear_entry(pm, i);
-                self.cells.persist_entry(pm, i);
-            }
-        }
+        let count = self.store.recover_cells(pm);
         self.header.set_count(pm, count);
     }
 
     fn check_consistency(&self, pm: &mut P) -> Result<(), String> {
         let mut occupied = 0u64;
         let mut seen: HashMap<Vec<u8>, u64> = HashMap::new();
-        for i in 0..self.n {
-            if !self.bitmap.get(pm, i) {
-                if !self.cells.is_zeroed(pm, i) {
+        for i in 0..self.plan.n() {
+            if !self.store.is_occupied(pm, i) {
+                if !self.store.cells.is_zeroed(pm, i) {
                     return Err(format!("empty cell {i} not zeroed"));
                 }
                 continue;
             }
             occupied += 1;
-            let key = self.cells.read_key(pm, i);
+            let key = self.store.read_key(pm, i);
             // Probe invariant: every slot from home(key) to i is occupied.
-            let mut j = self.home(&key);
             let mut reachable = false;
-            for _ in 0..self.n {
+            for j in self.plan.sequence(self.home(&key)) {
                 if j == i {
                     reachable = true;
                     break;
                 }
-                if !self.bitmap.get(pm, j) {
+                if !self.store.is_occupied(pm, j) {
                     break;
                 }
-                j = self.next(j);
             }
             if !reachable {
                 return Err(format!(

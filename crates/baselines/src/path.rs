@@ -12,13 +12,18 @@
 //! The locality profile is the foil for group hashing: consecutive path
 //! cells live in different level arrays, megabytes apart, so every probe
 //! step is a fresh cacheline — more L3 misses, higher latency.
+//!
+//! Ops-layer only: the tree geometry is a pure
+//! [`PathPlan`](nvm_table::probe::PathPlan) and every committed write goes
+//! through the shared [`CellStore`] + [`Journal`] primitives.
 
-use crate::journal::Journal;
 use nvm_hashfn::{HashKey, HashPair, Pod};
 use nvm_metrics::SchemeInstrumentation;
 use nvm_pmem::{Pmem, Region, RegionAllocator, CACHELINE};
+use nvm_table::probe::PathPlan;
 use nvm_table::{
-    CellArray, ConsistencyMode, HashScheme, InsertError, PmemBitmap, TableHeader,
+    CellArray, CellStore, ConsistencyMode, HashScheme, InsertError, Journal, PmemBitmap,
+    TableError, TableHeader,
 };
 use std::collections::HashMap;
 use std::marker::PhantomData;
@@ -35,20 +40,14 @@ const LOG_RECORDS: usize = 8;
 /// A path hash table over a pmem pool.
 #[derive(Debug)]
 pub struct PathHash<P: Pmem, K: HashKey, V: Pod> {
-    /// log2 of the leaf level size.
-    leaf_bits: u32,
-    /// Number of levels kept (path shortening).
-    levels: u32,
+    /// Inverted-tree geometry (level bases, paths, on-path checks).
+    plan: PathPlan,
     seed: u64,
     hash: HashPair,
     header: TableHeader,
-    /// Occupancy over the concatenated level arrays.
-    bitmap: PmemBitmap,
-    /// Concatenated level arrays: level 0 (leaves) first.
-    cells: CellArray<K, V>,
-    /// Start index of each level within the concatenated arrays.
-    level_base: Vec<u64>,
-    total: u64,
+    /// Occupancy + cells over the concatenated level arrays (level 0 —
+    /// the leaves — first).
+    store: CellStore<K, V>,
     journal: Journal,
     /// Probe/occupancy/displacement recording (same schema as group
     /// hashing). Pure DRAM arithmetic; never touches the pool.
@@ -61,9 +60,7 @@ pub struct PathHash<P: Pmem, K: HashKey, V: Pod> {
 impl<P: Pmem, K: HashKey, V: Pod> PathHash<P, K, V> {
     /// Cells in a table with `leaf_bits` and `levels`.
     pub fn cell_count(leaf_bits: u32, levels: u32) -> u64 {
-        (0..levels.min(leaf_bits + 1))
-            .map(|i| 1u64 << (leaf_bits - i))
-            .sum()
+        PathPlan::cell_count(leaf_bits as u64, levels as u64)
     }
 
     /// Picks `(leaf_bits, levels)` whose cell count best fits (≤) a total
@@ -75,16 +72,6 @@ impl<P: Pmem, K: HashKey, V: Pod> PathHash<P, K, V> {
             leaf_bits += 1;
         }
         (leaf_bits, DEFAULT_RESERVED_LEVELS.min(leaf_bits + 1))
-    }
-
-    fn level_bases(leaf_bits: u32, levels: u32) -> Vec<u64> {
-        let mut bases = Vec::with_capacity(levels as usize);
-        let mut acc = 0u64;
-        for i in 0..levels.min(leaf_bits + 1) {
-            bases.push(acc);
-            acc += 1u64 << (leaf_bits - i);
-        }
-        bases
     }
 
     fn log_bytes() -> usize {
@@ -118,19 +105,15 @@ impl<P: Pmem, K: HashKey, V: Pod> PathHash<P, K, V> {
         journal: Journal,
         header: TableHeader,
     ) -> Self {
-        let levels = levels.min(leaf_bits + 1);
-        let total = Self::cell_count(leaf_bits, levels);
+        let plan = PathPlan::new(leaf_bits as u64, levels as u64);
+        let total = plan.total_cells();
         let (_, b, c, _) = Self::layout(region, total);
         PathHash {
-            leaf_bits,
-            levels,
+            plan,
             seed,
             hash: HashPair::from_seed(seed),
             header,
-            bitmap: PmemBitmap::attach(b, total),
-            cells: CellArray::attach(c, total),
-            level_base: Self::level_bases(leaf_bits, levels),
-            total,
+            store: CellStore::attach(b, c, total),
             journal,
             #[cfg(feature = "instrument")]
             instr: SchemeInstrumentation::new(16),
@@ -147,20 +130,23 @@ impl<P: Pmem, K: HashKey, V: Pod> PathHash<P, K, V> {
         levels: u32,
         seed: u64,
         mode: ConsistencyMode,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, TableError> {
         if leaf_bits == 0 || leaf_bits > 40 {
-            return Err(format!("bad leaf_bits {leaf_bits}"));
+            return Err(TableError::Config(format!("bad leaf_bits {leaf_bits}")));
         }
         if levels == 0 {
-            return Err("need at least one level".into());
+            return Err(TableError::Config("need at least one level".into()));
         }
         if region.len < Self::required_size(leaf_bits, levels.min(leaf_bits + 1)) {
-            return Err("region too small".into());
+            return Err(TableError::RegionTooSmall {
+                have: region.len,
+                need: Self::required_size(leaf_bits, levels.min(leaf_bits + 1)),
+            });
         }
         let levels = levels.min(leaf_bits + 1);
         let total = Self::cell_count(leaf_bits, levels);
-        let (h_r, b, _c, log_r) = Self::layout(region, total);
-        PmemBitmap::create(pm, b, total);
+        let (h_r, b, c, log_r) = Self::layout(region, total);
+        CellStore::<K, V>::create(pm, b, c, total);
         let journal = Journal::create(pm, mode, log_r);
         let mode_flag = matches!(mode, ConsistencyMode::UndoLog) as u64;
         let header = TableHeader::create(
@@ -180,10 +166,12 @@ impl<P: Pmem, K: HashKey, V: Pod> PathHash<P, K, V> {
     }
 
     /// Re-opens an existing table.
-    pub fn open(pm: &mut P, region: Region) -> Result<Self, String> {
+    pub fn open(pm: &mut P, region: Region) -> Result<Self, TableError> {
         let h_r = Self::header_region(region);
         if !region.contains(h_r.off, h_r.len) {
-            return Err("region too small for a table header".into());
+            return Err(TableError::Corrupt(
+                "region too small for a table header".into(),
+            ));
         }
         let header = TableHeader::open(pm, h_r, MAGIC)?;
         let leaf_bits = header.geometry(pm, 0) as u32;
@@ -193,7 +181,9 @@ impl<P: Pmem, K: HashKey, V: Pod> PathHash<P, K, V> {
             || levels == 0
             || region.len < Self::required_size(leaf_bits, levels.min(leaf_bits + 1))
         {
-            return Err("persisted geometry does not fit the region".into());
+            return Err(TableError::Corrupt(
+                "persisted geometry does not fit the region".into(),
+            ));
         }
         let mode = if header.geometry(pm, 2) == 1 {
             ConsistencyMode::UndoLog
@@ -206,7 +196,6 @@ impl<P: Pmem, K: HashKey, V: Pod> PathHash<P, K, V> {
         let journal = Journal::open(mode, log_r);
         Ok(Self::assemble(region, leaf_bits, levels, seed, journal, header))
     }
-
 
     /// The persisted hash seed.
     pub fn seed(&self) -> u64 {
@@ -221,14 +210,7 @@ impl<P: Pmem, K: HashKey, V: Pod> PathHash<P, K, V> {
     /// The two leaf positions of `key`.
     #[inline]
     fn leaves_of(&self, key: &K) -> (u64, u64) {
-        let mask = (1u64 << self.leaf_bits) - 1;
-        (self.hash.h1(key) & mask, self.hash.h2(key) & mask)
-    }
-
-    /// Global cell index of the node at `level` on the path from `leaf`.
-    #[inline]
-    fn path_cell(&self, leaf: u64, level: u32) -> u64 {
-        self.level_base[level as usize] + (leaf >> level)
+        self.plan.leaves(self.hash.h1(key), self.hash.h2(key))
     }
 
     /// Visits the candidate cells of `key` level by level (leaf pair,
@@ -236,17 +218,7 @@ impl<P: Pmem, K: HashKey, V: Pod> PathHash<P, K, V> {
     /// stop.
     fn scan_paths(&self, pm: &mut P, key: &K, mut f: impl FnMut(&mut P, u64) -> bool) -> Option<u64> {
         let (l1, l2) = self.leaves_of(key);
-        for level in 0..self.levels {
-            let c1 = self.path_cell(l1, level);
-            if f(pm, c1) {
-                return Some(c1);
-            }
-            let c2 = self.path_cell(l2, level);
-            if c2 != c1 && f(pm, c2) {
-                return Some(c2);
-            }
-        }
-        None
+        self.plan.path_cells(l1, l2).find(|&idx| f(pm, idx))
     }
 
     /// Records a completed lookup probe walk (no-op without the
@@ -276,12 +248,11 @@ impl<P: Pmem, K: HashKey, V: Pod> PathHash<P, K, V> {
 
     /// Locates `key`.
     fn find(&self, pm: &mut P, key: &K) -> Option<u64> {
-        let bitmap = self.bitmap;
-        let cells = self.cells;
+        let store = self.store;
         let mut probes = 0u64;
         let found = self.scan_paths(pm, key, |pm, idx| {
             probes += 1;
-            bitmap.get(pm, idx) && cells.read_key(pm, idx) == *key
+            store.is_occupied(pm, idx) && store.read_key(pm, idx) == *key
         });
         self.note_probe(probes);
         found
@@ -289,11 +260,13 @@ impl<P: Pmem, K: HashKey, V: Pod> PathHash<P, K, V> {
 
     /// Items stored per level (diagnostic).
     pub fn level_occupancy(&self, pm: &mut P) -> Vec<u64> {
-        (0..self.levels as usize)
+        (0..self.plan.levels())
             .map(|i| {
-                let base = self.level_base[i];
-                let size = 1u64 << (self.leaf_bits - i as u32);
-                self.bitmap.count_ones_in_range(pm, base, size)
+                self.store.bitmap.count_ones_in_range(
+                    pm,
+                    self.plan.level_base(i),
+                    self.plan.level_size(i),
+                )
             })
             .collect()
     }
@@ -319,12 +292,12 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for PathHash<P, K, V> {
     }
 
     fn insert(&mut self, pm: &mut P, key: K, value: V) -> Result<(), InsertError> {
-        let bitmap = self.bitmap;
+        let store = self.store;
         let mut probes = 0u64;
         let mut occupied = 0u64;
         let target = self.scan_paths(pm, &key, |pm, idx| {
             probes += 1;
-            let free = !bitmap.get(pm, idx);
+            let free = !store.is_occupied(pm, idx);
             if !free {
                 occupied += 1;
             }
@@ -335,13 +308,9 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for PathHash<P, K, V> {
             return Err(InsertError::TableFull);
         };
         self.journal.begin(pm);
-        self.journal.record(pm, self.cells.cell_off(idx), self.cells.entry_len());
-        self.journal.record(pm, self.bitmap.word_off_of(idx), 8);
-        self.journal.record(pm, self.header.count_off(), 8);
-        self.journal.seal(pm);
-        self.cells.write_entry(pm, idx, &key, &value);
-        self.cells.persist_entry(pm, idx);
-        self.bitmap.set_and_persist(pm, idx, true);
+        self.store
+            .stage_publish(pm, &mut self.journal, idx, Some(self.header.count_off()));
+        self.store.publish(pm, idx, &key, &value);
         self.header.inc_count(pm);
         self.journal.commit(pm);
         self.note_insert(probes, occupied);
@@ -349,7 +318,7 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for PathHash<P, K, V> {
     }
 
     fn get(&self, pm: &mut P, key: &K) -> Option<V> {
-        self.find(pm, key).map(|idx| self.cells.read_value(pm, idx))
+        self.find(pm, key).map(|idx| self.store.read_value(pm, idx))
     }
 
     fn remove(&mut self, pm: &mut P, key: &K) -> bool {
@@ -357,13 +326,9 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for PathHash<P, K, V> {
             return false;
         };
         self.journal.begin(pm);
-        self.journal.record(pm, self.bitmap.word_off_of(idx), 8);
-        self.journal.record(pm, self.cells.cell_off(idx), self.cells.entry_len());
-        self.journal.record(pm, self.header.count_off(), 8);
-        self.journal.seal(pm);
-        self.bitmap.set_and_persist(pm, idx, false);
-        self.cells.clear_entry(pm, idx);
-        self.cells.persist_entry(pm, idx);
+        self.store
+            .stage_retract(pm, &mut self.journal, idx, Some(self.header.count_off()));
+        self.store.retract(pm, idx);
         self.header.dec_count(pm);
         self.journal.commit(pm);
         true
@@ -374,45 +339,31 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for PathHash<P, K, V> {
     }
 
     fn capacity(&self) -> u64 {
-        self.total
+        self.plan.total_cells()
     }
 
     fn recover(&mut self, pm: &mut P) {
         self.journal.recover(pm);
-        let mut count = 0;
-        for i in 0..self.total {
-            if self.bitmap.get(pm, i) {
-                count += 1;
-            } else if !self.cells.is_zeroed(pm, i) {
-                self.cells.clear_entry(pm, i);
-                self.cells.persist_entry(pm, i);
-            }
-        }
+        let count = self.store.recover_cells(pm);
         self.header.set_count(pm, count);
     }
 
     fn check_consistency(&self, pm: &mut P) -> Result<(), String> {
         let mut occupied = 0u64;
         let mut seen: HashMap<Vec<u8>, u64> = HashMap::new();
-        for i in 0..self.total {
-            if !self.bitmap.get(pm, i) {
-                if !self.cells.is_zeroed(pm, i) {
+        for i in 0..self.capacity() {
+            if !self.store.is_occupied(pm, i) {
+                if !self.store.cells.is_zeroed(pm, i) {
                     return Err(format!("empty cell {i} not zeroed"));
                 }
                 continue;
             }
             occupied += 1;
-            let key = self.cells.read_key(pm, i);
+            let key = self.store.read_key(pm, i);
             // The cell must lie on one of the key's two paths.
             let (l1, l2) = self.leaves_of(&key);
-            let level = self
-                .level_base
-                .iter()
-                .rposition(|&b| b <= i)
-                .expect("level_base[0] == 0");
-            let on_path = self.path_cell(l1, level as u32) == i
-                || self.path_cell(l2, level as u32) == i;
-            if !on_path {
+            if !self.plan.on_path(l1, i) && !self.plan.on_path(l2, i) {
+                let level = self.plan.level_of_cell(i);
                 return Err(format!("cell {i} (level {level}) not on its key's paths"));
             }
             let mut kb = vec![0u8; K::SIZE];

@@ -11,13 +11,18 @@
 //!
 //! The paper compares group hashing against PFHT bare and with undo
 //! logging (PFHT-L).
+//!
+//! Ops-layer only: bucket/stash geometry is a pure
+//! [`PfhtPlan`](nvm_table::probe::PfhtPlan) and every committed write goes
+//! through the shared [`CellStore`] + [`Journal`] primitives.
 
-use crate::journal::Journal;
 use nvm_hashfn::{HashKey, HashPair, Pod};
 use nvm_metrics::SchemeInstrumentation;
 use nvm_pmem::{Pmem, Region, RegionAllocator, CACHELINE};
+use nvm_table::probe::PfhtPlan;
 use nvm_table::{
-    CellArray, ConsistencyMode, HashScheme, InsertError, PmemBitmap, TableHeader,
+    CellArray, CellStore, ConsistencyMode, HashScheme, InsertError, Journal, PmemBitmap,
+    TableError, TableHeader,
 };
 use std::collections::HashMap;
 use std::marker::PhantomData;
@@ -38,14 +43,12 @@ const LOG_RECORDS: usize = 16;
 /// The PFHT table: `n_buckets * 4` main cells plus a stash.
 #[derive(Debug)]
 pub struct Pfht<P: Pmem, K: HashKey, V: Pod> {
-    n_buckets: u64,
-    stash_cells: u64,
+    plan: PfhtPlan,
     seed: u64,
     hash: HashPair,
     header: TableHeader,
-    /// Occupancy for main cells followed by stash cells.
-    bitmap: PmemBitmap,
-    cells: CellArray<K, V>,
+    /// Occupancy + cells for main cells followed by stash cells.
+    store: CellStore<K, V>,
     journal: Journal,
     /// Probe/occupancy/displacement recording (same schema as group
     /// hashing). Pure DRAM arithmetic; never touches the pool.
@@ -115,13 +118,11 @@ impl<P: Pmem, K: HashKey, V: Pod> Pfht<P, K, V> {
         let total = Self::total_cells(n_buckets, stash_cells);
         let (_, b, c, _) = Self::layout(region, total);
         Pfht {
-            n_buckets,
-            stash_cells,
+            plan: PfhtPlan::new(n_buckets, BUCKET_CELLS, stash_cells),
             seed,
             hash: HashPair::from_seed(seed),
             header,
-            bitmap: PmemBitmap::attach(b, total),
-            cells: CellArray::attach(c, total),
+            store: CellStore::attach(b, c, total),
             journal,
             #[cfg(feature = "instrument")]
             instr: SchemeInstrumentation::new(2 * BUCKET_CELLS as usize),
@@ -138,19 +139,26 @@ impl<P: Pmem, K: HashKey, V: Pod> Pfht<P, K, V> {
         stash_cells: u64,
         seed: u64,
         mode: ConsistencyMode,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, TableError> {
         if !n_buckets.is_power_of_two() {
-            return Err(format!("bucket count {n_buckets} is not a power of two"));
+            return Err(TableError::Config(format!(
+                "bucket count {n_buckets} is not a power of two"
+            )));
         }
         if stash_cells == 0 {
-            return Err("stash must have at least one cell".into());
+            return Err(TableError::Config(
+                "stash must have at least one cell".into(),
+            ));
         }
         if region.len < Self::required_size(n_buckets, stash_cells) {
-            return Err("region too small".into());
+            return Err(TableError::RegionTooSmall {
+                have: region.len,
+                need: Self::required_size(n_buckets, stash_cells),
+            });
         }
         let total = Self::total_cells(n_buckets, stash_cells);
-        let (h_r, b, _c, log_r) = Self::layout(region, total);
-        PmemBitmap::create(pm, b, total);
+        let (h_r, b, c, log_r) = Self::layout(region, total);
+        CellStore::<K, V>::create(pm, b, c, total);
         let journal = Journal::create(pm, mode, log_r);
         let mode_flag = matches!(mode, ConsistencyMode::UndoLog) as u64;
         let header =
@@ -165,10 +173,12 @@ impl<P: Pmem, K: HashKey, V: Pod> Pfht<P, K, V> {
     }
 
     /// Re-opens an existing PFHT.
-    pub fn open(pm: &mut P, region: Region) -> Result<Self, String> {
+    pub fn open(pm: &mut P, region: Region) -> Result<Self, TableError> {
         let h_r = Self::header_region(region);
         if !region.contains(h_r.off, h_r.len) {
-            return Err("region too small for a table header".into());
+            return Err(TableError::Corrupt(
+                "region too small for a table header".into(),
+            ));
         }
         let header = TableHeader::open(pm, h_r, MAGIC)?;
         let n_buckets = header.geometry(pm, 0);
@@ -177,7 +187,9 @@ impl<P: Pmem, K: HashKey, V: Pod> Pfht<P, K, V> {
             || stash_cells == 0
             || region.len < Self::required_size(n_buckets, stash_cells)
         {
-            return Err("persisted geometry does not fit the region".into());
+            return Err(TableError::Corrupt(
+                "persisted geometry does not fit the region".into(),
+            ));
         }
         let mode = if header.geometry(pm, 2) == 1 {
             ConsistencyMode::UndoLog
@@ -190,7 +202,6 @@ impl<P: Pmem, K: HashKey, V: Pod> Pfht<P, K, V> {
         let journal = Journal::open(mode, log_r);
         Ok(Self::assemble(region, n_buckets, stash_cells, seed, journal, header))
     }
-
 
     /// The persisted hash seed.
     pub fn seed(&self) -> u64 {
@@ -205,22 +216,7 @@ impl<P: Pmem, K: HashKey, V: Pod> Pfht<P, K, V> {
     /// The two candidate buckets of `key`.
     #[inline]
     fn buckets_of(&self, key: &K) -> (u64, u64) {
-        (
-            self.hash.h1(key) & (self.n_buckets - 1),
-            self.hash.h2(key) & (self.n_buckets - 1),
-        )
-    }
-
-    /// Index of cell `slot` in bucket `b`.
-    #[inline]
-    fn bucket_cell(&self, b: u64, slot: u64) -> u64 {
-        b * BUCKET_CELLS + slot
-    }
-
-    /// First stash cell index.
-    #[inline]
-    fn stash_base(&self) -> u64 {
-        self.n_buckets * BUCKET_CELLS
+        self.plan.buckets(self.hash.h1(key), self.hash.h2(key))
     }
 
     /// Records a completed lookup probe walk (no-op without the
@@ -250,20 +246,17 @@ impl<P: Pmem, K: HashKey, V: Pod> Pfht<P, K, V> {
 
     /// Finds a free slot in bucket `b`.
     fn free_slot_in(&self, pm: &mut P, b: u64) -> Option<u64> {
-        (0..BUCKET_CELLS)
-            .map(|s| self.bucket_cell(b, s))
-            .find(|&idx| !self.bitmap.get(pm, idx))
+        self.store
+            .bitmap
+            .find_zero_in_range(pm, self.plan.cell(b, 0), BUCKET_CELLS)
     }
 
-    /// Writes `(key, value)` into `idx` with the usual commit sequence.
+    /// Writes `(key, value)` into `idx` with the usual commit sequence
+    /// (inside the caller's open journal transaction).
     fn place(&mut self, pm: &mut P, idx: u64, key: &K, value: &V) {
-        self.journal.record(pm, self.cells.cell_off(idx), self.cells.entry_len());
-        self.journal.record(pm, self.bitmap.word_off_of(idx), 8);
-        self.journal.record(pm, self.header.count_off(), 8);
-        self.journal.seal(pm);
-        self.cells.write_entry(pm, idx, key, value);
-        self.cells.persist_entry(pm, idx);
-        self.bitmap.set_and_persist(pm, idx, true);
+        self.store
+            .stage_publish(pm, &mut self.journal, idx, Some(self.header.count_off()));
+        self.store.publish(pm, idx, key, value);
         self.header.inc_count(pm);
     }
 
@@ -273,20 +266,20 @@ impl<P: Pmem, K: HashKey, V: Pod> Pfht<P, K, V> {
         let mut probes = 0u64;
         for b in [b1, b2] {
             for s in 0..BUCKET_CELLS {
-                let idx = self.bucket_cell(b, s);
+                let idx = self.plan.cell(b, s);
                 probes += 1;
-                if self.bitmap.get(pm, idx) && self.cells.read_key(pm, idx) == *key {
+                if self.store.is_occupied(pm, idx) && self.store.read_key(pm, idx) == *key {
                     self.note_probe(probes);
                     return Some(idx);
                 }
             }
         }
         // Linear stash search — the cost PFHT pays at high load factors.
-        let base = self.stash_base();
-        for i in 0..self.stash_cells {
+        let base = self.plan.stash_base();
+        for i in 0..self.plan.stash_cells() {
             let idx = base + i;
             probes += 1;
-            if self.bitmap.get(pm, idx) && self.cells.read_key(pm, idx) == *key {
+            if self.store.is_occupied(pm, idx) && self.store.read_key(pm, idx) == *key {
                 self.note_probe(probes);
                 return Some(idx);
             }
@@ -297,8 +290,11 @@ impl<P: Pmem, K: HashKey, V: Pod> Pfht<P, K, V> {
 
     /// Number of items currently in the stash (diagnostic).
     pub fn stash_used(&self, pm: &mut P) -> u64 {
-        self.bitmap
-            .count_ones_in_range(pm, self.stash_base(), self.stash_cells)
+        self.store.bitmap.count_ones_in_range(
+            pm,
+            self.plan.stash_base(),
+            self.plan.stash_cells(),
+        )
     }
 }
 
@@ -330,7 +326,7 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for Pfht<P, K, V> {
         for b in [b1, b2] {
             if let Some(idx) = self.free_slot_in(pm, b) {
                 // Cells before the first free slot are occupied.
-                let off = idx - self.bucket_cell(b, 0);
+                let off = idx - self.plan.cell(b, 0);
                 self.journal.begin(pm);
                 self.place(pm, idx, &key, &value);
                 self.journal.commit(pm);
@@ -345,8 +341,8 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for Pfht<P, K, V> {
         //    its alternate bucket if that has room.
         for b in [b1, b2] {
             for s in 0..BUCKET_CELLS {
-                let idx = self.bucket_cell(b, s);
-                let resident = self.cells.read_key(pm, idx);
+                let idx = self.plan.cell(b, s);
+                let resident = self.store.read_key(pm, idx);
                 probes += 1;
                 let (r1, r2) = self.buckets_of(&resident);
                 let alt = if r1 == b { r2 } else { r1 };
@@ -354,23 +350,20 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for Pfht<P, K, V> {
                     continue; // both hashes map here; cannot move
                 }
                 if let Some(alt_idx) = self.free_slot_in(pm, alt) {
-                    let alt_off = alt_idx - self.bucket_cell(alt, 0);
+                    let alt_off = alt_idx - self.plan.cell(alt, 0);
                     probes += alt_off + 1;
                     occupied += alt_off;
                     self.journal.begin(pm);
                     // Move resident to its alternate bucket (write first,
                     // then flip bits — the new copy is durable before the
                     // old disappears).
-                    let rv = self.cells.read_value(pm, idx);
+                    let rv = self.store.read_value(pm, idx);
+                    self.store
+                        .stage_publish(pm, &mut self.journal, alt_idx, None);
+                    self.store.publish(pm, alt_idx, &resident, &rv);
                     self.journal
-                        .record(pm, self.cells.cell_off(alt_idx), self.cells.entry_len());
-                    self.journal.record(pm, self.bitmap.word_off_of(alt_idx), 8);
-                    self.journal.seal(pm);
-                    self.cells.write_entry(pm, alt_idx, &resident, &rv);
-                    self.cells.persist_entry(pm, alt_idx);
-                    self.bitmap.set_and_persist(pm, alt_idx, true);
-                    self.journal.record_sealed(pm, self.bitmap.word_off_of(idx), 8);
-                    self.bitmap.set_and_persist(pm, idx, false);
+                        .record_sealed(pm, self.store.bitmap.word_off_of(idx), 8);
+                    self.store.bitmap.set_and_persist(pm, idx, false);
                     // Place the new item in the freed slot.
                     self.place(pm, idx, &key, &value);
                     self.journal.commit(pm);
@@ -383,8 +376,12 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for Pfht<P, K, V> {
         }
 
         // 3. Stash.
-        let base = self.stash_base();
-        if let Some(idx) = self.bitmap.find_zero_in_range(pm, base, self.stash_cells) {
+        let base = self.plan.stash_base();
+        if let Some(idx) =
+            self.store
+                .bitmap
+                .find_zero_in_range(pm, base, self.plan.stash_cells())
+        {
             let off = idx - base;
             self.journal.begin(pm);
             self.place(pm, idx, &key, &value);
@@ -392,12 +389,13 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for Pfht<P, K, V> {
             self.note_insert(probes + off + 1, occupied + off, 0);
             return Ok(());
         }
-        self.note_insert(probes + self.stash_cells, occupied + self.stash_cells, 0);
+        let stash_cells = self.plan.stash_cells();
+        self.note_insert(probes + stash_cells, occupied + stash_cells, 0);
         Err(InsertError::TableFull)
     }
 
     fn get(&self, pm: &mut P, key: &K) -> Option<V> {
-        self.find(pm, key).map(|idx| self.cells.read_value(pm, idx))
+        self.find(pm, key).map(|idx| self.store.read_value(pm, idx))
     }
 
     fn remove(&mut self, pm: &mut P, key: &K) -> bool {
@@ -405,13 +403,9 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for Pfht<P, K, V> {
             return false;
         };
         self.journal.begin(pm);
-        self.journal.record(pm, self.bitmap.word_off_of(idx), 8);
-        self.journal.record(pm, self.cells.cell_off(idx), self.cells.entry_len());
-        self.journal.record(pm, self.header.count_off(), 8);
-        self.journal.seal(pm);
-        self.bitmap.set_and_persist(pm, idx, false);
-        self.cells.clear_entry(pm, idx);
-        self.cells.persist_entry(pm, idx);
+        self.store
+            .stage_retract(pm, &mut self.journal, idx, Some(self.header.count_off()));
+        self.store.retract(pm, idx);
         self.header.dec_count(pm);
         self.journal.commit(pm);
         true
@@ -422,21 +416,12 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for Pfht<P, K, V> {
     }
 
     fn capacity(&self) -> u64 {
-        Self::total_cells(self.n_buckets, self.stash_cells)
+        self.plan.total_cells()
     }
 
     fn recover(&mut self, pm: &mut P) {
         self.journal.recover(pm);
-        let total = self.capacity();
-        let mut count = 0;
-        for i in 0..total {
-            if self.bitmap.get(pm, i) {
-                count += 1;
-            } else if !self.cells.is_zeroed(pm, i) {
-                self.cells.clear_entry(pm, i);
-                self.cells.persist_entry(pm, i);
-            }
-        }
+        let count = self.store.recover_cells(pm);
         self.header.set_count(pm, count);
     }
 
@@ -444,16 +429,16 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for Pfht<P, K, V> {
         let mut occupied = 0u64;
         let mut seen: HashMap<Vec<u8>, u64> = HashMap::new();
         let total = self.capacity();
-        let stash_base = self.stash_base();
+        let stash_base = self.plan.stash_base();
         for i in 0..total {
-            if !self.bitmap.get(pm, i) {
-                if !self.cells.is_zeroed(pm, i) {
+            if !self.store.is_occupied(pm, i) {
+                if !self.store.cells.is_zeroed(pm, i) {
                     return Err(format!("empty cell {i} not zeroed"));
                 }
                 continue;
             }
             occupied += 1;
-            let key = self.cells.read_key(pm, i);
+            let key = self.store.read_key(pm, i);
             if i < stash_base {
                 let b = i / BUCKET_CELLS;
                 let (b1, b2) = self.buckets_of(&key);

@@ -18,7 +18,6 @@
 //! durable in step 2 — a consistent prefix of the load survives. This is
 //! the per-entry insert proof, applied once to the whole batch.
 
-use crate::config::ProbeLayout;
 use crate::table::GroupHash;
 use nvm_hashfn::{HashKey, Pod};
 use nvm_pmem::Pmem;
@@ -67,8 +66,7 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
         let (config, bitmap1, bitmap2, cells1, cells2) = self.parts();
         let n = config.cells_per_level;
         let gs = config.group_size;
-        let probe = config.probe;
-        let n_groups = config.n_groups();
+        let plan = self.plan();
         let words = n.div_ceil(64) as usize;
         // Detached so placements can record tags while `self.slot_of`
         // borrows the table; restored right after the placement loop.
@@ -90,10 +88,6 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
         // touched cells for a batched persist.
         let mut loaded = 0usize;
         let mut rejected = 0usize;
-        let group_cell = |g: u64, i: u64| match probe {
-            ProbeLayout::Contiguous => g * gs + i,
-            ProbeLayout::Strided => g + i * n_groups,
-        };
         for (key, value) in entries {
             let k = self.slot_of(&key);
             if !Overlay::get(&ov.level1, k) {
@@ -107,8 +101,7 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
             }
             let g = k / gs;
             let mut placed = false;
-            for i in 0..gs {
-                let idx = group_cell(g, i);
+            for idx in plan.group_cells(g) {
                 if !Overlay::get(&ov.level2, idx) {
                     cells2.write_entry(pm, idx, &key, &value);
                     Overlay::set(&mut ov.level2, &mut ov.dirty2, idx);

@@ -12,7 +12,7 @@ use crate::table::GroupHash;
 use nvm_hashfn::{HashKey, Pod, SplitMix64};
 use nvm_metrics::SchemeInstrumentation;
 use nvm_pmem::{Pmem, Region};
-use nvm_table::{HashScheme, InsertError};
+use nvm_table::{HashScheme, InsertError, TableError};
 use parking_lot::Mutex;
 
 struct Shard<P: Pmem, K: HashKey, V: Pod> {
@@ -36,7 +36,7 @@ impl<P: Pmem, K: HashKey, V: Pod> ShardedGroupHash<P, K, V> {
         n_shards: usize,
         per_shard_config: GroupHashConfig,
         mut make_pool: impl FnMut(usize) -> P,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, TableError> {
         assert!(n_shards > 0, "need at least one shard");
         let mut seeds = SplitMix64::new(per_shard_config.seed);
         let route_seed = seeds.next();
@@ -46,11 +46,10 @@ impl<P: Pmem, K: HashKey, V: Pod> ShardedGroupHash<P, K, V> {
             let cfg = per_shard_config.with_seed(seeds.next());
             let region = Region::new(0, GroupHash::<P, K, V>::required_size(&cfg));
             if pm.len() < region.len {
-                return Err(format!(
-                    "shard {i} pool too small: {} < {}",
-                    pm.len(),
-                    region.len
-                ));
+                return Err(TableError::RegionTooSmall {
+                    have: pm.len(),
+                    need: region.len,
+                });
             }
             let table = GroupHash::create(&mut pm, region, cfg)?;
             shards.push(Mutex::new(Shard { pm, table }));

@@ -2,6 +2,8 @@
 //!
 //! [`GroupHash`]: crate::GroupHash
 
+use nvm_table::TableError;
+
 /// How updates are committed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CommitStrategy {
@@ -15,19 +17,11 @@ pub enum CommitStrategy {
 }
 
 /// Physical placement of a group's collision-resolution cells.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ProbeLayout {
-    /// The paper's design: group *i* of level 2 is the contiguous range
-    /// `[i * group_size, (i+1) * group_size)`.
-    #[default]
-    Contiguous,
-    /// Ablation: the same *partition* of cells into groups, but group *i*
-    /// owns cells `{i + j * n_groups}` — every probe step jumps
-    /// `n_groups` cells, destroying spatial locality while keeping the
-    /// collision combinatorics identical. Isolates the value of group
-    /// sharing's contiguity (the paper's observation 2).
-    Strided,
-}
+///
+/// Defined in the shared probe-plan layer ([`nvm_table::probe`]) so the
+/// pure [`GroupPlan`](nvm_table::probe::GroupPlan) iterators and this
+/// crate's config agree on the geometry; re-exported here unchanged.
+pub use nvm_table::probe::ProbeLayout;
 
 /// How many hash functions address level 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -156,21 +150,24 @@ impl GroupHashConfig {
     }
 
     /// Validates the geometry.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), TableError> {
         if !self.cells_per_level.is_power_of_two() {
-            return Err(format!(
+            return Err(TableError::Config(format!(
                 "cells_per_level {} is not a power of two",
                 self.cells_per_level
-            ));
+            )));
         }
         if !self.group_size.is_power_of_two() {
-            return Err(format!("group_size {} is not a power of two", self.group_size));
+            return Err(TableError::Config(format!(
+                "group_size {} is not a power of two",
+                self.group_size
+            )));
         }
         if self.group_size > self.cells_per_level {
-            return Err(format!(
+            return Err(TableError::Config(format!(
                 "group_size {} exceeds cells_per_level {}",
                 self.group_size, self.cells_per_level
-            ));
+            )));
         }
         Ok(())
     }

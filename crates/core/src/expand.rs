@@ -13,7 +13,7 @@ use crate::config::GroupHashConfig;
 use crate::table::GroupHash;
 use nvm_hashfn::{HashKey, Pod};
 use nvm_pmem::{Pmem, Region};
-use nvm_table::InsertError;
+use nvm_table::{InsertError, TableError};
 
 impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
     /// Creates a new table in `dst_region` with `dst_config` and rehashes
@@ -52,7 +52,7 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExpandError {
     /// Destination region/config invalid.
-    Create(String),
+    Create(TableError),
     /// An entry did not fit in the destination (pathological geometry).
     Insert(InsertError),
 }

@@ -10,37 +10,12 @@
 //!
 //! Group scans consult the cache word-wise: eight tags load as one `u64`
 //! and are compared against the probe tag with the SWAR zero-byte trick
-//! (no unsafe SIMD), then ANDed with the corresponding occupancy bits so
-//! only plausible cells have their key bytes read from the pool.
+//! ([`match_bits`](nvm_table::probe::match_bits), shared with the other
+//! schemes via the probe-plan layer), then ANDed with the corresponding
+//! occupancy bits so only plausible cells have their key bytes read from
+//! the pool.
 //!
 //! [`HashPair::h3`]: nvm_hashfn::HashPair::h3
-
-/// Broadcasts `tag` into all eight lanes of a `u64`.
-#[inline]
-pub(crate) fn broadcast(tag: u8) -> u64 {
-    u64::from(tag) * 0x0101_0101_0101_0101
-}
-
-/// Returns an 8-bit mask whose bit `i` is set iff byte `i` (little-endian
-/// lane order) of `word` equals `tag`.
-///
-/// Lane-equality uses the SWAR zero-byte test on
-/// `x = word ^ broadcast(tag)`. Note the *exact* per-byte variant: the
-/// textbook `(x - 0x01…) & !x & 0x80…` only answers "is there a zero
-/// byte" — its subtraction borrows can mark the byte above a zero byte
-/// too. Adding `0x7F` to each byte's low 7 bits instead never carries
-/// across lanes, so `y | x` has a byte's high bit set iff that byte is
-/// nonzero. The zero-byte high bits are then compressed to the low 8
-/// bits with a carry-free multiply (all partial products land on
-/// distinct bit positions).
-#[inline]
-pub(crate) fn match_bits(word: u64, tag: u8) -> u64 {
-    const LO7: u64 = 0x7F7F_7F7F_7F7F_7F7F;
-    let x = word ^ broadcast(tag);
-    let y = (x & LO7).wrapping_add(LO7);
-    let hi = !(y | x | LO7); // bit 8i+7 set iff byte i of x is zero
-    ((hi >> 7).wrapping_mul(0x0102_0408_1020_4080)) >> 56
-}
 
 /// The volatile tag arrays for a two-level table. Indexed by level
 /// (0 = level 1, 1 = level 2) and cell index.
@@ -101,43 +76,7 @@ impl FpCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    /// Scalar reference for the SWAR lane-equality compress.
-    fn match_bits_ref(word: u64, tag: u8) -> u64 {
-        let mut m = 0u64;
-        for i in 0..8 {
-            if (word >> (8 * i)) as u8 == tag {
-                m |= 1 << i;
-            }
-        }
-        m
-    }
-
-    #[test]
-    fn swar_matches_scalar_reference() {
-        // Deterministic pseudo-random coverage plus adversarial corners.
-        let mut x = 0x243F_6A88_85A3_08D3u64; // splitmix-ish walk
-        for _ in 0..10_000 {
-            x = x
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .rotate_left(29)
-                .wrapping_add(1);
-            let tag = (x >> 56) as u8;
-            assert_eq!(match_bits(x, tag), match_bits_ref(x, tag), "word {x:#x}");
-            assert_eq!(match_bits(x, 0), match_bits_ref(x, 0));
-        }
-        for word in [0u64, u64::MAX, 0x0001_0203_0405_0607, broadcast(0x7F)] {
-            for tag in [0u8, 1, 0x7F, 0x80, 0xFF] {
-                assert_eq!(match_bits(word, tag), match_bits_ref(word, tag));
-            }
-        }
-    }
-
-    #[test]
-    fn match_bits_all_and_none() {
-        assert_eq!(match_bits(broadcast(0xAB), 0xAB), 0xFF);
-        assert_eq!(match_bits(broadcast(0xAB), 0xAC), 0);
-    }
+    use nvm_table::probe::match_bits;
 
     #[test]
     fn word_loads_tags_in_lane_order() {

@@ -18,7 +18,7 @@ use crate::config::GroupHashConfig;
 use crate::table::GroupHash;
 use nvm_hashfn::{HashKey, Pod};
 use nvm_pmem::{Pmem, Region};
-use nvm_table::InsertError;
+use nvm_table::{InsertError, TableError};
 
 /// A group hash table that grows itself when an insert finds its group
 /// full.
@@ -35,11 +35,14 @@ impl<P: Pmem, K: HashKey, V: Pod> ResizingGroupHash<P, K, V> {
     pub fn create(
         config: GroupHashConfig,
         mut make_pool: impl FnMut(usize) -> P + Send + 'static,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, TableError> {
         let size = GroupHash::<P, K, V>::required_size(&config);
         let mut pm = make_pool(size);
         if pm.len() < size {
-            return Err(format!("factory pool too small: {} < {size}", pm.len()));
+            return Err(TableError::RegionTooSmall {
+                have: pm.len(),
+                need: size,
+            });
         }
         let table = GroupHash::create(&mut pm, Region::new(0, size), config)?;
         Ok(ResizingGroupHash {

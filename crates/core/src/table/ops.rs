@@ -1,0 +1,378 @@
+//! Algorithms 1–4: the group table's insert/get/delete/recover policy,
+//! written as probe-plan + cell-store compositions.
+//!
+//! The scans here decide *which* cells to examine (via the pure plans in
+//! [`super::probe`]) and read occupancy words/keys through the shared
+//! [`CellStore`](nvm_table::CellStore) accessors; every mutation funnels
+//! through the commit choreography in `store.rs`.
+
+use super::{GroupHash, Level};
+use crate::config::ProbeLayout;
+use nvm_hashfn::{HashKey, Pod};
+use nvm_pmem::Pmem;
+use nvm_table::probe::match_bits;
+use nvm_table::InsertError;
+
+impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
+    /// Finds an empty level-2 cell in group `g`, honouring the probe
+    /// layout. Also returns how many cells were examined: the offset of
+    /// the free cell plus one, or the whole group on a miss (every cell
+    /// examined before the free one is occupied, which is what the
+    /// occupancy histogram records).
+    fn find_free_in_group(&self, pm: &mut P, g: u64) -> (Option<u64>, u64) {
+        match self.config.probe {
+            ProbeLayout::Contiguous => {
+                let start = g * self.config.group_size;
+                match self
+                    .store2
+                    .bitmap
+                    .find_zero_in_range(pm, start, self.config.group_size)
+                {
+                    Some(idx) => (Some(idx), idx - start + 1),
+                    None => (None, self.config.group_size),
+                }
+            }
+            ProbeLayout::Strided => {
+                // The stride is `n_groups`, so consecutive probe steps
+                // often land in the same 64-bit word; hoist the word read
+                // like the contiguous path instead of one `get` per cell.
+                let mut cached: Option<(u64, u64)> = None; // (word_base, word)
+                for i in 0..self.config.group_size {
+                    let idx = self.group_cell(g, i);
+                    let word_base = idx & !63;
+                    let word = match cached {
+                        Some((b, w)) if b == word_base => w,
+                        _ => {
+                            let w = self.store2.bitmap.word_containing(pm, idx);
+                            cached = Some((word_base, w));
+                            w
+                        }
+                    };
+                    if word >> (idx % 64) & 1 == 0 {
+                        return (Some(idx), i + 1);
+                    }
+                }
+                (None, self.config.group_size)
+            }
+        }
+    }
+
+    /// Scans group `g`'s level-2 cells for `key`; returns the cell index.
+    ///
+    /// In the contiguous layout the scan is word-wise: one bitmap read
+    /// covers 64 cells, and the occupied cells are then compared in
+    /// ascending address order — an access pattern the hardware stream
+    /// prefetcher locks onto (the mechanism behind the paper's
+    /// "a single memory access can prefetch the following cells").
+    ///
+    /// `tag` is `Some` exactly under `FpMode::On`: the scan then goes
+    /// *tag-first* — eight cached tags load as one word, a SWAR compare
+    /// against the probe tag ANDed with the occupancy bits selects the
+    /// candidate cells, and only those have their key bytes read from the
+    /// pool.
+    ///
+    /// The second return value counts occupied cells examined in scan
+    /// order up to (and including) the hit — the same value in both
+    /// fingerprint modes, so probe histograms stay mode-independent and
+    /// comparable (under `FpMode::On` an "examined" cell may have been
+    /// resolved from its DRAM tag alone).
+    fn find_key_in_group(
+        &self,
+        pm: &mut P,
+        g: u64,
+        key: &K,
+        tag: Option<u8>,
+    ) -> (Option<u64>, u64) {
+        let mut examined = 0u64;
+        match self.config.probe {
+            ProbeLayout::Contiguous => {
+                let start = g * self.config.group_size;
+                let end = start + self.config.group_size;
+                let mut base = start;
+                while base < end {
+                    let mut word = self.store2.bitmap.word_containing(pm, base);
+                    // Mask off bits outside [start, end) within this word
+                    // (only relevant for groups smaller than 64).
+                    let lo = base % 64;
+                    if lo != 0 {
+                        word &= u64::MAX << lo;
+                    }
+                    let word_base = base - lo;
+                    let span = (end - word_base).min(64);
+                    if span < 64 {
+                        word &= (1u64 << span) - 1;
+                    }
+                    match tag {
+                        Some(tag) => {
+                            let fp = self.fp.as_ref().expect("tag implies cache");
+                            // Tag-first: 8 cells (one tag word) at a time.
+                            let mut sub = 0u64;
+                            while sub < 64 {
+                                let occ = word >> sub & 0xFF;
+                                if occ != 0 {
+                                    let tags = fp.word(Level::Two.idx(), word_base + sub);
+                                    let cand = match_bits(tags, tag) & occ;
+                                    let mut c = cand;
+                                    while c != 0 {
+                                        let bit = c.trailing_zeros() as u64;
+                                        let idx = word_base + sub + bit;
+                                        self.note_key_reads(1);
+                                        if self.store2.cells.read_key(pm, idx) == *key {
+                                            let below = (1u64 << bit) - 1;
+                                            examined +=
+                                                u64::from((occ & (below | 1 << bit)).count_ones());
+                                            let skipped = (occ & !cand & below).count_ones();
+                                            self.note_fp(u64::from(skipped), 0, 1);
+                                            return (Some(idx), examined);
+                                        }
+                                        self.note_fp(0, 1, 0);
+                                        c &= c - 1;
+                                    }
+                                    examined += u64::from(occ.count_ones());
+                                    self.note_fp(u64::from((occ & !cand).count_ones()), 0, 0);
+                                }
+                                sub += 8;
+                            }
+                        }
+                        None => {
+                            while word != 0 {
+                                let bit = word.trailing_zeros() as u64;
+                                let idx = word_base + bit;
+                                examined += 1;
+                                self.note_key_reads(1);
+                                if self.store2.cells.read_key(pm, idx) == *key {
+                                    return (Some(idx), examined);
+                                }
+                                word &= word - 1;
+                            }
+                        }
+                    }
+                    base = word_base + 64;
+                }
+                (None, examined)
+            }
+            ProbeLayout::Strided => {
+                // Hoisted occupancy-word reads (stride = n_groups, so
+                // consecutive steps often share a word); per-cell tag
+                // checks — strided tags are not adjacent in the cache, so
+                // there is no word to load.
+                let mut cached: Option<(u64, u64)> = None;
+                for i in 0..self.config.group_size {
+                    let idx = self.group_cell(g, i);
+                    let word_base = idx & !63;
+                    let word = match cached {
+                        Some((b, w)) if b == word_base => w,
+                        _ => {
+                            let w = self.store2.bitmap.word_containing(pm, idx);
+                            cached = Some((word_base, w));
+                            w
+                        }
+                    };
+                    if word >> (idx % 64) & 1 == 0 {
+                        continue;
+                    }
+                    examined += 1;
+                    if let Some(tag) = tag {
+                        let fp = self.fp.as_ref().expect("tag implies cache");
+                        if fp.get(Level::Two.idx(), idx) != tag {
+                            self.note_fp(1, 0, 0);
+                            continue;
+                        }
+                    }
+                    self.note_key_reads(1);
+                    if self.store2.cells.read_key(pm, idx) == *key {
+                        if tag.is_some() {
+                            self.note_fp(0, 0, 1);
+                        }
+                        return (Some(idx), examined);
+                    }
+                    if tag.is_some() {
+                        self.note_fp(0, 1, 0);
+                    }
+                }
+                (None, examined)
+            }
+        }
+    }
+
+    /// Candidate level-1 slots for `key`, primary first.
+    #[inline]
+    fn candidate_slots(&self, key: &K) -> (u64, Option<u64>) {
+        super::probe::candidate_slots(&self.hash, &self.config, key)
+    }
+
+    /// Algorithm 1 (with the §4.4 two-choice extension when configured:
+    /// try the second slot and the second matched group before giving up).
+    pub fn insert(&mut self, pm: &mut P, key: K, value: V) -> Result<(), InsertError> {
+        let (k1, k2) = self.candidate_slots(&key);
+        let mut probes = 1u64; // the k1 slot check
+        if !self.store1.is_occupied(pm, k1) {
+            self.commit_insert(pm, Level::One, k1, &key, &value);
+            self.note_insert(probes, 0);
+            return Ok(());
+        }
+        if let Some(k2) = k2 {
+            probes += 1;
+            if !self.store1.is_occupied(pm, k2) {
+                self.commit_insert(pm, Level::One, k2, &key, &value);
+                self.note_insert(probes, 1);
+                return Ok(());
+            }
+        }
+        // Occupied cells stepped over so far: every checked level-1 slot.
+        let mut occupied = probes;
+        let g1 = self.group_of(k1);
+        let (free, examined) = self.find_free_in_group(pm, g1);
+        probes += examined;
+        if let Some(idx) = free {
+            occupied += examined - 1;
+            self.commit_insert(pm, Level::Two, idx, &key, &value);
+            self.note_insert(probes, occupied);
+            return Ok(());
+        }
+        occupied += examined;
+        if let Some(k2) = k2 {
+            let g2 = self.group_of(k2);
+            if g2 != g1 {
+                let (free, examined) = self.find_free_in_group(pm, g2);
+                probes += examined;
+                if let Some(idx) = free {
+                    occupied += examined - 1;
+                    self.commit_insert(pm, Level::Two, idx, &key, &value);
+                    self.note_insert(probes, occupied);
+                    return Ok(());
+                }
+                occupied += examined;
+            }
+        }
+        // "If there are no empty cells in the matched group, the
+        // capacity of the hash table needs to be expanded."
+        self.note_insert(probes, occupied);
+        Err(InsertError::TableFull)
+    }
+
+    /// Algorithm 2.
+    pub fn get(&self, pm: &mut P, key: &K) -> Option<V> {
+        self.locate(pm, key)
+            .map(|(level, idx)| self.level_store(level).read_value(pm, idx))
+    }
+
+    /// Checks whether level-1 slot `k` holds `key`, reading the key bytes
+    /// only when the slot is occupied and (under `FpMode::On`) its
+    /// cached tag matches.
+    #[inline]
+    fn level1_holds(&self, pm: &mut P, k: u64, key: &K, tag: Option<u8>) -> bool {
+        if !self.store1.is_occupied(pm, k) {
+            return false;
+        }
+        if let Some(tag) = tag {
+            let fp = self.fp.as_ref().expect("tag implies cache");
+            if fp.get(Level::One.idx(), k) != tag {
+                self.note_fp(1, 0, 0);
+                return false;
+            }
+        }
+        self.note_key_reads(1);
+        let hit = self.store1.cells.read_key(pm, k) == *key;
+        if tag.is_some() {
+            if hit {
+                self.note_fp(0, 0, 1);
+            } else {
+                self.note_fp(0, 1, 0);
+            }
+        }
+        hit
+    }
+
+    /// Finds the `(level, cell)` holding `key`, probing the candidate
+    /// slot(s) then the matched group(s). Records one probe-length sample
+    /// (cells examined) per call when instrumentation is enabled.
+    fn locate(&self, pm: &mut P, key: &K) -> Option<(Level, u64)> {
+        let (k1, k2) = self.candidate_slots(key);
+        let tag = self.fp.as_ref().map(|_| self.fp_tag(key));
+        let mut probes = 1u64;
+        if self.level1_holds(pm, k1, key, tag) {
+            self.note_probe(probes);
+            return Some((Level::One, k1));
+        }
+        if let Some(k2) = k2 {
+            probes += 1;
+            if self.level1_holds(pm, k2, key, tag) {
+                self.note_probe(probes);
+                return Some((Level::One, k2));
+            }
+        }
+        let g1 = self.group_of(k1);
+        let (found, compared) = self.find_key_in_group(pm, g1, key, tag);
+        probes += compared;
+        if let Some(idx) = found {
+            self.note_probe(probes);
+            return Some((Level::Two, idx));
+        }
+        if let Some(k2) = k2 {
+            let g2 = self.group_of(k2);
+            if g2 != g1 {
+                let (found, compared) = self.find_key_in_group(pm, g2, key, tag);
+                probes += compared;
+                if let Some(idx) = found {
+                    self.note_probe(probes);
+                    return Some((Level::Two, idx));
+                }
+            }
+        }
+        self.note_probe(probes);
+        None
+    }
+
+    /// Updates the value of an existing `key` in place, returning whether
+    /// the key was found.
+    ///
+    /// The value bytes are overwritten and persisted where they are. For
+    /// values of 8 bytes or less this is **failure-atomic** (the write is
+    /// a single aligned store — cells are 8-byte aligned and the key
+    /// prefix is a multiple of 8 for all provided key types): a crash
+    /// leaves either the old or the new value. For larger values a crash
+    /// mid-update can tear at 8-byte granularity; use remove+insert (or
+    /// an indirection pointer as `nvm-kv` does) when multi-word values
+    /// must switch atomically.
+    pub fn update_in_place(&mut self, pm: &mut P, key: &K, value: V) -> bool {
+        match self.locate(pm, key) {
+            Some((level, idx)) => {
+                let store = self.level_store(level);
+                let mut buf = [0u8; 64];
+                debug_assert!(V::SIZE <= 64);
+                value.write_to(&mut buf[..V::SIZE]);
+                let off = store.cells.cell_off(idx) + K::SIZE;
+                pm.write(off, &buf[..V::SIZE]);
+                pm.persist(off, V::SIZE);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Algorithm 3.
+    pub fn remove(&mut self, pm: &mut P, key: &K) -> bool {
+        match self.locate(pm, key) {
+            Some((level, idx)) => {
+                self.commit_delete(pm, level, idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Algorithm 4: post-crash recovery. Scans the whole table, erases any
+    /// cell whose occupancy bit is clear (wiping partial inserts/deletes),
+    /// and recounts `count`. Idempotent; O(capacity).
+    pub fn recover(&mut self, pm: &mut P) {
+        // Forced-logging ablation: roll back an in-flight transaction
+        // before trusting the cells.
+        self.journal.recover(pm);
+        let count = self.store1.recover_cells(pm) + self.store2.recover_cells(pm);
+        self.set_count_committed(pm, count);
+        // The volatile tags may describe pre-crash state; rebuild them
+        // from the (now repaired) bitmaps + cells.
+        self.rebuild_fp_cache(pm);
+    }
+}

@@ -1,0 +1,142 @@
+//! Persistence choreography: how the group table commits.
+//!
+//! Both mutations go through the shared [`CellStore`] primitives, with the
+//! [`Journal`](nvm_table::Journal) staging pre-images first under the
+//! forced-logging ablation (and compiling to nothing under the paper's
+//! atomic-bitmap commit):
+//!
+//! * insert (Algorithm 1 lines 4–9 / 16–21): publish = cell bytes,
+//!   persist, atomic bit set — then the count bump;
+//! * delete (Algorithm 3 lines 4–9 / 16–21): retract = atomic bit clear
+//!   *first*, then cell scrub — a crash mid-erase leaves an unreferenced
+//!   (bit = 0) cell that recovery wipes.
+//!
+//! The DRAM fingerprint cache is maintained here too: tags change exactly
+//! when a commit changes a cell, and never cost a pool write.
+
+use super::{GroupHash, Level};
+use crate::config::CountMode;
+use nvm_hashfn::{HashKey, Pod};
+use nvm_pmem::Pmem;
+
+impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
+    pub(super) fn bump_count(&mut self, pm: &mut P, up: bool) {
+        match self.config.count_mode {
+            CountMode::Persistent => {
+                if up {
+                    self.header.inc_count(pm);
+                } else {
+                    self.header.dec_count(pm);
+                }
+            }
+            CountMode::Volatile => {
+                if up {
+                    self.volatile_count += 1;
+                } else {
+                    self.volatile_count -= 1;
+                }
+            }
+        }
+    }
+
+    /// Sets the count to an absolute value with the usual atomic+persist
+    /// commit (bulk operations).
+    pub(crate) fn set_count_committed(&mut self, pm: &mut P, count: u64) {
+        match self.config.count_mode {
+            CountMode::Persistent => self.header.set_count(pm, count),
+            CountMode::Volatile => self.volatile_count = count,
+        }
+    }
+
+    /// The pre-image span the journal must cover for the count, if the
+    /// count is persistent at all.
+    fn journaled_count_off(&self) -> Option<usize> {
+        (self.config.count_mode == CountMode::Persistent).then(|| self.header.count_off())
+    }
+
+    /// Commits an insert at `(level, idx)`: Algorithm 1 lines 4–9 / 16–21.
+    pub(super) fn commit_insert(&mut self, pm: &mut P, level: Level, idx: u64, key: &K, value: &V) {
+        let store = self.level_store(level);
+        // Ablation: duplicate-copy the touched ranges first (no-op under
+        // the paper's atomic-bitmap commit).
+        let count_off = self.journaled_count_off();
+        self.journal.begin(pm);
+        store.stage_publish(pm, &mut self.journal, idx, count_off);
+        store.publish(pm, idx, key, value);
+        self.bump_count(pm, true);
+        if self.fp.is_some() {
+            // DRAM only — no pool write, no flush, no fence.
+            let tag = self.fp_tag(key);
+            if let Some(fp) = &mut self.fp {
+                fp.set(level.idx(), idx, tag);
+            }
+        }
+        self.journal.commit(pm);
+    }
+
+    /// Commits a delete at `(level, idx)`: Algorithm 3 lines 4–9 / 16–21.
+    /// Note the inverted order versus insert (see
+    /// [`CellStore::retract`](nvm_table::CellStore::retract)).
+    pub(super) fn commit_delete(&mut self, pm: &mut P, level: Level, idx: u64) {
+        let store = self.level_store(level);
+        let count_off = self.journaled_count_off();
+        self.journal.begin(pm);
+        store.stage_retract(pm, &mut self.journal, idx, count_off);
+        store.retract(pm, idx);
+        self.bump_count(pm, false);
+        if let Some(fp) = &mut self.fp {
+            fp.clear(level.idx(), idx);
+        }
+        self.journal.commit(pm);
+    }
+
+    /// Rebuilds the fingerprint cache from the bitmaps + cells (the only
+    /// authoritative state). No-op under `FpMode::Off`. O(capacity),
+    /// reading one key per occupied cell.
+    pub(super) fn rebuild_fp_cache(&mut self, pm: &mut P) {
+        let Some(mut fp) = self.fp.take() else { return };
+        fp.reset();
+        let n = self.config.cells_per_level;
+        for level in [Level::One, Level::Two] {
+            let store = self.level_store(level);
+            let mut base = 0u64;
+            while base < n {
+                let mut word = store.bitmap.word_containing(pm, base);
+                while word != 0 {
+                    let idx = base + word.trailing_zeros() as u64;
+                    let tag = self.fp_tag(&store.cells.read_key(pm, idx));
+                    fp.set(level.idx(), idx, tag);
+                    word &= word - 1;
+                }
+                base += 64;
+            }
+        }
+        self.fp = Some(fp);
+    }
+
+    /// Checks that the fingerprint cache agrees with the pool: every
+    /// occupied cell's cached tag must equal the tag of the key stored
+    /// there (free cells are ignored — their tags are never consulted).
+    /// `Ok` under `FpMode::Off`.
+    pub fn verify_fp_cache(&self, pm: &mut P) -> Result<(), String> {
+        let Some(fp) = &self.fp else { return Ok(()) };
+        for level in [Level::One, Level::Two] {
+            let store = self.level_store(level);
+            for i in 0..self.config.cells_per_level {
+                if !store.is_occupied(pm, i) {
+                    continue;
+                }
+                let want = self.fp_tag(&store.read_key(pm, i));
+                let got = fp.get(level.idx(), i);
+                if got != want {
+                    return Err(format!(
+                        "fingerprint cache stale at level {}/cell {i}: \
+                         cached {got:#04x}, key tag {want:#04x}",
+                        level.idx() + 1
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}

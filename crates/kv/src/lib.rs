@@ -33,7 +33,7 @@ use nvm_alloc::{AllocConfig, AllocError, PmemAlloc, PmemPtr};
 use nvm_hashfn::murmur3_x64_128;
 use nvm_metrics::MetricsRegistry;
 use nvm_pmem::{align_up, Pmem, Region, RegionAllocator, CACHELINE};
-use nvm_table::{HashScheme, InsertError};
+use nvm_table::{HashScheme, InsertError, TableError};
 use std::collections::HashSet;
 
 /// Magic word identifying a KV header ("NVKVSTR1").
@@ -46,7 +46,9 @@ pub enum KvError {
     IndexFull,
     /// The heap cannot store this value.
     Heap(AllocError),
-    /// Construction/open failed.
+    /// Creating/opening the index table failed.
+    Table(TableError),
+    /// Region split / KV header problems.
     Layout(String),
 }
 
@@ -55,6 +57,7 @@ impl std::fmt::Display for KvError {
         match self {
             KvError::IndexFull => write!(f, "index full"),
             KvError::Heap(e) => write!(f, "heap: {e}"),
+            KvError::Table(e) => write!(f, "index: {e}"),
             KvError::Layout(e) => write!(f, "layout: {e}"),
         }
     }
@@ -65,6 +68,12 @@ impl std::error::Error for KvError {}
 impl From<AllocError> for KvError {
     fn from(e: AllocError) -> Self {
         KvError::Heap(e)
+    }
+}
+
+impl From<TableError> for KvError {
+    fn from(e: TableError) -> Self {
+        KvError::Table(e)
     }
 }
 
@@ -144,7 +153,7 @@ impl<P: Pmem> PmemKv<P> {
     pub fn create(pm: &mut P, region: Region, config: &KvConfig) -> Result<Self, KvError> {
         let (header_r, index_r, heap_r) = Self::split(region, config).map_err(KvError::Layout)?;
         let index = GroupHash::create(pm, index_r, Self::index_config(config))
-            .map_err(KvError::Layout)?;
+            .map_err(KvError::Table)?;
         let heap = PmemAlloc::create(pm, heap_r, &AllocConfig::balanced(config.heap_bytes))
             .map_err(KvError::Layout)?;
         // Self-describing header: config words first, magic last.
@@ -184,7 +193,7 @@ impl<P: Pmem> PmemKv<P> {
     pub fn open(pm: &mut P, region: Region) -> Result<Self, KvError> {
         let config = Self::read_config(pm, region)?;
         let (_, index_r, heap_r) = Self::split(region, &config).map_err(KvError::Layout)?;
-        let index = GroupHash::open(pm, index_r).map_err(KvError::Layout)?;
+        let index = GroupHash::open(pm, index_r).map_err(KvError::Table)?;
         let heap = PmemAlloc::open(pm, heap_r).map_err(KvError::Layout)?;
         Ok(PmemKv {
             index,

@@ -9,6 +9,7 @@
 //! Persist(count)` in Algorithms 1 and 3). After a crash it may lag the
 //! bitmap by at most one operation, which recovery repairs by recounting.
 
+use crate::TableError;
 use nvm_pmem::{Pmem, Region, CACHELINE};
 
 const OFF_MAGIC: usize = 0;
@@ -58,12 +59,14 @@ impl TableHeader {
     }
 
     /// Attaches to an existing header, validating the magic word.
-    pub fn open<P: Pmem>(pm: &mut P, region: Region, expected_magic: u64) -> Result<Self, String> {
+    pub fn open<P: Pmem>(
+        pm: &mut P,
+        region: Region,
+        expected_magic: u64,
+    ) -> Result<Self, TableError> {
         let magic = pm.read_u64(region.off + OFF_MAGIC);
         if magic != expected_magic {
-            return Err(format!(
-                "header magic mismatch: found {magic:#x}, expected {expected_magic:#x}"
-            ));
+            return Err(TableError::MagicMismatch { found: magic, expected: expected_magic });
         }
         Ok(TableHeader { region })
     }

@@ -1,13 +1,17 @@
-//! Optional undo-log wrapper shared by the baseline schemes.
+//! Optional undo-log journal shared by every scheme.
+//!
+//! This is the single place [`ConsistencyMode`] is applied: the group table
+//! and all three baselines funnel their pre-images through `Journal`, so
+//! switching modes changes *only* the consistency cost, never a scheme's
+//! logic. In [`ConsistencyMode::None`] every call is a no-op that compiles
+//! down to a branch on an empty `Option`.
 
+use crate::ConsistencyMode;
 use nvm_pmem::{Pmem, Region};
-use nvm_table::ConsistencyMode;
 use nvm_wal::UndoLog;
 
 /// A consistency journal: either a no-op (bare scheme) or an undo log
-/// (the paper's `-L` variants). All baseline mutations funnel their
-/// pre-images through this type, so switching modes changes *only* the
-/// consistency cost, never the scheme's logic.
+/// (the paper's `-L` variants).
 #[derive(Debug, Clone)]
 pub struct Journal {
     log: Option<UndoLog>,

@@ -15,14 +15,34 @@
 //!   program against;
 //! * [`ConsistencyMode`] — whether a baseline wraps updates in the undo log
 //!   (the paper's `-L` variants) or runs bare.
+//!
+//! On top of those primitives the crate defines the three-layer split every
+//! scheme is built as (see DESIGN.md § "Layered architecture"):
+//!
+//! 1. **probe plans** ([`probe`]) — pure, I/O-free candidate-cell
+//!    geometry (group/linear/PFHT/path sequences, SWAR fingerprint match);
+//! 2. **cell store** ([`CellStore`] + [`Journal`]) — the pmem-facing
+//!    bitmap/codec pair with the failure-atomic publish/retract
+//!    choreography and the one place `ConsistencyMode::UndoLog` applies;
+//! 3. **ops** — each scheme's insert/get/delete policy, written as a
+//!    composition of the two layers (in `group-hash` and `nvm-baselines`).
+//!
+//! Construction and attach errors are the typed [`TableError`].
 
 mod bitmap;
 mod cells;
 pub mod crashtest;
+mod error;
 mod header;
+mod journal;
+pub mod probe;
 mod scheme;
+mod store;
 
 pub use bitmap::PmemBitmap;
 pub use cells::CellArray;
+pub use error::TableError;
 pub use header::TableHeader;
+pub use journal::Journal;
 pub use scheme::{ConsistencyMode, HashScheme, InsertError, OpKind};
+pub use store::CellStore;

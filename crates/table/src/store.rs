@@ -1,0 +1,251 @@
+//! The cell store: pmem-facing occupancy bitmap + cell codec + the
+//! failure-atomic publish/retract choreography every scheme commits
+//! through.
+//!
+//! A [`CellStore`] bundles one [`PmemBitmap`] with one [`CellArray`] over
+//! the same cell index space and owns the *order* of persistent writes:
+//!
+//! * **publish** (paper Algorithm 1, last three lines): write the cell,
+//!   persist it, then atomically flip its bitmap bit — the 8-byte bit flip
+//!   is the commit point, so a crash before it leaves an unreferenced cell
+//!   that recovery wipes.
+//! * **retract** (Algorithm 3, inverted order): atomically clear the bit
+//!   first, then scrub and persist the cell — a crash after the flip
+//!   leaves stale bytes in a cell the bitmap already disowns.
+//!
+//! For undo-logged variants the matching `stage_*` helpers record the
+//! pre-images into an open [`Journal`] transaction in the canonical span
+//! order (publish: cell, bitmap word, count; retract: bitmap word, cell,
+//! count) and seal them, so `ConsistencyMode::UndoLog` is applied in
+//! exactly one place. Pure candidate-cell arithmetic lives one layer up in
+//! [`crate::probe`]; scheme policy (which cell to try next) one layer above
+//! that.
+
+use crate::{CellArray, Journal, PmemBitmap};
+use nvm_hashfn::Pod;
+use nvm_pmem::{Pmem, Region};
+
+/// One level (or the whole array) of a scheme's cells: bitmap + codec +
+/// commit choreography.
+#[derive(Debug)]
+pub struct CellStore<K: Pod, V: Pod> {
+    /// Per-cell occupancy bits; flipping one word is the commit point.
+    pub bitmap: PmemBitmap,
+    /// The cell payload array the bitmap guards.
+    pub cells: CellArray<K, V>,
+}
+
+// Manual impls: `CellArray` is `Copy` regardless of K/V bounds, and
+// `derive` would wrongly require `K: Clone + Copy, V: Clone + Copy`.
+impl<K: Pod, V: Pod> Clone for CellStore<K, V> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<K: Pod, V: Pod> Copy for CellStore<K, V> {}
+
+impl<K: Pod, V: Pod> CellStore<K, V> {
+    /// Creates a store over `n` cells: zeroes + persists the bitmap,
+    /// attaches the cell array (cells are assumed zeroed, as in a fresh
+    /// pool).
+    pub fn create<P: Pmem>(pm: &mut P, bitmap_region: Region, cells_region: Region, n: u64) -> Self {
+        CellStore {
+            bitmap: PmemBitmap::create(pm, bitmap_region, n),
+            cells: CellArray::attach(cells_region, n),
+        }
+    }
+
+    /// Attaches to an existing store without touching pmem.
+    pub fn attach(bitmap_region: Region, cells_region: Region, n: u64) -> Self {
+        CellStore {
+            bitmap: PmemBitmap::attach(bitmap_region, n),
+            cells: CellArray::attach(cells_region, n),
+        }
+    }
+
+    /// Cells in the store.
+    pub fn len(&self) -> u64 {
+        self.cells.len()
+    }
+
+    /// True when the store holds zero cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Is cell `idx` committed (bitmap bit set)?
+    pub fn is_occupied<P: Pmem>(&self, pm: &mut P, idx: u64) -> bool {
+        self.bitmap.get(pm, idx)
+    }
+
+    /// Reads the key of cell `idx`.
+    pub fn read_key<P: Pmem>(&self, pm: &mut P, idx: u64) -> K {
+        self.cells.read_key(pm, idx)
+    }
+
+    /// Reads the value of cell `idx`.
+    pub fn read_value<P: Pmem>(&self, pm: &mut P, idx: u64) -> V {
+        self.cells.read_value(pm, idx)
+    }
+
+    /// Committed cells (bitmap popcount).
+    pub fn occupied<P: Pmem>(&self, pm: &mut P) -> u64 {
+        self.bitmap.count_ones(pm)
+    }
+
+    /// Failure-atomic publish: cell bytes, persist, then the one-word
+    /// bitmap flip that commits. 2 flushes, 2 fences, 1 atomic write.
+    pub fn publish<P: Pmem>(&self, pm: &mut P, idx: u64, key: &K, value: &V) {
+        self.cells.write_entry(pm, idx, key, value);
+        self.cells.persist_entry(pm, idx);
+        self.bitmap.set_and_persist(pm, idx, true);
+    }
+
+    /// Failure-atomic retract, in the *inverted* order: clear the bit
+    /// first (the commit), then scrub and persist the cell so recovery
+    /// never resurrects it.
+    pub fn retract<P: Pmem>(&self, pm: &mut P, idx: u64) {
+        self.bitmap.set_and_persist(pm, idx, false);
+        self.cells.clear_entry(pm, idx);
+        self.cells.persist_entry(pm, idx);
+    }
+
+    /// Records the pre-images a [`CellStore::publish`] of `idx` will
+    /// overwrite — cell span, bitmap word, then the count word if the
+    /// scheme persists one — into an open journal transaction, and seals
+    /// them. No-op in `ConsistencyMode::None`.
+    pub fn stage_publish<P: Pmem>(
+        &self,
+        pm: &mut P,
+        journal: &mut Journal,
+        idx: u64,
+        count_off: Option<usize>,
+    ) {
+        journal.record(pm, self.cells.cell_off(idx), self.cells.entry_len());
+        journal.record(pm, self.bitmap.word_off_of(idx), 8);
+        if let Some(off) = count_off {
+            journal.record(pm, off, 8);
+        }
+        journal.seal(pm);
+    }
+
+    /// Records the pre-images a [`CellStore::retract`] of `idx` will
+    /// overwrite — bitmap word first, mirroring the inverted write order,
+    /// then cell span and optional count word — and seals them.
+    pub fn stage_retract<P: Pmem>(
+        &self,
+        pm: &mut P,
+        journal: &mut Journal,
+        idx: u64,
+        count_off: Option<usize>,
+    ) {
+        journal.record(pm, self.bitmap.word_off_of(idx), 8);
+        journal.record(pm, self.cells.cell_off(idx), self.cells.entry_len());
+        if let Some(off) = count_off {
+            journal.record(pm, off, 8);
+        }
+        journal.seal(pm);
+    }
+
+    /// The per-store half of recovery (paper Algorithm 4): counts
+    /// committed cells and scrubs any uncommitted cell a crashed publish
+    /// left bytes in. Returns the committed count.
+    pub fn recover_cells<P: Pmem>(&self, pm: &mut P) -> u64 {
+        let mut count = 0;
+        for i in 0..self.len() {
+            if self.bitmap.get(pm, i) {
+                count += 1;
+            } else if !self.cells.is_zeroed(pm, i) {
+                self.cells.clear_entry(pm, i);
+                self.cells.persist_entry(pm, i);
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConsistencyMode;
+    use nvm_pmem::{CrashResolution, Pmem, SimConfig, SimPmem};
+
+    fn store(pm_bytes: usize, n: u64) -> (SimPmem, CellStore<u64, u64>) {
+        let mut pm = SimPmem::new(pm_bytes, SimConfig::fast_test());
+        let bm = Region::new(0, PmemBitmap::region_size(n).max(8));
+        let cells = Region::new(1024, CellArray::<u64, u64>::region_size(n));
+        let s = CellStore::create(&mut pm, bm, cells, n);
+        (pm, s)
+    }
+
+    #[test]
+    fn publish_then_retract_roundtrip() {
+        let (mut pm, s) = store(1 << 16, 64);
+        assert!(!s.is_occupied(&mut pm, 7));
+        s.publish(&mut pm, 7, &0xAB, &0xCD);
+        assert!(s.is_occupied(&mut pm, 7));
+        assert_eq!(s.read_key(&mut pm, 7), 0xAB);
+        assert_eq!(s.read_value(&mut pm, 7), 0xCD);
+        assert_eq!(s.occupied(&mut pm), 1);
+        s.retract(&mut pm, 7);
+        assert!(!s.is_occupied(&mut pm, 7));
+        assert!(s.cells.is_zeroed(&mut pm, 7));
+        assert_eq!(s.occupied(&mut pm), 0);
+    }
+
+    #[test]
+    fn publish_costs_two_flushes_one_atomic() {
+        let (mut pm, s) = store(1 << 16, 64);
+        pm.reset_stats();
+        s.publish(&mut pm, 3, &1, &2);
+        let st = pm.stats();
+        assert_eq!(st.flushes, 2);
+        assert_eq!(st.fences, 2);
+        assert_eq!(st.atomic_writes, 1);
+    }
+
+    #[test]
+    fn recover_wipes_uncommitted_cells_only() {
+        let (mut pm, s) = store(1 << 16, 64);
+        s.publish(&mut pm, 1, &10, &11);
+        // A torn publish: cell written + persisted, bit never flipped.
+        s.cells.write_entry(&mut pm, 2, &20, &21);
+        s.cells.persist_entry(&mut pm, 2);
+        assert_eq!(s.recover_cells(&mut pm), 1);
+        assert!(s.cells.is_zeroed(&mut pm, 2));
+        assert_eq!(s.read_key(&mut pm, 1), 10);
+    }
+
+    #[test]
+    fn staged_publish_rolls_back_after_crash() {
+        let (mut pm, s) = store(1 << 16, 64);
+        let log_region = Region::new(1 << 15, 1024);
+        let mut j = Journal::create(&mut pm, ConsistencyMode::UndoLog, log_region);
+        j.begin(&mut pm);
+        s.stage_publish(&mut pm, &mut j, 5, None);
+        s.publish(&mut pm, 5, &50, &51);
+        // Crash before commit: the undo log restores the pre-images.
+        pm.crash(CrashResolution::PersistAll);
+        let mut j2 = Journal::open(ConsistencyMode::UndoLog, log_region);
+        assert!(j2.recover(&mut pm));
+        assert!(!s.is_occupied(&mut pm, 5));
+        assert!(s.cells.is_zeroed(&mut pm, 5));
+    }
+
+    #[test]
+    fn staged_retract_rolls_back_after_crash() {
+        let (mut pm, s) = store(1 << 16, 64);
+        let log_region = Region::new(1 << 15, 1024);
+        s.publish(&mut pm, 9, &90, &91);
+        let mut j = Journal::create(&mut pm, ConsistencyMode::UndoLog, log_region);
+        j.begin(&mut pm);
+        s.stage_retract(&mut pm, &mut j, 9, None);
+        s.retract(&mut pm, 9);
+        pm.crash(CrashResolution::PersistAll);
+        let mut j2 = Journal::open(ConsistencyMode::UndoLog, log_region);
+        assert!(j2.recover(&mut pm));
+        assert!(s.is_occupied(&mut pm, 9));
+        assert_eq!(s.read_key(&mut pm, 9), 90);
+        assert_eq!(s.read_value(&mut pm, 9), 91);
+    }
+}

@@ -1,0 +1,429 @@
+//! Cross-scheme conformance suite.
+//!
+//! Every hashing scheme in the workspace — group hashing plus the three
+//! baselines — is driven through the shared [`HashScheme`] trait across
+//! both [`ConsistencyMode`]s. The suite asserts the behavioural contract
+//! the trait documents (insert/get/remove roundtrips, duplicate handling,
+//! graceful `TableFull`, persistence across reopen, crash-recovery) without
+//! knowing anything scheme-specific beyond the constructor.
+//!
+//! This is the payoff of the layered split: the generic drivers below
+//! compile once and exercise four ops-layer implementations that all sit on
+//! the same probe-plan + cell-store primitives.
+
+use group_hash::{CommitStrategy, GroupHash, GroupHashConfig};
+use nvm_baselines::{LinearProbing, PathHash, Pfht};
+use nvm_pmem::{
+    run_with_crash, CrashPlan, CrashResolution, Pmem, Region, SimConfig, SimPmem,
+};
+use nvm_table::{ConsistencyMode, HashScheme, InsertError};
+
+const MODES: [ConsistencyMode; 2] = [ConsistencyMode::None, ConsistencyMode::UndoLog];
+
+// ---------------------------------------------------------------- fixtures
+
+fn group_pool(mode: ConsistencyMode, cells: u64) -> (SimPmem, GroupHash<SimPmem, u64, u64>) {
+    let commit = match mode {
+        ConsistencyMode::None => CommitStrategy::AtomicBitmap,
+        ConsistencyMode::UndoLog => CommitStrategy::UndoLog,
+    };
+    let cfg = GroupHashConfig::new(cells, 16).with_commit(commit);
+    let size = GroupHash::<SimPmem, u64, u64>::required_size(&cfg);
+    let mut pm = SimPmem::new(size, SimConfig::fast_test());
+    let t = GroupHash::create(&mut pm, Region::new(0, size), cfg).unwrap();
+    (pm, t)
+}
+
+fn group_open(pm: &mut SimPmem) -> GroupHash<SimPmem, u64, u64> {
+    let len = pm.len();
+    GroupHash::open(pm, Region::new(0, len)).unwrap()
+}
+
+fn linear_pool(mode: ConsistencyMode, n: u64) -> (SimPmem, LinearProbing<SimPmem, u64, u64>) {
+    let size = LinearProbing::<SimPmem, u64, u64>::required_size(n);
+    let mut pm = SimPmem::new(size, SimConfig::fast_test());
+    let t = LinearProbing::create(&mut pm, Region::new(0, size), n, 7, mode).unwrap();
+    (pm, t)
+}
+
+fn linear_open(pm: &mut SimPmem) -> LinearProbing<SimPmem, u64, u64> {
+    let len = pm.len();
+    LinearProbing::open(pm, Region::new(0, len)).unwrap()
+}
+
+fn pfht_pool(mode: ConsistencyMode, n_buckets: u64) -> (SimPmem, Pfht<SimPmem, u64, u64>) {
+    let stash = (n_buckets / 4).max(2);
+    let size = Pfht::<SimPmem, u64, u64>::required_size(n_buckets, stash);
+    let mut pm = SimPmem::new(size, SimConfig::fast_test());
+    let t = Pfht::create(&mut pm, Region::new(0, size), n_buckets, stash, 7, mode).unwrap();
+    (pm, t)
+}
+
+fn pfht_open(pm: &mut SimPmem) -> Pfht<SimPmem, u64, u64> {
+    let len = pm.len();
+    Pfht::open(pm, Region::new(0, len)).unwrap()
+}
+
+fn path_pool(mode: ConsistencyMode, leaf_bits: u32) -> (SimPmem, PathHash<SimPmem, u64, u64>) {
+    let size = PathHash::<SimPmem, u64, u64>::required_size(leaf_bits, 4);
+    let mut pm = SimPmem::new(size, SimConfig::fast_test());
+    let t = PathHash::create(&mut pm, Region::new(0, size), leaf_bits, 4, 7, mode).unwrap();
+    (pm, t)
+}
+
+fn path_open(pm: &mut SimPmem) -> PathHash<SimPmem, u64, u64> {
+    let len = pm.len();
+    PathHash::open(pm, Region::new(0, len)).unwrap()
+}
+
+// ------------------------------------------------------- generic drivers
+
+/// Insert/get/remove roundtrip plus duplicate handling, on a table big
+/// enough that no scheme hits its collision limit.
+fn basic_ops<S: HashScheme<SimPmem, u64, u64>>(pm: &mut SimPmem, t: &mut S) {
+    let label = t.name();
+    assert!(t.is_empty(pm), "{label}: fresh table not empty");
+    assert_eq!(t.get(pm, &42), None);
+    assert!(!t.remove(pm, &42), "{label}: remove on empty");
+
+    for k in 0..60u64 {
+        t.insert(pm, k, k * 3).unwrap_or_else(|e| panic!("{label}: insert {k}: {e}"));
+    }
+    assert_eq!(t.len(pm), 60, "{label}");
+    for k in 0..60u64 {
+        assert_eq!(t.get(pm, &k), Some(k * 3), "{label}: key {k}");
+        assert!(t.contains(pm, &k), "{label}: contains {k}");
+    }
+    assert_eq!(t.get(pm, &999), None, "{label}: absent key");
+    assert!(t.load_factor(pm) > 0.0 && t.load_factor(pm) <= 1.0);
+
+    // Duplicate handling: insert_unique refuses and leaves state intact.
+    assert_eq!(t.insert_unique(pm, 7, 1), Err(InsertError::DuplicateKey), "{label}");
+    assert_eq!(t.get(pm, &7), Some(21), "{label}: duplicate must not clobber");
+    assert_eq!(t.len(pm), 60, "{label}: duplicate must not grow the table");
+
+    // Delete half, verify the survivors and the holes.
+    for k in 0..30u64 {
+        assert!(t.remove(pm, &k), "{label}: remove {k}");
+    }
+    assert!(!t.remove(pm, &0), "{label}: double remove");
+    assert_eq!(t.len(pm), 30, "{label}");
+    for k in 0..30u64 {
+        assert_eq!(t.get(pm, &k), None, "{label}: deleted key {k}");
+    }
+    for k in 30..60u64 {
+        assert_eq!(t.get(pm, &k), Some(k * 3), "{label}: survivor {k}");
+    }
+
+    // Holes must be reusable.
+    for k in 0..30u64 {
+        t.insert(pm, k, k + 1000).unwrap_or_else(|e| panic!("{label}: reinsert {k}: {e}"));
+    }
+    assert_eq!(t.len(pm), 60, "{label}");
+    for k in 0..30u64 {
+        assert_eq!(t.get(pm, &k), Some(k + 1000), "{label}: reinserted {k}");
+    }
+    t.check_consistency(pm).unwrap_or_else(|e| panic!("{label}: {e}"));
+}
+
+/// Fill until `TableFull`; the table must fail gracefully and keep every
+/// key it accepted.
+fn full_table<S: HashScheme<SimPmem, u64, u64>>(pm: &mut SimPmem, t: &mut S) {
+    let label = t.name();
+    let cap = t.capacity();
+    let mut stored = Vec::new();
+    for k in 0..20 * cap {
+        // Odd-multiplier bijection keeps the keys distinct but scrambled.
+        let key = k.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        match t.insert(pm, key, k) {
+            Ok(()) => stored.push((key, k)),
+            Err(InsertError::TableFull) => break,
+            Err(e) => panic!("{label}: unexpected {e}"),
+        }
+        assert!((k as usize) < 2 * cap as usize + 16, "{label}: never reported full");
+    }
+    assert_eq!(t.len(pm), stored.len() as u64, "{label}");
+    assert!(t.len(pm) <= cap, "{label}: len above capacity");
+    assert!(
+        stored.len() as u64 >= cap / 5,
+        "{label}: gave up at {} of {cap} cells",
+        stored.len()
+    );
+    for (key, v) in &stored {
+        assert_eq!(t.get(pm, key), Some(*v), "{label}: key {key} lost during fill");
+    }
+    t.check_consistency(pm).unwrap_or_else(|e| panic!("{label}: {e}"));
+}
+
+/// Contents survive a drop + reopen of the pool bytes.
+fn persists_across_reopen<S: HashScheme<SimPmem, u64, u64>>(
+    mk: impl Fn() -> (SimPmem, S),
+    open: impl Fn(&mut SimPmem) -> S,
+) {
+    let (mut pm, mut t) = mk();
+    for k in 0..40u64 {
+        t.insert(&mut pm, k, k * 7).unwrap();
+    }
+    t.remove(&mut pm, &11);
+    let label = t.name();
+    drop(t);
+
+    let mut t = open(&mut pm);
+    t.recover(&mut pm);
+    assert_eq!(t.len(&mut pm), 39, "{label}");
+    for k in 0..40u64 {
+        let want = if k == 11 { None } else { Some(k * 7) };
+        assert_eq!(t.get(&mut pm, &k), want, "{label}: key {k} after reopen");
+    }
+    t.check_consistency(&mut pm).unwrap_or_else(|e| panic!("{label}: {e}"));
+}
+
+/// Crash at every pmem event inside one `op`, then reopen + recover. After
+/// recovery the structure must satisfy its invariants and all pre-existing
+/// keys must be intact; `check` sees the recovered table to assert the
+/// op-specific all-or-nothing visibility.
+fn crash_loop<S: HashScheme<SimPmem, u64, u64>>(
+    mk: impl Fn() -> (SimPmem, S),
+    open: impl Fn(&mut SimPmem) -> S,
+    op: impl Fn(&mut SimPmem, &mut S),
+    check: impl Fn(&mut SimPmem, &S, u64),
+) {
+    let (mut pm0, mut t0) = mk();
+    for k in 0..20u64 {
+        t0.insert(&mut pm0, k, k + 100).unwrap();
+    }
+    let label = t0.name();
+    drop(t0);
+
+    for at in 0u64.. {
+        assert!(at < 4096, "{label}: crash loop never finished");
+        let mut pm = pm0.clone();
+        let mut t = open(&mut pm);
+        let base = pm.events();
+        pm.set_crash_plan(Some(CrashPlan { at_event: base + at }));
+        let done = run_with_crash(|| op(&mut pm, &mut t)).is_ok();
+        if done {
+            break;
+        }
+        pm.crash(CrashResolution::Random(at));
+        let mut t = open(&mut pm);
+        t.recover(&mut pm);
+        t.check_consistency(&mut pm)
+            .unwrap_or_else(|e| panic!("{label}: crash at +{at}: {e}"));
+        for k in 0..20u64 {
+            if k != 13 {
+                assert_eq!(
+                    t.get(&mut pm, &k),
+                    Some(k + 100),
+                    "{label}: pre-existing key {k} damaged by crash at +{at}"
+                );
+            }
+        }
+        check(&mut pm, &t, at);
+    }
+}
+
+/// Crash-during-insert: the new key is either fully present or absent.
+fn crash_insert<S: HashScheme<SimPmem, u64, u64>>(
+    mk: impl Fn() -> (SimPmem, S),
+    open: impl Fn(&mut SimPmem) -> S,
+) {
+    crash_loop(
+        mk,
+        open,
+        |pm, t| {
+            t.insert(pm, 500, 77).unwrap();
+        },
+        |pm, t, at| {
+            let got = t.get(pm, &500);
+            assert!(
+                got.is_none() || got == Some(77),
+                "{}: torn insert visible at +{at}: {got:?}",
+                t.name()
+            );
+        },
+    );
+}
+
+/// Crash-during-remove: the victim is either fully present or fully gone.
+fn crash_remove<S: HashScheme<SimPmem, u64, u64>>(
+    mk: impl Fn() -> (SimPmem, S),
+    open: impl Fn(&mut SimPmem) -> S,
+) {
+    crash_loop(
+        mk,
+        open,
+        |pm, t| {
+            assert!(t.remove(pm, &13));
+        },
+        |pm, t, at| {
+            let got = t.get(pm, &13);
+            assert!(
+                got.is_none() || got == Some(113),
+                "{}: torn remove visible at +{at}: {got:?}",
+                t.name()
+            );
+        },
+    );
+}
+
+// ------------------------------------------------------------- group hash
+
+#[test]
+fn group_basic_ops() {
+    for mode in MODES {
+        let (mut pm, mut t) = group_pool(mode, 256);
+        basic_ops(&mut pm, &mut t);
+    }
+}
+
+#[test]
+fn group_full_table() {
+    for mode in MODES {
+        let (mut pm, mut t) = group_pool(mode, 64);
+        full_table(&mut pm, &mut t);
+    }
+}
+
+#[test]
+fn group_reopen() {
+    for mode in MODES {
+        persists_across_reopen(|| group_pool(mode, 256), group_open);
+    }
+}
+
+#[test]
+fn group_crash_insert() {
+    for mode in MODES {
+        crash_insert(|| group_pool(mode, 256), group_open);
+    }
+}
+
+#[test]
+fn group_crash_remove() {
+    // Group hashing is failure-atomic in both modes: the 8-byte bitmap
+    // commit (AtomicBitmap) or the undo log makes removal all-or-nothing.
+    for mode in MODES {
+        crash_remove(|| group_pool(mode, 256), group_open);
+    }
+}
+
+// --------------------------------------------------------- linear probing
+
+#[test]
+fn linear_basic_ops() {
+    for mode in MODES {
+        let (mut pm, mut t) = linear_pool(mode, 256);
+        basic_ops(&mut pm, &mut t);
+    }
+}
+
+#[test]
+fn linear_full_table() {
+    for mode in MODES {
+        let (mut pm, mut t) = linear_pool(mode, 64);
+        full_table(&mut pm, &mut t);
+    }
+}
+
+#[test]
+fn linear_reopen() {
+    for mode in MODES {
+        persists_across_reopen(|| linear_pool(mode, 256), linear_open);
+    }
+}
+
+#[test]
+fn linear_crash_insert() {
+    // A bare linear insert persists the cell before publishing its bitmap
+    // bit, so even `ConsistencyMode::None` recovers cleanly.
+    for mode in MODES {
+        crash_insert(|| linear_pool(mode, 256), linear_open);
+    }
+}
+
+#[test]
+fn linear_crash_remove() {
+    // Backward-shift deletion moves cells; only the logged variant is
+    // all-or-nothing (the paper's point about the bare scheme).
+    crash_remove(
+        || linear_pool(ConsistencyMode::UndoLog, 256),
+        linear_open,
+    );
+}
+
+// ------------------------------------------------------------------- pfht
+
+#[test]
+fn pfht_basic_ops() {
+    for mode in MODES {
+        let (mut pm, mut t) = pfht_pool(mode, 64);
+        basic_ops(&mut pm, &mut t);
+    }
+}
+
+#[test]
+fn pfht_full_table() {
+    for mode in MODES {
+        let (mut pm, mut t) = pfht_pool(mode, 16);
+        full_table(&mut pm, &mut t);
+    }
+}
+
+#[test]
+fn pfht_reopen() {
+    for mode in MODES {
+        persists_across_reopen(|| pfht_pool(mode, 64), pfht_open);
+    }
+}
+
+#[test]
+fn pfht_crash_insert() {
+    // At this fill level no displacement triggers, so the bare mode's
+    // cell-then-bit publish order is crash-safe too.
+    for mode in MODES {
+        crash_insert(|| pfht_pool(mode, 64), pfht_open);
+    }
+}
+
+#[test]
+fn pfht_crash_remove() {
+    crash_remove(|| pfht_pool(ConsistencyMode::UndoLog, 64), pfht_open);
+}
+
+// ------------------------------------------------------------ path hashing
+
+#[test]
+fn path_basic_ops() {
+    for mode in MODES {
+        let (mut pm, mut t) = path_pool(mode, 8);
+        basic_ops(&mut pm, &mut t);
+    }
+}
+
+#[test]
+fn path_full_table() {
+    for mode in MODES {
+        let (mut pm, mut t) = path_pool(mode, 6);
+        full_table(&mut pm, &mut t);
+    }
+}
+
+#[test]
+fn path_reopen() {
+    for mode in MODES {
+        persists_across_reopen(|| path_pool(mode, 8), path_open);
+    }
+}
+
+#[test]
+fn path_crash_insert() {
+    for mode in MODES {
+        crash_insert(|| path_pool(mode, 8), path_open);
+    }
+}
+
+#[test]
+fn path_crash_remove() {
+    crash_remove(|| path_pool(ConsistencyMode::UndoLog, 8), path_open);
+}
