@@ -16,6 +16,10 @@ cargo test -q -p group-hash --features instrument
 echo "==> cargo test -q (nvm-table conformance, instrument features)"
 cargo test -q -p nvm-table --features group-hash/instrument,nvm-baselines/instrument
 
+echo "==> cargo test -q (batch conformance: prefix durability at every crash point)"
+cargo test -q -p nvm-table --features group-hash/instrument,nvm-baselines/instrument \
+  --test conformance batch
+
 echo "==> layering lint (no upward dependencies)"
 # The crate layering is probe-plan/cell-store toolkit (nvm-table) ->
 # schemes (group-hash, nvm-baselines) -> harness (gh-harness). Imports
@@ -35,6 +39,16 @@ if grep -rn "nvm_pmem" crates/table/src/probe.rs crates/core/src/table/probe.rs;
   lint_fail=1
 fi
 [ "$lint_fail" -eq 0 ]
+
+echo "==> error-type lint (no stringly-typed public Results)"
+# The batched-API redesign retired Result<_, String> from every public
+# surface; table/core/baselines/kv fail typed (TableError/InsertError/
+# BatchError/KvError) or not at all.
+if grep -rn "Result<[^>]*, String>" \
+    crates/table/src crates/core/src crates/baselines/src crates/kv/src; then
+  echo "error-type violation: public APIs must use typed errors, not Result<_, String>" >&2
+  exit 1
+fi
 
 echo "==> cargo bench --no-run (benches must compile)"
 cargo bench --no-run --workspace

@@ -16,8 +16,8 @@ use nvm_metrics::SchemeInstrumentation;
 use nvm_pmem::{Pmem, Region, RegionAllocator, CACHELINE};
 use nvm_table::probe::LinearPlan;
 use nvm_table::{
-    CellArray, CellStore, ConsistencyMode, HashScheme, InsertError, Journal, PmemBitmap,
-    TableError, TableHeader,
+    BatchError, BatchSession, CellArray, CellStore, ConsistencyMode, HashScheme, InsertError,
+    Journal, PmemBitmap, TableError, TableHeader,
 };
 use std::collections::HashMap;
 use std::marker::PhantomData;
@@ -190,6 +190,15 @@ impl<P: Pmem, K: HashKey, V: Pod> LinearProbing<P, K, V> {
         let _ = (probes, occupied);
     }
 
+    /// Group-commits a staged insert chunk; the count rides the session
+    /// commit (see [`BatchSession::commit`]).
+    fn commit_insert_chunk(&mut self, pm: &mut P, sess: &mut BatchSession<K, V>) -> usize {
+        let n = sess.staged();
+        let count = self.header.count(pm) + n as u64;
+        sess.commit(pm, &mut self.journal, Some((self.header.count_off(), count)));
+        n
+    }
+
     /// Finds the cell holding `key`, walking the probe sequence.
     fn find(&self, pm: &mut P, key: &K) -> Option<u64> {
         for (step, i) in self.plan.sequence(self.home(key)).enumerate() {
@@ -227,20 +236,54 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for LinearProbing<P, K, V>
     }
 
     fn insert(&mut self, pm: &mut P, key: K, value: V) -> Result<(), InsertError> {
-        for (step, i) in self.plan.sequence(self.home(&key)).enumerate() {
-            if !self.store.is_occupied(pm, i) {
-                self.note_insert(step as u64 + 1, step as u64);
+        // A one-element batch: same probe walk, same 3-flush / 3-fence /
+        // 2-atomic trace as the pre-batch single-op path.
+        self.insert_batch(pm, &[(key, value)]).map_err(|e| e.error)
+    }
+
+    /// Fence-coalesced batch insert: each key's probe walk treats cells
+    /// claimed earlier in the batch as occupied, the cell writes are
+    /// staged, and the bit flips group-commit (prefix durability; see
+    /// [`BatchSession`]). Deletes keep the per-op path — backward shift
+    /// moves whole clusters and cannot be staged.
+    fn insert_batch(&mut self, pm: &mut P, items: &[(K, V)]) -> Result<(), BatchError> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let per_op = [self.store.cells.entry_len(), 8];
+        let chunk_cap = self.journal.ops_per_txn(&per_op, &[8]);
+        let mut sess = BatchSession::new();
+        let mut committed = 0usize;
+        let mut failure = None;
+        for (key, value) in items {
+            let mut found = None;
+            for (step, i) in self.plan.sequence(self.home(key)).enumerate() {
+                if self.store.is_free_for(pm, &sess, i) {
+                    found = Some((step as u64, i));
+                    break;
+                }
+            }
+            let Some((step, i)) = found else {
+                self.note_insert(self.plan.n(), self.plan.n());
+                failure = Some(InsertError::TableFull);
+                break;
+            };
+            self.note_insert(step + 1, step);
+            if sess.is_empty() {
                 self.journal.begin(pm);
-                self.store
-                    .stage_publish(pm, &mut self.journal, i, Some(self.header.count_off()));
-                self.store.publish(pm, i, &key, &value);
-                self.header.inc_count(pm);
-                self.journal.commit(pm);
-                return Ok(());
+            }
+            sess.stage_publish(pm, &mut self.journal, self.store, i, key, value);
+            if sess.staged() >= chunk_cap {
+                committed += self.commit_insert_chunk(pm, &mut sess);
             }
         }
-        self.note_insert(self.plan.n(), self.plan.n());
-        Err(InsertError::TableFull)
+        if !sess.is_empty() {
+            committed += self.commit_insert_chunk(pm, &mut sess);
+        }
+        match failure {
+            Some(error) => Err(BatchError { committed, error }),
+            None => Ok(()),
+        }
     }
 
     fn get(&self, pm: &mut P, key: &K) -> Option<V> {
@@ -295,13 +338,13 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for LinearProbing<P, K, V>
         self.header.set_count(pm, count);
     }
 
-    fn check_consistency(&self, pm: &mut P) -> Result<(), String> {
+    fn check_consistency(&self, pm: &mut P) -> Result<(), TableError> {
         let mut occupied = 0u64;
         let mut seen: HashMap<Vec<u8>, u64> = HashMap::new();
         for i in 0..self.plan.n() {
             if !self.store.is_occupied(pm, i) {
                 if !self.store.cells.is_zeroed(pm, i) {
-                    return Err(format!("empty cell {i} not zeroed"));
+                    return Err(TableError::Corrupt(format!("empty cell {i} not zeroed")));
                 }
                 continue;
             }
@@ -319,20 +362,24 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for LinearProbing<P, K, V>
                 }
             }
             if !reachable {
-                return Err(format!(
+                return Err(TableError::Corrupt(format!(
                     "cell {i}: key unreachable from home {} (probe invariant broken)",
                     self.home(&key)
-                ));
+                )));
             }
             let mut kb = vec![0u8; K::SIZE];
             key.write_to(&mut kb);
             if let Some(prev) = seen.insert(kb, i) {
-                return Err(format!("duplicate key in cells {prev} and {i}"));
+                return Err(TableError::Corrupt(format!(
+                    "duplicate key in cells {prev} and {i}"
+                )));
             }
         }
         let count = self.len(pm);
         if count != occupied {
-            return Err(format!("count {count} != occupied {occupied}"));
+            return Err(TableError::Corrupt(format!(
+                "count {count} != occupied {occupied}"
+            )));
         }
         Ok(())
     }

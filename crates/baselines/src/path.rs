@@ -22,8 +22,8 @@ use nvm_metrics::SchemeInstrumentation;
 use nvm_pmem::{Pmem, Region, RegionAllocator, CACHELINE};
 use nvm_table::probe::PathPlan;
 use nvm_table::{
-    CellArray, CellStore, ConsistencyMode, HashScheme, InsertError, Journal, PmemBitmap,
-    TableError, TableHeader,
+    BatchError, BatchSession, CellArray, CellStore, ConsistencyMode, HashScheme, InsertError,
+    Journal, PmemBitmap, TableError, TableHeader,
 };
 use std::collections::HashMap;
 use std::marker::PhantomData;
@@ -258,6 +258,24 @@ impl<P: Pmem, K: HashKey, V: Pod> PathHash<P, K, V> {
         found
     }
 
+    /// Group-commits a chunk of staged publishes, bumping the count by the
+    /// chunk size in the same commit. Returns the ops committed.
+    fn commit_insert_chunk(&mut self, pm: &mut P, sess: &mut BatchSession<K, V>) -> usize {
+        let n = sess.staged();
+        let count = self.header.count(pm) + n as u64;
+        sess.commit(pm, &mut self.journal, Some((self.header.count_off(), count)));
+        n
+    }
+
+    /// Group-commits a chunk of staged retracts, dropping the count by the
+    /// chunk size in the same commit. Returns the ops committed.
+    fn commit_remove_chunk(&mut self, pm: &mut P, sess: &mut BatchSession<K, V>) -> usize {
+        let n = sess.staged();
+        let count = self.header.count(pm) - n as u64;
+        sess.commit(pm, &mut self.journal, Some((self.header.count_off(), count)));
+        n
+    }
+
     /// Items stored per level (diagnostic).
     pub fn level_occupancy(&self, pm: &mut P) -> Vec<u64> {
         (0..self.plan.levels())
@@ -292,29 +310,58 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for PathHash<P, K, V> {
     }
 
     fn insert(&mut self, pm: &mut P, key: K, value: V) -> Result<(), InsertError> {
-        let store = self.store;
-        let mut probes = 0u64;
-        let mut occupied = 0u64;
-        let target = self.scan_paths(pm, &key, |pm, idx| {
-            probes += 1;
-            let free = !store.is_occupied(pm, idx);
-            if !free {
-                occupied += 1;
-            }
-            free
-        });
-        let Some(idx) = target else {
+        // A one-element batch: same path walk, same single-op trace.
+        self.insert_batch(pm, &[(key, value)]).map_err(|e| e.error)
+    }
+
+    /// Fence-coalesced batch insert: each key takes the first cell on its
+    /// two root-ward paths that is neither occupied nor claimed earlier in
+    /// the batch; the cell writes stage and the bit flips group-commit
+    /// (prefix durability; see [`BatchSession`]).
+    fn insert_batch(&mut self, pm: &mut P, items: &[(K, V)]) -> Result<(), BatchError> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let per_op = [self.store.cells.entry_len(), 8];
+        let chunk_cap = self.journal.ops_per_txn(&per_op, &[8]);
+        let mut sess = BatchSession::new();
+        let mut committed = 0usize;
+        let mut failure = None;
+        for (key, value) in items {
+            let store = self.store;
+            let mut probes = 0u64;
+            let mut occupied = 0u64;
+            let target = {
+                let overlay = &sess;
+                self.scan_paths(pm, key, |pm, idx| {
+                    probes += 1;
+                    let free = store.is_free_for(pm, overlay, idx);
+                    if !free {
+                        occupied += 1;
+                    }
+                    free
+                })
+            };
             self.note_insert(probes, occupied);
-            return Err(InsertError::TableFull);
-        };
-        self.journal.begin(pm);
-        self.store
-            .stage_publish(pm, &mut self.journal, idx, Some(self.header.count_off()));
-        self.store.publish(pm, idx, &key, &value);
-        self.header.inc_count(pm);
-        self.journal.commit(pm);
-        self.note_insert(probes, occupied);
-        Ok(())
+            let Some(idx) = target else {
+                failure = Some(InsertError::TableFull);
+                break;
+            };
+            if sess.is_empty() {
+                self.journal.begin(pm);
+            }
+            sess.stage_publish(pm, &mut self.journal, self.store, idx, key, value);
+            if sess.staged() >= chunk_cap {
+                committed += self.commit_insert_chunk(pm, &mut sess);
+            }
+        }
+        if !sess.is_empty() {
+            committed += self.commit_insert_chunk(pm, &mut sess);
+        }
+        match failure {
+            Some(error) => Err(BatchError { committed, error }),
+            None => Ok(()),
+        }
     }
 
     fn get(&self, pm: &mut P, key: &K) -> Option<V> {
@@ -322,16 +369,38 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for PathHash<P, K, V> {
     }
 
     fn remove(&mut self, pm: &mut P, key: &K) -> bool {
-        let Some(idx) = self.find(pm, key) else {
-            return false;
-        };
-        self.journal.begin(pm);
-        self.store
-            .stage_retract(pm, &mut self.journal, idx, Some(self.header.count_off()));
-        self.store.retract(pm, idx);
-        self.header.dec_count(pm);
-        self.journal.commit(pm);
-        true
+        self.remove_batch(pm, std::slice::from_ref(key)) == 1
+    }
+
+    /// Fence-coalesced batch remove: retracts stage (bit clears stay in
+    /// batch order at commit) and the count moves once per chunk.
+    fn remove_batch(&mut self, pm: &mut P, keys: &[K]) -> usize {
+        if keys.is_empty() {
+            return 0;
+        }
+        let per_op = [8, self.store.cells.entry_len()];
+        let chunk_cap = self.journal.ops_per_txn(&per_op, &[8]);
+        let mut sess = BatchSession::new();
+        let mut removed = 0usize;
+        for key in keys {
+            let Some(idx) = self.find(pm, key) else {
+                continue;
+            };
+            if sess.is_retracted(&self.store, idx) {
+                continue; // duplicate key in the batch
+            }
+            if sess.is_empty() {
+                self.journal.begin(pm);
+            }
+            sess.stage_retract(pm, &mut self.journal, self.store, idx);
+            if sess.staged() >= chunk_cap {
+                removed += self.commit_remove_chunk(pm, &mut sess);
+            }
+        }
+        if !sess.is_empty() {
+            removed += self.commit_remove_chunk(pm, &mut sess);
+        }
+        removed
     }
 
     fn len(&self, pm: &mut P) -> u64 {
@@ -348,13 +417,13 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for PathHash<P, K, V> {
         self.header.set_count(pm, count);
     }
 
-    fn check_consistency(&self, pm: &mut P) -> Result<(), String> {
+    fn check_consistency(&self, pm: &mut P) -> Result<(), TableError> {
         let mut occupied = 0u64;
         let mut seen: HashMap<Vec<u8>, u64> = HashMap::new();
         for i in 0..self.capacity() {
             if !self.store.is_occupied(pm, i) {
                 if !self.store.cells.is_zeroed(pm, i) {
-                    return Err(format!("empty cell {i} not zeroed"));
+                    return Err(TableError::Corrupt(format!("empty cell {i} not zeroed")));
                 }
                 continue;
             }
@@ -364,17 +433,23 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for PathHash<P, K, V> {
             let (l1, l2) = self.leaves_of(&key);
             if !self.plan.on_path(l1, i) && !self.plan.on_path(l2, i) {
                 let level = self.plan.level_of_cell(i);
-                return Err(format!("cell {i} (level {level}) not on its key's paths"));
+                return Err(TableError::Corrupt(format!(
+                    "cell {i} (level {level}) not on its key's paths"
+                )));
             }
             let mut kb = vec![0u8; K::SIZE];
             key.write_to(&mut kb);
             if let Some(prev) = seen.insert(kb, i) {
-                return Err(format!("duplicate key in cells {prev} and {i}"));
+                return Err(TableError::Corrupt(format!(
+                    "duplicate key in cells {prev} and {i}"
+                )));
             }
         }
         let count = self.len(pm);
         if count != occupied {
-            return Err(format!("count {count} != occupied {occupied}"));
+            return Err(TableError::Corrupt(format!(
+                "count {count} != occupied {occupied}"
+            )));
         }
         Ok(())
     }

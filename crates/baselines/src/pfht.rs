@@ -21,8 +21,8 @@ use nvm_metrics::SchemeInstrumentation;
 use nvm_pmem::{Pmem, Region, RegionAllocator, CACHELINE};
 use nvm_table::probe::PfhtPlan;
 use nvm_table::{
-    CellArray, CellStore, ConsistencyMode, HashScheme, InsertError, Journal, PmemBitmap,
-    TableError, TableHeader,
+    BatchError, BatchSession, CellArray, CellStore, ConsistencyMode, HashScheme, InsertError,
+    Journal, PmemBitmap, TableError, TableHeader,
 };
 use std::collections::HashMap;
 use std::marker::PhantomData;
@@ -251,6 +251,114 @@ impl<P: Pmem, K: HashKey, V: Pod> Pfht<P, K, V> {
             .find_zero_in_range(pm, self.plan.cell(b, 0), BUCKET_CELLS)
     }
 
+    /// Overlay-aware variant of [`Pfht::free_slot_in`]: cells claimed by
+    /// an in-flight batch session count as occupied.
+    fn free_slot_for(&self, pm: &mut P, sess: &BatchSession<K, V>, b: u64) -> Option<u64> {
+        (0..BUCKET_CELLS)
+            .map(|s| self.plan.cell(b, s))
+            .find(|&idx| self.store.is_free_for(pm, sess, idx))
+    }
+
+    /// Group-commits a chunk of staged publishes, bumping the count by the
+    /// chunk size in the same commit. Returns the ops committed.
+    fn commit_insert_chunk(&mut self, pm: &mut P, sess: &mut BatchSession<K, V>) -> usize {
+        let n = sess.staged();
+        let count = self.header.count(pm) + n as u64;
+        sess.commit(pm, &mut self.journal, Some((self.header.count_off(), count)));
+        n
+    }
+
+    /// Group-commits a chunk of staged retracts, dropping the count by the
+    /// chunk size in the same commit. Returns the ops committed.
+    fn commit_remove_chunk(&mut self, pm: &mut P, sess: &mut BatchSession<K, V>) -> usize {
+        let n = sess.staged();
+        let count = self.header.count(pm) - n as u64;
+        sess.commit(pm, &mut self.journal, Some((self.header.count_off(), count)));
+        n
+    }
+
+    /// The full single-op insert: free slot in either bucket, else at most
+    /// one displacement, else the stash. [`HashScheme::insert`] and the
+    /// displacement fallback of [`HashScheme::insert_batch`] both land
+    /// here; the displacement and stash arms rewrite live cells and so can
+    /// never be staged into a batch session.
+    fn insert_one(&mut self, pm: &mut P, key: &K, value: &V) -> Result<(), InsertError> {
+        let (b1, b2) = self.buckets_of(key);
+        let mut probes = 0u64;
+        let mut occupied = 0u64;
+
+        // 1. A free slot in either candidate bucket.
+        for b in [b1, b2] {
+            if let Some(idx) = self.free_slot_in(pm, b) {
+                // Cells before the first free slot are occupied.
+                let off = idx - self.plan.cell(b, 0);
+                self.journal.begin(pm);
+                self.place(pm, idx, key, value);
+                self.journal.commit(pm);
+                self.note_insert(probes + off + 1, occupied + off, 0);
+                return Ok(());
+            }
+            probes += BUCKET_CELLS;
+            occupied += BUCKET_CELLS;
+        }
+
+        // 2. At most one displacement: move some resident of b1 or b2 to
+        //    its alternate bucket if that has room.
+        for b in [b1, b2] {
+            for s in 0..BUCKET_CELLS {
+                let idx = self.plan.cell(b, s);
+                let resident = self.store.read_key(pm, idx);
+                probes += 1;
+                let (r1, r2) = self.buckets_of(&resident);
+                let alt = if r1 == b { r2 } else { r1 };
+                if alt == b {
+                    continue; // both hashes map here; cannot move
+                }
+                if let Some(alt_idx) = self.free_slot_in(pm, alt) {
+                    let alt_off = alt_idx - self.plan.cell(alt, 0);
+                    probes += alt_off + 1;
+                    occupied += alt_off;
+                    self.journal.begin(pm);
+                    // Move resident to its alternate bucket (write first,
+                    // then flip bits — the new copy is durable before the
+                    // old disappears).
+                    let rv = self.store.read_value(pm, idx);
+                    self.store
+                        .stage_publish(pm, &mut self.journal, alt_idx, None);
+                    self.store.publish(pm, alt_idx, &resident, &rv);
+                    self.journal
+                        .record_sealed(pm, self.store.bitmap.word_off_of(idx), 8);
+                    self.store.bitmap.set_and_persist(pm, idx, false);
+                    // Place the new item in the freed slot.
+                    self.place(pm, idx, key, value);
+                    self.journal.commit(pm);
+                    self.note_insert(probes, occupied, 1);
+                    return Ok(());
+                }
+                probes += BUCKET_CELLS;
+                occupied += BUCKET_CELLS;
+            }
+        }
+
+        // 3. Stash.
+        let base = self.plan.stash_base();
+        if let Some(idx) =
+            self.store
+                .bitmap
+                .find_zero_in_range(pm, base, self.plan.stash_cells())
+        {
+            let off = idx - base;
+            self.journal.begin(pm);
+            self.place(pm, idx, key, value);
+            self.journal.commit(pm);
+            self.note_insert(probes + off + 1, occupied + off, 0);
+            return Ok(());
+        }
+        let stash_cells = self.plan.stash_cells();
+        self.note_insert(probes + stash_cells, occupied + stash_cells, 0);
+        Err(InsertError::TableFull)
+    }
+
     /// Writes `(key, value)` into `idx` with the usual commit sequence
     /// (inside the caller's open journal transaction).
     fn place(&mut self, pm: &mut P, idx: u64, key: &K, value: &V) {
@@ -318,80 +426,69 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for Pfht<P, K, V> {
     }
 
     fn insert(&mut self, pm: &mut P, key: K, value: V) -> Result<(), InsertError> {
-        let (b1, b2) = self.buckets_of(&key);
-        let mut probes = 0u64;
-        let mut occupied = 0u64;
+        // A one-element batch reproduces the old single-op trace: a free
+        // bucket slot stages + commits with the count in one session, and
+        // the displacement/stash arms fall through to `insert_one`.
+        self.insert_batch(pm, &[(key, value)]).map_err(|e| e.error)
+    }
 
-        // 1. A free slot in either candidate bucket.
-        for b in [b1, b2] {
-            if let Some(idx) = self.free_slot_in(pm, b) {
-                // Cells before the first free slot are occupied.
-                let off = idx - self.plan.cell(b, 0);
-                self.journal.begin(pm);
-                self.place(pm, idx, &key, &value);
-                self.journal.commit(pm);
-                self.note_insert(probes + off + 1, occupied + off, 0);
-                return Ok(());
-            }
-            probes += BUCKET_CELLS;
-            occupied += BUCKET_CELLS;
-        }
-
-        // 2. At most one displacement: move some resident of b1 or b2 to
-        //    its alternate bucket if that has room.
-        for b in [b1, b2] {
-            for s in 0..BUCKET_CELLS {
-                let idx = self.plan.cell(b, s);
-                let resident = self.store.read_key(pm, idx);
-                probes += 1;
-                let (r1, r2) = self.buckets_of(&resident);
-                let alt = if r1 == b { r2 } else { r1 };
-                if alt == b {
-                    continue; // both hashes map here; cannot move
-                }
-                if let Some(alt_idx) = self.free_slot_in(pm, alt) {
-                    let alt_off = alt_idx - self.plan.cell(alt, 0);
-                    probes += alt_off + 1;
-                    occupied += alt_off;
-                    self.journal.begin(pm);
-                    // Move resident to its alternate bucket (write first,
-                    // then flip bits — the new copy is durable before the
-                    // old disappears).
-                    let rv = self.store.read_value(pm, idx);
-                    self.store
-                        .stage_publish(pm, &mut self.journal, alt_idx, None);
-                    self.store.publish(pm, alt_idx, &resident, &rv);
-                    self.journal
-                        .record_sealed(pm, self.store.bitmap.word_off_of(idx), 8);
-                    self.store.bitmap.set_and_persist(pm, idx, false);
-                    // Place the new item in the freed slot.
-                    self.place(pm, idx, &key, &value);
-                    self.journal.commit(pm);
-                    self.note_insert(probes, occupied, 1);
-                    return Ok(());
-                }
-                probes += BUCKET_CELLS;
-                occupied += BUCKET_CELLS;
-            }
-        }
-
-        // 3. Stash.
-        let base = self.plan.stash_base();
-        if let Some(idx) =
-            self.store
-                .bitmap
-                .find_zero_in_range(pm, base, self.plan.stash_cells())
-        {
-            let off = idx - base;
-            self.journal.begin(pm);
-            self.place(pm, idx, &key, &value);
-            self.journal.commit(pm);
-            self.note_insert(probes + off + 1, occupied + off, 0);
+    /// Fence-coalesced batch insert. Keys whose candidate buckets have a
+    /// free slot (treating cells claimed earlier in the batch as occupied)
+    /// are staged and group-committed; a key needing a displacement or the
+    /// stash first commits the staged prefix, then runs the single-op path
+    /// — prefix durability holds either way.
+    fn insert_batch(&mut self, pm: &mut P, items: &[(K, V)]) -> Result<(), BatchError> {
+        if items.is_empty() {
             return Ok(());
         }
-        let stash_cells = self.plan.stash_cells();
-        self.note_insert(probes + stash_cells, occupied + stash_cells, 0);
-        Err(InsertError::TableFull)
+        let per_op = [self.store.cells.entry_len(), 8];
+        let chunk_cap = self.journal.ops_per_txn(&per_op, &[8]);
+        let mut sess = BatchSession::new();
+        let mut committed = 0usize;
+        let mut failure = None;
+        for (key, value) in items {
+            let (b1, b2) = self.buckets_of(key);
+            let mut slot = None;
+            let mut skipped = 0u64;
+            for b in [b1, b2] {
+                if let Some(idx) = self.free_slot_for(pm, &sess, b) {
+                    slot = Some((idx, skipped + (idx - self.plan.cell(b, 0))));
+                    break;
+                }
+                skipped += BUCKET_CELLS;
+            }
+            if let Some((idx, off)) = slot {
+                self.note_insert(off + 1, off, 0);
+                if sess.is_empty() {
+                    self.journal.begin(pm);
+                }
+                sess.stage_publish(pm, &mut self.journal, self.store, idx, key, value);
+                if sess.staged() >= chunk_cap {
+                    committed += self.commit_insert_chunk(pm, &mut sess);
+                }
+                continue;
+            }
+            // Both buckets full: the displacement/stash path rewrites live
+            // cells and cannot be staged. Commit the batch prefix so its
+            // claims become real occupancy, then run the single-op insert.
+            if !sess.is_empty() {
+                committed += self.commit_insert_chunk(pm, &mut sess);
+            }
+            match self.insert_one(pm, key, value) {
+                Ok(()) => committed += 1,
+                Err(error) => {
+                    failure = Some(error);
+                    break;
+                }
+            }
+        }
+        if !sess.is_empty() {
+            committed += self.commit_insert_chunk(pm, &mut sess);
+        }
+        match failure {
+            Some(error) => Err(BatchError { committed, error }),
+            None => Ok(()),
+        }
     }
 
     fn get(&self, pm: &mut P, key: &K) -> Option<V> {
@@ -399,16 +496,38 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for Pfht<P, K, V> {
     }
 
     fn remove(&mut self, pm: &mut P, key: &K) -> bool {
-        let Some(idx) = self.find(pm, key) else {
-            return false;
-        };
-        self.journal.begin(pm);
-        self.store
-            .stage_retract(pm, &mut self.journal, idx, Some(self.header.count_off()));
-        self.store.retract(pm, idx);
-        self.header.dec_count(pm);
-        self.journal.commit(pm);
-        true
+        self.remove_batch(pm, std::slice::from_ref(key)) == 1
+    }
+
+    /// Fence-coalesced batch remove: retracts stage (bit clears stay in
+    /// batch order at commit) and the count moves once per chunk.
+    fn remove_batch(&mut self, pm: &mut P, keys: &[K]) -> usize {
+        if keys.is_empty() {
+            return 0;
+        }
+        let per_op = [8, self.store.cells.entry_len()];
+        let chunk_cap = self.journal.ops_per_txn(&per_op, &[8]);
+        let mut sess = BatchSession::new();
+        let mut removed = 0usize;
+        for key in keys {
+            let Some(idx) = self.find(pm, key) else {
+                continue;
+            };
+            if sess.is_retracted(&self.store, idx) {
+                continue; // duplicate key in the batch
+            }
+            if sess.is_empty() {
+                self.journal.begin(pm);
+            }
+            sess.stage_retract(pm, &mut self.journal, self.store, idx);
+            if sess.staged() >= chunk_cap {
+                removed += self.commit_remove_chunk(pm, &mut sess);
+            }
+        }
+        if !sess.is_empty() {
+            removed += self.commit_remove_chunk(pm, &mut sess);
+        }
+        removed
     }
 
     fn len(&self, pm: &mut P) -> u64 {
@@ -425,7 +544,7 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for Pfht<P, K, V> {
         self.header.set_count(pm, count);
     }
 
-    fn check_consistency(&self, pm: &mut P) -> Result<(), String> {
+    fn check_consistency(&self, pm: &mut P) -> Result<(), TableError> {
         let mut occupied = 0u64;
         let mut seen: HashMap<Vec<u8>, u64> = HashMap::new();
         let total = self.capacity();
@@ -433,7 +552,7 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for Pfht<P, K, V> {
         for i in 0..total {
             if !self.store.is_occupied(pm, i) {
                 if !self.store.cells.is_zeroed(pm, i) {
-                    return Err(format!("empty cell {i} not zeroed"));
+                    return Err(TableError::Corrupt(format!("empty cell {i} not zeroed")));
                 }
                 continue;
             }
@@ -443,20 +562,24 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for Pfht<P, K, V> {
                 let b = i / BUCKET_CELLS;
                 let (b1, b2) = self.buckets_of(&key);
                 if b != b1 && b != b2 {
-                    return Err(format!(
+                    return Err(TableError::Corrupt(format!(
                         "cell {i}: key belongs to buckets {b1}/{b2}, found in {b}"
-                    ));
+                    )));
                 }
             }
             let mut kb = vec![0u8; K::SIZE];
             key.write_to(&mut kb);
             if let Some(prev) = seen.insert(kb, i) {
-                return Err(format!("duplicate key in cells {prev} and {i}"));
+                return Err(TableError::Corrupt(format!(
+                    "duplicate key in cells {prev} and {i}"
+                )));
             }
         }
         let count = self.len(pm);
         if count != occupied {
-            return Err(format!("count {count} != occupied {occupied}"));
+            return Err(TableError::Corrupt(format!(
+                "count {count} != occupied {occupied}"
+            )));
         }
         Ok(())
     }

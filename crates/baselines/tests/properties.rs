@@ -53,7 +53,7 @@ fn drive<S: HashScheme<SimPmem, u64, u64>>(
         }
     }
     prop_assert_eq!(table.len(pm), oracle.len() as u64);
-    table.check_consistency(pm).map_err(TestCaseError::fail)?;
+    table.check_consistency(pm).map_err(|e| TestCaseError::fail(e.to_string()))?;
     Ok(())
 }
 
@@ -114,7 +114,7 @@ proptest! {
         for (i, &k) in keys.iter().enumerate() {
             if i % drop_every == 0 {
                 prop_assert!(t.remove(&mut pm, &k));
-                t.check_consistency(&mut pm).map_err(TestCaseError::fail)?;
+                t.check_consistency(&mut pm).map_err(|e| TestCaseError::fail(e.to_string()))?;
             }
         }
         for (i, &k) in keys.iter().enumerate() {
@@ -152,6 +152,6 @@ proptest! {
         for (&k, &v) in &present {
             prop_assert_eq!(t.get(&mut pm, &k), Some(v));
         }
-        t.check_consistency(&mut pm).map_err(TestCaseError::fail)?;
+        t.check_consistency(&mut pm).map_err(|e| TestCaseError::fail(e.to_string()))?;
     }
 }

@@ -1,0 +1,66 @@
+//! Batched inserts vs one-by-one inserts (tentpole write path).
+//!
+//! `insert_batch` stages K cell writes behind one shared drain fence
+//! and one count commit, so a K-op batch pays K + 2 fences instead of
+//! 3K. On hardware where the fence (and its write-queue drain) is the
+//! dominant insert cost, throughput should approach 3x single-op as K
+//! grows; journal chunking caps the win for undo-logged schemes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gh_bench::BENCH_NVM_NS;
+use group_hash::{GroupHash, GroupHashConfig};
+use nvm_pmem::{RealPmem, Region};
+use nvm_traces::{RandomNum, Trace};
+
+fn build_empty(cells_per_level: u64) -> (RealPmem, GroupHash<RealPmem, u64, u64>) {
+    let cfg = GroupHashConfig::new(cells_per_level, 256.min(cells_per_level));
+    let size = GroupHash::<RealPmem, u64, u64>::required_size(&cfg);
+    let mut pm = RealPmem::with_write_latency(size, BENCH_NVM_NS);
+    let t = GroupHash::create(&mut pm, Region::new(0, size), cfg).unwrap();
+    (pm, t)
+}
+
+fn bench_batch_vs_single(c: &mut Criterion) {
+    let cells_per_level = 1u64 << 13;
+    let n_entries = (cells_per_level / 2) as usize; // LF 0.25 overall
+    let entries: Vec<(u64, u64)> = RandomNum::new(7)
+        .take_keys(n_entries)
+        .into_iter()
+        .map(|k| (k, k ^ 0xFF))
+        .collect();
+
+    let mut g = c.benchmark_group("batch_commit");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n_entries as u64));
+
+    g.bench_with_input(BenchmarkId::new("single", 1), &entries, |b, entries| {
+        b.iter(|| {
+            let (mut pm, mut t) = build_empty(cells_per_level);
+            for &(k, v) in entries {
+                t.insert(&mut pm, k, v).unwrap();
+            }
+            t
+        })
+    });
+
+    for batch in [16usize, 64, 256] {
+        g.bench_with_input(
+            BenchmarkId::new("batched", batch),
+            &entries,
+            |b, entries| {
+                b.iter(|| {
+                    let (mut pm, mut t) = build_empty(cells_per_level);
+                    for chunk in entries.chunks(batch) {
+                        t.insert_batch(&mut pm, chunk).unwrap();
+                    }
+                    t
+                })
+            },
+        );
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_batch_vs_single);
+criterion_main!(benches);

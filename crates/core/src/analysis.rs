@@ -3,6 +3,7 @@
 use crate::table::GroupHash;
 use nvm_hashfn::{HashKey, Pod};
 use nvm_pmem::Pmem;
+use nvm_table::TableError;
 use std::collections::HashMap;
 
 /// Occupancy of one group.
@@ -101,10 +102,12 @@ impl TableAnalysis {
 /// 5. no key appears twice;
 /// 6. under [`FpMode::On`](crate::FpMode), the volatile fingerprint cache
 ///    agrees with the pool for every occupied cell.
+///
+/// The first violation comes back as [`TableError::Corrupt`].
 pub fn check_consistency<P: Pmem, K: HashKey, V: Pod>(
     table: &GroupHash<P, K, V>,
     pm: &mut P,
-) -> Result<(), String> {
+) -> Result<(), TableError> {
     let (config, bitmap1, bitmap2, cells1, cells2) = table.parts();
     let n = config.cells_per_level;
     let gs = config.group_size;
@@ -124,15 +127,19 @@ pub fn check_consistency<P: Pmem, K: HashKey, V: Pod>(
             let want1 = table.slot_of(&key);
             let want2 = table.slot2_of(&key);
             if want1 != i && want2 != Some(i) {
-                return Err(format!(
+                return Err(TableError::Corrupt(format!(
                     "level-1 cell {i} holds a key that hashes to slot {want1} ({want2:?})"
-                ));
+                )));
             }
             if let Some(prev) = seen.insert(key_bytes(&key), i) {
-                return Err(format!("duplicate key in cells {prev} and {i} (level 1)"));
+                return Err(TableError::Corrupt(format!(
+                    "duplicate key in cells {prev} and {i} (level 1)"
+                )));
             }
         } else if !cells1.is_zeroed(pm, i) {
-            return Err(format!("empty level-1 cell {i} is not zeroed"));
+            return Err(TableError::Corrupt(format!(
+                "empty level-1 cell {i} is not zeroed"
+            )));
         }
 
         if bitmap2.get(pm, i) {
@@ -142,26 +149,28 @@ pub fn check_consistency<P: Pmem, K: HashKey, V: Pod>(
             let g2 = table.slot2_of(&key).map(|s| s / gs);
             let cell_group = table.group_of_l2_cell(i);
             if g1 != cell_group && g2 != Some(cell_group) {
-                return Err(format!(
+                return Err(TableError::Corrupt(format!(
                     "level-2 cell {i} (group {cell_group}) holds a key of group {g1} ({g2:?})"
-                ));
+                )));
             }
             if let Some(prev) = seen.insert(key_bytes(&key), n + i) {
-                return Err(format!(
+                return Err(TableError::Corrupt(format!(
                     "duplicate key in cells {prev} and {} (level 2)",
                     n + i
-                ));
+                )));
             }
         } else if !cells2.is_zeroed(pm, i) {
-            return Err(format!("empty level-2 cell {i} is not zeroed"));
+            return Err(TableError::Corrupt(format!(
+                "empty level-2 cell {i} is not zeroed"
+            )));
         }
     }
 
     let count = table.len(pm);
     if count != occupied {
-        return Err(format!(
+        return Err(TableError::Corrupt(format!(
             "count field says {count}, bitmaps say {occupied}"
-        ));
+        )));
     }
     table.verify_fp_cache(pm)
 }
@@ -209,7 +218,7 @@ mod tests {
         // count lives at header offset +16; header starts at region offset 0.
         nvm_pmem::Pmem::atomic_write_u64(&mut pm, 16, 5);
         let err = t.check_consistency(&mut pm).unwrap_err();
-        assert!(err.contains("count"), "{err}");
+        assert!(err.to_string().contains("count"), "{err}");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::table::GroupHash;
 use nvm_hashfn::{HashKey, Pod, SplitMix64};
 use nvm_metrics::SchemeInstrumentation;
 use nvm_pmem::{Pmem, Region};
-use nvm_table::{HashScheme, InsertError, TableError};
+use nvm_table::{BatchError, HashScheme, InsertError, TableError};
 use parking_lot::Mutex;
 
 struct Shard<P: Pmem, K: HashKey, V: Pod> {
@@ -88,6 +88,56 @@ impl<P: Pmem, K: HashKey, V: Pod> ShardedGroupHash<P, K, V> {
         table.remove(pm, key)
     }
 
+    /// Inserts every `(key, value)`, splitting the batch by owning shard
+    /// and group-committing each shard's sub-batch under its lock, so the
+    /// fence amortization happens per shard. Sub-batches run in shard
+    /// order — on failure [`BatchError::committed`] counts ops durably
+    /// applied across all shards, and the durable set is a union of
+    /// per-shard prefixes of `items`, not a single global prefix.
+    pub fn insert_batch(&self, items: &[(K, V)]) -> Result<(), BatchError> {
+        let mut by_shard: Vec<Vec<(K, V)>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for item in items {
+            by_shard[self.shard_of(&item.0)].push(*item);
+        }
+        let mut committed = 0usize;
+        for (i, sub) in by_shard.into_iter().enumerate() {
+            if sub.is_empty() {
+                continue;
+            }
+            let mut s = self.shards[i].lock();
+            let Shard { pm, table } = &mut *s;
+            match table.insert_batch(pm, &sub) {
+                Ok(()) => committed += sub.len(),
+                Err(e) => {
+                    return Err(BatchError {
+                        committed: committed + e.committed,
+                        error: e.error,
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes every key, split by owning shard like
+    /// [`ShardedGroupHash::insert_batch`]; returns how many were present.
+    pub fn remove_batch(&self, keys: &[K]) -> usize {
+        let mut by_shard: Vec<Vec<K>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for key in keys {
+            by_shard[self.shard_of(key)].push(*key);
+        }
+        let mut removed = 0usize;
+        for (i, sub) in by_shard.into_iter().enumerate() {
+            if sub.is_empty() {
+                continue;
+            }
+            let mut s = self.shards[i].lock();
+            let Shard { pm, table } = &mut *s;
+            removed += table.remove_batch(pm, &sub);
+        }
+        removed
+    }
+
     /// Inserts `(key, value)` only if `key` is absent (atomic per shard:
     /// the probe and the insert happen under the owning shard's lock).
     pub fn insert_unique(&self, key: K, value: V) -> Result<(), InsertError> {
@@ -150,12 +200,14 @@ impl<P: Pmem, K: HashKey, V: Pod> ShardedGroupHash<P, K, V> {
         agg
     }
 
-    /// Checks consistency of every shard.
-    pub fn check_consistency(&self) -> Result<(), String> {
+    /// Checks consistency of every shard; the first violation comes back
+    /// as [`TableError::Corrupt`], prefixed with the shard number.
+    pub fn check_consistency(&self) -> Result<(), TableError> {
         for (i, s) in self.shards.iter().enumerate() {
             let mut s = s.lock();
             let Shard { pm, table } = &mut *s;
-            crate::analysis::check_consistency(table, pm).map_err(|e| format!("shard {i}: {e}"))?;
+            crate::analysis::check_consistency(table, pm)
+                .map_err(|e| TableError::Corrupt(format!("shard {i}: {e}")))?;
         }
         Ok(())
     }
@@ -339,6 +391,22 @@ mod tests {
             assert_eq!(t.get(&k), Some(k));
         }
         // check_consistency verifies the per-shard fingerprint caches.
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn batched_ops_split_by_shard() {
+        let t = build(4);
+        let items: Vec<(u64, u64)> = (0..600u64).map(|k| (k, k * 3)).collect();
+        t.insert_batch(&items).unwrap();
+        assert_eq!(t.len(), 600);
+        for k in 0..600u64 {
+            assert_eq!(t.get(&k), Some(k * 3));
+        }
+        let keys: Vec<u64> = (0..300u64).collect();
+        assert_eq!(t.remove_batch(&keys), 300);
+        assert_eq!(t.len(), 300);
+        assert_eq!(t.remove_batch(&keys), 0, "already removed");
         t.check_consistency().unwrap();
     }
 

@@ -100,9 +100,16 @@ impl GroupHashConfig {
     /// The paper's default group size.
     pub const DEFAULT_GROUP_SIZE: u64 = 256;
 
-    /// Paper defaults sized for `total_cells` cells across both levels.
-    pub fn for_total_cells(total_cells: u64) -> Self {
-        assert!(total_cells >= 2, "need at least two cells");
+    /// Paper defaults sized for `total_cells` cells across both levels,
+    /// routed through [`GroupHashConfig::build`] like every other
+    /// constructor path (it used to `assert!` its precondition and skip
+    /// validation entirely).
+    pub fn for_total_cells(total_cells: u64) -> Result<Self, TableError> {
+        if total_cells < 2 {
+            return Err(TableError::Config(format!(
+                "need at least two cells, got {total_cells}"
+            )));
+        }
         let per_level = (total_cells / 2).next_power_of_two();
         let per_level = if per_level > total_cells / 2 {
             per_level / 2
@@ -110,7 +117,7 @@ impl GroupHashConfig {
             per_level
         };
         let group = Self::DEFAULT_GROUP_SIZE.min(per_level);
-        GroupHashConfig::new(per_level.max(1), group.max(1))
+        GroupHashConfig::new(per_level.max(1), group.max(1)).build()
     }
 
     /// Overrides the seed.
@@ -147,6 +154,16 @@ impl GroupHashConfig {
     pub fn with_fp_mode(mut self, fp: FpMode) -> Self {
         self.fp = fp;
         self
+    }
+
+    /// Terminal step for builder chains: validates the geometry and hands
+    /// the config back. This is the single validated build point — every
+    /// constructor path funnels through it (`for_total_cells` internally;
+    /// `GroupHash::create`/`open` re-validate), so an invalid `new` +
+    /// `with_*` chain is caught before any pool bytes move.
+    pub fn build(self) -> Result<Self, TableError> {
+        self.validate()?;
+        Ok(self)
     }
 
     /// Validates the geometry.
@@ -249,15 +266,32 @@ mod tests {
 
     #[test]
     fn for_total_cells_halves() {
-        let c = GroupHashConfig::for_total_cells(1 << 20);
+        let c = GroupHashConfig::for_total_cells(1 << 20).unwrap();
         assert_eq!(c.cells_per_level, 1 << 19);
         assert_eq!(c.group_size, 256);
         c.validate().unwrap();
         // Tiny tables clamp the group size.
-        let tiny = GroupHashConfig::for_total_cells(64);
+        let tiny = GroupHashConfig::for_total_cells(64).unwrap();
         assert_eq!(tiny.cells_per_level, 32);
         assert_eq!(tiny.group_size, 32);
         tiny.validate().unwrap();
+    }
+
+    /// Regression: every constructor path reports invalid geometry as
+    /// `TableError::Config` instead of panicking or deferring to `create`.
+    #[test]
+    fn constructor_paths_are_validated() {
+        // for_total_cells used to assert!(total_cells >= 2).
+        assert!(matches!(
+            GroupHashConfig::for_total_cells(1),
+            Err(TableError::Config(_))
+        ));
+        GroupHashConfig::for_total_cells(2).unwrap().validate().unwrap();
+        // A with_* chain ending in build() catches bad geometry early.
+        let err = GroupHashConfig::new(1024, 100).with_seed(7).build();
+        assert!(matches!(err, Err(TableError::Config(_))));
+        let ok = GroupHashConfig::new(1024, 256).with_seed(7).build().unwrap();
+        assert_eq!(ok.seed, 7);
     }
 
     #[test]

@@ -22,8 +22,8 @@ use nvm_metrics::SchemeInstrumentation;
 use nvm_pmem::{Pmem, Region, RegionAllocator, CACHELINE};
 use nvm_table::probe::GroupPlan;
 use nvm_table::{
-    CellArray, CellStore, ConsistencyMode, HashScheme, InsertError, Journal, PmemBitmap,
-    TableError, TableHeader,
+    BatchError, CellArray, CellStore, ConsistencyMode, HashScheme, InsertError, Journal,
+    PmemBitmap, TableError, TableHeader,
 };
 use std::marker::PhantomData;
 
@@ -159,6 +159,17 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
         }
         #[cfg(not(feature = "instrument"))]
         let _ = (probes, occupied);
+    }
+
+    /// Records one completed batch entry point: ops committed and the
+    /// pmem fences/flushes its body spent (no-op without `instrument`).
+    /// Single ops route through a one-element batch and count here too.
+    #[inline]
+    fn note_batch(&self, ops: u64, fences: u64, flushes: u64) {
+        #[cfg(feature = "instrument")]
+        self.instr.batch.record(ops, fences, flushes);
+        #[cfg(not(feature = "instrument"))]
+        let _ = (ops, fences, flushes);
     }
 
     /// Records key loads issued from the pool by a lookup-style probe
@@ -413,6 +424,14 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for GroupHash<P, K, V> {
         GroupHash::remove(self, pm, key)
     }
 
+    fn insert_batch(&mut self, pm: &mut P, items: &[(K, V)]) -> Result<(), BatchError> {
+        GroupHash::insert_batch(self, pm, items)
+    }
+
+    fn remove_batch(&mut self, pm: &mut P, keys: &[K]) -> usize {
+        GroupHash::remove_batch(self, pm, keys)
+    }
+
     fn len(&self, pm: &mut P) -> u64 {
         GroupHash::len(self, pm)
     }
@@ -425,7 +444,7 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for GroupHash<P, K, V> {
         GroupHash::recover(self, pm)
     }
 
-    fn check_consistency(&self, pm: &mut P) -> Result<(), String> {
+    fn check_consistency(&self, pm: &mut P) -> Result<(), TableError> {
         crate::analysis::check_consistency(self, pm)
     }
 

@@ -7,30 +7,38 @@
 //! through the commit choreography in `store.rs`.
 
 use super::{GroupHash, Level};
-use crate::config::ProbeLayout;
+use crate::config::{CountMode, ProbeLayout};
 use nvm_hashfn::{HashKey, Pod};
 use nvm_pmem::Pmem;
 use nvm_table::probe::match_bits;
-use nvm_table::InsertError;
+use nvm_table::{BatchError, BatchSession, InsertError};
 
 impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
     /// Finds an empty level-2 cell in group `g`, honouring the probe
-    /// layout. Also returns how many cells were examined: the offset of
+    /// layout; cells claimed by a staged publish in `sess` count as
+    /// occupied. Also returns how many cells were examined: the offset of
     /// the free cell plus one, or the whole group on a miss (every cell
     /// examined before the free one is occupied, which is what the
     /// occupancy histogram records).
-    fn find_free_in_group(&self, pm: &mut P, g: u64) -> (Option<u64>, u64) {
+    fn find_free_in_group(
+        &self,
+        pm: &mut P,
+        sess: &BatchSession<K, V>,
+        g: u64,
+    ) -> (Option<u64>, u64) {
         match self.config.probe {
             ProbeLayout::Contiguous => {
                 let start = g * self.config.group_size;
-                match self
-                    .store2
-                    .bitmap
-                    .find_zero_in_range(pm, start, self.config.group_size)
-                {
-                    Some(idx) => (Some(idx), idx - start + 1),
-                    None => (None, self.config.group_size),
+                let end = start + self.config.group_size;
+                let mut cur = start;
+                while cur < end {
+                    match self.store2.bitmap.find_zero_in_range(pm, cur, end - cur) {
+                        Some(idx) if sess.is_claimed(&self.store2, idx) => cur = idx + 1,
+                        Some(idx) => return (Some(idx), idx - start + 1),
+                        None => break,
+                    }
                 }
+                (None, self.config.group_size)
             }
             ProbeLayout::Strided => {
                 // The stride is `n_groups`, so consecutive probe steps
@@ -48,7 +56,7 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
                             w
                         }
                     };
-                    if word >> (idx % 64) & 1 == 0 {
+                    if word >> (idx % 64) & 1 == 0 && !sess.is_claimed(&self.store2, idx) {
                         return (Some(idx), i + 1);
                     }
                 }
@@ -201,46 +209,51 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
         super::probe::candidate_slots(&self.hash, &self.config, key)
     }
 
-    /// Algorithm 1 (with the §4.4 two-choice extension when configured:
-    /// try the second slot and the second matched group before giving up).
-    pub fn insert(&mut self, pm: &mut P, key: K, value: V) -> Result<(), InsertError> {
-        let (k1, k2) = self.candidate_slots(&key);
+    /// Algorithm 1's placement decision (with the §4.4 two-choice
+    /// extension when configured: try the second slot and the second
+    /// matched group before giving up), planned against the committed bits
+    /// *plus* `sess`'s staged claims so a batch never places two keys in
+    /// one cell. Pure reads — records the insert's probe/occupancy sample
+    /// but writes nothing.
+    fn plan_insert(
+        &self,
+        pm: &mut P,
+        sess: &BatchSession<K, V>,
+        key: &K,
+    ) -> Result<(Level, u64), InsertError> {
+        let (k1, k2) = self.candidate_slots(key);
         let mut probes = 1u64; // the k1 slot check
-        if !self.store1.is_occupied(pm, k1) {
-            self.commit_insert(pm, Level::One, k1, &key, &value);
+        if self.store1.is_free_for(pm, sess, k1) {
             self.note_insert(probes, 0);
-            return Ok(());
+            return Ok((Level::One, k1));
         }
         if let Some(k2) = k2 {
             probes += 1;
-            if !self.store1.is_occupied(pm, k2) {
-                self.commit_insert(pm, Level::One, k2, &key, &value);
+            if self.store1.is_free_for(pm, sess, k2) {
                 self.note_insert(probes, 1);
-                return Ok(());
+                return Ok((Level::One, k2));
             }
         }
         // Occupied cells stepped over so far: every checked level-1 slot.
         let mut occupied = probes;
         let g1 = self.group_of(k1);
-        let (free, examined) = self.find_free_in_group(pm, g1);
+        let (free, examined) = self.find_free_in_group(pm, sess, g1);
         probes += examined;
         if let Some(idx) = free {
             occupied += examined - 1;
-            self.commit_insert(pm, Level::Two, idx, &key, &value);
             self.note_insert(probes, occupied);
-            return Ok(());
+            return Ok((Level::Two, idx));
         }
         occupied += examined;
         if let Some(k2) = k2 {
             let g2 = self.group_of(k2);
             if g2 != g1 {
-                let (free, examined) = self.find_free_in_group(pm, g2);
+                let (free, examined) = self.find_free_in_group(pm, sess, g2);
                 probes += examined;
                 if let Some(idx) = free {
                     occupied += examined - 1;
-                    self.commit_insert(pm, Level::Two, idx, &key, &value);
                     self.note_insert(probes, occupied);
-                    return Ok(());
+                    return Ok((Level::Two, idx));
                 }
                 occupied += examined;
             }
@@ -249,6 +262,65 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
         // capacity of the hash table needs to be expanded."
         self.note_insert(probes, occupied);
         Err(InsertError::TableFull)
+    }
+
+    /// Algorithm 1: a one-element batch, reproducing the paper's 3-flush /
+    /// 3-fence / 2-atomic single-op trace event for event.
+    pub fn insert(&mut self, pm: &mut P, key: K, value: V) -> Result<(), InsertError> {
+        self.insert_batch(pm, &[(key, value)]).map_err(|e| e.error)
+    }
+
+    /// Batched Algorithm 1 with fence coalescing: each op is planned
+    /// against the committed bits plus the batch's staged claims, its cell
+    /// write is staged, and the commits are grouped so `K` inserts cost
+    /// `K + 2` fences instead of `3K` — while keeping each op's 8-byte
+    /// bitmap flip individually failure-atomic (prefix durability; see
+    /// [`BatchSession`]). Under the forced-logging ablation the batch is
+    /// split into log-capacity chunks, each an all-or-nothing transaction.
+    ///
+    /// On `TableFull` the already-staged prefix is committed before
+    /// returning; [`BatchError::committed`] reports its length.
+    pub fn insert_batch(&mut self, pm: &mut P, items: &[(K, V)]) -> Result<(), BatchError> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let base = *pm.stats();
+        let per_op = [self.store1.cells.entry_len(), 8];
+        let fixed: &[usize] = match self.config.count_mode {
+            CountMode::Persistent => &[8],
+            CountMode::Volatile => &[],
+        };
+        let chunk_cap = self.journal.ops_per_txn(&per_op, fixed);
+        let mut sess = BatchSession::new();
+        let mut committed = 0usize;
+        let mut failure = None;
+        for (key, value) in items {
+            match self.plan_insert(pm, &sess, key) {
+                Ok((level, idx)) => {
+                    self.stage_insert(pm, &mut sess, level, idx, key, value);
+                    if sess.staged() >= chunk_cap {
+                        let n = sess.staged();
+                        self.commit_batch(pm, &mut sess, n as i64);
+                        committed += n;
+                    }
+                }
+                Err(error) => {
+                    failure = Some(error);
+                    break;
+                }
+            }
+        }
+        if !sess.is_empty() {
+            let n = sess.staged();
+            self.commit_batch(pm, &mut sess, n as i64);
+            committed += n;
+        }
+        let spent = pm.stats().delta_since(&base);
+        self.note_batch(committed as u64, spent.fences, spent.flushes);
+        match failure {
+            Some(error) => Err(BatchError { committed, error }),
+            None => Ok(()),
+        }
     }
 
     /// Algorithm 2.
@@ -351,15 +423,51 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
         }
     }
 
-    /// Algorithm 3.
+    /// Algorithm 3: a one-element batch, reproducing the single-op trace.
     pub fn remove(&mut self, pm: &mut P, key: &K) -> bool {
-        match self.locate(pm, key) {
-            Some((level, idx)) => {
-                self.commit_delete(pm, level, idx);
-                true
-            }
-            None => false,
+        self.remove_batch(pm, std::slice::from_ref(key)) == 1
+    }
+
+    /// Batched Algorithm 3, same fence coalescing and prefix durability as
+    /// [`GroupHash::insert_batch`]. Returns how many keys were present
+    /// (and are now gone); when one key appears several times in `keys`,
+    /// at most one removal takes effect (there is only one cell to
+    /// retract — its bit stays set until the chunk commits).
+    pub fn remove_batch(&mut self, pm: &mut P, keys: &[K]) -> usize {
+        if keys.is_empty() {
+            return 0;
         }
+        let base = *pm.stats();
+        let per_op = [8, self.store1.cells.entry_len()];
+        let fixed: &[usize] = match self.config.count_mode {
+            CountMode::Persistent => &[8],
+            CountMode::Volatile => &[],
+        };
+        let chunk_cap = self.journal.ops_per_txn(&per_op, fixed);
+        let mut sess = BatchSession::new();
+        let mut removed = 0usize;
+        for key in keys {
+            let Some((level, idx)) = self.locate(pm, key) else {
+                continue;
+            };
+            if sess.is_retracted(&self.level_store(level), idx) {
+                continue; // duplicate key within the batch
+            }
+            self.stage_delete(pm, &mut sess, level, idx);
+            if sess.staged() >= chunk_cap {
+                let n = sess.staged();
+                self.commit_batch(pm, &mut sess, -(n as i64));
+                removed += n;
+            }
+        }
+        if !sess.is_empty() {
+            let n = sess.staged();
+            self.commit_batch(pm, &mut sess, -(n as i64));
+            removed += n;
+        }
+        let spent = pm.stats().delta_since(&base);
+        self.note_batch(removed as u64, spent.fences, spent.flushes);
+        removed
     }
 
     /// Algorithm 4: post-crash recovery. Scans the whole table, erases any

@@ -1,9 +1,10 @@
 //! Persistence choreography: how the group table commits.
 //!
-//! Both mutations go through the shared [`CellStore`] primitives, with the
-//! [`Journal`](nvm_table::Journal) staging pre-images first under the
-//! forced-logging ablation (and compiling to nothing under the paper's
-//! atomic-bitmap commit):
+//! Every mutation — single ops included, as one-element batches — runs
+//! through a [`BatchSession`](nvm_table::BatchSession) over the shared
+//! [`CellStore`] primitives, with the [`Journal`](nvm_table::Journal)
+//! staging pre-images first under the forced-logging ablation (and
+//! compiling to nothing under the paper's atomic-bitmap commit):
 //!
 //! * insert (Algorithm 1 lines 4–9 / 16–21): publish = cell bytes,
 //!   persist, atomic bit set — then the count bump;
@@ -18,27 +19,9 @@ use super::{GroupHash, Level};
 use crate::config::CountMode;
 use nvm_hashfn::{HashKey, Pod};
 use nvm_pmem::Pmem;
+use nvm_table::{BatchSession, TableError};
 
 impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
-    pub(super) fn bump_count(&mut self, pm: &mut P, up: bool) {
-        match self.config.count_mode {
-            CountMode::Persistent => {
-                if up {
-                    self.header.inc_count(pm);
-                } else {
-                    self.header.dec_count(pm);
-                }
-            }
-            CountMode::Volatile => {
-                if up {
-                    self.volatile_count += 1;
-                } else {
-                    self.volatile_count -= 1;
-                }
-            }
-        }
-    }
-
     /// Sets the count to an absolute value with the usual atomic+persist
     /// commit (bulk operations).
     pub(crate) fn set_count_committed(&mut self, pm: &mut P, count: u64) {
@@ -48,46 +31,75 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
         }
     }
 
-    /// The pre-image span the journal must cover for the count, if the
-    /// count is persistent at all.
-    fn journaled_count_off(&self) -> Option<usize> {
-        (self.config.count_mode == CountMode::Persistent).then(|| self.header.count_off())
-    }
-
-    /// Commits an insert at `(level, idx)`: Algorithm 1 lines 4–9 / 16–21.
-    pub(super) fn commit_insert(&mut self, pm: &mut P, level: Level, idx: u64, key: &K, value: &V) {
+    /// Stages an insert at `(level, idx)` into `sess`: opens the journal
+    /// transaction on the session's first op (ablation; no-op under the
+    /// paper's atomic-bitmap commit), writes + flushes the cell bytes,
+    /// and updates the DRAM fingerprint tag (no pool write).
+    pub(super) fn stage_insert(
+        &mut self,
+        pm: &mut P,
+        sess: &mut BatchSession<K, V>,
+        level: Level,
+        idx: u64,
+        key: &K,
+        value: &V,
+    ) {
+        if sess.is_empty() {
+            self.journal.begin(pm);
+        }
         let store = self.level_store(level);
-        // Ablation: duplicate-copy the touched ranges first (no-op under
-        // the paper's atomic-bitmap commit).
-        let count_off = self.journaled_count_off();
-        self.journal.begin(pm);
-        store.stage_publish(pm, &mut self.journal, idx, count_off);
-        store.publish(pm, idx, key, value);
-        self.bump_count(pm, true);
+        sess.stage_publish(pm, &mut self.journal, store, idx, key, value);
         if self.fp.is_some() {
-            // DRAM only — no pool write, no flush, no fence.
             let tag = self.fp_tag(key);
             if let Some(fp) = &mut self.fp {
                 fp.set(level.idx(), idx, tag);
             }
         }
-        self.journal.commit(pm);
     }
 
-    /// Commits a delete at `(level, idx)`: Algorithm 3 lines 4–9 / 16–21.
-    /// Note the inverted order versus insert (see
-    /// [`CellStore::retract`](nvm_table::CellStore::retract)).
-    pub(super) fn commit_delete(&mut self, pm: &mut P, level: Level, idx: u64) {
+    /// Stages a delete at `(level, idx)` into `sess` and drops the cell's
+    /// fingerprint tag. Nothing in the pool changes until
+    /// [`GroupHash::commit_batch`] — the bit clear is the delete's commit
+    /// point and stays in batch order.
+    pub(super) fn stage_delete(
+        &mut self,
+        pm: &mut P,
+        sess: &mut BatchSession<K, V>,
+        level: Level,
+        idx: u64,
+    ) {
+        if sess.is_empty() {
+            self.journal.begin(pm);
+        }
         let store = self.level_store(level);
-        let count_off = self.journaled_count_off();
-        self.journal.begin(pm);
-        store.stage_retract(pm, &mut self.journal, idx, count_off);
-        store.retract(pm, idx);
-        self.bump_count(pm, false);
+        sess.stage_retract(pm, &mut self.journal, store, idx);
         if let Some(fp) = &mut self.fp {
             fp.clear(level.idx(), idx);
         }
-        self.journal.commit(pm);
+    }
+
+    /// Group-commits a staged session and moves the count by `delta`
+    /// (publishes minus retracts). A persistent count rides the session's
+    /// commit (pre-imaged under the ablation); a volatile one is adjusted
+    /// after. A one-op session reproduces the paper's single-op trace —
+    /// Algorithm 1/3 lines 4–9 / 16–21 — event for event.
+    pub(super) fn commit_batch(&mut self, pm: &mut P, sess: &mut BatchSession<K, V>, delta: i64) {
+        debug_assert!(!sess.is_empty(), "empty sessions must skip commit");
+        let count = match self.config.count_mode {
+            CountMode::Persistent => {
+                let v = self.header.count(pm);
+                let v = v.checked_add_signed(delta).expect("count out of range");
+                Some((self.header.count_off(), v))
+            }
+            CountMode::Volatile => None,
+        };
+        sess.commit(pm, &mut self.journal, count);
+        if self.config.count_mode == CountMode::Volatile {
+            self.volatile_count = self
+                .volatile_count
+                .checked_add_signed(delta)
+                .expect("count out of range");
+        }
     }
 
     /// Rebuilds the fingerprint cache from the bitmaps + cells (the only
@@ -118,7 +130,7 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
     /// occupied cell's cached tag must equal the tag of the key stored
     /// there (free cells are ignored — their tags are never consulted).
     /// `Ok` under `FpMode::Off`.
-    pub fn verify_fp_cache(&self, pm: &mut P) -> Result<(), String> {
+    pub fn verify_fp_cache(&self, pm: &mut P) -> Result<(), TableError> {
         let Some(fp) = &self.fp else { return Ok(()) };
         for level in [Level::One, Level::Two] {
             let store = self.level_store(level);
@@ -129,11 +141,11 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
                 let want = self.fp_tag(&store.read_key(pm, i));
                 let got = fp.get(level.idx(), i);
                 if got != want {
-                    return Err(format!(
+                    return Err(TableError::Corrupt(format!(
                         "fingerprint cache stale at level {}/cell {i}: \
                          cached {got:#04x}, key tag {want:#04x}",
                         level.idx() + 1
-                    ));
+                    )));
                 }
             }
         }

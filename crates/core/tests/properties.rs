@@ -307,6 +307,6 @@ proptest! {
         for (&k, &v) in &oracle {
             prop_assert_eq!(t2.get(&mut pm, &k), Some(v));
         }
-        t2.check_consistency(&mut pm).map_err(TestCaseError::fail)?;
+        t2.check_consistency(&mut pm).map_err(|e| TestCaseError::fail(e.to_string()))?;
     }
 }

@@ -37,4 +37,10 @@ fn main() {
     {
         t.emit(out, name);
     }
+    for (t, name) in experiments::batch::run(&args)
+        .iter()
+        .zip(["batch", "batch_summary"])
+    {
+        t.emit(out, name);
+    }
 }

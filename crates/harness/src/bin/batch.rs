@@ -1,0 +1,10 @@
+//! Tentpole experiment: fence coalescing on the batched write path.
+use gh_harness::{experiments::batch, Args};
+
+fn main() {
+    let args = Args::parse();
+    let names = ["batch", "batch_summary"];
+    for (t, name) in batch::run(&args).iter().zip(names) {
+        t.emit(args.out_dir.as_deref(), name);
+    }
+}

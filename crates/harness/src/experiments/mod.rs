@@ -2,6 +2,7 @@
 //! so the `all` binary can chain them; the per-figure binaries print the
 //! same tables.
 
+pub mod batch;
 pub mod fig2;
 pub mod fig5;
 pub mod fig7;

@@ -4,7 +4,7 @@ use group_hash::{ChoiceMode, GroupHash, GroupHashConfig};
 use nvm_baselines::{LinearProbing, PathHash, Pfht};
 use nvm_hashfn::{HashKey, Pod};
 use nvm_pmem::{Pmem, Region, SimConfig, SimPmem};
-use nvm_table::{ConsistencyMode, HashScheme, InsertError};
+use nvm_table::{BatchError, ConsistencyMode, HashScheme, InsertError, TableError};
 
 /// The seven configurations compared in the paper's figures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -101,6 +101,12 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for AnyScheme<P, K, V> {
     fn insert(&mut self, pm: &mut P, key: K, value: V) -> Result<(), InsertError> {
         dispatch!(self, t => HashScheme::<P, K, V>::insert(t, pm, key, value))
     }
+    fn insert_batch(&mut self, pm: &mut P, items: &[(K, V)]) -> Result<(), BatchError> {
+        dispatch!(self, t => HashScheme::<P, K, V>::insert_batch(t, pm, items))
+    }
+    fn remove_batch(&mut self, pm: &mut P, keys: &[K]) -> usize {
+        dispatch!(self, t => HashScheme::<P, K, V>::remove_batch(t, pm, keys))
+    }
     fn get(&self, pm: &mut P, key: &K) -> Option<V> {
         dispatch!(self, t => HashScheme::<P, K, V>::get(t, pm, key))
     }
@@ -116,7 +122,7 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for AnyScheme<P, K, V> {
     fn recover(&mut self, pm: &mut P) {
         dispatch!(self, t => HashScheme::<P, K, V>::recover(t, pm))
     }
-    fn check_consistency(&self, pm: &mut P) -> Result<(), String> {
+    fn check_consistency(&self, pm: &mut P) -> Result<(), TableError> {
         dispatch!(self, t => HashScheme::<P, K, V>::check_consistency(t, pm))
     }
     fn instrumentation(&self) -> Option<&nvm_metrics::SchemeInstrumentation> {

@@ -34,7 +34,7 @@ use nvm_hashfn::murmur3_x64_128;
 use nvm_metrics::MetricsRegistry;
 use nvm_pmem::{align_up, Pmem, Region, RegionAllocator, CACHELINE};
 use nvm_table::{HashScheme, InsertError, TableError};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Magic word identifying a KV header ("NVKVSTR1").
 const MAGIC: u64 = 0x4E56_4B56_5354_5231;
@@ -50,6 +50,8 @@ pub enum KvError {
     Table(TableError),
     /// Region split / KV header problems.
     Layout(String),
+    /// A consistency check found the store's invariants violated.
+    Corrupt(String),
 }
 
 impl std::fmt::Display for KvError {
@@ -59,6 +61,7 @@ impl std::fmt::Display for KvError {
             KvError::Heap(e) => write!(f, "heap: {e}"),
             KvError::Table(e) => write!(f, "index: {e}"),
             KvError::Layout(e) => write!(f, "layout: {e}"),
+            KvError::Corrupt(e) => write!(f, "corrupt: {e}"),
         }
     }
 }
@@ -103,6 +106,30 @@ impl KvConfig {
             seed: 0x4B56_5354,
         }
     }
+
+    /// Overrides the index geometry (cells per level; power of two).
+    pub fn with_index_cells_per_level(mut self, cells: u64) -> Self {
+        self.index_cells_per_level = cells;
+        self
+    }
+
+    /// Overrides the index group size.
+    pub fn with_group_size(mut self, group_size: u64) -> Self {
+        self.group_size = group_size;
+        self
+    }
+
+    /// Overrides the heap budget.
+    pub fn with_heap_bytes(mut self, heap_bytes: u64) -> Self {
+        self.heap_bytes = heap_bytes;
+        self
+    }
+
+    /// Overrides the hash seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
 }
 
 /// The engine. All persistent state lives in its pool region.
@@ -116,18 +143,18 @@ impl<P: Pmem> PmemKv<P> {
     /// Header: magic + the four config words (self-describing pools).
     const HEADER_LEN: usize = 40;
 
-    fn split(region: Region, config: &KvConfig) -> Result<(Region, Region, Region), String> {
+    fn split(region: Region, config: &KvConfig) -> Result<(Region, Region, Region), KvError> {
         let index_cfg = Self::index_config(config);
         let index_size = GroupHash::<P, [u8; 16], u64>::required_size(&index_cfg);
         let heap_cfg = AllocConfig::balanced(config.heap_bytes);
         let heap_size = PmemAlloc::required_size(&heap_cfg);
         let mut alloc = RegionAllocator::new(region.off, region.end());
         if region.len < Self::HEADER_LEN + index_size + heap_size + 320 {
-            return Err(format!(
+            return Err(KvError::Layout(format!(
                 "region too small: {} < {}",
                 region.len,
                 Self::HEADER_LEN + index_size + heap_size + 320
-            ));
+            )));
         }
         let header_r = alloc.alloc_lines(Self::HEADER_LEN);
         let index_r = alloc.alloc_lines(index_size);
@@ -151,7 +178,7 @@ impl<P: Pmem> PmemKv<P> {
 
     /// Creates a fresh store in `region`.
     pub fn create(pm: &mut P, region: Region, config: &KvConfig) -> Result<Self, KvError> {
-        let (header_r, index_r, heap_r) = Self::split(region, config).map_err(KvError::Layout)?;
+        let (header_r, index_r, heap_r) = Self::split(region, config)?;
         let index = GroupHash::create(pm, index_r, Self::index_config(config))
             .map_err(KvError::Table)?;
         let heap = PmemAlloc::create(pm, heap_r, &AllocConfig::balanced(config.heap_bytes))
@@ -192,7 +219,7 @@ impl<P: Pmem> PmemKv<P> {
     /// needed.
     pub fn open(pm: &mut P, region: Region) -> Result<Self, KvError> {
         let config = Self::read_config(pm, region)?;
-        let (_, index_r, heap_r) = Self::split(region, &config).map_err(KvError::Layout)?;
+        let (_, index_r, heap_r) = Self::split(region, &config)?;
         let index = GroupHash::open(pm, index_r).map_err(KvError::Table)?;
         let heap = PmemAlloc::open(pm, heap_r).map_err(KvError::Layout)?;
         Ok(PmemKv {
@@ -262,11 +289,85 @@ impl<P: Pmem> PmemKv<P> {
         }
     }
 
+    /// Stores many pairs with fence-coalesced index commits.
+    ///
+    /// Updates swap their pointer in place (same per-op choreography as
+    /// [`PmemKv::set`]); new keys group-commit through the index's batch
+    /// insert, so K fresh inserts cost ~K+2 fences on the index instead
+    /// of 3K. Crash ordering is unchanged — blobs commit before index
+    /// entries, and a crash mid-batch durably keeps some prefix of the
+    /// new entries (the rest leak and [`PmemKv::gc`] reclaims them).
+    ///
+    /// On `IndexFull` the already-committed prefix stays stored and the
+    /// unindexed blobs are rolled back.
+    pub fn set_batch(&mut self, pm: &mut P, items: &[(&[u8], &[u8])]) -> Result<(), KvError> {
+        // Stage one: commit every blob, partitioning updates (applied
+        // immediately — the pointer swap is already a single atomic) from
+        // fresh inserts (deferred into one index batch).
+        let mut pending: Vec<([u8; 16], u64)> = Vec::new();
+        let mut pending_at: HashMap<[u8; 16], usize> = HashMap::new();
+        for (key, value) in items {
+            let fp = Self::fingerprint(key);
+            let blob = Self::encode_blob(key, value);
+            if let Some(&at) = pending_at.get(&fp) {
+                // Same key earlier in the batch: last write wins before
+                // the index ever sees it.
+                let new_ptr = self.heap.alloc(pm, &blob)?;
+                let _ = self.heap.free(pm, PmemPtr(pending[at].1));
+                pending[at].1 = new_ptr.0;
+                continue;
+            }
+            match self.index.get(pm, &fp) {
+                Some(old_ptr) => {
+                    let new_ptr = self.heap.alloc(pm, &blob)?;
+                    let swapped = self.index.update_in_place(pm, &fp, new_ptr.0);
+                    debug_assert!(swapped);
+                    let _ = self.heap.free(pm, PmemPtr(old_ptr));
+                }
+                None => {
+                    let ptr = self.heap.alloc(pm, &blob)?;
+                    pending_at.insert(fp, pending.len());
+                    pending.push((fp, ptr.0));
+                }
+            }
+        }
+        if pending.is_empty() {
+            return Ok(());
+        }
+        // Stage two: one group-committed index batch for the fresh keys.
+        match self.index.insert_batch(pm, &pending) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                for (_, ptr) in &pending[e.committed..] {
+                    let _ = self.heap.free(pm, PmemPtr(*ptr));
+                }
+                match e.error {
+                    InsertError::TableFull => Err(KvError::IndexFull),
+                    err => unreachable!("insert_batch: {err}"),
+                }
+            }
+        }
+    }
+
     /// Fetches `key`'s value.
     pub fn get(&self, pm: &mut P, key: &[u8]) -> Option<Vec<u8>> {
+        self.try_get(pm, key).ok().flatten()
+    }
+
+    /// Fetches `key`'s value, distinguishing "not stored" (`Ok(None)`)
+    /// from a heap read failure — a dangling index pointer — which
+    /// [`PmemKv::get`] silently folds into `None`.
+    pub fn try_get(&self, pm: &mut P, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
         let fp = Self::fingerprint(key);
-        let ptr = self.index.get(pm, &fp)?;
-        self.load_checked(pm, ptr, key)
+        let Some(ptr) = self.index.get(pm, &fp) else {
+            return Ok(None);
+        };
+        let blob = self
+            .heap
+            .read(pm, PmemPtr(ptr))
+            .map_err(|e| KvError::Corrupt(format!("index points at bad blob: {e}")))?;
+        let (stored_key, value) = Self::decode_blob(&blob);
+        Ok((stored_key == key).then(|| value.to_vec()))
     }
 
     /// Deletes `key`, returning whether it was present.
@@ -283,6 +384,38 @@ impl<P: Pmem> PmemKv<P> {
         debug_assert!(removed);
         let _ = self.heap.free(pm, PmemPtr(ptr));
         true
+    }
+
+    /// Deletes many keys with one fence-coalesced index commit per chunk;
+    /// returns how many were present and removed. Index entries retract
+    /// first, then the blobs free — a crash between the two leaks, which
+    /// [`PmemKv::gc`] reclaims, exactly like single-key deletes.
+    pub fn delete_batch(&mut self, pm: &mut P, keys: &[&[u8]]) -> usize {
+        let mut fps: Vec<[u8; 16]> = Vec::new();
+        let mut ptrs: Vec<u64> = Vec::new();
+        let mut seen: HashSet<[u8; 16]> = HashSet::new();
+        for key in keys {
+            let fp = Self::fingerprint(key);
+            if seen.contains(&fp) {
+                continue; // duplicate key in the batch
+            }
+            let Some(ptr) = self.index.get(pm, &fp) else {
+                continue;
+            };
+            // Verify before destroying (fingerprint collision paranoia).
+            if self.load_checked(pm, ptr, key).is_none() {
+                continue;
+            }
+            seen.insert(fp);
+            fps.push(fp);
+            ptrs.push(ptr);
+        }
+        let removed = self.index.remove_batch(pm, &fps);
+        debug_assert_eq!(removed, fps.len());
+        for ptr in ptrs {
+            let _ = self.heap.free(pm, PmemPtr(ptr));
+        }
+        removed
     }
 
     /// Number of entries.
@@ -325,7 +458,7 @@ impl<P: Pmem> PmemKv<P> {
     /// Structural validation: index invariants, every index pointer
     /// resolves to an allocated blob whose stored key fingerprints back
     /// to its index cell, and no two entries share a blob.
-    pub fn check_consistency(&self, pm: &mut P) -> Result<(), String> {
+    pub fn check_consistency(&self, pm: &mut P) -> Result<(), KvError> {
         use nvm_table::HashScheme;
         self.index.check_consistency(pm)?;
         let mut entries = Vec::new();
@@ -335,15 +468,17 @@ impl<P: Pmem> PmemKv<P> {
         let mut seen = HashSet::new();
         for (fp, ptr) in entries {
             if !seen.insert(ptr) {
-                return Err(format!("blob {ptr:#x} referenced twice"));
+                return Err(KvError::Corrupt(format!("blob {ptr:#x} referenced twice")));
             }
             let blob = self
                 .heap
                 .read(pm, PmemPtr(ptr))
-                .map_err(|e| format!("index points at bad blob: {e}"))?;
+                .map_err(|e| KvError::Corrupt(format!("index points at bad blob: {e}")))?;
             let (key, _) = Self::decode_blob(&blob);
             if Self::fingerprint(key) != fp {
-                return Err(format!("blob {ptr:#x} key does not match its fingerprint"));
+                return Err(KvError::Corrupt(format!(
+                    "blob {ptr:#x} key does not match its fingerprint"
+                )));
             }
         }
         Ok(())
@@ -421,6 +556,87 @@ mod tests {
         assert_eq!(kv.len(&mut pm), 1);
         kv.check_consistency(&mut pm).unwrap();
         assert_eq!(kv.usage(&mut pm), (1, 1));
+    }
+
+    #[test]
+    fn batch_set_get_delete_roundtrip() {
+        let (mut pm, mut kv, _, _) = setup(300);
+        kv.set(&mut pm, b"pre", b"existing").unwrap();
+        let items: Vec<(Vec<u8>, Vec<u8>)> = (0..100u32)
+            .map(|i| (format!("bk-{i}").into_bytes(), vec![i as u8; 16]))
+            .collect();
+        let refs: Vec<(&[u8], &[u8])> = items
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .collect();
+        kv.set_batch(&mut pm, &refs).unwrap();
+        for (k, v) in &items {
+            assert_eq!(kv.get(&mut pm, k).as_deref(), Some(v.as_slice()));
+        }
+        assert_eq!(kv.len(&mut pm), 101);
+        // Updates and duplicate keys inside one batch: last write wins.
+        kv.set_batch(
+            &mut pm,
+            &[
+                (b"pre".as_slice(), b"updated".as_slice()),
+                (b"dup".as_slice(), b"first".as_slice()),
+                (b"dup".as_slice(), b"second".as_slice()),
+            ],
+        )
+        .unwrap();
+        assert_eq!(kv.get(&mut pm, b"pre").as_deref(), Some(&b"updated"[..]));
+        assert_eq!(kv.get(&mut pm, b"dup").as_deref(), Some(&b"second"[..]));
+        kv.check_consistency(&mut pm).unwrap();
+        // Batch delete with a duplicate and a missing key mixed in.
+        let kill: Vec<&[u8]> = vec![
+            b"bk-0".as_slice(),
+            b"bk-1".as_slice(),
+            b"bk-1".as_slice(),
+            b"missing".as_slice(),
+            b"dup".as_slice(),
+        ];
+        assert_eq!(kv.delete_batch(&mut pm, &kill), 3);
+        assert_eq!(kv.get(&mut pm, b"bk-0"), None);
+        assert_eq!(kv.get(&mut pm, b"dup"), None);
+        kv.check_consistency(&mut pm).unwrap();
+        let (entries, slots) = kv.usage(&mut pm);
+        assert_eq!(entries, slots, "batch ops leaked heap slots");
+    }
+
+    #[test]
+    fn try_get_distinguishes_missing_from_corrupt() {
+        let (mut pm, mut kv, _, _) = setup(64);
+        kv.set(&mut pm, b"k", b"v").unwrap();
+        assert_eq!(
+            kv.try_get(&mut pm, b"k").unwrap().as_deref(),
+            Some(&b"v"[..])
+        );
+        assert_eq!(kv.try_get(&mut pm, b"absent").unwrap(), None);
+        // Free the blob out from under the index: try_get must report the
+        // dangling pointer instead of pretending the key is absent.
+        let mut ptr = 0;
+        kv.index.for_each_entry(&mut pm, |_, p| ptr = p);
+        kv.heap.free(&mut pm, PmemPtr(ptr)).unwrap();
+        assert!(matches!(kv.try_get(&mut pm, b"k"), Err(KvError::Corrupt(_))));
+        assert_eq!(kv.get(&mut pm, b"k"), None);
+    }
+
+    #[test]
+    fn config_builders_override_fields() {
+        let cfg = KvConfig::for_capacity(100, 64)
+            .with_index_cells_per_level(256)
+            .with_group_size(32)
+            .with_heap_bytes(1 << 16)
+            .with_seed(9);
+        assert_eq!(cfg.index_cells_per_level, 256);
+        assert_eq!(cfg.group_size, 32);
+        assert_eq!(cfg.heap_bytes, 1 << 16);
+        assert_eq!(cfg.seed, 9);
+        let size = PmemKv::<SimPmem>::required_size(&cfg);
+        let mut pm = SimPmem::new(size, SimConfig::fast_test());
+        let mut kv = PmemKv::create(&mut pm, Region::new(0, size), &cfg).unwrap();
+        kv.set(&mut pm, b"a", b"b").unwrap();
+        assert_eq!(kv.get(&mut pm, b"a").as_deref(), Some(&b"b"[..]));
     }
 
     #[test]

@@ -64,6 +64,68 @@ impl FingerprintCounters {
     }
 }
 
+/// Counters for the group-commit batch path, proving fence amortization:
+/// how many pmem fences/flushes the batch bodies actually spent per
+/// committed op (the paper-motivated win is ~`1 + 2/K` fences/op for
+/// batches of `K` versus 3 for single ops).
+///
+/// Schemes without a native batch path leave all four at zero; single ops
+/// routed through a one-element batch count as a session of one.
+#[derive(Debug, Default, Clone)]
+pub struct BatchCounters {
+    /// Batch commit sessions run.
+    pub batches: Counter,
+    /// Ops durably committed across all sessions.
+    pub ops: Counter,
+    /// Pmem fences issued inside batch bodies.
+    pub fences: Counter,
+    /// Pmem flushes issued inside batch bodies.
+    pub flushes: Counter,
+}
+
+impl BatchCounters {
+    /// Records one completed batch session.
+    #[inline]
+    pub fn record(&self, ops: u64, fences: u64, flushes: u64) {
+        self.batches.inc();
+        self.ops.add(ops);
+        self.fences.add(fences);
+        self.flushes.add(flushes);
+    }
+
+    /// Mean fences per committed op, `None` before any op commits.
+    pub fn fences_per_op(&self) -> Option<f64> {
+        let ops = self.ops.get();
+        (ops > 0).then(|| self.fences.get() as f64 / ops as f64)
+    }
+
+    /// Folds another instance in (shard aggregation).
+    pub fn merge(&self, other: &BatchCounters) {
+        self.batches.merge(&other.batches);
+        self.ops.merge(&other.ops);
+        self.fences.merge(&other.fences);
+        self.flushes.merge(&other.flushes);
+    }
+
+    /// Clears all counters.
+    pub fn reset(&self) {
+        self.batches.reset();
+        self.ops.reset();
+        self.fences.reset();
+        self.flushes.reset();
+    }
+
+    /// Serializes as a flat `{batches, ops, fences, flushes}` object.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.insert("batches", Json::from(self.batches.get()));
+        j.insert("ops", Json::from(self.ops.get()));
+        j.insert("fences", Json::from(self.fences.get()));
+        j.insert("flushes", Json::from(self.flushes.get()));
+        j
+    }
+}
+
 /// Probe/occupancy/displacement histograms recorded by one scheme
 /// instance (or one shard of a concurrent scheme).
 ///
@@ -79,6 +141,9 @@ pub struct SchemeInstrumentation {
     pub displacement: Histogram,
     /// Fingerprint-filter effectiveness (zero for unfiltered schemes).
     pub fingerprint: FingerprintCounters,
+    /// Group-commit batch amortization (zero when only single ops ran
+    /// outside the batch path).
+    pub batch: BatchCounters,
 }
 
 impl SchemeInstrumentation {
@@ -89,6 +154,7 @@ impl SchemeInstrumentation {
             occupancy: Histogram::occupancy(group_size.max(1)),
             displacement: Histogram::probe_lengths(),
             fingerprint: FingerprintCounters::default(),
+            batch: BatchCounters::default(),
         }
     }
 
@@ -116,6 +182,7 @@ impl SchemeInstrumentation {
         self.occupancy.merge(&other.occupancy);
         self.displacement.merge(&other.displacement);
         self.fingerprint.merge(&other.fingerprint);
+        self.batch.merge(&other.batch);
     }
 
     /// Clears all samples.
@@ -124,6 +191,7 @@ impl SchemeInstrumentation {
         self.occupancy.reset();
         self.displacement.reset();
         self.fingerprint.reset();
+        self.batch.reset();
     }
 
     /// Serializes as `{probe, occupancy, displacement}` histogram
@@ -135,6 +203,7 @@ impl SchemeInstrumentation {
         j.insert("occupancy", self.occupancy.to_json());
         j.insert("displacement", self.displacement.to_json());
         j.insert("fingerprint", self.fingerprint.to_json());
+        j.insert("batch", self.batch.to_json());
         j
     }
 }
@@ -169,6 +238,25 @@ mod tests {
         for key in ["hits", "skips", "false_positives", "key_reads"] {
             assert!(j.get("fingerprint").and_then(|f| f.get(key)).is_some());
         }
+    }
+
+    #[test]
+    fn batch_counters_record_merge_and_reset() {
+        let a = SchemeInstrumentation::new(4);
+        let b = SchemeInstrumentation::new(4);
+        assert_eq!(a.batch.fences_per_op(), None);
+        a.batch.record(64, 66, 129); // K publishes: K+2 fences, 2K+1 flushes
+        b.batch.record(1, 3, 3);
+        a.merge(&b);
+        assert_eq!(a.batch.batches.get(), 2);
+        assert_eq!(a.batch.ops.get(), 65);
+        assert_eq!(a.batch.fences.get(), 69);
+        assert_eq!(a.batch.flushes.get(), 132);
+        let per_op = a.batch.fences_per_op().unwrap();
+        assert!(per_op < 3.0, "batching must beat 3 fences/op, got {per_op}");
+        assert!(a.to_json().get("batch").and_then(|x| x.get("ops")).is_some());
+        a.reset();
+        assert_eq!(a.batch.batches.get(), 0);
     }
 
     #[test]

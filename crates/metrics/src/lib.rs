@@ -56,7 +56,7 @@ mod registry;
 
 pub use counter::Counter;
 pub use histogram::Histogram;
-pub use instrument::{FingerprintCounters, SchemeInstrumentation};
+pub use instrument::{BatchCounters, FingerprintCounters, SchemeInstrumentation};
 pub use json::Json;
 pub use optrace::{OpDelta, OpTrace};
 pub use registry::{cache_stats_json, pmem_stats_json, MetricsRegistry};

@@ -12,6 +12,7 @@
 //! ```
 //! use nvm_pmem::{Pmem, SimConfig, SimPmem};
 //! use nvm_table::crashtest::{exhaust_crash_points, CrashCheck};
+//! use nvm_table::TableError;
 //!
 //! // A toy "structure": one committed counter at offset 0.
 //! let report = exhaust_crash_points(CrashCheck {
@@ -29,7 +30,7 @@
 //!         let v = pm.read_u64(0);
 //!         (v == 41 || v == 42)
 //!             .then_some(())
-//!             .ok_or_else(|| format!("torn counter: {v}"))
+//!             .ok_or_else(|| TableError::Corrupt(format!("torn counter: {v}")))
 //!     },
 //!     max_events: 100,
 //! })
@@ -37,6 +38,7 @@
 //! assert!(report.crash_points >= 2);
 //! ```
 
+use crate::TableError;
 use nvm_pmem::{run_with_crash, CrashPlan, CrashResolution, SimPmem};
 
 /// One exhaustive crash-scan specification.
@@ -46,8 +48,8 @@ pub struct CrashCheck<'a> {
     /// The operation under test.
     pub op: &'a dyn Fn(&mut SimPmem),
     /// Runs recovery and validates every invariant on the crashed pool.
-    /// Return `Err` with a description on violation.
-    pub recover_and_check: &'a dyn Fn(&mut SimPmem) -> Result<(), String>,
+    /// Return `Err` describing the violation.
+    pub recover_and_check: &'a dyn Fn(&mut SimPmem) -> Result<(), TableError>,
     /// Safety bound on the op's mutation events (fails if exceeded).
     pub max_events: u64,
 }
@@ -81,7 +83,7 @@ const RESOLUTIONS: [CrashResolution; 6] = [
 /// every resolution in turn; each crashed state must pass
 /// `recover_and_check`. Returns the coverage report, or the first
 /// violation (annotated with its crash point and resolution).
-pub fn exhaust_crash_points(spec: CrashCheck<'_>) -> Result<CrashReport, String> {
+pub fn exhaust_crash_points(spec: CrashCheck<'_>) -> Result<CrashReport, TableError> {
     let mut crash_points = 0u64;
     let mut cases = 0u64;
     for how in RESOLUTIONS {
@@ -98,14 +100,14 @@ pub fn exhaust_crash_points(spec: CrashCheck<'_>) -> Result<CrashReport, String>
             }
             pm.crash(how);
             (spec.recover_and_check)(&mut pm)
-                .map_err(|e| format!("crash at +{event} under {how:?}: {e}"))?;
+                .map_err(|e| TableError::Corrupt(format!("crash at +{event} under {how:?}: {e}")))?;
             cases += 1;
             event += 1;
             if event > spec.max_events {
-                return Err(format!(
+                return Err(TableError::Config(format!(
                     "operation exceeded max_events = {}",
                     spec.max_events
-                ));
+                )));
             }
         }
         crash_points = crash_points.max(event);
@@ -141,7 +143,7 @@ mod tests {
                     let mut b = [0u8; 16];
                     pm.read(64, &mut b);
                     if b != [7u8; 16] {
-                        return Err("flag set but record torn".into());
+                        return Err(TableError::Corrupt("flag set but record torn".into()));
                     }
                 }
                 Ok(())
@@ -170,7 +172,7 @@ mod tests {
                     let mut b = [0u8; 16];
                     pm.read(64, &mut b);
                     if b != [7u8; 16] {
-                        return Err("flag set but record missing".into());
+                        return Err(TableError::Corrupt("flag set but record missing".into()));
                     }
                 }
                 Ok(())
@@ -178,7 +180,7 @@ mod tests {
             max_events: 50,
         })
         .unwrap_err();
-        assert!(err.contains("flag set but record missing"), "{err}");
+        assert!(err.to_string().contains("flag set but record missing"), "{err}");
     }
 
     #[test]
@@ -199,14 +201,14 @@ mod tests {
             },
             recover_and_check: &|pm| {
                 if pm.read_u64(0) == 1 && pm.read_u64(64) != u64::from_le_bytes([9; 8]) {
-                    return Err("record not durable despite flag".into());
+                    return Err(TableError::Corrupt("record not durable despite flag".into()));
                 }
                 Ok(())
             },
             max_events: 50,
         })
         .unwrap_err();
-        assert!(err.contains("not durable"), "{err}");
+        assert!(err.to_string().contains("not durable"), "{err}");
     }
 
     #[test]
@@ -222,6 +224,6 @@ mod tests {
             max_events: 10,
         })
         .unwrap_err();
-        assert!(err.contains("max_events"));
+        assert!(err.to_string().contains("max_events"));
     }
 }

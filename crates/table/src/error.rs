@@ -1,7 +1,7 @@
 //! Typed errors for table construction and attach.
 //!
-//! Every scheme used to report create/open failures as `Result<_, String>`;
-//! the strings were fine for humans but invisible to `?`-based layering and
+//! Every scheme used to report create/open failures as bare `String`s;
+//! those were fine for humans but invisible to `?`-based layering and
 //! impossible to match on. `TableError` keeps the exact message detail (the
 //! `Display` impl reproduces the old strings) while implementing
 //! [`std::error::Error`] so callers can box, wrap, or branch on it.

@@ -93,6 +93,28 @@ impl Journal {
             None => false,
         }
     }
+
+    /// Log bytes one recorded span of `len` bytes costs: a 16-byte record
+    /// header plus the payload padded to 8.
+    pub fn record_cost(len: usize) -> usize {
+        16 + len.div_ceil(8) * 8
+    }
+
+    /// How many batch ops fit in one transaction, when each op records
+    /// spans of `op_record_lens` bytes and the transaction additionally
+    /// records each of `fixed_record_lens` once (e.g. the count word).
+    /// Unbounded (`usize::MAX`) without a log; at least 1 with one, so
+    /// batch loops always make progress (a single op is known to fit —
+    /// it is exactly what the non-batched path records).
+    pub fn ops_per_txn(&self, op_record_lens: &[usize], fixed_record_lens: &[usize]) -> usize {
+        let Some(log) = self.log.as_ref() else {
+            return usize::MAX;
+        };
+        let budget = log.region().len.saturating_sub(64);
+        let fixed: usize = fixed_record_lens.iter().map(|&l| Self::record_cost(l)).sum();
+        let per_op: usize = op_record_lens.iter().map(|&l| Self::record_cost(l)).sum();
+        (budget.saturating_sub(fixed) / per_op.max(1)).max(1)
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +134,22 @@ mod tests {
         assert_eq!(pm.stats().flushes, 0);
         assert!(!j.recover(&mut pm));
         assert_eq!(j.mode(), ConsistencyMode::None);
+    }
+
+    #[test]
+    fn ops_per_txn_chunks_by_log_capacity() {
+        let mut pm = SimPmem::new(8192, SimConfig::fast_test());
+        // 1024-byte log → 960 bytes of records. A u64/u64 publish records
+        // a 16-byte cell (32 bytes logged) + an 8-byte word (24), the
+        // count is 24 once: (960 - 24) / 56 = 16.
+        let j = Journal::create(&mut pm, ConsistencyMode::UndoLog, Region::new(0, 1024));
+        assert_eq!(j.ops_per_txn(&[16, 8], &[8]), 16);
+        // No log → no chunking needed.
+        let j_none = Journal::create(&mut pm, ConsistencyMode::None, Region::new(0, 1024));
+        assert_eq!(j_none.ops_per_txn(&[16, 8], &[8]), usize::MAX);
+        // Never returns 0, even for absurdly small logs.
+        let j_tiny = Journal::create(&mut pm, ConsistencyMode::UndoLog, Region::new(4096, 128));
+        assert_eq!(j_tiny.ops_per_txn(&[16, 8], &[8]), 1);
     }
 
     #[test]

@@ -21,9 +21,10 @@
 //!
 //! 1. **probe plans** ([`probe`]) — pure, I/O-free candidate-cell
 //!    geometry (group/linear/PFHT/path sequences, SWAR fingerprint match);
-//! 2. **cell store** ([`CellStore`] + [`Journal`]) — the pmem-facing
-//!    bitmap/codec pair with the failure-atomic publish/retract
-//!    choreography and the one place `ConsistencyMode::UndoLog` applies;
+//! 2. **cell store** ([`CellStore`] + [`Journal`] + [`BatchSession`]) —
+//!    the pmem-facing bitmap/codec pair with the failure-atomic
+//!    publish/retract choreography (single-op and fence-coalesced group
+//!    commit) and the one place `ConsistencyMode::UndoLog` applies;
 //! 3. **ops** — each scheme's insert/get/delete policy, written as a
 //!    composition of the two layers (in `group-hash` and `nvm-baselines`).
 //!
@@ -44,5 +45,5 @@ pub use cells::CellArray;
 pub use error::TableError;
 pub use header::TableHeader;
 pub use journal::Journal;
-pub use scheme::{ConsistencyMode, HashScheme, InsertError, OpKind};
-pub use store::CellStore;
+pub use scheme::{BatchError, ConsistencyMode, HashScheme, InsertError, OpKind};
+pub use store::{BatchSession, CellStore};

@@ -1,5 +1,6 @@
 //! The common interface every hashing scheme implements.
 
+use crate::TableError;
 use nvm_hashfn::{HashKey, Pod};
 use nvm_metrics::SchemeInstrumentation;
 use nvm_pmem::Pmem;
@@ -26,6 +27,33 @@ impl std::fmt::Display for InsertError {
 }
 
 impl std::error::Error for InsertError {}
+
+/// Why (and where) a batched insert stopped.
+///
+/// Batches commit in order with **prefix durability**: when op `i` fails,
+/// ops `0..i` are durably applied and ops `i..` are not — never a torn
+/// middle. `committed` is that prefix length, so callers can retry
+/// `items[committed..]` after making room.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchError {
+    /// Ops durably applied before the failure — always a prefix of the
+    /// batch.
+    pub committed: usize,
+    /// Why the op at index `committed` failed.
+    pub error: InsertError,
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "batch stopped after {} ops: {}", self.committed, self.error)
+    }
+}
+
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
 
 /// Consistency discipline for the baseline schemes.
 ///
@@ -103,9 +131,42 @@ pub trait HashScheme<P: Pmem, K: HashKey, V: Pod> {
     fn recover(&mut self, pm: &mut P);
 
     /// Verifies structural invariants (count matches occupancy, every key
-    /// reachable from its hash position, no duplicates). `Err` describes
-    /// the first violation. Test/debug aid — O(capacity).
-    fn check_consistency(&self, pm: &mut P) -> Result<(), String>;
+    /// reachable from its hash position, no duplicates). The first
+    /// violation comes back as [`TableError::Corrupt`]. Test/debug aid —
+    /// O(capacity).
+    fn check_consistency(&self, pm: &mut P) -> Result<(), TableError>;
+
+    /// Inserts every `(key, value)` in order, amortizing persistence
+    /// fences across the batch where the scheme supports it (group
+    /// hashing and the baselines coalesce to ~`K + 2` fences for `K` ops
+    /// instead of `3K`). Semantics match calling [`HashScheme::insert`]
+    /// per element: duplicates shadow, and on failure the already-applied
+    /// ops stay — [`BatchError::committed`] reports that durable prefix.
+    ///
+    /// The default implementation is the per-op loop; schemes override it
+    /// with a fence-coalescing fast path. A crash mid-batch recovers to
+    /// some prefix of the batch (never a torn op) in both consistency
+    /// modes.
+    fn insert_batch(&mut self, pm: &mut P, items: &[(K, V)]) -> Result<(), BatchError> {
+        for (i, (key, value)) in items.iter().enumerate() {
+            if let Err(error) = self.insert(pm, *key, *value) {
+                return Err(BatchError {
+                    committed: i,
+                    error,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes every key in order, returning how many were present (and
+    /// are now gone). Same amortization and prefix-durability story as
+    /// [`HashScheme::insert_batch`]. When one key appears several times
+    /// in `keys`, at most one removal takes effect per batch (there is
+    /// only one cell to retract).
+    fn remove_batch(&mut self, pm: &mut P, keys: &[K]) -> usize {
+        keys.iter().filter(|key| self.remove(pm, key)).count()
+    }
 
     /// Insert that first checks for presence, returning
     /// [`InsertError::DuplicateKey`] instead of shadowing. Convenience for
@@ -140,6 +201,18 @@ mod tests {
     fn insert_error_display() {
         assert!(InsertError::TableFull.to_string().contains("free cell"));
         assert!(InsertError::DuplicateKey.to_string().contains("present"));
+    }
+
+    #[test]
+    fn batch_error_reports_prefix_and_cause() {
+        let e = BatchError {
+            committed: 7,
+            error: InsertError::TableFull,
+        };
+        assert!(e.to_string().contains("after 7 ops"));
+        assert!(e.to_string().contains("free cell"));
+        use std::error::Error;
+        assert!(e.source().is_some());
     }
 
     #[test]

@@ -223,6 +223,170 @@ fn crash_loop<S: HashScheme<SimPmem, u64, u64>>(
     }
 }
 
+/// Batch API contract: roundtrip, empty batches, duplicate keys in a
+/// remove batch, and absent keys counting zero.
+fn batch_ops<S: HashScheme<SimPmem, u64, u64>>(pm: &mut SimPmem, t: &mut S) {
+    let label = t.name();
+    t.insert_batch(pm, &[]).unwrap_or_else(|e| panic!("{label}: empty batch: {e}"));
+    let items: Vec<(u64, u64)> = (0..48u64).map(|k| (k, k * 3)).collect();
+    t.insert_batch(pm, &items).unwrap_or_else(|e| panic!("{label}: {e}"));
+    assert_eq!(t.len(pm), 48, "{label}");
+    for (k, v) in &items {
+        assert_eq!(t.get(pm, k), Some(*v), "{label}: key {k}");
+    }
+    assert_eq!(t.remove_batch(pm, &[]), 0, "{label}: empty remove batch");
+    // Duplicates and absent keys: each present key counts exactly once.
+    assert_eq!(t.remove_batch(pm, &[0, 1, 1, 999, 2]), 3, "{label}");
+    for k in [0u64, 1, 2] {
+        assert_eq!(t.get(pm, &k), None, "{label}: removed {k}");
+    }
+    assert_eq!(t.len(pm), 45, "{label}");
+    t.check_consistency(pm).unwrap_or_else(|e| panic!("{label}: {e}"));
+}
+
+/// Batch insert into a table too small for the batch: the error reports
+/// the committed prefix, which is durably stored; nothing after it is.
+fn batch_full_table<S: HashScheme<SimPmem, u64, u64>>(pm: &mut SimPmem, t: &mut S) {
+    let label = t.name();
+    let cap = t.capacity();
+    let items: Vec<(u64, u64)> = (0..2 * cap + 16)
+        .map(|k| (k.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1, k))
+        .collect();
+    let err = t.insert_batch(pm, &items).unwrap_err();
+    assert_eq!(err.error, InsertError::TableFull, "{label}");
+    assert_eq!(t.len(pm), err.committed as u64, "{label}: committed prefix");
+    for (k, v) in &items[..err.committed] {
+        assert_eq!(t.get(pm, k), Some(*v), "{label}: committed key {k} lost");
+    }
+    t.check_consistency(pm).unwrap_or_else(|e| panic!("{label}: {e}"));
+}
+
+/// Keys used by the crash-batch drivers. Inserted fresh by
+/// [`crash_insert_batch`]; a subset of the seeded keys for
+/// [`crash_remove_batch`].
+const INSERT_BATCH: [u64; 6] = [500, 501, 502, 503, 504, 505];
+const REMOVE_BATCH: [u64; 5] = [3, 6, 9, 12, 15];
+
+/// Crash at every pmem event inside a multi-op batch `op`, then reopen +
+/// recover; the recovered table must satisfy its invariants and `check`
+/// asserts the batch's prefix-durability contract.
+fn crash_batch_loop<S: HashScheme<SimPmem, u64, u64>>(
+    mk: impl Fn() -> (SimPmem, S),
+    open: impl Fn(&mut SimPmem) -> S,
+    op: impl Fn(&mut SimPmem, &mut S),
+    check: impl Fn(&mut SimPmem, &S, u64),
+) {
+    let (mut pm0, mut t0) = mk();
+    for k in 0..20u64 {
+        t0.insert(&mut pm0, k, k + 100).unwrap();
+    }
+    let label = t0.name();
+    drop(t0);
+
+    for at in 0u64.. {
+        assert!(at < 8192, "{label}: crash loop never finished");
+        let mut pm = pm0.clone();
+        let mut t = open(&mut pm);
+        let base = pm.events();
+        pm.set_crash_plan(Some(CrashPlan { at_event: base + at }));
+        let done = run_with_crash(|| op(&mut pm, &mut t)).is_ok();
+        if done {
+            break;
+        }
+        pm.crash(CrashResolution::Random(at));
+        let mut t = open(&mut pm);
+        t.recover(&mut pm);
+        t.check_consistency(&mut pm)
+            .unwrap_or_else(|e| panic!("{label}: crash at +{at}: {e}"));
+        check(&mut pm, &t, at);
+    }
+}
+
+/// Crash-during-`insert_batch`: some *prefix* of the batch is durable —
+/// never a gap in the middle, never a torn op — and every pre-existing
+/// key survives.
+fn crash_insert_batch<S: HashScheme<SimPmem, u64, u64>>(
+    mk: impl Fn() -> (SimPmem, S),
+    open: impl Fn(&mut SimPmem) -> S,
+) {
+    crash_batch_loop(
+        mk,
+        open,
+        |pm, t| {
+            let items: Vec<(u64, u64)> = INSERT_BATCH.iter().map(|&k| (k, k + 7)).collect();
+            t.insert_batch(pm, &items).unwrap();
+        },
+        |pm, t, at| {
+            let label = t.name();
+            for k in 0..20u64 {
+                assert_eq!(
+                    t.get(pm, &k),
+                    Some(k + 100),
+                    "{label}: pre-existing key {k} damaged by crash at +{at}"
+                );
+            }
+            let present: Vec<bool> = INSERT_BATCH
+                .iter()
+                .map(|&k| match t.get(pm, &k) {
+                    None => false,
+                    Some(v) => {
+                        assert_eq!(v, k + 7, "{label}: torn value for {k} at +{at}");
+                        true
+                    }
+                })
+                .collect();
+            let prefix = present.iter().take_while(|&&p| p).count();
+            assert!(
+                present[prefix..].iter().all(|&p| !p),
+                "{label}: non-prefix durability at +{at}: {present:?}"
+            );
+        },
+    );
+}
+
+/// Crash-during-`remove_batch`: some *prefix* of the batch's keys is gone,
+/// the rest are fully intact, and untouched keys always survive.
+fn crash_remove_batch<S: HashScheme<SimPmem, u64, u64>>(
+    mk: impl Fn() -> (SimPmem, S),
+    open: impl Fn(&mut SimPmem) -> S,
+) {
+    crash_batch_loop(
+        mk,
+        open,
+        |pm, t| {
+            assert_eq!(t.remove_batch(pm, &REMOVE_BATCH), REMOVE_BATCH.len());
+        },
+        |pm, t, at| {
+            let label = t.name();
+            for k in 0..20u64 {
+                if REMOVE_BATCH.contains(&k) {
+                    continue;
+                }
+                assert_eq!(
+                    t.get(pm, &k),
+                    Some(k + 100),
+                    "{label}: untouched key {k} damaged by crash at +{at}"
+                );
+            }
+            let removed: Vec<bool> = REMOVE_BATCH
+                .iter()
+                .map(|&k| match t.get(pm, &k) {
+                    None => true,
+                    Some(v) => {
+                        assert_eq!(v, k + 100, "{label}: torn value for {k} at +{at}");
+                        false
+                    }
+                })
+                .collect();
+            let prefix = removed.iter().take_while(|&&r| r).count();
+            assert!(
+                removed[prefix..].iter().all(|&r| !r),
+                "{label}: non-prefix removal at +{at}: {removed:?}"
+            );
+        },
+    );
+}
+
 /// Crash-during-insert: the new key is either fully present or absent.
 fn crash_insert<S: HashScheme<SimPmem, u64, u64>>(
     mk: impl Fn() -> (SimPmem, S),
@@ -308,6 +472,55 @@ fn group_crash_remove() {
     }
 }
 
+#[test]
+fn group_batch_ops() {
+    for mode in MODES {
+        let (mut pm, mut t) = group_pool(mode, 256);
+        batch_ops(&mut pm, &mut t);
+    }
+}
+
+#[test]
+fn group_batch_full_table() {
+    for mode in MODES {
+        let (mut pm, mut t) = group_pool(mode, 64);
+        batch_full_table(&mut pm, &mut t);
+    }
+}
+
+#[test]
+fn group_crash_insert_batch() {
+    for mode in MODES {
+        crash_insert_batch(|| group_pool(mode, 256), group_open);
+    }
+}
+
+#[test]
+fn group_crash_remove_batch() {
+    for mode in MODES {
+        crash_remove_batch(|| group_pool(mode, 256), group_open);
+    }
+}
+
+/// The tentpole's headline number, pinned: a K-op insert batch costs one
+/// drain fence + one per-op commit fence + one count fence — K + 2 total,
+/// against 3K for K single ops (3 → 1 + 2/K fences per op).
+#[test]
+fn group_batch_of_64_inserts_pins_k_plus_two_fences() {
+    let (mut pm, mut t) = group_pool(ConsistencyMode::None, 256);
+    let items: Vec<(u64, u64)> = (0..64u64).map(|k| (k, k * 9)).collect();
+    let base = *pm.stats();
+    t.insert_batch(&mut pm, &items).unwrap();
+    let spent = pm.stats().delta_since(&base);
+    assert!(spent.fences <= 64 + 2, "fences {} > K+2", spent.fences);
+    assert_eq!(spent.fences, 64 + 2, "drain + 64 bit flips + count");
+    assert_eq!(spent.flushes, 2 * 64 + 1, "64 cells + 64 words + count");
+    assert_eq!(spent.atomic_writes, 64 + 1, "64 bits + count");
+    for (k, v) in &items {
+        assert_eq!(t.get(&mut pm, k), Some(*v));
+    }
+}
+
 // --------------------------------------------------------- linear probing
 
 #[test]
@@ -352,6 +565,36 @@ fn linear_crash_remove() {
     );
 }
 
+#[test]
+fn linear_batch_ops() {
+    for mode in MODES {
+        let (mut pm, mut t) = linear_pool(mode, 256);
+        batch_ops(&mut pm, &mut t);
+    }
+}
+
+#[test]
+fn linear_batch_full_table() {
+    for mode in MODES {
+        let (mut pm, mut t) = linear_pool(mode, 64);
+        batch_full_table(&mut pm, &mut t);
+    }
+}
+
+#[test]
+fn linear_crash_insert_batch() {
+    for mode in MODES {
+        crash_insert_batch(|| linear_pool(mode, 256), linear_open);
+    }
+}
+
+#[test]
+fn linear_crash_remove_batch() {
+    // remove_batch falls back to per-op backward-shift deletes, so the
+    // same logged-only rule as `linear_crash_remove` applies.
+    crash_remove_batch(|| linear_pool(ConsistencyMode::UndoLog, 256), linear_open);
+}
+
 // ------------------------------------------------------------------- pfht
 
 #[test]
@@ -391,6 +634,36 @@ fn pfht_crash_remove() {
     crash_remove(|| pfht_pool(ConsistencyMode::UndoLog, 64), pfht_open);
 }
 
+#[test]
+fn pfht_batch_ops() {
+    for mode in MODES {
+        let (mut pm, mut t) = pfht_pool(mode, 64);
+        batch_ops(&mut pm, &mut t);
+    }
+}
+
+#[test]
+fn pfht_batch_full_table() {
+    for mode in MODES {
+        let (mut pm, mut t) = pfht_pool(mode, 16);
+        batch_full_table(&mut pm, &mut t);
+    }
+}
+
+#[test]
+fn pfht_crash_insert_batch() {
+    // At this fill level every batch key finds a free bucket slot, so the
+    // whole batch stages (no displacement fallback) in both modes.
+    for mode in MODES {
+        crash_insert_batch(|| pfht_pool(mode, 64), pfht_open);
+    }
+}
+
+#[test]
+fn pfht_crash_remove_batch() {
+    crash_remove_batch(|| pfht_pool(ConsistencyMode::UndoLog, 64), pfht_open);
+}
+
 // ------------------------------------------------------------ path hashing
 
 #[test]
@@ -426,4 +699,35 @@ fn path_crash_insert() {
 #[test]
 fn path_crash_remove() {
     crash_remove(|| path_pool(ConsistencyMode::UndoLog, 8), path_open);
+}
+
+#[test]
+fn path_batch_ops() {
+    for mode in MODES {
+        let (mut pm, mut t) = path_pool(mode, 8);
+        batch_ops(&mut pm, &mut t);
+    }
+}
+
+#[test]
+fn path_batch_full_table() {
+    for mode in MODES {
+        let (mut pm, mut t) = path_pool(mode, 6);
+        batch_full_table(&mut pm, &mut t);
+    }
+}
+
+#[test]
+fn path_crash_insert_batch() {
+    // Path's small undo log (4 ops/txn for u64 cells) splits the 6-op
+    // batch into two chunks under UndoLog — chunk boundaries are also
+    // valid prefix points, so the same assertion covers both modes.
+    for mode in MODES {
+        crash_insert_batch(|| path_pool(mode, 8), path_open);
+    }
+}
+
+#[test]
+fn path_crash_remove_batch() {
+    crash_remove_batch(|| path_pool(ConsistencyMode::UndoLog, 8), path_open);
 }

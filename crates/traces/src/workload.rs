@@ -361,7 +361,7 @@ mod tests {
             self.cap
         }
         fn recover(&mut self, _pm: &mut P) {}
-        fn check_consistency(&self, _pm: &mut P) -> Result<(), String> {
+        fn check_consistency(&self, _pm: &mut P) -> Result<(), nvm_table::TableError> {
             Ok(())
         }
     }
@@ -424,7 +424,7 @@ mod tests {
                 100
             }
             fn recover(&mut self, _pm: &mut P) {}
-            fn check_consistency(&self, _pm: &mut P) -> Result<(), String> {
+            fn check_consistency(&self, _pm: &mut P) -> Result<(), nvm_table::TableError> {
                 Ok(())
             }
         }
