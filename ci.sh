@@ -38,17 +38,30 @@ if grep -rn "nvm_pmem" crates/table/src/probe.rs crates/core/src/table/probe.rs;
   echo "layering violation: probe-plan modules must stay I/O-free (found nvm_pmem)" >&2
   lint_fail=1
 fi
+# Read-path modules (read-only view, probe plans, fingerprint scans) may
+# name only the read half of the pool surface (PmemRead); naming the
+# write-capable Pmem trait there would let a "read" mutate.
+if grep -rnE '\bPmem\b' \
+    crates/core/src/table/readview.rs crates/core/src/table/probe.rs \
+    crates/core/src/fpcache.rs crates/table/src/probe.rs; then
+  echo "layering violation: read-path modules must not name the write-capable pmem trait" >&2
+  lint_fail=1
+fi
 [ "$lint_fail" -eq 0 ]
 
 echo "==> error-type lint (no stringly-typed public Results)"
 # The batched-API redesign retired Result<_, String> from every public
-# surface; table/core/baselines/kv fail typed (TableError/InsertError/
-# BatchError/KvError) or not at all.
+# surface; table/core/baselines/kv/alloc fail typed (TableError/
+# InsertError/BatchError/KvError/AllocError) or not at all.
 if grep -rn "Result<[^>]*, String>" \
-    crates/table/src crates/core/src crates/baselines/src crates/kv/src; then
+    crates/table/src crates/core/src crates/baselines/src crates/kv/src \
+    crates/alloc/src; then
   echo "error-type violation: public APIs must use typed errors, not Result<_, String>" >&2
   exit 1
 fi
+
+echo "==> concurrency stress tests"
+cargo test -q --test concurrent_stress
 
 echo "==> cargo bench --no-run (benches must compile)"
 cargo bench --no-run --workspace

@@ -34,11 +34,11 @@
 //! let mut heap = PmemAlloc::create(&mut pm, Region::new(0, size), &cfg).unwrap();
 //!
 //! let p = heap.alloc(&mut pm, b"hello nvm").unwrap();
-//! assert_eq!(heap.read(&mut pm, p).unwrap(), b"hello nvm");
+//! assert_eq!(heap.read(&pm, p).unwrap(), b"hello nvm");
 //! heap.free(&mut pm, p).unwrap();
 //! ```
 
-use nvm_pmem::{align_up, Pmem, Region, RegionAllocator, CACHELINE};
+use nvm_pmem::{align_up, Pmem, PmemRead, Region, RegionAllocator, CACHELINE};
 use nvm_table::PmemBitmap;
 
 /// Magic word identifying an allocator header ("NVALLOC1").
@@ -55,7 +55,8 @@ const MAX_CLASSES: usize = 12;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PmemPtr(pub u64);
 
-/// Allocation errors.
+/// Allocation and geometry errors. Every failure mode is a typed
+/// variant — no stringly-typed `Result`s (enforced by the `ci.sh` lint).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AllocError {
     /// No size class fits a blob this large.
@@ -64,6 +65,36 @@ pub enum AllocError {
     OutOfMemory,
     /// The pointer does not name an allocated slot.
     BadPointer(PmemPtr),
+    /// A config declared zero or more than `MAX_CLASSES` (12) size classes.
+    BadClassCount(usize),
+    /// A class's slot size is not a multiple of 8 or leaves no blob room.
+    BadSlotSize {
+        /// Index of the offending class.
+        class: usize,
+        /// Its declared slot size.
+        slot_size: u64,
+    },
+    /// A class declared zero slots.
+    ZeroSlots {
+        /// Index of the offending class.
+        class: usize,
+    },
+    /// Class slot sizes are not strictly ascending.
+    NonAscendingClasses {
+        /// Index of the first out-of-order class.
+        class: usize,
+    },
+    /// The region cannot hold the configured (or persisted) geometry.
+    RegionTooSmall {
+        /// Bytes the region offers.
+        have: usize,
+        /// Bytes the geometry needs.
+        need: usize,
+    },
+    /// `open` found no valid allocator header (static description).
+    BadHeader(&'static str),
+    /// `open` read a class count outside `1..=MAX_CLASSES`.
+    CorruptClassCount(u64),
 }
 
 impl std::fmt::Display for AllocError {
@@ -72,6 +103,21 @@ impl std::fmt::Display for AllocError {
             AllocError::TooLarge(n) => write!(f, "blob of {n} bytes exceeds every size class"),
             AllocError::OutOfMemory => write!(f, "size class exhausted"),
             AllocError::BadPointer(p) => write!(f, "invalid persistent pointer {:#x}", p.0),
+            AllocError::BadClassCount(n) => {
+                write!(f, "need 1..={MAX_CLASSES} size classes, got {n}")
+            }
+            AllocError::BadSlotSize { class, slot_size } => {
+                write!(f, "class {class}: bad slot size {slot_size}")
+            }
+            AllocError::ZeroSlots { class } => write!(f, "class {class}: zero slots"),
+            AllocError::NonAscendingClasses { class } => {
+                write!(f, "class {class}: slot sizes must be ascending")
+            }
+            AllocError::RegionTooSmall { have, need } => {
+                write!(f, "region too small: {have} < {need}")
+            }
+            AllocError::BadHeader(msg) => f.write_str(msg),
+            AllocError::CorruptClassCount(n) => write!(f, "corrupt class count {n}"),
         }
     }
 }
@@ -128,23 +174,23 @@ impl AllocConfig {
     }
 
     /// Validates geometry.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), AllocError> {
         if self.classes.is_empty() || self.classes.len() > MAX_CLASSES {
-            return Err(format!(
-                "need 1..={MAX_CLASSES} size classes, got {}",
-                self.classes.len()
-            ));
+            return Err(AllocError::BadClassCount(self.classes.len()));
         }
         let mut prev = 0;
         for (i, c) in self.classes.iter().enumerate() {
             if c.slot_size % 8 != 0 || c.slot_size <= LEN_PREFIX as u64 {
-                return Err(format!("class {i}: bad slot size {}", c.slot_size));
+                return Err(AllocError::BadSlotSize {
+                    class: i,
+                    slot_size: c.slot_size,
+                });
             }
             if c.slots == 0 {
-                return Err(format!("class {i}: zero slots"));
+                return Err(AllocError::ZeroSlots { class: i });
             }
             if c.slot_size <= prev {
-                return Err(format!("class {i}: slot sizes must be ascending"));
+                return Err(AllocError::NonAscendingClasses { class: i });
             }
             prev = c.slot_size;
         }
@@ -245,14 +291,13 @@ impl PmemAlloc {
         pm: &mut P,
         region: Region,
         config: &AllocConfig,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, AllocError> {
         config.validate()?;
         if region.len < Self::required_size(config) {
-            return Err(format!(
-                "region too small: {} < {}",
-                region.len,
-                Self::required_size(config)
-            ));
+            return Err(AllocError::RegionTooSmall {
+                have: region.len,
+                need: Self::required_size(config),
+            });
         }
         let (header, parts) = Self::layout(region, config);
         for (c, (bm, _)) in config.classes.iter().zip(&parts) {
@@ -271,20 +316,23 @@ impl PmemAlloc {
         Ok(Self::assemble(region, config))
     }
 
-    /// Re-opens an allocator previously created in `region`.
-    pub fn open<P: Pmem>(pm: &mut P, region: Region) -> Result<Self, String> {
+    /// Re-opens an allocator previously created in `region`. Read-only:
+    /// any [`PmemRead`] handle suffices.
+    pub fn open<R: PmemRead>(pm: &R, region: Region) -> Result<Self, AllocError> {
         let header_off = align_up(region.off, CACHELINE);
         if !region.contains(header_off, 16) {
-            return Err("region too small for an allocator header".into());
+            return Err(AllocError::BadHeader(
+                "region too small for an allocator header",
+            ));
         }
         if pm.read_u64(header_off) != MAGIC {
-            return Err("allocator magic mismatch".into());
+            return Err(AllocError::BadHeader("allocator magic mismatch"));
         }
-        let n = pm.read_u64(header_off + 8) as usize;
-        if n == 0 || n > MAX_CLASSES {
-            return Err(format!("corrupt class count {n}"));
+        let n = pm.read_u64(header_off + 8);
+        if n == 0 || n > MAX_CLASSES as u64 {
+            return Err(AllocError::CorruptClassCount(n));
         }
-        let classes = (0..n)
+        let classes = (0..n as usize)
             .map(|i| SizeClass {
                 slot_size: pm.read_u64(header_off + 16 + i * 16),
                 slots: pm.read_u64(header_off + 24 + i * 16),
@@ -293,7 +341,10 @@ impl PmemAlloc {
         let config = AllocConfig { classes };
         config.validate()?;
         if region.len < Self::required_size(&config) {
-            return Err("persisted geometry does not fit the region".into());
+            return Err(AllocError::RegionTooSmall {
+                have: region.len,
+                need: Self::required_size(&config),
+            });
         }
         Ok(Self::assemble(region, &config))
     }
@@ -335,7 +386,7 @@ impl PmemAlloc {
 
     /// Resolves `ptr` to its slab and slot, requiring the slot to be
     /// allocated.
-    fn resolve<P: Pmem>(&self, pm: &mut P, ptr: PmemPtr) -> Result<(usize, u64), AllocError> {
+    fn resolve<R: PmemRead>(&self, pm: &R, ptr: PmemPtr) -> Result<(usize, u64), AllocError> {
         for (ci, slab) in self.slabs.iter().enumerate() {
             if let Some(slot) = slab.slot_of(ptr.0) {
                 if slab.bitmap.get(pm, slot) {
@@ -348,7 +399,7 @@ impl PmemAlloc {
     }
 
     /// Reads the blob at `ptr`.
-    pub fn read<P: Pmem>(&self, pm: &mut P, ptr: PmemPtr) -> Result<Vec<u8>, AllocError> {
+    pub fn read<R: PmemRead>(&self, pm: &R, ptr: PmemPtr) -> Result<Vec<u8>, AllocError> {
         let (ci, _) = self.resolve(pm, ptr)?;
         let len = pm.read_u64(ptr.0 as usize) as usize;
         debug_assert!(len <= self.slabs[ci].class.max_blob());
@@ -368,12 +419,12 @@ impl PmemAlloc {
     }
 
     /// True if `ptr` names a currently-allocated slot.
-    pub fn is_allocated<P: Pmem>(&self, pm: &mut P, ptr: PmemPtr) -> bool {
+    pub fn is_allocated<R: PmemRead>(&self, pm: &R, ptr: PmemPtr) -> bool {
         self.resolve(pm, ptr).is_ok()
     }
 
     /// Visits every allocated slot (for mark-and-sweep by owners).
-    pub fn for_each_allocated<P: Pmem>(&self, pm: &mut P, mut f: impl FnMut(PmemPtr)) {
+    pub fn for_each_allocated<R: PmemRead>(&self, pm: &R, mut f: impl FnMut(PmemPtr)) {
         for slab in &self.slabs {
             for slot in 0..slab.class.slots {
                 if slab.bitmap.get(pm, slot) {
@@ -384,7 +435,7 @@ impl PmemAlloc {
     }
 
     /// (allocated slots, total slots) per class.
-    pub fn class_usage<P: Pmem>(&self, pm: &mut P) -> Vec<(u64, u64)> {
+    pub fn class_usage<R: PmemRead>(&self, pm: &R) -> Vec<(u64, u64)> {
         self.slabs
             .iter()
             .map(|s| (s.bitmap.count_ones(pm), s.class.slots))
@@ -392,7 +443,7 @@ impl PmemAlloc {
     }
 
     /// Total allocated slots.
-    pub fn allocated<P: Pmem>(&self, pm: &mut P) -> u64 {
+    pub fn allocated<R: PmemRead>(&self, pm: &R) -> u64 {
         self.class_usage(pm).iter().map(|&(a, _)| a).sum()
     }
 
@@ -428,9 +479,9 @@ mod tests {
             .map(|b| a.alloc(&mut pm, b).unwrap())
             .collect();
         for (b, &p) in blobs.iter().zip(&ptrs) {
-            assert_eq!(&a.read(&mut pm, p).unwrap(), b);
+            assert_eq!(&a.read(&pm, p).unwrap(), b);
         }
-        assert_eq!(a.allocated(&mut pm), blobs.len() as u64);
+        assert_eq!(a.allocated(&pm), blobs.len() as u64);
     }
 
     #[test]
@@ -438,10 +489,10 @@ mod tests {
         let (mut pm, mut a, _) = setup(8 * 1024);
         let p1 = a.alloc(&mut pm, &[1u8; 20]).unwrap();
         a.free(&mut pm, p1).unwrap();
-        assert!(!a.is_allocated(&mut pm, p1));
+        assert!(!a.is_allocated(&pm, p1));
         let p2 = a.alloc(&mut pm, &[2u8; 20]).unwrap();
         assert_eq!(p1, p2, "freed slot should be reused first");
-        assert_eq!(a.read(&mut pm, p2).unwrap(), vec![2u8; 20]);
+        assert_eq!(a.read(&pm, p2).unwrap(), vec![2u8; 20]);
     }
 
     #[test]
@@ -466,10 +517,10 @@ mod tests {
     fn bad_pointers_rejected() {
         let (mut pm, mut a, _) = setup(8 * 1024);
         let p = a.alloc(&mut pm, b"x").unwrap();
-        assert!(a.read(&mut pm, PmemPtr(p.0 + 1)).is_err()); // misaligned
-        assert!(a.read(&mut pm, PmemPtr(3)).is_err()); // header area
+        assert!(a.read(&pm, PmemPtr(p.0 + 1)).is_err()); // misaligned
+        assert!(a.read(&pm, PmemPtr(3)).is_err()); // header area
         a.free(&mut pm, p).unwrap();
-        assert!(a.read(&mut pm, p).is_err()); // freed
+        assert!(a.read(&pm, p).is_err()); // freed
         assert_eq!(a.free(&mut pm, p), Err(AllocError::BadPointer(p)));
     }
 
@@ -478,15 +529,15 @@ mod tests {
         let (mut pm, mut a, region) = setup(16 * 1024);
         let p = a.alloc(&mut pm, b"persistent blob").unwrap();
         drop(a);
-        let a2 = PmemAlloc::open(&mut pm, region).unwrap();
-        assert_eq!(a2.read(&mut pm, p).unwrap(), b"persistent blob");
-        assert_eq!(a2.allocated(&mut pm), 1);
+        let a2 = PmemAlloc::open(&pm, region).unwrap();
+        assert_eq!(a2.read(&pm, p).unwrap(), b"persistent blob");
+        assert_eq!(a2.allocated(&pm), 1);
     }
 
     #[test]
     fn open_rejects_garbage() {
-        let mut pm = SimPmem::new(4096, SimConfig::fast_test());
-        assert!(PmemAlloc::open(&mut pm, Region::new(0, 4096)).is_err());
+        let pm = SimPmem::new(4096, SimConfig::fast_test());
+        assert!(PmemAlloc::open(&pm, Region::new(0, 4096)).is_err());
     }
 
     #[test]
@@ -504,13 +555,13 @@ mod tests {
             }));
             let done = run_with_crash(|| a.alloc(&mut pm, &[0xAB; 40]).unwrap()).is_ok();
             pm.crash(CrashResolution::Random(at));
-            let a = PmemAlloc::open(&mut pm, region).unwrap();
+            let a = PmemAlloc::open(&pm, region).unwrap();
             let mut live = vec![];
-            a.for_each_allocated(&mut pm, |p| live.push(p));
+            a.for_each_allocated(&pm, |p| live.push(p));
             match live.len() {
                 0 => {}
                 1 => {
-                    assert_eq!(a.read(&mut pm, live[0]).unwrap(), vec![0xAB; 40]);
+                    assert_eq!(a.read(&pm, live[0]).unwrap(), vec![0xAB; 40]);
                 }
                 n => panic!("{n} blobs after one alloc (crash at +{at})"),
             }
@@ -526,7 +577,7 @@ mod tests {
         a.alloc(&mut pm, &[0; 10]).unwrap(); // class 0 (32B slots)
         a.alloc(&mut pm, &[0; 10]).unwrap();
         a.alloc(&mut pm, &[0; 100]).unwrap(); // class 2 (128B slots)
-        let usage = a.class_usage(&mut pm);
+        let usage = a.class_usage(&pm);
         assert_eq!(usage[0].0, 2);
         assert_eq!(usage[2].0, 1);
         assert!(usage[1].0 == 0 && usage[3].0 == 0);

@@ -90,18 +90,18 @@ proptest! {
                         continue;
                     }
                     let (p, blob) = &live[i % live.len()];
-                    prop_assert_eq!(&heap.read(&mut pm, *p).unwrap(), blob);
+                    prop_assert_eq!(&heap.read(&pm, *p).unwrap(), blob);
                 }
             }
         }
 
         // Accounting and end-state checks.
-        prop_assert_eq!(heap.allocated(&mut pm), live.len() as u64);
+        prop_assert_eq!(heap.allocated(&pm), live.len() as u64);
         for (p, blob) in &live {
-            prop_assert_eq!(&heap.read(&mut pm, *p).unwrap(), blob);
+            prop_assert_eq!(&heap.read(&pm, *p).unwrap(), blob);
         }
         for p in &freed {
-            prop_assert!(heap.read(&mut pm, *p).is_err(), "freed ptr readable");
+            prop_assert!(heap.read(&pm, *p).is_err(), "freed ptr readable");
         }
     }
 
@@ -121,10 +121,10 @@ proptest! {
             }
         }
         pm.crash(CrashResolution::Random(seed));
-        let heap = PmemAlloc::open(&mut pm, region).unwrap();
-        prop_assert_eq!(heap.allocated(&mut pm), stored.len() as u64);
+        let heap = PmemAlloc::open(&pm, region).unwrap();
+        prop_assert_eq!(heap.allocated(&pm), stored.len() as u64);
         for (p, blob) in &stored {
-            prop_assert_eq!(&heap.read(&mut pm, *p).unwrap(), blob);
+            prop_assert_eq!(&heap.read(&pm, *p).unwrap(), blob);
         }
     }
 }

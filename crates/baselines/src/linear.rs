@@ -200,7 +200,7 @@ impl<P: Pmem, K: HashKey, V: Pod> LinearProbing<P, K, V> {
     }
 
     /// Finds the cell holding `key`, walking the probe sequence.
-    fn find(&self, pm: &mut P, key: &K) -> Option<u64> {
+    fn find(&self, pm: &P, key: &K) -> Option<u64> {
         for (step, i) in self.plan.sequence(self.home(key)).enumerate() {
             if !self.store.is_occupied(pm, i) {
                 self.note_probe(step as u64 + 1);
@@ -286,7 +286,7 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for LinearProbing<P, K, V>
         }
     }
 
-    fn get(&self, pm: &mut P, key: &K) -> Option<V> {
+    fn get(&self, pm: &P, key: &K) -> Option<V> {
         self.find(pm, key).map(|i| self.store.read_value(pm, i))
     }
 
@@ -324,7 +324,7 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for LinearProbing<P, K, V>
         true
     }
 
-    fn len(&self, pm: &mut P) -> u64 {
+    fn len(&self, pm: &P) -> u64 {
         self.header.count(pm)
     }
 
@@ -338,7 +338,7 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for LinearProbing<P, K, V>
         self.header.set_count(pm, count);
     }
 
-    fn check_consistency(&self, pm: &mut P) -> Result<(), TableError> {
+    fn check_consistency(&self, pm: &P) -> Result<(), TableError> {
         let mut occupied = 0u64;
         let mut seen: HashMap<Vec<u8>, u64> = HashMap::new();
         for i in 0..self.plan.n() {
@@ -405,10 +405,10 @@ mod tests {
                 t.insert(&mut pm, k, k * 2).unwrap();
             }
             for k in 0..150u64 {
-                assert_eq!(t.get(&mut pm, &k), Some(k * 2));
+                assert_eq!(t.get(&pm, &k), Some(k * 2));
             }
-            assert_eq!(t.len(&mut pm), 150);
-            t.check_consistency(&mut pm).unwrap();
+            assert_eq!(t.len(&pm), 150);
+            t.check_consistency(&pm).unwrap();
         }
     }
 
@@ -421,11 +421,11 @@ mod tests {
         }
         for k in (0..48u64).step_by(3) {
             assert!(t.remove(&mut pm, &k), "remove {k}");
-            t.check_consistency(&mut pm).unwrap();
+            t.check_consistency(&pm).unwrap();
         }
         for k in 0..48u64 {
             let want = if k % 3 == 0 { None } else { Some(k) };
-            assert_eq!(t.get(&mut pm, &k), want, "key {k}");
+            assert_eq!(t.get(&pm, &k), want, "key {k}");
         }
     }
 
@@ -441,9 +441,9 @@ mod tests {
             }
             k += 1;
         }
-        assert_eq!(t.len(&mut pm), 64);
+        assert_eq!(t.len(&pm), 64);
         assert_eq!(t.insert(&mut pm, k, k), Err(InsertError::TableFull));
-        t.check_consistency(&mut pm).unwrap();
+        t.check_consistency(&pm).unwrap();
     }
 
     #[test]
@@ -457,7 +457,7 @@ mod tests {
             LinearProbing::<SimPmem, u64, u64>::open(&mut pm, Region::new(0, size)).unwrap();
         assert_eq!(t2.name(), "linear-L");
         for k in 0..60u64 {
-            assert_eq!(t2.get(&mut pm, &k), Some(k + 9));
+            assert_eq!(t2.get(&pm, &k), Some(k + 9));
         }
     }
 
@@ -491,7 +491,7 @@ mod tests {
         for k in 0..40u64 {
             t.insert(&mut pm, k, k).unwrap();
         }
-        let before: Vec<Option<u64>> = (0..40).map(|k| t.get(&mut pm, &k)).collect();
+        let before: Vec<Option<u64>> = (0..40).map(|k| t.get(&pm, &k)).collect();
         // Crash at each event inside a delete; after recovery the table
         // must be exactly the pre-delete state or the post-delete state.
         for at in 0.. {
@@ -515,16 +515,16 @@ mod tests {
             )
             .unwrap();
             t3.recover(&mut pm2);
-            t3.check_consistency(&mut pm2)
+            t3.check_consistency(&pm2)
                 .unwrap_or_else(|e| panic!("crash at +{at}: {e}"));
             // All-or-nothing: either 17 is still fully there or fully gone;
             // every other key untouched.
             for k in 0..40u64 {
                 if k == 17 {
-                    let got = t3.get(&mut pm2, &k);
+                    let got = t3.get(&pm2, &k);
                     assert!(got == before[k as usize] || got.is_none());
                 } else {
-                    assert_eq!(t3.get(&mut pm2, &k), before[k as usize], "key {k} at +{at}");
+                    assert_eq!(t3.get(&pm2, &k), before[k as usize], "key {k} at +{at}");
                 }
             }
         }

@@ -216,7 +216,7 @@ impl<P: Pmem, K: HashKey, V: Pod> PathHash<P, K, V> {
     /// Visits the candidate cells of `key` level by level (leaf pair,
     /// then their parents, ...). Returns the first cell where `f` says
     /// stop.
-    fn scan_paths(&self, pm: &mut P, key: &K, mut f: impl FnMut(&mut P, u64) -> bool) -> Option<u64> {
+    fn scan_paths(&self, pm: &P, key: &K, mut f: impl FnMut(&P, u64) -> bool) -> Option<u64> {
         let (l1, l2) = self.leaves_of(key);
         self.plan.path_cells(l1, l2).find(|&idx| f(pm, idx))
     }
@@ -247,7 +247,7 @@ impl<P: Pmem, K: HashKey, V: Pod> PathHash<P, K, V> {
     }
 
     /// Locates `key`.
-    fn find(&self, pm: &mut P, key: &K) -> Option<u64> {
+    fn find(&self, pm: &P, key: &K) -> Option<u64> {
         let store = self.store;
         let mut probes = 0u64;
         let found = self.scan_paths(pm, key, |pm, idx| {
@@ -277,7 +277,7 @@ impl<P: Pmem, K: HashKey, V: Pod> PathHash<P, K, V> {
     }
 
     /// Items stored per level (diagnostic).
-    pub fn level_occupancy(&self, pm: &mut P) -> Vec<u64> {
+    pub fn level_occupancy(&self, pm: &P) -> Vec<u64> {
         (0..self.plan.levels())
             .map(|i| {
                 self.store.bitmap.count_ones_in_range(
@@ -364,7 +364,7 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for PathHash<P, K, V> {
         }
     }
 
-    fn get(&self, pm: &mut P, key: &K) -> Option<V> {
+    fn get(&self, pm: &P, key: &K) -> Option<V> {
         self.find(pm, key).map(|idx| self.store.read_value(pm, idx))
     }
 
@@ -403,7 +403,7 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for PathHash<P, K, V> {
         removed
     }
 
-    fn len(&self, pm: &mut P) -> u64 {
+    fn len(&self, pm: &P) -> u64 {
         self.header.count(pm)
     }
 
@@ -417,7 +417,7 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for PathHash<P, K, V> {
         self.header.set_count(pm, count);
     }
 
-    fn check_consistency(&self, pm: &mut P) -> Result<(), TableError> {
+    fn check_consistency(&self, pm: &P) -> Result<(), TableError> {
         let mut occupied = 0u64;
         let mut seen: HashMap<Vec<u8>, u64> = HashMap::new();
         for i in 0..self.capacity() {
@@ -501,13 +501,13 @@ mod tests {
                 t.insert(&mut pm, k, k * 2).unwrap();
             }
             for k in 0..300u64 {
-                assert_eq!(t.get(&mut pm, &k), Some(k * 2));
+                assert_eq!(t.get(&pm, &k), Some(k * 2));
             }
             for k in 0..100u64 {
                 assert!(t.remove(&mut pm, &k));
             }
-            assert_eq!(t.len(&mut pm), 200);
-            t.check_consistency(&mut pm).unwrap();
+            assert_eq!(t.len(&pm), 200);
+            t.check_consistency(&pm).unwrap();
         }
     }
 
@@ -521,11 +521,11 @@ mod tests {
                 inserted += 1;
             }
         }
-        let occ = t.level_occupancy(&mut pm);
+        let occ = t.level_occupancy(&pm);
         assert!(occ[0] > 0);
         assert!(occ[1..].iter().any(|&n| n > 0), "no overflow into levels: {occ:?}");
         assert_eq!(occ.iter().sum::<u64>(), inserted);
-        t.check_consistency(&mut pm).unwrap();
+        t.check_consistency(&pm).unwrap();
     }
 
     #[test]
@@ -539,9 +539,9 @@ mod tests {
             }
             k += 1;
         }
-        let util = t.len(&mut pm) as f64 / t.capacity() as f64;
+        let util = t.len(&pm) as f64 / t.capacity() as f64;
         assert!(util > 0.75, "utilization {util:.3} too low");
-        t.check_consistency(&mut pm).unwrap();
+        t.check_consistency(&pm).unwrap();
     }
 
     #[test]
@@ -553,11 +553,11 @@ mod tests {
         let size = PathHash::<SimPmem, u64, u64>::required_size(7, 5);
         let t2 = PathHash::<SimPmem, u64, u64>::open(&mut pm, Region::new(0, size)).unwrap();
         assert_eq!(t2.name(), "path-L");
-        assert_eq!(t2.len(&mut pm), 80);
+        assert_eq!(t2.len(&pm), 80);
         for k in 0..80u64 {
-            assert_eq!(t2.get(&mut pm, &k), Some(k + 3));
+            assert_eq!(t2.get(&pm, &k), Some(k + 3));
         }
-        t2.check_consistency(&mut pm).unwrap();
+        t2.check_consistency(&pm).unwrap();
     }
 
     #[test]
@@ -573,7 +573,7 @@ mod tests {
             }
         }
         assert!((2..=3).contains(&stored), "stored {stored}");
-        assert_eq!(t.len(&mut pm), stored);
-        t.check_consistency(&mut pm).unwrap();
+        assert_eq!(t.len(&pm), stored);
+        t.check_consistency(&pm).unwrap();
     }
 }

@@ -245,7 +245,7 @@ impl<P: Pmem, K: HashKey, V: Pod> Pfht<P, K, V> {
     }
 
     /// Finds a free slot in bucket `b`.
-    fn free_slot_in(&self, pm: &mut P, b: u64) -> Option<u64> {
+    fn free_slot_in(&self, pm: &P, b: u64) -> Option<u64> {
         self.store
             .bitmap
             .find_zero_in_range(pm, self.plan.cell(b, 0), BUCKET_CELLS)
@@ -253,7 +253,7 @@ impl<P: Pmem, K: HashKey, V: Pod> Pfht<P, K, V> {
 
     /// Overlay-aware variant of [`Pfht::free_slot_in`]: cells claimed by
     /// an in-flight batch session count as occupied.
-    fn free_slot_for(&self, pm: &mut P, sess: &BatchSession<K, V>, b: u64) -> Option<u64> {
+    fn free_slot_for(&self, pm: &P, sess: &BatchSession<K, V>, b: u64) -> Option<u64> {
         (0..BUCKET_CELLS)
             .map(|s| self.plan.cell(b, s))
             .find(|&idx| self.store.is_free_for(pm, sess, idx))
@@ -369,7 +369,7 @@ impl<P: Pmem, K: HashKey, V: Pod> Pfht<P, K, V> {
     }
 
     /// Locates `key` anywhere (buckets, then stash).
-    fn find(&self, pm: &mut P, key: &K) -> Option<u64> {
+    fn find(&self, pm: &P, key: &K) -> Option<u64> {
         let (b1, b2) = self.buckets_of(key);
         let mut probes = 0u64;
         for b in [b1, b2] {
@@ -397,7 +397,7 @@ impl<P: Pmem, K: HashKey, V: Pod> Pfht<P, K, V> {
     }
 
     /// Number of items currently in the stash (diagnostic).
-    pub fn stash_used(&self, pm: &mut P) -> u64 {
+    pub fn stash_used(&self, pm: &P) -> u64 {
         self.store.bitmap.count_ones_in_range(
             pm,
             self.plan.stash_base(),
@@ -491,7 +491,7 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for Pfht<P, K, V> {
         }
     }
 
-    fn get(&self, pm: &mut P, key: &K) -> Option<V> {
+    fn get(&self, pm: &P, key: &K) -> Option<V> {
         self.find(pm, key).map(|idx| self.store.read_value(pm, idx))
     }
 
@@ -530,7 +530,7 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for Pfht<P, K, V> {
         removed
     }
 
-    fn len(&self, pm: &mut P) -> u64 {
+    fn len(&self, pm: &P) -> u64 {
         self.header.count(pm)
     }
 
@@ -544,7 +544,7 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for Pfht<P, K, V> {
         self.header.set_count(pm, count);
     }
 
-    fn check_consistency(&self, pm: &mut P) -> Result<(), TableError> {
+    fn check_consistency(&self, pm: &P) -> Result<(), TableError> {
         let mut occupied = 0u64;
         let mut seen: HashMap<Vec<u8>, u64> = HashMap::new();
         let total = self.capacity();
@@ -606,13 +606,13 @@ mod tests {
                 t.insert(&mut pm, k, k + 1).unwrap();
             }
             for k in 0..180u64 {
-                assert_eq!(t.get(&mut pm, &k), Some(k + 1));
+                assert_eq!(t.get(&pm, &k), Some(k + 1));
             }
             for k in 0..90u64 {
                 assert!(t.remove(&mut pm, &k));
             }
-            assert_eq!(t.len(&mut pm), 90);
-            t.check_consistency(&mut pm).unwrap();
+            assert_eq!(t.len(&pm), 90);
+            t.check_consistency(&pm).unwrap();
         }
     }
 
@@ -646,16 +646,16 @@ mod tests {
             }
             k += 1;
         }
-        let stash = t.stash_used(&mut pm);
+        let stash = t.stash_used(&pm);
         assert!(stash > 0, "stash unused at saturation");
         assert_eq!(
             stash,
             t.capacity() - 16 * BUCKET_CELLS,
             "table full implies stash full"
         );
-        t.check_consistency(&mut pm).unwrap();
+        t.check_consistency(&pm).unwrap();
         for &key in &stored {
-            assert_eq!(t.get(&mut pm, &key), Some(key));
+            assert_eq!(t.get(&pm, &key), Some(key));
         }
     }
 
@@ -670,9 +670,9 @@ mod tests {
             }
         }
         for &k in &keys {
-            assert_eq!(t.get(&mut pm, &k), Some(k * 7));
+            assert_eq!(t.get(&pm, &k), Some(k * 7));
         }
-        t.check_consistency(&mut pm).unwrap();
+        t.check_consistency(&pm).unwrap();
     }
 
     #[test]
@@ -688,8 +688,8 @@ mod tests {
             k += 1;
         }
         assert!(full, "tiny PFHT never filled");
-        assert!(t.len(&mut pm) <= t.capacity());
-        t.check_consistency(&mut pm).unwrap();
+        assert!(t.len(&pm) <= t.capacity());
+        t.check_consistency(&pm).unwrap();
     }
 
     #[test]
@@ -701,10 +701,10 @@ mod tests {
         let stash = (32 * BUCKET_CELLS * 3 / 100).max(4);
         let size = Pfht::<SimPmem, u64, u64>::required_size(32, stash);
         let t2 = Pfht::<SimPmem, u64, u64>::open(&mut pm, Region::new(0, size)).unwrap();
-        assert_eq!(t2.len(&mut pm), 50);
+        assert_eq!(t2.len(&pm), 50);
         assert_eq!(t2.name(), "PFHT");
         for k in 0..50u64 {
-            assert_eq!(t2.get(&mut pm, &k), Some(k));
+            assert_eq!(t2.get(&pm, &k), Some(k));
         }
     }
 }

@@ -114,12 +114,12 @@ proptest! {
         for (i, &k) in keys.iter().enumerate() {
             if i % drop_every == 0 {
                 prop_assert!(t.remove(&mut pm, &k));
-                t.check_consistency(&mut pm).map_err(|e| TestCaseError::fail(e.to_string()))?;
+                t.check_consistency(&pm).map_err(|e| TestCaseError::fail(e.to_string()))?;
             }
         }
         for (i, &k) in keys.iter().enumerate() {
             let expect = if i % drop_every == 0 { None } else { Some(k) };
-            prop_assert_eq!(t.get(&mut pm, &k), expect);
+            prop_assert_eq!(t.get(&pm, &k), expect);
         }
     }
 
@@ -150,8 +150,8 @@ proptest! {
             }
         }
         for (&k, &v) in &present {
-            prop_assert_eq!(t.get(&mut pm, &k), Some(v));
+            prop_assert_eq!(t.get(&pm, &k), Some(v));
         }
-        t.check_consistency(&mut pm).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        t.check_consistency(&pm).map_err(|e| TestCaseError::fail(e.to_string()))?;
     }
 }

@@ -63,7 +63,7 @@ fn bench_variant(
         b.iter(|| {
             let k = filled[qi % filled.len()];
             qi += 1;
-            assert!(table.get(&mut pm, &k).is_some());
+            assert!(table.get(&pm, &k).is_some());
         })
     });
     g.finish();

@@ -40,7 +40,7 @@ fn bench_group_sizes(c: &mut Criterion) {
             b.iter(|| {
                 let k = filled[qi % filled.len()];
                 qi += 1;
-                assert!(table.get(&mut pm, &k).is_some());
+                assert!(table.get(&pm, &k).is_some());
             })
         });
         let mut ii = 0usize;

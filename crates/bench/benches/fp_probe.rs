@@ -41,7 +41,7 @@ fn bench_mode(c: &mut Criterion, group_size: u64, fp: FpMode) {
     let cfg = GroupHashConfig::new(CELLS_PER_LEVEL, group_size)
         .with_seed(SEED)
         .with_fp_mode(fp);
-    let (mut pm, table, filled) = build(cfg);
+    let (pm, table, filled) = build(cfg);
     // fresh_keys skips the fill stream's prefix (plus the possible final
     // rejected draw), so these all miss.
     let absent = fresh_keys(SEED, filled.len() + 1, 4096);
@@ -51,7 +51,7 @@ fn bench_mode(c: &mut Criterion, group_size: u64, fp: FpMode) {
         b.iter(|| {
             let k = filled[pi % filled.len()];
             pi += 1;
-            assert!(table.get(&mut pm, &k).is_some());
+            assert!(table.get(&pm, &k).is_some());
         })
     });
     let mut ni = 0usize;
@@ -59,7 +59,7 @@ fn bench_mode(c: &mut Criterion, group_size: u64, fp: FpMode) {
         b.iter(|| {
             let k = absent[ni % absent.len()];
             ni += 1;
-            assert!(table.get(&mut pm, &k).is_none());
+            assert!(table.get(&pm, &k).is_none());
         })
     });
     g.finish();

@@ -1,0 +1,61 @@
+//! Read scaling: shared-read lookups across threads (tentpole read path).
+//!
+//! The `&self` read port means one `GroupReadView` plus cloned
+//! [`Pmem::read_handle`]s can serve lookups from many threads with no
+//! lock and no shared mutable state. This bench fixes a populated
+//! `RealPmem` table and measures aggregate lookup throughput at 1, 2,
+//! and 4 threads — if the read path truly shares nothing mutable,
+//! elements/sec should scale close to linearly until memory bandwidth
+//! saturates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use group_hash::{GroupHash, GroupHashConfig};
+use nvm_pmem::{Pmem, RealPmem, Region};
+
+const CELLS_PER_LEVEL: u64 = 1 << 13;
+const OPS_PER_THREAD: u64 = 4096;
+
+fn bench_read_scaling(c: &mut Criterion) {
+    let cfg = GroupHashConfig::new(CELLS_PER_LEVEL, 256);
+    let size = GroupHash::<RealPmem, u64, u64>::required_size(&cfg);
+    let mut pm = RealPmem::new(size);
+    let mut t = GroupHash::<_, u64, u64>::create(&mut pm, Region::new(0, size), cfg).unwrap();
+    let n_keys = CELLS_PER_LEVEL / 2; // 25% of total capacity
+    for k in 0..n_keys {
+        t.insert(&mut pm, k, k ^ 0xFF).unwrap();
+    }
+    let view = t.read_view();
+    let reader = pm.read_handle();
+
+    let mut g = c.benchmark_group("read_scaling");
+    for threads in [1usize, 2, 4] {
+        g.throughput(Throughput::Elements(threads as u64 * OPS_PER_THREAD));
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &nt| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for ti in 0..nt {
+                        let r = reader.clone();
+                        s.spawn(move || {
+                            // Odd per-thread stride: covers the key
+                            // space without threads probing in step.
+                            let stride = 2 * ti as u64 + 1;
+                            let mut k = ti as u64 % n_keys;
+                            let mut hits = 0u64;
+                            for _ in 0..OPS_PER_THREAD {
+                                if view.get(&r, &k).is_some() {
+                                    hits += 1;
+                                }
+                                k = (k + stride) % n_keys;
+                            }
+                            assert_eq!(hits, OPS_PER_THREAD);
+                        });
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_read_scaling);
+criterion_main!(benches);

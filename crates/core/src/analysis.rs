@@ -39,7 +39,7 @@ impl TableAnalysis {
     /// Builds an occupancy snapshot (O(capacity)).
     pub fn capture<P: Pmem, K: HashKey, V: Pod>(
         table: &GroupHash<P, K, V>,
-        pm: &mut P,
+        pm: &P,
     ) -> Self {
         let (config, bitmap1, bitmap2, _c1, _c2) = table.parts();
         let gs = config.group_size;
@@ -106,7 +106,7 @@ impl TableAnalysis {
 /// The first violation comes back as [`TableError::Corrupt`].
 pub fn check_consistency<P: Pmem, K: HashKey, V: Pod>(
     table: &GroupHash<P, K, V>,
-    pm: &mut P,
+    pm: &P,
 ) -> Result<(), TableError> {
     let (config, bitmap1, bitmap2, cells1, cells2) = table.parts();
     let n = config.cells_per_level;
@@ -187,7 +187,7 @@ mod tests {
         for k in 0..150u64 {
             t.insert(&mut pm, k, k).unwrap();
         }
-        let a = TableAnalysis::capture(&t, &mut pm);
+        let a = TableAnalysis::capture(&t, &pm);
         assert_eq!(a.level1_used + a.level2_used, 150);
         assert_eq!(a.groups.len(), 16);
         assert_eq!(
@@ -199,13 +199,13 @@ mod tests {
 
     #[test]
     fn empty_table_analysis() {
-        let (mut pm, t, _) = make(256, 16);
-        let a = TableAnalysis::capture(&t, &mut pm);
+        let (pm, t, _) = make(256, 16);
+        let a = TableAnalysis::capture(&t, &pm);
         assert_eq!(a.level1_used, 0);
         assert_eq!(a.level2_used, 0);
         assert_eq!(a.max_group_fill(), 0);
         assert_eq!(a.mean_overflow_ratio(), 0.0);
-        t.check_consistency(&mut pm).unwrap();
+        t.check_consistency(&pm).unwrap();
     }
 
     #[test]
@@ -217,7 +217,7 @@ mod tests {
         assert_eq!(config.cells_per_level, 256);
         // count lives at header offset +16; header starts at region offset 0.
         nvm_pmem::Pmem::atomic_write_u64(&mut pm, 16, 5);
-        let err = t.check_consistency(&mut pm).unwrap_err();
+        let err = t.check_consistency(&pm).unwrap_err();
         assert!(err.to_string().contains("count"), "{err}");
     }
 
@@ -228,14 +228,14 @@ mod tests {
         let slot = {
             let (_, b1, ..) = t.parts();
             // find the occupied level-1 slot
-            (0..256).find(|&i| b1.get(&mut pm, i)).unwrap()
+            (0..256).find(|&i| b1.get(&pm, i)).unwrap()
         };
         // Clear the bit without erasing the cell: a mid-delete crash state.
         let (_, b1, ..) = t.parts();
         b1.set_and_persist(&mut pm, slot, false);
-        assert!(t.check_consistency(&mut pm).is_err());
+        assert!(t.check_consistency(&pm).is_err());
         // Recovery repairs it.
         t.recover(&mut pm);
-        t.check_consistency(&mut pm).unwrap();
+        t.check_consistency(&pm).unwrap();
     }
 }

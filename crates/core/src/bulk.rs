@@ -201,14 +201,14 @@ mod tests {
         let r = b.bulk_load(&mut pm_b, entries.iter().copied());
         assert_eq!(r.loaded as u64 + r.rejected as u64, 300);
         assert_eq!(r.loaded, inc_loaded);
-        assert_eq!(a.len(&mut pm_a), b.len(&mut pm_b));
+        assert_eq!(a.len(&pm_a), b.len(&pm_b));
         for &(k, v) in &entries {
-            assert_eq!(a.get(&mut pm_a, &k), b.get(&mut pm_b, &k), "key {k}");
-            if a.get(&mut pm_a, &k).is_some() {
-                assert_eq!(b.get(&mut pm_b, &k), Some(v));
+            assert_eq!(a.get(&pm_a, &k), b.get(&pm_b, &k), "key {k}");
+            if a.get(&pm_a, &k).is_some() {
+                assert_eq!(b.get(&pm_b, &k), Some(v));
             }
         }
-        b.check_consistency(&mut pm_b).unwrap();
+        b.check_consistency(&pm_b).unwrap();
     }
 
     #[test]
@@ -241,11 +241,11 @@ mod tests {
         }
         let r = t.bulk_load(&mut pm, (100..200u64).map(|k| (k, k + 1)));
         assert_eq!(r.loaded + r.rejected, 100);
-        assert_eq!(t.len(&mut pm), 50 + r.loaded as u64);
+        assert_eq!(t.len(&pm), 50 + r.loaded as u64);
         for k in 0..50u64 {
-            assert_eq!(t.get(&mut pm, &k), Some(k), "pre-existing key {k}");
+            assert_eq!(t.get(&pm, &k), Some(k), "pre-existing key {k}");
         }
-        t.check_consistency(&mut pm).unwrap();
+        t.check_consistency(&pm).unwrap();
     }
 
     #[test]
@@ -275,15 +275,15 @@ mod tests {
             pm.crash(CrashResolution::Random(at));
             let mut t = Table::open(&mut pm, region).unwrap();
             t.recover(&mut pm);
-            t.check_consistency(&mut pm)
+            t.check_consistency(&pm)
                 .unwrap_or_else(|e| panic!("crash at +{at}: {e}"));
             // Base data intact.
             for k in 1000..1010u64 {
-                assert_eq!(t.get(&mut pm, &k), Some(k), "base key {k} at +{at}");
+                assert_eq!(t.get(&pm, &k), Some(k), "base key {k} at +{at}");
             }
             // Any surviving bulk entry must carry its correct value.
             for &(k, v) in &entries {
-                if let Some(got) = t.get(&mut pm, &k) {
+                if let Some(got) = t.get(&pm, &k) {
                     assert_eq!(got, v, "torn bulk entry {k} at +{at}");
                 }
             }
@@ -301,10 +301,10 @@ mod tests {
         let r = t.bulk_load(&mut pm, (0..200u64).map(|k| (k, k)));
         assert!(r.loaded >= 190, "{r:?}");
         for k in 0..200u64 {
-            if t.get(&mut pm, &k).is_some() {
-                assert_eq!(t.get(&mut pm, &k), Some(k));
+            if t.get(&pm, &k).is_some() {
+                assert_eq!(t.get(&pm, &k), Some(k));
             }
         }
-        t.check_consistency(&mut pm).unwrap();
+        t.check_consistency(&pm).unwrap();
     }
 }

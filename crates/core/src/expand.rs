@@ -90,14 +90,14 @@ mod tests {
         let t2 = t
             .expand_into(&mut pm, Region::new(small, big + 128), big_cfg)
             .unwrap();
-        assert_eq!(t2.len(&mut pm), 100);
+        assert_eq!(t2.len(&pm), 100);
         for k in 0..100u64 {
-            assert_eq!(t2.get(&mut pm, &k), Some(k * 3));
+            assert_eq!(t2.get(&pm, &k), Some(k * 3));
         }
-        t2.check_consistency(&mut pm).unwrap();
+        t2.check_consistency(&pm).unwrap();
         // Source untouched.
-        assert_eq!(t.len(&mut pm), 100);
-        t.check_consistency(&mut pm).unwrap();
+        assert_eq!(t.len(&pm), 100);
+        t.check_consistency(&pm).unwrap();
     }
 
     #[test]
@@ -135,10 +135,10 @@ mod tests {
         assert_eq!(t2.config().fp, FpMode::On);
         // The destination's volatile tag cache was maintained insert-by-
         // insert during the rehash; verify it agrees with the pool.
-        t2.verify_fp_cache(&mut pm).unwrap();
-        t2.check_consistency(&mut pm).unwrap();
+        t2.verify_fp_cache(&pm).unwrap();
+        t2.check_consistency(&pm).unwrap();
         for k in 0..100u64 {
-            assert_eq!(t2.get(&mut pm, &k), Some(k * 3));
+            assert_eq!(t2.get(&pm, &k), Some(k * 3));
         }
     }
 
@@ -165,7 +165,7 @@ mod tests {
             .unwrap();
         // The key that failed now fits.
         t2.insert(&mut pm, full_at, full_at).unwrap();
-        assert_eq!(t2.len(&mut pm), t.len(&mut pm) + 1);
-        t2.check_consistency(&mut pm).unwrap();
+        assert_eq!(t2.len(&pm), t.len(&pm) + 1);
+        t2.check_consistency(&pm).unwrap();
     }
 }

@@ -28,7 +28,7 @@
 //!
 //! ```
 //! use group_hash::{GroupHash, GroupHashConfig};
-//! use nvm_pmem::{Pmem, Region, SimPmem, SimConfig};
+//! use nvm_pmem::{Pmem, PmemRead, Region, SimPmem, SimConfig};
 //!
 //! let cfg = GroupHashConfig::new(1 << 10, 64); // 1024 cells/level, groups of 64
 //! let mut pm = SimPmem::new(
@@ -39,9 +39,9 @@
 //! let mut table = GroupHash::<_, u64, u64>::create(&mut pm, region, cfg).unwrap();
 //!
 //! table.insert(&mut pm, 42, 4200).unwrap();
-//! assert_eq!(table.get(&mut pm, &42), Some(4200));
+//! assert_eq!(table.get(&pm, &42), Some(4200));
 //! assert!(table.remove(&mut pm, &42));
-//! assert_eq!(table.get(&mut pm, &42), None);
+//! assert_eq!(table.get(&pm, &42), None);
 //! ```
 //!
 //! ## Crash recovery
@@ -60,7 +60,7 @@
 //! pm.crash(CrashResolution::DropUnflushed);          // power failure
 //! let mut t = GroupHash::<_, u64, u64>::open(&mut pm, region).unwrap();
 //! t.recover(&mut pm);                                 // Algorithm 4
-//! assert_eq!(t.get(&mut pm, &1), Some(100));          // committed data survives
+//! assert_eq!(t.get(&pm, &1), Some(100));          // committed data survives
 //! ```
 
 mod analysis;
@@ -80,7 +80,7 @@ pub use bulk::BulkLoadReport;
 pub use concurrent::ShardedGroupHash;
 pub use resize::ResizingGroupHash;
 pub use config::{ChoiceMode, CommitStrategy, CountMode, FpMode, GroupHashConfig, ProbeLayout};
-pub use table::GroupHash;
+pub use table::{GroupHash, GroupReadView};
 
 // Re-exported so downstream users need only this crate for the common case.
 pub use nvm_table::{HashScheme, InsertError};

@@ -64,9 +64,9 @@ impl<P: Pmem, K: HashKey, V: Pod> ResizingGroupHash<P, K, V> {
 
         // Migrate via bulk load (amortized persists; crash-safe per
         // bulk_load's phase argument).
-        let mut entries = Vec::with_capacity(self.table.len(&mut self.pm) as usize);
+        let mut entries = Vec::with_capacity(self.table.len(&self.pm) as usize);
         self.table
-            .for_each_entry(&mut self.pm, |k, v| entries.push((k, v)));
+            .for_each_entry(&self.pm, |k, v| entries.push((k, v)));
         let report = new_table.bulk_load(&mut new_pm, entries);
         if report.rejected > 0 {
             // Doubling not enough (pathological skew): caller retries and
@@ -93,7 +93,7 @@ impl<P: Pmem, K: HashKey, V: Pod> ResizingGroupHash<P, K, V> {
 
     /// Looks up `key`.
     pub fn get(&mut self, key: &K) -> Option<V> {
-        self.table.get(&mut self.pm, key)
+        self.table.get(&self.pm, key)
     }
 
     /// Removes `key`.
@@ -108,7 +108,7 @@ impl<P: Pmem, K: HashKey, V: Pod> ResizingGroupHash<P, K, V> {
 
     /// Entries stored.
     pub fn len(&mut self) -> u64 {
-        self.table.len(&mut self.pm)
+        self.table.len(&self.pm)
     }
 
     /// True when empty.

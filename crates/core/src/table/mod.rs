@@ -11,9 +11,12 @@
 
 mod ops;
 mod probe;
+mod readview;
 mod store;
 #[cfg(test)]
 mod tests;
+
+pub use readview::GroupReadView;
 
 use crate::config::{CommitStrategy, CountMode, FpMode, GroupHashConfig};
 use crate::fpcache::FpCache;
@@ -340,7 +343,7 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
     }
 
     /// Occupied cells.
-    pub fn len(&self, pm: &mut P) -> u64 {
+    pub fn len(&self, pm: &P) -> u64 {
         match self.config.count_mode {
             CountMode::Persistent => self.header.count(pm),
             CountMode::Volatile => self.volatile_count,
@@ -348,7 +351,7 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
     }
 
     /// True when no cell is occupied.
-    pub fn is_empty(&self, pm: &mut P) -> bool {
+    pub fn is_empty(&self, pm: &P) -> bool {
         self.len(pm) == 0
     }
 
@@ -357,9 +360,19 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
         2 * self.config.cells_per_level
     }
 
+    /// Captures a [`GroupReadView`]: a `Copy`-able, read-only probe
+    /// machine over this table's cells that answers `get` through any
+    /// [`PmemRead`](nvm_pmem::PmemRead) handle. The view holds layout
+    /// only (no pool bytes), so it stays valid across mutations of the
+    /// owning table; concurrent readers must pair it with a validation
+    /// protocol (see `ShardedGroupHash`).
+    pub fn read_view(&self) -> GroupReadView<K, V> {
+        GroupReadView::new(self.config, self.hash, self.store1, self.store2)
+    }
+
     /// Visits every stored `(key, value)` pair. Level 1 first, then level
     /// 2, each in index order.
-    pub fn for_each_entry(&self, pm: &mut P, mut f: impl FnMut(K, V)) {
+    pub fn for_each_entry(&self, pm: &P, mut f: impl FnMut(K, V)) {
         let n = self.config.cells_per_level;
         for level in [Level::One, Level::Two] {
             let store = self.level_store(level);
@@ -416,7 +429,7 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for GroupHash<P, K, V> {
         GroupHash::insert(self, pm, key, value)
     }
 
-    fn get(&self, pm: &mut P, key: &K) -> Option<V> {
+    fn get(&self, pm: &P, key: &K) -> Option<V> {
         GroupHash::get(self, pm, key)
     }
 
@@ -432,7 +445,7 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for GroupHash<P, K, V> {
         GroupHash::remove_batch(self, pm, keys)
     }
 
-    fn len(&self, pm: &mut P) -> u64 {
+    fn len(&self, pm: &P) -> u64 {
         GroupHash::len(self, pm)
     }
 
@@ -444,7 +457,7 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for GroupHash<P, K, V> {
         GroupHash::recover(self, pm)
     }
 
-    fn check_consistency(&self, pm: &mut P) -> Result<(), TableError> {
+    fn check_consistency(&self, pm: &P) -> Result<(), TableError> {
         crate::analysis::check_consistency(self, pm)
     }
 

@@ -22,7 +22,7 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
     /// occupancy histogram records).
     fn find_free_in_group(
         &self,
-        pm: &mut P,
+        pm: &P,
         sess: &BatchSession<K, V>,
         g: u64,
     ) -> (Option<u64>, u64) {
@@ -86,7 +86,7 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
     /// resolved from its DRAM tag alone).
     fn find_key_in_group(
         &self,
-        pm: &mut P,
+        pm: &P,
         g: u64,
         key: &K,
         tag: Option<u8>,
@@ -217,7 +217,7 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
     /// but writes nothing.
     fn plan_insert(
         &self,
-        pm: &mut P,
+        pm: &P,
         sess: &BatchSession<K, V>,
         key: &K,
     ) -> Result<(Level, u64), InsertError> {
@@ -284,7 +284,7 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
         if items.is_empty() {
             return Ok(());
         }
-        let base = *pm.stats();
+        let base = pm.stats();
         let per_op = [self.store1.cells.entry_len(), 8];
         let fixed: &[usize] = match self.config.count_mode {
             CountMode::Persistent => &[8],
@@ -324,7 +324,7 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
     }
 
     /// Algorithm 2.
-    pub fn get(&self, pm: &mut P, key: &K) -> Option<V> {
+    pub fn get(&self, pm: &P, key: &K) -> Option<V> {
         self.locate(pm, key)
             .map(|(level, idx)| self.level_store(level).read_value(pm, idx))
     }
@@ -333,7 +333,7 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
     /// only when the slot is occupied and (under `FpMode::On`) its
     /// cached tag matches.
     #[inline]
-    fn level1_holds(&self, pm: &mut P, k: u64, key: &K, tag: Option<u8>) -> bool {
+    fn level1_holds(&self, pm: &P, k: u64, key: &K, tag: Option<u8>) -> bool {
         if !self.store1.is_occupied(pm, k) {
             return false;
         }
@@ -359,7 +359,7 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
     /// Finds the `(level, cell)` holding `key`, probing the candidate
     /// slot(s) then the matched group(s). Records one probe-length sample
     /// (cells examined) per call when instrumentation is enabled.
-    fn locate(&self, pm: &mut P, key: &K) -> Option<(Level, u64)> {
+    fn locate(&self, pm: &P, key: &K) -> Option<(Level, u64)> {
         let (k1, k2) = self.candidate_slots(key);
         let tag = self.fp.as_ref().map(|_| self.fp_tag(key));
         let mut probes = 1u64;
@@ -437,7 +437,7 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
         if keys.is_empty() {
             return 0;
         }
-        let base = *pm.stats();
+        let base = pm.stats();
         let per_op = [8, self.store1.cells.entry_len()];
         let fixed: &[usize] = match self.config.count_mode {
             CountMode::Persistent => &[8],

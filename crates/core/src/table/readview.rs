@@ -1,0 +1,126 @@
+//! A read-only, `Copy`-able view of a [`GroupHash`](super::GroupHash).
+//!
+//! [`GroupReadView`] snapshots the table's *volatile* description — the
+//! config, the hash streams, and the two cell-store handles (regions +
+//! geometry, no pool bytes) — and answers lookups through any
+//! [`PmemRead`] implementor. It deliberately carries **no** write-capable
+//! pool surface, no fingerprint cache, and no instrumentation: it is the
+//! minimal probe machine that concurrent readers clone and run lock-free
+//! (the seqlock in `crate::concurrent` validates each optimistic read).
+//!
+//! The view stays correct across any number of inserts/removes on the
+//! owning table because everything it holds is layout, not contents: the
+//! paper's 8-byte atomic bitmap publish means the pool itself is always
+//! in a consistent committed state between (not during) bit flips.
+//!
+//! Layering: this module may name only the read-side pool surface — the
+//! `ci.sh` lint rejects any use of the write-capable trait here.
+
+use super::probe;
+use crate::config::GroupHashConfig;
+use nvm_hashfn::{HashKey, HashPair, Pod};
+use nvm_pmem::PmemRead;
+use nvm_table::probe::GroupPlan;
+use nvm_table::CellStore;
+
+/// A read-only snapshot of a group-hash table's geometry: enough to run
+/// Algorithm 2 (`get`) against any read handle, nothing more.
+///
+/// `Copy` by construction — cloning a view is moving ~100 bytes of plain
+/// data, so every reader thread can own one.
+#[derive(Debug)]
+pub struct GroupReadView<K: HashKey, V: Pod> {
+    config: GroupHashConfig,
+    hash: HashPair,
+    store1: CellStore<K, V>,
+    store2: CellStore<K, V>,
+}
+
+// Manual impls for the same reason as `CellStore`: a derive would
+// wrongly require `K: Copy, V: Copy`.
+impl<K: HashKey, V: Pod> Clone for GroupReadView<K, V> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<K: HashKey, V: Pod> Copy for GroupReadView<K, V> {}
+
+impl<K: HashKey, V: Pod> GroupReadView<K, V> {
+    pub(super) fn new(
+        config: GroupHashConfig,
+        hash: HashPair,
+        store1: CellStore<K, V>,
+        store2: CellStore<K, V>,
+    ) -> Self {
+        GroupReadView {
+            config,
+            hash,
+            store1,
+            store2,
+        }
+    }
+
+    /// The configuration the view was captured from.
+    pub fn config(&self) -> &GroupHashConfig {
+        &self.config
+    }
+
+    /// Algorithm 2 against a bare read handle: candidate level-1 slot(s),
+    /// then the matched level-2 group(s). Key-first (no fingerprint
+    /// filter — the DRAM tag cache belongs to the owning table, whose
+    /// mutators keep it coherent; a detached view could not see updates).
+    pub fn get<R: PmemRead>(&self, pm: &R, key: &K) -> Option<V> {
+        let (k1, k2) = probe::candidate_slots(&self.hash, &self.config, key);
+        if self.level1_holds(pm, k1, key) {
+            return Some(self.store1.read_value(pm, k1));
+        }
+        if let Some(k2) = k2 {
+            if self.level1_holds(pm, k2, key) {
+                return Some(self.store1.read_value(pm, k2));
+            }
+        }
+        let plan = probe::plan(&self.config);
+        let g1 = plan.group_of_slot(k1);
+        if let Some(idx) = self.find_in_group(pm, &plan, g1, key) {
+            return Some(self.store2.read_value(pm, idx));
+        }
+        if let Some(k2) = k2 {
+            let g2 = plan.group_of_slot(k2);
+            if g2 != g1 {
+                if let Some(idx) = self.find_in_group(pm, &plan, g2, key) {
+                    return Some(self.store2.read_value(pm, idx));
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether `key` is present.
+    pub fn contains<R: PmemRead>(&self, pm: &R, key: &K) -> bool {
+        self.get(pm, key).is_some()
+    }
+
+    #[inline]
+    fn level1_holds<R: PmemRead>(&self, pm: &R, k: u64, key: &K) -> bool {
+        self.store1.is_occupied(pm, k) && self.store1.read_key(pm, k) == *key
+    }
+
+    /// Scans group `g`'s level-2 cells for `key` under the configured
+    /// probe layout (the `plan.cell` indirection covers both contiguous
+    /// and strided).
+    fn find_in_group<R: PmemRead>(
+        &self,
+        pm: &R,
+        plan: &GroupPlan,
+        g: u64,
+        key: &K,
+    ) -> Option<u64> {
+        for i in 0..self.config.group_size {
+            let idx = plan.cell(g, i);
+            if self.store2.is_occupied(pm, idx) && self.store2.read_key(pm, idx) == *key {
+                return Some(idx);
+            }
+        }
+        None
+    }
+}

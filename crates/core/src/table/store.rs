@@ -105,7 +105,7 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
     /// Rebuilds the fingerprint cache from the bitmaps + cells (the only
     /// authoritative state). No-op under `FpMode::Off`. O(capacity),
     /// reading one key per occupied cell.
-    pub(super) fn rebuild_fp_cache(&mut self, pm: &mut P) {
+    pub(super) fn rebuild_fp_cache(&mut self, pm: &P) {
         let Some(mut fp) = self.fp.take() else { return };
         fp.reset();
         let n = self.config.cells_per_level;
@@ -130,7 +130,7 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
     /// occupied cell's cached tag must equal the tag of the key stored
     /// there (free cells are ignored — their tags are never consulted).
     /// `Ok` under `FpMode::Off`.
-    pub fn verify_fp_cache(&self, pm: &mut P) -> Result<(), TableError> {
+    pub fn verify_fp_cache(&self, pm: &P) -> Result<(), TableError> {
         let Some(fp) = &self.fp else { return Ok(()) };
         for level in [Level::One, Level::Two] {
             let store = self.level_store(level);

@@ -4,18 +4,18 @@
 use super::*;
 use crate::config::{ChoiceMode, ProbeLayout};
 use crate::testutil::{make, make_cfg};
-use nvm_pmem::{SimConfig, SimPmem};
+use nvm_pmem::{PmemRead, SimConfig, SimPmem};
 
 #[test]
 fn insert_get_remove_roundtrip() {
     let (mut pm, mut t, _) = make(256, 16);
-    assert_eq!(t.get(&mut pm, &5), None);
+    assert_eq!(t.get(&pm, &5), None);
     t.insert(&mut pm, 5, 50).unwrap();
-    assert_eq!(t.get(&mut pm, &5), Some(50));
-    assert_eq!(t.len(&mut pm), 1);
+    assert_eq!(t.get(&pm, &5), Some(50));
+    assert_eq!(t.len(&pm), 1);
     assert!(t.remove(&mut pm, &5));
-    assert_eq!(t.get(&mut pm, &5), None);
-    assert_eq!(t.len(&mut pm), 0);
+    assert_eq!(t.get(&pm, &5), None);
+    assert_eq!(t.len(&pm), 0);
     assert!(!t.remove(&mut pm, &5));
 }
 
@@ -27,10 +27,10 @@ fn collisions_go_to_matched_group() {
         t.insert(&mut pm, k, k * 10).unwrap();
     }
     for k in 0..200u64 {
-        assert_eq!(t.get(&mut pm, &k), Some(k * 10), "key {k}");
+        assert_eq!(t.get(&pm, &k), Some(k * 10), "key {k}");
     }
-    t.check_consistency(&mut pm).unwrap();
-    assert_eq!(t.len(&mut pm), 200);
+    t.check_consistency(&pm).unwrap();
+    assert_eq!(t.len(&pm), 200);
 }
 
 #[test]
@@ -49,13 +49,13 @@ fn fill_to_capacity_overflows_gracefully() {
     // A single-group table fills its level-2 group completely; level 1
     // keeps only direct hits, so TableFull must appear at or before
     // 128 and after 64 (all level-2 cells usable).
-    assert!(t.len(&mut pm) >= 64, "len {}", t.len(&mut pm));
-    assert!(t.len(&mut pm) <= 128);
-    t.check_consistency(&mut pm).unwrap();
+    assert!(t.len(&pm) >= 64, "len {}", t.len(&pm));
+    assert!(t.len(&pm) <= 128);
+    t.check_consistency(&pm).unwrap();
     // Everything inserted is still retrievable.
     for key in 0..k {
-        if t.get(&mut pm, &key).is_some() {
-            assert_eq!(t.get(&mut pm, &key), Some(key));
+        if t.get(&pm, &key).is_some() {
+            assert_eq!(t.get(&pm, &key), Some(key));
         }
     }
 }
@@ -67,11 +67,11 @@ fn duplicate_insert_shadows_until_removed() {
     t.insert(&mut pm, 7, 1).unwrap();
     t.insert(&mut pm, 7, 2).unwrap();
     // One of the copies is visible; removing twice drains both.
-    assert!(t.get(&mut pm, &7).is_some());
+    assert!(t.get(&pm, &7).is_some());
     assert!(t.remove(&mut pm, &7));
-    assert!(t.get(&mut pm, &7).is_some());
+    assert!(t.get(&pm, &7).is_some());
     assert!(t.remove(&mut pm, &7));
-    assert_eq!(t.get(&mut pm, &7), None);
+    assert_eq!(t.get(&pm, &7), None);
 }
 
 #[test]
@@ -82,7 +82,7 @@ fn insert_unique_rejects_duplicates() {
         t.insert_unique(&mut pm, 7, 2),
         Err(InsertError::DuplicateKey)
     );
-    assert_eq!(t.get(&mut pm, &7), Some(1));
+    assert_eq!(t.get(&pm, &7), Some(1));
 }
 
 #[test]
@@ -92,10 +92,10 @@ fn update_in_place_swaps_value() {
         t.insert(&mut pm, k, k).unwrap();
     }
     assert!(t.update_in_place(&mut pm, &7, 700));
-    assert_eq!(t.get(&mut pm, &7), Some(700));
+    assert_eq!(t.get(&pm, &7), Some(700));
     assert!(!t.update_in_place(&mut pm, &9999, 1));
-    assert_eq!(t.len(&mut pm), 120);
-    t.check_consistency(&mut pm).unwrap();
+    assert_eq!(t.len(&pm), 120);
+    t.check_consistency(&pm).unwrap();
 }
 
 #[test]
@@ -114,7 +114,7 @@ fn update_in_place_is_atomic_under_crash() {
         pm.crash(CrashResolution::Random(at));
         let mut t = GroupHash::<SimPmem, u64, u64>::open(&mut pm, region).unwrap();
         t.recover(&mut pm);
-        let got = t.get(&mut pm, &5);
+        let got = t.get(&pm, &5);
         assert!(
             got == Some(111) || got == Some(222),
             "torn update at +{at}: {got:?}"
@@ -132,11 +132,11 @@ fn open_matches_created_table() {
         t.insert(&mut pm, k, k + 1000).unwrap();
     }
     let t2 = GroupHash::<SimPmem, u64, u64>::open(&mut pm, region).unwrap();
-    assert_eq!(t2.len(&mut pm), 100);
+    assert_eq!(t2.len(&pm), 100);
     for k in 0..100u64 {
-        assert_eq!(t2.get(&mut pm, &k), Some(k + 1000));
+        assert_eq!(t2.get(&pm, &k), Some(k + 1000));
     }
-    t2.check_consistency(&mut pm).unwrap();
+    t2.check_consistency(&pm).unwrap();
 }
 
 #[test]
@@ -153,7 +153,7 @@ fn for_each_entry_visits_all() {
         t.insert(&mut pm, k, k * 2).unwrap();
     }
     let mut seen = std::collections::HashMap::new();
-    t.for_each_entry(&mut pm, |k, v| {
+    t.for_each_entry(&pm, |k, v| {
         seen.insert(k, v);
     });
     assert_eq!(seen.len(), 50);
@@ -173,8 +173,8 @@ fn wide_key_value_types() {
     let k = [0xAB; 16];
     let v = [0xCD; 16];
     t.insert(&mut pm, k, v).unwrap();
-    assert_eq!(t.get(&mut pm, &k), Some(v));
-    t.check_consistency(&mut pm).unwrap();
+    assert_eq!(t.get(&pm, &k), Some(v));
+    t.check_consistency(&pm).unwrap();
 }
 
 #[test]
@@ -185,14 +185,14 @@ fn strided_layout_behaves_identically() {
         t.insert(&mut pm, k, k).unwrap();
     }
     for k in 0..180u64 {
-        assert_eq!(t.get(&mut pm, &k), Some(k));
+        assert_eq!(t.get(&pm, &k), Some(k));
     }
-    t.check_consistency(&mut pm).unwrap();
+    t.check_consistency(&pm).unwrap();
     for k in 0..180u64 {
         assert!(t.remove(&mut pm, &k));
     }
-    assert_eq!(t.len(&mut pm), 0);
-    t.check_consistency(&mut pm).unwrap();
+    assert_eq!(t.len(&pm), 0);
+    t.check_consistency(&pm).unwrap();
 }
 
 #[test]
@@ -203,18 +203,18 @@ fn two_choice_behaves_identically() {
         t.insert(&mut pm, k, k + 9).unwrap();
     }
     for k in 0..200u64 {
-        assert_eq!(t.get(&mut pm, &k), Some(k + 9));
+        assert_eq!(t.get(&pm, &k), Some(k + 9));
     }
-    t.check_consistency(&mut pm).unwrap();
+    t.check_consistency(&pm).unwrap();
     for k in 0..100u64 {
         assert!(t.remove(&mut pm, &k));
     }
-    assert_eq!(t.len(&mut pm), 100);
-    t.check_consistency(&mut pm).unwrap();
+    assert_eq!(t.len(&pm), 100);
+    t.check_consistency(&pm).unwrap();
     // Reopen keeps the mode.
     let t2 = GroupHash::<SimPmem, u64, u64>::open(&mut pm, region).unwrap();
     assert_eq!(t2.config().choice, ChoiceMode::TwoChoice);
-    assert_eq!(t2.len(&mut pm), 100);
+    assert_eq!(t2.len(&pm), 100);
 }
 
 #[test]
@@ -231,7 +231,7 @@ fn two_choice_improves_utilization() {
                 Err(e) => panic!("{e}"),
             }
         }
-        t.len(&mut pm) as f64 / t.capacity() as f64
+        t.len(&pm) as f64 / t.capacity() as f64
     };
     let single = fill_until_full(GroupHashConfig::new(512, 64));
     let double = fill_until_full(
@@ -254,9 +254,9 @@ fn logged_commit_behaves_identically() {
         assert!(t.remove(&mut pm, &k));
     }
     for k in 50..100u64 {
-        assert_eq!(t.get(&mut pm, &k), Some(k + 5));
+        assert_eq!(t.get(&pm, &k), Some(k + 5));
     }
-    t.check_consistency(&mut pm).unwrap();
+    t.check_consistency(&pm).unwrap();
 }
 
 #[test]
@@ -272,10 +272,10 @@ fn volatile_count_matches_persistent() {
         tv.remove(&mut pm_v, &k);
         tp.remove(&mut pm_p, &k);
     }
-    assert_eq!(tv.len(&mut pm_v), tp.len(&mut pm_p));
+    assert_eq!(tv.len(&pm_v), tp.len(&pm_p));
     // Volatile count is rebuilt on open.
     let tv2 = GroupHash::<SimPmem, u64, u64>::open(&mut pm_v, region).unwrap();
-    assert_eq!(tv2.len(&mut pm_v), 80);
+    assert_eq!(tv2.len(&pm_v), 80);
 }
 
 #[test]
@@ -298,25 +298,25 @@ fn fingerprint_mode_behaves_identically() {
         t.insert(&mut pm, k, k * 7).unwrap();
     }
     for k in 0..200u64 {
-        assert_eq!(t.get(&mut pm, &k), Some(k * 7));
+        assert_eq!(t.get(&pm, &k), Some(k * 7));
     }
     for k in 200..400u64 {
-        assert_eq!(t.get(&mut pm, &k), None, "negative lookup {k}");
+        assert_eq!(t.get(&pm, &k), None, "negative lookup {k}");
     }
-    t.check_consistency(&mut pm).unwrap(); // includes verify_fp_cache
+    t.check_consistency(&pm).unwrap(); // includes verify_fp_cache
     for k in 0..100u64 {
         assert!(t.remove(&mut pm, &k));
-        assert_eq!(t.get(&mut pm, &k), None);
+        assert_eq!(t.get(&pm, &k), None);
     }
     assert!(t.update_in_place(&mut pm, &150, 1));
-    assert_eq!(t.get(&mut pm, &150), Some(1));
-    t.check_consistency(&mut pm).unwrap();
+    assert_eq!(t.get(&pm, &150), Some(1));
+    t.check_consistency(&pm).unwrap();
     // Reopen keeps the mode and rebuilds an agreeing cache.
     let t2 = GroupHash::<SimPmem, u64, u64>::open(&mut pm, region).unwrap();
     assert_eq!(t2.config().fp, FpMode::On);
-    t2.verify_fp_cache(&mut pm).unwrap();
+    t2.verify_fp_cache(&pm).unwrap();
     for k in 100..200u64 {
-        assert_eq!(t2.get(&mut pm, &k), Some(if k == 150 { 1 } else { k * 7 }));
+        assert_eq!(t2.get(&pm, &k), Some(if k == 150 { 1 } else { k * 7 }));
     }
 }
 
@@ -361,16 +361,16 @@ fn fingerprint_strided_roundtrip() {
         t.insert(&mut pm, k, k).unwrap();
     }
     for k in 0..180u64 {
-        assert_eq!(t.get(&mut pm, &k), Some(k));
+        assert_eq!(t.get(&pm, &k), Some(k));
     }
     for k in 180..360u64 {
-        assert_eq!(t.get(&mut pm, &k), None);
+        assert_eq!(t.get(&pm, &k), None);
     }
-    t.check_consistency(&mut pm).unwrap();
+    t.check_consistency(&pm).unwrap();
     for k in 0..180u64 {
         assert!(t.remove(&mut pm, &k));
     }
-    t.check_consistency(&mut pm).unwrap();
+    t.check_consistency(&pm).unwrap();
 }
 
 #[test]
@@ -383,12 +383,12 @@ fn fingerprint_two_choice_roundtrip() {
         t.insert(&mut pm, k, k + 3).unwrap();
     }
     for k in 0..220u64 {
-        assert_eq!(t.get(&mut pm, &k), Some(k + 3));
+        assert_eq!(t.get(&pm, &k), Some(k + 3));
     }
     for k in 1000..1200u64 {
-        assert_eq!(t.get(&mut pm, &k), None);
+        assert_eq!(t.get(&pm, &k), None);
     }
-    t.check_consistency(&mut pm).unwrap();
+    t.check_consistency(&pm).unwrap();
 }
 
 #[test]
@@ -430,7 +430,7 @@ fn fingerprint_cuts_key_reads_on_negative_lookups() {
         }
         pm.reset_stats();
         for k in 100_000..101_000u64 {
-            assert_eq!(t.get(&mut pm, &k), None);
+            assert_eq!(t.get(&pm, &k), None);
         }
         pm.stats().bytes_read
     };
@@ -455,10 +455,10 @@ fn fingerprint_counters_and_probe_parity() {
             let _ = t.insert(&mut pm, k, k);
         }
         for k in 0..700u64 {
-            let _ = t.get(&mut pm, &k);
+            let _ = t.get(&pm, &k);
         }
         for k in 5000..5500u64 {
-            assert_eq!(t.get(&mut pm, &k), None);
+            assert_eq!(t.get(&pm, &k), None);
         }
         t
     };

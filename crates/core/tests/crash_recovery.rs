@@ -85,7 +85,7 @@ fn crash_at(
     // Re-open purely from pool bytes and recover.
     let mut t = Table::open(&mut pm, region).unwrap();
     t.recover(&mut pm);
-    t.check_consistency(&mut pm)
+    t.check_consistency(&pm)
         .unwrap_or_else(|e| panic!("inconsistent after crash at +{event_offset} ({how:?}): {e}"));
 
     // Committed entries must be intact...
@@ -98,18 +98,18 @@ fn crash_at(
             continue; // the op targeting this key may have completed
         }
         assert_eq!(
-            t.get(&mut pm, &k),
+            t.get(&pm, &k),
             Some(v),
             "committed key {k} lost (crash at +{event_offset}, {how:?})"
         );
     }
     // ...and the in-flight op must be atomic.
     match step {
-        Step::Insert(k, v) => match t.get(&mut pm, &k) {
+        Step::Insert(k, v) => match t.get(&pm, &k) {
             None => {}
             Some(got) => assert_eq!(got, v, "torn insert of key {k}"),
         },
-        Step::Remove(k) => match t.get(&mut pm, &k) {
+        Step::Remove(k) => match t.get(&pm, &k) {
             None => {}
             Some(got) => {
                 assert_eq!(got, oracle[&k], "torn delete of key {k}");
@@ -211,7 +211,7 @@ fn recovery_is_idempotent_after_crash() {
     t.recover(&mut pm);
     let image1 = pm.raw().to_vec();
     t.recover(&mut pm);
-    t.check_consistency(&mut pm).unwrap();
+    t.check_consistency(&pm).unwrap();
     assert_eq!(pm.raw(), &image1[..], "second recovery changed state");
 }
 

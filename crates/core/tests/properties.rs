@@ -78,12 +78,12 @@ proptest! {
                     }
                     Op::Get(k) => {
                         let k = k as u64;
-                        prop_assert_eq!(t.get(&mut pm, &k), oracle.get(&k).copied());
+                        prop_assert_eq!(t.get(&pm, &k), oracle.get(&k).copied());
                     }
                 }
             }
-            prop_assert_eq!(t.len(&mut pm), oracle.len() as u64, "{:?}", cfg);
-            t.check_consistency(&mut pm)
+            prop_assert_eq!(t.len(&pm), oracle.len() as u64, "{:?}", cfg);
+            t.check_consistency(&pm)
                 .map_err(|e| TestCaseError::fail(format!("{cfg:?}: {e}")))?;
         }
     }
@@ -151,7 +151,7 @@ proptest! {
         pm.crash(CrashResolution::Random(seed));
         let mut t = Table::open(&mut pm, region).unwrap();
         t.recover(&mut pm);
-        t.check_consistency(&mut pm)
+        t.check_consistency(&pm)
             .map_err(|e| TestCaseError::fail(format!("crash@{crash_at}: {e}")))?;
 
         if crashed {
@@ -160,7 +160,7 @@ proptest! {
             // been inserted with that value at some point, and the count
             // differs from committed by at most 1.
             let mut recovered = 0u64;
-            t.for_each_entry(&mut pm, |_, _| recovered += 1);
+            t.for_each_entry(&pm, |_, _| recovered += 1);
             let committed_n = committed.len() as u64;
             prop_assert!(
                 recovered + 1 >= committed_n && recovered <= committed_n + 1,
@@ -171,9 +171,9 @@ proptest! {
         } else {
             // No crash fired: full equality.
             for (&k, &v) in &committed {
-                prop_assert_eq!(t.get(&mut pm, &k), Some(v));
+                prop_assert_eq!(t.get(&pm, &k), Some(v));
             }
-            prop_assert_eq!(t.len(&mut pm), committed.len() as u64);
+            prop_assert_eq!(t.len(&pm), committed.len() as u64);
         }
     }
 
@@ -210,7 +210,7 @@ proptest! {
                     }
                 }
                 Op::Get(k) => {
-                    t.get(&mut pm, &(k as u64));
+                    t.get(&pm, &(k as u64));
                 }
             }
         }
@@ -238,7 +238,7 @@ proptest! {
                         }
                     }
                     Op::Get(k) => {
-                        t.get(&mut pm, &(k as u64));
+                        t.get(&pm, &(k as u64));
                     }
                 }
             }
@@ -247,9 +247,9 @@ proptest! {
         pm.crash(CrashResolution::Random(seed));
         let mut t = Table::open(&mut pm, region).unwrap();
         t.recover(&mut pm);
-        t.verify_fp_cache(&mut pm)
+        t.verify_fp_cache(&pm)
             .map_err(|e| TestCaseError::fail(format!("fp cache after crash@{crash_at}: {e}")))?;
-        t.check_consistency(&mut pm)
+        t.check_consistency(&pm)
             .map_err(|e| TestCaseError::fail(format!("crash@{crash_at}: {e}")))?;
     }
 
@@ -266,7 +266,7 @@ proptest! {
                 inserted += 1;
             }
         }
-        let a = TableAnalysis::capture(&t, &mut pm);
+        let a = TableAnalysis::capture(&t, &pm);
         prop_assert_eq!(a.level1_used + a.level2_used, inserted);
         prop_assert!(a.max_group_fill() <= 64);
         let hist_total: u64 = a
@@ -303,10 +303,10 @@ proptest! {
         }
         let _ = t;
         let t2 = Table::open(&mut pm, region).unwrap();
-        prop_assert_eq!(t2.len(&mut pm), oracle.len() as u64);
+        prop_assert_eq!(t2.len(&pm), oracle.len() as u64);
         for (&k, &v) in &oracle {
-            prop_assert_eq!(t2.get(&mut pm, &k), Some(v));
+            prop_assert_eq!(t2.get(&pm, &k), Some(v));
         }
-        t2.check_consistency(&mut pm).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        t2.check_consistency(&pm).map_err(|e| TestCaseError::fail(e.to_string()))?;
     }
 }

@@ -43,4 +43,7 @@ fn main() {
     {
         t.emit(out, name);
     }
+    for t in experiments::concurrent::run(&args) {
+        t.emit(out, "concurrent");
+    }
 }

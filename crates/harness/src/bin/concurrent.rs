@@ -1,0 +1,9 @@
+//! Concurrent read throughput: lock-free shard lookups under writer load.
+use gh_harness::{experiments::concurrent, Args};
+
+fn main() {
+    let args = Args::parse();
+    for t in concurrent::run(&args) {
+        t.emit(args.out_dir.as_deref(), "concurrent");
+    }
+}

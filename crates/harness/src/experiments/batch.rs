@@ -84,7 +84,7 @@ fn run_one(kind: SchemeKind, total_cells: u64, batch: usize, seed: u64, ops: usi
         t.insert_batch(&mut pm, chunk)
             .unwrap_or_else(|e| panic!("{kind:?} K={batch}: {e}"));
     }
-    let s = *pm.stats();
+    let s = pm.stats();
     RunData {
         scheme: kind,
         batch,

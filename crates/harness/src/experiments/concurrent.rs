@@ -1,0 +1,278 @@
+//! Concurrent read throughput — lock-free shard lookups under writer load.
+//!
+//! The sharded table serializes writers through per-shard mutexes but
+//! serves `get` without any lock: an optimistic probe through a
+//! [`GroupReadView`](group_hash::GroupReadView) validated by the shard's
+//! seqlock sequence. This experiment pre-populates a `ShardedGroupHash`
+//! and sweeps reader-thread counts with and without a background writer,
+//! reporting wall-clock lookup throughput plus the seqlock-retry and
+//! lock-wait event counters.
+//!
+//! Two invariants are checked on every single read (and surfaced as
+//! counters so the acceptance test can pin them to zero):
+//!
+//! * no **phantom miss** — every pre-populated key must stay visible even
+//!   mid-update, because updates never clear the commit bit;
+//! * no **torn value** — values encode `(key << 20) | round`, so a reader
+//!   observing a value whose key bits mismatch caught a half-written
+//!   in-place update that the seqlock should have rejected.
+
+use crate::experiments::runner::experiment_json;
+use crate::tablefmt::{count, emit_json, Table};
+use crate::{Args, TraceKind};
+use group_hash::{GroupHash, GroupHashConfig, ShardedGroupHash};
+use nvm_metrics::Json;
+use nvm_pmem::{SimConfig, SimPmem};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Reader thread counts swept.
+pub const READERS: [usize; 4] = [1, 2, 4, 8];
+/// Writer thread counts swept (0 isolates the uncontended read path).
+pub const WRITERS: [usize; 2] = [0, 1];
+/// Shards in the table under test.
+pub const SHARDS: usize = 8;
+
+/// Value encoding: the key in the high bits, the writer's round in the
+/// low [`ROUND_BITS`], so readers can detect torn values.
+const ROUND_BITS: u32 = 20;
+
+fn encode(key: u64, round: u64) -> u64 {
+    (key << ROUND_BITS) | (round & ((1 << ROUND_BITS) - 1))
+}
+
+/// One (readers, writers) arm: wall-clock read throughput and the
+/// concurrency event counters accumulated during the arm.
+#[derive(Debug, Clone, Copy)]
+pub struct RunData {
+    pub readers: usize,
+    pub writers: usize,
+    /// Total lookups completed across all reader threads.
+    pub reads: u64,
+    /// Lookups that returned a missing key (must stay 0).
+    pub phantom_misses: u64,
+    /// Lookups that returned a value with mismatched key bits (must stay 0).
+    pub torn_values: u64,
+    /// In-place updates completed by the writer threads.
+    pub writes: u64,
+    /// Wall-clock duration of the read phase.
+    pub wall_ns: u64,
+    pub seqlock_retries: u64,
+    pub lock_waits: u64,
+}
+
+impl RunData {
+    /// Aggregate lookups per second across all reader threads.
+    pub fn reads_per_sec(&self) -> f64 {
+        self.reads as f64 / (self.wall_ns.max(1) as f64 / 1e9)
+    }
+
+    /// Per-thread lookup rate — flat across the sweep iff reads scale.
+    pub fn reads_per_thread_per_sec(&self) -> f64 {
+        self.reads_per_sec() / self.readers.max(1) as f64
+    }
+}
+
+/// Builds the table, pre-populates `n_keys`, then runs `readers` lookup
+/// threads (each doing `reads_per_thread` gets over the key space) while
+/// `writers` threads cycle in-place updates until the readers finish.
+fn run_one(
+    readers: usize,
+    writers: usize,
+    per_level: u64,
+    group_size: u64,
+    seed: u64,
+    reads_per_thread: usize,
+) -> RunData {
+    let cfg = GroupHashConfig::new(per_level, group_size).with_seed(seed);
+    let size = GroupHash::<SimPmem, u64, u64>::required_size(&cfg);
+    let t: ShardedGroupHash<SimPmem, u64, u64> =
+        ShardedGroupHash::create(SHARDS, cfg, |_| SimPmem::new(size, SimConfig::fast_test()))
+            .unwrap();
+
+    // Fill to ~25% of total capacity so probes stay representative
+    // without insert fallback noise.
+    let n_keys = (per_level * SHARDS as u64 * 2 / 4).min(1u64 << (64 - ROUND_BITS));
+    for k in 0..n_keys {
+        t.insert(k, encode(k, 0)).unwrap();
+    }
+
+    let stop = AtomicBool::new(false);
+    let writes = AtomicU64::new(0);
+    let phantom = AtomicU64::new(0);
+    let torn = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..writers {
+            s.spawn(|| {
+                let mut round = 1u64;
+                let mut done = 0u64;
+                'outer: loop {
+                    for k in 0..n_keys {
+                        if stop.load(Ordering::Relaxed) {
+                            break 'outer;
+                        }
+                        assert!(t.update_in_place(&k, encode(k, round)));
+                        done += 1;
+                    }
+                    round += 1;
+                }
+                writes.fetch_add(done, Ordering::Relaxed);
+            });
+        }
+        let handles: Vec<_> = (0..readers)
+            .map(|r| {
+                let (phantom, torn) = (&phantom, &torn);
+                let t = &t;
+                s.spawn(move || {
+                    // Each reader walks the key space at its own odd
+                    // stride, so threads do not probe in lockstep.
+                    let stride = 2 * r as u64 + 1;
+                    let mut k = r as u64 % n_keys.max(1);
+                    for _ in 0..reads_per_thread {
+                        match t.get(&k) {
+                            None => {
+                                phantom.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Some(v) if v >> ROUND_BITS != k => {
+                                torn.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Some(_) => {}
+                        }
+                        k = (k + stride) % n_keys.max(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let wall_ns = start.elapsed().as_nanos() as u64;
+
+    let c = t.concurrency();
+    t.check_consistency().unwrap();
+    RunData {
+        readers,
+        writers,
+        reads: (readers * reads_per_thread) as u64,
+        phantom_misses: phantom.load(Ordering::Relaxed),
+        torn_values: torn.load(Ordering::Relaxed),
+        writes: writes.load(Ordering::Relaxed),
+        wall_ns,
+        seqlock_retries: c.seqlock_retries,
+        lock_waits: c.lock_waits,
+    }
+}
+
+/// All (readers, writers) arms.
+pub fn collect(args: &Args) -> Vec<RunData> {
+    let cells = args.cells_for(TraceKind::RandomNum);
+    // Split the total budget over both levels of all shards.
+    let per_level = (cells / (2 * SHARDS as u64)).max(args.group_size);
+    let group_size = args.group_size.min(per_level);
+    // `--ops` scales the per-thread read count; the default (1000) gives
+    // 64k lookups per reader — enough for a stable wall-clock rate
+    // without making the sweep slow.
+    let reads_per_thread = args.ops.saturating_mul(64);
+    let mut out = Vec::new();
+    for &writers in &WRITERS {
+        for &readers in &READERS {
+            out.push(run_one(
+                readers,
+                writers,
+                per_level,
+                group_size,
+                args.seed,
+                reads_per_thread,
+            ));
+        }
+    }
+    out
+}
+
+/// The experiment's JSON metrics document: one run per arm.
+pub fn metrics_json(data: &[RunData]) -> Json {
+    let runs = data
+        .iter()
+        .map(|r| {
+            let mut j = Json::obj();
+            j.insert("readers", r.readers as u64);
+            j.insert("writers", r.writers as u64);
+            j.insert("reads", r.reads);
+            j.insert("phantom_misses", r.phantom_misses);
+            j.insert("torn_values", r.torn_values);
+            j.insert("writes", r.writes);
+            j.insert("wall_ns", r.wall_ns);
+            j.insert("reads_per_sec", r.reads_per_sec());
+            j.insert("reads_per_thread_per_sec", r.reads_per_thread_per_sec());
+            j.insert("seqlock_retries", r.seqlock_retries);
+            j.insert("lock_waits", r.lock_waits);
+            j
+        })
+        .collect();
+    experiment_json("concurrent", runs)
+}
+
+/// Builds the report table (and writes CSV/JSON when `out_dir` is set).
+pub fn run(args: &Args) -> Vec<Table> {
+    let data = collect(args);
+    emit_json(args.out_dir.as_deref(), "concurrent", &metrics_json(&data));
+
+    let mut detail = Table::new(
+        "Concurrent reads: lock-free get throughput vs reader/writer mix",
+        &[
+            "readers",
+            "writers",
+            "reads",
+            "reads/s",
+            "reads/s/thread",
+            "writes",
+            "seqlock retries",
+            "lock waits",
+        ],
+    );
+    for r in &data {
+        detail.row(vec![
+            r.readers.to_string(),
+            r.writers.to_string(),
+            count(r.reads as f64),
+            count(r.reads_per_sec()),
+            count(r.reads_per_thread_per_sec()),
+            count(r.writes as f64),
+            count(r.seqlock_retries as f64),
+            count(r.lock_waits as f64),
+        ]);
+    }
+    vec![detail]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance bar: every arm completes with zero phantom misses
+    /// and zero torn values, and the writer-free arms never retry (no
+    /// writer ever makes a sequence odd).
+    #[test]
+    fn reads_are_never_phantom_or_torn() {
+        let args = Args {
+            cells_log2: Some(13),
+            ops: 50,
+            ..Args::default()
+        };
+        let data = collect(&args);
+        assert_eq!(data.len(), READERS.len() * WRITERS.len());
+        for r in &data {
+            assert_eq!(r.phantom_misses, 0, "{}r/{}w lost a key", r.readers, r.writers);
+            assert_eq!(r.torn_values, 0, "{}r/{}w saw a torn value", r.readers, r.writers);
+            assert_eq!(r.reads, (r.readers * 50 * 64) as u64);
+            if r.writers == 0 {
+                assert_eq!(r.seqlock_retries, 0, "retry without any writer");
+            } else {
+                assert!(r.writes > 0, "writer made no progress");
+            }
+        }
+    }
+}

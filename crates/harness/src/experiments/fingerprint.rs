@@ -107,7 +107,7 @@ fn run_one(total_cells: u64, group_size: u64, fp: FpMode, seed: u64, ops: usize)
     let mut trace = RandomNum::new(seed);
     let mut present = Vec::new();
     let mut present_set = HashSet::new();
-    while t.len(&mut pm) < total_cells / 2 {
+    while t.len(&pm) < total_cells / 2 {
         let k = trace.next_key();
         if present_set.contains(&k) {
             continue;

@@ -3,6 +3,7 @@
 //! same tables.
 
 pub mod batch;
+pub mod concurrent;
 pub mod fig2;
 pub mod fig5;
 pub mod fig7;

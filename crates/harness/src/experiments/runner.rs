@@ -143,7 +143,7 @@ fn utilization_generic<K: HashKey, V: Pod, T: Trace<Key = K>>(
         match table.insert(&mut pm, k, v) {
             Ok(()) => {}
             Err(InsertError::TableFull) => {
-                return table.len(&mut pm) as f64 / table.capacity() as f64;
+                return table.len(&pm) as f64 / table.capacity() as f64;
             }
             Err(e) => panic!("utilization insert failed: {e}"),
         }

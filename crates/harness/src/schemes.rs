@@ -107,13 +107,13 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for AnyScheme<P, K, V> {
     fn remove_batch(&mut self, pm: &mut P, keys: &[K]) -> usize {
         dispatch!(self, t => HashScheme::<P, K, V>::remove_batch(t, pm, keys))
     }
-    fn get(&self, pm: &mut P, key: &K) -> Option<V> {
+    fn get(&self, pm: &P, key: &K) -> Option<V> {
         dispatch!(self, t => HashScheme::<P, K, V>::get(t, pm, key))
     }
     fn remove(&mut self, pm: &mut P, key: &K) -> bool {
         dispatch!(self, t => HashScheme::<P, K, V>::remove(t, pm, key))
     }
-    fn len(&self, pm: &mut P) -> u64 {
+    fn len(&self, pm: &P) -> u64 {
         dispatch!(self, t => HashScheme::<P, K, V>::len(t, pm))
     }
     fn capacity(&self) -> u64 {
@@ -122,7 +122,7 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for AnyScheme<P, K, V> {
     fn recover(&mut self, pm: &mut P) {
         dispatch!(self, t => HashScheme::<P, K, V>::recover(t, pm))
     }
-    fn check_consistency(&self, pm: &mut P) -> Result<(), TableError> {
+    fn check_consistency(&self, pm: &P) -> Result<(), TableError> {
         dispatch!(self, t => HashScheme::<P, K, V>::check_consistency(t, pm))
     }
     fn instrumentation(&self) -> Option<&nvm_metrics::SchemeInstrumentation> {
@@ -217,13 +217,13 @@ mod tests {
                 t.insert(&mut pm, k, k + 1).unwrap();
             }
             for k in 0..200u64 {
-                assert_eq!(t.get(&mut pm, &k), Some(k + 1), "{kind:?} key {k}");
+                assert_eq!(t.get(&pm, &k), Some(k + 1), "{kind:?} key {k}");
             }
             for k in 0..100u64 {
                 assert!(t.remove(&mut pm, &k), "{kind:?} remove {k}");
             }
-            assert_eq!(t.len(&mut pm), 100);
-            t.check_consistency(&mut pm)
+            assert_eq!(t.len(&pm), 100);
+            t.check_consistency(&pm)
                 .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
         }
     }
@@ -240,7 +240,7 @@ mod tests {
                 t.insert(&mut pm, k, k + 1).unwrap();
             }
             for k in 0..100u64 {
-                assert!(t.get(&mut pm, &k).is_some());
+                assert!(t.get(&pm, &k).is_some());
             }
             let i = t.instrumentation().expect("instrument feature enabled");
             assert_eq!(i.probe.count(), 200, "{kind:?}: inserts + gets");
@@ -272,7 +272,7 @@ mod tests {
             );
             let k = [9u8; 16];
             t.insert(&mut pm, k, k).unwrap();
-            assert_eq!(t.get(&mut pm, &k), Some(k));
+            assert_eq!(t.get(&pm, &k), Some(k));
         }
     }
 }

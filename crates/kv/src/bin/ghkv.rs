@@ -17,7 +17,7 @@
 //! ```
 
 use nvm_kv::{KvConfig, PmemKv};
-use nvm_pmem::{Pmem, Region, SimConfig, SimPmem};
+use nvm_pmem::{PmemRead, Region, SimConfig, SimPmem};
 use std::path::Path;
 use std::process::exit;
 
@@ -118,8 +118,8 @@ fn main() {
             if args.len() != 1 {
                 usage();
             }
-            let (mut pm, kv) = load(&pool);
-            match kv.get(&mut pm, args[0].as_bytes()) {
+            let (pm, kv) = load(&pool);
+            match kv.get(&pm, args[0].as_bytes()) {
                 Some(v) => println!("{}", String::from_utf8_lossy(&v)),
                 None => {
                     eprintln!("ghkv: key not found");
@@ -144,9 +144,9 @@ fn main() {
             if !args.is_empty() {
                 usage();
             }
-            let (mut pm, kv) = load(&pool);
+            let (pm, kv) = load(&pool);
             let mut shown = 0u64;
-            kv.for_each(&mut pm, |k, v| {
+            kv.for_each(&pm, |k, v| {
                 if shown < limit {
                     println!(
                         "{}\t{}",
@@ -164,12 +164,12 @@ fn main() {
             if !args.is_empty() {
                 usage();
             }
-            let (mut pm, kv) = load(&pool);
-            let (entries, slots) = kv.usage(&mut pm);
+            let (pm, kv) = load(&pool);
+            let (entries, slots) = kv.usage(&pm);
             println!("pool:    {} ({} bytes)", pool.display(), pm.len());
             println!("entries: {entries}");
             println!("slots:   {slots} ({} leaked)", slots - entries);
-            kv.check_consistency(&mut pm)
+            kv.check_consistency(&pm)
                 .map(|_| println!("status:  consistent"))
                 .unwrap_or_else(|e| fail(format!("INCONSISTENT: {e}")));
         }

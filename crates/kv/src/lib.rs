@@ -28,11 +28,11 @@
 //! crash-recovery story (Algorithm 4) carries over; [`PmemKv::recover`]
 //! runs it and then sweeps leaks.
 
-use group_hash::{GroupHash, GroupHashConfig};
+use group_hash::{GroupHash, GroupHashConfig, GroupReadView};
 use nvm_alloc::{AllocConfig, AllocError, PmemAlloc, PmemPtr};
 use nvm_hashfn::murmur3_x64_128;
 use nvm_metrics::MetricsRegistry;
-use nvm_pmem::{align_up, Pmem, Region, RegionAllocator, CACHELINE};
+use nvm_pmem::{align_up, Pmem, PmemRead, Region, RegionAllocator, CACHELINE};
 use nvm_table::{HashScheme, InsertError, TableError};
 use std::collections::{HashMap, HashSet};
 
@@ -132,6 +132,29 @@ impl KvConfig {
     }
 }
 
+/// 16-byte fingerprint of `key` (MurmurHash3 x64-128).
+fn fingerprint(key: &[u8]) -> [u8; 16] {
+    let (lo, hi) = murmur3_x64_128(key, 0x4B56);
+    let mut f = [0u8; 16];
+    f[..8].copy_from_slice(&lo.to_le_bytes());
+    f[8..].copy_from_slice(&hi.to_le_bytes());
+    f
+}
+
+/// `[key_len u32-LE | key | value]`.
+fn encode_blob(key: &[u8], value: &[u8]) -> Vec<u8> {
+    let mut blob = Vec::with_capacity(4 + key.len() + value.len());
+    blob.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    blob.extend_from_slice(key);
+    blob.extend_from_slice(value);
+    blob
+}
+
+fn decode_blob(blob: &[u8]) -> (&[u8], &[u8]) {
+    let klen = u32::from_le_bytes(blob[..4].try_into().unwrap()) as usize;
+    (&blob[4..4 + klen], &blob[4 + klen..])
+}
+
 /// The engine. All persistent state lives in its pool region.
 pub struct PmemKv<P: Pmem> {
     index: GroupHash<P, [u8; 16], u64>,
@@ -182,7 +205,7 @@ impl<P: Pmem> PmemKv<P> {
         let index = GroupHash::create(pm, index_r, Self::index_config(config))
             .map_err(KvError::Table)?;
         let heap = PmemAlloc::create(pm, heap_r, &AllocConfig::balanced(config.heap_bytes))
-            .map_err(KvError::Layout)?;
+            .map_err(KvError::Heap)?;
         // Self-describing header: config words first, magic last.
         pm.write_u64(header_r.off + 8, config.index_cells_per_level);
         pm.write_u64(header_r.off + 16, config.group_size);
@@ -199,7 +222,7 @@ impl<P: Pmem> PmemKv<P> {
     }
 
     /// Reads the persisted configuration of a store in `region`.
-    pub fn read_config(pm: &mut P, region: Region) -> Result<KvConfig, KvError> {
+    pub fn read_config(pm: &P, region: Region) -> Result<KvConfig, KvError> {
         let off = align_up(region.off, CACHELINE);
         if !region.contains(off, Self::HEADER_LEN) {
             return Err(KvError::Layout("region too small for a KV header".into()));
@@ -221,7 +244,7 @@ impl<P: Pmem> PmemKv<P> {
         let config = Self::read_config(pm, region)?;
         let (_, index_r, heap_r) = Self::split(region, &config)?;
         let index = GroupHash::open(pm, index_r).map_err(KvError::Table)?;
-        let heap = PmemAlloc::open(pm, heap_r).map_err(KvError::Layout)?;
+        let heap = PmemAlloc::open(pm, heap_r).map_err(KvError::Heap)?;
         Ok(PmemKv {
             index,
             heap,
@@ -229,39 +252,17 @@ impl<P: Pmem> PmemKv<P> {
         })
     }
 
-    /// 16-byte fingerprint of `key`.
-    fn fingerprint(key: &[u8]) -> [u8; 16] {
-        let (lo, hi) = murmur3_x64_128(key, 0x4B56);
-        let mut f = [0u8; 16];
-        f[..8].copy_from_slice(&lo.to_le_bytes());
-        f[8..].copy_from_slice(&hi.to_le_bytes());
-        f
-    }
-
-    fn encode_blob(key: &[u8], value: &[u8]) -> Vec<u8> {
-        let mut blob = Vec::with_capacity(4 + key.len() + value.len());
-        blob.extend_from_slice(&(key.len() as u32).to_le_bytes());
-        blob.extend_from_slice(key);
-        blob.extend_from_slice(value);
-        blob
-    }
-
-    fn decode_blob(blob: &[u8]) -> (&[u8], &[u8]) {
-        let klen = u32::from_le_bytes(blob[..4].try_into().unwrap()) as usize;
-        (&blob[4..4 + klen], &blob[4 + klen..])
-    }
-
     /// Reads the blob behind an index entry and checks the stored key.
-    fn load_checked(&self, pm: &mut P, ptr: u64, key: &[u8]) -> Option<Vec<u8>> {
+    fn load_checked(&self, pm: &P, ptr: u64, key: &[u8]) -> Option<Vec<u8>> {
         let blob = self.heap.read(pm, PmemPtr(ptr)).ok()?;
-        let (stored_key, value) = Self::decode_blob(&blob);
+        let (stored_key, value) = decode_blob(&blob);
         (stored_key == key).then(|| value.to_vec())
     }
 
     /// Stores `key → value` (insert or update).
     pub fn set(&mut self, pm: &mut P, key: &[u8], value: &[u8]) -> Result<(), KvError> {
-        let fp = Self::fingerprint(key);
-        let blob = Self::encode_blob(key, value);
+        let fp = fingerprint(key);
+        let blob = encode_blob(key, value);
         match self.index.get(pm, &fp) {
             Some(old_ptr) => {
                 // Update: commit new blob, atomically swap the pointer,
@@ -307,8 +308,8 @@ impl<P: Pmem> PmemKv<P> {
         let mut pending: Vec<([u8; 16], u64)> = Vec::new();
         let mut pending_at: HashMap<[u8; 16], usize> = HashMap::new();
         for (key, value) in items {
-            let fp = Self::fingerprint(key);
-            let blob = Self::encode_blob(key, value);
+            let fp = fingerprint(key);
+            let blob = encode_blob(key, value);
             if let Some(&at) = pending_at.get(&fp) {
                 // Same key earlier in the batch: last write wins before
                 // the index ever sees it.
@@ -350,15 +351,15 @@ impl<P: Pmem> PmemKv<P> {
     }
 
     /// Fetches `key`'s value.
-    pub fn get(&self, pm: &mut P, key: &[u8]) -> Option<Vec<u8>> {
+    pub fn get(&self, pm: &P, key: &[u8]) -> Option<Vec<u8>> {
         self.try_get(pm, key).ok().flatten()
     }
 
     /// Fetches `key`'s value, distinguishing "not stored" (`Ok(None)`)
     /// from a heap read failure — a dangling index pointer — which
     /// [`PmemKv::get`] silently folds into `None`.
-    pub fn try_get(&self, pm: &mut P, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
-        let fp = Self::fingerprint(key);
+    pub fn try_get(&self, pm: &P, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
+        let fp = fingerprint(key);
         let Some(ptr) = self.index.get(pm, &fp) else {
             return Ok(None);
         };
@@ -366,13 +367,13 @@ impl<P: Pmem> PmemKv<P> {
             .heap
             .read(pm, PmemPtr(ptr))
             .map_err(|e| KvError::Corrupt(format!("index points at bad blob: {e}")))?;
-        let (stored_key, value) = Self::decode_blob(&blob);
+        let (stored_key, value) = decode_blob(&blob);
         Ok((stored_key == key).then(|| value.to_vec()))
     }
 
     /// Deletes `key`, returning whether it was present.
     pub fn delete(&mut self, pm: &mut P, key: &[u8]) -> bool {
-        let fp = Self::fingerprint(key);
+        let fp = fingerprint(key);
         let Some(ptr) = self.index.get(pm, &fp) else {
             return false;
         };
@@ -395,7 +396,7 @@ impl<P: Pmem> PmemKv<P> {
         let mut ptrs: Vec<u64> = Vec::new();
         let mut seen: HashSet<[u8; 16]> = HashSet::new();
         for key in keys {
-            let fp = Self::fingerprint(key);
+            let fp = fingerprint(key);
             if seen.contains(&fp) {
                 continue; // duplicate key in the batch
             }
@@ -419,12 +420,12 @@ impl<P: Pmem> PmemKv<P> {
     }
 
     /// Number of entries.
-    pub fn len(&self, pm: &mut P) -> u64 {
+    pub fn len(&self, pm: &P) -> u64 {
         self.index.len(pm)
     }
 
     /// True when the store holds no entries.
-    pub fn is_empty(&self, pm: &mut P) -> bool {
+    pub fn is_empty(&self, pm: &P) -> bool {
         self.len(pm) == 0
     }
 
@@ -458,7 +459,7 @@ impl<P: Pmem> PmemKv<P> {
     /// Structural validation: index invariants, every index pointer
     /// resolves to an allocated blob whose stored key fingerprints back
     /// to its index cell, and no two entries share a blob.
-    pub fn check_consistency(&self, pm: &mut P) -> Result<(), KvError> {
+    pub fn check_consistency(&self, pm: &P) -> Result<(), KvError> {
         use nvm_table::HashScheme;
         self.index.check_consistency(pm)?;
         let mut entries = Vec::new();
@@ -474,8 +475,8 @@ impl<P: Pmem> PmemKv<P> {
                 .heap
                 .read(pm, PmemPtr(ptr))
                 .map_err(|e| KvError::Corrupt(format!("index points at bad blob: {e}")))?;
-            let (key, _) = Self::decode_blob(&blob);
-            if Self::fingerprint(key) != fp {
+            let (key, _) = decode_blob(&blob);
+            if fingerprint(key) != fp {
                 return Err(KvError::Corrupt(format!(
                     "blob {ptr:#x} key does not match its fingerprint"
                 )));
@@ -485,12 +486,12 @@ impl<P: Pmem> PmemKv<P> {
     }
 
     /// Visits every `(key, value)` pair (order unspecified).
-    pub fn for_each(&self, pm: &mut P, mut f: impl FnMut(&[u8], &[u8])) {
+    pub fn for_each(&self, pm: &P, mut f: impl FnMut(&[u8], &[u8])) {
         let mut ptrs = Vec::new();
         self.index.for_each_entry(pm, |_, ptr| ptrs.push(ptr));
         for ptr in ptrs {
             if let Ok(blob) = self.heap.read(pm, PmemPtr(ptr)) {
-                let (k, v) = Self::decode_blob(&blob);
+                let (k, v) = decode_blob(&blob);
                 f(k, v);
             }
         }
@@ -498,8 +499,21 @@ impl<P: Pmem> PmemKv<P> {
 
     /// (index entries, heap slots allocated) — equal when there are no
     /// leaks.
-    pub fn usage(&self, pm: &mut P) -> (u64, u64) {
+    pub fn usage(&self, pm: &P) -> (u64, u64) {
         (self.index.len(pm), self.heap.allocated(pm))
+    }
+
+    /// Captures a [`KvReadView`]: a read-only lookup facade over the
+    /// index's [`GroupReadView`] and the heap geometry, usable through
+    /// any [`PmemRead`] handle (e.g. [`Pmem::read_handle`] clones handed
+    /// to reader threads). The view holds no pool bytes, so it stays
+    /// valid across mutations; concurrent use needs an external
+    /// validation protocol, exactly as for `GroupReadView`.
+    pub fn read_view(&self) -> KvReadView {
+        KvReadView {
+            index: self.index.read_view(),
+            heap: self.heap.clone(),
+        }
     }
 
     /// The store's pool region.
@@ -513,14 +527,40 @@ impl<P: Pmem> PmemKv<P> {
     /// probe/occupancy/displacement histograms under `index`.
     pub fn metrics(&self, pm: &P) -> MetricsRegistry {
         let mut reg = MetricsRegistry::new();
-        reg.set_pmem("pmem", pm.stats());
+        reg.set_pmem("pmem", &pm.stats());
         if let Some(c) = pm.cache_stats() {
-            reg.set_cache("cache", c);
+            reg.set_cache("cache", &c);
         }
         if let Some(i) = HashScheme::<P, [u8; 16], u64>::instrumentation(&self.index) {
             reg.set_instrumentation("index", i);
         }
         reg
+    }
+}
+
+/// A read-only facade over a [`PmemKv`]: fingerprint the key, probe the
+/// index through a [`GroupReadView`], then read + verify the heap blob —
+/// all through a bare [`PmemRead`] handle, no `&mut` pool access.
+#[derive(Debug, Clone)]
+pub struct KvReadView {
+    index: GroupReadView<[u8; 16], u64>,
+    heap: PmemAlloc,
+}
+
+impl KvReadView {
+    /// Fetches `key`'s value. Dangling index pointers (possible only
+    /// when racing a writer without a validation protocol) read as
+    /// `None`, like [`PmemKv::get`].
+    pub fn get<R: PmemRead>(&self, pm: &R, key: &[u8]) -> Option<Vec<u8>> {
+        let ptr = self.index.get(pm, &fingerprint(key))?;
+        let blob = self.heap.read(pm, PmemPtr(ptr)).ok()?;
+        let (stored_key, value) = decode_blob(&blob);
+        (stored_key == key).then(|| value.to_vec())
+    }
+
+    /// Whether `key` is stored.
+    pub fn contains<R: PmemRead>(&self, pm: &R, key: &[u8]) -> bool {
+        self.get(pm, key).is_some()
     }
 }
 
@@ -547,15 +587,15 @@ mod tests {
         let (mut pm, mut kv, _, _) = setup(100);
         kv.set(&mut pm, b"user:1", b"ada").unwrap();
         kv.set(&mut pm, b"user:2", b"grace").unwrap();
-        assert_eq!(kv.get(&mut pm, b"user:1").as_deref(), Some(&b"ada"[..]));
-        assert_eq!(kv.get(&mut pm, b"user:2").as_deref(), Some(&b"grace"[..]));
-        assert_eq!(kv.get(&mut pm, b"user:3"), None);
+        assert_eq!(kv.get(&pm, b"user:1").as_deref(), Some(&b"ada"[..]));
+        assert_eq!(kv.get(&pm, b"user:2").as_deref(), Some(&b"grace"[..]));
+        assert_eq!(kv.get(&pm, b"user:3"), None);
         assert!(kv.delete(&mut pm, b"user:1"));
-        assert_eq!(kv.get(&mut pm, b"user:1"), None);
+        assert_eq!(kv.get(&pm, b"user:1"), None);
         assert!(!kv.delete(&mut pm, b"user:1"));
-        assert_eq!(kv.len(&mut pm), 1);
-        kv.check_consistency(&mut pm).unwrap();
-        assert_eq!(kv.usage(&mut pm), (1, 1));
+        assert_eq!(kv.len(&pm), 1);
+        kv.check_consistency(&pm).unwrap();
+        assert_eq!(kv.usage(&pm), (1, 1));
     }
 
     #[test]
@@ -571,9 +611,9 @@ mod tests {
             .collect();
         kv.set_batch(&mut pm, &refs).unwrap();
         for (k, v) in &items {
-            assert_eq!(kv.get(&mut pm, k).as_deref(), Some(v.as_slice()));
+            assert_eq!(kv.get(&pm, k).as_deref(), Some(v.as_slice()));
         }
-        assert_eq!(kv.len(&mut pm), 101);
+        assert_eq!(kv.len(&pm), 101);
         // Updates and duplicate keys inside one batch: last write wins.
         kv.set_batch(
             &mut pm,
@@ -584,9 +624,9 @@ mod tests {
             ],
         )
         .unwrap();
-        assert_eq!(kv.get(&mut pm, b"pre").as_deref(), Some(&b"updated"[..]));
-        assert_eq!(kv.get(&mut pm, b"dup").as_deref(), Some(&b"second"[..]));
-        kv.check_consistency(&mut pm).unwrap();
+        assert_eq!(kv.get(&pm, b"pre").as_deref(), Some(&b"updated"[..]));
+        assert_eq!(kv.get(&pm, b"dup").as_deref(), Some(&b"second"[..]));
+        kv.check_consistency(&pm).unwrap();
         // Batch delete with a duplicate and a missing key mixed in.
         let kill: Vec<&[u8]> = vec![
             b"bk-0".as_slice(),
@@ -596,10 +636,10 @@ mod tests {
             b"dup".as_slice(),
         ];
         assert_eq!(kv.delete_batch(&mut pm, &kill), 3);
-        assert_eq!(kv.get(&mut pm, b"bk-0"), None);
-        assert_eq!(kv.get(&mut pm, b"dup"), None);
-        kv.check_consistency(&mut pm).unwrap();
-        let (entries, slots) = kv.usage(&mut pm);
+        assert_eq!(kv.get(&pm, b"bk-0"), None);
+        assert_eq!(kv.get(&pm, b"dup"), None);
+        kv.check_consistency(&pm).unwrap();
+        let (entries, slots) = kv.usage(&pm);
         assert_eq!(entries, slots, "batch ops leaked heap slots");
     }
 
@@ -608,17 +648,17 @@ mod tests {
         let (mut pm, mut kv, _, _) = setup(64);
         kv.set(&mut pm, b"k", b"v").unwrap();
         assert_eq!(
-            kv.try_get(&mut pm, b"k").unwrap().as_deref(),
+            kv.try_get(&pm, b"k").unwrap().as_deref(),
             Some(&b"v"[..])
         );
-        assert_eq!(kv.try_get(&mut pm, b"absent").unwrap(), None);
+        assert_eq!(kv.try_get(&pm, b"absent").unwrap(), None);
         // Free the blob out from under the index: try_get must report the
         // dangling pointer instead of pretending the key is absent.
         let mut ptr = 0;
-        kv.index.for_each_entry(&mut pm, |_, p| ptr = p);
+        kv.index.for_each_entry(&pm, |_, p| ptr = p);
         kv.heap.free(&mut pm, PmemPtr(ptr)).unwrap();
-        assert!(matches!(kv.try_get(&mut pm, b"k"), Err(KvError::Corrupt(_))));
-        assert_eq!(kv.get(&mut pm, b"k"), None);
+        assert!(matches!(kv.try_get(&pm, b"k"), Err(KvError::Corrupt(_))));
+        assert_eq!(kv.get(&pm, b"k"), None);
     }
 
     #[test]
@@ -636,7 +676,7 @@ mod tests {
         let mut pm = SimPmem::new(size, SimConfig::fast_test());
         let mut kv = PmemKv::create(&mut pm, Region::new(0, size), &cfg).unwrap();
         kv.set(&mut pm, b"a", b"b").unwrap();
-        assert_eq!(kv.get(&mut pm, b"a").as_deref(), Some(&b"b"[..]));
+        assert_eq!(kv.get(&pm, b"a").as_deref(), Some(&b"b"[..]));
     }
 
     #[test]
@@ -661,12 +701,12 @@ mod tests {
         kv.set(&mut pm, b"k", b"a much longer value that needs a bigger class")
             .unwrap();
         assert_eq!(
-            kv.get(&mut pm, b"k").as_deref(),
+            kv.get(&pm, b"k").as_deref(),
             Some(&b"a much longer value that needs a bigger class"[..])
         );
         // No leak: old blob was freed.
-        assert_eq!(kv.usage(&mut pm), (1, 1));
-        kv.check_consistency(&mut pm).unwrap();
+        assert_eq!(kv.usage(&pm), (1, 1));
+        kv.check_consistency(&pm).unwrap();
     }
 
     #[test]
@@ -680,13 +720,13 @@ mod tests {
         for i in 0..300u32 {
             let key = format!("key-{i}");
             assert_eq!(
-                kv.get(&mut pm, key.as_bytes()),
+                kv.get(&pm, key.as_bytes()),
                 Some(vec![i as u8; (i % 200) as usize]),
                 "{key}"
             );
         }
-        assert_eq!(kv.len(&mut pm), 300);
-        kv.check_consistency(&mut pm).unwrap();
+        assert_eq!(kv.len(&pm), 300);
+        kv.check_consistency(&pm).unwrap();
     }
 
     #[test]
@@ -696,9 +736,9 @@ mod tests {
         kv.set(&mut pm, b"beta", b"2").unwrap();
         drop(kv);
         let kv2 = PmemKv::open(&mut pm, region).unwrap();
-        assert_eq!(kv2.get(&mut pm, b"alpha").as_deref(), Some(&b"1"[..]));
-        assert_eq!(kv2.len(&mut pm), 2);
-        kv2.check_consistency(&mut pm).unwrap();
+        assert_eq!(kv2.get(&pm, b"alpha").as_deref(), Some(&b"1"[..]));
+        assert_eq!(kv2.len(&pm), 2);
+        kv2.check_consistency(&pm).unwrap();
     }
 
     #[test]
@@ -709,11 +749,11 @@ mod tests {
         // index (exactly the state a crash between blob and index commit
         // leaves behind).
         kv.heap.alloc(&mut pm, b"orphan").unwrap();
-        assert_eq!(kv.usage(&mut pm), (1, 2));
+        assert_eq!(kv.usage(&pm), (1, 2));
         assert_eq!(kv.gc(&mut pm), 1);
-        assert_eq!(kv.usage(&mut pm), (1, 1));
-        assert_eq!(kv.get(&mut pm, b"live").as_deref(), Some(&b"v"[..]));
-        kv.check_consistency(&mut pm).unwrap();
+        assert_eq!(kv.usage(&pm), (1, 1));
+        assert_eq!(kv.get(&pm, b"live").as_deref(), Some(&b"v"[..]));
+        kv.check_consistency(&pm).unwrap();
     }
 
     #[test]
@@ -748,25 +788,25 @@ mod tests {
 
                 let mut kv = PmemKv::open(&mut pm, region).unwrap();
                 let leaks = kv.recover(&mut pm);
-                kv.check_consistency(&mut pm)
+                kv.check_consistency(&pm)
                     .unwrap_or_else(|e| panic!("{name} crash at +{at}: {e}"));
                 // Stable entry always intact.
                 assert_eq!(
-                    kv.get(&mut pm, b"stable").as_deref(),
+                    kv.get(&pm, b"stable").as_deref(),
                     Some(&b"rock"[..]),
                     "{name} at +{at}"
                 );
                 // The targeted key is in a sane pre- or post-state.
                 match name {
                     "set-new" => {
-                        let got = kv.get(&mut pm, b"fresh");
+                        let got = kv.get(&pm, b"fresh");
                         assert!(
                             got.is_none() || got.as_deref() == Some(b"new"),
                             "{name} at +{at}: {got:?}"
                         );
                     }
                     "update" => {
-                        let got = kv.get(&mut pm, b"victim");
+                        let got = kv.get(&pm, b"victim");
                         assert!(
                             got.as_deref() == Some(b"old-value")
                                 || got.as_deref() == Some(b"new-value"),
@@ -774,7 +814,7 @@ mod tests {
                         );
                     }
                     "delete" => {
-                        let got = kv.get(&mut pm, b"victim");
+                        let got = kv.get(&pm, b"victim");
                         assert!(
                             got.is_none() || got.as_deref() == Some(b"old-value"),
                             "{name} at +{at}: {got:?}"
@@ -783,7 +823,7 @@ mod tests {
                     _ => unreachable!(),
                 }
                 // After recovery there are never leaks left behind.
-                let (entries, slots) = kv.usage(&mut pm);
+                let (entries, slots) = kv.usage(&pm);
                 assert_eq!(entries, slots, "{name} at +{at}: leak survived gc ({leaks})");
                 if done {
                     break;
@@ -795,13 +835,37 @@ mod tests {
     }
 
     #[test]
+    fn read_view_matches_engine_reads() {
+        let (mut pm, mut kv, _, _) = setup(200);
+        for i in 0..100u32 {
+            kv.set(&mut pm, format!("rv-{i}").as_bytes(), &[i as u8; 12])
+                .unwrap();
+        }
+        let view = kv.read_view();
+        let reader = pm.read_handle();
+        for i in 0..100u32 {
+            let key = format!("rv-{i}");
+            assert_eq!(
+                view.get(&reader, key.as_bytes()),
+                kv.get(&pm, key.as_bytes()),
+                "{key}"
+            );
+            assert!(view.contains(&reader, key.as_bytes()));
+        }
+        assert_eq!(view.get(&reader, b"absent"), None);
+        // The view tracks later mutations (it holds layout, not bytes).
+        assert!(kv.delete(&mut pm, b"rv-0"));
+        assert_eq!(view.get(&reader, b"rv-0"), None);
+    }
+
+    #[test]
     fn empty_keys_and_values() {
         let (mut pm, mut kv, _, _) = setup(32);
         kv.set(&mut pm, b"", b"empty-key").unwrap();
         kv.set(&mut pm, b"empty-value", b"").unwrap();
-        assert_eq!(kv.get(&mut pm, b"").as_deref(), Some(&b"empty-key"[..]));
-        assert_eq!(kv.get(&mut pm, b"empty-value").as_deref(), Some(&b""[..]));
-        kv.check_consistency(&mut pm).unwrap();
+        assert_eq!(kv.get(&pm, b"").as_deref(), Some(&b"empty-key"[..]));
+        assert_eq!(kv.get(&pm, b"empty-value").as_deref(), Some(&b""[..]));
+        kv.check_consistency(&pm).unwrap();
     }
 
     #[test]
@@ -829,8 +893,8 @@ mod tests {
         }
         assert!(full, "tiny index never filled ({stored} stored)");
         // The failed insert must not leak its blob.
-        let (entries, slots) = kv.usage(&mut pm);
+        let (entries, slots) = kv.usage(&pm);
         assert_eq!(entries, slots);
-        kv.check_consistency(&mut pm).unwrap();
+        kv.check_consistency(&pm).unwrap();
     }
 }

@@ -41,12 +41,13 @@
 //! latency.record(d.latency_ns());
 //!
 //! let mut reg = MetricsRegistry::new();
-//! reg.set_pmem("pmem", pm.stats());
+//! reg.set_pmem("pmem", &pm.stats());
 //! reg.set_histogram("latency_ns", &latency);
 //! let json = reg.to_string_pretty();
 //! assert!(json.contains("\"flushes\": 1"));
 //! ```
 
+mod concurrency;
 mod counter;
 mod histogram;
 mod instrument;
@@ -54,6 +55,7 @@ mod json;
 mod optrace;
 mod registry;
 
+pub use concurrency::{ConcurrencyCounters, ConcurrencySnapshot};
 pub use counter::Counter;
 pub use histogram::Histogram;
 pub use instrument::{BatchCounters, FingerprintCounters, SchemeInstrumentation};

@@ -42,8 +42,8 @@ impl OpTrace {
     /// Snapshots `pm` before the operation.
     pub fn begin<P: Pmem + ?Sized>(pm: &P) -> OpTrace {
         OpTrace {
-            pmem: *pm.stats(),
-            cache: pm.cache_stats().cloned(),
+            pmem: pm.stats(),
+            cache: pm.cache_stats(),
             sim_ns: pm.sim_time_ns(),
             wall: Instant::now(),
         }

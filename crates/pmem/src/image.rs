@@ -98,7 +98,7 @@ impl RealPmem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::CrashResolution;
+    use crate::{CrashResolution, PmemRead};
 
     fn tmp(name: &str) -> std::path::PathBuf {
         std::env::temp_dir().join(format!("nvm-pmem-image-{name}-{}", std::process::id()))
@@ -140,7 +140,7 @@ mod tests {
         pm.persist(100, 13);
         pm.save_image(&path).unwrap();
 
-        let mut pm2 = RealPmem::load_image(&path, 0).unwrap();
+        let pm2 = RealPmem::load_image(&path, 0).unwrap();
         let mut buf = [0u8; 13];
         pm2.read(100, &mut buf);
         assert_eq!(&buf, b"durable bytes");

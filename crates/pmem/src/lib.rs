@@ -22,6 +22,26 @@
 //! code runs under the simulator (deterministic experiments, crash tests)
 //! and on real intrinsics (criterion benches).
 //!
+//! # Read/write capability split
+//!
+//! The query path of a hash table is read-only, and on a concurrent wrapper
+//! it must not serialize behind writers. The trait surface is therefore
+//! split in two:
+//!
+//! * [`PmemRead`] — shared-capability reads: `read`/`read_u64` take `&self`,
+//!   so any number of threads holding `&P` (or a cloned
+//!   [`Pmem::ReadHandle`]) can probe concurrently. Read-side accounting is
+//!   kept in atomics internally.
+//! * [`Pmem`] — the exclusive half: every mutation (`write`,
+//!   `atomic_write_u64`, `flush`, `fence`) still requires `&mut self`, which
+//!   statically guarantees a single writer.
+//!
+//! [`Pmem::read_handle`] yields an owning, cloneable [`PmemRead`] view
+//! (`Send + Sync`) that shares the backing pool, for reader threads that
+//! cannot borrow the writer's `&self`. Torn reads racing a concurrent
+//! writer are possible by design; callers layer a validation protocol (e.g.
+//! the seqlock in `group_hash::ShardedGroupHash`) on top.
+//!
 //! # Consistency contract
 //!
 //! A store is **durable** only after (1) `flush` of its line and (2) a
@@ -43,31 +63,62 @@ mod stats;
 
 pub use clock::{LatencyModel, SimClock};
 pub use crash::{run_with_crash, CrashPlan, CrashResolution, CrashSignal};
-pub use real::RealPmem;
+pub use real::{RealPmem, RealPmemReader};
 pub use region::{align_up, Region, RegionAllocator, CACHELINE};
-pub use sim::{SimConfig, SimPmem};
+pub use sim::{SimConfig, SimPmem, SimPmemReader};
 pub use stats::PmemStats;
 
 use nvm_cachesim::CacheStats;
+
+/// Shared-capability reads over byte-addressable persistent memory.
+///
+/// Everything here takes `&self`: multiple threads may probe the same pool
+/// concurrently. Implementations keep their read-side accounting in atomics
+/// (or skip contended accounting) so the hot path stays lock-free.
+///
+/// A read that races an in-flight [`Pmem::write`] to the same bytes may
+/// observe a torn mixture; callers that share a pool with a live writer
+/// must validate reads (generation/seqlock) before trusting them.
+pub trait PmemRead {
+    /// Reads `buf.len()` bytes at `off`.
+    fn read(&self, off: usize, buf: &mut [u8]);
+
+    /// Reads a little-endian u64 at `off` (any alignment).
+    fn read_u64(&self, off: usize) -> u64 {
+        let mut b = [0u8; 8];
+        self.read(off, &mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Pool capacity in bytes.
+    fn len(&self) -> usize;
+
+    /// True if the pool has zero capacity.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
 
 /// Byte-addressable persistent memory with explicit persistence control.
 ///
 /// Offsets are pool-relative byte addresses. All mutation is volatile until
 /// [`Pmem::flush`] + [`Pmem::fence`]; [`Pmem::persist`] is the common
 /// `clflush; mfence` pairing the paper calls *Persist*.
-pub trait Pmem {
-    /// Reads `buf.len()` bytes at `off`.
-    fn read(&mut self, off: usize, buf: &mut [u8]);
+///
+/// Reads live on the [`PmemRead`] supertrait (`&self`); mutation, flushes
+/// and fences stay here on `&mut self`, so the borrow checker enforces the
+/// single-writer/many-readers discipline.
+pub trait Pmem: PmemRead {
+    /// Owning shared-read view of the same pool, for reader threads.
+    type ReadHandle: PmemRead + Clone + Send + Sync + 'static;
+
+    /// Returns a cloneable [`PmemRead`] handle sharing this pool's backing
+    /// storage. Reads through the handle observe the writer's stores (with
+    /// no ordering guarantee beyond what the caller's own protocol adds).
+    fn read_handle(&self) -> Self::ReadHandle;
 
     /// Writes `data` at `off`. Volatile until flushed and fenced.
     fn write(&mut self, off: usize, data: &[u8]);
-
-    /// Reads a little-endian u64 at `off` (any alignment).
-    fn read_u64(&mut self, off: usize) -> u64 {
-        let mut b = [0u8; 8];
-        self.read(off, &mut b);
-        u64::from_le_bytes(b)
-    }
 
     /// Writes a little-endian u64 at `off` (any alignment; not atomic
     /// unless 8-byte aligned).
@@ -93,16 +144,11 @@ pub trait Pmem {
         self.fence();
     }
 
-    /// Pool capacity in bytes.
-    fn len(&self) -> usize;
-
-    /// True if the pool has zero capacity.
-    fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Operation counters.
-    fn stats(&self) -> &PmemStats;
+    /// Snapshot of the operation counters.
+    ///
+    /// By value: counters live in atomics (shared with read handles), so
+    /// there is no stable `&PmemStats` to hand out.
+    fn stats(&self) -> PmemStats;
 
     /// Resets operation counters (and, where applicable, cache statistics
     /// and the simulated clock) without touching contents.
@@ -113,8 +159,9 @@ pub trait Pmem {
         None
     }
 
-    /// Cache-hierarchy statistics, if this backend models the CPU cache.
-    fn cache_stats(&self) -> Option<&CacheStats> {
+    /// Snapshot of cache-hierarchy statistics, if this backend models the
+    /// CPU cache.
+    fn cache_stats(&self) -> Option<CacheStats> {
         None
     }
 }
@@ -129,5 +176,18 @@ mod trait_tests {
         p.write_u64(16, 0xDEAD_BEEF_CAFE_F00D);
         assert_eq!(p.read_u64(16), 0xDEAD_BEEF_CAFE_F00D);
         assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn read_handle_sees_writes_and_is_send_sync() {
+        fn assert_handle<H: PmemRead + Clone + Send + Sync + 'static>(_: &H) {}
+        let mut p = SimPmem::new(4096, SimConfig::fast_test());
+        let h = p.read_handle();
+        assert_handle(&h);
+        p.write_u64(64, 77);
+        assert_eq!(h.read_u64(64), 77);
+        assert_eq!(h.len(), 4096);
+        let h2 = h.clone();
+        assert_eq!(h2.read_u64(64), 77);
     }
 }

@@ -11,31 +11,81 @@
 //! `core::arch::x86_64` intrinsics; elsewhere they degrade to compiler
 //! fences plus the emulation delay, preserving timing behaviour (but not
 //! actual durability, which no DRAM-backed emulation provides anyway).
+//!
+//! The pool and its counters live in an [`Arc`]-shared allocation so
+//! [`RealPmemReader`] handles can read from other threads while the unique
+//! owning `RealPmem` writes (readers must validate against tearing, e.g.
+//! with a seqlock).
 
-use crate::stats::PmemStats;
-use crate::Pmem;
+use crate::stats::AtomicPmemStats;
+use crate::{Pmem, PmemRead, PmemStats};
 use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::region::CACHELINE;
+
+/// The shared allocation: pool bytes + counters.
+#[derive(Debug)]
+struct RealShared {
+    ptr: *mut u8,
+    len: usize,
+    layout: Layout,
+    stats: AtomicPmemStats,
+}
+
+// SAFETY: bytes are only mutated through the unique owning `RealPmem`
+// (`&mut self`); reader handles do raw-pointer copies whose races are the
+// caller's validation problem. Counters are atomic.
+unsafe impl Send for RealShared {}
+unsafe impl Sync for RealShared {}
+
+impl Drop for RealShared {
+    fn drop(&mut self) {
+        // SAFETY: allocated with this exact layout in the constructor.
+        unsafe { dealloc(self.ptr, self.layout) }
+    }
+}
+
+impl RealShared {
+    #[inline]
+    fn check_bounds(&self, off: usize, len: usize) {
+        assert!(
+            off.checked_add(len).is_some_and(|end| end <= self.len),
+            "pmem access out of bounds: off={off} len={len} pool={}",
+            self.len
+        );
+    }
+
+    #[inline]
+    fn read_into(&self, off: usize, buf: &mut [u8]) {
+        self.check_bounds(off, buf.len());
+        // SAFETY: bounds checked; regions cannot overlap (buf is a distinct
+        // allocation). Raw copy, no reference formed over the pool.
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.ptr.add(off), buf.as_mut_ptr(), buf.len());
+        }
+        self.stats.note_read(buf.len() as u64);
+    }
+}
 
 /// DRAM-backed pmem emulation with real `clflush`/`mfence` and a spin-wait
 /// emulating NVM write latency.
 #[derive(Debug)]
 pub struct RealPmem {
-    ptr: *mut u8,
-    len: usize,
-    layout: Layout,
+    shared: Arc<RealShared>,
     /// Extra latency charged per flushed cacheline, emulating the NVM
     /// write path (0 disables the spin).
     extra_write_ns: u64,
-    stats: PmemStats,
 }
 
-// The pool is plain bytes behind a unique owner; &mut-based API gives
-// exclusive access, so transferring/sharing across threads is sound.
-unsafe impl Send for RealPmem {}
-unsafe impl Sync for RealPmem {}
+/// Cloneable shared-read handle over a [`RealPmem`] pool
+/// ([`Pmem::read_handle`]). Reads run at DRAM speed and may race the
+/// owner's writes (pair with a validation protocol).
+#[derive(Debug, Clone)]
+pub struct RealPmemReader {
+    shared: Arc<RealShared>,
+}
 
 impl RealPmem {
     /// Default emulated extra NVM write latency (the paper's 300 ns).
@@ -55,21 +105,14 @@ impl RealPmem {
         let ptr = unsafe { alloc_zeroed(layout) };
         assert!(!ptr.is_null(), "pmem pool allocation failed ({len} bytes)");
         RealPmem {
-            ptr,
-            len,
-            layout,
+            shared: Arc::new(RealShared {
+                ptr,
+                len,
+                layout,
+                stats: AtomicPmemStats::default(),
+            }),
             extra_write_ns,
-            stats: PmemStats::default(),
         }
-    }
-
-    #[inline]
-    fn check_bounds(&self, off: usize, len: usize) {
-        assert!(
-            off.checked_add(len).is_some_and(|end| end <= self.len),
-            "pmem access out of bounds: off={off} len={len} pool={}",
-            self.len
-        );
     }
 
     /// Busy-waits for approximately `ns` nanoseconds. `Instant`-based so it
@@ -92,7 +135,7 @@ impl RealPmem {
         // SAFETY: `off` is bounds-checked by callers; the pointer is valid
         // for the pool's lifetime. clflush has no alignment requirement.
         unsafe {
-            core::arch::x86_64::_mm_clflush(self.ptr.add(off));
+            core::arch::x86_64::_mm_clflush(self.shared.ptr.add(off));
         }
     }
 
@@ -117,68 +160,79 @@ impl RealPmem {
         std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
     }
 
-    /// Raw read-only view (tests/oracles; bypasses statistics).
+    /// Raw read-only view (tests/oracles; bypasses statistics). The borrow
+    /// of `self` keeps the unique writer out for its duration.
     pub fn raw(&self) -> &[u8] {
-        // SAFETY: ptr/len describe our live allocation.
-        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        // SAFETY: ptr/len describe our live allocation; mutation requires
+        // `&mut RealPmem`, which this shared borrow excludes.
+        unsafe { std::slice::from_raw_parts(self.shared.ptr, self.shared.len) }
     }
 }
 
-impl Drop for RealPmem {
-    fn drop(&mut self) {
-        // SAFETY: allocated with this exact layout in the constructor.
-        unsafe { dealloc(self.ptr, self.layout) }
+impl PmemRead for RealPmem {
+    #[inline]
+    fn read(&self, off: usize, buf: &mut [u8]) {
+        self.shared.read_into(off, buf);
+    }
+
+    fn len(&self) -> usize {
+        self.shared.len
+    }
+}
+
+impl PmemRead for RealPmemReader {
+    #[inline]
+    fn read(&self, off: usize, buf: &mut [u8]) {
+        self.shared.read_into(off, buf);
+    }
+
+    fn len(&self) -> usize {
+        self.shared.len
     }
 }
 
 impl Pmem for RealPmem {
-    #[inline]
-    fn read(&mut self, off: usize, buf: &mut [u8]) {
-        self.check_bounds(off, buf.len());
-        // SAFETY: bounds checked; regions cannot overlap (buf is a distinct
-        // allocation).
-        unsafe {
-            std::ptr::copy_nonoverlapping(self.ptr.add(off), buf.as_mut_ptr(), buf.len());
+    type ReadHandle = RealPmemReader;
+
+    fn read_handle(&self) -> RealPmemReader {
+        RealPmemReader {
+            shared: Arc::clone(&self.shared),
         }
-        self.stats.reads += 1;
-        self.stats.bytes_read += buf.len() as u64;
     }
 
     #[inline]
     fn write(&mut self, off: usize, data: &[u8]) {
-        self.check_bounds(off, data.len());
+        self.shared.check_bounds(off, data.len());
         // SAFETY: bounds checked; source is a distinct allocation.
         unsafe {
-            std::ptr::copy_nonoverlapping(data.as_ptr(), self.ptr.add(off), data.len());
+            std::ptr::copy_nonoverlapping(data.as_ptr(), self.shared.ptr.add(off), data.len());
         }
-        self.stats.writes += 1;
-        self.stats.bytes_written += data.len() as u64;
+        self.shared.stats.note_write(data.len() as u64);
     }
 
     #[inline]
     fn atomic_write_u64(&mut self, off: usize, v: u64) {
         assert_eq!(off % 8, 0, "atomic_write_u64 requires 8-byte alignment");
-        self.check_bounds(off, 8);
+        self.shared.check_bounds(off, 8);
         // SAFETY: aligned (asserted), in-bounds, and the pool outlives the
         // reference. A relaxed atomic store compiles to a plain MOV on
         // x86_64 — the hardware guarantees 8-byte aligned stores are not
         // torn, which is the paper's failure-atomicity assumption.
         unsafe {
-            let p = self.ptr.add(off) as *mut std::sync::atomic::AtomicU64;
+            let p = self.shared.ptr.add(off) as *mut std::sync::atomic::AtomicU64;
             (*p).store(v, std::sync::atomic::Ordering::Relaxed);
         }
-        self.stats.writes += 1;
-        self.stats.bytes_written += 8;
-        self.stats.atomic_writes += 1;
+        self.shared.stats.note_write(8);
+        self.shared.stats.note_atomic_write();
     }
 
     fn flush(&mut self, off: usize, len: usize) {
-        self.check_bounds(off, len.max(1));
+        self.shared.check_bounds(off, len.max(1));
         let first = off / CACHELINE;
         let last = (off + len.max(1) - 1) / CACHELINE;
         for line in first..=last {
             self.clflush_line(line * CACHELINE);
-            self.stats.flushes += 1;
+            self.shared.stats.note_flush_lines(1);
             // Emulate the slow NVM write path, as the paper does after each
             // clflush.
             Self::spin_ns(self.extra_write_ns);
@@ -187,19 +241,15 @@ impl Pmem for RealPmem {
 
     fn fence(&mut self) {
         Self::mfence();
-        self.stats.fences += 1;
+        self.shared.stats.note_fence();
     }
 
-    fn len(&self) -> usize {
-        self.len
-    }
-
-    fn stats(&self) -> &PmemStats {
-        &self.stats
+    fn stats(&self) -> PmemStats {
+        self.shared.stats.snapshot()
     }
 
     fn reset_stats(&mut self) {
-        self.stats.reset();
+        self.shared.stats.reset();
     }
 }
 
@@ -218,7 +268,7 @@ mod tests {
 
     #[test]
     fn zero_initialized() {
-        let mut p = RealPmem::with_write_latency(1 << 16, 0);
+        let p = RealPmem::with_write_latency(1 << 16, 0);
         let mut buf = [1u8; 64];
         p.read(1 << 15, &mut buf);
         assert_eq!(buf, [0u8; 64]);
@@ -258,8 +308,17 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of bounds")]
     fn oob_read_panics() {
-        let mut p = RealPmem::with_write_latency(64, 0);
+        let p = RealPmem::with_write_latency(64, 0);
         let mut b = [0u8; 8];
         p.read(60, &mut b);
+    }
+
+    #[test]
+    fn reader_handle_shares_pool_across_threads() {
+        let mut p = RealPmem::with_write_latency(4096, 0);
+        p.write_u64(128, 4242);
+        let h = p.read_handle();
+        let t = std::thread::spawn(move || h.read_u64(128));
+        assert_eq!(t.join().unwrap(), 4242);
     }
 }

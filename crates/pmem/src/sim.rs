@@ -2,7 +2,8 @@
 //!
 //! `SimPmem` keeps two views of every byte:
 //!
-//! * the **CPU view** (`data`) — what loads observe, i.e. the newest store;
+//! * the **CPU view** (the shared buffer) — what loads observe, i.e. the
+//!   newest store;
 //! * the **media view** — what would survive a power failure right now.
 //!
 //! The media view is stored as a delta: for every cacheline holding at
@@ -13,13 +14,34 @@
 //! resolve per [`CrashResolution`], the CPU caches are dropped, and the
 //! pool's contents become exactly the resolved media — the only bytes a
 //! recovery procedure may rely on.
+//!
+//! # Sharing model
+//!
+//! The byte buffer, operation counters, and cache/clock model live in an
+//! [`Arc`]-shared block so that [`SimPmemReader`] handles (from
+//! [`Pmem::read_handle`]) can read concurrently with the owning `SimPmem`:
+//!
+//! * counters are `Relaxed` atomics;
+//! * the cache hierarchy + simulated clock sit behind a mutex. The owning
+//!   `SimPmem` takes it unconditionally (single-threaded accounting stays
+//!   exactly deterministic); reader handles only `try_lock` and skip the
+//!   model under contention (counted), because a shared cache model is not
+//!   meaningful mid-race anyway;
+//! * buffer bytes are copied through raw pointers, never via references
+//!   that could alias a concurrent writer. A read racing a write may be
+//!   torn — callers validate (seqlock) before trusting racy reads.
+//!
+//! Exactly one `SimPmem` owns each shared block (`clone` deep-copies), so
+//! `&mut self` on the mutation path still guarantees a single writer.
 
 use crate::clock::{LatencyModel, SimClock};
 use crate::crash::{CrashPlan, CrashResolution, CrashSignal};
-use crate::stats::PmemStats;
-use crate::Pmem;
+use crate::stats::AtomicPmemStats;
+use crate::{Pmem, PmemRead, PmemStats};
 use nvm_cachesim::{AccessKind, CacheConfig, CacheHierarchy, CacheStats, LINE_BYTES};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Words per cacheline (64 B / 8 B).
 const WORDS_PER_LINE: usize = LINE_BYTES / 8;
@@ -73,22 +95,209 @@ struct LineState {
     flushed: Option<Box<[u8; LINE_BYTES]>>,
 }
 
+/// Cache hierarchy + simulated clock: the accounting model that both the
+/// owner and (opportunistically) reader handles charge accesses to.
+#[derive(Clone)]
+struct Model {
+    cache: CacheHierarchy,
+    clock: SimClock,
+}
+
+/// State shared between the owning [`SimPmem`] and its [`SimPmemReader`]s.
+struct Shared {
+    /// Heap buffer of `len` bytes; accessed only through raw-pointer
+    /// copies so reader handles can run concurrently with the writer.
+    ptr: *mut u8,
+    len: usize,
+    stats: AtomicPmemStats,
+    model: Mutex<Model>,
+    /// Reader-handle reads that skipped cache/clock accounting because the
+    /// model mutex was held.
+    contended_reads: AtomicU64,
+}
+
+// SAFETY: the buffer is only mutated through the unique owning `SimPmem`
+// (`&mut self`); reader handles perform raw-pointer copies that tolerate
+// (and are validated against) torn data. All other shared state is atomic
+// or mutex-protected.
+unsafe impl Send for Shared {}
+unsafe impl Sync for Shared {}
+
+impl Drop for Shared {
+    fn drop(&mut self) {
+        // SAFETY: `ptr` came from `Box::into_raw` of a `len`-byte slice in
+        // `Shared::new` and is dropped exactly once.
+        unsafe {
+            drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                self.ptr, self.len,
+            )));
+        }
+    }
+}
+
+impl Shared {
+    fn new(bytes: Box<[u8]>, model: Model) -> Arc<Self> {
+        let len = bytes.len();
+        let ptr = Box::into_raw(bytes) as *mut u8;
+        Arc::new(Shared {
+            ptr,
+            len,
+            stats: AtomicPmemStats::default(),
+            model: Mutex::new(model),
+            contended_reads: AtomicU64::new(0),
+        })
+    }
+
+    fn model(&self) -> MutexGuard<'_, Model> {
+        // Poisoning carries no meaning here (the model holds statistics,
+        // not invariants), so recover from a panicked holder.
+        self.model.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[inline]
+    fn check_bounds(&self, off: usize, len: usize) {
+        assert!(
+            off.checked_add(len).is_some_and(|end| end <= self.len),
+            "pmem access out of bounds: off={off} len={len} pool={}",
+            self.len
+        );
+    }
+
+    /// Raw copy out of the buffer. Bounds must be pre-checked.
+    #[inline]
+    fn copy_out(&self, off: usize, buf: &mut [u8]) {
+        // SAFETY: in-bounds (caller checked); raw copy never forms a
+        // reference to the buffer, so it may race the writer (torn data is
+        // the caller's protocol problem, not UB-by-aliasing).
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.ptr.add(off), buf.as_mut_ptr(), buf.len());
+        }
+    }
+
+    /// Raw copy into the buffer. Writer-only (reached via `&mut SimPmem`).
+    #[inline]
+    fn copy_in(&self, off: usize, data: &[u8]) {
+        // SAFETY: in-bounds (caller checked); only the unique owner calls
+        // this, so there is exactly one mutator.
+        unsafe {
+            std::ptr::copy_nonoverlapping(data.as_ptr(), self.ptr.add(off), data.len());
+        }
+    }
+
+    #[inline]
+    fn read_word(&self, off: usize) -> [u8; 8] {
+        let mut w = [0u8; 8];
+        self.copy_out(off, &mut w);
+        w
+    }
+
+    /// Charges cacheline accesses for `[off, off+len)` to the model.
+    /// `blocking` distinguishes the deterministic owner path from the
+    /// opportunistic reader-handle path.
+    fn charge_access(
+        &self,
+        off: usize,
+        len: usize,
+        kind: AccessKind,
+        latency: &LatencyModel,
+        blocking: bool,
+    ) {
+        let mut guard = if blocking {
+            self.model()
+        } else {
+            match self.model.try_lock() {
+                Ok(g) => g,
+                Err(_) => {
+                    self.contended_reads.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        };
+        let m = &mut *guard;
+        for line in SimPmem::line_range(off, len) {
+            let hit = m.cache.access(line as usize * LINE_BYTES, kind);
+            m.clock.advance(latency.access_cost(hit));
+        }
+    }
+}
+
 /// Deterministic simulated persistent memory. See the module docs.
-#[derive(Debug, Clone)]
 pub struct SimPmem {
-    data: Box<[u8]>,
+    shared: Arc<Shared>,
     lines: BTreeMap<u64, LineState>,
     /// Lines with a pending (un-fenced) flush; drained by `fence`.
     pending: Vec<u64>,
-    cache: CacheHierarchy,
-    clock: SimClock,
     latency: LatencyModel,
-    stats: PmemStats,
     /// Mutation-event counter for crash injection.
     events: u64,
     plan: Option<CrashPlan>,
     /// Per-line media write-back counts (empty when wear tracking is off).
     wear: Vec<u32>,
+}
+
+/// Cloneable shared-read handle over a [`SimPmem`] pool
+/// ([`Pmem::read_handle`]).
+///
+/// Reads observe the owner's latest stores (possibly torn mid-write — pair
+/// with a validation protocol). Cache/clock accounting is best-effort: a
+/// handle read that would block on the model mutex skips accounting and
+/// bumps an internal contention counter instead.
+pub struct SimPmemReader {
+    shared: Arc<Shared>,
+    latency: LatencyModel,
+}
+
+impl Clone for SimPmemReader {
+    fn clone(&self) -> Self {
+        SimPmemReader {
+            shared: Arc::clone(&self.shared),
+            latency: self.latency,
+        }
+    }
+}
+
+impl std::fmt::Debug for SimPmemReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimPmemReader")
+            .field("len", &self.shared.len)
+            .finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for SimPmem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimPmem")
+            .field("len", &self.shared.len)
+            .field("non_durable_lines", &self.lines.len())
+            .field("events", &self.events)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Clone for SimPmem {
+    /// Deep copy: the clone gets its own buffer, counters, cache model and
+    /// clock, fully independent of the original (and of the original's
+    /// read handles).
+    fn clone(&self) -> Self {
+        let mut bytes = vec![0u8; self.shared.len].into_boxed_slice();
+        self.shared.copy_out(0, &mut bytes);
+        let model = self.shared.model().clone();
+        let shared = Shared::new(bytes, model);
+        shared.stats.set(self.shared.stats.snapshot());
+        shared.contended_reads.store(
+            self.shared.contended_reads.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        SimPmem {
+            shared,
+            lines: self.lines.clone(),
+            pending: self.pending.clone(),
+            latency: self.latency,
+            events: self.events,
+            plan: self.plan,
+            wear: self.wear.clone(),
+        }
+    }
 }
 
 impl SimPmem {
@@ -99,14 +308,15 @@ impl SimPmem {
         } else {
             Vec::new()
         };
-        SimPmem {
-            data: vec![0u8; len].into_boxed_slice(),
-            lines: BTreeMap::new(),
-            pending: Vec::new(),
+        let model = Model {
             cache: CacheHierarchy::new(config.cache),
             clock: SimClock::new(),
+        };
+        SimPmem {
+            shared: Shared::new(vec![0u8; len].into_boxed_slice(), model),
+            lines: BTreeMap::new(),
+            pending: Vec::new(),
             latency: config.latency,
-            stats: PmemStats::default(),
             events: 0,
             plan: None,
             wear,
@@ -116,15 +326,6 @@ impl SimPmem {
     /// Pool with the paper-default configuration.
     pub fn paper(len: usize) -> Self {
         Self::new(len, SimConfig::paper_default())
-    }
-
-    #[inline]
-    fn check_bounds(&self, off: usize, len: usize) {
-        assert!(
-            off.checked_add(len).is_some_and(|end| end <= self.data.len()),
-            "pmem access out of bounds: off={off} len={len} pool={}",
-            self.data.len()
-        );
     }
 
     /// Fires the crash plan if armed for this event, then counts it.
@@ -147,25 +348,22 @@ impl SimPmem {
         first..=last
     }
 
-    fn snapshot_line(data: &[u8], line: u64) -> Box<[u8; LINE_BYTES]> {
+    fn snapshot_line(shared: &Shared, line: u64) -> Box<[u8; LINE_BYTES]> {
         let start = line as usize * LINE_BYTES;
         let mut b = Box::new([0u8; LINE_BYTES]);
-        b.copy_from_slice(&data[start..start + LINE_BYTES]);
+        shared.copy_out(start, &mut b[..]);
         b
     }
 
     /// Marks the words of `line` covering `[off, off+len)` dirty,
     /// snapshotting the durable base first if needed. Call *before*
-    /// mutating `data`.
+    /// mutating the buffer.
     fn mark_dirty(&mut self, line: u64, off: usize, len: usize) {
-        let entry = self
-            .lines
-            .entry(line)
-            .or_insert_with(|| LineState {
-                base: Self::snapshot_line(&self.data, line),
-                dirty_mask: 0,
-                flushed: None,
-            });
+        let entry = self.lines.entry(line).or_insert_with(|| LineState {
+            base: Self::snapshot_line(&self.shared, line),
+            dirty_mask: 0,
+            flushed: None,
+        });
         let line_start = line as usize * LINE_BYTES;
         let lo = off.max(line_start);
         let hi = (off + len).min(line_start + LINE_BYTES);
@@ -192,6 +390,12 @@ impl SimPmem {
             .values()
             .map(|l| l.dirty_mask.count_ones() as usize)
             .sum()
+    }
+
+    /// Reader-handle reads that skipped cache/clock accounting because the
+    /// model was busy. Zero in single-threaded runs.
+    pub fn contended_model_reads(&self) -> u64 {
+        self.shared.contended_reads.load(Ordering::Relaxed)
     }
 
     /// Simulates a power failure: resolves every non-durable word per
@@ -235,31 +439,36 @@ impl SimPmem {
                     }
                 };
                 if !keep_new {
-                    let o = start + w * 8;
-                    self.data[o..o + 8].copy_from_slice(&state.base[w * 8..w * 8 + 8]);
+                    self.shared
+                        .copy_in(start + w * 8, &state.base[w * 8..w * 8 + 8]);
                 }
             }
         }
         self.pending.clear();
-        self.cache.clear();
+        self.shared.model().cache.clear();
         self.plan = None;
     }
 
     /// Read-only view of the CPU-visible contents, bypassing the cache
-    /// model and statistics. For tests and oracles only.
+    /// model and statistics. For tests and oracles only: the borrow of
+    /// `self` keeps the (unique) writer out for its duration, but reads
+    /// through live [`SimPmemReader`] handles on other threads are not
+    /// synchronized with it.
     pub fn raw(&self) -> &[u8] {
-        &self.data
+        // SAFETY: mutation requires `&mut SimPmem` on the unique owner,
+        // which this shared borrow excludes.
+        unsafe { std::slice::from_raw_parts(self.shared.ptr, self.shared.len) }
     }
 
     /// Installs `bytes` as the pool's fully-durable contents ("power-on"
     /// image load, not program activity — no cache/clock/stat effects).
     /// Panics if `bytes` exceeds the pool.
     pub(crate) fn install_image(&mut self, bytes: &[u8]) {
-        assert!(bytes.len() <= self.data.len(), "image larger than pool");
-        self.data[..bytes.len()].copy_from_slice(bytes);
+        assert!(bytes.len() <= self.shared.len, "image larger than pool");
+        self.shared.copy_in(0, bytes);
         self.lines.clear();
         self.pending.clear();
-        self.cache.clear();
+        self.shared.model().cache.clear();
     }
 
     /// Per-cacheline media write-back counts (NVM wear). Empty when wear
@@ -293,68 +502,98 @@ impl SimPmem {
     pub fn latency(&self) -> &LatencyModel {
         &self.latency
     }
+}
 
-    /// The cache hierarchy (mutable, e.g. to reset its stats separately).
-    pub fn cache_mut(&mut self) -> &mut CacheHierarchy {
-        &mut self.cache
+impl PmemRead for SimPmem {
+    fn read(&self, off: usize, buf: &mut [u8]) {
+        self.shared.check_bounds(off, buf.len());
+        // The owner blocks on the model mutex: single-threaded accounting
+        // (cache hits, simulated time) stays exactly deterministic.
+        self.shared
+            .charge_access(off, buf.len(), AccessKind::Read, &self.latency, true);
+        self.shared.copy_out(off, buf);
+        self.shared.stats.note_read(buf.len() as u64);
+    }
+
+    fn len(&self) -> usize {
+        self.shared.len
+    }
+}
+
+impl PmemRead for SimPmemReader {
+    fn read(&self, off: usize, buf: &mut [u8]) {
+        self.shared.check_bounds(off, buf.len());
+        // try_lock: never stall the lock-free read path on accounting.
+        self.shared
+            .charge_access(off, buf.len(), AccessKind::Read, &self.latency, false);
+        self.shared.copy_out(off, buf);
+        self.shared.stats.note_read(buf.len() as u64);
+    }
+
+    fn len(&self) -> usize {
+        self.shared.len
     }
 }
 
 impl Pmem for SimPmem {
-    fn read(&mut self, off: usize, buf: &mut [u8]) {
-        self.check_bounds(off, buf.len());
-        for line in Self::line_range(off, buf.len()) {
-            let hit = self.cache.access(line as usize * LINE_BYTES, AccessKind::Read);
-            self.clock.advance(self.latency.access_cost(hit));
+    type ReadHandle = SimPmemReader;
+
+    fn read_handle(&self) -> SimPmemReader {
+        SimPmemReader {
+            shared: Arc::clone(&self.shared),
+            latency: self.latency,
         }
-        buf.copy_from_slice(&self.data[off..off + buf.len()]);
-        self.stats.reads += 1;
-        self.stats.bytes_read += buf.len() as u64;
     }
 
     fn write(&mut self, off: usize, data: &[u8]) {
-        self.check_bounds(off, data.len());
+        self.shared.check_bounds(off, data.len());
         self.mutation_event();
+        self.shared
+            .charge_access(off, data.len(), AccessKind::Write, &self.latency, true);
         for line in Self::line_range(off, data.len()) {
-            let hit = self.cache.access(line as usize * LINE_BYTES, AccessKind::Write);
-            self.clock.advance(self.latency.access_cost(hit));
             self.mark_dirty(line, off, data.len());
         }
-        self.data[off..off + data.len()].copy_from_slice(data);
-        self.stats.writes += 1;
-        self.stats.bytes_written += data.len() as u64;
+        self.shared.copy_in(off, data);
+        self.shared.stats.note_write(data.len() as u64);
     }
 
     fn atomic_write_u64(&mut self, off: usize, v: u64) {
         assert_eq!(off % 8, 0, "atomic_write_u64 requires 8-byte alignment");
         self.write(off, &v.to_le_bytes());
-        self.stats.atomic_writes += 1;
+        self.shared.stats.note_atomic_write();
     }
 
     fn flush(&mut self, off: usize, len: usize) {
-        self.check_bounds(off, len.max(1));
+        self.shared.check_bounds(off, len.max(1));
         for line in Self::line_range(off, len) {
             self.mutation_event();
-            self.stats.flushes += 1;
-            self.cache.invalidate(line as usize * LINE_BYTES);
-            if let Some(state) = self.lines.get_mut(&line) {
-                state.flushed = Some(Self::snapshot_line(&self.data, line));
+            self.shared.stats.note_flush_lines(1);
+            let dirty = self.lines.contains_key(&line);
+            if dirty {
+                let snap = Self::snapshot_line(&self.shared, line);
+                let state = self.lines.get_mut(&line).expect("checked above");
+                state.flushed = Some(snap);
                 self.pending.push(line);
-                // Dirty write-back travelling to the NVM media.
-                self.clock.advance(self.latency.nvm_writeback_ns);
                 if let Some(w) = self.wear.get_mut(line as usize) {
                     *w = w.saturating_add(1);
                 }
-            } else {
-                self.clock.advance(self.latency.clean_flush_ns);
             }
+            let mut m = self.shared.model();
+            m.cache.invalidate(line as usize * LINE_BYTES);
+            // Dirty write-back travels to the NVM media; a clean flush is
+            // cheaper.
+            m.clock.advance(if dirty {
+                self.latency.nvm_writeback_ns
+            } else {
+                self.latency.clean_flush_ns
+            });
         }
     }
 
     fn fence(&mut self) {
         self.mutation_event();
-        self.stats.fences += 1;
-        self.clock.advance(self.latency.fence_ns);
+        self.shared.stats.note_fence();
+        self.shared.model().clock.advance(self.latency.fence_ns);
         for line in std::mem::take(&mut self.pending) {
             let Some(state) = self.lines.get_mut(&line) else {
                 continue;
@@ -368,8 +607,7 @@ impl Pmem for SimPmem {
             let start = line as usize * LINE_BYTES;
             let mut mask = 0u64;
             for w in 0..WORDS_PER_LINE {
-                let o = start + w * 8;
-                if self.data[o..o + 8] != state.base[w * 8..w * 8 + 8] {
+                if self.shared.read_word(start + w * 8) != state.base[w * 8..w * 8 + 8] {
                     mask |= 1 << w;
                 }
             }
@@ -380,26 +618,23 @@ impl Pmem for SimPmem {
         }
     }
 
-    fn len(&self) -> usize {
-        self.data.len()
-    }
-
-    fn stats(&self) -> &PmemStats {
-        &self.stats
+    fn stats(&self) -> PmemStats {
+        self.shared.stats.snapshot()
     }
 
     fn reset_stats(&mut self) {
-        self.stats.reset();
-        self.clock.reset();
-        self.cache.reset_stats();
+        self.shared.stats.reset();
+        let mut m = self.shared.model();
+        m.clock.reset();
+        m.cache.reset_stats();
     }
 
     fn sim_time_ns(&self) -> Option<u64> {
-        Some(self.clock.now_ns())
+        Some(self.shared.model().clock.now_ns())
     }
 
-    fn cache_stats(&self) -> Option<&CacheStats> {
-        Some(self.cache.stats())
+    fn cache_stats(&self) -> Option<CacheStats> {
+        Some(self.shared.model().cache.stats().clone())
     }
 }
 
@@ -646,5 +881,41 @@ mod tests {
         q.write_u64(0, 2);
         assert_eq!(p.read_u64(0), 1);
         assert_eq!(q.read_u64(0), 2);
+    }
+
+    #[test]
+    fn reader_handle_tracks_writer_and_counts_reads() {
+        let mut p = pool();
+        let h = p.read_handle();
+        p.write_u64(32, 0xFEED);
+        assert_eq!(h.read_u64(32), 0xFEED);
+        p.write_u64(32, 0xF00D);
+        assert_eq!(h.read_u64(32), 0xF00D);
+        let s = p.stats();
+        assert_eq!(s.reads, 2, "handle reads land in the shared counters");
+    }
+
+    #[test]
+    fn reader_handles_are_concurrent() {
+        let mut p = SimPmem::new(1 << 16, SimConfig::fast_test());
+        for i in 0..64u64 {
+            p.write_u64((i * 8) as usize, i);
+        }
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let h = p.read_handle();
+                std::thread::spawn(move || {
+                    for round in 0..100 {
+                        for i in 0..64u64 {
+                            assert_eq!(h.read_u64((i * 8) as usize), i, "round {round}");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(p.stats().reads, 4 * 100 * 64);
     }
 }

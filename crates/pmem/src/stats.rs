@@ -1,5 +1,7 @@
 //! Operation counters for pmem backends.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 /// Counts of persistence-relevant operations since the last reset.
 ///
 /// The paper's write-efficiency argument is quantitative: logging roughly
@@ -44,6 +46,75 @@ impl PmemStats {
             flushes: self.flushes.saturating_sub(earlier.flushes),
             fences: self.fences.saturating_sub(earlier.fences),
         }
+    }
+}
+
+/// Interior-mutable [`PmemStats`], shared between a pmem backend and its
+/// cloned read handles.
+///
+/// Reads come from `&self` (possibly many threads at once), so the read
+/// counters must be atomics; for uniformity every field is. All updates are
+/// `Relaxed` — these are statistics, not synchronization, and a snapshot
+/// taken while operations are in flight is only approximately consistent
+/// across fields (exact once the pool is quiescent).
+#[derive(Debug, Default)]
+pub(crate) struct AtomicPmemStats {
+    reads: AtomicU64,
+    bytes_read: AtomicU64,
+    writes: AtomicU64,
+    bytes_written: AtomicU64,
+    atomic_writes: AtomicU64,
+    flushes: AtomicU64,
+    fences: AtomicU64,
+}
+
+impl AtomicPmemStats {
+    pub(crate) fn note_read(&self, bytes: u64) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_write(&self, bytes: u64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_atomic_write(&self) {
+        self.atomic_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_flush_lines(&self, lines: u64) {
+        self.flushes.fetch_add(lines, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_fence(&self) {
+        self.fences.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> PmemStats {
+        PmemStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            atomic_writes: self.atomic_writes.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            fences: self.fences.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn set(&self, s: PmemStats) {
+        self.reads.store(s.reads, Ordering::Relaxed);
+        self.bytes_read.store(s.bytes_read, Ordering::Relaxed);
+        self.writes.store(s.writes, Ordering::Relaxed);
+        self.bytes_written.store(s.bytes_written, Ordering::Relaxed);
+        self.atomic_writes.store(s.atomic_writes, Ordering::Relaxed);
+        self.flushes.store(s.flushes, Ordering::Relaxed);
+        self.fences.store(s.fences, Ordering::Relaxed);
+    }
+
+    pub(crate) fn reset(&self) {
+        self.set(PmemStats::default());
     }
 }
 

@@ -7,7 +7,7 @@
 //! * aligned 8-byte words never tear;
 //! * the CPU view always reflects program order (crashes aside).
 
-use nvm_pmem::{CrashResolution, Pmem, SimConfig, SimPmem};
+use nvm_pmem::{CrashResolution, Pmem, PmemRead, SimConfig, SimPmem};
 use proptest::prelude::*;
 
 const POOL: usize = 4096;

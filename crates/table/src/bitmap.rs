@@ -8,7 +8,7 @@
 //! of 512 cells, which is exactly the contiguity the group-sharing design
 //! wants.
 
-use nvm_pmem::{Pmem, Region};
+use nvm_pmem::{Pmem, PmemRead, Region};
 
 /// A fixed-size bitset in persistent memory, one bit per table cell.
 #[derive(Debug, Clone, Copy)]
@@ -67,9 +67,9 @@ impl PmemBitmap {
         self.region.off + (idx / 64) as usize * 8
     }
 
-    /// Reads bit `idx`.
+    /// Reads bit `idx`. Shared-capability: any [`PmemRead`] view works.
     #[inline]
-    pub fn get<P: Pmem>(&self, pm: &mut P, idx: u64) -> bool {
+    pub fn get<R: PmemRead>(&self, pm: &R, idx: u64) -> bool {
         let w = pm.read_u64(self.word_off(idx));
         (w >> (idx % 64)) & 1 == 1
     }
@@ -113,14 +113,14 @@ impl PmemBitmap {
     /// result is cell `idx - idx%64 + i`). One memory access covers 64
     /// cells' occupancy — the word-wise scan primitive.
     #[inline]
-    pub fn word_containing<P: Pmem>(&self, pm: &mut P, idx: u64) -> u64 {
+    pub fn word_containing<R: PmemRead>(&self, pm: &R, idx: u64) -> u64 {
         pm.read_u64(self.word_off(idx))
     }
 
     /// Finds the first zero bit in `[start, start + n)`, reading word-wise
     /// (at most `n/64 + 2` word reads — this is why a group's empty-cell
     /// search is effectively one cacheline touch).
-    pub fn find_zero_in_range<P: Pmem>(&self, pm: &mut P, start: u64, n: u64) -> Option<u64> {
+    pub fn find_zero_in_range<R: PmemRead>(&self, pm: &R, start: u64, n: u64) -> Option<u64> {
         let end = (start + n).min(self.bits);
         let mut idx = start;
         while idx < end {
@@ -142,7 +142,7 @@ impl PmemBitmap {
     }
 
     /// Counts set bits in `[start, start + n)`.
-    pub fn count_ones_in_range<P: Pmem>(&self, pm: &mut P, start: u64, n: u64) -> u64 {
+    pub fn count_ones_in_range<R: PmemRead>(&self, pm: &R, start: u64, n: u64) -> u64 {
         let end = (start + n).min(self.bits);
         let mut idx = start;
         let mut total = 0u64;
@@ -162,7 +162,7 @@ impl PmemBitmap {
     }
 
     /// Total set bits.
-    pub fn count_ones<P: Pmem>(&self, pm: &mut P) -> u64 {
+    pub fn count_ones<R: PmemRead>(&self, pm: &R) -> u64 {
         self.count_ones_in_range(pm, 0, self.bits)
     }
 
@@ -186,11 +186,11 @@ mod tests {
     #[test]
     fn set_get_clear() {
         let (mut pm, bm) = setup(200);
-        assert!(!bm.get(&mut pm, 77));
+        assert!(!bm.get(&pm, 77));
         bm.set_and_persist(&mut pm, 77, true);
-        assert!(bm.get(&mut pm, 77));
+        assert!(bm.get(&pm, 77));
         bm.set_and_persist(&mut pm, 77, false);
-        assert!(!bm.get(&mut pm, 77));
+        assert!(!bm.get(&pm, 77));
     }
 
     #[test]
@@ -200,7 +200,7 @@ mod tests {
             bm.set_and_persist(&mut pm, i, true);
         }
         for i in 0..256 {
-            assert_eq!(bm.get(&mut pm, i), i % 3 == 0, "bit {i}");
+            assert_eq!(bm.get(&pm, i), i % 3 == 0, "bit {i}");
         }
     }
 
@@ -209,7 +209,7 @@ mod tests {
         let (mut pm, bm) = setup(128);
         bm.set_and_persist(&mut pm, 100, true);
         pm.crash(CrashResolution::DropUnflushed);
-        assert!(bm.get(&mut pm, 100));
+        assert!(bm.get(&pm, 100));
     }
 
     #[test]
@@ -217,17 +217,17 @@ mod tests {
         let (mut pm, bm) = setup(128);
         bm.set_volatile(&mut pm, 100, true);
         pm.crash(CrashResolution::DropUnflushed);
-        assert!(!bm.get(&mut pm, 100));
+        assert!(!bm.get(&pm, 100));
     }
 
     #[test]
     fn find_zero_basic() {
         let (mut pm, bm) = setup(512);
-        assert_eq!(bm.find_zero_in_range(&mut pm, 128, 256), Some(128));
+        assert_eq!(bm.find_zero_in_range(&pm, 128, 256), Some(128));
         for i in 128..140 {
             bm.set_and_persist(&mut pm, i, true);
         }
-        assert_eq!(bm.find_zero_in_range(&mut pm, 128, 256), Some(140));
+        assert_eq!(bm.find_zero_in_range(&pm, 128, 256), Some(140));
     }
 
     #[test]
@@ -236,8 +236,8 @@ mod tests {
         for i in 64..128 {
             bm.set_and_persist(&mut pm, i, true);
         }
-        assert_eq!(bm.find_zero_in_range(&mut pm, 64, 64), None);
-        assert_eq!(bm.find_zero_in_range(&mut pm, 64, 65), Some(128));
+        assert_eq!(bm.find_zero_in_range(&pm, 64, 64), None);
+        assert_eq!(bm.find_zero_in_range(&pm, 64, 65), Some(128));
     }
 
     #[test]
@@ -246,19 +246,19 @@ mod tests {
         for i in 70..100 {
             bm.set_and_persist(&mut pm, i, true);
         }
-        assert_eq!(bm.find_zero_in_range(&mut pm, 70, 30), None);
-        assert_eq!(bm.find_zero_in_range(&mut pm, 70, 31), Some(100));
-        assert_eq!(bm.find_zero_in_range(&mut pm, 69, 31), Some(69));
+        assert_eq!(bm.find_zero_in_range(&pm, 70, 30), None);
+        assert_eq!(bm.find_zero_in_range(&pm, 70, 31), Some(100));
+        assert_eq!(bm.find_zero_in_range(&pm, 69, 31), Some(69));
     }
 
     #[test]
     fn find_zero_clamps_to_len() {
         let (mut pm, bm) = setup(100);
-        assert_eq!(bm.find_zero_in_range(&mut pm, 90, 1000), Some(90));
+        assert_eq!(bm.find_zero_in_range(&pm, 90, 1000), Some(90));
         for i in 90..100 {
             bm.set_and_persist(&mut pm, i, true);
         }
-        assert_eq!(bm.find_zero_in_range(&mut pm, 90, 1000), None);
+        assert_eq!(bm.find_zero_in_range(&pm, 90, 1000), None);
     }
 
     #[test]
@@ -267,11 +267,11 @@ mod tests {
         for i in [0u64, 63, 64, 127, 128, 200, 299] {
             bm.set_and_persist(&mut pm, i, true);
         }
-        assert_eq!(bm.count_ones(&mut pm), 7);
-        assert_eq!(bm.count_ones_in_range(&mut pm, 0, 64), 2);
-        assert_eq!(bm.count_ones_in_range(&mut pm, 64, 64), 2);
-        assert_eq!(bm.count_ones_in_range(&mut pm, 63, 2), 2);
-        assert_eq!(bm.count_ones_in_range(&mut pm, 128, 172), 3);
+        assert_eq!(bm.count_ones(&pm), 7);
+        assert_eq!(bm.count_ones_in_range(&pm, 0, 64), 2);
+        assert_eq!(bm.count_ones_in_range(&pm, 64, 64), 2);
+        assert_eq!(bm.count_ones_in_range(&pm, 63, 2), 2);
+        assert_eq!(bm.count_ones_in_range(&pm, 128, 172), 3);
     }
 
     #[test]
@@ -280,6 +280,6 @@ mod tests {
         pm.write(0, &[0xFF; 64]);
         pm.persist(0, 64);
         let bm = PmemBitmap::create(&mut pm, Region::new(0, 64), 512);
-        assert_eq!(bm.count_ones(&mut pm), 0);
+        assert_eq!(bm.count_ones(&pm), 0);
     }
 }

@@ -6,7 +6,7 @@
 //! u64 value) and 32-byte cells (16-byte MD5 key + 16-byte value).
 
 use nvm_hashfn::Pod;
-use nvm_pmem::{align_up, Pmem, Region};
+use nvm_pmem::{align_up, Pmem, PmemRead, Region};
 use std::marker::PhantomData;
 
 /// A persistent array of `n` cells of type `(K, V)`.
@@ -73,7 +73,7 @@ impl<K: Pod, V: Pod> CellArray<K, V> {
 
     /// Reads the key of cell `idx`.
     #[inline]
-    pub fn read_key<P: Pmem>(&self, pm: &mut P, idx: u64) -> K {
+    pub fn read_key<R: PmemRead>(&self, pm: &R, idx: u64) -> K {
         let mut buf = [0u8; 64];
         debug_assert!(K::SIZE <= 64);
         pm.read(self.cell_off(idx), &mut buf[..K::SIZE]);
@@ -82,7 +82,7 @@ impl<K: Pod, V: Pod> CellArray<K, V> {
 
     /// Reads the value of cell `idx`.
     #[inline]
-    pub fn read_value<P: Pmem>(&self, pm: &mut P, idx: u64) -> V {
+    pub fn read_value<R: PmemRead>(&self, pm: &R, idx: u64) -> V {
         let mut buf = [0u8; 64];
         debug_assert!(V::SIZE <= 64);
         pm.read(self.cell_off(idx) + K::SIZE, &mut buf[..V::SIZE]);
@@ -108,7 +108,7 @@ impl<K: Pod, V: Pod> CellArray<K, V> {
     }
 
     /// True if every byte of cell `idx` is zero.
-    pub fn is_zeroed<P: Pmem>(&self, pm: &mut P, idx: u64) -> bool {
+    pub fn is_zeroed<R: PmemRead>(&self, pm: &R, idx: u64) -> bool {
         let mut buf = [0u8; 128];
         pm.read(self.cell_off(idx), &mut buf[..K::SIZE + V::SIZE]);
         buf[..K::SIZE + V::SIZE].iter().all(|&b| b == 0)
@@ -156,8 +156,8 @@ mod tests {
         let mut pm = pool();
         let a = A16::attach(Region::new(0, A16::region_size(100)), 100);
         a.write_entry(&mut pm, 5, &0xAAAA, &0xBBBB);
-        assert_eq!(a.read_key(&mut pm, 5), 0xAAAA);
-        assert_eq!(a.read_value(&mut pm, 5), 0xBBBB);
+        assert_eq!(a.read_key(&pm, 5), 0xAAAA);
+        assert_eq!(a.read_value(&pm, 5), 0xBBBB);
     }
 
     #[test]
@@ -167,8 +167,8 @@ mod tests {
         let k = [7u8; 16];
         let v = [9u8; 16];
         a.write_entry(&mut pm, 9, &k, &v);
-        assert_eq!(a.read_key(&mut pm, 9), k);
-        assert_eq!(a.read_value(&mut pm, 9), v);
+        assert_eq!(a.read_key(&pm, 9), k);
+        assert_eq!(a.read_value(&pm, 9), v);
     }
 
     #[test]
@@ -179,8 +179,8 @@ mod tests {
             a.write_entry(&mut pm, i, &(i * 10), &(i * 100));
         }
         for i in 0..10 {
-            assert_eq!(a.read_key(&mut pm, i), i * 10);
-            assert_eq!(a.read_value(&mut pm, i), i * 100);
+            assert_eq!(a.read_key(&pm, i), i * 10);
+            assert_eq!(a.read_value(&pm, i), i * 100);
         }
     }
 
@@ -189,10 +189,10 @@ mod tests {
         let mut pm = pool();
         let a = A16::attach(Region::new(0, A16::region_size(4)), 4);
         a.write_entry(&mut pm, 2, &1, &2);
-        assert!(!a.is_zeroed(&mut pm, 2));
+        assert!(!a.is_zeroed(&pm, 2));
         a.clear_entry(&mut pm, 2);
-        assert!(a.is_zeroed(&mut pm, 2));
-        assert!(a.is_zeroed(&mut pm, 3)); // untouched pool is zeroed
+        assert!(a.is_zeroed(&pm, 2));
+        assert!(a.is_zeroed(&pm, 3)); // untouched pool is zeroed
     }
 
     #[test]

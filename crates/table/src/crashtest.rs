@@ -10,7 +10,7 @@
 //! # Example
 //!
 //! ```
-//! use nvm_pmem::{Pmem, SimConfig, SimPmem};
+//! use nvm_pmem::{Pmem, PmemRead, SimConfig, SimPmem};
 //! use nvm_table::crashtest::{exhaust_crash_points, CrashCheck};
 //! use nvm_table::TableError;
 //!
@@ -121,7 +121,7 @@ pub fn exhaust_crash_points(spec: CrashCheck<'_>) -> Result<CrashReport, TableEr
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nvm_pmem::{Pmem, SimConfig, SimPmem};
+    use nvm_pmem::{Pmem, PmemRead, SimConfig, SimPmem};
 
     fn pool() -> SimPmem {
         SimPmem::new(4096, SimConfig::fast_test())

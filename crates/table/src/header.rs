@@ -10,7 +10,7 @@
 //! bitmap by at most one operation, which recovery repairs by recounting.
 
 use crate::TableError;
-use nvm_pmem::{Pmem, Region, CACHELINE};
+use nvm_pmem::{Pmem, PmemRead, Region, CACHELINE};
 
 const OFF_MAGIC: usize = 0;
 const OFF_SEED: usize = 8;
@@ -72,18 +72,18 @@ impl TableHeader {
     }
 
     /// The persisted hash seed.
-    pub fn seed<P: Pmem>(&self, pm: &mut P) -> u64 {
+    pub fn seed<R: PmemRead>(&self, pm: &R) -> u64 {
         pm.read_u64(self.region.off + OFF_SEED)
     }
 
     /// Geometry word `i`.
-    pub fn geometry<P: Pmem>(&self, pm: &mut P, i: usize) -> u64 {
+    pub fn geometry<R: PmemRead>(&self, pm: &R, i: usize) -> u64 {
         assert!(i < GEO_SLOTS);
         pm.read_u64(self.region.off + OFF_GEO + i * 8)
     }
 
     /// Current occupied-cell count.
-    pub fn count<P: Pmem>(&self, pm: &mut P) -> u64 {
+    pub fn count<R: PmemRead>(&self, pm: &R) -> u64 {
         pm.read_u64(self.region.off + OFF_COUNT)
     }
 
@@ -136,10 +136,10 @@ mod tests {
         let r = Region::new(0, 64);
         TableHeader::create(&mut pm, r, MAGIC, 77, &[100, 256]);
         let h = TableHeader::open(&mut pm, r, MAGIC).unwrap();
-        assert_eq!(h.seed(&mut pm), 77);
-        assert_eq!(h.geometry(&mut pm, 0), 100);
-        assert_eq!(h.geometry(&mut pm, 1), 256);
-        assert_eq!(h.count(&mut pm), 0);
+        assert_eq!(h.seed(&pm), 77);
+        assert_eq!(h.geometry(&pm, 0), 100);
+        assert_eq!(h.geometry(&pm, 1), 256);
+        assert_eq!(h.count(&pm), 0);
     }
 
     #[test]
@@ -156,9 +156,9 @@ mod tests {
         let h = TableHeader::create(&mut pm, Region::new(0, 64), MAGIC, 0, &[]);
         h.inc_count(&mut pm);
         h.inc_count(&mut pm);
-        assert_eq!(h.count(&mut pm), 2);
+        assert_eq!(h.count(&pm), 2);
         h.dec_count(&mut pm);
-        assert_eq!(h.count(&mut pm), 1);
+        assert_eq!(h.count(&pm), 1);
     }
 
     #[test]
@@ -176,8 +176,8 @@ mod tests {
         TableHeader::create(&mut pm, r, MAGIC, 9, &[5]);
         pm.crash(CrashResolution::DropUnflushed);
         let h = TableHeader::open(&mut pm, r, MAGIC).unwrap();
-        assert_eq!(h.seed(&mut pm), 9);
-        assert_eq!(h.geometry(&mut pm, 0), 5);
+        assert_eq!(h.seed(&pm), 9);
+        assert_eq!(h.geometry(&pm, 0), 5);
     }
 
     #[test]
@@ -188,6 +188,6 @@ mod tests {
         h.inc_count(&mut pm);
         pm.crash(CrashResolution::DropUnflushed);
         let h = TableHeader::open(&mut pm, r, MAGIC).unwrap();
-        assert_eq!(h.count(&mut pm), 1);
+        assert_eq!(h.count(&pm), 1);
     }
 }

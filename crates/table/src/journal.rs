@@ -120,7 +120,7 @@ impl Journal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nvm_pmem::{Pmem, SimConfig, SimPmem};
+    use nvm_pmem::{Pmem, PmemRead, SimConfig, SimPmem};
 
     #[test]
     fn none_mode_is_free() {

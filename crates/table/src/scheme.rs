@@ -104,25 +104,26 @@ pub trait HashScheme<P: Pmem, K: HashKey, V: Pod> {
     /// Algorithm 1); inserting a duplicate shadows rather than updates.
     fn insert(&mut self, pm: &mut P, key: K, value: V) -> Result<(), InsertError>;
 
-    /// Looks up `key`.
-    fn get(&self, pm: &mut P, key: &K) -> Option<V>;
+    /// Looks up `key`. Shared-capability (`&P`): the query path never
+    /// mutates, so concurrent wrappers can run it without the writer lock.
+    fn get(&self, pm: &P, key: &K) -> Option<V>;
 
     /// Removes `key`, returning whether it was present.
     fn remove(&mut self, pm: &mut P, key: &K) -> bool;
 
     /// Occupied cells, read from the persistent header.
-    fn len(&self, pm: &mut P) -> u64;
+    fn len(&self, pm: &P) -> u64;
 
     /// Total cells (both levels / all buckets / stash included).
     fn capacity(&self) -> u64;
 
     /// `len / capacity`.
-    fn load_factor(&self, pm: &mut P) -> f64 {
+    fn load_factor(&self, pm: &P) -> f64 {
         self.len(pm) as f64 / self.capacity() as f64
     }
 
     /// True when no cell is occupied.
-    fn is_empty(&self, pm: &mut P) -> bool {
+    fn is_empty(&self, pm: &P) -> bool {
         self.len(pm) == 0
     }
 
@@ -134,7 +135,7 @@ pub trait HashScheme<P: Pmem, K: HashKey, V: Pod> {
     /// reachable from its hash position, no duplicates). The first
     /// violation comes back as [`TableError::Corrupt`]. Test/debug aid —
     /// O(capacity).
-    fn check_consistency(&self, pm: &mut P) -> Result<(), TableError>;
+    fn check_consistency(&self, pm: &P) -> Result<(), TableError>;
 
     /// Inserts every `(key, value)` in order, amortizing persistence
     /// fences across the batch where the scheme supports it (group
@@ -179,7 +180,7 @@ pub trait HashScheme<P: Pmem, K: HashKey, V: Pod> {
     }
 
     /// True if `key` is present.
-    fn contains(&self, pm: &mut P, key: &K) -> bool {
+    fn contains(&self, pm: &P, key: &K) -> bool {
         self.get(pm, key).is_some()
     }
 

@@ -23,7 +23,7 @@
 
 use crate::{CellArray, ConsistencyMode, Journal, PmemBitmap};
 use nvm_hashfn::Pod;
-use nvm_pmem::{Pmem, Region};
+use nvm_pmem::{Pmem, PmemRead, Region};
 use std::collections::HashSet;
 
 /// One level (or the whole array) of a scheme's cells: bitmap + codec +
@@ -75,22 +75,22 @@ impl<K: Pod, V: Pod> CellStore<K, V> {
     }
 
     /// Is cell `idx` committed (bitmap bit set)?
-    pub fn is_occupied<P: Pmem>(&self, pm: &mut P, idx: u64) -> bool {
+    pub fn is_occupied<R: PmemRead>(&self, pm: &R, idx: u64) -> bool {
         self.bitmap.get(pm, idx)
     }
 
     /// Reads the key of cell `idx`.
-    pub fn read_key<P: Pmem>(&self, pm: &mut P, idx: u64) -> K {
+    pub fn read_key<R: PmemRead>(&self, pm: &R, idx: u64) -> K {
         self.cells.read_key(pm, idx)
     }
 
     /// Reads the value of cell `idx`.
-    pub fn read_value<P: Pmem>(&self, pm: &mut P, idx: u64) -> V {
+    pub fn read_value<R: PmemRead>(&self, pm: &R, idx: u64) -> V {
         self.cells.read_value(pm, idx)
     }
 
     /// Committed cells (bitmap popcount).
-    pub fn occupied<P: Pmem>(&self, pm: &mut P) -> u64 {
+    pub fn occupied<R: PmemRead>(&self, pm: &R) -> u64 {
         self.bitmap.count_ones(pm)
     }
 
@@ -152,7 +152,7 @@ impl<K: Pod, V: Pod> CellStore<K, V> {
     /// bit is clear and no staged publish in `sess` has claimed it. Staged
     /// retracts do **not** free a cell for re-use within the same batch —
     /// the bit only clears at commit.
-    pub fn is_free_for<P: Pmem>(&self, pm: &mut P, sess: &BatchSession<K, V>, idx: u64) -> bool {
+    pub fn is_free_for<R: PmemRead>(&self, pm: &R, sess: &BatchSession<K, V>, idx: u64) -> bool {
         !self.is_occupied(pm, idx) && !sess.is_claimed(self, idx)
     }
 
@@ -385,16 +385,16 @@ mod tests {
     #[test]
     fn publish_then_retract_roundtrip() {
         let (mut pm, s) = store(1 << 16, 64);
-        assert!(!s.is_occupied(&mut pm, 7));
+        assert!(!s.is_occupied(&pm, 7));
         s.publish(&mut pm, 7, &0xAB, &0xCD);
-        assert!(s.is_occupied(&mut pm, 7));
-        assert_eq!(s.read_key(&mut pm, 7), 0xAB);
-        assert_eq!(s.read_value(&mut pm, 7), 0xCD);
-        assert_eq!(s.occupied(&mut pm), 1);
+        assert!(s.is_occupied(&pm, 7));
+        assert_eq!(s.read_key(&pm, 7), 0xAB);
+        assert_eq!(s.read_value(&pm, 7), 0xCD);
+        assert_eq!(s.occupied(&pm), 1);
         s.retract(&mut pm, 7);
-        assert!(!s.is_occupied(&mut pm, 7));
-        assert!(s.cells.is_zeroed(&mut pm, 7));
-        assert_eq!(s.occupied(&mut pm), 0);
+        assert!(!s.is_occupied(&pm, 7));
+        assert!(s.cells.is_zeroed(&pm, 7));
+        assert_eq!(s.occupied(&pm), 0);
     }
 
     #[test]
@@ -416,8 +416,8 @@ mod tests {
         s.cells.write_entry(&mut pm, 2, &20, &21);
         s.cells.persist_entry(&mut pm, 2);
         assert_eq!(s.recover_cells(&mut pm), 1);
-        assert!(s.cells.is_zeroed(&mut pm, 2));
-        assert_eq!(s.read_key(&mut pm, 1), 10);
+        assert!(s.cells.is_zeroed(&pm, 2));
+        assert_eq!(s.read_key(&pm, 1), 10);
     }
 
     #[test]
@@ -432,8 +432,8 @@ mod tests {
         pm.crash(CrashResolution::PersistAll);
         let mut j2 = Journal::open(ConsistencyMode::UndoLog, log_region);
         assert!(j2.recover(&mut pm));
-        assert!(!s.is_occupied(&mut pm, 5));
-        assert!(s.cells.is_zeroed(&mut pm, 5));
+        assert!(!s.is_occupied(&pm, 5));
+        assert!(s.cells.is_zeroed(&pm, 5));
     }
 
     #[test]
@@ -448,9 +448,9 @@ mod tests {
         pm.crash(CrashResolution::PersistAll);
         let mut j2 = Journal::open(ConsistencyMode::UndoLog, log_region);
         assert!(j2.recover(&mut pm));
-        assert!(s.is_occupied(&mut pm, 9));
-        assert_eq!(s.read_key(&mut pm, 9), 90);
-        assert_eq!(s.read_value(&mut pm, 9), 91);
+        assert!(s.is_occupied(&pm, 9));
+        assert_eq!(s.read_key(&pm, 9), 90);
+        assert_eq!(s.read_value(&pm, 9), 91);
     }
 
     /// A one-publish batch (plus count) must cost exactly what the
@@ -468,7 +468,7 @@ mod tests {
         assert_eq!(st.flushes, 3);
         assert_eq!(st.fences, 3);
         assert_eq!(st.atomic_writes, 2);
-        assert!(s.is_occupied(&mut pm, 3));
+        assert!(s.is_occupied(&pm, 3));
         assert_eq!(pm.read_u64(count_off), 1);
     }
 
@@ -489,8 +489,8 @@ mod tests {
         assert_eq!(st.fences, 3);
         assert_eq!(st.atomic_writes, 2);
         assert_eq!(st.bytes_written, 32); // word + 16-byte cell + count
-        assert!(!s.is_occupied(&mut pm, 5));
-        assert!(s.cells.is_zeroed(&mut pm, 5));
+        assert!(!s.is_occupied(&pm, 5));
+        assert!(s.cells.is_zeroed(&pm, 5));
     }
 
     /// K publishes coalesce to K + 2 fences (drain, K prefix points,
@@ -511,8 +511,8 @@ mod tests {
         assert_eq!(st.flushes, 2 * k + 1);
         assert_eq!(st.atomic_writes, k + 1);
         for i in 0..k {
-            assert!(s.is_occupied(&mut pm, i));
-            assert_eq!(s.read_value(&mut pm, i), i * 10);
+            assert!(s.is_occupied(&pm, i));
+            assert_eq!(s.read_value(&pm, i), i * 10);
         }
     }
 
@@ -524,18 +524,18 @@ mod tests {
         s.publish(&mut pm, 2, &1, &1);
         let mut j = Journal::open(ConsistencyMode::None, Region::new(1 << 15, 1024));
         let mut sess = BatchSession::new();
-        assert!(s.is_free_for(&mut pm, &sess, 1));
+        assert!(s.is_free_for(&pm, &sess, 1));
         sess.stage_publish(&mut pm, &mut j, s, 1, &10, &11);
-        assert!(!s.is_free_for(&mut pm, &sess, 1)); // claimed
-        assert!(!s.is_free_for(&mut pm, &sess, 2)); // committed
-        assert!(s.is_free_for(&mut pm, &sess, 3));
+        assert!(!s.is_free_for(&pm, &sess, 1)); // claimed
+        assert!(!s.is_free_for(&pm, &sess, 2)); // committed
+        assert!(s.is_free_for(&pm, &sess, 3));
         sess.stage_retract(&mut pm, &mut j, s, 2);
         assert!(sess.is_retracted(&s, 2));
         // Retracted cells stay unavailable until commit.
-        assert!(!s.is_free_for(&mut pm, &sess, 2));
+        assert!(!s.is_free_for(&pm, &sess, 2));
         sess.commit(&mut pm, &mut j, None);
-        assert!(s.is_occupied(&mut pm, 1));
-        assert!(s.is_free_for(&mut pm, &sess, 2));
+        assert!(s.is_occupied(&pm, 1));
+        assert!(s.is_free_for(&pm, &sess, 2));
     }
 
     /// A logged batch chunk is all-or-nothing: crash before the journal
@@ -561,10 +561,10 @@ mod tests {
         pm.crash(CrashResolution::PersistAll);
         let mut j2 = Journal::open(ConsistencyMode::UndoLog, log_region);
         assert!(j2.recover(&mut pm));
-        assert!(s.is_occupied(&mut pm, 0));
-        assert_eq!(s.read_key(&mut pm, 0), 100);
-        assert!(!s.is_occupied(&mut pm, 1));
-        assert!(s.cells.is_zeroed(&mut pm, 1));
-        assert!(!s.is_occupied(&mut pm, 2));
+        assert!(s.is_occupied(&pm, 0));
+        assert_eq!(s.read_key(&pm, 0), 100);
+        assert!(!s.is_occupied(&pm, 1));
+        assert!(s.cells.is_zeroed(&pm, 1));
+        assert!(!s.is_occupied(&pm, 2));
     }
 }

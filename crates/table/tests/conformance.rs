@@ -14,7 +14,7 @@
 use group_hash::{CommitStrategy, GroupHash, GroupHashConfig};
 use nvm_baselines::{LinearProbing, PathHash, Pfht};
 use nvm_pmem::{
-    run_with_crash, CrashPlan, CrashResolution, Pmem, Region, SimConfig, SimPmem,
+    run_with_crash, CrashPlan, CrashResolution, Pmem, PmemRead, Region, SimConfig, SimPmem,
 };
 use nvm_table::{ConsistencyMode, HashScheme, InsertError};
 
@@ -170,12 +170,12 @@ fn persists_across_reopen<S: HashScheme<SimPmem, u64, u64>>(
 
     let mut t = open(&mut pm);
     t.recover(&mut pm);
-    assert_eq!(t.len(&mut pm), 39, "{label}");
+    assert_eq!(t.len(&pm), 39, "{label}");
     for k in 0..40u64 {
         let want = if k == 11 { None } else { Some(k * 7) };
-        assert_eq!(t.get(&mut pm, &k), want, "{label}: key {k} after reopen");
+        assert_eq!(t.get(&pm, &k), want, "{label}: key {k} after reopen");
     }
-    t.check_consistency(&mut pm).unwrap_or_else(|e| panic!("{label}: {e}"));
+    t.check_consistency(&pm).unwrap_or_else(|e| panic!("{label}: {e}"));
 }
 
 /// Crash at every pmem event inside one `op`, then reopen + recover. After
@@ -208,12 +208,12 @@ fn crash_loop<S: HashScheme<SimPmem, u64, u64>>(
         pm.crash(CrashResolution::Random(at));
         let mut t = open(&mut pm);
         t.recover(&mut pm);
-        t.check_consistency(&mut pm)
+        t.check_consistency(&pm)
             .unwrap_or_else(|e| panic!("{label}: crash at +{at}: {e}"));
         for k in 0..20u64 {
             if k != 13 {
                 assert_eq!(
-                    t.get(&mut pm, &k),
+                    t.get(&pm, &k),
                     Some(k + 100),
                     "{label}: pre-existing key {k} damaged by crash at +{at}"
                 );
@@ -296,7 +296,7 @@ fn crash_batch_loop<S: HashScheme<SimPmem, u64, u64>>(
         pm.crash(CrashResolution::Random(at));
         let mut t = open(&mut pm);
         t.recover(&mut pm);
-        t.check_consistency(&mut pm)
+        t.check_consistency(&pm)
             .unwrap_or_else(|e| panic!("{label}: crash at +{at}: {e}"));
         check(&mut pm, &t, at);
     }
@@ -509,7 +509,7 @@ fn group_crash_remove_batch() {
 fn group_batch_of_64_inserts_pins_k_plus_two_fences() {
     let (mut pm, mut t) = group_pool(ConsistencyMode::None, 256);
     let items: Vec<(u64, u64)> = (0..64u64).map(|k| (k, k * 9)).collect();
-    let base = *pm.stats();
+    let base = pm.stats();
     t.insert_batch(&mut pm, &items).unwrap();
     let spent = pm.stats().delta_since(&base);
     assert!(spent.fences <= 64 + 2, "fences {} > K+2", spent.fences);
@@ -517,7 +517,7 @@ fn group_batch_of_64_inserts_pins_k_plus_two_fences() {
     assert_eq!(spent.flushes, 2 * 64 + 1, "64 cells + 64 words + count");
     assert_eq!(spent.atomic_writes, 64 + 1, "64 bits + count");
     for (k, v) in &items {
-        assert_eq!(t.get(&mut pm, k), Some(*v));
+        assert_eq!(t.get(&pm, k), Some(*v));
     }
 }
 

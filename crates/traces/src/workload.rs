@@ -207,8 +207,8 @@ impl Workload {
         S: HashScheme<P, K, V>,
         T: Trace<Key = K>,
     {
-        let run_stats_before = *pm.stats();
-        let run_cache_before = pm.cache_stats().cloned();
+        let run_stats_before = pm.stats();
+        let run_cache_before = pm.cache_stats();
 
         let fill_keys = self.fill(pm, table, trace, &mut value_of);
         let fill_count = table.len(pm);
@@ -295,8 +295,8 @@ impl Workload {
     /// Runs `phase`, measuring elapsed time (simulated when available),
     /// LLC misses, and pmem-op deltas. `phase` returns the op count.
     fn measure<P: Pmem>(pm: &mut P, phase: impl FnOnce(&mut P) -> u64) -> OpMetrics {
-        let stats_before = *pm.stats();
-        let cache_before = pm.cache_stats().cloned();
+        let stats_before = pm.stats();
+        let cache_before = pm.cache_stats();
         let sim_before = pm.sim_time_ns();
         let wall = Instant::now();
 
@@ -345,7 +345,7 @@ mod tests {
             self.map.insert(key, value);
             Ok(())
         }
-        fn get(&self, pm: &mut P, key: &u64) -> Option<u64> {
+        fn get(&self, pm: &P, key: &u64) -> Option<u64> {
             pm.read_u64((key % 64) as usize * 8);
             self.map.get(key).copied()
         }
@@ -354,14 +354,14 @@ mod tests {
             pm.persist((key % 64) as usize * 8, 8);
             self.map.remove(key).is_some()
         }
-        fn len(&self, _pm: &mut P) -> u64 {
+        fn len(&self, _pm: &P) -> u64 {
             self.map.len() as u64
         }
         fn capacity(&self) -> u64 {
             self.cap
         }
         fn recover(&mut self, _pm: &mut P) {}
-        fn check_consistency(&self, _pm: &mut P) -> Result<(), nvm_table::TableError> {
+        fn check_consistency(&self, _pm: &P) -> Result<(), nvm_table::TableError> {
             Ok(())
         }
     }
@@ -411,20 +411,20 @@ mod tests {
             fn insert(&mut self, _pm: &mut P, _k: u64, _v: u64) -> Result<(), InsertError> {
                 Err(InsertError::TableFull)
             }
-            fn get(&self, _pm: &mut P, _k: &u64) -> Option<u64> {
+            fn get(&self, _pm: &P, _k: &u64) -> Option<u64> {
                 None
             }
             fn remove(&mut self, _pm: &mut P, _k: &u64) -> bool {
                 false
             }
-            fn len(&self, _pm: &mut P) -> u64 {
+            fn len(&self, _pm: &P) -> u64 {
                 0
             }
             fn capacity(&self) -> u64 {
                 100
             }
             fn recover(&mut self, _pm: &mut P) {}
-            fn check_consistency(&self, _pm: &mut P) -> Result<(), nvm_table::TableError> {
+            fn check_consistency(&self, _pm: &P) -> Result<(), nvm_table::TableError> {
                 Ok(())
             }
         }

@@ -229,7 +229,7 @@ impl UndoLog {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nvm_pmem::{CrashResolution, SimConfig, SimPmem};
+    use nvm_pmem::{CrashResolution, PmemRead, SimConfig, SimPmem};
 
     const DATA: usize = 0; // data area: first 1 KiB
     const LOG: usize = 1024;

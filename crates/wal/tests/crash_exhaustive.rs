@@ -6,7 +6,7 @@
 //! the post-transaction state (committed) — never a mixture.
 
 use nvm_pmem::{
-    run_with_crash, CrashPlan, CrashResolution, Pmem, Region, SimConfig, SimPmem,
+    run_with_crash, CrashPlan, CrashResolution, Pmem, PmemRead, Region, SimConfig, SimPmem,
 };
 use nvm_wal::UndoLog;
 

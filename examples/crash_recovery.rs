@@ -24,7 +24,7 @@ fn main() {
     for k in 0..900u64 {
         t0.insert(&mut pm0, k, k + 1).unwrap();
     }
-    println!("base table: {} items", t0.len(&mut pm0));
+    println!("base table: {} items", t0.len(&pm0));
 
     // Now crash an insert of key 5000 at every mutation event it performs.
     let mut crash_points = 0;
@@ -52,14 +52,14 @@ fn main() {
         // Reboot: reopen from the surviving bytes and run Algorithm 4.
         let mut t = Table::open(&mut pm, region).expect("reopen");
         t.recover(&mut pm);
-        t.check_consistency(&mut pm).expect("recovered state consistent");
+        t.check_consistency(&pm).expect("recovered state consistent");
 
         // All 900 committed items are intact...
         for k in 0..900u64 {
-            assert_eq!(t.get(&mut pm, &k), Some(k + 1), "lost key {k}");
+            assert_eq!(t.get(&pm, &k), Some(k + 1), "lost key {k}");
         }
         // ...and the in-flight insert is atomic: fully there or fully gone.
-        match t.get(&mut pm, &5000) {
+        match t.get(&pm, &5000) {
             Some(v) => {
                 assert_eq!(v, 42);
                 survived_with_key += 1;

@@ -42,7 +42,7 @@ fn main() {
     // First snapshot batch: all-new content.
     let batch1 = trace.take_keys(40_000);
     for d in &batch1 {
-        assert!(index.get(&mut pm, d).is_none());
+        assert!(index.get(&pm, d).is_none());
         index
             .insert(&mut pm, *d, location(container, offset))
             .expect("index insert");
@@ -58,7 +58,7 @@ fn main() {
     // every digest is a dedup hit, no writes at all.
     pm.reset_stats();
     for d in &batch1 {
-        if index.get(&mut pm, d).is_some() {
+        if index.get(&pm, d).is_some() {
             dup_hits += 1;
         }
     }
@@ -78,7 +78,7 @@ fn main() {
         .iter()
         .filter(|d| {
             index
-                .get(&mut pm, d)
+                .get(&pm, d)
                 .map(|l| u64::from_le_bytes(l[..8].try_into().unwrap()) == 0)
                 .unwrap_or(false)
         })
@@ -90,9 +90,9 @@ fn main() {
     println!(
         "garbage-collected container 0: {} digests removed, {} remain",
         victims.len(),
-        index.len(&mut pm)
+        index.len(&pm)
     );
 
-    index.check_consistency(&mut pm).expect("consistent");
+    index.check_consistency(&pm).expect("consistent");
     println!("index consistent after GC");
 }

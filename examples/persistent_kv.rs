@@ -30,14 +30,14 @@ fn main() {
         // Values are variable-size: updates move them between size classes.
         kv.set(&mut pm, b"doc:readme", b"Now a much longer README body: the store keeps variable-size values in a crash-consistent slab heap addressed by persistent pointers from the hash index.").unwrap();
 
-        let (entries, slots) = kv.usage(&mut pm);
+        let (entries, slots) = kv.usage(&pm);
         println!("session 1: {entries} entries in {slots} heap slots");
 
         // Power failure in the middle of nowhere particular...
         pm.crash(CrashResolution::Random(42));
         let mut kv = PmemKv::open(&mut pm, region).expect("reopen");
         let leaks = kv.recover(&mut pm);
-        kv.check_consistency(&mut pm).expect("consistent after crash");
+        kv.check_consistency(&pm).expect("consistent after crash");
         println!("survived a power failure (recovery reclaimed {leaks} leaked slots)");
 
         pm.save_image(&path).expect("save pool image");
@@ -49,15 +49,15 @@ fn main() {
         let mut kv = PmemKv::open(&mut pm, region).expect("open");
         kv.recover(&mut pm);
 
-        let readme = kv.get(&mut pm, b"doc:readme").expect("readme survived");
+        let readme = kv.get(&pm, b"doc:readme").expect("readme survived");
         assert!(readme.starts_with(b"Now a much longer README"));
         assert_eq!(
-            kv.get(&mut pm, b"event:04999").as_deref().map(|v| v.len()),
+            kv.get(&pm, b"event:04999").as_deref().map(|v| v.len()),
             Some(format!("{{\"seq\":4999,\"payload\":\"{}\"}}", "x".repeat(4999 % 80)).len())
         );
         println!(
             "session 2: reloaded {} entries; updated README intact ({} bytes)",
-            kv.len(&mut pm),
+            kv.len(&pm),
             readme.len()
         );
 
@@ -68,10 +68,10 @@ fn main() {
                 deleted += 1;
             }
         }
-        let (entries, slots) = kv.usage(&mut pm);
+        let (entries, slots) = kv.usage(&pm);
         println!("deleted {deleted} old events: {entries} entries, {slots} slots (no leaks)");
         assert_eq!(entries, slots);
-        kv.check_consistency(&mut pm).expect("consistent");
+        kv.check_consistency(&pm).expect("consistent");
     }
 
     let _ = std::fs::remove_file(&path);

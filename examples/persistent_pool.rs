@@ -7,7 +7,7 @@
 //! ```
 
 use group_hashing::core::{GroupHash, GroupHashConfig, HashScheme};
-use group_hashing::pmem::{Pmem, Region, SimConfig, SimPmem};
+use group_hashing::pmem::{PmemRead, Region, SimConfig, SimPmem};
 
 fn main() {
     let path = std::env::temp_dir().join("group-hashing-demo.pool");
@@ -27,7 +27,7 @@ fn main() {
         pm.save_image(&path).expect("save image");
         println!(
             "run 1: inserted {} items, saved {}-byte pool to {}",
-            table.len(&mut pm),
+            table.len(&pm),
             pm.len(),
             path.display()
         );
@@ -42,14 +42,14 @@ fn main() {
         // always safe (idempotent) — do it, as a real application would
         // when it cannot distinguish clean from crashed shutdown.
         table.recover(&mut pm);
-        table.check_consistency(&mut pm).expect("consistent");
+        table.check_consistency(&pm).expect("consistent");
 
-        assert_eq!(table.len(&mut pm), 3000);
-        assert_eq!(table.get(&mut pm, &1234), Some(1234 * 1234));
+        assert_eq!(table.len(&pm), 3000);
+        assert_eq!(table.get(&pm, &1234), Some(1234 * 1234));
         table.insert(&mut pm, 999_999, 1).expect("insert more");
         println!(
             "run 2: reloaded {} items, all values intact, appended one more",
-            table.len(&mut pm) - 1
+            table.len(&pm) - 1
         );
         pm.save_image(&path).expect("re-save");
     }
@@ -59,8 +59,8 @@ fn main() {
         let mut pm =
             SimPmem::load_image(&path, SimConfig::paper_default()).expect("load image");
         let table = GroupHash::<SimPmem, u64, u64>::open(&mut pm, region).expect("open");
-        assert_eq!(table.get(&mut pm, &999_999), Some(1));
-        println!("run 3: {} items — durability across three runs", table.len(&mut pm));
+        assert_eq!(table.get(&pm, &999_999), Some(1));
+        println!("run 3: {} items — durability across three runs", table.len(&pm));
     }
 
     let _ = std::fs::remove_file(&path);

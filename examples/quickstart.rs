@@ -25,17 +25,17 @@ fn main() {
     }
     println!(
         "inserted {} items, load factor {:.2}",
-        table.len(&mut pm),
-        table.load_factor(&mut pm)
+        table.len(&pm),
+        table.load_factor(&pm)
     );
 
     // Point lookups.
-    assert_eq!(table.get(&mut pm, &123), Some(1230));
-    assert_eq!(table.get(&mut pm, &999_999), None);
+    assert_eq!(table.get(&pm, &123), Some(1230));
+    assert_eq!(table.get(&pm, &999_999), None);
 
     // Delete.
     assert!(table.remove(&mut pm, &123));
-    assert_eq!(table.get(&mut pm, &123), None);
+    assert_eq!(table.get(&pm, &123), None);
 
     // What did a single insert cost? (The paper's point: exactly three
     // persisted cachelines — cell, bitmap word, count — no log writes.)
@@ -51,7 +51,7 @@ fn main() {
     );
 
     // Where do items live?
-    let a = TableAnalysis::capture(&table, &mut pm);
+    let a = TableAnalysis::capture(&table, &pm);
     println!(
         "occupancy: {} in level 1 (hash-addressed), {} in level 2 (collision groups)",
         a.level1_used, a.level2_used
@@ -63,6 +63,6 @@ fn main() {
     );
 
     // Integrity check (O(capacity); great in tests, optional in prod).
-    table.check_consistency(&mut pm).expect("consistent");
+    table.check_consistency(&pm).expect("consistent");
     println!("consistency check passed");
 }

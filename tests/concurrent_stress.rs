@@ -2,7 +2,7 @@
 //! boundary of the whole stack.
 
 use group_hashing::core::{GroupHash, GroupHashConfig, HashScheme, ShardedGroupHash};
-use group_hashing::pmem::{RealPmem, SimConfig, SimPmem};
+use group_hashing::pmem::{Pmem, RealPmem, SimConfig, SimPmem};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 
@@ -87,9 +87,130 @@ fn sim_pool_moves_across_threads() {
         }
         (pm, t)
     });
-    let (mut pm, t) = handle.join().unwrap();
-    assert_eq!(t.len(&mut pm), 200);
-    t.check_consistency(&mut pm).unwrap();
+    let (pm, t) = handle.join().unwrap();
+    assert_eq!(t.len(&pm), 200);
+    t.check_consistency(&pm).unwrap();
+}
+
+/// The seqlock guarantee, stressed: writers churn an *overlapping* key
+/// range with multi-word in-place updates (the one mutation whose
+/// visibility is not already guarded by the 8-byte bitmap commit) and
+/// insert/remove over disjoint private ranges, while readers spin on
+/// lock-free `get`. Readers must never observe a torn value (key bits
+/// mismatching the key), a phantom miss of an always-present key, or a
+/// ghost value in a private range that decodes to the wrong owner.
+#[test]
+fn seqlock_readers_see_no_torn_or_phantom_state() {
+    const SHARED: u64 = 512; // keys 0..SHARED stay present forever
+    const ROUNDS: u64 = 150;
+    let encode = |k: u64, round: u64| (k << 20) | (round & ((1 << 20) - 1));
+
+    let cfg = GroupHashConfig::new(1 << 11, 64);
+    let size = GroupHash::<RealPmem, u64, u64>::required_size(&cfg);
+    let table = Arc::new(
+        ShardedGroupHash::<RealPmem, u64, u64>::create(4, cfg, |_| {
+            RealPmem::with_write_latency(size, 0)
+        })
+        .unwrap(),
+    );
+    for k in 0..SHARED {
+        table.insert(k, encode(k, 0)).unwrap();
+    }
+
+    let stop = Arc::new(AtomicU64::new(0));
+    let writers: Vec<_> = (0..2u64)
+        .map(|tid| {
+            let table = Arc::clone(&table);
+            std::thread::spawn(move || {
+                let private = (tid + 1) * 1_000_000;
+                for round in 1..=ROUNDS {
+                    // Overlapping range: both writers update every shared
+                    // key in place (two 8-byte words: racing readers
+                    // would see torn values without the seqlock).
+                    for k in 0..SHARED {
+                        assert!(table.update_in_place(&k, encode(k, round)));
+                    }
+                    // Disjoint range: insert-then-remove churn, so
+                    // readers race bitmap publishes and retractions.
+                    for i in 0..64u64 {
+                        let k = private + i;
+                        table.insert(k, encode(k, round)).unwrap();
+                    }
+                    for i in 0..64u64 {
+                        assert!(table.remove(&(private + i)));
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let readers: Vec<_> = (0..2u64)
+        .map(|rid| {
+            let table = Arc::clone(&table);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut reads = 0u64;
+                while stop.load(Ordering::Relaxed) == 0 {
+                    let k = reads * (2 * rid + 1) % SHARED;
+                    let v = table.get(&k).expect("phantom miss of a shared key");
+                    assert_eq!(v >> 20, k, "torn value for key {k}: {v:#x}");
+                    // Private ranges may or may not hold the key right
+                    // now, but a hit must decode to that key.
+                    let p = 1_000_000 + (reads % 64);
+                    if let Some(v) = table.get(&p) {
+                        assert_eq!(v >> 20, p, "ghost value for key {p}: {v:#x}");
+                    }
+                    reads += 1;
+                }
+                reads
+            })
+        })
+        .collect();
+
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(1, Ordering::Relaxed);
+    let total_reads: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(total_reads > 0);
+
+    table.check_consistency().unwrap();
+    for k in 0..SHARED {
+        let v = table.get(&k).expect("shared key lost after the stress");
+        assert_eq!(v >> 20, k);
+    }
+    // The counters are reporting-only; just prove they are wired up.
+    let c = table.concurrency();
+    assert!(c.seqlock_retries < u64::MAX && c.lock_waits < u64::MAX);
+}
+
+/// The `&self` read refactor must leave single-op persistence budgets
+/// byte-identical to the paper's: 3 flushes / 3 fences / 2 atomic
+/// writes per insert and per remove, and a `get` that costs no
+/// persistence events at all.
+#[test]
+fn single_op_budgets_unchanged_by_shared_read_refactor() {
+    let cfg = GroupHashConfig::new(256, 32);
+    let size = GroupHash::<SimPmem, u64, u64>::required_size(&cfg);
+    let mut pm = SimPmem::new(size, SimConfig::fast_test());
+    let region = group_hashing::pmem::Region::new(0, size);
+    let mut t = GroupHash::<SimPmem, u64, u64>::create(&mut pm, region, cfg).unwrap();
+
+    pm.reset_stats();
+    t.insert(&mut pm, 7, 700).unwrap();
+    let s = pm.stats();
+    assert_eq!((s.flushes, s.fences, s.atomic_writes), (3, 3, 2), "insert budget");
+
+    pm.reset_stats();
+    assert_eq!(t.get(&pm, &7), Some(700));
+    let s = pm.stats();
+    assert_eq!((s.flushes, s.fences, s.atomic_writes), (0, 0, 0), "get budget");
+    assert_eq!(s.writes, 0, "get must not write");
+
+    pm.reset_stats();
+    assert!(t.remove(&mut pm, &7));
+    let s = pm.stats();
+    assert_eq!((s.flushes, s.fences, s.atomic_writes), (3, 3, 2), "remove budget");
 }
 
 /// Concurrent read-heavy workload: many reader threads over disjoint

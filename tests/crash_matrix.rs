@@ -10,7 +10,7 @@
 
 use gh_harness::{build_any, AnyScheme, SchemeKind};
 use group_hashing::pmem::{
-    run_with_crash, CrashPlan, CrashResolution, Pmem, SimConfig, SimPmem,
+    run_with_crash, CrashPlan, CrashResolution, PmemRead, SimConfig, SimPmem,
 };
 use group_hashing::table::HashScheme;
 use rand::{Rng, SeedableRng};
@@ -62,21 +62,21 @@ fn crash_everywhere(kind: SchemeKind) {
                 // Re-open from raw bytes.
                 let mut table = reopen(kind, &mut pm);
                 table.recover(&mut pm);
-                table.check_consistency(&mut pm).unwrap_or_else(|e| {
+                table.check_consistency(&pm).unwrap_or_else(|e| {
                     panic!("{kind:?} delete={op_is_delete} event={event} {how:?}: {e}")
                 });
                 // Committed keys (other than an in-flight delete victim)
                 // must be present with their values.
                 for &k in &keys {
                     if op_is_delete && k == victim {
-                        let got = table.get(&mut pm, &k);
+                        let got = table.get(&pm, &k);
                         assert!(
                             got == Some(k + 1) || got.is_none(),
                             "{kind:?}: torn delete of {k}"
                         );
                     } else {
                         assert_eq!(
-                            table.get(&mut pm, &k),
+                            table.get(&pm, &k),
                             Some(k + 1),
                             "{kind:?} delete={op_is_delete} event={event} {how:?}: lost key {k}"
                         );
@@ -164,9 +164,9 @@ fn bare_linear_delete_can_corrupt() {
             let mut table = reopen(SchemeKind::Linear, &mut pm);
             table.recover(&mut pm);
 
-            let structurally_broken = table.check_consistency(&mut pm).is_err();
+            let structurally_broken = table.check_consistency(&pm).is_err();
             let lost_committed = keys.iter().any(|&k| {
-                k != victim && table.get(&mut pm, &k) != Some(k + 1)
+                k != victim && table.get(&pm, &k) != Some(k + 1)
             });
             if structurally_broken || lost_committed {
                 corrupted = true;

@@ -45,7 +45,7 @@ fn check_scheme(kind: SchemeKind, ops: &[Op]) -> Result<(), TestCaseError> {
             Op::Get(k) => {
                 let k = k as u64;
                 prop_assert_eq!(
-                    table.get(&mut pm, &k),
+                    table.get(&pm, &k),
                     oracle.get(&k).copied(),
                     "{:?} step {}: get({})",
                     kind,
@@ -67,12 +67,12 @@ fn check_scheme(kind: SchemeKind, ops: &[Op]) -> Result<(), TestCaseError> {
         }
     }
     // Final state identical.
-    prop_assert_eq!(table.len(&mut pm), oracle.len() as u64);
+    prop_assert_eq!(table.len(&pm), oracle.len() as u64);
     for (&k, &v) in &oracle {
-        prop_assert_eq!(table.get(&mut pm, &k), Some(v));
+        prop_assert_eq!(table.get(&pm, &k), Some(v));
     }
     table
-        .check_consistency(&mut pm)
+        .check_consistency(&pm)
         .map_err(|e| TestCaseError::fail(format!("{kind:?}: {e}")))?;
     Ok(())
 }

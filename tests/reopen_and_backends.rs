@@ -20,7 +20,7 @@ fn every_scheme_reopens_from_bytes() {
     }
     let _ = t;
     let t = GroupHash::<SimPmem, u64, u64>::open(&mut pm, region).unwrap();
-    assert_eq!(t.len(&mut pm), 300);
+    assert_eq!(t.len(&pm), 300);
     assert_eq!(t.config().group_size, 32);
 
     // Linear
@@ -35,7 +35,7 @@ fn every_scheme_reopens_from_bytes() {
     }
     let _ = t;
     let t = LinearProbing::<SimPmem, u64, u64>::open(&mut pm, region).unwrap();
-    assert_eq!(t.len(&mut pm), 200);
+    assert_eq!(t.len(&pm), 200);
     assert_eq!(t.name(), "linear-L");
 
     // PFHT
@@ -50,7 +50,7 @@ fn every_scheme_reopens_from_bytes() {
     }
     let _ = t;
     let t = Pfht::<SimPmem, u64, u64>::open(&mut pm, region).unwrap();
-    assert_eq!(t.len(&mut pm), 400);
+    assert_eq!(t.len(&pm), 400);
 
     // Path
     let size = PathHash::<SimPmem, u64, u64>::required_size(8, 6);
@@ -63,8 +63,8 @@ fn every_scheme_reopens_from_bytes() {
     }
     let _ = t;
     let t = PathHash::<SimPmem, u64, u64>::open(&mut pm, region).unwrap();
-    assert_eq!(t.len(&mut pm), 250);
-    t.check_consistency(&mut pm).unwrap();
+    assert_eq!(t.len(&pm), 250);
+    t.check_consistency(&pm).unwrap();
 }
 
 /// A wrong-magic open (pointing at the wrong region) fails cleanly.
@@ -113,8 +113,8 @@ fn sim_and_real_backends_agree() {
             }
             1 => {
                 assert_eq!(
-                    ts.get(&mut sim, &k),
-                    tr.get(&mut real, &k),
+                    ts.get(&sim, &k),
+                    tr.get(&real, &k),
                     "step {step} get({k})"
                 );
             }
@@ -127,9 +127,9 @@ fn sim_and_real_backends_agree() {
             }
         }
     }
-    assert_eq!(ts.len(&mut sim), tr.len(&mut real));
-    ts.check_consistency(&mut sim).unwrap();
-    tr.check_consistency(&mut real).unwrap();
+    assert_eq!(ts.len(&sim), tr.len(&real));
+    ts.check_consistency(&sim).unwrap();
+    tr.check_consistency(&real).unwrap();
 
     // Even the raw persistent images agree: both backends execute the
     // identical store sequence into identically-sized pools.
