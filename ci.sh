@@ -25,26 +25,46 @@ echo "==> layering lint (no upward dependencies)"
 # schemes (group-hash, nvm-baselines) -> harness (gh-harness). Imports
 # must only point down the stack, and probe-plan modules are pure
 # geometry — they never touch pmem.
+# Comment lines (including doctests in `///` blocks) are exempt: they
+# cannot create a compile-time dependency, and doctests legitimately
+# drive the trait through a real scheme the same way tests/ do via
+# dev-dependencies.
+strip_comments() { grep -vE ':[0-9]+:[[:space:]]*//' || true; }
 lint_fail=0
-if grep -rn "group_hash\|nvm_baselines\|gh_harness" crates/table/src; then
+if grep -rn "group_hash\|nvm_baselines\|gh_harness" crates/table/src \
+    | strip_comments | grep .; then
   echo "layering violation: nvm-table must not import scheme or harness crates" >&2
   lint_fail=1
 fi
-if grep -rn "gh_harness" crates/core/src crates/baselines/src; then
+if grep -rn "gh_harness" crates/core/src crates/baselines/src \
+    | strip_comments | grep .; then
   echo "layering violation: scheme crates must not import the harness" >&2
   lint_fail=1
 fi
-if grep -rn "nvm_pmem" crates/table/src/probe.rs crates/core/src/table/probe.rs; then
+if grep -rn "nvm_pmem" crates/table/src/probe.rs crates/core/src/table/probe.rs \
+    | strip_comments | grep .; then
   echo "layering violation: probe-plan modules must stay I/O-free (found nvm_pmem)" >&2
   lint_fail=1
 fi
-# Read-path modules (read-only view, probe plans, fingerprint scans) may
-# name only the read half of the pool surface (PmemRead); naming the
+# Read-path modules (read-only view, probe plans, fingerprint scans, and
+# the vectorized batch-probe helpers — Selection / match_bits_many in the
+# table toolkit, get_batch resolve + prefetch in the read view) may name
+# only the read half of the pool surface (PmemRead); naming the
 # write-capable Pmem trait there would let a "read" mutate.
 if grep -rnE '\bPmem\b' \
     crates/core/src/table/readview.rs crates/core/src/table/probe.rs \
-    crates/core/src/fpcache.rs crates/table/src/probe.rs; then
+    crates/core/src/fpcache.rs crates/table/src/probe.rs \
+    | strip_comments | grep .; then
   echo "layering violation: read-path modules must not name the write-capable pmem trait" >&2
+  lint_fail=1
+fi
+# The batch read pipeline must stay free of persistence verbs end to end
+# (get_batch = 0 flushes / 0 fences / 0 atomic writes — pinned by
+# tests/concurrent_stress.rs): prefetch is the only pool verb the batch
+# helpers may add, and only through the read handle.
+if grep -nE '\.flush\(|\.fence\(|\.atomic_write' crates/core/src/table/readview.rs \
+    | strip_comments | grep .; then
+  echo "layering violation: the read view must not issue persistence verbs" >&2
   lint_fail=1
 fi
 [ "$lint_fail" -eq 0 ]
@@ -65,6 +85,19 @@ cargo test -q --test concurrent_stress
 
 echo "==> cargo bench --no-run (benches must compile)"
 cargo bench --no-run --workspace
+
+echo "==> cargo test --doc (runnable examples in rustdoc)"
+cargo test -q --doc --workspace
+
+echo "==> docs gate: every results/*.csv cited in EXPERIMENTS.md exists"
+docs_fail=0
+for f in $(grep -oE 'results/[A-Za-z0-9_.-]+\.csv' EXPERIMENTS.md | sort -u); do
+  if [ ! -f "$f" ]; then
+    echo "EXPERIMENTS.md cites $f but it is not checked in" >&2
+    docs_fail=1
+  fi
+done
+[ "$docs_fail" -eq 0 ]
 
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace

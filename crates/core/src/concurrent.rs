@@ -227,6 +227,60 @@ impl<P: Pmem, K: HashKey, V: Pod> ShardedGroupHash<P, K, V> {
         }
     }
 
+    /// Looks up every key without taking any lock, returning one answer
+    /// per key in input order. The batch is split by owning shard with the
+    /// same `(shard, index)` routing permutation the write batches use,
+    /// then each shard's sub-batch runs as **one** optimistic
+    /// [`GroupReadView::get_batch_into`] pass — prefetch-pipelined across
+    /// the sub-batch's keys — validated by **one** sequence-counter check.
+    ///
+    /// Validating per shard rather than per key is what keeps the batch
+    /// phantom/torn-free: every answer in a sub-batch was probed strictly
+    /// between two even, equal sequence reads, so the whole sub-batch
+    /// reflects a single quiescent table state (no mixing cells from two
+    /// states, no torn `update_in_place` values). A writer overlapping the
+    /// sub-batch costs one retry of that shard's keys only — other shards'
+    /// answers stand.
+    pub fn get_batch(&self, keys: &[K]) -> Vec<Option<V>> {
+        let mut out: Vec<Option<V>> = vec![None; keys.len()];
+        let order = self.route_by_shard(keys.iter());
+        let mut scratch: Vec<K> = Vec::new();
+        let mut answers: Vec<Option<V>> = Vec::new();
+        let mut pos = 0usize;
+        while pos < order.len() {
+            let shard_no = order[pos].0;
+            let run_start = pos;
+            scratch.clear();
+            while pos < order.len() && order[pos].0 == shard_no {
+                scratch.push(keys[order[pos].1 as usize]);
+                pos += 1;
+            }
+            let shard = &self.shards[shard_no as usize];
+            let mut spins = 0u32;
+            loop {
+                let s1 = shard.seq.load(Ordering::Acquire);
+                if s1 & 1 == 1 {
+                    // A writer is mid-mutation; don't bother probing.
+                    self.counters.note_seqlock_retry();
+                    backoff(&mut spins);
+                    continue;
+                }
+                shard.view.get_batch_into(&shard.reader, &scratch, &mut answers);
+                // Order the probes' loads before the validation load.
+                fence(Ordering::Acquire);
+                if shard.seq.load(Ordering::Relaxed) == s1 {
+                    break;
+                }
+                self.counters.note_seqlock_retry();
+                backoff(&mut spins);
+            }
+            for (i, v) in answers.iter().enumerate() {
+                out[order[run_start + i].1 as usize] = *v;
+            }
+        }
+        out
+    }
+
     /// Removes `key`, returning whether it was present.
     pub fn remove(&self, key: &K) -> bool {
         let mut g = self.write_shard(self.shard_of(key));
@@ -592,6 +646,71 @@ mod tests {
         assert_eq!(t.remove_batch(&keys), 300);
         assert_eq!(t.len(), 300);
         assert_eq!(t.remove_batch(&keys), 0, "already removed");
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn get_batch_matches_sequential_gets_across_shards() {
+        let t = build(4);
+        for k in 0..600u64 {
+            t.insert(k, k * 3).unwrap();
+        }
+        // Mix of hits, misses, and duplicates, in caller order.
+        let keys: Vec<u64> = (0..800u64).chain([5, 5, 599]).collect();
+        let batch = t.get_batch(&keys);
+        assert_eq!(batch.len(), keys.len());
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(batch[i], t.get(k), "key {k}");
+        }
+        assert_eq!(t.get_batch(&[]), Vec::<Option<u64>>::new());
+    }
+
+    #[test]
+    fn concurrent_get_batch_sees_committed_values_only() {
+        // Writers churn disjoint ranges while readers batch-read across
+        // all of them; every answer must be a value some writer committed
+        // for that exact key.
+        let t = Arc::new(build(4));
+        for k in 0..256u64 {
+            t.insert(k, k * 1_000_000).unwrap();
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for round in 1..=200u64 {
+                    for k in 0..256u64 {
+                        t.update_in_place(&k, k * 1_000_000 + round);
+                    }
+                }
+                stop.store(true, Ordering::Release);
+            })
+        };
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let keys: Vec<u64> = (0..300u64).collect(); // 256.. miss
+                    while !stop.load(Ordering::Acquire) {
+                        for (k, v) in keys.iter().zip(t.get_batch(&keys)) {
+                            if *k < 256 {
+                                let v = v.expect("inserted key vanished");
+                                assert_eq!(v / 1_000_000, *k, "torn or cross-key value {v}");
+                                assert!(v % 1_000_000 <= 200, "phantom round in {v}");
+                            } else {
+                                assert_eq!(v, None, "phantom key {k}");
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
         t.check_consistency().unwrap();
     }
 

@@ -75,10 +75,15 @@ pub struct GroupHashConfig {
     pub group_size: u64,
     /// Hash seed (persisted; derives the hash function).
     pub seed: u64,
+    /// How an insert's commit point is persisted (bitmap word vs cell).
     pub commit: CommitStrategy,
+    /// How a group's cells are laid out for the level-2 scan.
     pub probe: ProbeLayout,
+    /// Where the live-entry count lives (persisted vs recomputed).
     pub count_mode: CountMode,
+    /// How many level-1 candidate slots a key gets (one vs two hashes).
     pub choice: ChoiceMode,
+    /// Whether the volatile fingerprint (tag) cache filters probes.
     pub fp: FpMode,
 }
 

@@ -63,6 +63,8 @@
 //! assert_eq!(t.get(&pm, &1), Some(100));          // committed data survives
 //! ```
 
+#![warn(missing_docs)]
+
 mod analysis;
 mod bulk;
 mod concurrent;

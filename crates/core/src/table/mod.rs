@@ -433,6 +433,10 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for GroupHash<P, K, V> {
         GroupHash::get(self, pm, key)
     }
 
+    fn get_batch(&self, pm: &P, keys: &[K]) -> Vec<Option<V>> {
+        GroupHash::get_batch(self, pm, keys)
+    }
+
     fn remove(&mut self, pm: &mut P, key: &K) -> bool {
         GroupHash::remove(self, pm, key)
     }

@@ -17,10 +17,10 @@
 //! `ci.sh` lint rejects any use of the write-capable trait here.
 
 use super::probe;
-use crate::config::GroupHashConfig;
+use crate::config::{GroupHashConfig, ProbeLayout};
 use nvm_hashfn::{HashKey, HashPair, Pod};
 use nvm_pmem::PmemRead;
-use nvm_table::probe::GroupPlan;
+use nvm_table::probe::{GroupPlan, Selection};
 use nvm_table::CellStore;
 
 /// A read-only snapshot of a group-hash table's geometry: enough to run
@@ -95,9 +95,140 @@ impl<K: HashKey, V: Pod> GroupReadView<K, V> {
         None
     }
 
+    /// Batched Algorithm 2: one lookup per key, answers in input order,
+    /// same results as calling [`GroupReadView::get`] per element. The
+    /// batch is pipelined — hash everything, software-prefetch every
+    /// candidate line, then resolve the probes against warm cache — so
+    /// the per-key NVM latency overlaps instead of serializing.
+    ///
+    /// ```
+    /// use group_hash::{GroupHash, GroupHashConfig};
+    /// use nvm_pmem::{Pmem, PmemRead, Region, SimConfig, SimPmem};
+    ///
+    /// let cfg = GroupHashConfig::new(1 << 10, 64);
+    /// let size = GroupHash::<SimPmem, u64, u64>::required_size(&cfg);
+    /// let mut pm = SimPmem::new(size, SimConfig::fast_test());
+    /// let mut t = GroupHash::create(&mut pm, Region::new(0, size), cfg).unwrap();
+    /// for k in 0..64u64 {
+    ///     t.insert(&mut pm, k, !k).unwrap();
+    /// }
+    ///
+    /// // A view + read handle answer batches without the owning table.
+    /// let view = t.read_view();
+    /// let reader = pm.read_handle();
+    /// let hits = view.get_batch(&reader, &[1u64, 63, 9999]);
+    /// assert_eq!(hits, vec![Some(!1), Some(!63), None]);
+    /// ```
+    pub fn get_batch<R: PmemRead>(&self, pm: &R, keys: &[K]) -> Vec<Option<V>> {
+        let mut out = Vec::new();
+        self.get_batch_into(pm, keys, &mut out);
+        out
+    }
+
+    /// Scratch-reusing form of [`GroupReadView::get_batch`]: clears `out`
+    /// and fills it with one answer per key. The sharded concurrent path
+    /// calls this once per seqlock attempt, reusing the same buffer across
+    /// shards and retries so validation failures cost no allocation.
+    pub fn get_batch_into<R: PmemRead>(&self, pm: &R, keys: &[K], out: &mut Vec<Option<V>>) {
+        out.clear();
+        out.resize(keys.len(), None);
+        if keys.is_empty() {
+            return;
+        }
+        // Hash the whole vector up front...
+        let mut slots: Vec<(u64, Option<u64>)> = Vec::with_capacity(keys.len());
+        for key in keys {
+            slots.push(probe::candidate_slots(&self.hash, &self.config, key));
+        }
+        // ...issue every level-1 prefetch before resolving any probe...
+        for &(k1, k2) in &slots {
+            self.prefetch_level1(pm, k1);
+            if let Some(k2) = k2 {
+                self.prefetch_level1(pm, k2);
+            }
+        }
+        // ...then resolve level 1 against warm lines. Misses survive into
+        // the selection vector for the group phase.
+        let plan = probe::plan(&self.config);
+        let mut sel = Selection::new();
+        for (i, key) in keys.iter().enumerate() {
+            let (k1, k2) = slots[i];
+            if self.level1_holds(pm, k1, key) {
+                out[i] = Some(self.store1.read_value(pm, k1));
+                continue;
+            }
+            if let Some(k2) = k2 {
+                if self.level1_holds(pm, k2, key) {
+                    out[i] = Some(self.store1.read_value(pm, k2));
+                    continue;
+                }
+            }
+            sel.push(i as u32);
+        }
+        // Warm the survivors' groups (contiguous layout only — strided
+        // cells share no lines, so there is nothing coherent to fetch).
+        if self.config.probe == ProbeLayout::Contiguous {
+            for &i in sel.indices() {
+                let (k1, k2) = slots[i as usize];
+                let g1 = plan.group_of_slot(k1);
+                self.prefetch_group(pm, g1);
+                if let Some(k2) = k2 {
+                    let g2 = plan.group_of_slot(k2);
+                    if g2 != g1 {
+                        self.prefetch_group(pm, g2);
+                    }
+                }
+            }
+        }
+        for &i in sel.indices() {
+            let i = i as usize;
+            let key = &keys[i];
+            let (k1, k2) = slots[i];
+            let g1 = plan.group_of_slot(k1);
+            if let Some(idx) = self.find_in_group(pm, &plan, g1, key) {
+                out[i] = Some(self.store2.read_value(pm, idx));
+                continue;
+            }
+            if let Some(k2) = k2 {
+                let g2 = plan.group_of_slot(k2);
+                if g2 != g1 {
+                    if let Some(idx) = self.find_in_group(pm, &plan, g2, key) {
+                        out[i] = Some(self.store2.read_value(pm, idx));
+                    }
+                }
+            }
+        }
+    }
+
     /// Whether `key` is present.
     pub fn contains<R: PmemRead>(&self, pm: &R, key: &K) -> bool {
         self.get(pm, key).is_some()
+    }
+
+    /// Prefetches the lines a level-1 probe of slot `k` touches: its
+    /// occupancy word and its cell's key/value bytes.
+    #[inline]
+    fn prefetch_level1<R: PmemRead>(&self, pm: &R, k: u64) {
+        pm.prefetch(self.store1.bitmap.word_off_of(k), 8);
+        pm.prefetch(self.store1.cells.cell_off(k), self.store1.cells.entry_len());
+    }
+
+    /// Prefetches a contiguous group scan's cold start: the group's
+    /// occupancy words (a random access no streamer predicts) plus the
+    /// head of its cell range. Key-first views walk the cells in
+    /// ascending line order — the pattern the hardware stream prefetcher
+    /// locks onto after the first touches — so warming the head is
+    /// enough; a software prefetch per line would pay the issue cost for
+    /// lines the streamer covers free.
+    fn prefetch_group<R: PmemRead>(&self, pm: &R, g: u64) {
+        let start = g * self.config.group_size;
+        let end = start + self.config.group_size;
+        let bits_lo = self.store2.bitmap.word_off_of(start);
+        let bits_hi = self.store2.bitmap.word_off_of(end - 1) + 8;
+        pm.prefetch(bits_lo, bits_hi - bits_lo);
+        let lo = self.store2.cells.cell_off(start);
+        let span = self.store2.cells.cell_off(end - 1) + self.store2.cells.entry_len() - lo;
+        pm.prefetch(lo, span.min(2 * 64));
     }
 
     #[inline]

@@ -46,4 +46,7 @@ fn main() {
     for t in experiments::concurrent::run(&args) {
         t.emit(out, "concurrent");
     }
+    for t in experiments::multi_get::run(&args) {
+        t.emit(out, "multi_get");
+    }
 }

@@ -1,0 +1,9 @@
+//! Extension experiment: vectorized multi-get vs sequential gets.
+use gh_harness::{experiments::multi_get, Args};
+
+fn main() {
+    let args = Args::parse();
+    for t in multi_get::run(&args) {
+        t.emit(args.out_dir.as_deref(), "multi_get");
+    }
+}

@@ -1,0 +1,297 @@
+//! Extension experiment — what does the vectorized `get_batch` pipeline
+//! buy over single-key `get`s?
+//!
+//! The single-key query serializes its NVM reads: level-1 slot, group
+//! occupancy word, candidate cells — each a potential cache miss the
+//! probe waits out before issuing the next. `get_batch` hashes the whole
+//! key vector up front, software-prefetches every candidate line, and
+//! resolves the probes against warm cache, so the per-key miss latencies
+//! overlap (see DESIGN.md § "Vectorized reads").
+//!
+//! This experiment fills a group-hash table to LF 0.5, then measures a
+//! positive and a negative lookup phase at batch sizes 1/8/32/128,
+//! sequential `get` loop vs one `get_batch` per batch, with the
+//! fingerprint cache off and on. The comparison figure is
+//! `results/prefetch_ablation.csv`'s single-key group row (181.9 ns with
+//! the streamer): the acceptance bar is batch-128 negative lookups at
+//! least 2x faster per key than that baseline.
+
+use crate::experiments::runner::experiment_json;
+use crate::tablefmt::{count, emit_json, ns, ratio, Table};
+use crate::{Args, TraceKind};
+use group_hash::{FpMode, GroupHash, GroupHashConfig};
+use nvm_cachesim::CacheConfig;
+use nvm_metrics::Json;
+use nvm_pmem::{Pmem, Region, SimConfig, SimPmem};
+use nvm_traces::{RandomNum, Trace};
+use std::collections::HashSet;
+
+/// The batch sizes swept. Size 1 pins the pipeline's fixed overhead
+/// (hash + prefetch of a single key buys nothing); 128 is where the
+/// per-key latencies fully overlap.
+pub const BATCH_SIZES: [usize; 4] = [1, 8, 32, 128];
+
+/// One measured (phase, batch size) cell: per-key latency both ways.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    /// Batch size of the vectorized arm.
+    pub batch: usize,
+    /// Mean per-key latency of the sequential `get` loop.
+    pub seq_ns: f64,
+    /// Mean per-key latency of the `get_batch` pipeline.
+    pub batch_ns: f64,
+    /// Pool bytes read by the batched arm (prefetched lines included).
+    pub bytes_read: u64,
+    /// Last-level cache misses of the batched arm.
+    pub llc_misses: u64,
+}
+
+/// One (fp mode, phase) sweep over every batch size.
+#[derive(Debug, Clone)]
+pub struct RunData {
+    pub fp: FpMode,
+    /// "positive" or "negative".
+    pub phase: &'static str,
+    pub cells: Vec<Cell>,
+}
+
+fn mode_label(fp: FpMode) -> &'static str {
+    match fp {
+        FpMode::Off => "off",
+        FpMode::On => "on",
+    }
+}
+
+/// Mean per-key simulated latency of `f` run once over `keys`, measured
+/// from a cold CPU cache (every arm evicts first, so no arm inherits the
+/// lines a previous arm — or the fill — left warm).
+fn timed(pm: &mut SimPmem, keys_len: usize, f: impl FnOnce(&SimPmem)) -> (f64, u64, u64) {
+    pm.cool_caches();
+    pm.reset_stats();
+    f(pm);
+    let per_key = pm.sim_time_ns().unwrap_or(0) as f64 / keys_len.max(1) as f64;
+    let bytes = pm.stats().bytes_read;
+    let llc = pm.cache_stats().map(|c| c.llc_misses()).unwrap_or(0);
+    (per_key, bytes, llc)
+}
+
+/// Measures one phase (one key vector) across every batch size, both
+/// sequentially and batched. Each arm re-runs the full key vector from a
+/// cold cache (`timed` evicts first) — without that, only the first arm
+/// would pay real miss latency and every later arm would time warm
+/// re-reads of the same lines, which is not what a point lookup costs.
+fn sweep_phase(
+    pm: &mut SimPmem,
+    t: &GroupHash<SimPmem, u64, u64>,
+    keys: &[u64],
+    expect_hit: bool,
+) -> Vec<Cell> {
+    BATCH_SIZES
+        .iter()
+        .map(|&b| {
+            let (seq_ns, _, _) = timed(pm, keys.len(), |pm| {
+                for k in keys {
+                    assert_eq!(t.get(pm, k).is_some(), expect_hit, "key {k}");
+                }
+            });
+            let (batch_ns, bytes_read, llc_misses) = timed(pm, keys.len(), |pm| {
+                for chunk in keys.chunks(b) {
+                    for (k, got) in chunk.iter().zip(t.get_batch(pm, chunk)) {
+                        assert_eq!(got.is_some(), expect_hit, "key {k}");
+                    }
+                }
+            });
+            Cell {
+                batch: b,
+                seq_ns,
+                batch_ns,
+                bytes_read,
+                llc_misses,
+            }
+        })
+        .collect()
+}
+
+/// Builds one fp-mode arm, fills to LF 0.5, and sweeps both phases.
+fn run_one(total_cells: u64, group_size: u64, fp: FpMode, seed: u64, ops: usize) -> Vec<RunData> {
+    let cells_per_level = total_cells / 2;
+    let cfg = GroupHashConfig::new(cells_per_level, group_size.min(cells_per_level))
+        .with_seed(seed)
+        .with_fp_mode(fp);
+    let size = GroupHash::<SimPmem, u64, u64>::required_size(&cfg);
+    // Same machine model as the prefetch-ablation baseline: paper
+    // latencies, Xeon E5-2620 hierarchy with the stream prefetcher on.
+    let sim = SimConfig {
+        cache: CacheConfig::xeon_e5_2620(),
+        ..SimConfig::paper_default()
+    };
+    let mut pm = SimPmem::new(size, sim);
+    let mut t = GroupHash::create(&mut pm, Region::new(0, size), cfg).unwrap();
+
+    // Fill to LF 0.5, remembering what landed (as in the fingerprint
+    // experiment, whose phases this reuses).
+    let mut trace = RandomNum::new(seed);
+    let mut present = Vec::new();
+    let mut present_set = HashSet::new();
+    while t.len(&pm) < total_cells / 2 {
+        let k = trace.next_key();
+        if present_set.contains(&k) {
+            continue;
+        }
+        if t.insert(&mut pm, k, k | 1).is_ok() {
+            present.push(k);
+            present_set.insert(k);
+        }
+    }
+
+    let positive_keys: Vec<u64> = (0..ops).map(|i| present[i % present.len()]).collect();
+    let mut neg_trace = RandomNum::new(seed ^ 0xDEAD_BEEF);
+    let mut negative_keys = Vec::with_capacity(ops);
+    while negative_keys.len() < ops {
+        let k = neg_trace.next_key();
+        if !present_set.contains(&k) {
+            negative_keys.push(k);
+        }
+    }
+
+    vec![
+        RunData {
+            fp,
+            phase: "positive",
+            cells: sweep_phase(&mut pm, &t, &positive_keys, true),
+        },
+        RunData {
+            fp,
+            phase: "negative",
+            cells: sweep_phase(&mut pm, &t, &negative_keys, false),
+        },
+    ]
+}
+
+/// All (fp mode, phase) sweeps. Group size is pinned to 64 — the largest
+/// fingerprint-experiment arm — so the tag-sieve and prefetch effects
+/// compose on the same geometry.
+pub fn collect(args: &Args) -> Vec<RunData> {
+    let cells = args.cells_for(TraceKind::RandomNum);
+    let mut out = Vec::new();
+    for fp in [FpMode::Off, FpMode::On] {
+        out.extend(run_one(cells, 64, fp, args.seed, args.ops));
+    }
+    out
+}
+
+/// The experiment's JSON metrics document: one run per (fp mode, phase,
+/// batch size) cell.
+pub fn metrics_json(data: &[RunData]) -> Json {
+    let mut runs = Vec::new();
+    for r in data {
+        for c in &r.cells {
+            let mut j = Json::obj();
+            j.insert("scheme", "group");
+            j.insert("fp_cache", mode_label(r.fp));
+            j.insert("phase", r.phase);
+            j.insert("batch", c.batch as u64);
+            j.insert("seq_ns_per_key", c.seq_ns);
+            j.insert("batch_ns_per_key", c.batch_ns);
+            j.insert("speedup", c.seq_ns / c.batch_ns.max(f64::EPSILON));
+            j.insert("bytes_read", c.bytes_read);
+            j.insert("llc_misses", c.llc_misses);
+            runs.push(j);
+        }
+    }
+    experiment_json("multi_get", runs)
+}
+
+/// Builds the report table (and writes CSV/JSON when `out_dir` is set).
+pub fn run(args: &Args) -> Vec<Table> {
+    let data = collect(args);
+    emit_json(args.out_dir.as_deref(), "multi_get", &metrics_json(&data));
+
+    let mut t = Table::new(
+        "Extension: vectorized multi-get (RandomNum @ LF 0.5, group size 64)",
+        &[
+            "fp cache",
+            "phase",
+            "batch",
+            "get ns/key",
+            "get_batch ns/key",
+            "speedup",
+            "NVM bytes read",
+            "LLC misses",
+        ],
+    );
+    for r in &data {
+        for c in &r.cells {
+            t.row(vec![
+                mode_label(r.fp).into(),
+                r.phase.into(),
+                c.batch.to_string(),
+                ns(c.seq_ns),
+                ns(c.batch_ns),
+                ratio(c.seq_ns / c.batch_ns.max(f64::EPSILON)),
+                count(c.bytes_read as f64),
+                count(c.llc_misses as f64),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance bar, at the default experiment scale (2^18 cells —
+    /// the table outruns L1/L2, which is the regime the pipeline
+    /// targets): unfiltered (fp off) batch-128 negative lookups — the
+    /// configuration of the 181.9 ns prefetch-ablation baseline, where
+    /// every probe scans cold cell keys — must run at least 2x faster
+    /// per key than the sequential loop, and batch-128 positives must
+    /// not lose to sequential. (The committed `results/multi_get.csv`
+    /// additionally shows batch-128 negatives beating half the baseline
+    /// figure outright.) With the tag sieve on, sequential negatives
+    /// barely touch the pool, so no speedup is claimed there — only that
+    /// the pipeline's prefetch overhead stays bounded.
+    #[test]
+    fn batch_128_negative_is_at_least_twice_as_fast() {
+        let args = Args {
+            cells_log2: Some(18),
+            ops: 256,
+            ..Args::default()
+        };
+        let data = collect(&args);
+        let pick = |fp: FpMode, phase: &str, batch: usize| {
+            data.iter()
+                .find(|r| r.fp == fp && r.phase == phase)
+                .unwrap()
+                .cells
+                .iter()
+                .find(|c| c.batch == batch)
+                .copied()
+                .unwrap()
+        };
+        let neg = pick(FpMode::Off, "negative", 128);
+        assert!(
+            neg.batch_ns * 2.0 <= neg.seq_ns,
+            "batch-128 negative: {} ns/key vs sequential {} ns/key",
+            neg.batch_ns,
+            neg.seq_ns
+        );
+        let pos = pick(FpMode::Off, "positive", 128);
+        assert!(
+            pos.batch_ns <= pos.seq_ns,
+            "batch-128 positive lost to sequential: {} vs {}",
+            pos.batch_ns,
+            pos.seq_ns
+        );
+        // Tag sieve on: sequential negatives are already DRAM-bound, so
+        // the honest claim is bounded overhead, not speedup.
+        let neg_on = pick(FpMode::On, "negative", 128);
+        assert!(
+            neg_on.batch_ns <= neg_on.seq_ns.max(50.0),
+            "fp-on batch-128 negative overhead too high: {} vs {}",
+            neg_on.batch_ns,
+            neg_on.seq_ns
+        );
+    }
+}

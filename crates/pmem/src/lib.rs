@@ -97,6 +97,20 @@ pub trait PmemRead {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Hints that the cachelines overlapping `[off, off + len)` are about
+    /// to be read, so the hardware can start the fill while the caller
+    /// does other work. Purely advisory: no ordering, no durability, no
+    /// effect on contents. Backends that model the cache hierarchy install
+    /// the lines and charge only the issue cost; [`RealPmem`] maps it to
+    /// `prefetcht0`; the default is a no-op.
+    ///
+    /// This is the primitive under the vectorized `get_batch` read path:
+    /// hash a whole key vector, prefetch every candidate line, then
+    /// resolve the probes against warm lines.
+    fn prefetch(&self, off: usize, len: usize) {
+        let _ = (off, len);
+    }
 }
 
 /// Byte-addressable persistent memory with explicit persistence control.

@@ -67,6 +67,29 @@ impl RealShared {
         }
         self.stats.note_read(buf.len() as u64);
     }
+
+    #[cfg(target_arch = "x86_64")]
+    #[inline]
+    fn prefetch_lines(&self, off: usize, len: usize) {
+        self.check_bounds(off, len.max(1));
+        let first = off / CACHELINE;
+        let last = (off + len.max(1) - 1) / CACHELINE;
+        for line in first..=last {
+            // SAFETY: in-bounds (checked above); prefetch is a pure hint
+            // with no alignment or aliasing requirements.
+            unsafe {
+                core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(
+                    self.ptr.add(line * CACHELINE) as *const i8,
+                );
+            }
+        }
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    #[inline]
+    fn prefetch_lines(&self, off: usize, len: usize) {
+        self.check_bounds(off, len.max(1));
+    }
 }
 
 /// DRAM-backed pmem emulation with real `clflush`/`mfence` and a spin-wait
@@ -178,6 +201,11 @@ impl PmemRead for RealPmem {
     fn len(&self) -> usize {
         self.shared.len
     }
+
+    #[inline]
+    fn prefetch(&self, off: usize, len: usize) {
+        self.shared.prefetch_lines(off, len);
+    }
 }
 
 impl PmemRead for RealPmemReader {
@@ -188,6 +216,11 @@ impl PmemRead for RealPmemReader {
 
     fn len(&self) -> usize {
         self.shared.len
+    }
+
+    #[inline]
+    fn prefetch(&self, off: usize, len: usize) {
+        self.shared.prefetch_lines(off, len);
     }
 }
 
@@ -311,6 +344,26 @@ mod tests {
         let p = RealPmem::with_write_latency(64, 0);
         let mut b = [0u8; 8];
         p.read(60, &mut b);
+    }
+
+    #[test]
+    fn prefetch_is_a_pure_hint() {
+        let mut p = RealPmem::with_write_latency(4096, 0);
+        p.write_u64(256, 0x5E1F);
+        let before = p.stats();
+        p.prefetch(256, 128);
+        let h = p.read_handle();
+        h.prefetch(256, 64);
+        let after = p.stats();
+        assert_eq!(before, after, "prefetch must not touch counters");
+        assert_eq!(p.read_u64(256), 0x5E1F, "contents untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_prefetch_panics() {
+        let p = RealPmem::with_write_latency(64, 0);
+        p.prefetch(64, 8);
     }
 
     #[test]

@@ -30,6 +30,8 @@
 //!
 //! Construction and attach errors are the typed [`TableError`].
 
+#![warn(missing_docs)]
+
 mod bitmap;
 mod cells;
 pub mod crashtest;

@@ -308,6 +308,76 @@ impl PathPlan {
     }
 }
 
+/// A reusable selection vector: the positions of a batch still in flight.
+///
+/// The vectorized multi-get pipeline runs in phases (hash every key, check
+/// every level-1 slot, scan every still-unresolved group). Between phases
+/// the set of live keys shrinks; a selection vector carries exactly that
+/// set as indices into the caller's flat per-key arrays, so each phase
+/// loops over survivors only and no per-key state is ever moved. The
+/// buffer is retained across batches — steady-state multi-gets allocate
+/// nothing.
+#[derive(Debug, Default, Clone)]
+pub struct Selection {
+    idx: Vec<u32>,
+}
+
+impl Selection {
+    /// An empty selection with no retained capacity.
+    pub fn new() -> Self {
+        Selection::default()
+    }
+
+    /// Resets to the identity selection `0..n` (every batch position live).
+    pub fn reset(&mut self, n: usize) {
+        self.idx.clear();
+        self.idx.extend(0..n as u32);
+    }
+
+    /// Drops every selected position.
+    pub fn clear(&mut self) {
+        self.idx.clear();
+    }
+
+    /// Number of live positions.
+    pub fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// True when nothing is selected.
+    pub fn is_empty(&self) -> bool {
+        self.idx.is_empty()
+    }
+
+    /// The live positions, in ascending batch order.
+    pub fn indices(&self) -> &[u32] {
+        &self.idx
+    }
+
+    /// Adds a position (callers keep insertions ordered).
+    pub fn push(&mut self, i: u32) {
+        self.idx.push(i);
+    }
+
+    /// Keeps only the positions for which `keep` returns true, compacting
+    /// in place (order preserved, no allocation).
+    pub fn retain(&mut self, mut keep: impl FnMut(u32) -> bool) {
+        self.idx.retain(|&i| keep(i));
+    }
+}
+
+/// One fingerprint tag word matched against many keys' tags at once: for
+/// each `(position, tag)` pair whose key probes the group behind `word`,
+/// reports the 8-lane candidate mask via `out`. The word stays in a
+/// register across the whole run — the batch analogue of [`match_bits`],
+/// and the reason the vectorized path loads each fp-cache word once per
+/// *group* instead of once per key.
+pub fn match_bits_many(word: u64, tags: &[(u32, u8)], mut out: impl FnMut(u32, u64)) {
+    for &(pos, tag) in tags {
+        out(pos, match_bits(word, tag));
+    }
+}
+
 /// Fills every byte lane of a word with `tag`.
 pub fn broadcast(tag: u8) -> u64 {
     u64::from(tag) * 0x0101_0101_0101_0101
@@ -368,6 +438,41 @@ mod tests {
         assert_eq!(match_bits(broadcast(0x5A), 0x5A), 0xFF);
         assert_eq!(match_bits(broadcast(0x5A), 0xA5), 0);
         assert_eq!(match_bits(0, 0), 0xFF);
+    }
+
+    #[test]
+    fn match_bits_many_equals_per_key_matches() {
+        let word = 0x7F00_FF01_807E_0081u64;
+        let tags: Vec<(u32, u8)> = [0u8, 1, 0x7E, 0x7F, 0x80, 0x81, 0xFF, 0xAB]
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i as u32 * 3, t))
+            .collect();
+        let mut got = Vec::new();
+        match_bits_many(word, &tags, |pos, mask| got.push((pos, mask)));
+        let want: Vec<(u32, u64)> = tags
+            .iter()
+            .map(|&(pos, t)| (pos, match_bits_reference(word, t)))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn selection_reset_retain_compacts_in_order() {
+        let mut sel = Selection::new();
+        assert!(sel.is_empty());
+        sel.reset(6);
+        assert_eq!(sel.len(), 6);
+        assert_eq!(sel.indices(), &[0, 1, 2, 3, 4, 5]);
+        sel.retain(|i| i % 2 == 1);
+        assert_eq!(sel.indices(), &[1, 3, 5]);
+        sel.push(9);
+        assert_eq!(sel.indices(), &[1, 3, 5, 9]);
+        sel.clear();
+        assert!(sel.is_empty());
+        // Reuse after clear: the identity selection comes back whole.
+        sel.reset(3);
+        assert_eq!(sel.indices(), &[0, 1, 2]);
     }
 
     #[test]

@@ -74,14 +74,19 @@ pub enum ConsistencyMode {
 /// Request types measured by the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
+    /// Insert a fresh key (the paper's Algorithm 1).
     Insert,
+    /// Look up a key (Algorithm 2's probe path).
     Query,
+    /// Remove a key (Algorithm 3).
     Delete,
 }
 
 impl OpKind {
+    /// Every request type, in the paper's figure order.
     pub const ALL: [OpKind; 3] = [OpKind::Insert, OpKind::Query, OpKind::Delete];
 
+    /// The label used in figures and CSV columns.
     pub fn label(self) -> &'static str {
         match self {
             OpKind::Insert => "insert",
@@ -107,6 +112,37 @@ pub trait HashScheme<P: Pmem, K: HashKey, V: Pod> {
     /// Looks up `key`. Shared-capability (`&P`): the query path never
     /// mutates, so concurrent wrappers can run it without the writer lock.
     fn get(&self, pm: &P, key: &K) -> Option<V>;
+
+    /// Looks up every key of a batch, returning one `Option<V>` per key in
+    /// input order. Semantically identical to calling [`HashScheme::get`]
+    /// per element — same results, same shared-capability `&P`, still zero
+    /// persistence events — but schemes override it with a vectorized
+    /// pipeline: hash the whole vector up front, software-prefetch every
+    /// candidate line, then resolve probes interleaved across keys so the
+    /// NVM read latencies overlap instead of serializing.
+    ///
+    /// The default implementation is the per-key loop.
+    ///
+    /// ```
+    /// use group_hash::{GroupHash, GroupHashConfig};
+    /// use nvm_pmem::{Pmem, Region, SimConfig, SimPmem};
+    /// use nvm_table::HashScheme;
+    ///
+    /// let cfg = GroupHashConfig::new(1 << 10, 64);
+    /// let size = GroupHash::<SimPmem, u64, u64>::required_size(&cfg);
+    /// let mut pm = SimPmem::new(size, SimConfig::fast_test());
+    /// let mut t = GroupHash::create(&mut pm, Region::new(0, size), cfg).unwrap();
+    /// for k in 0..100u64 {
+    ///     t.insert(&mut pm, k, k * 2).unwrap();
+    /// }
+    ///
+    /// let keys = [3u64, 77, 500, 42]; // 500 is absent
+    /// let hits = t.get_batch(&pm, &keys);
+    /// assert_eq!(hits, vec![Some(6), Some(154), None, Some(84)]);
+    /// ```
+    fn get_batch(&self, pm: &P, keys: &[K]) -> Vec<Option<V>> {
+        keys.iter().map(|key| self.get(pm, key)).collect()
+    }
 
     /// Removes `key`, returning whether it was present.
     fn remove(&mut self, pm: &mut P, key: &K) -> bool;

@@ -211,6 +211,29 @@ enum BatchOpKind {
 /// wipe (Algorithm 4). Mode `UndoLog`: every touched span (cells, bitmap
 /// words, count) is pre-imaged before its first in-place write, so
 /// rollback restores the pre-batch state exactly.
+///
+/// ```
+/// use nvm_table::{BatchSession, CellStore, ConsistencyMode, Journal};
+/// use nvm_pmem::{Pmem, Region, SimConfig, SimPmem};
+///
+/// let mut pm = SimPmem::new(4096, SimConfig::fast_test());
+/// let store =
+///     CellStore::<u64, u64>::create(&mut pm, Region::new(0, 64), Region::new(64, 1024), 64);
+/// let mut journal = Journal::create(&mut pm, ConsistencyMode::None, Region::new(0, 0));
+///
+/// // Stage three publishes, then commit them as one group: the staged
+/// // cell lines drain under a single fence, then each op's 8-byte bit
+/// // flip commits it in staging order.
+/// let mut sess = BatchSession::new();
+/// for idx in 0..3u64 {
+///     assert!(store.is_free_for(&pm, &sess, idx));
+///     sess.stage_publish(&mut pm, &mut journal, store, idx, &idx, &!idx);
+/// }
+/// assert_eq!(sess.staged(), 3);
+/// sess.commit(&mut pm, &mut journal, None);
+/// assert!(store.is_occupied(&pm, 1));
+/// assert_eq!(store.read_value(&pm, 1), !1);
+/// ```
 #[derive(Debug)]
 pub struct BatchSession<K: Pod, V: Pod> {
     /// Staged ops in commit order.

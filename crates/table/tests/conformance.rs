@@ -11,7 +11,7 @@
 //! compile once and exercise four ops-layer implementations that all sit on
 //! the same probe-plan + cell-store primitives.
 
-use group_hash::{CommitStrategy, GroupHash, GroupHashConfig};
+use group_hash::{CommitStrategy, FpMode, GroupHash, GroupHashConfig};
 use nvm_baselines::{LinearProbing, PathHash, Pfht};
 use nvm_pmem::{
     run_with_crash, CrashPlan, CrashResolution, Pmem, PmemRead, Region, SimConfig, SimPmem,
@@ -28,6 +28,22 @@ fn group_pool(mode: ConsistencyMode, cells: u64) -> (SimPmem, GroupHash<SimPmem,
         ConsistencyMode::UndoLog => CommitStrategy::UndoLog,
     };
     let cfg = GroupHashConfig::new(cells, 16).with_commit(commit);
+    let size = GroupHash::<SimPmem, u64, u64>::required_size(&cfg);
+    let mut pm = SimPmem::new(size, SimConfig::fast_test());
+    let t = GroupHash::create(&mut pm, Region::new(0, size), cfg).unwrap();
+    (pm, t)
+}
+
+fn group_pool_fp(
+    mode: ConsistencyMode,
+    cells: u64,
+    fp: FpMode,
+) -> (SimPmem, GroupHash<SimPmem, u64, u64>) {
+    let commit = match mode {
+        ConsistencyMode::None => CommitStrategy::AtomicBitmap,
+        ConsistencyMode::UndoLog => CommitStrategy::UndoLog,
+    };
+    let cfg = GroupHashConfig::new(cells, 16).with_commit(commit).with_fp_mode(fp);
     let size = GroupHash::<SimPmem, u64, u64>::required_size(&cfg);
     let mut pm = SimPmem::new(size, SimConfig::fast_test());
     let t = GroupHash::create(&mut pm, Region::new(0, size), cfg).unwrap();
@@ -387,6 +403,36 @@ fn crash_remove_batch<S: HashScheme<SimPmem, u64, u64>>(
     );
 }
 
+/// Vectorized reads: `get_batch` must equal N sequential `get`s — same
+/// hits, same misses, answers in input order, duplicates allowed — and
+/// stay a pure read (zero persistence events), whatever pipeline the
+/// scheme overrides it with.
+fn get_batch_matches_gets<S: HashScheme<SimPmem, u64, u64>>(pm: &mut SimPmem, t: &mut S) {
+    let label = t.name();
+    for k in 0..120u64 {
+        t.insert(pm, k, k.wrapping_mul(31))
+            .unwrap_or_else(|e| panic!("{label}: insert {k}: {e}"));
+    }
+    // Tombstoned keys probe differently from never-present ones; cover both.
+    for k in 0..40u64 {
+        assert!(t.remove(pm, &(k * 3)), "{label}: remove {}", k * 3);
+    }
+    let keys: Vec<u64> = (0..160u64).chain([7, 7, 100_000, 3]).collect();
+    assert!(t.get_batch(pm, &[]).is_empty(), "{label}: empty batch");
+    let base = pm.stats();
+    let batch = t.get_batch(pm, &keys);
+    let spent = pm.stats().delta_since(&base);
+    assert_eq!(
+        (spent.flushes, spent.fences, spent.atomic_writes, spent.writes),
+        (0, 0, 0, 0),
+        "{label}: get_batch performed persistence events"
+    );
+    assert_eq!(batch.len(), keys.len(), "{label}");
+    for (i, k) in keys.iter().enumerate() {
+        assert_eq!(batch[i], t.get(pm, k), "{label}: key {k} at position {i}");
+    }
+}
+
 /// Crash-during-insert: the new key is either fully present or absent.
 fn crash_insert<S: HashScheme<SimPmem, u64, u64>>(
     mk: impl Fn() -> (SimPmem, S),
@@ -521,6 +567,18 @@ fn group_batch_of_64_inserts_pins_k_plus_two_fences() {
     }
 }
 
+#[test]
+fn group_get_batch_matches_gets() {
+    // Both consistency modes × both fingerprint-cache modes: the tag-first
+    // SWAR path and the key-first path must both match sequential gets.
+    for mode in MODES {
+        for fp in [FpMode::Off, FpMode::On] {
+            let (mut pm, mut t) = group_pool_fp(mode, 256, fp);
+            get_batch_matches_gets(&mut pm, &mut t);
+        }
+    }
+}
+
 // --------------------------------------------------------- linear probing
 
 #[test]
@@ -595,6 +653,14 @@ fn linear_crash_remove_batch() {
     crash_remove_batch(|| linear_pool(ConsistencyMode::UndoLog, 256), linear_open);
 }
 
+#[test]
+fn linear_get_batch_matches_gets() {
+    for mode in MODES {
+        let (mut pm, mut t) = linear_pool(mode, 256);
+        get_batch_matches_gets(&mut pm, &mut t);
+    }
+}
+
 // ------------------------------------------------------------------- pfht
 
 #[test]
@@ -664,6 +730,14 @@ fn pfht_crash_remove_batch() {
     crash_remove_batch(|| pfht_pool(ConsistencyMode::UndoLog, 64), pfht_open);
 }
 
+#[test]
+fn pfht_get_batch_matches_gets() {
+    for mode in MODES {
+        let (mut pm, mut t) = pfht_pool(mode, 64);
+        get_batch_matches_gets(&mut pm, &mut t);
+    }
+}
+
 // ------------------------------------------------------------ path hashing
 
 #[test]
@@ -730,4 +804,12 @@ fn path_crash_insert_batch() {
 #[test]
 fn path_crash_remove_batch() {
     crash_remove_batch(|| path_pool(ConsistencyMode::UndoLog, 8), path_open);
+}
+
+#[test]
+fn path_get_batch_matches_gets() {
+    for mode in MODES {
+        let (mut pm, mut t) = path_pool(mode, 8);
+        get_batch_matches_gets(&mut pm, &mut t);
+    }
 }

@@ -184,6 +184,97 @@ fn seqlock_readers_see_no_torn_or_phantom_state() {
     assert!(c.seqlock_retries < u64::MAX && c.lock_waits < u64::MAX);
 }
 
+/// The seqlock guarantee for the vectorized read path: same churn as
+/// `seqlock_readers_see_no_torn_or_phantom_state`, but readers issue
+/// whole `get_batch` calls mixing always-present shared keys, volatile
+/// private keys, and never-present keys. One sequence validation covers
+/// each per-shard sub-batch, so every answer must still decode to its
+/// own key (no torn values), every shared key must hit (no phantom
+/// misses), and never-present keys must miss (no ghosts).
+#[test]
+fn seqlock_get_batch_readers_see_no_torn_or_phantom_state() {
+    const SHARED: u64 = 512; // keys 0..SHARED stay present forever
+    const ROUNDS: u64 = 120;
+    let encode = |k: u64, round: u64| (k << 20) | (round & ((1 << 20) - 1));
+
+    let cfg = GroupHashConfig::new(1 << 11, 64);
+    let size = GroupHash::<RealPmem, u64, u64>::required_size(&cfg);
+    let table = Arc::new(
+        ShardedGroupHash::<RealPmem, u64, u64>::create(4, cfg, |_| {
+            RealPmem::with_write_latency(size, 0)
+        })
+        .unwrap(),
+    );
+    for k in 0..SHARED {
+        table.insert(k, encode(k, 0)).unwrap();
+    }
+
+    let stop = Arc::new(AtomicU64::new(0));
+    let writers: Vec<_> = (0..2u64)
+        .map(|tid| {
+            let table = Arc::clone(&table);
+            std::thread::spawn(move || {
+                let private = (tid + 1) * 1_000_000;
+                for round in 1..=ROUNDS {
+                    for k in 0..SHARED {
+                        assert!(table.update_in_place(&k, encode(k, round)));
+                    }
+                    for i in 0..64u64 {
+                        let k = private + i;
+                        table.insert(k, encode(k, round)).unwrap();
+                    }
+                    for i in 0..64u64 {
+                        assert!(table.remove(&(private + i)));
+                    }
+                }
+            })
+        })
+        .collect();
+
+    let readers: Vec<_> = (0..2u64)
+        .map(|rid| {
+            let table = Arc::clone(&table);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut batches = 0u64;
+                while stop.load(Ordering::Relaxed) == 0 {
+                    // 64 shared + 16 churned-private + 4 never-present.
+                    let keys: Vec<u64> = (0..64u64)
+                        .map(|i| (batches * (2 * rid + 1) + i * 7) % SHARED)
+                        .chain((0..16u64).map(|i| 1_000_000 + (batches + i) % 64))
+                        .chain((0..4u64).map(|i| 5_000_000 + i))
+                        .collect();
+                    for (k, got) in keys.iter().zip(table.get_batch(&keys)) {
+                        if *k < SHARED {
+                            let v = got.expect("phantom miss of a shared key");
+                            assert_eq!(v >> 20, *k, "torn value for key {k}: {v:#x}");
+                        } else if *k >= 5_000_000 {
+                            assert_eq!(got, None, "ghost hit for never-present key {k}");
+                        } else if let Some(v) = got {
+                            assert_eq!(v >> 20, *k, "ghost value for key {k}: {v:#x}");
+                        }
+                    }
+                    batches += 1;
+                }
+                batches
+            })
+        })
+        .collect();
+
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(1, Ordering::Relaxed);
+    let total_batches: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(total_batches > 0);
+
+    table.check_consistency().unwrap();
+    for k in 0..SHARED {
+        let v = table.get(&k).expect("shared key lost after the stress");
+        assert_eq!(v >> 20, k);
+    }
+}
+
 /// The `&self` read refactor must leave single-op persistence budgets
 /// byte-identical to the paper's: 3 flushes / 3 fences / 2 atomic
 /// writes per insert and per remove, and a `get` that costs no
@@ -211,6 +302,38 @@ fn single_op_budgets_unchanged_by_shared_read_refactor() {
     assert!(t.remove(&mut pm, &7));
     let s = pm.stats();
     assert_eq!((s.flushes, s.fences, s.atomic_writes), (3, 3, 2), "remove budget");
+}
+
+/// The vectorized read path inherits the paper's query budget: whatever
+/// prefetching and interleaving `get_batch` does, it must cost **zero**
+/// flushes, zero fences, zero atomic writes, and zero plain writes —
+/// prefetch is a pure hint, not a persistence event.
+#[test]
+fn get_batch_costs_zero_persistence_events() {
+    let cfg = GroupHashConfig::new(256, 32);
+    let size = GroupHash::<SimPmem, u64, u64>::required_size(&cfg);
+    let mut pm = SimPmem::new(size, SimConfig::fast_test());
+    let region = group_hashing::pmem::Region::new(0, size);
+    let mut t = GroupHash::<SimPmem, u64, u64>::create(&mut pm, region, cfg).unwrap();
+    for k in 0..200u64 {
+        t.insert(&mut pm, k, k * 11).unwrap();
+    }
+
+    // Positive, negative, and mixed batches all stay event-free.
+    let hits: Vec<u64> = (0..128u64).collect();
+    let misses: Vec<u64> = (10_000..10_128u64).collect();
+    let mixed: Vec<u64> = hits.iter().chain(misses.iter()).copied().collect();
+    for keys in [&hits, &misses, &mixed] {
+        pm.reset_stats();
+        let out = t.get_batch(&pm, keys);
+        assert_eq!(out.len(), keys.len());
+        let s = pm.stats();
+        assert_eq!(
+            (s.flushes, s.fences, s.atomic_writes, s.writes),
+            (0, 0, 0, 0),
+            "get_batch budget"
+        );
+    }
 }
 
 /// Concurrent read-heavy workload: many reader threads over disjoint
