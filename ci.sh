@@ -83,6 +83,48 @@ fi
 echo "==> concurrency stress tests"
 cargo test -q --test concurrent_stress
 
+echo "==> concurrency stress tests (release, elevated iterations)"
+# The writer stress tests scale with NVM_STRESS_ITERS; the release run
+# gives the CAS/latch/expansion machinery real iteration counts that
+# would be too slow under the debug profile.
+NVM_STRESS_ITERS=20000 cargo test --release -q --test concurrent_stress -- \
+  single_shard_cas_contention_loses_no_writes expansion_mid_stream_keeps_every_write
+
+echo "==> occupancy-commit lint (CAS protocol has one owner)"
+# The lock-free write protocol is only sound if every occupancy-bit
+# mutation in the scheme's hot path goes through the cell store's
+# publish/retract (exclusive) or try_publish/try_retract (CAS) — those
+# are the sole callers of the bitmap mutators. Direct bitmap writes from
+# the core table/concurrent/resize layers would bypass the commit
+# choreography. (crates/core/src/bulk.rs is the documented exception:
+# bulk load commits whole precomputed words while holding the table
+# exclusively.)
+if grep -rnE 'set_and_persist|set_volatile|cas_bit_and_persist|atomic_write[^(]*word_off' \
+    crates/core/src/table crates/core/src/concurrent.rs crates/core/src/resize.rs \
+    crates/core/src/fpcache.rs \
+    | strip_comments | grep .; then
+  echo "occupancy lint: core scheme paths must commit occupancy via the cell store" >&2
+  exit 1
+fi
+
+echo "==> online-expansion shape lint"
+# Expansion must stay incremental: the resizer drains through the
+# bounded migration cursor (migrate_step), never by re-inserting a full
+# table scan (for_each_entry = the old stop-the-world rebuild), and the
+# sharded table must expose the bounded drainer (expand_step).
+if grep -q "for_each_entry" crates/core/src/resize.rs; then
+  echo "expansion lint: resize.rs regressed to a stop-the-world rebuild" >&2
+  exit 1
+fi
+grep -q "migrate_step" crates/core/src/resize.rs || {
+  echo "expansion lint: resize.rs no longer uses the bounded migration drainer" >&2
+  exit 1
+}
+grep -q "expand_step" crates/core/src/concurrent.rs || {
+  echo "expansion lint: ShardedGroupHash lost its bounded expand_step drainer" >&2
+  exit 1
+}
+
 echo "==> cargo bench --no-run (benches must compile)"
 cargo bench --no-run --workspace
 

@@ -4,81 +4,141 @@
 //! NVM-friendly construction is sharding: route each key by an independent
 //! hash to one of `S` shards, each a private `(pool, GroupHash)` pair.
 //! Shards never share cachelines or persistence state, so every per-shard
-//! consistency argument carries over verbatim, and threads only contend
-//! when they touch the same shard.
+//! consistency argument carries over verbatim.
 //!
-//! # Lock-free reads: the per-shard seqlock
+//! # Lock-free writes: the bitmap-word CAS fast path
 //!
-//! Writers serialize through a per-shard mutex, but readers take **no
-//! lock**. Each shard carries a sequence counter that its writers bump to
-//! an odd value before mutating and back to even after; a reader
-//! snapshots the counter, runs the lookup through a read-only
-//! [`GroupReadView`] + [`Pmem::read_handle`], and accepts the result only
-//! if the counter is still even and unchanged. Otherwise it retries
-//! (counted in [`ConcurrencyCounters`]).
+//! Within a shard, plain inserts and removes do **not** serialize through
+//! an exclusive lock. They run the shared-writer path of
+//! [`GroupHash::try_insert_shared`] / [`GroupHash::try_remove_shared`]:
+//! claim the target cell in a DRAM claim table, write + persist the cell
+//! bytes unpublished, then commit with a CAS loop on the 8-byte occupancy
+//! bitmap *word* — the paper's atomic commit write, made contention-safe.
+//! Writers to the same shard only collide on the hardware CAS (counted as
+//! `cas_failures`), never on a mutex. The shard's `RwLock` is held in
+//! *read* mode for these ops: it is a group-level DRAM latch whose
+//! exclusive side is reserved for the operations that genuinely need
+//! mutual exclusion — batches, `update_in_place`, `insert_unique`,
+//! recovery, and online expansion. Ops that fall back to that latch are
+//! counted as `latch_waits`.
 //!
-//! Why an optimistic read can never return garbage *between* retries: the
-//! paper's commit protocol makes every mutation's visibility point a
-//! single 8-byte atomic bitmap write. An insert writes the cell bytes
-//! first and flips the bit last; a delete flips the bit first and scrubs
-//! the cell after. A racing reader therefore sees each cell either
-//! committed-and-complete or not-committed — never a half-written
-//! committed cell. What the seqlock adds is *point-in-time* validity: it
-//! rejects reads that overlapped any writer at all, so a lookup cannot
-//! mix cells from two different table states (e.g. miss a key that a
-//! concurrent remove+reinsert moved between groups), and torn
-//! `update_in_place` values (which bypass the bitmap) are never returned.
+//! # Lock-free reads: seqlock + commit protocol
 //!
-//! The batch path changes nothing in this argument: a group commit flips
-//! its bitmap bits one 8-byte atomic word-write at a time under the same
-//! shard lock, so readers still only ever race individual atomic commits
-//! — they just retry once per overlapping *batch* instead of per op.
+//! Readers take no lock at all: they probe an epoch-published
+//! ([`std::sync::atomic::AtomicPtr`]) pair of read-only
+//! [`GroupReadView`]s — the active table and, during an expansion, the
+//! draining source — through shared [`Pmem::ReadHandle`]s, validated by
+//! the shard's sequence counter. The seqlock is bumped **only** by
+//! exclusive-latch operations; CAS-path writers never touch it. That
+//! split is sound because the commit protocol makes every CAS mutation's
+//! visibility point a single 8-byte atomic bitmap write (a racing reader
+//! sees each cell committed-and-complete or not at all, and the view
+//! revalidates every hit against the bit), while the operations that
+//! *can* produce torn or cross-state reads — multi-word
+//! `update_in_place`, batch commits, migration moves, pool swaps — all
+//! run at odd sequence, so overlapped readers retry.
+//!
+//! # Incremental online expansion
+//!
+//! When an insert finds its shard full, the shard doubles *online*: a
+//! fresh pool + doubled table become active, and the old table drains
+//! through the persisted-cursor choreography of [`migrate_step`] — a
+//! bounded handful of entries per subsequent exclusive operation (or via
+//! [`ShardedGroupHash::expand_step`]), never a stop-the-world rehash.
+//! Lookups probe active-then-draining; a crash at any instant recovers
+//! via per-table recovery plus [`migrate_recover_split`] dedup (see
+//! [`ShardedGroupHash::recover_all`]). While a drain is pending the
+//! shard's writes use the exclusive latch (migration moves must not race
+//! the CAS path's placement decisions); the fast path resumes the moment
+//! the source empties.
 
 use crate::config::GroupHashConfig;
-use crate::table::{GroupHash, GroupReadView};
+use crate::table::{GroupHash, GroupReadView, TableClaims};
 use nvm_hashfn::{HashKey, Pod, SplitMix64};
 use nvm_metrics::{ConcurrencyCounters, ConcurrencySnapshot, SchemeInstrumentation};
 use nvm_pmem::{Pmem, Region};
-use nvm_table::{BatchError, HashScheme, InsertError, TableError};
-use parking_lot::{Mutex, MutexGuard};
-use std::sync::atomic::{fence, AtomicU64, Ordering};
+use nvm_table::{
+    migrate_recover_split, migrate_step, BatchError, HashScheme, InsertError, MigrationSource,
+    TableError,
+};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::atomic::{fence, AtomicPtr, AtomicU64, Ordering};
 
-/// The write-side state of one shard: its pool and table, behind the
-/// shard mutex.
-struct ShardInner<P: Pmem, K: HashKey, V: Pod> {
+/// Entries drained from a shard's old table per exclusive operation while
+/// an expansion is in flight.
+const MIGRATE_PER_OP: u64 = 32;
+
+/// The old `(pool, table)` pair of a shard mid-expansion, draining into
+/// the shard's active pair.
+struct Draining<P: Pmem, K: HashKey, V: Pod> {
     pm: P,
     table: GroupHash<P, K, V>,
 }
 
-struct Shard<P: Pmem, K: HashKey, V: Pod> {
-    /// Seqlock generation: even = quiescent, odd = a writer is mutating.
-    seq: AtomicU64,
-    inner: Mutex<ShardInner<P, K, V>>,
-    /// Read-only probe machine over this shard's cells (layout only —
-    /// stays valid across mutations).
-    view: GroupReadView<K, V>,
-    /// Shared read handle onto the shard's pool.
-    reader: P::ReadHandle,
+/// The write-side state of one shard, behind the shard latch.
+struct ShardInner<P: Pmem, K: HashKey, V: Pod> {
+    pm: P,
+    table: GroupHash<P, K, V>,
+    /// Shared write handle the CAS fast path runs through (read-latch
+    /// holders mutate the pool via `&self`).
+    wh: P::WriteHandle,
+    /// DRAM claim bits for the active table's cells.
+    claims: TableClaims,
+    draining: Option<Draining<P, K, V>>,
 }
 
-/// A thread-safe group hash table built from independent shards, with
-/// mutex-serialized writers and seqlock-validated lock-free readers.
+/// The reader-side snapshot a shard publishes: probe machines + read
+/// handles for the active table and any draining source. Swapped
+/// atomically on expansion; retired snapshots stay allocated until the
+/// shard drops, so a reader holding a stale pointer never dangles.
+struct Views<K: HashKey, V: Pod, RH> {
+    active: (GroupReadView<K, V>, RH),
+    draining: Option<(GroupReadView<K, V>, RH)>,
+}
+
+type ShardViews<P, K, V> = Views<K, V, <P as Pmem>::ReadHandle>;
+
+struct Shard<P: Pmem, K: HashKey, V: Pod> {
+    /// Seqlock generation: even = no exclusive writer, odd = an
+    /// exclusive-latch operation is mutating. CAS-path writers never bump
+    /// it (their commits are atomic; readers revalidate hits).
+    seq: AtomicU64,
+    inner: RwLock<ShardInner<P, K, V>>,
+    /// Current reader snapshot (owned `Box` leaked into the pointer).
+    views: AtomicPtr<ShardViews<P, K, V>>,
+    /// Superseded snapshots, kept alive for stale readers.
+    retired: Mutex<Vec<Box<ShardViews<P, K, V>>>>,
+}
+
+impl<P: Pmem, K: HashKey, V: Pod> Drop for Shard<P, K, V> {
+    fn drop(&mut self) {
+        let p = *self.views.get_mut();
+        if !p.is_null() {
+            // Published by us via Box::into_raw; no readers can outlive
+            // the table that owns this shard.
+            drop(unsafe { Box::from_raw(p) });
+        }
+    }
+}
+
+/// A thread-safe group hash table built from independent shards:
+/// CAS-committed lock-free plain writes, seqlock-validated lock-free
+/// reads, and incremental online expansion per shard.
 pub struct ShardedGroupHash<P: Pmem, K: HashKey, V: Pod> {
     shards: Vec<Shard<P, K, V>>,
     /// Seed for the shard-routing hash (independent of table seeds).
     route_seed: u64,
-    /// Seqlock-retry / lock-wait event counters, shared by all threads.
+    /// Contention / migration event counters, shared by all threads.
     counters: ConcurrencyCounters,
+    /// Pool factory for expansion targets: `(shard, bytes) -> pool`.
+    make_pool: Mutex<Box<dyn FnMut(usize, usize) -> P + Send>>,
 }
 
-/// RAII writer section: entered with the shard mutex held and the
-/// sequence bumped to odd; restores even on drop (panic-safe, so a
-/// poisoned writer cannot wedge readers into believing a mutation is
-/// forever in flight — though a mid-mutation panic still leaves readers
-/// retrying against whatever the table recovered to).
+/// RAII exclusive writer section: entered with the shard write latch held
+/// and the sequence bumped to odd; restores even on drop (panic-safe).
 struct SeqWriteGuard<'a, P: Pmem, K: HashKey, V: Pod> {
     seq: &'a AtomicU64,
-    inner: MutexGuard<'a, ShardInner<P, K, V>>,
+    inner: RwLockWriteGuard<'a, ShardInner<P, K, V>>,
 }
 
 impl<P: Pmem, K: HashKey, V: Pod> Drop for SeqWriteGuard<'_, P, K, V> {
@@ -105,43 +165,55 @@ fn backoff(spins: &mut u32) {
 }
 
 impl<P: Pmem, K: HashKey, V: Pod> ShardedGroupHash<P, K, V> {
-    /// Builds `n_shards` shards. `make_pool(i)` must return a pool of at
-    /// least [`GroupHash::required_size`] bytes for `per_shard_config`.
-    /// Each shard's table gets a distinct hash seed derived from the
-    /// config's seed.
+    /// Builds `n_shards` shards. `make_pool(shard, bytes)` must return a
+    /// pool of at least `bytes` — it is called once per shard at creation
+    /// and again for each online expansion's destination pool. Each
+    /// shard's table gets a distinct hash seed derived from the config's
+    /// seed.
     pub fn create(
         n_shards: usize,
         per_shard_config: GroupHashConfig,
-        mut make_pool: impl FnMut(usize) -> P,
+        mut make_pool: impl FnMut(usize, usize) -> P + Send + 'static,
     ) -> Result<Self, TableError> {
         assert!(n_shards > 0, "need at least one shard");
         let mut seeds = SplitMix64::new(per_shard_config.seed);
         let route_seed = seeds.next();
         let mut shards = Vec::with_capacity(n_shards);
         for i in 0..n_shards {
-            let mut pm = make_pool(i);
             let cfg = per_shard_config.with_seed(seeds.next());
-            let region = Region::new(0, GroupHash::<P, K, V>::required_size(&cfg));
-            if pm.len() < region.len {
+            let size = GroupHash::<P, K, V>::required_size(&cfg);
+            let mut pm = make_pool(i, size);
+            if pm.len() < size {
                 return Err(TableError::RegionTooSmall {
                     have: pm.len(),
-                    need: region.len,
+                    need: size,
                 });
             }
-            let table = GroupHash::create(&mut pm, region, cfg)?;
-            let view = table.read_view();
-            let reader = pm.read_handle();
+            let table = GroupHash::create(&mut pm, Region::new(0, size), cfg)?;
+            let wh = pm.write_handle();
+            let claims = TableClaims::new(cfg.cells_per_level);
+            let views = Box::new(Views {
+                active: (table.read_view(), pm.read_handle()),
+                draining: None,
+            });
             shards.push(Shard {
                 seq: AtomicU64::new(0),
-                inner: Mutex::new(ShardInner { pm, table }),
-                view,
-                reader,
+                inner: RwLock::new(ShardInner {
+                    pm,
+                    table,
+                    wh,
+                    claims,
+                    draining: None,
+                }),
+                views: AtomicPtr::new(Box::into_raw(views)),
+                retired: Mutex::new(Vec::new()),
             });
         }
         Ok(ShardedGroupHash {
             shards,
             route_seed,
             counters: ConcurrencyCounters::new(),
+            make_pool: Mutex::new(Box::new(make_pool)),
         })
     }
 
@@ -155,20 +227,32 @@ impl<P: Pmem, K: HashKey, V: Pod> ShardedGroupHash<P, K, V> {
         self.shards.len()
     }
 
-    /// Seqlock-retry and lock-wait totals since creation.
+    /// Contention and migration event totals since creation.
     pub fn concurrency(&self) -> ConcurrencySnapshot {
         self.counters.snapshot()
     }
 
-    /// Locks shard `i` for mutation and bumps its sequence to odd, so
-    /// concurrent readers retry instead of trusting an in-flight state.
-    fn write_shard(&self, i: usize) -> SeqWriteGuard<'_, P, K, V> {
-        let shard = &self.shards[i];
-        let inner = match shard.inner.try_lock() {
+    /// Takes the shard latch in *read* mode (the CAS fast path's grip:
+    /// excludes structural ops, not other CAS writers).
+    fn read_inner(&self, i: usize) -> RwLockReadGuard<'_, ShardInner<P, K, V>> {
+        match self.shards[i].inner.try_read() {
             Some(g) => g,
             None => {
                 self.counters.note_lock_wait();
-                shard.inner.lock()
+                self.shards[i].inner.read()
+            }
+        }
+    }
+
+    /// Takes the shard latch exclusively and bumps the sequence to odd,
+    /// so concurrent readers retry instead of trusting in-flight state.
+    fn write_shard(&self, i: usize) -> SeqWriteGuard<'_, P, K, V> {
+        let shard = &self.shards[i];
+        let inner = match shard.inner.try_write() {
+            Some(g) => g,
+            None => {
+                self.counters.note_lock_wait();
+                shard.inner.write()
             }
         };
         shard.seq.fetch_add(1, Ordering::AcqRel);
@@ -180,43 +264,197 @@ impl<P: Pmem, K: HashKey, V: Pod> ShardedGroupHash<P, K, V> {
         }
     }
 
-    /// Locks shard `i` *without* bumping the sequence — for operations
-    /// that hold the lock but never mutate (length, consistency checks,
-    /// instrumentation merges). Concurrent lock-free readers keep
-    /// running; concurrent writers queue behind the mutex as usual.
-    fn locked_shard(&self, i: usize) -> MutexGuard<'_, ShardInner<P, K, V>> {
-        match self.shards[i].inner.try_lock() {
-            Some(g) => g,
-            None => {
-                self.counters.note_lock_wait();
-                self.shards[i].inner.lock()
-            }
+    /// Rebuilds and atomically publishes shard `i`'s reader snapshot from
+    /// `inner`'s current pools/tables; the superseded snapshot is retired
+    /// (kept alive), not freed.
+    fn publish_views(&self, i: usize, inner: &ShardInner<P, K, V>) {
+        let shard = &self.shards[i];
+        let views: Box<ShardViews<P, K, V>> = Box::new(Views {
+            active: (inner.table.read_view(), inner.pm.read_handle()),
+            draining: inner
+                .draining
+                .as_ref()
+                .map(|d| (d.table.read_view(), d.pm.read_handle())),
+        });
+        let old = shard.views.swap(Box::into_raw(views), Ordering::AcqRel);
+        shard.retired.lock().push(unsafe { Box::from_raw(old) });
+    }
+
+    /// One bounded migration step for shard `i` (caller holds the
+    /// exclusive latch). Publishes a drain-free snapshot when the source
+    /// empties.
+    fn step_migration(&self, i: usize, inner: &mut ShardInner<P, K, V>, max_moves: u64) {
+        let done = {
+            let ShardInner {
+                pm,
+                table,
+                draining,
+                ..
+            } = &mut *inner;
+            let Some(d) = draining.as_mut() else { return };
+            migrate_step(&mut d.pm, pm, &mut d.table, table, max_moves)
+        };
+        self.counters.note_migration_steps(1);
+        if done {
+            inner.draining = None;
+            self.publish_views(i, inner);
         }
     }
 
-    /// Inserts `(key, value)` into the owning shard.
-    pub fn insert(&self, key: K, value: V) -> Result<(), InsertError> {
-        let mut g = self.write_shard(self.shard_of(&key));
-        let ShardInner { pm, table } = &mut *g.inner;
-        table.insert(pm, key, value)
+    /// Doubles shard `i` online (caller holds the exclusive latch): any
+    /// pending drain finishes, then a fresh pool + doubled table become
+    /// active and the old pair starts draining. O(previous drain), not
+    /// O(capacity) — no entries move for the new expansion here.
+    fn expand_locked(&self, i: usize, inner: &mut ShardInner<P, K, V>) {
+        while inner.draining.is_some() {
+            self.step_migration(i, inner, u64::MAX);
+        }
+        let new_cfg = inner.table.doubled_config();
+        let size = GroupHash::<P, K, V>::required_size(&new_cfg);
+        let mut factory = self.make_pool.lock();
+        let mut pm = (*factory)(i, size);
+        drop(factory);
+        assert!(pm.len() >= size, "factory pool too small for shard expansion");
+        let table = GroupHash::create(&mut pm, Region::new(0, size), new_cfg)
+            .expect("doubled config is valid");
+        inner.wh = pm.write_handle();
+        inner.claims = TableClaims::new(new_cfg.cells_per_level);
+        let old_pm = std::mem::replace(&mut inner.pm, pm);
+        let old_table = std::mem::replace(&mut inner.table, table);
+        inner.draining = Some(Draining {
+            pm: old_pm,
+            table: old_table,
+        });
+        let d = inner.draining.as_mut().expect("just set");
+        // Announce the drain window before any entry moves: a crash here
+        // must already read as migration-in-flight to recovery.
+        d.table.set_migration_active(&mut d.pm, true);
+        self.publish_views(i, inner);
     }
 
-    /// Looks up `key` without taking any lock: an optimistic read through
-    /// the shard's [`GroupReadView`], validated by the shard's sequence
-    /// counter and retried whenever a writer overlapped. See the module
-    /// docs for why a validated read can never be torn.
+    /// Forces shard `shard` to double online right now (normally growth
+    /// triggers itself on a full insert). The drain then proceeds
+    /// incrementally via subsequent operations or
+    /// [`ShardedGroupHash::expand_step`].
+    pub fn grow_shard(&self, shard: usize) {
+        let mut g = self.write_shard(shard);
+        self.expand_locked(shard, &mut g.inner);
+    }
+
+    /// Runs one bounded drain step (≤ `max_moves` entries) of shard
+    /// `shard`'s pending expansion, if any. Returns `true` while a drain
+    /// remains pending afterwards.
+    pub fn expand_step(&self, shard: usize, max_moves: u64) -> bool {
+        let mut g = self.write_shard(shard);
+        self.step_migration(shard, &mut g.inner, max_moves);
+        g.inner.draining.is_some()
+    }
+
+    /// Whether shard `shard` has an expansion drain in flight.
+    pub fn migration_pending(&self, shard: usize) -> bool {
+        self.read_inner(shard).draining.is_some()
+    }
+
+    /// Inserts `(key, value)` into the owning shard. Fast path: lock-free
+    /// CAS commit under the shard's read latch. Falls back to the
+    /// exclusive latch (counted as a `latch_wait`) when an expansion is
+    /// draining or the config forbids shared writes; grows the shard
+    /// online when full.
+    pub fn insert(&self, key: K, value: V) -> Result<(), InsertError> {
+        let si = self.shard_of(&key);
+        for _ in 0..4 {
+            {
+                let r = self.read_inner(si);
+                if r.draining.is_none() && r.table.supports_shared_writes() {
+                    match r.table.try_insert_shared(&r.wh, &r.claims, key, value) {
+                        Ok(c) => {
+                            self.counters.note_cas_failures(c.cas_failures);
+                            return Ok(());
+                        }
+                        Err(InsertError::TableFull) => {} // grow below
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            self.counters.note_latch_wait();
+            let mut g = self.write_shard(si);
+            let inner = &mut *g.inner;
+            self.step_migration(si, inner, MIGRATE_PER_OP);
+            let full = {
+                let ShardInner { pm, table, .. } = &mut *inner;
+                match table.insert(pm, key, value) {
+                    Ok(()) => return Ok(()),
+                    Err(InsertError::TableFull) => true,
+                    Err(e) => return Err(e),
+                }
+            };
+            if full {
+                self.expand_locked(si, inner);
+            }
+        }
+        Err(InsertError::TableFull)
+    }
+
+    /// Removes `key`, returning whether it was present. Same fast/slow
+    /// split as [`ShardedGroupHash::insert`]; during a drain the key may
+    /// live in either table.
+    pub fn remove(&self, key: &K) -> bool {
+        let si = self.shard_of(key);
+        {
+            let r = self.read_inner(si);
+            if r.draining.is_none() && r.table.supports_shared_writes() {
+                return match r.table.try_remove_shared(&r.wh, &r.claims, key) {
+                    Some(c) => {
+                        self.counters.note_cas_failures(c.cas_failures);
+                        true
+                    }
+                    None => false,
+                };
+            }
+        }
+        self.counters.note_latch_wait();
+        let mut g = self.write_shard(si);
+        let inner = &mut *g.inner;
+        self.step_migration(si, inner, MIGRATE_PER_OP);
+        let ShardInner {
+            pm,
+            table,
+            draining,
+            ..
+        } = &mut *inner;
+        if table.remove(pm, key) {
+            return true;
+        }
+        match draining.as_mut() {
+            Some(d) => d.table.remove(&mut d.pm, key),
+            None => false,
+        }
+    }
+
+    /// Looks up `key` without taking any lock: an optimistic probe of the
+    /// shard's published views (active table, then any draining source),
+    /// validated by the shard's sequence counter and retried whenever an
+    /// exclusive writer overlapped. CAS-path writers don't bump the
+    /// sequence — their commits are single atomic bit flips the view
+    /// revalidates per hit, so reads stay wait-free under them.
     pub fn get(&self, key: &K) -> Option<V> {
         let shard = &self.shards[self.shard_of(key)];
         let mut spins = 0u32;
         loop {
             let s1 = shard.seq.load(Ordering::Acquire);
             if s1 & 1 == 1 {
-                // A writer is mid-mutation; don't bother probing.
+                // An exclusive writer is mid-mutation; don't bother.
                 self.counters.note_seqlock_retry();
                 backoff(&mut spins);
                 continue;
             }
-            let v = shard.view.get(&shard.reader, key);
+            let views = unsafe { &*shard.views.load(Ordering::Acquire) };
+            let v = views.active.0.get(&views.active.1, key).or_else(|| {
+                views
+                    .draining
+                    .as_ref()
+                    .and_then(|(vw, rh)| vw.get(rh, key))
+            });
             // Order the probe's loads before the validation load.
             fence(Ordering::Acquire);
             if shard.seq.load(Ordering::Relaxed) == s1 {
@@ -231,16 +469,10 @@ impl<P: Pmem, K: HashKey, V: Pod> ShardedGroupHash<P, K, V> {
     /// per key in input order. The batch is split by owning shard with the
     /// same `(shard, index)` routing permutation the write batches use,
     /// then each shard's sub-batch runs as **one** optimistic
-    /// [`GroupReadView::get_batch_into`] pass — prefetch-pipelined across
-    /// the sub-batch's keys — validated by **one** sequence-counter check.
-    ///
-    /// Validating per shard rather than per key is what keeps the batch
-    /// phantom/torn-free: every answer in a sub-batch was probed strictly
-    /// between two even, equal sequence reads, so the whole sub-batch
-    /// reflects a single quiescent table state (no mixing cells from two
-    /// states, no torn `update_in_place` values). A writer overlapping the
-    /// sub-batch costs one retry of that shard's keys only — other shards'
-    /// answers stand.
+    /// [`GroupReadView::get_batch_into`] pass over the active view
+    /// (prefetch-pipelined), misses falling back to the draining view —
+    /// all validated by **one** sequence-counter check, so the whole
+    /// sub-batch reflects a single exclusive-writer-free window.
     pub fn get_batch(&self, keys: &[K]) -> Vec<Option<V>> {
         let mut out: Vec<Option<V>> = vec![None; keys.len()];
         let order = self.route_by_shard(keys.iter());
@@ -260,12 +492,22 @@ impl<P: Pmem, K: HashKey, V: Pod> ShardedGroupHash<P, K, V> {
             loop {
                 let s1 = shard.seq.load(Ordering::Acquire);
                 if s1 & 1 == 1 {
-                    // A writer is mid-mutation; don't bother probing.
                     self.counters.note_seqlock_retry();
                     backoff(&mut spins);
                     continue;
                 }
-                shard.view.get_batch_into(&shard.reader, &scratch, &mut answers);
+                let views = unsafe { &*shard.views.load(Ordering::Acquire) };
+                views
+                    .active
+                    .0
+                    .get_batch_into(&views.active.1, &scratch, &mut answers);
+                if let Some((vw, rh)) = &views.draining {
+                    for (j, a) in answers.iter_mut().enumerate() {
+                        if a.is_none() {
+                            *a = vw.get(rh, &scratch[j]);
+                        }
+                    }
+                }
                 // Order the probes' loads before the validation load.
                 fence(Ordering::Acquire);
                 if shard.seq.load(Ordering::Relaxed) == s1 {
@@ -281,23 +523,14 @@ impl<P: Pmem, K: HashKey, V: Pod> ShardedGroupHash<P, K, V> {
         out
     }
 
-    /// Removes `key`, returning whether it was present.
-    pub fn remove(&self, key: &K) -> bool {
-        let mut g = self.write_shard(self.shard_of(key));
-        let ShardInner { pm, table } = &mut *g.inner;
-        table.remove(pm, key)
-    }
-
     /// Inserts every `(key, value)`, splitting the batch by owning shard
-    /// and group-committing each shard's sub-batch under its lock, so the
-    /// fence amortization happens per shard. Sub-batches run in shard
-    /// order — on failure [`BatchError::committed`] counts ops durably
-    /// applied across all shards, and the durable set is a union of
-    /// per-shard prefixes of `items`, not a single global prefix.
-    ///
-    /// Routing allocates exactly twice per call — a `(shard, index)`
-    /// permutation and one scratch buffer reused across shards — instead
-    /// of one `Vec` per shard; see `route_by_shard`.
+    /// and group-committing each shard's sub-batch under its exclusive
+    /// latch, so the fence amortization happens per shard. A sub-batch
+    /// that fills its shard grows it online and continues with the
+    /// uncommitted remainder. Sub-batches run in shard order — on failure
+    /// [`BatchError::committed`] counts ops durably applied across all
+    /// shards, and the durable set is a union of per-shard prefixes of
+    /// `items`, not a single global prefix.
     pub fn insert_batch(&self, items: &[(K, V)]) -> Result<(), BatchError> {
         let order = self.route_by_shard(items.iter().map(|(k, _)| k));
         let mut scratch: Vec<(K, V)> = Vec::new();
@@ -311,14 +544,35 @@ impl<P: Pmem, K: HashKey, V: Pod> ShardedGroupHash<P, K, V> {
                 pos += 1;
             }
             let mut g = self.write_shard(shard as usize);
-            let ShardInner { pm, table } = &mut *g.inner;
-            match table.insert_batch(pm, &scratch) {
-                Ok(()) => committed += scratch.len(),
-                Err(e) => {
-                    return Err(BatchError {
-                        committed: committed + e.committed,
-                        error: e.error,
-                    })
+            let inner = &mut *g.inner;
+            self.step_migration(shard as usize, inner, MIGRATE_PER_OP);
+            let mut off = 0usize;
+            let mut grows = 0u32;
+            while off < scratch.len() {
+                let full = {
+                    let ShardInner { pm, table, .. } = &mut *inner;
+                    match table.insert_batch(pm, &scratch[off..]) {
+                        Ok(()) => {
+                            committed += scratch.len() - off;
+                            off = scratch.len();
+                            false
+                        }
+                        Err(e) if matches!(e.error, InsertError::TableFull) && grows < 4 => {
+                            committed += e.committed;
+                            off += e.committed;
+                            true
+                        }
+                        Err(e) => {
+                            return Err(BatchError {
+                                committed: committed + e.committed,
+                                error: e.error,
+                            })
+                        }
+                    }
+                };
+                if full {
+                    grows += 1;
+                    self.expand_locked(shard as usize, inner);
                 }
             }
         }
@@ -327,6 +581,8 @@ impl<P: Pmem, K: HashKey, V: Pod> ShardedGroupHash<P, K, V> {
 
     /// Removes every key, split by owning shard like
     /// [`ShardedGroupHash::insert_batch`]; returns how many were present.
+    /// While a shard is draining, its keys are removed one by one across
+    /// both tables instead of group-committed.
     pub fn remove_batch(&self, keys: &[K]) -> usize {
         let order = self.route_by_shard(keys.iter());
         let mut scratch: Vec<K> = Vec::new();
@@ -340,8 +596,24 @@ impl<P: Pmem, K: HashKey, V: Pod> ShardedGroupHash<P, K, V> {
                 pos += 1;
             }
             let mut g = self.write_shard(shard as usize);
-            let ShardInner { pm, table } = &mut *g.inner;
-            removed += table.remove_batch(pm, &scratch);
+            let inner = &mut *g.inner;
+            self.step_migration(shard as usize, inner, MIGRATE_PER_OP);
+            let ShardInner {
+                pm,
+                table,
+                draining,
+                ..
+            } = &mut *inner;
+            match draining.as_mut() {
+                None => removed += table.remove_batch(pm, &scratch),
+                Some(d) => {
+                    for k in &scratch {
+                        if table.remove(pm, k) || d.table.remove(&mut d.pm, k) {
+                            removed += 1;
+                        }
+                    }
+                }
+            }
         }
         removed
     }
@@ -366,31 +638,74 @@ impl<P: Pmem, K: HashKey, V: Pod> ShardedGroupHash<P, K, V> {
     }
 
     /// Inserts `(key, value)` only if `key` is absent (atomic per shard:
-    /// the probe and the insert happen under the owning shard's lock).
+    /// the probe and the insert happen under the owning shard's exclusive
+    /// latch; a mid-drain duplicate in the old table counts as present).
     pub fn insert_unique(&self, key: K, value: V) -> Result<(), InsertError> {
-        let mut g = self.write_shard(self.shard_of(&key));
-        let ShardInner { pm, table } = &mut *g.inner;
-        table.insert_unique(pm, key, value)
+        let si = self.shard_of(&key);
+        for _ in 0..4 {
+            let mut g = self.write_shard(si);
+            let inner = &mut *g.inner;
+            self.step_migration(si, inner, MIGRATE_PER_OP);
+            let full = {
+                let ShardInner {
+                    pm,
+                    table,
+                    draining,
+                    ..
+                } = &mut *inner;
+                if let Some(d) = draining.as_ref() {
+                    if d.table.get(&d.pm, &key).is_some() {
+                        return Err(InsertError::DuplicateKey);
+                    }
+                }
+                match table.insert_unique(pm, key, value) {
+                    Ok(()) => return Ok(()),
+                    Err(InsertError::TableFull) => true,
+                    Err(e) => return Err(e),
+                }
+            };
+            if full {
+                self.expand_locked(si, inner);
+            }
+        }
+        Err(InsertError::TableFull)
     }
 
     /// Updates the value of an existing `key` in place, returning whether
-    /// the key was found. Same failure-atomicity caveats as
-    /// [`GroupHash::update_in_place`]; atomic per shard. The seqlock is
-    /// what keeps concurrent readers from returning a torn multi-word
-    /// value: the in-place write happens at odd sequence, so any
-    /// overlapping read retries.
+    /// the key was found (in the active table or a draining source). Same
+    /// failure-atomicity caveats as [`GroupHash::update_in_place`]. The
+    /// exclusive latch + seqlock are what keep concurrent readers from
+    /// returning a torn multi-word value: the in-place write happens at
+    /// odd sequence, so any overlapping read retries.
     pub fn update_in_place(&self, key: &K, value: V) -> bool {
-        let mut g = self.write_shard(self.shard_of(key));
-        let ShardInner { pm, table } = &mut *g.inner;
-        table.update_in_place(pm, key, value)
+        let si = self.shard_of(key);
+        let mut g = self.write_shard(si);
+        let inner = &mut *g.inner;
+        self.step_migration(si, inner, MIGRATE_PER_OP);
+        let ShardInner {
+            pm,
+            table,
+            draining,
+            ..
+        } = &mut *inner;
+        if table.update_in_place(pm, key, value) {
+            return true;
+        }
+        match draining.as_mut() {
+            Some(d) => d.table.update_in_place(&mut d.pm, key, value),
+            None => false,
+        }
     }
 
-    /// Total entries across shards. Consistent only when quiescent.
+    /// Total entries across shards (draining sources included; between
+    /// operations a migrating entry is never counted twice). Consistent
+    /// only when quiescent.
     pub fn len(&self) -> u64 {
         (0..self.shards.len())
             .map(|i| {
-                let g = self.locked_shard(i);
+                let g = self.read_inner(i);
                 g.table.len(&g.pm)
+                    + g.draining.as_ref().map_or(0, |d| d.table.len(&d.pm))
             })
             .sum()
     }
@@ -400,42 +715,67 @@ impl<P: Pmem, K: HashKey, V: Pod> ShardedGroupHash<P, K, V> {
         self.len() == 0
     }
 
-    /// Runs recovery on every shard (a mutation: uncommitted cells are
-    /// scrubbed, counts recount, fingerprint caches rebuild).
+    /// Runs recovery on every shard: per-table recovery (uncommitted
+    /// cells scrubbed, counts recounted, fingerprint caches rebuilt),
+    /// then — if the shard crashed mid-expansion — the cross-table dedup
+    /// of [`migrate_recover_split`], so an entry whose move committed in
+    /// the destination but not yet retracted from the source survives
+    /// exactly once.
     pub fn recover_all(&self) {
         for i in 0..self.shards.len() {
             let mut g = self.write_shard(i);
-            let ShardInner { pm, table } = &mut *g.inner;
-            table.recover(pm);
+            let inner = &mut *g.inner;
+            {
+                let ShardInner {
+                    pm,
+                    table,
+                    draining,
+                    ..
+                } = &mut *inner;
+                table.recover(pm);
+                if let Some(d) = draining.as_mut() {
+                    d.table.recover(&mut d.pm);
+                    migrate_recover_split(&mut d.pm, pm, &mut d.table, table);
+                }
+            }
+            self.publish_views(i, inner);
         }
     }
 
     /// Probe/occupancy/displacement histograms aggregated across all
-    /// shards — an owned snapshot merged under each shard's lock, so it
-    /// is internally consistent per shard but only globally consistent
-    /// when quiescent. `None` unless the crate was built with the
-    /// `instrument` feature.
+    /// shards (draining sources included) — an owned snapshot merged
+    /// under each shard's latch, so it is internally consistent per shard
+    /// but only globally consistent when quiescent. `None` unless the
+    /// crate was built with the `instrument` feature.
     pub fn instrumentation(&self) -> Option<SchemeInstrumentation> {
         let mut agg: Option<SchemeInstrumentation> = None;
         for i in 0..self.shards.len() {
-            let g = self.locked_shard(i);
-            if let Some(instr) = HashScheme::instrumentation(&g.table) {
-                let a = agg.get_or_insert_with(|| {
-                    SchemeInstrumentation::new(g.table.config().group_size as usize)
-                });
-                a.merge(instr);
+            let g = self.read_inner(i);
+            let tables = [Some(&g.table), g.draining.as_ref().map(|d| &d.table)];
+            for t in tables.into_iter().flatten() {
+                if let Some(instr) = HashScheme::instrumentation(t) {
+                    let a = agg.get_or_insert_with(|| {
+                        SchemeInstrumentation::new(g.table.config().group_size as usize)
+                    });
+                    a.merge(instr);
+                }
             }
         }
         agg
     }
 
-    /// Checks consistency of every shard; the first violation comes back
-    /// as [`TableError::Corrupt`], prefixed with the shard number.
+    /// Checks consistency of every shard (draining sources included); the
+    /// first violation comes back as [`TableError::Corrupt`], prefixed
+    /// with the shard number.
     pub fn check_consistency(&self) -> Result<(), TableError> {
         for i in 0..self.shards.len() {
-            let g = self.locked_shard(i);
+            let g = self.read_inner(i);
             crate::analysis::check_consistency(&g.table, &g.pm)
                 .map_err(|e| TableError::Corrupt(format!("shard {i}: {e}")))?;
+            if let Some(d) = &g.draining {
+                crate::analysis::check_consistency(&d.table, &d.pm)
+                    .map_err(|e| TableError::Corrupt(format!("shard {i} (draining): {e}")))?;
+            }
         }
         Ok(())
     }
@@ -449,8 +789,16 @@ mod tests {
 
     fn build(n_shards: usize) -> ShardedGroupHash<SimPmem, u64, u64> {
         let cfg = GroupHashConfig::new(1 << 10, 64);
-        let size = GroupHash::<SimPmem, u64, u64>::required_size(&cfg);
-        ShardedGroupHash::create(n_shards, cfg, |_| {
+        ShardedGroupHash::create(n_shards, cfg, |_, size| {
+            SimPmem::new(size, SimConfig::fast_test())
+        })
+        .unwrap()
+    }
+
+    /// Small shards so inserts overflow and trigger online expansion.
+    fn build_small(n_shards: usize) -> ShardedGroupHash<SimPmem, u64, u64> {
+        let cfg = GroupHashConfig::new(64, 16);
+        ShardedGroupHash::create(n_shards, cfg, |_, size| {
             SimPmem::new(size, SimConfig::fast_test())
         })
         .unwrap()
@@ -474,6 +822,21 @@ mod tests {
     }
 
     #[test]
+    fn single_writer_cas_path_never_fails_a_cas() {
+        let t = build(4);
+        for k in 0..800u64 {
+            t.insert(k, k).unwrap();
+        }
+        for k in 0..400u64 {
+            assert!(t.remove(&k));
+        }
+        let c = t.concurrency();
+        assert_eq!(c.cas_failures, 0, "single writer never loses a CAS");
+        assert_eq!(c.latch_waits, 0, "plain ops never fell back to the latch");
+        assert_eq!(c.lock_waits, 0);
+    }
+
+    #[test]
     fn keys_spread_across_shards() {
         let t = build(8);
         for k in 0..2000u64 {
@@ -482,7 +845,7 @@ mod tests {
         // Every shard should own a non-trivial share.
         let per_shard: Vec<u64> = (0..t.shard_count())
             .map(|i| {
-                let g = t.locked_shard(i);
+                let g = t.read_inner(i);
                 g.table.len(&g.pm)
             })
             .collect();
@@ -499,7 +862,7 @@ mod tests {
         for s in &t.shards {
             assert_eq!(s.seq.load(Ordering::Relaxed) & 1, 0);
         }
-        // No readers raced any writer in this single-threaded test.
+        // No readers raced any exclusive writer in this test.
         assert_eq!(t.concurrency().seqlock_retries, 0);
     }
 
@@ -611,9 +974,8 @@ mod tests {
     fn sharded_fingerprint_mode_roundtrip() {
         use crate::config::FpMode;
         let cfg = GroupHashConfig::new(1 << 10, 64).with_fp_mode(FpMode::On);
-        let size = GroupHash::<SimPmem, u64, u64>::required_size(&cfg);
         let t: ShardedGroupHash<SimPmem, u64, u64> =
-            ShardedGroupHash::create(4, cfg, |_| SimPmem::new(size, SimConfig::fast_test()))
+            ShardedGroupHash::create(4, cfg, |_, size| SimPmem::new(size, SimConfig::fast_test()))
                 .unwrap();
         for k in 0..800u64 {
             t.insert(k, k * 2).unwrap();
@@ -789,6 +1151,120 @@ mod tests {
         writer.join().unwrap();
         for r in readers {
             r.join().unwrap();
+        }
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn shards_grow_online_past_initial_capacity() {
+        let t = build_small(2);
+        // 2 shards × 128 cells: 2000 keys force several doublings each.
+        for k in 0..2000u64 {
+            t.insert(k, k * 3).unwrap();
+        }
+        assert_eq!(t.len(), 2000);
+        for k in 0..2000u64 {
+            assert_eq!(t.get(&k), Some(k * 3), "key {k}");
+        }
+        assert!(t.concurrency().migration_steps > 0, "growth must migrate");
+        // Finish any pending drains, then verify consistency everywhere.
+        for si in 0..t.shard_count() {
+            while t.expand_step(si, u64::MAX) {}
+        }
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn forced_growth_drains_incrementally_while_serving() {
+        let t = build_small(1);
+        for k in 0..100u64 {
+            t.insert(k, k + 1).unwrap();
+        }
+        t.grow_shard(0);
+        assert!(t.migration_pending(0));
+        // Every key answers while the drain is parked mid-flight.
+        for k in 0..100u64 {
+            assert_eq!(t.get(&k), Some(k + 1), "key {k} lost mid-drain");
+        }
+        // Step the drain a few entries at a time, reading throughout.
+        let mut steps = 0u64;
+        while t.expand_step(0, 8) {
+            steps += 1;
+            assert!(steps < 10_000, "drain does not terminate");
+            let probe = (steps * 13) % 100;
+            assert_eq!(t.get(&probe), Some(probe + 1));
+        }
+        assert!(steps > 1, "bounded steps must take several calls");
+        assert!(!t.migration_pending(0));
+        assert_eq!(t.len(), 100);
+        t.check_consistency().unwrap();
+        // Mutations after the drain go back to the CAS fast path.
+        let before = t.concurrency().latch_waits;
+        t.insert(5000, 1).unwrap();
+        assert_eq!(t.concurrency().latch_waits, before);
+    }
+
+    #[test]
+    fn concurrent_writers_survive_mid_stream_expansion() {
+        // Four writers insert disjoint ranges while the main thread keeps
+        // forcing expansions and stepping drains: nothing may be lost.
+        let t = Arc::new(build_small(4));
+        let threads: Vec<_> = (0..4u64)
+            .map(|tid| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in 0..400u64 {
+                        let k = tid * 100_000 + i;
+                        t.insert(k, k + 1).unwrap();
+                        if i % 64 == 0 {
+                            assert!(t.remove(&k));
+                            t.insert(k, k + 1).unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for round in 0..8 {
+            for si in 0..t.shard_count() {
+                if round % 4 == 0 && !t.migration_pending(si) {
+                    t.grow_shard(si);
+                }
+                t.expand_step(si, 16);
+            }
+            std::thread::yield_now();
+        }
+        for th in threads {
+            th.join().unwrap();
+        }
+        for si in 0..t.shard_count() {
+            while t.expand_step(si, u64::MAX) {}
+        }
+        assert_eq!(t.len(), 1600);
+        for tid in 0..4u64 {
+            for i in 0..400u64 {
+                let k = tid * 100_000 + i;
+                assert_eq!(t.get(&k), Some(k + 1), "lost key {k}");
+            }
+        }
+        t.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn undo_log_config_routes_through_exclusive_latch() {
+        use crate::config::CommitStrategy;
+        // The journaling ablation cannot run the CAS path; plain ops must
+        // transparently use the exclusive latch instead.
+        let cfg = GroupHashConfig::new(1 << 9, 64).with_commit(CommitStrategy::UndoLog);
+        let t: ShardedGroupHash<SimPmem, u64, u64> =
+            ShardedGroupHash::create(2, cfg, |_, size| SimPmem::new(size, SimConfig::fast_test()))
+                .unwrap();
+        for k in 0..300u64 {
+            t.insert(k, k).unwrap();
+        }
+        assert!(t.concurrency().latch_waits > 0, "ablation must use latch");
+        for k in 0..300u64 {
+            assert_eq!(t.get(&k), Some(k));
+            assert!(t.remove(&k));
         }
         t.check_consistency().unwrap();
     }

@@ -15,24 +15,54 @@
 //! occupancy bits so only plausible cells have their key bytes read from
 //! the pool.
 //!
+//! # Shared-writer maintenance
+//!
+//! Tags are packed eight to an [`AtomicU64`] and updated with a single
+//! read-modify-write per byte lane, so the lock-free CAS insert/remove
+//! path (`GroupHash::try_insert_shared` / `try_remove_shared`) can
+//! maintain the cache through `&self` while other writers update
+//! neighbouring lanes of the same word. A tag is written inside the
+//! publishing writer's cell-claim window, so two writers never race on
+//! the *same* lane; the word-level RMW only arbitrates *different* cells
+//! sharing a word. Readers load whole words `Relaxed` — a racing update
+//! can at worst make the filter admit a stale candidate (the key compare
+//! rejects it) for cells the reader was not synchronized with anyway.
+//!
 //! [`HashPair::h3`]: nvm_hashfn::HashPair::h3
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 /// The volatile tag arrays for a two-level table. Indexed by level
-/// (0 = level 1, 1 = level 2) and cell index.
-#[derive(Debug, Clone)]
+/// (0 = level 1, 1 = level 2) and cell index; eight tags per word.
+#[derive(Debug)]
 pub(crate) struct FpCache {
-    levels: [Vec<u8>; 2],
+    levels: [Vec<AtomicU64>; 2],
+}
+
+impl Clone for FpCache {
+    fn clone(&self) -> Self {
+        let copy = |l: &Vec<AtomicU64>| {
+            l.iter()
+                .map(|w| AtomicU64::new(w.load(Ordering::Relaxed)))
+                .collect()
+        };
+        FpCache {
+            levels: [copy(&self.levels[0]), copy(&self.levels[1])],
+        }
+    }
 }
 
 impl FpCache {
     /// A zeroed cache for `cells_per_level` cells in each level. The
-    /// arrays are padded to a multiple of 64 bytes so word loads near the
-    /// end of tiny tables never index out of bounds (padding tags are
-    /// never candidates — their occupancy bits are always clear).
+    /// arrays are padded to a multiple of 64 tags (8 words) so word loads
+    /// near the end of tiny tables never index out of bounds (padding
+    /// tags are never candidates — their occupancy bits are always
+    /// clear).
     pub fn new(cells_per_level: u64) -> FpCache {
-        let len = (cells_per_level as usize).next_multiple_of(64);
+        let words = (cells_per_level as usize).next_multiple_of(64) / 8;
+        let make = || (0..words).map(|_| AtomicU64::new(0)).collect();
         FpCache {
-            levels: [vec![0; len], vec![0; len]],
+            levels: [make(), make()],
         }
     }
 
@@ -40,20 +70,37 @@ impl FpCache {
     /// cell's occupancy bit is set.
     #[inline]
     pub fn get(&self, level: usize, idx: u64) -> u8 {
-        self.levels[level][idx as usize]
+        let w = self.levels[level][idx as usize / 8].load(Ordering::Relaxed);
+        (w >> (8 * (idx % 8))) as u8
+    }
+
+    /// Stores `tag` into one byte lane of the word owning `idx` with a
+    /// single RMW, leaving the other seven lanes as their current values.
+    #[inline]
+    fn store_lane(&self, level: usize, idx: u64, tag: u8) {
+        let shift = 8 * (idx % 8);
+        let mask = 0xFFu64 << shift;
+        let lane = u64::from(tag) << shift;
+        self.levels[level][idx as usize / 8]
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |w| {
+                Some((w & !mask) | lane)
+            })
+            .expect("fetch_update closure never fails");
     }
 
     /// Records `tag` for `(level, idx)` (on insert / bulk load / rebuild).
+    /// `&self`: safe to call from concurrent writers holding the cell's
+    /// claim.
     #[inline]
-    pub fn set(&mut self, level: usize, idx: u64, tag: u8) {
-        self.levels[level][idx as usize] = tag;
+    pub fn set(&self, level: usize, idx: u64, tag: u8) {
+        self.store_lane(level, idx, tag);
     }
 
     /// Zeroes the tag for `(level, idx)` (on delete; keeps the cache
     /// canonical so rebuilds compare bit-for-bit).
     #[inline]
-    pub fn clear(&mut self, level: usize, idx: u64) {
-        self.levels[level][idx as usize] = 0;
+    pub fn clear(&self, level: usize, idx: u64) {
+        self.store_lane(level, idx, 0);
     }
 
     /// Loads the eight tags `[byte_base, byte_base + 8)` of `level` as a
@@ -61,14 +108,15 @@ impl FpCache {
     #[inline]
     pub fn word(&self, level: usize, byte_base: u64) -> u64 {
         debug_assert_eq!(byte_base % 8, 0);
-        let b = byte_base as usize;
-        u64::from_le_bytes(self.levels[level][b..b + 8].try_into().unwrap())
+        self.levels[level][byte_base as usize / 8].load(Ordering::Relaxed)
     }
 
     /// Zeroes every tag (rebuild preamble).
-    pub fn reset(&mut self) {
-        for l in &mut self.levels {
-            l.fill(0);
+    pub fn reset(&self) {
+        for l in &self.levels {
+            for w in l {
+                w.store(0, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -80,7 +128,7 @@ mod tests {
 
     #[test]
     fn word_loads_tags_in_lane_order() {
-        let mut fp = FpCache::new(64);
+        let fp = FpCache::new(64);
         for i in 0..8u64 {
             fp.set(1, 8 + i, 0x10 + i as u8);
         }
@@ -99,11 +147,45 @@ mod tests {
 
     #[test]
     fn reset_zeroes_everything() {
-        let mut fp = FpCache::new(128);
+        let fp = FpCache::new(128);
         fp.set(0, 3, 9);
         fp.set(1, 100, 7);
         fp.reset();
         assert_eq!(fp.get(0, 3), 0);
         assert_eq!(fp.get(1, 100), 0);
+    }
+
+    #[test]
+    fn clone_copies_current_tags() {
+        let fp = FpCache::new(64);
+        fp.set(0, 5, 0xAB);
+        let c = fp.clone();
+        fp.set(0, 5, 0xCD);
+        assert_eq!(c.get(0, 5), 0xAB);
+        assert_eq!(fp.get(0, 5), 0xCD);
+    }
+
+    #[test]
+    fn concurrent_writers_on_one_word_keep_all_lanes() {
+        // Eight threads each own one lane of the same tag word; every
+        // update must survive its neighbours' RMWs.
+        let fp = std::sync::Arc::new(FpCache::new(64));
+        let threads: Vec<_> = (0..8u64)
+            .map(|lane| {
+                let fp = std::sync::Arc::clone(&fp);
+                std::thread::spawn(move || {
+                    for round in 0..1000u64 {
+                        fp.set(1, lane, (lane as u8) ^ (round as u8));
+                    }
+                    fp.set(1, lane, 0x40 + lane as u8);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        for lane in 0..8u64 {
+            assert_eq!(fp.get(1, lane), 0x40 + lane as u8);
+        }
     }
 }

@@ -82,7 +82,10 @@ pub use bulk::BulkLoadReport;
 pub use concurrent::ShardedGroupHash;
 pub use resize::ResizingGroupHash;
 pub use config::{ChoiceMode, CommitStrategy, CountMode, FpMode, GroupHashConfig, ProbeLayout};
-pub use table::{GroupHash, GroupReadView};
+pub use table::{GroupHash, GroupReadView, SharedCommit, TableClaims};
 
 // Re-exported so downstream users need only this crate for the common case.
-pub use nvm_table::{HashScheme, InsertError};
+pub use nvm_table::{
+    migrate_recover, migrate_recover_split, migrate_step, migrate_step_same_pool, HashScheme,
+    InsertError, MigrationSource,
+};

@@ -1,30 +1,44 @@
-//! Automatic capacity growth.
+//! Automatic capacity growth, online.
 //!
 //! Algorithm 1 returns *table full* when a key's matched group has no
-//! free cell; [`GroupHash::expand_into`] rehashes into a larger table.
-//! `ResizingGroupHash` automates the loop for applications that do not
-//! want to manage pools themselves: it owns the current `(pool, table)`
-//! pair plus a pool factory, and on a full insert builds a table with
-//! doubled `cells_per_level` in a fresh pool, migrates, and retries.
+//! free cell. `ResizingGroupHash` automates growth for applications that
+//! do not want to manage pools themselves — and it does so **without the
+//! stop-the-world rehash**: on a full insert it builds a table with
+//! doubled `cells_per_level` in a fresh pool and starts *draining* the
+//! old table into it through the bounded [`migrate_step`] choreography,
+//! a handful of entries per subsequent operation. Normal inserts, gets,
+//! removes and updates interleave with the drain; lookups probe the new
+//! (active) table first and fall back to the still-draining source.
 //!
-//! Crash safety across a resize follows from `expand_into`'s argument:
-//! the old pool is never modified during migration and the new table
-//! becomes valid only when its header's magic commits; a crash mid-resize
-//! leaves the old pool authoritative. (With volatile pools the point is
-//! moot; with image-backed pools the application persists the *new* image
-//! and only then retires the old one.)
+//! Crash safety: the drain is the persisted-cursor protocol of
+//! [`nvm_table::migrate_step`] — each moved entry is republished in the
+//! destination *before* it is retracted from the source, the cursor
+//! advances only after both commits, and the source's migration-active
+//! flag brackets the whole drain. A crash at any instant loses nothing
+//! and duplicates at most one entry, which [`nvm_table::migrate_recover`]
+//! removes. (With volatile pools the point is moot; with image-backed
+//! pools the application persists both images across the drain window
+//! and may retire the old one once the flag clears.)
 
 use crate::config::GroupHashConfig;
 use crate::table::GroupHash;
 use nvm_hashfn::{HashKey, Pod};
 use nvm_pmem::{Pmem, Region};
-use nvm_table::{InsertError, TableError};
+use nvm_table::{migrate_step, InsertError, MigrationSource, TableError};
+
+/// Entries drained from the old table per mutating operation while a
+/// growth is in flight. Amortizes the rehash over the operations that
+/// follow it instead of stalling the triggering insert for O(capacity).
+const MIGRATE_PER_OP: u64 = 8;
 
 /// A group hash table that grows itself when an insert finds its group
-/// full.
+/// full, draining the old table incrementally instead of rehashing it in
+/// one stop-the-world pass.
 pub struct ResizingGroupHash<P: Pmem, K: HashKey, V: Pod> {
-    pm: P,
-    table: GroupHash<P, K, V>,
+    /// The live table every insert targets.
+    active: (P, GroupHash<P, K, V>),
+    /// The previous table while its entries drain into `active`.
+    draining: Option<(P, GroupHash<P, K, V>)>,
     make_pool: Box<dyn FnMut(usize) -> P + Send>,
     resizes: u32,
 }
@@ -46,69 +60,120 @@ impl<P: Pmem, K: HashKey, V: Pod> ResizingGroupHash<P, K, V> {
         }
         let table = GroupHash::create(&mut pm, Region::new(0, size), config)?;
         Ok(ResizingGroupHash {
-            pm,
-            table,
+            active: (pm, table),
+            draining: None,
             make_pool: Box::new(make_pool),
             resizes: 0,
         })
     }
 
-    /// Doubles capacity: new pool, rehash, swap.
-    fn grow(&mut self) -> Result<(), InsertError> {
-        let new_cfg = self.table.doubled_config();
+    /// Starts a doubling: new pool + empty doubled table become active,
+    /// the old pair is queued for incremental draining. O(1) — no entry
+    /// moves here.
+    fn grow(&mut self) {
+        // A second overflow while a drain is still pending (pathological
+        // skew or tiny tables): finish the current drain first so at most
+        // one source is ever in flight.
+        self.drain_all();
+        let new_cfg = self.active.1.doubled_config();
         let size = GroupHash::<P, K, V>::required_size(&new_cfg);
-        let mut new_pm = (self.make_pool)(size);
-        assert!(new_pm.len() >= size, "factory pool too small for resize");
-        let mut new_table = GroupHash::create(&mut new_pm, Region::new(0, size), new_cfg)
+        let mut pm = (self.make_pool)(size);
+        assert!(pm.len() >= size, "factory pool too small for resize");
+        let table = GroupHash::create(&mut pm, Region::new(0, size), new_cfg)
             .expect("doubled config is valid");
-
-        // Migrate via bulk load (amortized persists; crash-safe per
-        // bulk_load's phase argument).
-        let mut entries = Vec::with_capacity(self.table.len(&self.pm) as usize);
-        self.table
-            .for_each_entry(&self.pm, |k, v| entries.push((k, v)));
-        let report = new_table.bulk_load(&mut new_pm, entries);
-        if report.rejected > 0 {
-            // Doubling not enough (pathological skew): caller retries and
-            // we grow again on the next failure.
-            debug_assert!(false, "doubling rejected {} entries", report.rejected);
-        }
-        self.pm = new_pm;
-        self.table = new_table;
+        let old = std::mem::replace(&mut self.active, (pm, table));
+        self.draining = Some(old);
+        // Announce the drain window up front: a crash between here and
+        // the first migrate_step must already read as "migration was in
+        // flight" to recovery.
+        let d = self.draining.as_mut().expect("just set");
+        d.1.set_migration_active(&mut d.0, true);
         self.resizes += 1;
-        Ok(())
+    }
+
+    /// One bounded drain step ([`migrate_step`] with `max_moves`); no-op
+    /// when no growth is pending. Returns `true` while a drain remains.
+    pub fn migration_pending(&mut self) -> bool {
+        self.draining.is_some()
+    }
+
+    fn step(&mut self, max_moves: u64) {
+        let Some((src_pm, src)) = self.draining.as_mut() else {
+            return;
+        };
+        let (dst_pm, dst) = &mut self.active;
+        if migrate_step(src_pm, dst_pm, src, dst, max_moves) {
+            self.draining = None;
+        }
+    }
+
+    /// Drains any pending migration to completion.
+    pub fn drain_all(&mut self) {
+        while self.draining.is_some() {
+            self.step(u64::MAX);
+        }
     }
 
     /// Inserts, growing as needed (at most a few attempts; each doubles).
+    /// While a previous growth is draining, each insert also moves a
+    /// bounded handful of old entries.
     pub fn insert(&mut self, key: K, value: V) -> Result<(), InsertError> {
         for _ in 0..4 {
-            match self.table.insert(&mut self.pm, key, value) {
+            self.step(MIGRATE_PER_OP);
+            match self.active.1.insert(&mut self.active.0, key, value) {
                 Ok(()) => return Ok(()),
-                Err(InsertError::TableFull) => self.grow()?,
+                Err(InsertError::TableFull) => self.grow(),
                 Err(e) => return Err(e),
             }
         }
         Err(InsertError::TableFull)
     }
 
-    /// Looks up `key`.
+    /// Looks up `key`: active table first, then the draining source (an
+    /// entry mid-migration may transiently exist in both; either copy is
+    /// the committed value).
     pub fn get(&mut self, key: &K) -> Option<V> {
-        self.table.get(&self.pm, key)
+        let hit = self.active.1.get(&self.active.0, key);
+        if hit.is_some() {
+            return hit;
+        }
+        self.draining
+            .as_ref()
+            .and_then(|(pm, t)| t.get(pm, key))
     }
 
-    /// Removes `key`.
+    /// Removes `key` from whichever table holds it.
     pub fn remove(&mut self, key: &K) -> bool {
-        self.table.remove(&mut self.pm, key)
+        self.step(MIGRATE_PER_OP);
+        if self.active.1.remove(&mut self.active.0, key) {
+            return true;
+        }
+        match self.draining.as_mut() {
+            Some((pm, t)) => t.remove(pm, key),
+            None => false,
+        }
     }
 
-    /// Updates an existing key's value in place.
+    /// Updates an existing key's value in place, wherever it lives.
     pub fn update_in_place(&mut self, key: &K, value: V) -> bool {
-        self.table.update_in_place(&mut self.pm, key, value)
+        self.step(MIGRATE_PER_OP);
+        if self.active.1.update_in_place(&mut self.active.0, key, value) {
+            return true;
+        }
+        match self.draining.as_mut() {
+            Some((pm, t)) => t.update_in_place(pm, key, value),
+            None => false,
+        }
     }
 
-    /// Entries stored.
+    /// Entries stored (across the active table and any draining source;
+    /// between operations a migrating entry is never counted twice).
     pub fn len(&mut self) -> u64 {
-        self.table.len(&self.pm)
+        self.active.1.len(&self.active.0)
+            + self
+                .draining
+                .as_ref()
+                .map_or(0, |(pm, t)| t.len(pm))
     }
 
     /// True when empty.
@@ -116,9 +181,9 @@ impl<P: Pmem, K: HashKey, V: Pod> ResizingGroupHash<P, K, V> {
         self.len() == 0
     }
 
-    /// Total cells of the current table.
+    /// Total cells of the active table.
     pub fn capacity(&self) -> u64 {
-        self.table.capacity()
+        self.active.1.capacity()
     }
 
     /// How many times the table has grown.
@@ -127,9 +192,11 @@ impl<P: Pmem, K: HashKey, V: Pod> ResizingGroupHash<P, K, V> {
     }
 
     /// Access to the current pool and table (e.g. for consistency checks
-    /// or saving the pool image).
+    /// or saving the pool image). Finishes any pending drain first so the
+    /// pair is the whole table.
     pub fn parts_mut(&mut self) -> (&mut P, &GroupHash<P, K, V>) {
-        (&mut self.pm, &self.table)
+        self.drain_all();
+        (&mut self.active.0, &self.active.1)
     }
 }
 
@@ -156,6 +223,33 @@ mod tests {
         assert!(t.capacity() >= 1000);
         for k in 0..1000u64 {
             assert_eq!(t.get(&k), Some(k * 3), "key {k}");
+        }
+        let (pm, table) = t.parts_mut();
+        table.check_consistency(pm).unwrap();
+    }
+
+    #[test]
+    fn lookups_hit_both_tables_mid_drain() {
+        let mut t = make(32);
+        let mut k = 0u64;
+        // Fill until a growth actually starts, then stop mutating: the
+        // drain is now frozen mid-flight and gets must consult both sides.
+        while t.resizes() == 0 {
+            t.insert(k, k + 1).unwrap();
+            k += 1;
+        }
+        assert!(t.migration_pending(), "growth leaves a draining source");
+        for i in 0..k {
+            assert_eq!(t.get(&i), Some(i + 1), "key {i} lost mid-drain");
+        }
+        // Mutations drain incrementally; eventually the source empties.
+        let mut extra = k;
+        while t.migration_pending() {
+            t.insert(extra, extra + 1).unwrap();
+            extra += 1;
+        }
+        for i in 0..extra {
+            assert_eq!(t.get(&i), Some(i + 1));
         }
         let (pm, table) = t.parts_mut();
         table.check_consistency(pm).unwrap();
@@ -194,13 +288,14 @@ mod tests {
             t.insert(k, k).unwrap();
         }
         assert_eq!(t.resizes(), 0);
+        assert!(!t.migration_pending());
     }
 
     #[test]
     fn fingerprint_cache_survives_growth() {
         use crate::config::FpMode;
-        // Growth migrates via bulk_load, which must keep the volatile tag
-        // cache in step with every placement it makes in the new table.
+        // Growth drains entry-by-entry through normal inserts, which must
+        // keep the destination's volatile tag cache in step throughout.
         let cfg = GroupHashConfig::new(32, 16).with_fp_mode(FpMode::On);
         let mut t = ResizingGroupHash::<SimPmem, u64, u64>::create(cfg, |size| {
             SimPmem::new(size, SimConfig::fast_test())

@@ -9,14 +9,17 @@
 //! carving), construction (`create`/`open`), and the read-side accessors;
 //! the algorithmic policy lives in the submodules.
 
+mod migration;
 mod ops;
 mod probe;
 mod readview;
+mod shared;
 mod store;
 #[cfg(test)]
 mod tests;
 
 pub use readview::GroupReadView;
+pub use shared::{SharedCommit, TableClaims};
 
 use crate::config::{CommitStrategy, CountMode, FpMode, GroupHashConfig};
 use crate::fpcache::FpCache;
@@ -29,6 +32,7 @@ use nvm_table::{
     PmemBitmap, TableError, TableHeader,
 };
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Magic word identifying a group-hash header ("GRPHASH1").
 const MAGIC: u64 = 0x4752_5048_4153_4831;
@@ -79,8 +83,10 @@ pub struct GroupHash<P: Pmem, K: HashKey, V: Pod> {
     /// The one place [`ConsistencyMode`] applies: a no-op under the
     /// paper's atomic-bitmap commit, an undo log under the ablation.
     journal: Journal,
-    /// Cached count for [`CountMode::Volatile`].
-    volatile_count: u64,
+    /// Cached count for [`CountMode::Volatile`]. Atomic so the shared
+    /// CAS write path can maintain it through `&self`; exclusive paths
+    /// use plain load/store (they own the table).
+    volatile_count: AtomicU64,
     /// DRAM-resident fingerprint tags for [`FpMode::On`]; never persisted,
     /// rebuilt from bitmaps + cells on `open`/`recover`.
     fp: Option<FpCache>,
@@ -130,7 +136,7 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
             store1: CellStore::attach(b1, c1, n),
             store2: CellStore::attach(b2, c2, n),
             journal: Journal::open(consistency_of(config.commit), log_r),
-            volatile_count: 0,
+            volatile_count: AtomicU64::new(0),
             fp: (config.fp == FpMode::On).then(|| FpCache::new(n)),
             #[cfg(feature = "instrument")]
             instr: SchemeInstrumentation::new(config.group_size as usize),
@@ -272,7 +278,8 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
         }
         let mut t = Self::assemble(region, config, header);
         if t.config.count_mode == CountMode::Volatile {
-            t.volatile_count = t.store1.occupied(pm) + t.store2.occupied(pm);
+            t.volatile_count
+                .store(t.store1.occupied(pm) + t.store2.occupied(pm), Ordering::Relaxed);
         }
         t.rebuild_fp_cache(pm);
         Ok(t)
@@ -346,7 +353,7 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
     pub fn len(&self, pm: &P) -> u64 {
         match self.config.count_mode {
             CountMode::Persistent => self.header.count(pm),
-            CountMode::Volatile => self.volatile_count,
+            CountMode::Volatile => self.volatile_count.load(Ordering::Relaxed),
         }
     }
 

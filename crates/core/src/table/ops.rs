@@ -9,7 +9,7 @@
 use super::{GroupHash, Level};
 use crate::config::{CountMode, ProbeLayout};
 use nvm_hashfn::{HashKey, Pod};
-use nvm_pmem::Pmem;
+use nvm_pmem::{Pmem, PmemRead};
 use nvm_table::probe::{match_bits, Selection};
 use nvm_table::{BatchError, BatchSession, InsertError};
 
@@ -84,9 +84,9 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
     /// fingerprint modes, so probe histograms stay mode-independent and
     /// comparable (under `FpMode::On` an "examined" cell may have been
     /// resolved from its DRAM tag alone).
-    fn find_key_in_group(
+    fn find_key_in_group<R: PmemRead>(
         &self,
-        pm: &P,
+        pm: &R,
         g: u64,
         key: &K,
         tag: Option<u8>,
@@ -519,7 +519,7 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
     /// only when the slot is occupied and (under `FpMode::On`) its
     /// cached tag matches.
     #[inline]
-    fn level1_holds(&self, pm: &P, k: u64, key: &K, tag: Option<u8>) -> bool {
+    fn level1_holds<R: PmemRead>(&self, pm: &R, k: u64, key: &K, tag: Option<u8>) -> bool {
         if !self.store1.is_occupied(pm, k) {
             return false;
         }
@@ -545,7 +545,7 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
     /// Finds the `(level, cell)` holding `key`, probing the candidate
     /// slot(s) then the matched group(s). Records one probe-length sample
     /// (cells examined) per call when instrumentation is enabled.
-    fn locate(&self, pm: &P, key: &K) -> Option<(Level, u64)> {
+    pub(super) fn locate<R: PmemRead>(&self, pm: &R, key: &K) -> Option<(Level, u64)> {
         let (k1, k2) = self.candidate_slots(key);
         let tag = self.fp.as_ref().map(|_| self.fp_tag(key));
         let mut probes = 1u64;

@@ -15,6 +15,22 @@
 //!
 //! Layering: this module may name only the read-side pool surface — the
 //! `ci.sh` lint rejects any use of the write-capable trait here.
+//!
+//! # Racing CAS writers
+//!
+//! Under the sharded table's lock-free insert/remove path, writers
+//! retract cells by clearing the occupancy bit *without* bumping the
+//! shard's seqlock. A reader can therefore match a cell, lose the race
+//! to a remover, and read a value the scrub is already overwriting. The
+//! view defends with **hit revalidation**: after reading a matched
+//! cell's value it re-checks the occupancy bit and the key, and treats
+//! the cell as non-matching if either changed — a linearizable miss (the
+//! remove committed before the read returned). The residual ABA window —
+//! retract + republish of a *different* key into the same cell, with the
+//! value read landing between the two key re-checks — cannot yield a
+//! torn value for ≤8-byte aligned values (single atomic load) and is
+//! closed for larger values by the seqlock the concurrent wrapper layers
+//! on top of structural operations.
 
 use super::probe;
 use crate::config::{GroupHashConfig, ProbeLayout};
@@ -72,23 +88,27 @@ impl<K: HashKey, V: Pod> GroupReadView<K, V> {
     pub fn get<R: PmemRead>(&self, pm: &R, key: &K) -> Option<V> {
         let (k1, k2) = probe::candidate_slots(&self.hash, &self.config, key);
         if self.level1_holds(pm, k1, key) {
-            return Some(self.store1.read_value(pm, k1));
+            if let Some(v) = self.read_hit(&self.store1, pm, k1, key) {
+                return Some(v);
+            }
         }
         if let Some(k2) = k2 {
             if self.level1_holds(pm, k2, key) {
-                return Some(self.store1.read_value(pm, k2));
+                if let Some(v) = self.read_hit(&self.store1, pm, k2, key) {
+                    return Some(v);
+                }
             }
         }
         let plan = probe::plan(&self.config);
         let g1 = plan.group_of_slot(k1);
-        if let Some(idx) = self.find_in_group(pm, &plan, g1, key) {
-            return Some(self.store2.read_value(pm, idx));
+        if let Some(v) = self.find_in_group(pm, &plan, g1, key) {
+            return Some(v);
         }
         if let Some(k2) = k2 {
             let g2 = plan.group_of_slot(k2);
             if g2 != g1 {
-                if let Some(idx) = self.find_in_group(pm, &plan, g2, key) {
-                    return Some(self.store2.read_value(pm, idx));
+                if let Some(v) = self.find_in_group(pm, &plan, g2, key) {
+                    return Some(v);
                 }
             }
         }
@@ -154,13 +174,17 @@ impl<K: HashKey, V: Pod> GroupReadView<K, V> {
         for (i, key) in keys.iter().enumerate() {
             let (k1, k2) = slots[i];
             if self.level1_holds(pm, k1, key) {
-                out[i] = Some(self.store1.read_value(pm, k1));
-                continue;
+                if let Some(v) = self.read_hit(&self.store1, pm, k1, key) {
+                    out[i] = Some(v);
+                    continue;
+                }
             }
             if let Some(k2) = k2 {
                 if self.level1_holds(pm, k2, key) {
-                    out[i] = Some(self.store1.read_value(pm, k2));
-                    continue;
+                    if let Some(v) = self.read_hit(&self.store1, pm, k2, key) {
+                        out[i] = Some(v);
+                        continue;
+                    }
                 }
             }
             sel.push(i as u32);
@@ -185,15 +209,15 @@ impl<K: HashKey, V: Pod> GroupReadView<K, V> {
             let key = &keys[i];
             let (k1, k2) = slots[i];
             let g1 = plan.group_of_slot(k1);
-            if let Some(idx) = self.find_in_group(pm, &plan, g1, key) {
-                out[i] = Some(self.store2.read_value(pm, idx));
+            if let Some(v) = self.find_in_group(pm, &plan, g1, key) {
+                out[i] = Some(v);
                 continue;
             }
             if let Some(k2) = k2 {
                 let g2 = plan.group_of_slot(k2);
                 if g2 != g1 {
-                    if let Some(idx) = self.find_in_group(pm, &plan, g2, key) {
-                        out[i] = Some(self.store2.read_value(pm, idx));
+                    if let Some(v) = self.find_in_group(pm, &plan, g2, key) {
+                        out[i] = Some(v);
                     }
                 }
             }
@@ -236,20 +260,40 @@ impl<K: HashKey, V: Pod> GroupReadView<K, V> {
         self.store1.is_occupied(pm, k) && self.store1.read_key(pm, k) == *key
     }
 
+    /// Reads a matched cell's value, then revalidates the match (bit
+    /// still set, key still ours). `None` means a concurrent retract beat
+    /// the read — the caller treats the cell as non-matching, which
+    /// linearizes the lookup after the remove's commit.
+    #[inline]
+    fn read_hit<R: PmemRead>(
+        &self,
+        store: &CellStore<K, V>,
+        pm: &R,
+        idx: u64,
+        key: &K,
+    ) -> Option<V> {
+        let v = store.read_value(pm, idx);
+        (store.is_occupied(pm, idx) && store.read_key(pm, idx) == *key).then_some(v)
+    }
+
     /// Scans group `g`'s level-2 cells for `key` under the configured
     /// probe layout (the `plan.cell` indirection covers both contiguous
-    /// and strided).
+    /// and strided) and returns the revalidated value on a hit. A cell
+    /// that matches but fails revalidation is skipped — the remover won;
+    /// the rest of the group still gets scanned.
     fn find_in_group<R: PmemRead>(
         &self,
         pm: &R,
         plan: &GroupPlan,
         g: u64,
         key: &K,
-    ) -> Option<u64> {
+    ) -> Option<V> {
         for i in 0..self.config.group_size {
             let idx = plan.cell(g, i);
             if self.store2.is_occupied(pm, idx) && self.store2.read_key(pm, idx) == *key {
-                return Some(idx);
+                if let Some(v) = self.read_hit(&self.store2, pm, idx, key) {
+                    return Some(v);
+                }
             }
         }
         None

@@ -27,7 +27,9 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
     pub(crate) fn set_count_committed(&mut self, pm: &mut P, count: u64) {
         match self.config.count_mode {
             CountMode::Persistent => self.header.set_count(pm, count),
-            CountMode::Volatile => self.volatile_count = count,
+            CountMode::Volatile => {
+                self.volatile_count.store(count, std::sync::atomic::Ordering::Relaxed)
+            }
         }
     }
 
@@ -49,11 +51,8 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
         }
         let store = self.level_store(level);
         sess.stage_publish(pm, &mut self.journal, store, idx, key, value);
-        if self.fp.is_some() {
-            let tag = self.fp_tag(key);
-            if let Some(fp) = &mut self.fp {
-                fp.set(level.idx(), idx, tag);
-            }
+        if let Some(fp) = &self.fp {
+            fp.set(level.idx(), idx, self.fp_tag(key));
         }
     }
 
@@ -73,7 +72,7 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
         }
         let store = self.level_store(level);
         sess.stage_retract(pm, &mut self.journal, store, idx);
-        if let Some(fp) = &mut self.fp {
+        if let Some(fp) = &self.fp {
             fp.clear(level.idx(), idx);
         }
     }
@@ -95,10 +94,13 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
         };
         sess.commit(pm, &mut self.journal, count);
         if self.config.count_mode == CountMode::Volatile {
-            self.volatile_count = self
+            use std::sync::atomic::Ordering;
+            let v = self
                 .volatile_count
+                .load(Ordering::Relaxed)
                 .checked_add_signed(delta)
                 .expect("count out of range");
+            self.volatile_count.store(v, Ordering::Relaxed);
         }
     }
 
@@ -106,7 +108,7 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
     /// authoritative state). No-op under `FpMode::Off`. O(capacity),
     /// reading one key per occupied cell.
     pub(super) fn rebuild_fp_cache(&mut self, pm: &P) {
-        let Some(mut fp) = self.fp.take() else { return };
+        let Some(fp) = &self.fp else { return };
         fp.reset();
         let n = self.config.cells_per_level;
         for level in [Level::One, Level::Two] {
@@ -123,7 +125,6 @@ impl<P: Pmem, K: HashKey, V: Pod> GroupHash<P, K, V> {
                 base += 64;
             }
         }
-        self.fp = Some(fp);
     }
 
     /// Checks that the fingerprint cache agrees with the pool: every

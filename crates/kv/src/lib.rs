@@ -33,7 +33,7 @@ use nvm_alloc::{AllocConfig, AllocError, PmemAlloc, PmemPtr};
 use nvm_hashfn::murmur3_x64_128;
 use nvm_metrics::MetricsRegistry;
 use nvm_pmem::{align_up, Pmem, PmemRead, Region, RegionAllocator, CACHELINE};
-use nvm_table::{HashScheme, InsertError, TableError};
+use nvm_table::{HashScheme, InsertError, MigrationSource, TableError};
 use std::collections::{HashMap, HashSet};
 
 /// Magic word identifying a KV header ("NVKVSTR1").
@@ -519,6 +519,76 @@ impl<P: Pmem> PmemKv<P> {
         }
     }
 
+    /// True while an interrupted [`PmemKv::migrate_into`] still has
+    /// entries to move (including across a crash — the flag persists in
+    /// the index header). Keep calling `migrate_into` until it returns
+    /// `Ok(false)`.
+    pub fn migration_pending(&self, pm: &P) -> bool {
+        self.index.migration_active(pm)
+    }
+
+    /// Moves up to `max_moves` entries into `dst` (a store in another
+    /// region of the same pool, typically sized larger), returning
+    /// `Ok(true)` while entries remain — the kv-level counterpart of the
+    /// index's incremental online expansion, for when the *store* has
+    /// outgrown its region and must relocate wholesale without a
+    /// stop-the-world rebuild.
+    ///
+    /// Each moved entry is re-stored in `dst` under its original key
+    /// (blob copied into `dst`'s heap, fingerprint re-indexed), then
+    /// evicted here (index retract + heap free). The persisted migration
+    /// cursor in this store's index header makes the drain resumable:
+    /// after a crash, reopen both stores, run [`PmemKv::recover`] on
+    /// each, and keep calling `migrate_into` — re-moving the boundary
+    /// entry is an idempotent upsert in `dst`, so the cursor only needs
+    /// persisting once per call, not once per entry. Mid-drain, a key
+    /// lives in exactly one store except for the entry being moved,
+    /// which may transiently exist in both (with equal values); route
+    /// lookups `dst`-first and the window is invisible.
+    ///
+    /// On `Err` (e.g. `dst` full) the migration stays pending and no
+    /// entry is lost; the failing entry is still stored here.
+    pub fn migrate_into(
+        &mut self,
+        pm: &mut P,
+        dst: &mut PmemKv<P>,
+        max_moves: u64,
+    ) -> Result<bool, KvError> {
+        let total = self.index.migration_cells();
+        if !self.index.migration_active(pm) {
+            // Cursor first, flag second: a crash between the two leaves
+            // the flag clear, and the next call restarts cleanly.
+            self.index.set_migration_cursor(pm, 0);
+            self.index.set_migration_active(pm, true);
+        }
+        let mut cursor = self.index.migration_cursor(pm);
+        let mut moved = 0u64;
+        while cursor < total && moved < max_moves {
+            if let Some((_, ptr)) = self.index.entry_at(pm, cursor) {
+                let blob = self
+                    .heap
+                    .read(pm, PmemPtr(ptr))
+                    .map_err(|e| KvError::Corrupt(format!("index points at bad blob: {e}")))?;
+                let (key, value) = decode_blob(&blob);
+                if let Err(e) = dst.set(pm, key, value) {
+                    self.index.set_migration_cursor(pm, cursor);
+                    return Err(e);
+                }
+                let evicted = self.index.evict_cell(pm, cursor);
+                debug_assert!(evicted);
+                let _ = self.heap.free(pm, PmemPtr(ptr));
+                moved += 1;
+            }
+            cursor += 1;
+        }
+        self.index.set_migration_cursor(pm, cursor);
+        if cursor >= total {
+            self.index.set_migration_active(pm, false);
+            return Ok(false);
+        }
+        Ok(true)
+    }
+
     /// (index entries, heap slots allocated) — equal when there are no
     /// leaks.
     pub fn usage(&self, pm: &P) -> (u64, u64) {
@@ -623,6 +693,138 @@ mod tests {
         let region = Region::new(0, size);
         let kv = PmemKv::create(&mut pm, region, &cfg).unwrap();
         (pm, kv, region, cfg)
+    }
+
+    /// Two stores side by side in one pool: `src` sized for `src_items`,
+    /// `dst` sized for `dst_items`.
+    fn setup_pair(
+        src_items: u64,
+        dst_items: u64,
+    ) -> (SimPmem, PmemKv<SimPmem>, PmemKv<SimPmem>, Region, Region) {
+        let src_cfg = KvConfig::for_capacity(src_items, 32);
+        let dst_cfg = KvConfig::for_capacity(dst_items, 32);
+        let src_size = PmemKv::<SimPmem>::required_size(&src_cfg);
+        let dst_size = PmemKv::<SimPmem>::required_size(&dst_cfg);
+        let mut pm = SimPmem::new(src_size + dst_size, SimConfig::fast_test());
+        let src_region = Region::new(0, src_size);
+        let dst_region = Region::new(src_size, dst_size);
+        let src = PmemKv::create(&mut pm, src_region, &src_cfg).unwrap();
+        let dst = PmemKv::create(&mut pm, dst_region, &dst_cfg).unwrap();
+        (pm, src, dst, src_region, dst_region)
+    }
+
+    #[test]
+    fn migrate_into_moves_store_in_bounded_steps() {
+        let (mut pm, mut src, mut dst, _, _) = setup_pair(64, 256);
+        for i in 0..50u32 {
+            let key = format!("mig-{i}");
+            src.set(&mut pm, key.as_bytes(), &vec![i as u8; (i % 40) as usize])
+                .unwrap();
+        }
+        dst.set(&mut pm, b"resident", b"already-here").unwrap();
+
+        let mut steps = 0u32;
+        while src.migrate_into(&mut pm, &mut dst, 7).unwrap() {
+            assert!(src.migration_pending(&pm));
+            steps += 1;
+            assert!(steps < 10_000, "drain never finished");
+        }
+        assert!(steps > 1, "max_moves=7 over 50 entries must take many steps");
+
+        assert!(src.is_empty(&pm));
+        assert!(!src.migration_pending(&pm));
+        assert_eq!(dst.len(&pm), 51);
+        for i in 0..50u32 {
+            let key = format!("mig-{i}");
+            assert_eq!(src.get(&pm, key.as_bytes()), None);
+            assert_eq!(
+                dst.get(&pm, key.as_bytes()),
+                Some(vec![i as u8; (i % 40) as usize]),
+                "{key}"
+            );
+        }
+        assert_eq!(dst.get(&pm, b"resident").as_deref(), Some(&b"already-here"[..]));
+        src.check_consistency(&pm).unwrap();
+        dst.check_consistency(&pm).unwrap();
+        assert_eq!(src.usage(&pm), (0, 0));
+        let (entries, slots) = dst.usage(&pm);
+        assert_eq!(entries, slots, "migration leaked dst heap slots");
+    }
+
+    #[test]
+    fn crash_anywhere_during_migrate_into_is_safe() {
+        use nvm_pmem::{run_with_crash, CrashPlan};
+        let (mut pm0, mut src0, _dst0, src_region, dst_region) = setup_pair(32, 128);
+        let n = 12u32;
+        for i in 0..n {
+            src0.set(&mut pm0, format!("ck-{i}").as_bytes(), &[i as u8; 9])
+                .unwrap();
+        }
+        drop(src0);
+
+        let mut at = 0u64;
+        loop {
+            let mut pm = pm0.clone();
+            let mut src = PmemKv::open(&mut pm, src_region).unwrap();
+            let mut dst = PmemKv::open(&mut pm, dst_region).unwrap();
+            let base = pm.events();
+            pm.set_crash_plan(Some(CrashPlan {
+                at_event: base + at,
+            }));
+            let done = run_with_crash(|| {
+                while src.migrate_into(&mut pm, &mut dst, 3).unwrap() {}
+            })
+            .is_ok();
+            pm.crash(CrashResolution::Random(at));
+
+            // Reopen, recover, and audit the torn state.
+            let mut src = PmemKv::open(&mut pm, src_region).unwrap();
+            let mut dst = PmemKv::open(&mut pm, dst_region).unwrap();
+            src.recover(&mut pm);
+            dst.recover(&mut pm);
+            src.check_consistency(&pm)
+                .unwrap_or_else(|e| panic!("src at +{at}: {e}"));
+            dst.check_consistency(&pm)
+                .unwrap_or_else(|e| panic!("dst at +{at}: {e}"));
+            let mut dups = 0u64;
+            for i in 0..n {
+                let key = format!("ck-{i}");
+                let want = vec![i as u8; 9];
+                let s = src.get(&pm, key.as_bytes());
+                let d = dst.get(&pm, key.as_bytes());
+                // Every copy that exists is intact, and at least one does.
+                for got in [&s, &d].into_iter().flatten() {
+                    assert_eq!(*got, want, "{key} at +{at}");
+                }
+                assert!(s.is_some() || d.is_some(), "{key} lost at +{at}");
+                if s.is_some() && d.is_some() {
+                    dups += 1;
+                }
+            }
+            // Only the entry in flight can transiently live in both.
+            assert!(dups <= 1, "{dups} duplicated keys at +{at}");
+
+            // Resume the drain to completion; the boundary re-move is an
+            // idempotent upsert.
+            while src.migrate_into(&mut pm, &mut dst, 3).unwrap() {}
+            assert!(src.is_empty(&pm));
+            assert!(!src.migration_pending(&pm));
+            assert_eq!(dst.len(&pm), n as u64);
+            for i in 0..n {
+                let key = format!("ck-{i}");
+                assert_eq!(dst.get(&pm, key.as_bytes()), Some(vec![i as u8; 9]), "{key}");
+            }
+            src.check_consistency(&pm).unwrap();
+            dst.check_consistency(&pm).unwrap();
+            let (entries, slots) = dst.usage(&pm);
+            assert_eq!(entries, slots, "leak after resumed drain at +{at}");
+
+            if done {
+                break;
+            }
+            at += 1;
+            assert!(at < 5000, "migration never completed");
+        }
     }
 
     #[test]

@@ -1,14 +1,34 @@
 //! Cheap monotonic counters.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Saturating add on an atomic (event counts pin at `u64::MAX` rather
+/// than wrapping). CAS loop; uncontended it costs one extra load.
+pub(crate) fn saturating_fetch_add(a: &AtomicU64, n: u64) {
+    let mut cur = a.load(Ordering::Relaxed);
+    loop {
+        let new = cur.saturating_add(n);
+        match a.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
 
 /// A monotonically increasing event counter.
 ///
-/// Uses [`Cell`] so hot read paths (`get`-style methods taking `&self`)
-/// can record without `&mut` plumbing; a bump compiles to a plain add.
-/// Not thread-safe — concurrent schemes keep one per shard and merge.
-#[derive(Debug, Default, Clone)]
-pub struct Counter(Cell<u64>);
+/// Uses a relaxed [`AtomicU64`] so hot read paths (`get`-style methods
+/// taking `&self`) can record without `&mut` plumbing, and so tables that
+/// embed counters stay `Sync` for lock-free concurrent readers. These are
+/// statistics, not synchronization: all ordering is `Relaxed`.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Clone for Counter {
+    fn clone(&self) -> Counter {
+        Counter(AtomicU64::new(self.get()))
+    }
+}
 
 impl Counter {
     pub fn new() -> Counter {
@@ -24,18 +44,18 @@ impl Counter {
     /// Adds `n` (saturating; these are event counts, not arithmetic).
     #[inline]
     pub fn add(&self, n: u64) {
-        self.0.set(self.0.get().saturating_add(n));
+        saturating_fetch_add(&self.0, n);
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
-        self.0.get()
+        self.0.load(Ordering::Relaxed)
     }
 
     /// Resets to zero.
     pub fn reset(&self) {
-        self.0.set(0);
+        self.0.store(0, Ordering::Relaxed);
     }
 
     /// Folds another counter's value into this one (shard aggregation).
@@ -68,5 +88,20 @@ mod tests {
         c.add(u64::MAX);
         c.inc();
         assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn concurrent_increments_all_land() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
     }
 }

@@ -8,25 +8,45 @@
 //! possible value (e.g. [`Histogram::occupancy`]) reports quantiles
 //! exactly.
 
+use crate::counter::saturating_fetch_add;
 use crate::json::Json;
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A fixed-bucket histogram of `u64` samples.
 ///
-/// Recording takes `&self` (interior mutability via [`Cell`]) so lookup
-/// paths can record probe lengths without threading `&mut` through the
-/// table API. Not thread-safe; concurrent schemes keep one per shard and
-/// [`Histogram::merge`] them.
-#[derive(Debug, Clone)]
+/// Recording takes `&self` (relaxed atomics) so lookup paths can record
+/// probe lengths without threading `&mut` through the table API, and so
+/// tables that embed histograms stay `Sync` for lock-free concurrent
+/// readers. The atomics are statistics, not synchronization — every
+/// access is `Relaxed`, and a snapshot read while writers are recording
+/// may be mid-sample (quantiles remain within the observed range).
+#[derive(Debug)]
 pub struct Histogram {
     /// Strictly increasing inclusive upper bounds.
     uppers: Vec<u64>,
     /// One count per bound plus the trailing `+inf` overflow bucket.
-    counts: Vec<Cell<u64>>,
-    count: Cell<u64>,
-    sum: Cell<u64>,
-    min: Cell<u64>,
-    max: Cell<u64>,
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Clone for Histogram {
+    fn clone(&self) -> Histogram {
+        Histogram {
+            uppers: self.uppers.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| AtomicU64::new(c.load(Ordering::Relaxed)))
+                .collect(),
+            count: AtomicU64::new(self.count.load(Ordering::Relaxed)),
+            sum: AtomicU64::new(self.sum.load(Ordering::Relaxed)),
+            min: AtomicU64::new(self.min.load(Ordering::Relaxed)),
+            max: AtomicU64::new(self.max.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Histogram {
@@ -43,11 +63,11 @@ impl Histogram {
         let n = uppers.len() + 1; // + overflow
         Histogram {
             uppers,
-            counts: vec![Cell::new(0); n],
-            count: Cell::new(0),
-            sum: Cell::new(0),
-            min: Cell::new(u64::MAX),
-            max: Cell::new(0),
+            counts: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
         }
     }
 
@@ -96,36 +116,31 @@ impl Histogram {
     #[inline]
     pub fn record(&self, v: u64) {
         let idx = self.uppers.partition_point(|&u| u < v);
-        let c = &self.counts[idx];
-        c.set(c.get() + 1);
-        self.count.set(self.count.get() + 1);
-        self.sum.set(self.sum.get().saturating_add(v));
-        if v < self.min.get() {
-            self.min.set(v);
-        }
-        if v > self.max.get() {
-            self.max.set(v);
-        }
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        saturating_fetch_add(&self.sum, v);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Total samples recorded.
     pub fn count(&self) -> u64 {
-        self.count.get()
+        self.count.load(Ordering::Relaxed)
     }
 
     /// Sum of all samples (saturating).
     pub fn sum(&self) -> u64 {
-        self.sum.get()
+        self.sum.load(Ordering::Relaxed)
     }
 
     /// Smallest sample, if any were recorded.
     pub fn min(&self) -> Option<u64> {
-        (self.count() > 0).then(|| self.min.get())
+        (self.count() > 0).then(|| self.min.load(Ordering::Relaxed))
     }
 
     /// Largest sample, if any were recorded.
     pub fn max(&self) -> Option<u64> {
-        (self.count() > 0).then(|| self.max.get())
+        (self.count() > 0).then(|| self.max.load(Ordering::Relaxed))
     }
 
     /// Arithmetic mean, or 0.0 when empty.
@@ -145,7 +160,7 @@ impl Histogram {
     /// Count in bucket `i` (index `bounds().len()` is the overflow
     /// bucket).
     pub fn bucket_count(&self, i: usize) -> u64 {
-        self.counts[i].get()
+        self.counts[i].load(Ordering::Relaxed)
     }
 
     /// The `q`-quantile (`q` in `[0, 1]`), linearly interpolated inside
@@ -160,7 +175,7 @@ impl Histogram {
         let rank = q * total as f64;
         let mut cum = 0u64;
         for (i, c) in self.counts.iter().enumerate() {
-            let n = c.get();
+            let n = c.load(Ordering::Relaxed);
             if n == 0 {
                 continue;
             }
@@ -171,14 +186,18 @@ impl Histogram {
                 let hi = if i < self.uppers.len() {
                     self.uppers[i] as f64
                 } else {
-                    self.max.get() as f64 // overflow bucket tops out at the observed max
+                    // Overflow bucket tops out at the observed max.
+                    self.max.load(Ordering::Relaxed) as f64
                 };
                 let frac = ((rank - before as f64) / n as f64).clamp(0.0, 1.0);
                 let v = lo + frac * (hi - lo);
-                return v.clamp(self.min.get() as f64, self.max.get() as f64);
+                return v.clamp(
+                    self.min.load(Ordering::Relaxed) as f64,
+                    self.max.load(Ordering::Relaxed) as f64,
+                );
             }
         }
-        self.max.get() as f64
+        self.max.load(Ordering::Relaxed) as f64
     }
 
     /// Median.
@@ -199,12 +218,12 @@ impl Histogram {
     /// Clears all samples, keeping the bucket layout.
     pub fn reset(&self) {
         for c in &self.counts {
-            c.set(0);
+            c.store(0, Ordering::Relaxed);
         }
-        self.count.set(0);
-        self.sum.set(0);
-        self.min.set(u64::MAX);
-        self.max.set(0);
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
     }
 
     /// Folds `other` into `self` (shard aggregation).
@@ -217,17 +236,16 @@ impl Histogram {
             "cannot merge histograms with different bucket layouts"
         );
         for (a, b) in self.counts.iter().zip(&other.counts) {
-            a.set(a.get() + b.get());
+            a.fetch_add(b.load(Ordering::Relaxed), Ordering::Relaxed);
         }
-        self.count.set(self.count.get() + other.count.get());
-        self.sum.set(self.sum.get().saturating_add(other.sum.get()));
-        if other.count.get() > 0 {
-            if other.min.get() < self.min.get() {
-                self.min.set(other.min.get());
-            }
-            if other.max.get() > self.max.get() {
-                self.max.set(other.max.get());
-            }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        saturating_fetch_add(&self.sum, other.sum.load(Ordering::Relaxed));
+        if other.count() > 0 {
+            self.min
+                .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+            self.max
+                .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
         }
     }
 
@@ -260,7 +278,7 @@ impl Histogram {
                 Some(&le) => b.insert("le", le),
                 None => b.insert("le", "+inf"),
             };
-            b.insert("count", c.get());
+            b.insert("count", c.load(Ordering::Relaxed));
             buckets.push(b);
         }
         j.insert("buckets", buckets);

@@ -18,7 +18,7 @@
 //! with a seqlock).
 
 use crate::stats::AtomicPmemStats;
-use crate::{Pmem, PmemRead, PmemStats};
+use crate::{Pmem, PmemRead, PmemStats, PmemWrite};
 use std::alloc::{alloc_zeroed, dealloc, Layout};
 use std::sync::Arc;
 use std::time::Instant;
@@ -90,6 +90,127 @@ impl RealShared {
     fn prefetch_lines(&self, off: usize, len: usize) {
         self.check_bounds(off, len.max(1));
     }
+
+    // ---- shared mutation core (owner + write handles) -----------------
+    //
+    // Plain writes require caller-guaranteed disjointness (a claim table
+    // or latch keeps concurrent writers on different bytes); the CAS is
+    // the one supported same-word contention point.
+
+    #[inline]
+    fn write_bytes(&self, off: usize, data: &[u8]) {
+        self.check_bounds(off, data.len());
+        // SAFETY: bounds checked; source is a distinct allocation. Raw
+        // copy, no reference formed over the pool, so concurrent readers
+        // merely risk tearing (their validation problem, not UB).
+        unsafe {
+            std::ptr::copy_nonoverlapping(data.as_ptr(), self.ptr.add(off), data.len());
+        }
+        self.stats.note_write(data.len() as u64);
+    }
+
+    #[inline]
+    fn atomic_store_u64(&self, off: usize, v: u64) {
+        assert_eq!(off % 8, 0, "atomic_write_u64 requires 8-byte alignment");
+        self.check_bounds(off, 8);
+        // SAFETY: aligned (asserted), in-bounds, and the pool outlives the
+        // reference. A relaxed atomic store compiles to a plain MOV on
+        // x86_64 — the hardware guarantees 8-byte aligned stores are not
+        // torn, which is the paper's failure-atomicity assumption.
+        unsafe {
+            let p = self.ptr.add(off) as *mut std::sync::atomic::AtomicU64;
+            (*p).store(v, std::sync::atomic::Ordering::Relaxed);
+        }
+        self.stats.note_write(8);
+        self.stats.note_atomic_write();
+    }
+
+    #[inline]
+    fn cas_u64(&self, off: usize, current: u64, new: u64) -> Result<u64, u64> {
+        assert_eq!(off % 8, 0, "compare_exchange_u64 requires 8-byte alignment");
+        self.check_bounds(off, 8);
+        self.stats.note_atomic_write();
+        // SAFETY: aligned (asserted), in-bounds (checked), and the pool is
+        // cacheline-aligned so every 8-aligned offset is a valid AtomicU64
+        // location; the pool outlives the reference. AcqRel gives the
+        // claim-publish ordering the lock-free insert protocol needs.
+        let r = unsafe {
+            let p = self.ptr.add(off) as *mut std::sync::atomic::AtomicU64;
+            (*p).compare_exchange(
+                current,
+                new,
+                std::sync::atomic::Ordering::AcqRel,
+                std::sync::atomic::Ordering::Acquire,
+            )
+        };
+        if r.is_ok() {
+            self.stats.note_write(8);
+        }
+        r
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[inline]
+    fn clflush_line(&self, off: usize) {
+        // SAFETY: `off` is bounds-checked by callers; the pointer is valid
+        // for the pool's lifetime. clflush has no alignment requirement.
+        unsafe {
+            core::arch::x86_64::_mm_clflush(self.ptr.add(off));
+        }
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    #[inline]
+    fn clflush_line(&self, _off: usize) {
+        std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
+    }
+
+    fn flush_lines(&self, off: usize, len: usize, extra_write_ns: u64) {
+        self.check_bounds(off, len.max(1));
+        let first = off / CACHELINE;
+        let last = (off + len.max(1) - 1) / CACHELINE;
+        for line in first..=last {
+            self.clflush_line(line * CACHELINE);
+            self.stats.note_flush_lines(1);
+            // Emulate the slow NVM write path, as the paper does after
+            // each clflush.
+            spin_ns(extra_write_ns);
+        }
+    }
+
+    fn fence_once(&self) {
+        mfence();
+        self.stats.note_fence();
+    }
+}
+
+/// Busy-waits for approximately `ns` nanoseconds. `Instant`-based so it is
+/// robust to frequency scaling; the granularity (~tens of ns) is the same
+/// technique used by the NVM-emulation literature.
+#[inline]
+fn spin_ns(ns: u64) {
+    if ns == 0 {
+        return;
+    }
+    let start = Instant::now();
+    while (start.elapsed().as_nanos() as u64) < ns {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn mfence() {
+    // SAFETY: mfence has no preconditions.
+    unsafe {
+        core::arch::x86_64::_mm_mfence();
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+fn mfence() {
+    std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
 }
 
 /// DRAM-backed pmem emulation with real `clflush`/`mfence` and a spin-wait
@@ -108,6 +229,20 @@ pub struct RealPmem {
 #[derive(Debug, Clone)]
 pub struct RealPmemReader {
     shared: Arc<RealShared>,
+}
+
+/// Cloneable shared-write handle over a [`RealPmem`] pool
+/// ([`Pmem::write_handle`]).
+///
+/// Mutations go straight to the shared bytes with no internal
+/// serialization: concurrent writers must keep plain `write`s on disjoint
+/// bytes (claim table / latch), and contend only through
+/// [`PmemWrite::compare_exchange_u64`] — a genuine hardware `lock cmpxchg`
+/// on the pool word.
+#[derive(Debug, Clone)]
+pub struct RealPmemWriter {
+    shared: Arc<RealShared>,
+    extra_write_ns: u64,
 }
 
 impl RealPmem {
@@ -136,51 +271,6 @@ impl RealPmem {
             }),
             extra_write_ns,
         }
-    }
-
-    /// Busy-waits for approximately `ns` nanoseconds. `Instant`-based so it
-    /// is robust to frequency scaling; the granularity (~tens of ns) is the
-    /// same technique used by the NVM-emulation literature.
-    #[inline]
-    fn spin_ns(ns: u64) {
-        if ns == 0 {
-            return;
-        }
-        let start = Instant::now();
-        while (start.elapsed().as_nanos() as u64) < ns {
-            std::hint::spin_loop();
-        }
-    }
-
-    #[cfg(target_arch = "x86_64")]
-    #[inline]
-    fn clflush_line(&self, off: usize) {
-        // SAFETY: `off` is bounds-checked by callers; the pointer is valid
-        // for the pool's lifetime. clflush has no alignment requirement.
-        unsafe {
-            core::arch::x86_64::_mm_clflush(self.shared.ptr.add(off));
-        }
-    }
-
-    #[cfg(not(target_arch = "x86_64"))]
-    #[inline]
-    fn clflush_line(&self, _off: usize) {
-        std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
-    }
-
-    #[cfg(target_arch = "x86_64")]
-    #[inline]
-    fn mfence() {
-        // SAFETY: mfence has no preconditions.
-        unsafe {
-            core::arch::x86_64::_mm_mfence();
-        }
-    }
-
-    #[cfg(not(target_arch = "x86_64"))]
-    #[inline]
-    fn mfence() {
-        std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
     }
 
     /// Raw read-only view (tests/oracles; bypasses statistics). The borrow
@@ -224,8 +314,50 @@ impl PmemRead for RealPmemReader {
     }
 }
 
+impl PmemRead for RealPmemWriter {
+    #[inline]
+    fn read(&self, off: usize, buf: &mut [u8]) {
+        self.shared.read_into(off, buf);
+    }
+
+    fn len(&self) -> usize {
+        self.shared.len
+    }
+
+    #[inline]
+    fn prefetch(&self, off: usize, len: usize) {
+        self.shared.prefetch_lines(off, len);
+    }
+}
+
+impl PmemWrite for RealPmemWriter {
+    #[inline]
+    fn write(&self, off: usize, data: &[u8]) {
+        self.shared.write_bytes(off, data);
+    }
+
+    #[inline]
+    fn atomic_write_u64(&self, off: usize, v: u64) {
+        self.shared.atomic_store_u64(off, v);
+    }
+
+    #[inline]
+    fn compare_exchange_u64(&self, off: usize, current: u64, new: u64) -> Result<u64, u64> {
+        self.shared.cas_u64(off, current, new)
+    }
+
+    fn flush(&self, off: usize, len: usize) {
+        self.shared.flush_lines(off, len, self.extra_write_ns);
+    }
+
+    fn fence(&self) {
+        self.shared.fence_once();
+    }
+}
+
 impl Pmem for RealPmem {
     type ReadHandle = RealPmemReader;
+    type WriteHandle = RealPmemWriter;
 
     fn read_handle(&self) -> RealPmemReader {
         RealPmemReader {
@@ -233,48 +365,29 @@ impl Pmem for RealPmem {
         }
     }
 
+    fn write_handle(&mut self) -> RealPmemWriter {
+        RealPmemWriter {
+            shared: Arc::clone(&self.shared),
+            extra_write_ns: self.extra_write_ns,
+        }
+    }
+
     #[inline]
     fn write(&mut self, off: usize, data: &[u8]) {
-        self.shared.check_bounds(off, data.len());
-        // SAFETY: bounds checked; source is a distinct allocation.
-        unsafe {
-            std::ptr::copy_nonoverlapping(data.as_ptr(), self.shared.ptr.add(off), data.len());
-        }
-        self.shared.stats.note_write(data.len() as u64);
+        self.shared.write_bytes(off, data);
     }
 
     #[inline]
     fn atomic_write_u64(&mut self, off: usize, v: u64) {
-        assert_eq!(off % 8, 0, "atomic_write_u64 requires 8-byte alignment");
-        self.shared.check_bounds(off, 8);
-        // SAFETY: aligned (asserted), in-bounds, and the pool outlives the
-        // reference. A relaxed atomic store compiles to a plain MOV on
-        // x86_64 — the hardware guarantees 8-byte aligned stores are not
-        // torn, which is the paper's failure-atomicity assumption.
-        unsafe {
-            let p = self.shared.ptr.add(off) as *mut std::sync::atomic::AtomicU64;
-            (*p).store(v, std::sync::atomic::Ordering::Relaxed);
-        }
-        self.shared.stats.note_write(8);
-        self.shared.stats.note_atomic_write();
+        self.shared.atomic_store_u64(off, v);
     }
 
     fn flush(&mut self, off: usize, len: usize) {
-        self.shared.check_bounds(off, len.max(1));
-        let first = off / CACHELINE;
-        let last = (off + len.max(1) - 1) / CACHELINE;
-        for line in first..=last {
-            self.clflush_line(line * CACHELINE);
-            self.shared.stats.note_flush_lines(1);
-            // Emulate the slow NVM write path, as the paper does after each
-            // clflush.
-            Self::spin_ns(self.extra_write_ns);
-        }
+        self.shared.flush_lines(off, len, self.extra_write_ns);
     }
 
     fn fence(&mut self) {
-        Self::mfence();
-        self.shared.stats.note_fence();
+        self.shared.fence_once();
     }
 
     fn stats(&self) -> PmemStats {
@@ -373,5 +486,54 @@ mod tests {
         let h = p.read_handle();
         let t = std::thread::spawn(move || h.read_u64(128));
         assert_eq!(t.join().unwrap(), 4242);
+    }
+
+    #[test]
+    fn write_handle_roundtrip_and_counts() {
+        let mut p = RealPmem::with_write_latency(4096, 0);
+        let w = p.write_handle();
+        w.write_u64(64, 0xC0FFEE);
+        w.persist(64, 8);
+        assert_eq!(p.read_u64(64), 0xC0FFEE);
+        let s = p.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.flushes, 1);
+        assert_eq!(s.fences, 1);
+    }
+
+    #[test]
+    fn cas_matches_and_mismatches() {
+        let mut p = RealPmem::with_write_latency(4096, 0);
+        p.write_u64(0, 3);
+        p.reset_stats();
+        let w = p.write_handle();
+        assert_eq!(w.compare_exchange_u64(0, 3, 4), Ok(3));
+        assert_eq!(w.compare_exchange_u64(0, 3, 5), Err(4));
+        assert_eq!(p.read_u64(0), 4);
+        assert_eq!(p.stats().atomic_writes, 2, "every attempt counts");
+    }
+
+    #[test]
+    fn cas_resolves_races_between_handles() {
+        let mut p = RealPmem::with_write_latency(4096, 0);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let w = p.write_handle();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        loop {
+                            let cur = w.read_u64(0);
+                            if w.compare_exchange_u64(0, cur, cur + 1).is_ok() {
+                                break;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(p.read_u64(0), 4000, "no lost increments");
     }
 }

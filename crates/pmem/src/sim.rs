@@ -17,27 +17,37 @@
 //!
 //! # Sharing model
 //!
-//! The byte buffer, operation counters, and cache/clock model live in an
-//! [`Arc`]-shared block so that [`SimPmemReader`] handles (from
-//! [`Pmem::read_handle`]) can read concurrently with the owning `SimPmem`:
+//! The byte buffer, operation counters, the cache/clock model, *and* the
+//! persistence model (dirty-line delta, pending flushes, crash plan, wear)
+//! live in an [`Arc`]-shared block so that [`SimPmemReader`] handles (from
+//! [`Pmem::read_handle`]) and [`SimPmemWriter`] handles (from
+//! [`Pmem::write_handle`]) can operate concurrently with the owning
+//! `SimPmem`:
 //!
 //! * counters are `Relaxed` atomics;
-//! * the cache hierarchy + simulated clock sit behind a mutex. The owning
-//!   `SimPmem` takes it unconditionally (single-threaded accounting stays
-//!   exactly deterministic); reader handles only `try_lock` and skip the
-//!   model under contention (counted), because a shared cache model is not
-//!   meaningful mid-race anyway;
+//! * the persistence model sits behind its own mutex, taken by every
+//!   mutation (owner or write handle). This serializes the *accounting* of
+//!   concurrent writers — acceptable for a simulator, and exactly what
+//!   makes `compare_exchange_u64` atomic here — while the pool bytes
+//!   themselves are still copied through raw pointers;
+//! * the cache hierarchy + simulated clock sit behind a second mutex,
+//!   always acquired *after* the persistence mutex (lock order). Owners
+//!   and write handles take it unconditionally (deterministic accounting);
+//!   reader handles only `try_lock` and skip the model under contention
+//!   (counted), because a shared cache model is not meaningful mid-race;
 //! * buffer bytes are copied through raw pointers, never via references
 //!   that could alias a concurrent writer. A read racing a write may be
-//!   torn — callers validate (seqlock) before trusting racy reads.
+//!   torn — callers validate (seqlock / occupancy-bit recheck) before
+//!   trusting racy reads.
 //!
-//! Exactly one `SimPmem` owns each shared block (`clone` deep-copies), so
-//! `&mut self` on the mutation path still guarantees a single writer.
+//! Exactly one `SimPmem` owns each shared block (`clone` deep-copies);
+//! write handles opt into shared mutation explicitly and shift the
+//! disjointness obligation onto the caller's claim/CAS protocol.
 
 use crate::clock::{LatencyModel, SimClock};
 use crate::crash::{CrashPlan, CrashResolution, CrashSignal};
 use crate::stats::AtomicPmemStats;
-use crate::{Pmem, PmemRead, PmemStats};
+use crate::{Pmem, PmemRead, PmemStats, PmemWrite};
 use nvm_cachesim::{AccessKind, CacheConfig, CacheHierarchy, CacheStats, LINE_BYTES};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -103,23 +113,75 @@ struct Model {
     clock: SimClock,
 }
 
-/// State shared between the owning [`SimPmem`] and its [`SimPmemReader`]s.
+/// The persistence model: everything a mutation consults or updates.
+/// Shared (behind a mutex) so write handles and the owner interleave with
+/// one coherent view of what is durable.
+#[derive(Clone)]
+struct PersistState {
+    lines: BTreeMap<u64, LineState>,
+    /// Lines with a pending (un-fenced) flush; drained by `fence`.
+    pending: Vec<u64>,
+    /// Mutation-event counter for crash injection.
+    events: u64,
+    plan: Option<CrashPlan>,
+    /// Per-line media write-back counts (empty when wear tracking is off).
+    wear: Vec<u32>,
+}
+
+impl PersistState {
+    /// Fires the crash plan if armed for this event, then counts it.
+    #[inline]
+    fn mutation_event(&mut self) {
+        if let Some(plan) = self.plan {
+            if self.events == plan.at_event {
+                std::panic::panic_any(CrashSignal {
+                    at_event: self.events,
+                });
+            }
+        }
+        self.events += 1;
+    }
+
+    /// Marks the words of `line` covering `[off, off+len)` dirty,
+    /// snapshotting the durable base first if needed. Call *before*
+    /// mutating the buffer.
+    fn mark_dirty(&mut self, shared: &Shared, line: u64, off: usize, len: usize) {
+        let entry = self.lines.entry(line).or_insert_with(|| LineState {
+            base: snapshot_line(shared, line),
+            dirty_mask: 0,
+            flushed: None,
+        });
+        let line_start = line as usize * LINE_BYTES;
+        let lo = off.max(line_start);
+        let hi = (off + len).min(line_start + LINE_BYTES);
+        let first_word = (lo - line_start) / 8;
+        let last_word = (hi - line_start).div_ceil(8); // exclusive, rounded up
+        for w in first_word..last_word.min(WORDS_PER_LINE) {
+            entry.dirty_mask |= 1 << w;
+        }
+    }
+}
+
+/// State shared between the owning [`SimPmem`], its [`SimPmemReader`]s and
+/// its [`SimPmemWriter`]s.
 struct Shared {
     /// Heap buffer of `len` bytes; accessed only through raw-pointer
-    /// copies so reader handles can run concurrently with the writer.
+    /// copies so handles can run concurrently with mutators.
     ptr: *mut u8,
     len: usize,
     stats: AtomicPmemStats,
+    /// Persistence model. Lock order: `persist` before `model`, always.
+    persist: Mutex<PersistState>,
     model: Mutex<Model>,
     /// Reader-handle reads that skipped cache/clock accounting because the
     /// model mutex was held.
     contended_reads: AtomicU64,
 }
 
-// SAFETY: the buffer is only mutated through the unique owning `SimPmem`
-// (`&mut self`); reader handles perform raw-pointer copies that tolerate
-// (and are validated against) torn data. All other shared state is atomic
-// or mutex-protected.
+// SAFETY: the buffer is only mutated under the persistence mutex (owner and
+// write handles both route every store through it); reader handles perform
+// raw-pointer copies that tolerate (and are validated against) torn data.
+// All other shared state is atomic or mutex-protected.
 unsafe impl Send for Shared {}
 unsafe impl Sync for Shared {}
 
@@ -135,14 +197,29 @@ impl Drop for Shared {
     }
 }
 
+#[inline]
+fn line_range(off: usize, len: usize) -> std::ops::RangeInclusive<u64> {
+    let first = (off / LINE_BYTES) as u64;
+    let last = ((off + len.max(1) - 1) / LINE_BYTES) as u64;
+    first..=last
+}
+
+fn snapshot_line(shared: &Shared, line: u64) -> Box<[u8; LINE_BYTES]> {
+    let start = line as usize * LINE_BYTES;
+    let mut b = Box::new([0u8; LINE_BYTES]);
+    shared.copy_out(start, &mut b[..]);
+    b
+}
+
 impl Shared {
-    fn new(bytes: Box<[u8]>, model: Model) -> Arc<Self> {
+    fn new(bytes: Box<[u8]>, model: Model, persist: PersistState) -> Arc<Self> {
         let len = bytes.len();
         let ptr = Box::into_raw(bytes) as *mut u8;
         Arc::new(Shared {
             ptr,
             len,
             stats: AtomicPmemStats::default(),
+            persist: Mutex::new(persist),
             model: Mutex::new(model),
             contended_reads: AtomicU64::new(0),
         })
@@ -152,6 +229,13 @@ impl Shared {
         // Poisoning carries no meaning here (the model holds statistics,
         // not invariants), so recover from a panicked holder.
         self.model.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn persist_state(&self) -> MutexGuard<'_, PersistState> {
+        // Crash injection panics *while holding* this mutex by design (the
+        // "power failure" interrupts the mutation mid-flight); recovery
+        // code then reacquires it, so poison must not propagate.
+        self.persist.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     #[inline]
@@ -167,18 +251,20 @@ impl Shared {
     #[inline]
     fn copy_out(&self, off: usize, buf: &mut [u8]) {
         // SAFETY: in-bounds (caller checked); raw copy never forms a
-        // reference to the buffer, so it may race the writer (torn data is
+        // reference to the buffer, so it may race a writer (torn data is
         // the caller's protocol problem, not UB-by-aliasing).
         unsafe {
             std::ptr::copy_nonoverlapping(self.ptr.add(off), buf.as_mut_ptr(), buf.len());
         }
     }
 
-    /// Raw copy into the buffer. Writer-only (reached via `&mut SimPmem`).
+    /// Raw copy into the buffer. Mutator-only: reached with the
+    /// persistence mutex held (owner path and write handles alike), so
+    /// there is exactly one mutator at a time.
     #[inline]
     fn copy_in(&self, off: usize, data: &[u8]) {
-        // SAFETY: in-bounds (caller checked); only the unique owner calls
-        // this, so there is exactly one mutator.
+        // SAFETY: in-bounds (caller checked); serialized by the
+        // persistence mutex.
         unsafe {
             std::ptr::copy_nonoverlapping(data.as_ptr(), self.ptr.add(off), data.len());
         }
@@ -192,8 +278,8 @@ impl Shared {
     }
 
     /// Charges cacheline accesses for `[off, off+len)` to the model.
-    /// `blocking` distinguishes the deterministic owner path from the
-    /// opportunistic reader-handle path.
+    /// `blocking` distinguishes the deterministic owner/writer path from
+    /// the opportunistic reader-handle path.
     fn charge_access(
         &self,
         off: usize,
@@ -214,7 +300,7 @@ impl Shared {
             }
         };
         let m = &mut *guard;
-        for line in SimPmem::line_range(off, len) {
+        for line in line_range(off, len) {
             let hit = m.cache.access(line as usize * LINE_BYTES, kind);
             m.clock.advance(latency.access_cost(hit));
         }
@@ -238,9 +324,116 @@ impl Shared {
             }
         };
         let m = &mut *guard;
-        for line in SimPmem::line_range(off, len) {
+        for line in line_range(off, len) {
             m.cache.access(line as usize * LINE_BYTES, AccessKind::Read);
             m.clock.advance(latency.prefetch_issue_ns);
+        }
+    }
+
+    // ---- shared mutation core (owner + write handles) -----------------
+
+    /// Plain store: mutation event, cache charge, dirty marking, copy-in.
+    fn do_write(&self, off: usize, data: &[u8], latency: &LatencyModel) {
+        self.check_bounds(off, data.len());
+        let mut st = self.persist_state();
+        st.mutation_event();
+        self.charge_access(off, data.len(), AccessKind::Write, latency, true);
+        for line in line_range(off, data.len()) {
+            st.mark_dirty(self, line, off, data.len());
+        }
+        self.copy_in(off, data);
+        self.stats.note_write(data.len() as u64);
+    }
+
+    fn do_atomic_write(&self, off: usize, v: u64, latency: &LatencyModel) {
+        assert_eq!(off % 8, 0, "atomic_write_u64 requires 8-byte alignment");
+        self.do_write(off, &v.to_le_bytes(), latency);
+        self.stats.note_atomic_write();
+    }
+
+    /// Compare-and-swap of an aligned word. Atomic across every owner and
+    /// write-handle mutation because all of them serialize on the
+    /// persistence mutex. Every attempt is one mutation event and one
+    /// atomic write in the stats; only a winning attempt dirties the word.
+    fn do_cas(
+        &self,
+        off: usize,
+        current: u64,
+        new: u64,
+        latency: &LatencyModel,
+    ) -> Result<u64, u64> {
+        assert_eq!(off % 8, 0, "compare_exchange_u64 requires 8-byte alignment");
+        self.check_bounds(off, 8);
+        let mut st = self.persist_state();
+        st.mutation_event();
+        self.charge_access(off, 8, AccessKind::Write, latency, true);
+        self.stats.note_atomic_write();
+        let observed = u64::from_le_bytes(self.read_word(off));
+        if observed != current {
+            return Err(observed);
+        }
+        for line in line_range(off, 8) {
+            st.mark_dirty(self, line, off, 8);
+        }
+        self.copy_in(off, &new.to_le_bytes());
+        self.stats.note_write(8);
+        Ok(observed)
+    }
+
+    fn do_flush(&self, off: usize, len: usize, latency: &LatencyModel) {
+        self.check_bounds(off, len.max(1));
+        for line in line_range(off, len) {
+            let mut st = self.persist_state();
+            st.mutation_event();
+            self.stats.note_flush_lines(1);
+            let dirty = st.lines.contains_key(&line);
+            if dirty {
+                let snap = snapshot_line(self, line);
+                let state = st.lines.get_mut(&line).expect("checked above");
+                state.flushed = Some(snap);
+                st.pending.push(line);
+                if let Some(w) = st.wear.get_mut(line as usize) {
+                    *w = w.saturating_add(1);
+                }
+            }
+            let mut m = self.model();
+            m.cache.invalidate(line as usize * LINE_BYTES);
+            // Dirty write-back travels to the NVM media; a clean flush is
+            // cheaper.
+            m.clock.advance(if dirty {
+                latency.nvm_writeback_ns
+            } else {
+                latency.clean_flush_ns
+            });
+        }
+    }
+
+    fn do_fence(&self, latency: &LatencyModel) {
+        let mut st = self.persist_state();
+        st.mutation_event();
+        self.stats.note_fence();
+        self.model().clock.advance(latency.fence_ns);
+        for line in std::mem::take(&mut st.pending) {
+            let Some(state) = st.lines.get_mut(&line) else {
+                continue;
+            };
+            let Some(snapshot) = state.flushed.take() else {
+                continue; // already retired by an earlier fence
+            };
+            // The snapshot becomes the durable base; words written after
+            // the flush stay dirty relative to it.
+            state.base = snapshot;
+            let start = line as usize * LINE_BYTES;
+            let mut mask = 0u64;
+            for w in 0..WORDS_PER_LINE {
+                if self.read_word(start + w * 8) != state.base[w * 8..w * 8 + 8] {
+                    mask |= 1 << w;
+                }
+            }
+            state.dirty_mask = mask;
+            if mask == 0 {
+                st.lines.remove(&line);
+            }
         }
     }
 }
@@ -248,15 +441,7 @@ impl Shared {
 /// Deterministic simulated persistent memory. See the module docs.
 pub struct SimPmem {
     shared: Arc<Shared>,
-    lines: BTreeMap<u64, LineState>,
-    /// Lines with a pending (un-fenced) flush; drained by `fence`.
-    pending: Vec<u64>,
     latency: LatencyModel,
-    /// Mutation-event counter for crash injection.
-    events: u64,
-    plan: Option<CrashPlan>,
-    /// Per-line media write-back counts (empty when wear tracking is off).
-    wear: Vec<u32>,
 }
 
 /// Cloneable shared-read handle over a [`SimPmem`] pool
@@ -288,25 +473,56 @@ impl std::fmt::Debug for SimPmemReader {
     }
 }
 
+/// Cloneable shared-write handle over a [`SimPmem`] pool
+/// ([`Pmem::write_handle`]).
+///
+/// Every mutation serializes on the pool's persistence mutex, which is
+/// what makes [`PmemWrite::compare_exchange_u64`] genuinely atomic against
+/// every other mutator (owner included) and keeps the durability model
+/// coherent under concurrent writers. Callers must still keep plain
+/// `write`s disjoint — the simulator serializes the bookkeeping, not the
+/// caller's protocol.
+pub struct SimPmemWriter {
+    shared: Arc<Shared>,
+    latency: LatencyModel,
+}
+
+impl Clone for SimPmemWriter {
+    fn clone(&self) -> Self {
+        SimPmemWriter {
+            shared: Arc::clone(&self.shared),
+            latency: self.latency,
+        }
+    }
+}
+
+impl std::fmt::Debug for SimPmemWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimPmemWriter")
+            .field("len", &self.shared.len)
+            .finish_non_exhaustive()
+    }
+}
+
 impl std::fmt::Debug for SimPmem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimPmem")
             .field("len", &self.shared.len)
-            .field("non_durable_lines", &self.lines.len())
-            .field("events", &self.events)
+            .field("events", &self.events())
             .finish_non_exhaustive()
     }
 }
 
 impl Clone for SimPmem {
-    /// Deep copy: the clone gets its own buffer, counters, cache model and
-    /// clock, fully independent of the original (and of the original's
-    /// read handles).
+    /// Deep copy: the clone gets its own buffer, counters, cache model,
+    /// clock and persistence model, fully independent of the original (and
+    /// of the original's read/write handles).
     fn clone(&self) -> Self {
         let mut bytes = vec![0u8; self.shared.len].into_boxed_slice();
         self.shared.copy_out(0, &mut bytes);
         let model = self.shared.model().clone();
-        let shared = Shared::new(bytes, model);
+        let persist = self.shared.persist_state().clone();
+        let shared = Shared::new(bytes, model, persist);
         shared.stats.set(self.shared.stats.snapshot());
         shared.contended_reads.store(
             self.shared.contended_reads.load(Ordering::Relaxed),
@@ -314,12 +530,7 @@ impl Clone for SimPmem {
         );
         SimPmem {
             shared,
-            lines: self.lines.clone(),
-            pending: self.pending.clone(),
             latency: self.latency,
-            events: self.events,
-            plan: self.plan,
-            wear: self.wear.clone(),
         }
     }
 }
@@ -336,14 +547,16 @@ impl SimPmem {
             cache: CacheHierarchy::new(config.cache),
             clock: SimClock::new(),
         };
-        SimPmem {
-            shared: Shared::new(vec![0u8; len].into_boxed_slice(), model),
+        let persist = PersistState {
             lines: BTreeMap::new(),
             pending: Vec::new(),
-            latency: config.latency,
             events: 0,
             plan: None,
             wear,
+        };
+        SimPmem {
+            shared: Shared::new(vec![0u8; len].into_boxed_slice(), model, persist),
+            latency: config.latency,
         }
     }
 
@@ -352,65 +565,21 @@ impl SimPmem {
         Self::new(len, SimConfig::paper_default())
     }
 
-    /// Fires the crash plan if armed for this event, then counts it.
-    #[inline]
-    fn mutation_event(&mut self) {
-        if let Some(plan) = self.plan {
-            if self.events == plan.at_event {
-                std::panic::panic_any(CrashSignal {
-                    at_event: self.events,
-                });
-            }
-        }
-        self.events += 1;
-    }
-
-    #[inline]
-    fn line_range(off: usize, len: usize) -> std::ops::RangeInclusive<u64> {
-        let first = (off / LINE_BYTES) as u64;
-        let last = ((off + len.max(1) - 1) / LINE_BYTES) as u64;
-        first..=last
-    }
-
-    fn snapshot_line(shared: &Shared, line: u64) -> Box<[u8; LINE_BYTES]> {
-        let start = line as usize * LINE_BYTES;
-        let mut b = Box::new([0u8; LINE_BYTES]);
-        shared.copy_out(start, &mut b[..]);
-        b
-    }
-
-    /// Marks the words of `line` covering `[off, off+len)` dirty,
-    /// snapshotting the durable base first if needed. Call *before*
-    /// mutating the buffer.
-    fn mark_dirty(&mut self, line: u64, off: usize, len: usize) {
-        let entry = self.lines.entry(line).or_insert_with(|| LineState {
-            base: Self::snapshot_line(&self.shared, line),
-            dirty_mask: 0,
-            flushed: None,
-        });
-        let line_start = line as usize * LINE_BYTES;
-        let lo = off.max(line_start);
-        let hi = (off + len).min(line_start + LINE_BYTES);
-        let first_word = (lo - line_start) / 8;
-        let last_word = (hi - line_start).div_ceil(8); // exclusive, rounded up
-        for w in first_word..last_word.min(WORDS_PER_LINE) {
-            entry.dirty_mask |= 1 << w;
-        }
-    }
-
     /// Arms (or disarms) crash injection.
     pub fn set_crash_plan(&mut self, plan: Option<CrashPlan>) {
-        self.plan = plan;
+        self.shared.persist_state().plan = plan;
     }
 
-    /// Mutation events executed so far.
+    /// Mutation events executed so far (owner and write handles alike).
     pub fn events(&self) -> u64 {
-        self.events
+        self.shared.persist_state().events
     }
 
     /// Number of 8-byte words that are currently *not* durable.
     pub fn non_durable_words(&self) -> usize {
-        self.lines
+        self.shared
+            .persist_state()
+            .lines
             .values()
             .map(|l| l.dirty_mask.count_ones() as usize)
             .sum()
@@ -446,7 +615,8 @@ impl SimPmem {
             (rng_state.wrapping_mul(0x2545F4914F6CDD1D) >> 63) & 1 == 1
         };
 
-        let lines = std::mem::take(&mut self.lines);
+        let mut st = self.shared.persist_state();
+        let lines = std::mem::take(&mut st.lines);
         for (line, state) in lines {
             let start = line as usize * LINE_BYTES;
             for w in 0..WORDS_PER_LINE {
@@ -468,9 +638,10 @@ impl SimPmem {
                 }
             }
         }
-        self.pending.clear();
+        st.pending.clear();
+        st.plan = None;
+        drop(st);
         self.shared.model().cache.clear();
-        self.plan = None;
     }
 
     /// Evicts every line from the modeled CPU caches (and zeroes the
@@ -486,12 +657,13 @@ impl SimPmem {
 
     /// Read-only view of the CPU-visible contents, bypassing the cache
     /// model and statistics. For tests and oracles only: the borrow of
-    /// `self` keeps the (unique) writer out for its duration, but reads
-    /// through live [`SimPmemReader`] handles on other threads are not
-    /// synchronized with it.
+    /// `self` keeps the (unique) owner out for its duration, but reads
+    /// through live [`SimPmemReader`]/[`SimPmemWriter`] handles on other
+    /// threads are not synchronized with it.
     pub fn raw(&self) -> &[u8] {
-        // SAFETY: mutation requires `&mut SimPmem` on the unique owner,
-        // which this shared borrow excludes.
+        // SAFETY: mutation through the owner requires `&mut SimPmem`,
+        // which this shared borrow excludes; callers keep handle writers
+        // quiescent by protocol.
         unsafe { std::slice::from_raw_parts(self.shared.ptr, self.shared.len) }
     }
 
@@ -500,21 +672,24 @@ impl SimPmem {
     /// Panics if `bytes` exceeds the pool.
     pub(crate) fn install_image(&mut self, bytes: &[u8]) {
         assert!(bytes.len() <= self.shared.len, "image larger than pool");
+        let mut st = self.shared.persist_state();
         self.shared.copy_in(0, bytes);
-        self.lines.clear();
-        self.pending.clear();
+        st.lines.clear();
+        st.pending.clear();
+        drop(st);
         self.shared.model().cache.clear();
     }
 
     /// Per-cacheline media write-back counts (NVM wear). Empty when wear
-    /// tracking is disabled. Index = line number (offset / 64).
-    pub fn wear(&self) -> &[u32] {
-        &self.wear
+    /// tracking is disabled. Index = line number (offset / 64). An owned
+    /// snapshot: the live counters sit inside the shared persistence model.
+    pub fn wear(&self) -> Vec<u32> {
+        self.shared.persist_state().wear.clone()
     }
 
     /// Zeroes the wear counters (e.g. to exclude a build phase).
     pub fn reset_wear(&mut self) {
-        self.wear.fill(0);
+        self.shared.persist_state().wear.fill(0);
     }
 
     /// Summary of the wear distribution: `(total, max, mean-over-worn)`.
@@ -522,9 +697,10 @@ impl SimPmem {
     /// leveling), so `max / mean` measures how much a data structure
     /// concentrates its write-backs.
     pub fn wear_summary(&self) -> (u64, u32, f64) {
-        let total: u64 = self.wear.iter().map(|&w| w as u64).sum();
-        let max = self.wear.iter().copied().max().unwrap_or(0);
-        let worn = self.wear.iter().filter(|&&w| w > 0).count();
+        let st = self.shared.persist_state();
+        let total: u64 = st.wear.iter().map(|&w| w as u64).sum();
+        let max = st.wear.iter().copied().max().unwrap_or(0);
+        let worn = st.wear.iter().filter(|&&w| w > 0).count();
         let mean = if worn == 0 {
             0.0
         } else {
@@ -581,8 +757,52 @@ impl PmemRead for SimPmemReader {
     }
 }
 
+impl PmemRead for SimPmemWriter {
+    fn read(&self, off: usize, buf: &mut [u8]) {
+        self.shared.check_bounds(off, buf.len());
+        // Writers block like the owner: their accounting stays
+        // deterministic in single-writer runs (budget pinning).
+        self.shared
+            .charge_access(off, buf.len(), AccessKind::Read, &self.latency, true);
+        self.shared.copy_out(off, buf);
+        self.shared.stats.note_read(buf.len() as u64);
+    }
+
+    fn len(&self) -> usize {
+        self.shared.len
+    }
+
+    fn prefetch(&self, off: usize, len: usize) {
+        self.shared.check_bounds(off, len.max(1));
+        self.shared.charge_prefetch(off, len, &self.latency, true);
+    }
+}
+
+impl PmemWrite for SimPmemWriter {
+    fn write(&self, off: usize, data: &[u8]) {
+        self.shared.do_write(off, data, &self.latency);
+    }
+
+    fn atomic_write_u64(&self, off: usize, v: u64) {
+        self.shared.do_atomic_write(off, v, &self.latency);
+    }
+
+    fn compare_exchange_u64(&self, off: usize, current: u64, new: u64) -> Result<u64, u64> {
+        self.shared.do_cas(off, current, new, &self.latency)
+    }
+
+    fn flush(&self, off: usize, len: usize) {
+        self.shared.do_flush(off, len, &self.latency);
+    }
+
+    fn fence(&self) {
+        self.shared.do_fence(&self.latency);
+    }
+}
+
 impl Pmem for SimPmem {
     type ReadHandle = SimPmemReader;
+    type WriteHandle = SimPmemWriter;
 
     fn read_handle(&self) -> SimPmemReader {
         SimPmemReader {
@@ -591,77 +811,27 @@ impl Pmem for SimPmem {
         }
     }
 
-    fn write(&mut self, off: usize, data: &[u8]) {
-        self.shared.check_bounds(off, data.len());
-        self.mutation_event();
-        self.shared
-            .charge_access(off, data.len(), AccessKind::Write, &self.latency, true);
-        for line in Self::line_range(off, data.len()) {
-            self.mark_dirty(line, off, data.len());
+    fn write_handle(&mut self) -> SimPmemWriter {
+        SimPmemWriter {
+            shared: Arc::clone(&self.shared),
+            latency: self.latency,
         }
-        self.shared.copy_in(off, data);
-        self.shared.stats.note_write(data.len() as u64);
+    }
+
+    fn write(&mut self, off: usize, data: &[u8]) {
+        self.shared.do_write(off, data, &self.latency);
     }
 
     fn atomic_write_u64(&mut self, off: usize, v: u64) {
-        assert_eq!(off % 8, 0, "atomic_write_u64 requires 8-byte alignment");
-        self.write(off, &v.to_le_bytes());
-        self.shared.stats.note_atomic_write();
+        self.shared.do_atomic_write(off, v, &self.latency);
     }
 
     fn flush(&mut self, off: usize, len: usize) {
-        self.shared.check_bounds(off, len.max(1));
-        for line in Self::line_range(off, len) {
-            self.mutation_event();
-            self.shared.stats.note_flush_lines(1);
-            let dirty = self.lines.contains_key(&line);
-            if dirty {
-                let snap = Self::snapshot_line(&self.shared, line);
-                let state = self.lines.get_mut(&line).expect("checked above");
-                state.flushed = Some(snap);
-                self.pending.push(line);
-                if let Some(w) = self.wear.get_mut(line as usize) {
-                    *w = w.saturating_add(1);
-                }
-            }
-            let mut m = self.shared.model();
-            m.cache.invalidate(line as usize * LINE_BYTES);
-            // Dirty write-back travels to the NVM media; a clean flush is
-            // cheaper.
-            m.clock.advance(if dirty {
-                self.latency.nvm_writeback_ns
-            } else {
-                self.latency.clean_flush_ns
-            });
-        }
+        self.shared.do_flush(off, len, &self.latency);
     }
 
     fn fence(&mut self) {
-        self.mutation_event();
-        self.shared.stats.note_fence();
-        self.shared.model().clock.advance(self.latency.fence_ns);
-        for line in std::mem::take(&mut self.pending) {
-            let Some(state) = self.lines.get_mut(&line) else {
-                continue;
-            };
-            let Some(snapshot) = state.flushed.take() else {
-                continue; // already retired by an earlier fence
-            };
-            // The snapshot becomes the durable base; words written after
-            // the flush stay dirty relative to it.
-            state.base = snapshot;
-            let start = line as usize * LINE_BYTES;
-            let mut mask = 0u64;
-            for w in 0..WORDS_PER_LINE {
-                if self.shared.read_word(start + w * 8) != state.base[w * 8..w * 8 + 8] {
-                    mask |= 1 << w;
-                }
-            }
-            state.dirty_mask = mask;
-            if mask == 0 {
-                self.lines.remove(&line);
-            }
-        }
+        self.shared.do_fence(&self.latency);
     }
 
     fn stats(&self) -> PmemStats {
@@ -1016,5 +1186,86 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(p.stats().reads, 4 * 100 * 64);
+    }
+
+    // ---- write-handle semantics ---------------------------------------
+
+    #[test]
+    fn write_handle_mutations_share_durability_model_with_owner() {
+        let mut p = pool();
+        let w = p.write_handle();
+        w.write_u64(0, 0xAAAA);
+        // Not yet flushed: the owner's crash drops it.
+        p.crash(CrashResolution::DropUnflushed);
+        assert_eq!(p.read_u64(0), 0);
+
+        let w = p.write_handle();
+        w.write_u64(0, 0xBBBB);
+        w.persist(0, 8);
+        p.crash(CrashResolution::DropUnflushed);
+        assert_eq!(p.read_u64(0), 0xBBBB, "handle persist is durable");
+    }
+
+    #[test]
+    fn cas_swaps_only_on_match_and_counts_attempts() {
+        let mut p = pool();
+        p.write_u64(64, 5);
+        p.reset_stats();
+        let w = p.write_handle();
+        assert_eq!(w.compare_exchange_u64(64, 5, 9), Ok(5));
+        assert_eq!(p.read_u64(64), 9);
+        assert_eq!(w.compare_exchange_u64(64, 5, 11), Err(9));
+        assert_eq!(p.read_u64(64), 9, "failed CAS must not store");
+        let s = p.stats();
+        assert_eq!(s.atomic_writes, 2, "every CAS attempt counts");
+        assert_eq!(s.bytes_written, 8, "only the winning CAS stores");
+    }
+
+    #[test]
+    #[should_panic(expected = "8-byte alignment")]
+    fn misaligned_cas_panics() {
+        let mut p = pool();
+        let w = p.write_handle();
+        let _ = w.compare_exchange_u64(4, 0, 1);
+    }
+
+    #[test]
+    fn cas_is_atomic_across_concurrent_handles() {
+        let mut p = SimPmem::new(4096, SimConfig::fast_test());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let w = p.write_handle();
+                std::thread::spawn(move || {
+                    // Lock-free counter: each thread adds 1000 via CAS loops.
+                    for _ in 0..1000 {
+                        loop {
+                            let cur = w.read_u64(0);
+                            if w.compare_exchange_u64(0, cur, cur + 1).is_ok() {
+                                break;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(p.read_u64(0), 4000, "no lost increments");
+    }
+
+    #[test]
+    fn crash_plan_fires_on_write_handle_events_too() {
+        let mut p = pool();
+        p.set_crash_plan(Some(CrashPlan { at_event: 1 }));
+        let w = p.write_handle();
+        let r = run_with_crash(|| {
+            w.write_u64(0, 1); // event 0
+            w.write_u64(8, 2); // event 1 -> crash before applying
+            unreachable!()
+        });
+        assert_eq!(r.unwrap_err().at_event, 1);
+        assert_eq!(p.read_u64(0), 1);
+        assert_eq!(p.read_u64(8), 0);
     }
 }

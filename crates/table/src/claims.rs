@@ -1,0 +1,128 @@
+//! DRAM cell-claim table for lock-free writers.
+//!
+//! The paper's commit point is one bit in one 8-byte bitmap word, which is
+//! exactly what a CAS wants — but two writers must never *prepare* the
+//! same free cell (both would write its bytes, then one CAS would publish
+//! the other's half-written entry). A [`CellClaims`] table arbitrates
+//! that: a writer claims a cell (one DRAM CAS), writes and publishes it,
+//! then releases the claim. Claims are transient DRAM state — they carry
+//! no durability and are simply absent after a restart, when no writer
+//! can hold a cell anyway.
+//!
+//! Packing mirrors the persistent bitmap (64 cells per word) so claim
+//! contention has the same locality as commit contention.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A transient bit-per-cell claim table guarding one cell index space.
+#[derive(Debug)]
+pub struct CellClaims {
+    words: Vec<AtomicU64>,
+    bits: u64,
+}
+
+impl CellClaims {
+    /// A claim table for `bits` cells, all unclaimed.
+    pub fn new(bits: u64) -> Self {
+        let words = (0..bits.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+        CellClaims { words, bits }
+    }
+
+    /// Number of cells tracked.
+    pub fn len(&self) -> u64 {
+        self.bits
+    }
+
+    /// True when the table tracks zero cells.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Attempts to claim cell `idx`. Returns `true` on success; `false`
+    /// means another writer holds it right now.
+    #[inline]
+    pub fn try_claim(&self, idx: u64) -> bool {
+        debug_assert!(idx < self.bits, "claim {idx} out of range {}", self.bits);
+        let mask = 1u64 << (idx % 64);
+        let prev = self.words[(idx / 64) as usize].fetch_or(mask, Ordering::AcqRel);
+        prev & mask == 0
+    }
+
+    /// Releases a claim taken with [`CellClaims::try_claim`].
+    #[inline]
+    pub fn release(&self, idx: u64) {
+        debug_assert!(idx < self.bits);
+        let mask = 1u64 << (idx % 64);
+        let prev = self.words[(idx / 64) as usize].fetch_and(!mask, Ordering::AcqRel);
+        debug_assert!(prev & mask != 0, "releasing unclaimed cell {idx}");
+    }
+
+    /// Is cell `idx` currently claimed? Advisory only — the answer can be
+    /// stale by the time the caller acts on it.
+    #[inline]
+    pub fn is_claimed(&self, idx: u64) -> bool {
+        debug_assert!(idx < self.bits);
+        let mask = 1u64 << (idx % 64);
+        self.words[(idx / 64) as usize].load(Ordering::Acquire) & mask != 0
+    }
+}
+
+impl Clone for CellClaims {
+    /// Clones to a *fresh, unclaimed* table of the same size: claims are
+    /// per-writer transient state, and a cloned table serves a cloned
+    /// (single-owner) structure where no writer holds anything.
+    fn clone(&self) -> Self {
+        CellClaims::new(self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn claim_release_roundtrip() {
+        let c = CellClaims::new(200);
+        assert!(!c.is_claimed(70));
+        assert!(c.try_claim(70));
+        assert!(c.is_claimed(70));
+        assert!(!c.try_claim(70), "double-claim must fail");
+        c.release(70);
+        assert!(c.try_claim(70));
+    }
+
+    #[test]
+    fn claims_are_per_bit() {
+        let c = CellClaims::new(128);
+        assert!(c.try_claim(64));
+        assert!(c.try_claim(65), "same word, different bit");
+        assert!(c.try_claim(0), "different word");
+        c.release(64);
+        assert!(!c.is_claimed(64));
+        assert!(c.is_claimed(65));
+    }
+
+    #[test]
+    fn exactly_one_thread_wins_each_cell() {
+        let c = Arc::new(CellClaims::new(64));
+        let wins: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || (0..64).filter(|&i| c.try_claim(i)).count())
+            })
+            .map(|t| t.join().unwrap())
+            .collect();
+        assert_eq!(wins.iter().sum::<usize>(), 64, "each cell claimed once");
+    }
+
+    #[test]
+    fn clone_starts_unclaimed() {
+        let c = CellClaims::new(32);
+        assert!(c.try_claim(3));
+        let d = c.clone();
+        assert_eq!(d.len(), 32);
+        assert!(!d.is_claimed(3));
+        assert!(d.try_claim(3));
+    }
+}

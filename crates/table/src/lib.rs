@@ -34,18 +34,24 @@
 
 mod bitmap;
 mod cells;
+mod claims;
 pub mod crashtest;
 mod error;
 mod header;
 mod journal;
+mod migrate;
 pub mod probe;
 mod scheme;
 mod store;
 
 pub use bitmap::PmemBitmap;
 pub use cells::CellArray;
+pub use claims::CellClaims;
 pub use error::TableError;
 pub use header::TableHeader;
 pub use journal::Journal;
+pub use migrate::{
+    migrate_recover, migrate_recover_split, migrate_step, migrate_step_same_pool, MigrationSource,
+};
 pub use scheme::{BatchError, ConsistencyMode, HashScheme, InsertError, OpKind};
-pub use store::{BatchSession, CellStore};
+pub use store::{BatchSession, CellStore, TryPublish, TryRetract};

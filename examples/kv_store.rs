@@ -27,9 +27,7 @@ struct KvStore {
 impl KvStore {
     fn new(shards: usize, cells_per_level: u64) -> Self {
         let cfg = GroupHashConfig::new(cells_per_level, 256);
-        let size =
-            group_hashing::core::GroupHash::<RealPmem, [u8; 16], Value>::required_size(&cfg);
-        let table = ShardedGroupHash::create(shards, cfg, |_| {
+        let table = ShardedGroupHash::create(shards, cfg, |_, size| {
             // Raw DRAM latency here; pass RealPmem::new(size) for the
             // paper's 300 ns emulated NVM write latency.
             RealPmem::with_write_latency(size, 0)

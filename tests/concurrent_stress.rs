@@ -6,15 +6,24 @@ use group_hashing::pmem::{Pmem, RealPmem, SimConfig, SimPmem};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 
+/// Iteration scale factor for the writer stress tests. CI runs the
+/// release binary with `NVM_STRESS_ITERS` elevated (see `ci.sh`); the
+/// default keeps debug-mode `cargo test` fast.
+fn stress_iters(default: u64) -> u64 {
+    std::env::var("NVM_STRESS_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
 /// Heavy mixed workload from many threads against the sharded table on
 /// the real-intrinsics backend; afterwards every shard must be
 /// structurally consistent and hold exactly the surviving keys.
 #[test]
 fn sharded_mixed_stress_real_backend() {
     let cfg = GroupHashConfig::new(1 << 12, 128);
-    let size = GroupHash::<RealPmem, u64, u64>::required_size(&cfg);
     let table = Arc::new(
-        ShardedGroupHash::<RealPmem, u64, u64>::create(8, cfg, |_| {
+        ShardedGroupHash::<RealPmem, u64, u64>::create(8, cfg, |_, size| {
             RealPmem::with_write_latency(size, 0)
         })
         .unwrap(),
@@ -106,9 +115,8 @@ fn seqlock_readers_see_no_torn_or_phantom_state() {
     let encode = |k: u64, round: u64| (k << 20) | (round & ((1 << 20) - 1));
 
     let cfg = GroupHashConfig::new(1 << 11, 64);
-    let size = GroupHash::<RealPmem, u64, u64>::required_size(&cfg);
     let table = Arc::new(
-        ShardedGroupHash::<RealPmem, u64, u64>::create(4, cfg, |_| {
+        ShardedGroupHash::<RealPmem, u64, u64>::create(4, cfg, |_, size| {
             RealPmem::with_write_latency(size, 0)
         })
         .unwrap(),
@@ -198,9 +206,8 @@ fn seqlock_get_batch_readers_see_no_torn_or_phantom_state() {
     let encode = |k: u64, round: u64| (k << 20) | (round & ((1 << 20) - 1));
 
     let cfg = GroupHashConfig::new(1 << 11, 64);
-    let size = GroupHash::<RealPmem, u64, u64>::required_size(&cfg);
     let table = Arc::new(
-        ShardedGroupHash::<RealPmem, u64, u64>::create(4, cfg, |_| {
+        ShardedGroupHash::<RealPmem, u64, u64>::create(4, cfg, |_, size| {
             RealPmem::with_write_latency(size, 0)
         })
         .unwrap(),
@@ -336,14 +343,167 @@ fn get_batch_costs_zero_persistence_events() {
     }
 }
 
+/// The CAS fast path under maximum contention: one shard, so every
+/// writer races every other on the same occupancy-bitmap words. All
+/// inserts and removes must land exactly once (disjoint key ranges make
+/// the final state deterministic), and the contention must actually be
+/// observed by the counters — lost CAS attempts are retried, never
+/// dropped.
+#[test]
+fn single_shard_cas_contention_loses_no_writes() {
+    let per_thread = stress_iters(2000);
+    let cfg = GroupHashConfig::new(1 << 12, 128);
+    let table = Arc::new(
+        ShardedGroupHash::<RealPmem, u64, u64>::create(1, cfg, |_, size| {
+            RealPmem::with_write_latency(size, 0)
+        })
+        .unwrap(),
+    );
+
+    let threads = 4u64;
+    let barrier = Arc::new(Barrier::new(threads as usize));
+    let handles: Vec<_> = (0..threads)
+        .map(|tid| {
+            let table = Arc::clone(&table);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..per_thread {
+                    let k = tid * 10_000_000 + i;
+                    table.insert(k, k ^ 0xF00D).unwrap();
+                    if i % 2 == 0 {
+                        assert!(table.remove(&k));
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    assert_eq!(table.len(), threads * per_thread.div_ceil(2));
+    table.check_consistency().unwrap();
+    for tid in 0..threads {
+        for i in [1u64, 3, 5] {
+            let k = tid * 10_000_000 + i;
+            assert_eq!(table.get(&k), Some(k ^ 0xF00D), "key {k}");
+        }
+        assert_eq!(table.get(&(tid * 10_000_000)), None);
+    }
+}
+
+/// A single writer must never lose a CAS or wait on a latch: with no
+/// contention, the lock-free fast path is exactly as cheap as the old
+/// exclusive-lock path. This pins the claim structurally — a refactor
+/// that introduces self-contention (e.g. a retried CAS against the
+/// writer's own published state) fails here.
+#[test]
+fn single_writer_never_contends() {
+    let cfg = GroupHashConfig::new(1 << 10, 64);
+    let table = ShardedGroupHash::<RealPmem, u64, u64>::create(4, cfg, |_, size| {
+        RealPmem::with_write_latency(size, 0)
+    })
+    .unwrap();
+    for k in 0..2000u64 {
+        table.insert(k, k).unwrap();
+        if k % 3 == 0 {
+            assert!(table.remove(&k));
+        }
+        if k % 7 == 0 {
+            table.update_in_place(&(k / 2), k);
+        }
+    }
+    let c = table.concurrency();
+    assert_eq!(c.cas_failures, 0, "single writer lost a CAS");
+    assert_eq!(c.latch_waits, 0, "single writer waited on a latch");
+    table.check_consistency().unwrap();
+}
+
+/// Incremental online expansion under live write traffic: a small table
+/// overflows mid-stream (triggering growth), a dedicated drainer thread
+/// migrates a few entries at a time while the writers keep inserting,
+/// and at the end every key must be present exactly once with its exact
+/// value — migration never drops, duplicates, or misroutes an entry
+/// racing a concurrent insert.
+#[test]
+fn expansion_mid_stream_keeps_every_write() {
+    let per_thread = stress_iters(3000);
+    // Deliberately undersized: the writers overflow every shard several
+    // times, so inserts race both grow_shard and the drainer.
+    let cfg = GroupHashConfig::new(256, 32);
+    let table = Arc::new(
+        ShardedGroupHash::<RealPmem, u64, u64>::create(2, cfg, |_, size| {
+            RealPmem::with_write_latency(size, 0)
+        })
+        .unwrap(),
+    );
+
+    let threads = 2u64;
+    let stop = Arc::new(AtomicU64::new(0));
+    let drainer = {
+        let table = Arc::clone(&table);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut steps = 0u64;
+            while stop.load(Ordering::Relaxed) == 0 {
+                for shard in 0..table.shard_count() {
+                    if table.expand_step(shard, 8) {
+                        steps += 1;
+                    }
+                }
+                std::thread::yield_now();
+            }
+            steps
+        })
+    };
+    let writers: Vec<_> = (0..threads)
+        .map(|tid| {
+            let table = Arc::clone(&table);
+            std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    let k = tid * 10_000_000 + i;
+                    table.insert(k, k ^ 0xBEEF).unwrap();
+                    if i % 16 == 0 {
+                        // Reads mid-expansion route active-then-draining.
+                        assert_eq!(table.get(&k), Some(k ^ 0xBEEF));
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(1, Ordering::Relaxed);
+    drainer.join().unwrap();
+
+    // Finish any drain still pending, then audit everything.
+    for shard in 0..table.shard_count() {
+        while table.expand_step(shard, 1024) {}
+        assert!(!table.migration_pending(shard));
+    }
+    assert_eq!(table.len(), threads * per_thread);
+    assert!(
+        table.concurrency().migration_steps > 0,
+        "the stress never exercised migration"
+    );
+    table.check_consistency().unwrap();
+    for tid in 0..threads {
+        for i in 0..per_thread {
+            let k = tid * 10_000_000 + i;
+            assert_eq!(table.get(&k), Some(k ^ 0xBEEF), "key {k}");
+        }
+    }
+}
+
 /// Concurrent read-heavy workload: many reader threads over disjoint
 /// shards never block each other into inconsistency.
 #[test]
 fn concurrent_readers_after_bulk_population() {
     let cfg = GroupHashConfig::new(1 << 10, 64);
-    let size = GroupHash::<RealPmem, u64, u64>::required_size(&cfg);
     let table = Arc::new(
-        ShardedGroupHash::<RealPmem, u64, u64>::create(4, cfg, |_| {
+        ShardedGroupHash::<RealPmem, u64, u64>::create(4, cfg, |_, size| {
             RealPmem::with_write_latency(size, 0)
         })
         .unwrap(),
