@@ -67,6 +67,21 @@ if grep -nE '\.flush\(|\.fence\(|\.atomic_write' crates/core/src/table/readview.
   echo "layering violation: the read view must not issue persistence verbs" >&2
   lint_fail=1
 fi
+# The value-heap stack layers the same way: the size-class/layout layer
+# (classes.rs) is pure geometry and never touches pmem, and the KV
+# engine talks only to the heap policy layer — reaching past it into
+# the slab store or its bitmaps would bypass the wear rotation and the
+# GC bookkeeping.
+if grep -rnH "nvm_pmem" crates/alloc/src/classes.rs \
+    | strip_comments | grep .; then
+  echo "layering violation: the size-class layer (classes.rs) must stay pmem-free" >&2
+  lint_fail=1
+fi
+if grep -rnHE 'SlabStore|PmemBitmap|try_alloc_in|\balloc_in\b|locate_flat' crates/kv/src \
+    | strip_comments | grep .; then
+  echo "layering violation: kv must go through the heap policy layer, not slab-store internals" >&2
+  lint_fail=1
+fi
 [ "$lint_fail" -eq 0 ]
 
 echo "==> error-type lint (no stringly-typed public Results)"

@@ -1,567 +1,213 @@
-//! A crash-consistent slab allocator for persistent memory.
+//! A layered, crash-consistent slab heap for persistent memory.
 //!
 //! Group hashing stores fixed-size cells; real key-value systems also
-//! need somewhere to put *variable-size* values. This allocator extends
-//! the paper's consistency idiom — *data first, then one failure-atomic
-//! 8-byte bitmap commit* — from hash cells to allocation:
+//! need somewhere to put *variable-size* values. This crate extends the
+//! paper's consistency idiom — *data first, then one failure-atomic
+//! 8-byte bitmap commit* — from hash cells to allocation, and splits the
+//! allocator into three explicit layers (the same shape as the table
+//! crate's geometry/store/policy split):
 //!
-//! * the region is divided into **slabs**, one per size class, each a
-//!   contiguous array of fixed slots with a persistent occupancy bitmap
-//!   (the same [`PmemBitmap`] the tables use);
-//! * `alloc` writes the blob (length prefix + bytes) into a free slot,
-//!   persists it, and only then atomically sets the slot's bit — a crash
-//!   before the commit leaves the slot free and the torn blob
-//!   unreachable;
-//! * `free` atomically clears the bit; the stale bytes are unreachable
-//!   the instant the 8-byte store lands.
+//! ```text
+//! ┌────────────────────────────────────────────────────────────┐
+//! │ heap      PmemHeap — placement policy + GC                 │
+//! │           wear-aware slab rotation, crash-resumable        │
+//! │           gc_step drainer (persisted cursor, ≤1 duplicate) │
+//! ├────────────────────────────────────────────────────────────┤
+//! │ slab      SlabStore — pmem-facing slot arrays              │
+//! │           failure-atomic alloc/free publish on a per-slab  │
+//! │           bitmap word; CellStore try_publish idiom for     │
+//! │           shared writers                                   │
+//! ├────────────────────────────────────────────────────────────┤
+//! │ classes   pure geometry — no pmem                          │
+//! │           memcached-style size classes (80 B × 1.25),      │
+//! │           rounding, per-slab freelist geometry             │
+//! └────────────────────────────────────────────────────────────┘
+//! ```
 //!
-//! There is no log and no recovery procedure: the bitmaps are the only
-//! metadata and they are always consistent. After a crash, the worst
-//! case is a *leak* — a slot whose bit committed but whose owner (e.g. a
-//! hash-table entry pointing at it) did not. Owners fix that with a
-//! mark-and-sweep over [`PmemAlloc::for_each_allocated`] (see
-//! `nvm-kv`'s `gc`).
+//! The bottom layer never names `nvm_pmem` (enforced by a `ci.sh`
+//! layering lint) and is proptested: class rounding is minimal, monotone
+//! and within the growth bound, freelist geometry round-trips. The slab
+//! store owns every persistent byte; the heap owns every decision.
+//!
+//! There is no log. The bitmaps plus a tiny header (GC cursor + active
+//! flag) are the only metadata and they are always consistent. After a
+//! crash the worst case is a *leak* — a slot whose bit committed but
+//! whose owner (e.g. a hash-table entry pointing at it) did not — and
+//! leaks are bounded-work reclaimable: [`PmemHeap::gc_step`] sweeps the
+//! slot space against the owner ([`GcOwner`]) in resumable increments.
 //!
 //! # Example
 //!
 //! ```
-//! use nvm_alloc::{AllocConfig, PmemAlloc};
+//! use nvm_alloc::{HeapConfig, PmemHeap};
 //! use nvm_pmem::{Pmem, Region, SimConfig, SimPmem};
 //!
-//! let cfg = AllocConfig::balanced(64 * 1024);
-//! let size = PmemAlloc::required_size(&cfg);
+//! let cfg = HeapConfig::balanced(64 * 1024);
+//! let size = PmemHeap::required_size(&cfg);
 //! let mut pm = SimPmem::new(size, SimConfig::fast_test());
-//! let mut heap = PmemAlloc::create(&mut pm, Region::new(0, size), &cfg).unwrap();
+//! let mut heap = PmemHeap::create(&mut pm, Region::new(0, size), &cfg).unwrap();
 //!
 //! let p = heap.alloc(&mut pm, b"hello nvm").unwrap();
 //! assert_eq!(heap.read(&pm, p).unwrap(), b"hello nvm");
 //! heap.free(&mut pm, p).unwrap();
 //! ```
 
-use nvm_pmem::{align_up, Pmem, PmemRead, Region, RegionAllocator, CACHELINE};
-use nvm_table::PmemBitmap;
+#![warn(missing_docs)]
 
-/// Magic word identifying an allocator header ("NVALLOC1").
-const MAGIC: u64 = 0x4E56_414C_4C4F_4331;
+pub mod classes;
+mod error;
+pub mod heap;
+pub mod slab;
 
-/// Per-slot length-prefix bytes.
-const LEN_PREFIX: usize = 8;
-
-/// Maximum size classes.
-const MAX_CLASSES: usize = 12;
+pub use classes::{
+    ClassSpec, ClassTable, HeapConfig, SizeClass, SlabGeometry, DEFAULT_BASE, DEFAULT_GROWTH,
+    LEN_PREFIX, MAX_CLASSES, MAX_SLABS_PER_CLASS,
+};
+pub use error::AllocError;
+pub use heap::{FragStats, GcOwner, HeapReadView, HeapStats, PmemHeap, RotationPolicy};
+pub use slab::{Slab, SlabStore};
 
 /// A persistent pointer: the pool offset of an allocated slot. Stable
 /// across re-opens (store it in other persistent structures).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PmemPtr(pub u64);
 
-/// Allocation and geometry errors. Every failure mode is a typed
-/// variant — no stringly-typed `Result`s (enforced by the `ci.sh` lint).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AllocError {
-    /// No size class fits a blob this large.
-    TooLarge(usize),
-    /// The fitting size class is out of slots.
-    OutOfMemory,
-    /// The pointer does not name an allocated slot.
-    BadPointer(PmemPtr),
-    /// A config declared zero or more than `MAX_CLASSES` (12) size classes.
-    BadClassCount(usize),
-    /// A class's slot size is not a multiple of 8 or leaves no blob room.
-    BadSlotSize {
-        /// Index of the offending class.
-        class: usize,
-        /// Its declared slot size.
-        slot_size: u64,
-    },
-    /// A class declared zero slots.
-    ZeroSlots {
-        /// Index of the offending class.
-        class: usize,
-    },
-    /// Class slot sizes are not strictly ascending.
-    NonAscendingClasses {
-        /// Index of the first out-of-order class.
-        class: usize,
-    },
-    /// The region cannot hold the configured (or persisted) geometry.
-    RegionTooSmall {
-        /// Bytes the region offers.
-        have: usize,
-        /// Bytes the geometry needs.
-        need: usize,
-    },
-    /// `open` found no valid allocator header (static description).
-    BadHeader(&'static str),
-    /// `open` read a class count outside `1..=MAX_CLASSES`.
-    CorruptClassCount(u64),
-}
-
-impl std::fmt::Display for AllocError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            AllocError::TooLarge(n) => write!(f, "blob of {n} bytes exceeds every size class"),
-            AllocError::OutOfMemory => write!(f, "size class exhausted"),
-            AllocError::BadPointer(p) => write!(f, "invalid persistent pointer {:#x}", p.0),
-            AllocError::BadClassCount(n) => {
-                write!(f, "need 1..={MAX_CLASSES} size classes, got {n}")
-            }
-            AllocError::BadSlotSize { class, slot_size } => {
-                write!(f, "class {class}: bad slot size {slot_size}")
-            }
-            AllocError::ZeroSlots { class } => write!(f, "class {class}: zero slots"),
-            AllocError::NonAscendingClasses { class } => {
-                write!(f, "class {class}: slot sizes must be ascending")
-            }
-            AllocError::RegionTooSmall { have, need } => {
-                write!(f, "region too small: {have} < {need}")
-            }
-            AllocError::BadHeader(msg) => f.write_str(msg),
-            AllocError::CorruptClassCount(n) => write!(f, "corrupt class count {n}"),
-        }
-    }
-}
-
-impl std::error::Error for AllocError {}
-
-/// One size class: fixed `slot_size` (including the 8-byte length
-/// prefix), `slots` slots.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct SizeClass {
-    /// Slot width in bytes, including the length prefix. Must be a
-    /// multiple of 8.
-    pub slot_size: u64,
-    /// Number of slots.
-    pub slots: u64,
-}
-
-impl SizeClass {
-    /// Largest blob this class stores.
-    pub fn max_blob(&self) -> usize {
-        self.slot_size as usize - LEN_PREFIX
-    }
-}
-
-/// Allocator geometry.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct AllocConfig {
-    /// Size classes, ascending `slot_size`.
-    pub classes: Vec<SizeClass>,
-}
-
-impl AllocConfig {
-    /// A general-purpose split of roughly `budget_bytes` of slot storage:
-    /// classes of 32/64/128/256/1024/4096-byte slots with byte share
-    /// 20/20/20/15/15/10 %.
-    pub fn balanced(budget_bytes: u64) -> Self {
-        let shares: [(u64, u64); 6] = [
-            (32, 20),
-            (64, 20),
-            (128, 20),
-            (256, 15),
-            (1024, 15),
-            (4096, 10),
-        ];
-        AllocConfig {
-            classes: shares
-                .iter()
-                .map(|&(size, pct)| SizeClass {
-                    slot_size: size,
-                    slots: (budget_bytes * pct / 100 / size).max(1),
-                })
-                .collect(),
-        }
-    }
-
-    /// Validates geometry.
-    pub fn validate(&self) -> Result<(), AllocError> {
-        if self.classes.is_empty() || self.classes.len() > MAX_CLASSES {
-            return Err(AllocError::BadClassCount(self.classes.len()));
-        }
-        let mut prev = 0;
-        for (i, c) in self.classes.iter().enumerate() {
-            if c.slot_size % 8 != 0 || c.slot_size <= LEN_PREFIX as u64 {
-                return Err(AllocError::BadSlotSize {
-                    class: i,
-                    slot_size: c.slot_size,
-                });
-            }
-            if c.slots == 0 {
-                return Err(AllocError::ZeroSlots { class: i });
-            }
-            if c.slot_size <= prev {
-                return Err(AllocError::NonAscendingClasses { class: i });
-            }
-            prev = c.slot_size;
-        }
-        Ok(())
-    }
-}
-
-/// Per-class runtime state.
-#[derive(Debug, Clone, Copy)]
-struct Slab {
-    class: SizeClass,
-    bitmap: PmemBitmap,
-    slots_region: Region,
-}
-
-impl Slab {
-    fn slot_off(&self, i: u64) -> u64 {
-        self.slots_region.off as u64 + i * self.class.slot_size
-    }
-
-    /// Slot index of `off`, if it names a slot start in this slab.
-    fn slot_of(&self, off: u64) -> Option<u64> {
-        let base = self.slots_region.off as u64;
-        if off < base {
-            return None;
-        }
-        let rel = off - base;
-        let i = rel / self.class.slot_size;
-        (i < self.class.slots && rel.is_multiple_of(self.class.slot_size)).then_some(i)
-    }
-}
-
-/// The allocator. All persistent state lives in its pool region; the
-/// struct holds derived geometry and is reconstructed by
-/// [`PmemAlloc::open`].
-#[derive(Debug, Clone)]
-pub struct PmemAlloc {
-    slabs: Vec<Slab>,
-    region: Region,
-    /// Rotating search cursor per class (volatile; purely a performance
-    /// hint so allocation doesn't rescan freed prefixes).
-    cursors: Vec<u64>,
-}
-
-impl PmemAlloc {
-    /// Header: magic + class count + per-class (slot_size, slots).
-    fn header_len(n_classes: usize) -> usize {
-        16 + n_classes * 16
-    }
-
-    fn layout(region: Region, config: &AllocConfig) -> (Region, Vec<(Region, Region)>) {
-        let mut alloc = RegionAllocator::new(region.off, region.end());
-        let header = alloc.alloc_lines(align_up(Self::header_len(config.classes.len()), 8));
-        let parts = config
-            .classes
-            .iter()
-            .map(|c| {
-                let bm = alloc.alloc_lines(PmemBitmap::region_size(c.slots).max(8));
-                let slots = alloc.alloc_lines((c.slot_size * c.slots) as usize);
-                (bm, slots)
-            })
-            .collect();
-        (header, parts)
-    }
-
-    /// Pool bytes needed for `config`.
-    pub fn required_size(config: &AllocConfig) -> usize {
-        let mut total = align_up(Self::header_len(config.classes.len()), 8) + CACHELINE;
-        for c in &config.classes {
-            total += PmemBitmap::region_size(c.slots).max(8) + CACHELINE;
-            total += (c.slot_size * c.slots) as usize + CACHELINE;
-        }
-        total
-    }
-
-    fn assemble(region: Region, config: &AllocConfig) -> Self {
-        let (_, parts) = Self::layout(region, config);
-        let slabs = config
-            .classes
-            .iter()
-            .zip(parts)
-            .map(|(&class, (bm, slots))| Slab {
-                class,
-                bitmap: PmemBitmap::attach(bm, class.slots),
-                slots_region: slots,
-            })
-            .collect::<Vec<_>>();
-        let cursors = vec![0; slabs.len()];
-        PmemAlloc {
-            slabs,
-            region,
-            cursors,
-        }
-    }
-
-    /// Creates a fresh allocator in `region`.
-    pub fn create<P: Pmem>(
-        pm: &mut P,
-        region: Region,
-        config: &AllocConfig,
-    ) -> Result<Self, AllocError> {
-        config.validate()?;
-        if region.len < Self::required_size(config) {
-            return Err(AllocError::RegionTooSmall {
-                have: region.len,
-                need: Self::required_size(config),
-            });
-        }
-        let (header, parts) = Self::layout(region, config);
-        for (c, (bm, _)) in config.classes.iter().zip(&parts) {
-            PmemBitmap::create(pm, *bm, c.slots);
-        }
-        // Header: geometry first, magic last (same discipline as the
-        // tables: a header is valid only once fully initialized).
-        pm.write_u64(header.off + 8, config.classes.len() as u64);
-        for (i, c) in config.classes.iter().enumerate() {
-            pm.write_u64(header.off + 16 + i * 16, c.slot_size);
-            pm.write_u64(header.off + 24 + i * 16, c.slots);
-        }
-        pm.persist(header.off, Self::header_len(config.classes.len()));
-        pm.atomic_write_u64(header.off, MAGIC);
-        pm.persist(header.off, 8);
-        Ok(Self::assemble(region, config))
-    }
-
-    /// Re-opens an allocator previously created in `region`. Read-only:
-    /// any [`PmemRead`] handle suffices.
-    pub fn open<R: PmemRead>(pm: &R, region: Region) -> Result<Self, AllocError> {
-        let header_off = align_up(region.off, CACHELINE);
-        if !region.contains(header_off, 16) {
-            return Err(AllocError::BadHeader(
-                "region too small for an allocator header",
-            ));
-        }
-        if pm.read_u64(header_off) != MAGIC {
-            return Err(AllocError::BadHeader("allocator magic mismatch"));
-        }
-        let n = pm.read_u64(header_off + 8);
-        if n == 0 || n > MAX_CLASSES as u64 {
-            return Err(AllocError::CorruptClassCount(n));
-        }
-        let classes = (0..n as usize)
-            .map(|i| SizeClass {
-                slot_size: pm.read_u64(header_off + 16 + i * 16),
-                slots: pm.read_u64(header_off + 24 + i * 16),
-            })
-            .collect::<Vec<_>>();
-        let config = AllocConfig { classes };
-        config.validate()?;
-        if region.len < Self::required_size(&config) {
-            return Err(AllocError::RegionTooSmall {
-                have: region.len,
-                need: Self::required_size(&config),
-            });
-        }
-        Ok(Self::assemble(region, &config))
-    }
-
-    /// The smallest class fitting `len` blob bytes.
-    fn class_for(&self, len: usize) -> Result<usize, AllocError> {
-        self.slabs
-            .iter()
-            .position(|s| s.class.max_blob() >= len)
-            .ok_or(AllocError::TooLarge(len))
-    }
-
-    /// Allocates and stores `blob`, returning its persistent pointer.
-    /// The blob is durable and committed when this returns.
-    pub fn alloc<P: Pmem>(&mut self, pm: &mut P, blob: &[u8]) -> Result<PmemPtr, AllocError> {
-        let ci = self.class_for(blob.len())?;
-        let slab = self.slabs[ci];
-        let n = slab.class.slots;
-        let start = self.cursors[ci] % n;
-        // Rotating first-fit: search [start, n) then [0, start).
-        let slot = slab
-            .bitmap
-            .find_zero_in_range(pm, start, n - start)
-            .or_else(|| slab.bitmap.find_zero_in_range(pm, 0, start))
-            .ok_or(AllocError::OutOfMemory)?;
-        self.cursors[ci] = slot + 1;
-
-        let off = slab.slot_off(slot) as usize;
-        // Data first...
-        pm.write_u64(off, blob.len() as u64);
-        if !blob.is_empty() {
-            pm.write(off + LEN_PREFIX, blob);
-        }
-        pm.persist(off, LEN_PREFIX + blob.len());
-        // ...then the atomic commit.
-        slab.bitmap.set_and_persist(pm, slot, true);
-        Ok(PmemPtr(off as u64))
-    }
-
-    /// Resolves `ptr` to its slab and slot, requiring the slot to be
-    /// allocated.
-    fn resolve<R: PmemRead>(&self, pm: &R, ptr: PmemPtr) -> Result<(usize, u64), AllocError> {
-        for (ci, slab) in self.slabs.iter().enumerate() {
-            if let Some(slot) = slab.slot_of(ptr.0) {
-                if slab.bitmap.get(pm, slot) {
-                    return Ok((ci, slot));
-                }
-                return Err(AllocError::BadPointer(ptr));
-            }
-        }
-        Err(AllocError::BadPointer(ptr))
-    }
-
-    /// Reads the blob at `ptr`.
-    pub fn read<R: PmemRead>(&self, pm: &R, ptr: PmemPtr) -> Result<Vec<u8>, AllocError> {
-        let (ci, _) = self.resolve(pm, ptr)?;
-        let len = pm.read_u64(ptr.0 as usize) as usize;
-        debug_assert!(len <= self.slabs[ci].class.max_blob());
-        let mut buf = vec![0u8; len];
-        if len > 0 {
-            pm.read(ptr.0 as usize + LEN_PREFIX, &mut buf);
-        }
-        Ok(buf)
-    }
-
-    /// Frees the blob at `ptr` (atomic bitmap clear — the commit point).
-    pub fn free<P: Pmem>(&mut self, pm: &mut P, ptr: PmemPtr) -> Result<(), AllocError> {
-        let (ci, slot) = self.resolve(pm, ptr)?;
-        self.slabs[ci].bitmap.set_and_persist(pm, slot, false);
-        self.cursors[ci] = slot; // freed slot becomes the next candidate
-        Ok(())
-    }
-
-    /// True if `ptr` names a currently-allocated slot.
-    pub fn is_allocated<R: PmemRead>(&self, pm: &R, ptr: PmemPtr) -> bool {
-        self.resolve(pm, ptr).is_ok()
-    }
-
-    /// Visits every allocated slot (for mark-and-sweep by owners).
-    pub fn for_each_allocated<R: PmemRead>(&self, pm: &R, mut f: impl FnMut(PmemPtr)) {
-        for slab in &self.slabs {
-            for slot in 0..slab.class.slots {
-                if slab.bitmap.get(pm, slot) {
-                    f(PmemPtr(slab.slot_off(slot)));
-                }
-            }
-        }
-    }
-
-    /// (allocated slots, total slots) per class.
-    pub fn class_usage<R: PmemRead>(&self, pm: &R) -> Vec<(u64, u64)> {
-        self.slabs
-            .iter()
-            .map(|s| (s.bitmap.count_ones(pm), s.class.slots))
-            .collect()
-    }
-
-    /// Total allocated slots.
-    pub fn allocated<R: PmemRead>(&self, pm: &R) -> u64 {
-        self.class_usage(pm).iter().map(|&(a, _)| a).sum()
-    }
-
-    /// The allocator's pool region.
-    pub fn region(&self) -> Region {
-        self.region
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nvm_pmem::{CrashResolution, SimConfig, SimPmem};
+    use nvm_pmem::{CrashResolution, Pmem, Region, SimConfig, SimPmem};
 
-    fn setup(budget: u64) -> (SimPmem, PmemAlloc, Region) {
-        let cfg = AllocConfig::balanced(budget);
-        let size = PmemAlloc::required_size(&cfg);
+    fn setup(budget: u64) -> (SimPmem, PmemHeap, Region) {
+        let cfg = HeapConfig::balanced(budget);
+        let size = PmemHeap::required_size(&cfg);
         let mut pm = SimPmem::new(size, SimConfig::fast_test());
         let region = Region::new(0, size);
-        let a = PmemAlloc::create(&mut pm, region, &cfg).unwrap();
-        (pm, a, region)
+        let h = PmemHeap::create(&mut pm, region, &cfg).unwrap();
+        (pm, h, region)
+    }
+
+    /// An owner over a DRAM pointer set — the simplest GcOwner.
+    struct SetOwner {
+        live: std::collections::HashMap<u64, Vec<u8>>,
+    }
+
+    impl SetOwner {
+        fn new() -> Self {
+            SetOwner {
+                live: Default::default(),
+            }
+        }
+    }
+
+    impl<P: Pmem> GcOwner<P> for SetOwner {
+        fn is_live(&mut self, _pm: &P, ptr: PmemPtr, blob: &[u8]) -> bool {
+            self.live.get(&ptr.0).is_some_and(|b| b == blob)
+        }
+        fn repoint(&mut self, _pm: &mut P, old: PmemPtr, new: PmemPtr, _blob: &[u8]) -> bool {
+            let Some(b) = self.live.remove(&old.0) else {
+                return false;
+            };
+            self.live.insert(new.0, b);
+            true
+        }
     }
 
     #[test]
     fn roundtrip_various_sizes() {
-        let (mut pm, mut a, _) = setup(64 * 1024);
-        let blobs: Vec<Vec<u8>> = [0usize, 1, 7, 24, 56, 120, 248, 1000, 4000]
+        let (mut pm, mut h, _) = setup(64 * 1024);
+        let blobs: Vec<Vec<u8>> = [0usize, 1, 7, 24, 72, 120, 248, 1000, 4000]
             .iter()
             .map(|&n| (0..n).map(|i| (i * 7) as u8).collect())
             .collect();
-        let ptrs: Vec<PmemPtr> = blobs
-            .iter()
-            .map(|b| a.alloc(&mut pm, b).unwrap())
-            .collect();
+        let ptrs: Vec<PmemPtr> = blobs.iter().map(|b| h.alloc(&mut pm, b).unwrap()).collect();
         for (b, &p) in blobs.iter().zip(&ptrs) {
-            assert_eq!(&a.read(&pm, p).unwrap(), b);
+            assert_eq!(&h.read(&pm, p).unwrap(), b);
         }
-        assert_eq!(a.allocated(&pm), blobs.len() as u64);
+        assert_eq!(h.allocated(&pm), blobs.len() as u64);
+        assert_eq!(h.stats().allocs, blobs.len() as u64);
     }
 
     #[test]
     fn free_enables_reuse() {
-        let (mut pm, mut a, _) = setup(8 * 1024);
-        let p1 = a.alloc(&mut pm, &[1u8; 20]).unwrap();
-        a.free(&mut pm, p1).unwrap();
-        assert!(!a.is_allocated(&pm, p1));
-        let p2 = a.alloc(&mut pm, &[2u8; 20]).unwrap();
-        assert_eq!(p1, p2, "freed slot should be reused first");
-        assert_eq!(a.read(&pm, p2).unwrap(), vec![2u8; 20]);
+        let (mut pm, mut h, _) = setup(16 * 1024);
+        h.set_rotation(RotationPolicy::FirstFit);
+        let p1 = h.alloc(&mut pm, &[1u8; 20]).unwrap();
+        h.free(&mut pm, p1).unwrap();
+        assert!(!h.is_allocated(&pm, p1));
+        let p2 = h.alloc(&mut pm, &[2u8; 20]).unwrap();
+        assert_eq!(p1, p2, "freed slot should be reused first under first-fit");
+        assert_eq!(h.read(&pm, p2).unwrap(), vec![2u8; 20]);
     }
 
     #[test]
-    fn class_exhaustion_is_reported() {
-        let cfg = AllocConfig {
-            classes: vec![SizeClass {
+    fn exhaustion_and_oversize_are_reported() {
+        let cfg = HeapConfig {
+            classes: vec![ClassSpec {
                 slot_size: 32,
-                slots: 4,
+                slots_per_slab: 2,
             }],
+            slabs_per_class: 2,
         };
-        let size = PmemAlloc::required_size(&cfg);
+        let size = PmemHeap::required_size(&cfg);
         let mut pm = SimPmem::new(size, SimConfig::fast_test());
-        let mut a = PmemAlloc::create(&mut pm, Region::new(0, size), &cfg).unwrap();
+        let mut h = PmemHeap::create(&mut pm, Region::new(0, size), &cfg).unwrap();
         for i in 0..4 {
-            a.alloc(&mut pm, &[i as u8; 10]).unwrap();
+            h.alloc(&mut pm, &[i as u8; 10]).unwrap();
         }
-        assert_eq!(a.alloc(&mut pm, &[9; 10]), Err(AllocError::OutOfMemory));
-        assert_eq!(a.alloc(&mut pm, &[9; 100]), Err(AllocError::TooLarge(100)));
+        assert_eq!(h.alloc(&mut pm, &[9; 10]), Err(AllocError::OutOfMemory));
+        assert_eq!(h.alloc(&mut pm, &[9; 100]), Err(AllocError::TooLarge(100)));
     }
 
     #[test]
     fn bad_pointers_rejected() {
-        let (mut pm, mut a, _) = setup(8 * 1024);
-        let p = a.alloc(&mut pm, b"x").unwrap();
-        assert!(a.read(&pm, PmemPtr(p.0 + 1)).is_err()); // misaligned
-        assert!(a.read(&pm, PmemPtr(3)).is_err()); // header area
-        a.free(&mut pm, p).unwrap();
-        assert!(a.read(&pm, p).is_err()); // freed
-        assert_eq!(a.free(&mut pm, p), Err(AllocError::BadPointer(p)));
+        let (mut pm, mut h, _) = setup(16 * 1024);
+        let p = h.alloc(&mut pm, b"x").unwrap();
+        assert!(h.read(&pm, PmemPtr(p.0 + 1)).is_err()); // misaligned
+        assert!(h.read(&pm, PmemPtr(3)).is_err()); // header area
+        h.free(&mut pm, p).unwrap();
+        assert!(h.read(&pm, p).is_err()); // freed
+        assert_eq!(h.free(&mut pm, p), Err(AllocError::BadPointer(p)));
     }
 
     #[test]
     fn reopen_preserves_heap() {
-        let (mut pm, mut a, region) = setup(16 * 1024);
-        let p = a.alloc(&mut pm, b"persistent blob").unwrap();
-        drop(a);
-        let a2 = PmemAlloc::open(&pm, region).unwrap();
-        assert_eq!(a2.read(&pm, p).unwrap(), b"persistent blob");
-        assert_eq!(a2.allocated(&pm), 1);
+        let (mut pm, mut h, region) = setup(32 * 1024);
+        let p = h.alloc(&mut pm, b"persistent blob").unwrap();
+        drop(h);
+        let h2 = PmemHeap::open(&pm, region).unwrap();
+        assert_eq!(h2.read(&pm, p).unwrap(), b"persistent blob");
+        assert_eq!(h2.allocated(&pm), 1);
+        assert!(!h2.gc_pending(&pm));
     }
 
     #[test]
     fn open_rejects_garbage() {
         let pm = SimPmem::new(4096, SimConfig::fast_test());
-        assert!(PmemAlloc::open(&pm, Region::new(0, 4096)).is_err());
+        assert!(PmemHeap::open(&pm, Region::new(0, 4096)).is_err());
     }
 
     #[test]
     fn uncommitted_alloc_vanishes_on_crash() {
         use nvm_pmem::{run_with_crash, CrashPlan};
-        let (pm0, a0, region) = setup(8 * 1024);
+        let (pm0, h0, region) = setup(16 * 1024);
         // Crash at every event of an alloc; afterwards the heap is either
         // empty (commit didn't land) or holds exactly the intact blob.
         for at in 0..60 {
             let mut pm = pm0.clone();
-            let mut a = a0.clone();
+            let mut h = h0.clone();
             let base = pm.events();
             pm.set_crash_plan(Some(CrashPlan {
                 at_event: base + at,
             }));
-            let done = run_with_crash(|| a.alloc(&mut pm, &[0xAB; 40]).unwrap()).is_ok();
+            let done = run_with_crash(|| h.alloc(&mut pm, &[0xAB; 40]).unwrap()).is_ok();
             pm.crash(CrashResolution::Random(at));
-            let a = PmemAlloc::open(&pm, region).unwrap();
+            let h = PmemHeap::open(&pm, region).unwrap();
             let mut live = vec![];
-            a.for_each_allocated(&pm, |p| live.push(p));
+            h.for_each_allocated(&pm, |p| live.push(p));
             match live.len() {
                 0 => {}
                 1 => {
-                    assert_eq!(a.read(&pm, live[0]).unwrap(), vec![0xAB; 40]);
+                    assert_eq!(h.read(&pm, live[0]).unwrap(), vec![0xAB; 40]);
                 }
                 n => panic!("{n} blobs after one alloc (crash at +{at})"),
             }
@@ -572,14 +218,158 @@ mod tests {
     }
 
     #[test]
-    fn class_usage_accounts() {
-        let (mut pm, mut a, _) = setup(32 * 1024);
-        a.alloc(&mut pm, &[0; 10]).unwrap(); // class 0 (32B slots)
-        a.alloc(&mut pm, &[0; 10]).unwrap();
-        a.alloc(&mut pm, &[0; 100]).unwrap(); // class 2 (128B slots)
-        let usage = a.class_usage(&pm);
-        assert_eq!(usage[0].0, 2);
-        assert_eq!(usage[2].0, 1);
-        assert!(usage[1].0 == 0 && usage[3].0 == 0);
+    fn wear_rotation_spreads_across_slabs() {
+        let cfg = HeapConfig {
+            classes: vec![ClassSpec {
+                slot_size: 64,
+                slots_per_slab: 32,
+            }],
+            slabs_per_class: 4,
+        };
+        let size = PmemHeap::required_size(&cfg);
+        let mut pm = SimPmem::new(size, SimConfig::fast_test());
+        let region = Region::new(0, size);
+
+        // Wear-aware: alloc/free churn on one live blob at a time rotates
+        // over all four slabs.
+        let mut h = PmemHeap::create(&mut pm, region, &cfg).unwrap();
+        for i in 0..64 {
+            let p = h.alloc(&mut pm, &[i as u8; 32]).unwrap();
+            h.free(&mut pm, p).unwrap();
+        }
+        let writes = h.slab_writes().to_vec();
+        assert_eq!(writes.iter().sum::<u64>(), 64);
+        assert!(
+            writes.iter().all(|&w| w == 16),
+            "wear-aware rotation should even out writes, got {writes:?}"
+        );
+
+        // First-fit baseline: the same churn hammers slab 0 only.
+        let mut h = PmemHeap::create(&mut pm, region, &cfg).unwrap();
+        h.set_rotation(RotationPolicy::FirstFit);
+        for i in 0..64 {
+            let p = h.alloc(&mut pm, &[i as u8; 32]).unwrap();
+            h.free(&mut pm, p).unwrap();
+        }
+        let writes = h.slab_writes();
+        assert_eq!(writes[0], 64);
+        assert!(writes[1..].iter().all(|&w| w == 0));
+    }
+
+    #[test]
+    fn gc_reclaims_unreferenced_blobs() {
+        let (mut pm, mut h, _) = setup(32 * 1024);
+        let mut owner = SetOwner::new();
+        let mut leaked = 0;
+        for i in 0..20u8 {
+            let blob = vec![i; 24];
+            let p = h.alloc(&mut pm, &blob).unwrap();
+            if i % 4 == 0 {
+                leaked += 1; // owner never learns about these
+            } else {
+                owner.live.insert(p.0, blob);
+            }
+        }
+        let reclaimed = h.gc_full(&mut pm, &mut owner).unwrap();
+        assert_eq!(reclaimed, leaked);
+        assert_eq!(h.allocated(&pm), 20 - leaked);
+        // Everything the owner references is still intact.
+        for (&off, blob) in &owner.live {
+            assert_eq!(&h.read(&pm, PmemPtr(off)).unwrap(), blob);
+        }
+        // A second pass finds nothing.
+        assert_eq!(h.gc_full(&mut pm, &mut owner).unwrap(), 0);
+    }
+
+    #[test]
+    fn gc_compacts_sparse_slabs() {
+        let cfg = HeapConfig {
+            classes: vec![ClassSpec {
+                slot_size: 64,
+                slots_per_slab: 16,
+            }],
+            slabs_per_class: 2,
+        };
+        let size = PmemHeap::required_size(&cfg);
+        let mut pm = SimPmem::new(size, SimConfig::fast_test());
+        let mut h = PmemHeap::create(&mut pm, Region::new(0, size), &cfg).unwrap();
+        h.set_rotation(RotationPolicy::FirstFit);
+        let mut owner = SetOwner::new();
+        // Fill slab 0, spill a few into slab 1, then free most of slab 0
+        // so it becomes sparse (≤ 4 live of 16).
+        let mut ptrs = vec![];
+        for i in 0..20u8 {
+            let blob = vec![i; 32];
+            let p = h.alloc(&mut pm, &blob).unwrap();
+            owner.live.insert(p.0, blob);
+            ptrs.push(p);
+        }
+        for &p in &ptrs[2..16] {
+            owner.live.remove(&p.0);
+            h.free(&mut pm, p).unwrap();
+        }
+        h.gc_full(&mut pm, &mut owner).unwrap();
+        // Slab 0's two survivors moved into slab 1 (the denser slab).
+        assert!(h.stats().gc_moves >= 2, "stats: {:?}", h.stats());
+        let usage = h.class_usage(&pm);
+        assert_eq!(usage[0].0, 6); // 2 moved + 4 spilled
+        for (&off, blob) in &owner.live {
+            assert_eq!(&h.read(&pm, PmemPtr(off)).unwrap(), blob);
+        }
+    }
+
+    #[test]
+    fn gc_step_is_bounded_and_resumable() {
+        let (mut pm, mut h, region) = setup(32 * 1024);
+        let mut owner = SetOwner::new();
+        for i in 0..10u8 {
+            h.alloc(&mut pm, &[i; 24]).unwrap(); // all leaked
+        }
+        assert!(!h.gc_pending(&pm));
+        assert!(h.gc_step(&mut pm, 1, &mut owner).unwrap());
+        assert!(h.gc_pending(&pm), "pass in flight is persisted");
+        // The in-flight pass survives a re-open and resumes where it was.
+        let mut h2 = PmemHeap::open(&pm, region).unwrap();
+        assert!(h2.gc_pending(&pm));
+        while h2.gc_step(&mut pm, 64, &mut owner).unwrap() {}
+        assert!(!h2.gc_pending(&pm));
+        assert_eq!(h2.allocated(&pm), 0, "every leaked blob reclaimed");
+    }
+
+    /// The heap's publish budgets, pinned: alloc = data persist + bitmap
+    /// commit (2 flushes / 2 fences / 1 atomic), free = bitmap commit
+    /// alone (1 / 1 / 1). Slots are 64 B here so the data persist is one
+    /// line.
+    #[test]
+    fn alloc_and_free_budgets_are_pinned() {
+        let cfg = HeapConfig {
+            classes: vec![ClassSpec {
+                slot_size: 64,
+                slots_per_slab: 8,
+            }],
+            slabs_per_class: 1,
+        };
+        let size = PmemHeap::required_size(&cfg);
+        let mut pm = SimPmem::new(size, SimConfig::fast_test());
+        let mut h = PmemHeap::create(&mut pm, Region::new(0, size), &cfg).unwrap();
+        pm.reset_stats();
+        let p = h.alloc(&mut pm, &[7; 40]).unwrap();
+        let st = pm.stats();
+        assert_eq!((st.flushes, st.fences, st.atomic_writes), (2, 2, 1));
+        pm.reset_stats();
+        h.free(&mut pm, p).unwrap();
+        let st = pm.stats();
+        assert_eq!((st.flushes, st.fences, st.atomic_writes), (1, 1, 1));
+    }
+
+    #[test]
+    fn read_view_reads_concurrently() {
+        let (mut pm, mut h, _) = setup(32 * 1024);
+        let p = h.alloc(&mut pm, b"shared read").unwrap();
+        let view = h.read_view();
+        let r = pm.read_handle();
+        let got = std::thread::scope(|s| s.spawn(|| view.read(&r, p).unwrap()).join().unwrap());
+        assert_eq!(got, b"shared read");
+        assert!(view.is_allocated(&r, p));
     }
 }

@@ -1,32 +1,123 @@
-//! Property-based tests for the persistent allocator.
+//! Property-based tests for the layered value heap.
+//!
+//! Two groups: pure properties of the size-class/layout layer (no pmem
+//! at all — rounding is minimal, monotone and growth-bounded; freelist
+//! geometry round-trips), and whole-heap properties against an oracle
+//! map plus crash/reopen survival.
 
-use nvm_alloc::{AllocConfig, AllocError, PmemAlloc, PmemPtr, SizeClass};
+use nvm_alloc::{
+    AllocError, ClassSpec, ClassTable, HeapConfig, PmemHeap, PmemPtr, SlabGeometry, LEN_PREFIX,
+};
 use nvm_pmem::{CrashResolution, Region, SimConfig, SimPmem};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
-fn small_heap() -> (SimPmem, PmemAlloc, Region) {
-    let cfg = AllocConfig {
+// ---- pure size-class layer -----------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any valid geometric table and any blob size in range, the
+    /// chosen class fits, is the *smallest* class that fits, and the
+    /// mapping is monotone in the blob size.
+    #[test]
+    fn rounding_is_minimal_and_monotone(
+        base in 16u64..512,
+        max_blob in 64u64..8192,
+        lens in prop::collection::vec(0usize..8192, 1..64),
+    ) {
+        let t = ClassTable::geometric(base, (5, 4), max_blob).unwrap();
+        let mut sorted = lens.clone();
+        sorted.sort_unstable();
+        let mut prev_class = 0;
+        for len in sorted {
+            if len > t.largest_blob() {
+                prop_assert_eq!(t.class_for(len), Err(AllocError::TooLarge(len)));
+                continue;
+            }
+            let ci = t.class_for(len).unwrap();
+            prop_assert!(t.get(ci).max_blob() >= len, "chosen class must fit");
+            if ci > 0 {
+                prop_assert!(t.get(ci - 1).max_blob() < len, "class must be minimal");
+            }
+            prop_assert!(ci >= prev_class, "rounding must be monotone");
+            prev_class = ci;
+        }
+    }
+
+    /// Geometric growth stays within the 1.25 bound (modulo rounding up
+    /// to 8): each slot size is at most ceil(prev * 5/4) rounded to 8.
+    #[test]
+    fn growth_is_bounded_by_factor(base in 16u64..512, max_blob in 64u64..8192) {
+        let t = ClassTable::geometric(base, (5, 4), max_blob).unwrap();
+        let sizes: Vec<u64> = t.iter().map(|c| c.slot_size).collect();
+        for w in sizes.windows(2) {
+            let bound = (w[0] * 5).div_ceil(4).div_ceil(8) * 8;
+            prop_assert!(
+                w[1] <= bound,
+                "class step {} -> {} exceeds 1.25 growth bound {}",
+                w[0], w[1], bound
+            );
+        }
+    }
+
+    /// Slot offsets and slot indices are inverse maps; non-slot-start
+    /// offsets never resolve.
+    #[test]
+    fn slab_geometry_round_trips(
+        slot_size in (2u64..512).prop_map(|n| n * 8),
+        slots in 1u64..512,
+        probe in any::<u64>(),
+    ) {
+        let g = SlabGeometry { slot_size, slots };
+        for i in [0, slots / 2, slots - 1] {
+            prop_assert_eq!(g.slot_of(g.slot_off(i)), Some(i));
+        }
+        let rel = probe % (slot_size * slots);
+        match g.slot_of(rel) {
+            Some(i) => prop_assert_eq!(g.slot_off(i), rel),
+            None => prop_assert!(rel % slot_size != 0),
+        }
+        prop_assert_eq!(g.slot_of(slot_size * slots), None);
+        prop_assert_eq!(g.bitmap_bytes() as u64, slots.div_ceil(64) * 8);
+    }
+
+    /// `balanced` always yields a valid config whose classes can hold
+    /// every blob up to the largest class.
+    #[test]
+    fn balanced_configs_validate(budget in 4096u64..(1 << 22)) {
+        let cfg = HeapConfig::balanced(budget);
+        cfg.validate().unwrap();
+        let t = cfg.class_table().unwrap();
+        prop_assert!(t.largest_blob() >= 4096 - LEN_PREFIX);
+    }
+}
+
+// ---- whole-heap properties -----------------------------------------------
+
+fn small_heap() -> (SimPmem, PmemHeap, Region) {
+    let cfg = HeapConfig {
         classes: vec![
-            SizeClass {
+            ClassSpec {
                 slot_size: 32,
-                slots: 24,
+                slots_per_slab: 12,
             },
-            SizeClass {
+            ClassSpec {
                 slot_size: 64,
-                slots: 12,
+                slots_per_slab: 6,
             },
-            SizeClass {
+            ClassSpec {
                 slot_size: 256,
-                slots: 6,
+                slots_per_slab: 3,
             },
         ],
+        slabs_per_class: 2,
     };
-    let size = PmemAlloc::required_size(&cfg);
+    let size = PmemHeap::required_size(&cfg);
     let mut pm = SimPmem::new(size, SimConfig::fast_test());
     let region = Region::new(0, size);
-    let a = PmemAlloc::create(&mut pm, region, &cfg).unwrap();
-    (pm, a, region)
+    let h = PmemHeap::create(&mut pm, region, &cfg).unwrap();
+    (pm, h, region)
 }
 
 #[derive(Debug, Clone)]
@@ -53,7 +144,7 @@ fn ops() -> impl Strategy<Value = Vec<Op>> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    /// The allocator behaves like an oracle map of live allocations:
+    /// The heap behaves like an oracle map of live allocations:
     /// reads return exactly what was written, frees make pointers invalid,
     /// capacity errors are the only failures, and accounting matches.
     #[test]
@@ -121,7 +212,7 @@ proptest! {
             }
         }
         pm.crash(CrashResolution::Random(seed));
-        let heap = PmemAlloc::open(&pm, region).unwrap();
+        let heap = PmemHeap::open(&pm, region).unwrap();
         prop_assert_eq!(heap.allocated(&pm), stored.len() as u64);
         for (p, blob) in &stored {
             prop_assert_eq!(&heap.read(&pm, *p).unwrap(), blob);

@@ -49,4 +49,10 @@ fn main() {
     for t in experiments::multi_get::run(&args) {
         t.emit(out, "multi_get");
     }
+    for (t, name) in experiments::heap::run(&args)
+        .iter()
+        .zip(["heap", "heap_recovery"])
+    {
+        t.emit(out, name);
+    }
 }

@@ -1,0 +1,9 @@
+//! Extension experiment: value-heap fragmentation, wear, and recovery.
+use gh_harness::{experiments::heap, Args};
+
+fn main() {
+    let args = Args::parse();
+    for (t, name) in heap::run(&args).iter().zip(["heap", "heap_recovery"]) {
+        t.emit(args.out_dir.as_deref(), name);
+    }
+}

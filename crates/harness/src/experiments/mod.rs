@@ -9,6 +9,7 @@ pub mod fig5;
 pub mod fig7;
 pub mod fig8;
 pub mod fingerprint;
+pub mod heap;
 pub mod multi_get;
 pub mod nvm_sweep;
 pub mod prefetch;

@@ -7,8 +7,11 @@
 //!
 //! * a [`GroupHash`] **index** mapping 16-byte key fingerprints
 //!   (MurmurHash3 x64-128) to 8-byte persistent pointers;
-//! * a [`PmemAlloc`] **heap** holding `[key_len | key | value]` blobs, so
-//!   fingerprint collisions are detected by comparing the stored key.
+//! * a [`PmemHeap`] **value heap** holding `[key_len | key | value]`
+//!   blobs in wear-rotated slab classes, so fingerprint collisions are
+//!   detected by comparing the stored key. The store talks only to the
+//!   heap's policy layer — never to slab-store internals (enforced by a
+//!   `ci.sh` layering lint).
 //!
 //! # Crash consistency, without a log
 //!
@@ -26,12 +29,16 @@
 //!
 //! The index itself is exactly the paper's structure, so its own
 //! crash-recovery story (Algorithm 4) carries over; [`PmemKv::recover`]
-//! runs it and then sweeps leaks.
+//! runs it and then runs [`PmemKv::gc_recover`] — the heap's bounded,
+//! crash-resumable GC drainer driven with the index as [`GcOwner`] —
+//! until every unreachable blob is reclaimed. The same drainer is
+//! available incrementally online via [`PmemKv::gc_step`] /
+//! [`PmemKv::gc_pending`], mirroring `migrate_into`'s choreography.
 
 use group_hash::{GroupHash, GroupHashConfig, GroupReadView};
-use nvm_alloc::{AllocConfig, AllocError, PmemAlloc, PmemPtr};
+use nvm_alloc::{AllocError, FragStats, GcOwner, HeapConfig, HeapReadView, PmemHeap, PmemPtr};
 use nvm_hashfn::murmur3_x64_128;
-use nvm_metrics::MetricsRegistry;
+use nvm_metrics::{HeapCounters, MetricsRegistry};
 use nvm_pmem::{align_up, Pmem, PmemRead, Region, RegionAllocator, CACHELINE};
 use nvm_table::{HashScheme, InsertError, MigrationSource, TableError};
 use std::collections::{HashMap, HashSet};
@@ -100,9 +107,10 @@ impl KvConfig {
         KvConfig {
             index_cells_per_level: cells / 2,
             group_size: 64.min(cells / 2),
-            // 2x headroom: the balanced class split cannot match every
-            // value-size distribution exactly.
-            heap_bytes: (items * (avg_value + 64) * 2).max(4096),
+            // 4x headroom: the balanced memcached-style class split
+            // cannot match every value-size distribution exactly, and
+            // small blobs all round up to the 80-byte base class.
+            heap_bytes: (items * (avg_value + 64) * 4).max(8192),
             seed: 0x4B56_5354,
         }
     }
@@ -155,11 +163,49 @@ fn decode_blob(blob: &[u8]) -> (&[u8], &[u8]) {
     (&blob[4..4 + klen], &blob[4 + klen..])
 }
 
+/// [`decode_blob`] for blobs that may not be well-formed KV records
+/// (the GC sweep can encounter torn or foreign allocations).
+fn try_decode_blob(blob: &[u8]) -> Option<(&[u8], &[u8])> {
+    let klen = u32::from_le_bytes(blob.get(..4)?.try_into().ok()?) as usize;
+    let key = blob.get(4..4 + klen)?;
+    Some((key, &blob[4 + klen..]))
+}
+
 /// The engine. All persistent state lives in its pool region.
 pub struct PmemKv<P: Pmem> {
     index: GroupHash<P, [u8; 16], u64>,
-    heap: PmemAlloc,
+    heap: PmemHeap,
     region: Region,
+}
+
+/// The index as the heap's [`GcOwner`]: a blob is live iff its stored
+/// key's fingerprint maps to exactly that blob's pointer, and a repoint
+/// is the same atomic in-place pointer swap updates use.
+struct IndexOwner<'a, P: Pmem> {
+    index: &'a mut GroupHash<P, [u8; 16], u64>,
+}
+
+impl<P: Pmem> GcOwner<P> for IndexOwner<'_, P> {
+    fn is_live(&mut self, pm: &P, ptr: PmemPtr, blob: &[u8]) -> bool {
+        // A blob that doesn't parse as a KV record can't be referenced by
+        // the index — it's garbage from a crashed writer.
+        let Some((key, _)) = try_decode_blob(blob) else {
+            return false;
+        };
+        self.index.get(pm, &fingerprint(key)) == Some(ptr.0)
+    }
+
+    fn repoint(&mut self, pm: &mut P, old: PmemPtr, new: PmemPtr, blob: &[u8]) -> bool {
+        let Some((key, _)) = try_decode_blob(blob) else {
+            return false;
+        };
+        let fp = fingerprint(key);
+        // Re-check under the same borrow: decline if the entry moved on.
+        if self.index.get(pm, &fp) != Some(old.0) {
+            return false;
+        }
+        self.index.update_in_place(pm, &fp, new.0)
+    }
 }
 
 impl<P: Pmem> PmemKv<P> {
@@ -169,8 +215,8 @@ impl<P: Pmem> PmemKv<P> {
     fn split(region: Region, config: &KvConfig) -> Result<(Region, Region, Region), KvError> {
         let index_cfg = Self::index_config(config);
         let index_size = GroupHash::<P, [u8; 16], u64>::required_size(&index_cfg);
-        let heap_cfg = AllocConfig::balanced(config.heap_bytes);
-        let heap_size = PmemAlloc::required_size(&heap_cfg);
+        let heap_cfg = HeapConfig::balanced(config.heap_bytes);
+        let heap_size = PmemHeap::required_size(&heap_cfg);
         let mut alloc = RegionAllocator::new(region.off, region.end());
         if region.len < Self::HEADER_LEN + index_size + heap_size + 320 {
             return Err(KvError::Layout(format!(
@@ -195,7 +241,7 @@ impl<P: Pmem> PmemKv<P> {
         let index_cfg = Self::index_config(config);
         Self::HEADER_LEN
             + GroupHash::<P, [u8; 16], u64>::required_size(&index_cfg)
-            + PmemAlloc::required_size(&AllocConfig::balanced(config.heap_bytes))
+            + PmemHeap::required_size(&HeapConfig::balanced(config.heap_bytes))
             + 576
     }
 
@@ -204,7 +250,7 @@ impl<P: Pmem> PmemKv<P> {
         let (header_r, index_r, heap_r) = Self::split(region, config)?;
         let index = GroupHash::create(pm, index_r, Self::index_config(config))
             .map_err(KvError::Table)?;
-        let heap = PmemAlloc::create(pm, heap_r, &AllocConfig::balanced(config.heap_bytes))
+        let heap = PmemHeap::create(pm, heap_r, &HeapConfig::balanced(config.heap_bytes))
             .map_err(KvError::Heap)?;
         // Self-describing header: config words first, magic last.
         pm.write_u64(header_r.off + 8, config.index_cells_per_level);
@@ -244,7 +290,7 @@ impl<P: Pmem> PmemKv<P> {
         let config = Self::read_config(pm, region)?;
         let (_, index_r, heap_r) = Self::split(region, &config)?;
         let index = GroupHash::open(pm, index_r).map_err(KvError::Table)?;
-        let heap = PmemAlloc::open(pm, heap_r).map_err(KvError::Heap)?;
+        let heap = PmemHeap::open(pm, heap_r).map_err(KvError::Heap)?;
         Ok(PmemKv {
             index,
             heap,
@@ -451,31 +497,54 @@ impl<P: Pmem> PmemKv<P> {
         self.len(pm) == 0
     }
 
-    /// Post-crash recovery: repairs the index (Algorithm 4) and sweeps
-    /// leaked heap slots. Returns the number of leaks reclaimed.
+    /// Post-crash recovery: repairs the index (Algorithm 4), then runs
+    /// the heap drainer until every unreachable blob — leaked by a crash
+    /// mid-`set`/`set_batch`/`delete` or orphaned by an interrupted GC
+    /// move — is reclaimed. Returns the number of leaks reclaimed.
     pub fn recover(&mut self, pm: &mut P) -> u64 {
         self.index.recover(pm);
+        self.gc_recover(pm)
+    }
+
+    /// The recovery-time heap sweep: finishes any GC pass interrupted by
+    /// a crash, then runs one full fresh pass, so afterwards *every*
+    /// heap slot is referenced by the index (`usage()` entries == slots).
+    /// Returns the number of unreachable blobs reclaimed.
+    pub fn gc_recover(&mut self, pm: &mut P) -> u64 {
         self.gc(pm)
     }
 
-    /// Mark-and-sweep: frees heap slots not referenced by the index.
-    /// Returns the number reclaimed.
+    /// Reclaims unreachable heap blobs by running the heap's GC drainer
+    /// to completion (resuming an interrupted pass first). Returns the
+    /// number reclaimed.
     pub fn gc(&mut self, pm: &mut P) -> u64 {
-        let mut live: HashSet<u64> = HashSet::new();
-        self.index.for_each_entry(pm, |_, ptr| {
-            live.insert(ptr);
-        });
-        let mut dead = Vec::new();
-        self.heap.for_each_allocated(pm, |p| {
-            if !live.contains(&p.0) {
-                dead.push(p);
-            }
-        });
-        let n = dead.len() as u64;
-        for p in dead {
-            let _ = self.heap.free(pm, p);
-        }
-        n
+        let mut owner = IndexOwner {
+            index: &mut self.index,
+        };
+        self.heap
+            .gc_full(pm, &mut owner)
+            .expect("heap GC over its own pointers cannot fail")
+    }
+
+    /// True while a GC pass is in flight (persisted; survives crashes).
+    /// Keep calling [`PmemKv::gc_step`] until it returns `Ok(false)`.
+    pub fn gc_pending(&self, pm: &P) -> bool {
+        self.heap.gc_pending(pm)
+    }
+
+    /// Runs one bounded GC increment over up to `max_slots` heap slots —
+    /// the online counterpart of [`PmemKv::gc_recover`], shaped exactly
+    /// like [`PmemKv::migrate_into`]: a persisted cursor makes the drain
+    /// resumable across crashes, dead blobs are freed, and live blobs in
+    /// sparse slabs are compacted with at most one transient duplicate.
+    /// Returns `Ok(true)` while the pass is incomplete.
+    pub fn gc_step(&mut self, pm: &mut P, max_slots: u64) -> Result<bool, KvError> {
+        let mut owner = IndexOwner {
+            index: &mut self.index,
+        };
+        self.heap
+            .gc_step(pm, max_slots, &mut owner)
+            .map_err(KvError::Heap)
     }
 
     /// Structural validation: index invariants, every index pointer
@@ -595,6 +664,13 @@ impl<P: Pmem> PmemKv<P> {
         (self.index.len(pm), self.heap.allocated(pm))
     }
 
+    /// The heap's fragmentation snapshot (live blob bytes vs allocated
+    /// and total slot bytes) — the byte-level counterpart of
+    /// [`PmemKv::usage`].
+    pub fn frag_stats(&self, pm: &P) -> FragStats {
+        self.heap.frag_stats(pm)
+    }
+
     /// Captures a [`KvReadView`]: a read-only lookup facade over the
     /// index's [`GroupReadView`] and the heap geometry, usable through
     /// any [`PmemRead`] handle (e.g. [`Pmem::read_handle`] clones handed
@@ -604,7 +680,7 @@ impl<P: Pmem> PmemKv<P> {
     pub fn read_view(&self) -> KvReadView {
         KvReadView {
             index: self.index.read_view(),
-            heap: self.heap.clone(),
+            heap: self.heap.read_view(),
         }
     }
 
@@ -614,15 +690,27 @@ impl<P: Pmem> PmemKv<P> {
     }
 
     /// The store's observability snapshot: cumulative pmem counters,
-    /// cache-hierarchy counters when the backend models one, and — when
-    /// built with the `instrument` feature — the index's
-    /// probe/occupancy/displacement histograms under `index`.
+    /// cache-hierarchy counters when the backend models one, the value
+    /// heap's alloc/free/GC counters and per-slab write histogram under
+    /// `heap`, and — when built with the `instrument` feature — the
+    /// index's probe/occupancy/displacement histograms under `index`.
     pub fn metrics(&self, pm: &P) -> MetricsRegistry {
         let mut reg = MetricsRegistry::new();
         reg.set_pmem("pmem", &pm.stats());
         if let Some(c) = pm.cache_stats() {
             reg.set_cache("cache", &c);
         }
+        let hs = self.heap.stats();
+        reg.set_heap(
+            "heap",
+            &HeapCounters::from_heap(
+                hs.allocs,
+                hs.frees,
+                hs.gc_moves,
+                hs.leaked_reclaimed,
+                self.heap.slab_writes(),
+            ),
+        );
         if let Some(i) = HashScheme::<P, [u8; 16], u64>::instrumentation(&self.index) {
             reg.set_instrumentation("index", i);
         }
@@ -636,7 +724,7 @@ impl<P: Pmem> PmemKv<P> {
 #[derive(Debug, Clone)]
 pub struct KvReadView {
     index: GroupReadView<[u8; 16], u64>,
-    heap: PmemAlloc,
+    heap: HeapReadView,
 }
 
 impl KvReadView {
@@ -1076,6 +1164,177 @@ mod tests {
                 at += 1;
                 assert!(at < 300, "{name}: op never completed");
             }
+        }
+    }
+
+    #[test]
+    fn crash_anywhere_during_set_batch_recovers_leaks() {
+        use nvm_pmem::{run_with_crash, CrashPlan};
+        let (mut pm0, mut kv0, region, _cfg) = setup(128);
+        kv0.set(&mut pm0, b"stable", b"rock").unwrap();
+        kv0.set(&mut pm0, b"upd-a", b"old-a").unwrap();
+        kv0.set(&mut pm0, b"upd-b", b"old-b").unwrap();
+        drop(kv0);
+
+        // Fresh inserts, two updates, and an in-batch duplicate: every
+        // branch of the two-stage (blobs first, grouped index commit
+        // second) choreography gets a crash window.
+        let fresh: Vec<(Vec<u8>, Vec<u8>)> = (0..6u32)
+            .map(|i| (format!("bf-{i}").into_bytes(), vec![0x40 + i as u8; 24]))
+            .collect();
+        let mut items: Vec<(&[u8], &[u8])> = fresh
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .collect();
+        items.push((b"upd-a", b"new-a"));
+        items.push((b"upd-b", b"new-b"));
+        items.push((b"dupk", b"first"));
+        items.push((b"dupk", b"second"));
+
+        let mut at = 0u64;
+        loop {
+            let mut pm = pm0.clone();
+            let mut kv = PmemKv::open(&mut pm, region).unwrap();
+            let base = pm.events();
+            pm.set_crash_plan(Some(CrashPlan {
+                at_event: base + at,
+            }));
+            let done = run_with_crash(|| kv.set_batch(&mut pm, &items).unwrap()).is_ok();
+            pm.crash(CrashResolution::Random(at));
+
+            let mut kv = PmemKv::open(&mut pm, region).unwrap();
+            let leaks = kv.recover(&mut pm);
+            kv.check_consistency(&pm)
+                .unwrap_or_else(|e| panic!("crash at +{at}: {e}"));
+            assert_eq!(
+                kv.get(&pm, b"stable").as_deref(),
+                Some(&b"rock"[..]),
+                "at +{at}"
+            );
+            // Every batch key is in a sane pre- or post-state; torn
+            // values never surface.
+            for (i, (k, _)) in fresh.iter().enumerate() {
+                let got = kv.get(&pm, k);
+                assert!(
+                    got.is_none() || got.as_deref() == Some(&[0x40 + i as u8; 24][..]),
+                    "bf-{i} at +{at}: {got:?}"
+                );
+            }
+            for (k, old, new) in [
+                (&b"upd-a"[..], &b"old-a"[..], &b"new-a"[..]),
+                (&b"upd-b"[..], &b"old-b"[..], &b"new-b"[..]),
+            ] {
+                let got = kv.get(&pm, k);
+                assert!(
+                    got.as_deref() == Some(old) || got.as_deref() == Some(new),
+                    "update at +{at}: {got:?}"
+                );
+            }
+            // In-batch last-write-wins resolves in DRAM before the index
+            // commit, so the first duplicate's value is never visible.
+            let got = kv.get(&pm, b"dupk");
+            assert!(
+                got.is_none() || got.as_deref() == Some(b"second"),
+                "dupk at +{at}: {got:?}"
+            );
+            // The recovery sweep reclaimed every blob the index can't
+            // reach: committed blobs awaiting their index entry, new
+            // update blobs never swapped in, old update blobs never
+            // freed.
+            let (entries, slots) = kv.usage(&pm);
+            assert_eq!(
+                entries, slots,
+                "at +{at}: leak survived recovery (reclaimed {leaks})"
+            );
+
+            // Re-running the batch converges on the post state.
+            kv.set_batch(&mut pm, &items).unwrap();
+            for (i, (k, _)) in fresh.iter().enumerate() {
+                assert_eq!(kv.get(&pm, k), Some(vec![0x40 + i as u8; 24]), "at +{at}");
+            }
+            assert_eq!(kv.get(&pm, b"upd-a").as_deref(), Some(&b"new-a"[..]));
+            assert_eq!(kv.get(&pm, b"dupk").as_deref(), Some(&b"second"[..]));
+            kv.check_consistency(&pm).unwrap();
+            let (entries, slots) = kv.usage(&pm);
+            assert_eq!(entries, slots, "at +{at}: leak after replay");
+
+            if done {
+                break;
+            }
+            at += 1;
+            assert!(at < 5000, "set_batch never completed");
+        }
+    }
+
+    #[test]
+    fn crash_anywhere_during_gc_step_is_safe() {
+        use nvm_pmem::{run_with_crash, CrashPlan};
+        let (mut pm0, mut kv0, region, _cfg) = setup(96);
+        // Live entries, then churn: delete most of them so slabs go
+        // sparse and the drainer's compactor has real work to do.
+        let n = 24u32;
+        for i in 0..n {
+            kv0.set(&mut pm0, format!("gk-{i}").as_bytes(), &[i as u8; 20])
+                .unwrap();
+        }
+        let survivors: Vec<u32> = (0..n).filter(|i| i % 6 == 0).collect();
+        for i in 0..n {
+            if !survivors.contains(&i) {
+                assert!(kv0.delete(&mut pm0, format!("gk-{i}").as_bytes()));
+            }
+        }
+        // Fabricate leaked blobs — both well-formed KV records whose keys
+        // the index never saw, and raw garbage that doesn't even decode —
+        // exactly what crashed writers leave behind.
+        for i in 0..4u32 {
+            kv0.heap
+                .alloc(&mut pm0, &encode_blob(format!("ghost-{i}").as_bytes(), &[0xEE; 12]))
+                .unwrap();
+        }
+        kv0.heap.alloc(&mut pm0, b"not a kv record").unwrap();
+        let (entries0, slots0) = kv0.usage(&pm0);
+        assert_eq!(entries0, survivors.len() as u64);
+        assert_eq!(slots0, entries0 + 5, "fixture must start leaky");
+        drop(kv0);
+
+        let mut at = 0u64;
+        loop {
+            let mut pm = pm0.clone();
+            let mut kv = PmemKv::open(&mut pm, region).unwrap();
+            let base = pm.events();
+            pm.set_crash_plan(Some(CrashPlan {
+                at_event: base + at,
+            }));
+            let done = run_with_crash(|| {
+                while kv.gc_step(&mut pm, 4).unwrap() {}
+            })
+            .is_ok();
+            pm.crash(CrashResolution::Random(at));
+
+            // A crash mid-compaction may leave the moved blob's old or
+            // new copy unreferenced; recovery resumes the persisted
+            // cursor, finishes the pass, and sweeps again.
+            let mut kv = PmemKv::open(&mut pm, region).unwrap();
+            kv.recover(&mut pm);
+            assert!(!kv.gc_pending(&pm), "pass still pending at +{at}");
+            kv.check_consistency(&pm)
+                .unwrap_or_else(|e| panic!("crash at +{at}: {e}"));
+            for &i in &survivors {
+                assert_eq!(
+                    kv.get(&pm, format!("gk-{i}").as_bytes()),
+                    Some(vec![i as u8; 20]),
+                    "gk-{i} lost at +{at}"
+                );
+            }
+            assert_eq!(kv.len(&pm), survivors.len() as u64, "at +{at}");
+            let (entries, slots) = kv.usage(&pm);
+            assert_eq!(entries, slots, "at +{at}: GC crash left a permanent leak");
+
+            if done {
+                break;
+            }
+            at += 1;
+            assert!(at < 5000, "gc pass never completed");
         }
     }
 

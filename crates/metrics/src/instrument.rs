@@ -126,6 +126,97 @@ impl BatchCounters {
     }
 }
 
+/// Counters for the value heap: allocation traffic, GC reclamation, and
+/// per-slab write spread (the wear axis).
+///
+/// `slab_write_hist` buckets the *per-slab* write counts, so a heap that
+/// rotates well shows a tight distribution (max ≈ mean) while a
+/// no-rotation heap shows one hot slab and many cold ones.
+#[derive(Debug, Clone)]
+pub struct HeapCounters {
+    /// Completed allocations.
+    pub allocs: Counter,
+    /// Completed frees (including GC-initiated ones).
+    pub frees: Counter,
+    /// Blobs relocated by the GC compactor.
+    pub gc_moves: Counter,
+    /// Dead/leaked blobs reclaimed by the GC sweep.
+    pub leaked_reclaimed: Counter,
+    /// Total slot writes across all slabs (allocs + GC copy-ins).
+    pub slab_writes: Counter,
+    /// Distribution of per-slab write counts.
+    pub slab_write_hist: Histogram,
+}
+
+impl Default for HeapCounters {
+    fn default() -> Self {
+        HeapCounters {
+            allocs: Counter::default(),
+            frees: Counter::default(),
+            gc_moves: Counter::default(),
+            leaked_reclaimed: Counter::default(),
+            slab_writes: Counter::default(),
+            slab_write_hist: Histogram::exponential(1, 2, 20),
+        }
+    }
+}
+
+impl HeapCounters {
+    /// Builds a snapshot from a heap's cumulative stats plus its
+    /// per-slab write counters.
+    pub fn from_heap(
+        allocs: u64,
+        frees: u64,
+        gc_moves: u64,
+        leaked_reclaimed: u64,
+        per_slab_writes: &[u64],
+    ) -> HeapCounters {
+        let h = HeapCounters::default();
+        h.allocs.add(allocs);
+        h.frees.add(frees);
+        h.gc_moves.add(gc_moves);
+        h.leaked_reclaimed.add(leaked_reclaimed);
+        for &w in per_slab_writes {
+            h.slab_writes.add(w);
+            h.slab_write_hist.record(w);
+        }
+        h
+    }
+
+    /// Folds another instance in (shard aggregation).
+    pub fn merge(&self, other: &HeapCounters) {
+        self.allocs.merge(&other.allocs);
+        self.frees.merge(&other.frees);
+        self.gc_moves.merge(&other.gc_moves);
+        self.leaked_reclaimed.merge(&other.leaked_reclaimed);
+        self.slab_writes.merge(&other.slab_writes);
+        self.slab_write_hist.merge(&other.slab_write_hist);
+    }
+
+    /// Clears all counters and samples.
+    pub fn reset(&self) {
+        self.allocs.reset();
+        self.frees.reset();
+        self.gc_moves.reset();
+        self.leaked_reclaimed.reset();
+        self.slab_writes.reset();
+        self.slab_write_hist.reset();
+    }
+
+    /// Serializes as flat counters plus the `slab_writes` histogram
+    /// object (with its max/mean summarizing slab skew).
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.insert("allocs", Json::from(self.allocs.get()));
+        j.insert("frees", Json::from(self.frees.get()));
+        j.insert("gc_moves", Json::from(self.gc_moves.get()));
+        j.insert("leaked_reclaimed", Json::from(self.leaked_reclaimed.get()));
+        j.insert("slab_writes", Json::from(self.slab_writes.get()));
+        j.insert("slab_write_hist", self.slab_write_hist.to_json());
+        j
+    }
+}
+
 /// Probe/occupancy/displacement histograms recorded by one scheme
 /// instance (or one shard of a concurrent scheme).
 ///

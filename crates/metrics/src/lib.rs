@@ -58,7 +58,7 @@ mod registry;
 pub use concurrency::{ConcurrencyCounters, ConcurrencySnapshot};
 pub use counter::Counter;
 pub use histogram::Histogram;
-pub use instrument::{BatchCounters, FingerprintCounters, SchemeInstrumentation};
+pub use instrument::{BatchCounters, FingerprintCounters, HeapCounters, SchemeInstrumentation};
 pub use json::Json;
 pub use optrace::{OpDelta, OpTrace};
 pub use registry::{cache_stats_json, pmem_stats_json, MetricsRegistry};

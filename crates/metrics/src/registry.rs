@@ -3,7 +3,7 @@
 
 use crate::counter::Counter;
 use crate::histogram::Histogram;
-use crate::instrument::SchemeInstrumentation;
+use crate::instrument::{HeapCounters, SchemeInstrumentation};
 use crate::json::Json;
 use nvm_cachesim::CacheStats;
 use nvm_pmem::PmemStats;
@@ -88,6 +88,11 @@ impl MetricsRegistry {
     /// `name`.
     pub fn set_instrumentation(&mut self, name: &str, i: &SchemeInstrumentation) -> &mut Self {
         self.set(name, i.to_json())
+    }
+
+    /// Records a value heap's alloc/free/GC/wear block under `name`.
+    pub fn set_heap(&mut self, name: &str, h: &HeapCounters) -> &mut Self {
+        self.set(name, h.to_json())
     }
 
     /// Whether any sections have been recorded.

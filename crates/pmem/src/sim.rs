@@ -709,6 +709,26 @@ impl SimPmem {
         (total, max, mean)
     }
 
+    /// [`SimPmem::wear_summary`] restricted to the byte range
+    /// `[off, off + len)` — per-range media wear, for attributing
+    /// write-backs to one structure (a heap slab, a table level) inside a
+    /// shared pool. Lines straddling the range boundary count in full.
+    pub fn wear_range_summary(&self, off: usize, len: usize) -> (u64, u32, f64) {
+        let st = self.shared.persist_state();
+        let first = off / 64;
+        let last = (off + len).div_ceil(64).min(st.wear.len());
+        let range = &st.wear[first.min(st.wear.len())..last];
+        let total: u64 = range.iter().map(|&w| w as u64).sum();
+        let max = range.iter().copied().max().unwrap_or(0);
+        let worn = range.iter().filter(|&&w| w > 0).count();
+        let mean = if worn == 0 {
+            0.0
+        } else {
+            total as f64 / worn as f64
+        };
+        (total, max, mean)
+    }
+
     /// Latency model in effect.
     pub fn latency(&self) -> &LatencyModel {
         &self.latency
