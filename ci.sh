@@ -82,6 +82,17 @@ if grep -rnHE 'SlabStore|PmemBitmap|try_alloc_in|\balloc_in\b|locate_flat' crate
   echo "layering violation: kv must go through the heap policy layer, not slab-store internals" >&2
   lint_fail=1
 fi
+# The network front door codes against the Store facade only. If the
+# server needs something the facade doesn't expose, the facade grows —
+# the server never reaches into the index/heap/scheme layers. (nvm_pmem
+# is allowed: supplying backing pools is construction-time plumbing the
+# facade deliberately leaves to the caller.)
+if grep -rnE 'group_hash|nvm_table|nvm_alloc|nvm_core|nvm_hashfn|nvm_wal|nvm_baselines|nvm_cachesim' \
+    crates/server/src \
+    | strip_comments | grep .; then
+  echo "layering violation: nvm-server must code against the nvm-kv Store facade only" >&2
+  lint_fail=1
+fi
 [ "$lint_fail" -eq 0 ]
 
 echo "==> error-type lint (no stringly-typed public Results)"
@@ -139,6 +150,12 @@ grep -q "expand_step" crates/core/src/concurrent.rs || {
   echo "expansion lint: ShardedGroupHash lost its bounded expand_step drainer" >&2
   exit 1
 }
+
+echo "==> server loopback smoke test (ephemeral port, scripted session, clean shutdown)"
+# Boots the real TCP server over a Store on 127.0.0.1:0, runs a scripted
+# set/get/multi-get/gets/delete/stats/quit session, and requires every
+# thread to join on shutdown.
+cargo test -q -p nvm-server --test smoke
 
 echo "==> cargo bench --no-run (benches must compile)"
 cargo bench --no-run --workspace

@@ -253,6 +253,81 @@ impl PmemHeap {
         Err(AllocError::OutOfMemory)
     }
 
+    /// Allocates and stores every blob in `blobs` with **fence-coalesced
+    /// commits**: all blob bytes are written and flushed first (no
+    /// fences), one fence orders them, every occupancy bit is set
+    /// atomically with its word flushed, and one closing fence commits —
+    /// K allocations for 2 fences instead of the 2K that K
+    /// [`PmemHeap::alloc`] calls would spend. Placement follows the same
+    /// [`RotationPolicy`] as single allocations, with slots already
+    /// staged by this batch vetoed in DRAM (their bits are still clear).
+    ///
+    /// Returns one pointer per blob, in input order. On error (a blob too
+    /// large for every class, or the heap out of space) **nothing is
+    /// committed**: no bit was set, so every staged byte is unreachable
+    /// and the heap is unchanged.
+    ///
+    /// Crash ordering matches the single-alloc path: a crash anywhere
+    /// leaves an arbitrary subset of the batch allocated, each committed
+    /// slot intact, each uncommitted slot free.
+    pub fn alloc_batch<P: Pmem>(
+        &mut self,
+        pm: &mut P,
+        blobs: &[&[u8]],
+    ) -> Result<Vec<PmemPtr>, AllocError> {
+        if blobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut staged: Vec<(usize, u64)> = Vec::with_capacity(blobs.len());
+        let mut staged_set: std::collections::HashSet<(usize, u64)> =
+            std::collections::HashSet::with_capacity(blobs.len());
+        let mut ptrs = Vec::with_capacity(blobs.len());
+        // Remember the cursor/wear hints so a failed batch rolls the
+        // volatile policy state back along with it.
+        let saved_cursors = self.cursors.clone();
+        let saved_writes = self.writes.clone();
+        for blob in blobs {
+            let ci = match self.table.class_for(blob.len()) {
+                Ok(ci) => ci,
+                Err(e) => {
+                    self.cursors = saved_cursors;
+                    self.writes = saved_writes;
+                    return Err(e);
+                }
+            };
+            let range = self.store.class_slabs(ci);
+            let mut order: Vec<usize> = range.collect();
+            if self.rotation == RotationPolicy::WearAware {
+                order.sort_by_key(|&s| self.writes[s]);
+            }
+            let mut placed = false;
+            for s in order {
+                let slot = self.store.find_free_skipping(pm, s, self.cursors[s], |slot| {
+                    staged_set.contains(&(s, slot))
+                });
+                if let Some(slot) = slot {
+                    ptrs.push(self.store.stage_write(pm, s, slot, blob));
+                    staged_set.insert((s, slot));
+                    staged.push((s, slot));
+                    self.cursors[s] = slot + 1;
+                    self.writes[s] += 1;
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                // No bit committed yet — the staged bytes are unreachable
+                // and the heap is observably unchanged.
+                self.cursors = saved_cursors;
+                self.writes = saved_writes;
+                return Err(AllocError::OutOfMemory);
+            }
+        }
+        self.store.publish_staged(pm, &staged);
+        self.stats.allocs += blobs.len() as u64;
+        Ok(ptrs)
+    }
+
     /// Frees the blob at `ptr` (atomic bitmap clear — the commit point).
     pub fn free<P: Pmem>(&mut self, pm: &mut P, ptr: PmemPtr) -> Result<(), AllocError> {
         let (s, slot) = self.store.free(pm, ptr)?;

@@ -218,6 +218,99 @@ mod tests {
     }
 
     #[test]
+    fn alloc_batch_roundtrips_and_coalesces_fences() {
+        let (mut pm, mut h, _) = setup(64 * 1024);
+        let blobs: Vec<Vec<u8>> = (0..24usize)
+            .map(|i| vec![i as u8; 8 + (i * 37) % 300])
+            .collect();
+        let refs: Vec<&[u8]> = blobs.iter().map(|b| b.as_slice()).collect();
+        pm.reset_stats();
+        let ptrs = h.alloc_batch(&mut pm, &refs).unwrap();
+        // The whole point: K allocations, exactly 2 fences (K singles
+        // would spend 2K).
+        assert_eq!(pm.stats().fences, 2);
+        assert_eq!(ptrs.len(), blobs.len());
+        let mut uniq = ptrs.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), ptrs.len(), "batch reused a slot");
+        for (b, &p) in blobs.iter().zip(&ptrs) {
+            assert_eq!(&h.read(&pm, p).unwrap(), b);
+        }
+        assert_eq!(h.allocated(&pm), blobs.len() as u64);
+        assert_eq!(h.stats().allocs, blobs.len() as u64);
+        assert!(h.alloc_batch(&mut pm, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn alloc_batch_failure_commits_nothing() {
+        let cfg = HeapConfig {
+            classes: vec![ClassSpec {
+                slot_size: 32,
+                slots_per_slab: 2,
+            }],
+            slabs_per_class: 2,
+        };
+        let size = PmemHeap::required_size(&cfg);
+        let mut pm = SimPmem::new(size, SimConfig::fast_test());
+        let mut h = PmemHeap::create(&mut pm, Region::new(0, size), &cfg).unwrap();
+        let writes_before = h.slab_writes().to_vec();
+        // Five blobs into four slots: the batch must fail whole.
+        let blobs: Vec<&[u8]> = vec![&[1; 10]; 5];
+        assert_eq!(h.alloc_batch(&mut pm, &blobs), Err(AllocError::OutOfMemory));
+        assert_eq!(h.allocated(&pm), 0, "failed batch leaked slots");
+        assert_eq!(h.stats().allocs, 0);
+        assert_eq!(h.slab_writes(), &writes_before[..], "wear hints not rolled back");
+        // An oversize blob anywhere in the batch fails the same way.
+        assert_eq!(
+            h.alloc_batch(&mut pm, &[&[2; 10], &[2; 100]]),
+            Err(AllocError::TooLarge(100))
+        );
+        assert_eq!(h.allocated(&pm), 0);
+        // The heap still works after the failures.
+        let ptrs = h.alloc_batch(&mut pm, &[&[3; 10], &[4; 10]]).unwrap();
+        assert_eq!(h.read(&pm, ptrs[0]).unwrap(), vec![3; 10]);
+        assert_eq!(h.read(&pm, ptrs[1]).unwrap(), vec![4; 10]);
+    }
+
+    #[test]
+    fn crash_anywhere_in_alloc_batch_leaves_intact_subset() {
+        use nvm_pmem::{run_with_crash, CrashPlan};
+        let (pm0, h0, region) = setup(32 * 1024);
+        let blobs: Vec<Vec<u8>> = (0..6usize).map(|i| vec![0x50 + i as u8; 40]).collect();
+        let refs: Vec<&[u8]> = blobs.iter().map(|b| b.as_slice()).collect();
+        let mut at = 0u64;
+        loop {
+            let mut pm = pm0.clone();
+            let mut h = h0.clone();
+            let base = pm.events();
+            pm.set_crash_plan(Some(CrashPlan {
+                at_event: base + at,
+            }));
+            let done = run_with_crash(|| h.alloc_batch(&mut pm, &refs).unwrap()).is_ok();
+            pm.crash(CrashResolution::Random(at));
+            // Whatever subset of bits landed, each committed slot holds an
+            // intact blob from the batch.
+            let h = PmemHeap::open(&pm, region).unwrap();
+            let mut live = vec![];
+            h.for_each_allocated(&pm, |p| live.push(p));
+            assert!(live.len() <= blobs.len(), "crash at +{at}");
+            for p in live {
+                let got = h.read(&pm, p).unwrap();
+                assert!(
+                    blobs.contains(&got),
+                    "torn blob surfaced at +{at}: {got:?}"
+                );
+            }
+            if done {
+                break;
+            }
+            at += 1;
+            assert!(at < 500, "alloc_batch never completed");
+        }
+    }
+
+    #[test]
     fn wear_rotation_spreads_across_slabs() {
         let cfg = HeapConfig {
             classes: vec![ClassSpec {

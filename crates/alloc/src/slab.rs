@@ -212,6 +212,87 @@ impl SlabStore {
         Ok((PmemPtr(off as u64), slot))
     }
 
+    /// First free slot of slab `s` at or after `cursor` (wrapping), with
+    /// candidates for which `staged` returns `true` skipped — the scan
+    /// half of [`SlabStore::alloc_in`] split out so a fence-coalesced
+    /// batch can place several blobs in one slab *before* any of their
+    /// occupancy bits commit (the bitmap still reads those slots as
+    /// free, so the batch itself must veto them).
+    pub fn find_free_skipping<R: PmemRead>(
+        &self,
+        pm: &R,
+        s: usize,
+        cursor: u64,
+        staged: impl Fn(u64) -> bool,
+    ) -> Option<u64> {
+        let slab = &self.slabs[s];
+        let n = slab.geom.slots;
+        let start = cursor % n;
+        // Two linear segments, exactly like alloc_in's wrap: [start, n)
+        // then [0, start). Each skip advances the probe, so both loops
+        // terminate.
+        for (mut probe, end) in [(start, n), (0, start)] {
+            while probe < end {
+                let Some(slot) = slab.bitmap.find_zero_in_range(pm, probe, end - probe) else {
+                    break;
+                };
+                if !staged(slot) {
+                    return Some(slot);
+                }
+                probe = slot + 1;
+            }
+        }
+        None
+    }
+
+    /// Stage half of a fence-coalesced batched allocation: writes `blob`
+    /// (length prefix + bytes) into free slot `slot` of slab `s` and
+    /// flushes the lines, but issues **no fence and no bitmap commit** —
+    /// the slot still reads as free and the bytes are unreachable. The
+    /// batch completes with one [`SlabStore::publish_staged`] call.
+    pub fn stage_write<P: Pmem>(&self, pm: &mut P, s: usize, slot: u64, blob: &[u8]) -> PmemPtr {
+        let slab = &self.slabs[s];
+        debug_assert!(blob.len() <= slab.geom.slot_size as usize - LEN_PREFIX);
+        debug_assert!(!slab.bitmap.get(pm, slot), "staging into an allocated slot");
+        let off = slab.slot_off(slot) as usize;
+        pm.write_u64(off, blob.len() as u64);
+        if !blob.is_empty() {
+            pm.write(off + LEN_PREFIX, blob);
+        }
+        pm.flush(off, LEN_PREFIX + blob.len());
+        PmemPtr(off as u64)
+    }
+
+    /// Commit half of a fence-coalesced batched allocation: one fence
+    /// orders every staged blob's flushed data, then each staged slot's
+    /// bit is set atomically and its bitmap word flushed (words deduped),
+    /// then one closing fence commits the batch — K allocations for 2
+    /// fences instead of 2K.
+    ///
+    /// Crash ordering matches [`SlabStore::alloc_in`] exactly: data is
+    /// durable before any bit commits, and each bit set is an individual
+    /// failure-atomic 8-byte store, so a crash mid-publish leaves an
+    /// arbitrary *subset* of the batch allocated — every committed slot
+    /// holds intact bytes, every uncommitted slot still reads as free.
+    pub fn publish_staged<P: Pmem>(&self, pm: &mut P, staged: &[(usize, u64)]) {
+        if staged.is_empty() {
+            return;
+        }
+        pm.fence();
+        let mut words: Vec<usize> = Vec::with_capacity(staged.len());
+        for &(s, slot) in staged {
+            let slab = &self.slabs[s];
+            slab.bitmap.set_volatile(pm, slot, true);
+            words.push(slab.bitmap.word_off_of(slot));
+        }
+        words.sort_unstable();
+        words.dedup();
+        for w in words {
+            pm.flush(w, 8);
+        }
+        pm.fence();
+    }
+
     /// Shared-writer allocation in slab `s` — the `CellStore`
     /// try_publish choreography on slot granularity. `claims` must span
     /// [`SlabStore::total_slots`] flat slot indices and be shared by all

@@ -1,0 +1,112 @@
+//! Loopback round-trip benches for the nvm-server front door.
+//!
+//! Three views of the same write path: a pipelined burst of 16 `set`s
+//! through the full TCP + protocol + group-commit stack, a multi-`get`
+//! round trip on the lock-free read path, and the facade's own
+//! `set_batch` with no network — the delta is the front door's cost.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nvm_kv::prelude::*;
+use nvm_pmem::RealPmem;
+use nvm_server::{serve, ServerConfig};
+
+const BURST: usize = 16;
+const VALUE_LEN: usize = 64;
+const KEYSPACE: u64 = 4096;
+
+fn bench_server(c: &mut Criterion) {
+    let store = StoreBuilder::new()
+        .capacity(64 * KEYSPACE, VALUE_LEN as u64)
+        .shards(1)
+        .create_with(|_, size| RealPmem::with_write_latency(size, 0))
+        .expect("create");
+    let handle = serve(
+        store,
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            coalesce: true,
+        },
+    )
+    .expect("serve");
+    let mut conn = TcpStream::connect(handle.addr()).expect("connect");
+    conn.set_nodelay(true).expect("nodelay");
+
+    let value = vec![b'v'; VALUE_LEN];
+    let mut reply = vec![0u8; 64 * 1024];
+    let mut k = 0u64;
+
+    let mut g = c.benchmark_group("server_loopback");
+    g.throughput(Throughput::Elements(BURST as u64));
+    g.bench_function("set_burst_16", |b| {
+        b.iter(|| {
+            let mut wire = Vec::with_capacity(BURST * (32 + VALUE_LEN));
+            for _ in 0..BURST {
+                wire.extend_from_slice(
+                    format!("set k:{} 0 0 {VALUE_LEN}\r\n", k % KEYSPACE).as_bytes(),
+                );
+                k += 1;
+                wire.extend_from_slice(&value);
+                wire.extend_from_slice(b"\r\n");
+            }
+            conn.write_all(&wire).expect("write");
+            let mut acks = 0usize;
+            while acks < BURST {
+                let n = conn.read(&mut reply).expect("read");
+                acks += reply[..n].iter().filter(|&&b| b == b'\n').count();
+            }
+        })
+    });
+    g.bench_function("get_multi_8", |b| {
+        b.iter(|| {
+            let mut wire = Vec::new();
+            wire.extend_from_slice(b"get");
+            for i in 0..8 {
+                wire.extend_from_slice(format!(" k:{}", (k + i) % KEYSPACE).as_bytes());
+            }
+            k += 8;
+            wire.extend_from_slice(b"\r\n");
+            conn.write_all(&wire).expect("write");
+            let mut got = Vec::new();
+            while !got.ends_with(b"END\r\n") {
+                let n = conn.read(&mut reply).expect("read");
+                got.extend_from_slice(&reply[..n]);
+            }
+        })
+    });
+    g.finish();
+    drop(conn);
+    handle.shutdown();
+
+    // The no-network floor: the same burst as one facade batch call.
+    let store = StoreBuilder::new()
+        .capacity(64 * KEYSPACE, VALUE_LEN as u64)
+        .shards(1)
+        .create_with(|_, size| RealPmem::with_write_latency(size, 0))
+        .expect("create");
+    let mut g = c.benchmark_group("store_direct");
+    g.throughput(Throughput::Elements(BURST as u64));
+    g.bench_function("set_batch_16", |b| {
+        b.iter(|| {
+            let keys: Vec<String> = (0..BURST)
+                .map(|i| {
+                    let key = format!("k:{}", (k + i as u64) % KEYSPACE);
+                    key
+                })
+                .collect();
+            k += BURST as u64;
+            let items: Vec<(&[u8], &[u8])> = keys
+                .iter()
+                .map(|key| (key.as_bytes(), value.as_slice()))
+                .collect();
+            store.set_batch(&items).expect("set_batch");
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_server);
+criterion_main!(benches);

@@ -55,4 +55,7 @@ fn main() {
     {
         t.emit(out, name);
     }
+    for t in experiments::server::run(&args) {
+        t.emit(out, "server");
+    }
 }

@@ -1,0 +1,11 @@
+//! Extension experiment: the nvm-server network front door under a
+//! closed-loop multi-connection load — cross-connection group commit
+//! vs per-op commits.
+use gh_harness::{experiments::server, Args};
+
+fn main() {
+    let args = Args::parse();
+    for t in server::run(&args) {
+        t.emit(args.out_dir.as_deref(), "server");
+    }
+}

@@ -21,7 +21,7 @@ use crate::experiments::runner::experiment_json;
 use crate::tablefmt::{count, emit_json, ratio, Table};
 use crate::Args;
 use nvm_alloc::{GcOwner, HeapConfig, PmemHeap, PmemPtr, RotationPolicy};
-use nvm_kv::{KvConfig, PmemKv};
+use nvm_kv::prelude::*;
 use nvm_metrics::Json;
 use nvm_pmem::{run_with_crash, CrashPlan, CrashResolution, Pmem, Region, SimConfig, SimPmem};
 use std::collections::HashMap;
@@ -221,17 +221,19 @@ pub struct LeakRow {
 /// Crashes a 64-item `set_batch` at several points and measures the
 /// leak before and after recovery.
 pub fn collect_leaks(args: &Args) -> Vec<LeakRow> {
-    let cfg = KvConfig::for_capacity(256, 64);
-    let size = PmemKv::<SimPmem>::required_size(&cfg);
-    let mut pm0 = SimPmem::new(size, SimConfig::fast_test());
-    let region = Region::new(0, size);
-    let mut kv0 = PmemKv::create(&mut pm0, region, &cfg).unwrap();
+    let builder = StoreBuilder::new().capacity(256, 64);
+    let store0 = builder.create_sim(SimConfig::fast_test()).unwrap();
     let mut rng = args.seed ^ 0x4C45_414B;
     for i in 0..32u32 {
-        kv0.set(&mut pm0, format!("warm-{i}").as_bytes(), &[i as u8; 24])
+        store0
+            .set(format!("warm-{i}").as_bytes(), &[i as u8; 24])
             .unwrap();
     }
-    drop(kv0);
+    let pm0 = store0
+        .into_pools()
+        .ok()
+        .expect("sole handle")
+        .remove(0);
 
     let items: Vec<(Vec<u8>, Vec<u8>)> = (0..64u32)
         .map(|i| {
@@ -244,31 +246,45 @@ pub fn collect_leaks(args: &Args) -> Vec<LeakRow> {
         .map(|(k, v)| (k.as_slice(), v.as_slice()))
         .collect();
 
-    // Dry run on a clone to learn the batch's event span.
+    // Dry runs on clones (the simulator is deterministic): learn how
+    // many mutation events reopening costs, then the batch's own span.
+    let open_span = {
+        let pm = pm0.clone();
+        let before = pm.events();
+        let store = builder.open(vec![pm]).unwrap();
+        let pools = store.into_pools().ok().expect("sole handle");
+        pools[0].events() - before
+    };
     let span = {
-        let mut pm = pm0.clone();
-        let mut kv = PmemKv::open(&mut pm, region).unwrap();
-        let base = pm.events();
-        kv.set_batch(&mut pm, &refs).unwrap();
-        pm.events() - base
+        let pm = pm0.clone();
+        let base = pm.events() + open_span;
+        let store = builder.open(vec![pm]).unwrap();
+        store.set_batch(&refs).unwrap();
+        let pools = store.into_pools().ok().expect("sole handle");
+        pools[0].events() - base
     };
 
     [0.25, 0.5, 0.9]
         .into_iter()
         .map(|frac| {
             let mut pm = pm0.clone();
-            let mut kv = PmemKv::open(&mut pm, region).unwrap();
-            let at = pm.events() + (span as f64 * frac) as u64;
+            let at = pm.events() + open_span + (span as f64 * frac) as u64;
             pm.set_crash_plan(Some(CrashPlan { at_event: at }));
-            let _ = run_with_crash(|| kv.set_batch(&mut pm, &refs).unwrap());
+            let store = builder.open(vec![pm]).unwrap();
+            let _ = run_with_crash(|| store.set_batch(&refs).unwrap());
+            let mut pm = store
+                .into_pools()
+                .ok()
+                .expect("sole handle")
+                .remove(0);
             pm.crash(CrashResolution::Random(args.seed ^ at));
 
-            let mut kv = PmemKv::open(&mut pm, region).unwrap();
-            let (_, slots_before) = kv.usage(&pm);
-            let before = kv.frag_stats(&pm);
-            let reclaimed = kv.recover(&mut pm);
-            let (entries_after, slots_after) = kv.usage(&pm);
-            let after = kv.frag_stats(&pm);
+            let store = builder.open(vec![pm]).unwrap();
+            let (_, slots_before) = store.usage();
+            let before = store.frag_stats();
+            let reclaimed = store.recover();
+            let (entries_after, slots_after) = store.usage();
+            let after = store.frag_stats();
             LeakRow {
                 crash_frac: frac,
                 leaked_slots: slots_before.saturating_sub(entries_after),

@@ -14,5 +14,6 @@ pub mod multi_get;
 pub mod nvm_sweep;
 pub mod prefetch;
 pub mod runner;
+pub mod server;
 pub mod table3;
 pub mod wear;

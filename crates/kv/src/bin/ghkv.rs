@@ -1,9 +1,9 @@
 //! `ghkv` — a small CLI for group-hashing KV pool files.
 //!
 //! Pools are disk images of the simulated NVM (see `nvm_pmem::SimPmem::
-//! save_image`); every command loads the image, applies the operation,
-//! and writes the image back — the moral equivalent of mapping a real
-//! NVM region per process run.
+//! save_image`); every command loads the image into a [`Store`], applies
+//! the operation, and writes the image back — the moral equivalent of
+//! mapping a real NVM region per process run.
 //!
 //! ```text
 //! ghkv <pool-file> create [--items N] [--avg-value N]
@@ -16,8 +16,8 @@
 //! ghkv <pool-file> gc
 //! ```
 
-use nvm_kv::{KvConfig, PmemKv};
-use nvm_pmem::{PmemRead, Region, SimConfig, SimPmem};
+use nvm_kv::prelude::*;
+use nvm_pmem::{PmemRead, SimConfig, SimPmem};
 use std::path::Path;
 use std::process::exit;
 
@@ -48,18 +48,22 @@ fn sim_config() -> SimConfig {
     SimConfig::fast_test()
 }
 
-fn load(path: &Path) -> (SimPmem, PmemKv<SimPmem>) {
-    let mut pm = SimPmem::load_image(path, sim_config())
+fn load(path: &Path) -> Store<SimPmem> {
+    let pm = SimPmem::load_image(path, sim_config())
         .unwrap_or_else(|e| fail(format!("opening {}: {e}", path.display())));
-    let region = Region::new(0, pm.len());
-    let mut kv = PmemKv::open(&mut pm, region).unwrap_or_else(|e| fail(e));
     // Always run recovery: the previous writer may have been killed.
-    kv.recover(&mut pm);
-    (pm, kv)
+    StoreBuilder::new()
+        .recover(vec![pm])
+        .unwrap_or_else(|e| fail(e))
 }
 
-fn store(path: &Path, pm: &SimPmem) {
-    pm.save_image(path)
+/// Tears the store down and writes its pool image back to `path`.
+fn save(path: &Path, store: Store<SimPmem>) {
+    let pools = store
+        .into_pools()
+        .unwrap_or_else(|_| fail("store still has live handles"));
+    pools[0]
+        .save_image(path)
         .unwrap_or_else(|e| fail(format!("saving {}: {e}", path.display())));
 }
 
@@ -94,11 +98,12 @@ fn main() {
             if !args.is_empty() {
                 usage();
             }
-            let cfg = KvConfig::for_capacity(items, avg_value);
-            let size = PmemKv::<SimPmem>::required_size(&cfg);
-            let mut pm = SimPmem::new(size, sim_config());
-            PmemKv::create(&mut pm, Region::new(0, size), &cfg).unwrap_or_else(|e| fail(e));
-            store(&pool, &pm);
+            let builder = StoreBuilder::new().capacity(items, avg_value);
+            let size = builder.shard_size::<SimPmem>();
+            let store = builder
+                .create_sim(sim_config())
+                .unwrap_or_else(|e| fail(e));
+            save(&pool, store);
             println!(
                 "created {} ({:.1} MiB, ~{items} entries x {avg_value}B values)",
                 pool.display(),
@@ -109,17 +114,18 @@ fn main() {
             if args.len() != 2 {
                 usage();
             }
-            let (mut pm, mut kv) = load(&pool);
-            kv.set(&mut pm, args[0].as_bytes(), args[1].as_bytes())
+            let store = load(&pool);
+            store
+                .set(args[0].as_bytes(), args[1].as_bytes())
                 .unwrap_or_else(|e| fail(e));
-            store(&pool, &pm);
+            save(&pool, store);
         }
         "get" => {
             if args.len() != 1 {
                 usage();
             }
-            let (pm, kv) = load(&pool);
-            match kv.get(&pm, args[0].as_bytes()) {
+            let store = load(&pool);
+            match store.get(args[0].as_bytes()) {
                 Some(v) => println!("{}", String::from_utf8_lossy(&v)),
                 None => {
                     eprintln!("ghkv: key not found");
@@ -131,9 +137,11 @@ fn main() {
             if args.len() != 1 {
                 usage();
             }
-            let (mut pm, mut kv) = load(&pool);
-            let was_there = kv.delete(&mut pm, args[0].as_bytes());
-            store(&pool, &pm);
+            let store = load(&pool);
+            let was_there = store
+                .delete(args[0].as_bytes())
+                .unwrap_or_else(|e| fail(e));
+            save(&pool, store);
             if !was_there {
                 eprintln!("ghkv: key not found");
                 exit(1);
@@ -144,9 +152,9 @@ fn main() {
             if !args.is_empty() {
                 usage();
             }
-            let (pm, kv) = load(&pool);
+            let store = load(&pool);
             let mut shown = 0u64;
-            kv.for_each(&pm, |k, v| {
+            store.for_each(|k, v| {
                 if shown < limit {
                     println!(
                         "{}\t{}",
@@ -164,31 +172,35 @@ fn main() {
             if !args.is_empty() {
                 usage();
             }
-            let (pm, kv) = load(&pool);
-            let (entries, slots) = kv.usage(&pm);
-            println!("pool:    {} ({} bytes)", pool.display(), pm.len());
+            let store = load(&pool);
+            let (entries, slots) = store.usage();
             println!("entries: {entries}");
             println!("slots:   {slots} ({} leaked)", slots - entries);
-            kv.check_consistency(&pm)
+            store
+                .check_consistency()
                 .map(|_| println!("status:  consistent"))
                 .unwrap_or_else(|e| fail(format!("INCONSISTENT: {e}")));
+            let pools = store
+                .into_pools()
+                .unwrap_or_else(|_| fail("store still has live handles"));
+            println!("pool:    {} ({} bytes)", pool.display(), pools[0].len());
         }
         "metrics" => {
             if !args.is_empty() {
                 usage();
             }
-            let (pm, kv) = load(&pool);
+            let store = load(&pool);
             // Counters cover this process's session (load + recovery);
             // an image reload starts them from zero.
-            print!("{}", kv.metrics(&pm).to_string_pretty());
+            print!("{}", store.metrics().to_string_pretty());
         }
         "gc" => {
             if !args.is_empty() {
                 usage();
             }
-            let (mut pm, mut kv) = load(&pool);
-            let n = kv.gc(&mut pm);
-            store(&pool, &pm);
+            let store = load(&pool);
+            let n = store.gc();
+            save(&pool, store);
             println!("reclaimed {n} leaked slots");
         }
         _ => usage(),

@@ -1,108 +1,58 @@
 //! A small persistent key-value store in the style the paper motivates
-//! (memcached/MemC3-like: dominated by small items), built on the sharded
-//! concurrent group hash and driven from multiple threads.
+//! (memcached/MemC3-like: dominated by small items), built on the
+//! unified [`Store`] facade and driven from multiple threads.
 //!
-//! Keys are strings, hashed to 16-byte fingerprints with MurmurHash3;
-//! values are fixed 24-byte inline records (a common small-item layout —
-//! larger values would hold a pointer into a pmem heap instead).
+//! The facade handles everything the old hand-rolled version did by
+//! hand: string keys fingerprint into the group-hash index, values land
+//! in the crash-consistent slab heap (no fixed-width limit), upserts are
+//! a single atomic pointer swap, and concurrent writers' commits
+//! coalesce into shared fence-amortized batches.
 //!
 //! ```text
 //! cargo run --release --example kv_store
 //! ```
 
-use group_hashing::core::{GroupHashConfig, ShardedGroupHash};
-use group_hashing::hashfn::murmur3_x64_128;
+use group_hashing::kv::prelude::*;
 use group_hashing::pmem::RealPmem;
-use std::sync::Arc;
 use std::time::Instant;
 
-/// Fixed-width inline value record.
-type Value = [u8; 24];
-
-/// String-keyed KV store over the sharded group hash.
-struct KvStore {
-    table: ShardedGroupHash<RealPmem, [u8; 16], Value>,
-}
-
-impl KvStore {
-    fn new(shards: usize, cells_per_level: u64) -> Self {
-        let cfg = GroupHashConfig::new(cells_per_level, 256);
-        let table = ShardedGroupHash::create(shards, cfg, |_, size| {
-            // Raw DRAM latency here; pass RealPmem::new(size) for the
-            // paper's 300 ns emulated NVM write latency.
-            RealPmem::with_write_latency(size, 0)
-        })
-        .expect("create shards");
-        KvStore { table }
-    }
-
-    fn fingerprint(key: &str) -> [u8; 16] {
-        let (lo, hi) = murmur3_x64_128(key.as_bytes(), 0x5EED);
-        let mut f = [0u8; 16];
-        f[..8].copy_from_slice(&lo.to_le_bytes());
-        f[8..].copy_from_slice(&hi.to_le_bytes());
-        f
-    }
-
-    fn encode(value: &str) -> Value {
-        let mut v = [0u8; 24];
-        let bytes = value.as_bytes();
-        assert!(bytes.len() < 24, "inline values only in this demo");
-        v[0] = bytes.len() as u8;
-        v[1..1 + bytes.len()].copy_from_slice(bytes);
-        v
-    }
-
-    fn decode(v: &Value) -> String {
-        let len = v[0] as usize;
-        String::from_utf8_lossy(&v[1..1 + len]).into_owned()
-    }
-
-    fn set(&self, key: &str, value: &str) {
-        let f = Self::fingerprint(key);
-        // Upsert: remove any existing entry first.
-        self.table.remove(&f);
-        self.table.insert(f, Self::encode(value)).expect("kv set");
-    }
-
-    fn get(&self, key: &str) -> Option<String> {
-        self.table.get(&Self::fingerprint(key)).map(|v| Self::decode(&v))
-    }
-
-    fn delete(&self, key: &str) -> bool {
-        self.table.remove(&Self::fingerprint(key))
-    }
-}
-
 fn main() {
-    let store = Arc::new(KvStore::new(8, 1 << 14));
+    let store = StoreBuilder::new()
+        .capacity(200_000, 32)
+        .shards(8)
+        // Raw DRAM latency here; `RealPmem::new(size)` gives the
+        // paper's 300 ns emulated NVM write latency instead.
+        .create_with(|_, size| RealPmem::with_write_latency(size, 0))
+        .expect("create shards");
 
     // Basic usage.
-    store.set("user:1001:name", "ada lovelace");
-    store.set("user:1001:role", "engine programmer");
-    assert_eq!(store.get("user:1001:name").as_deref(), Some("ada lovelace"));
-    store.set("user:1001:name", "ada king"); // upsert
-    assert_eq!(store.get("user:1001:name").as_deref(), Some("ada king"));
-    assert!(store.delete("user:1001:role"));
-    assert_eq!(store.get("user:1001:role"), None);
+    store.set(b"user:1001:name", b"ada lovelace").unwrap();
+    store.set(b"user:1001:role", b"engine programmer").unwrap();
+    assert_eq!(store.get(b"user:1001:name").as_deref(), Some(&b"ada lovelace"[..]));
+    store.set(b"user:1001:name", b"ada king").unwrap(); // upsert
+    assert_eq!(store.get(b"user:1001:name").as_deref(), Some(&b"ada king"[..]));
+    assert!(store.delete(b"user:1001:role").unwrap());
+    assert_eq!(store.get(b"user:1001:role"), None);
     println!("basic set/get/upsert/delete: ok");
 
-    // Multi-threaded mixed workload.
+    // Multi-threaded mixed workload: every clone shares the shards, and
+    // sets issued while another thread holds a shard's commit lease ride
+    // that thread's group commit.
     let threads = 4;
     let per_thread = 20_000u64;
     let t0 = Instant::now();
     let handles: Vec<_> = (0..threads)
         .map(|tid| {
-            let store = Arc::clone(&store);
+            let store = store.clone();
             std::thread::spawn(move || {
                 for i in 0..per_thread {
                     let key = format!("t{tid}:item:{i}");
-                    store.set(&key, "payload-0123456789");
+                    store.set(key.as_bytes(), b"payload-0123456789").unwrap();
                     if i % 4 == 0 {
-                        assert!(store.get(&key).is_some());
+                        assert!(store.get(key.as_bytes()).is_some());
                     }
                     if i % 16 == 0 {
-                        store.delete(&key);
+                        store.delete(key.as_bytes()).unwrap();
                     }
                 }
             })
@@ -113,15 +63,22 @@ fn main() {
     }
     let elapsed = t0.elapsed();
     let total_ops = threads as u64 * per_thread * 2; // rough: set + some reads/deletes
+    let c = store.counters();
     println!(
         "{} threads x {} items: {:.2}s ({:.0} ops/s), {} resident entries",
         threads,
         per_thread,
         elapsed.as_secs_f64(),
         total_ops as f64 / elapsed.as_secs_f64(),
-        store.table.len()
+        store.len()
+    );
+    println!(
+        "group commit: {} sets in {} batches ({:.1} ops/commit)",
+        c.sets,
+        c.batches,
+        c.sets as f64 / c.batches.max(1) as f64
     );
 
-    store.table.check_consistency().expect("consistent");
+    store.check_consistency().expect("consistent");
     println!("post-workload consistency check passed");
 }
