@@ -370,11 +370,16 @@ impl SlabStore {
         Ok((s, slot))
     }
 
-    /// Reads the blob at `ptr`.
+    /// Reads the blob at `ptr`. A length prefix exceeding the slot's
+    /// capacity — a torn slot observed by a lock-free reader racing a
+    /// writer, or media corruption — is an error, never a read past the
+    /// slot's bounds.
     pub fn read<R: PmemRead>(&self, pm: &R, ptr: PmemPtr) -> Result<Vec<u8>, AllocError> {
         let (s, _) = self.resolve(pm, ptr)?;
         let len = pm.read_u64(ptr.0 as usize) as usize;
-        debug_assert!(len <= self.slabs[s].geom.slot_size as usize - LEN_PREFIX);
+        if len > self.slabs[s].geom.slot_size as usize - LEN_PREFIX {
+            return Err(AllocError::BadPointer(ptr));
+        }
         let mut buf = vec![0u8; len];
         if len > 0 {
             pm.read(ptr.0 as usize + LEN_PREFIX, &mut buf);

@@ -192,8 +192,11 @@ fn decode_blob(blob: &[u8]) -> (&[u8], &[u8]) {
     (&blob[4..4 + klen], &blob[4 + klen..])
 }
 
-/// [`decode_blob`] for blobs that may not be well-formed KV records
-/// (the GC sweep can encounter torn or foreign allocations).
+/// [`decode_blob`] for blobs that may not be well-formed KV records:
+/// the GC sweep can encounter torn or foreign allocations, and the
+/// lock-free [`KvReadView`] paths can observe a slot mid-rewrite (new
+/// length prefix, stale bytes) before seqlock validation discards the
+/// result — neither may panic.
 fn try_decode_blob(blob: &[u8]) -> Option<(&[u8], &[u8])> {
     let klen = u32::from_le_bytes(blob.get(..4)?.try_into().ok()?) as usize;
     let key = blob.get(4..4 + klen)?;
@@ -793,13 +796,14 @@ pub struct KvReadView {
 }
 
 impl KvReadView {
-    /// Fetches `key`'s value. Dangling index pointers (possible only
-    /// when racing a writer without a validation protocol) read as
-    /// `None`, like [`PmemKv::get`].
+    /// Fetches `key`'s value. Dangling index pointers and torn blobs
+    /// (possible only when racing a writer without a validation
+    /// protocol — the caller's seqlock retry then yields the correct
+    /// answer) read as `None`, like [`PmemKv::get`].
     pub fn get<R: PmemRead>(&self, pm: &R, key: &[u8]) -> Option<Vec<u8>> {
         let ptr = self.index.get(pm, &fingerprint(key))?;
         let blob = self.heap.read(pm, PmemPtr(ptr)).ok()?;
-        let (stored_key, value) = decode_blob(&blob);
+        let (stored_key, value) = try_decode_blob(&blob)?;
         (stored_key == key).then(|| value.to_vec())
     }
 
@@ -818,7 +822,7 @@ impl KvReadView {
             .zip(ptrs)
             .map(|(key, ptr)| {
                 let blob = self.heap.read(pm, PmemPtr(ptr?)).ok()?;
-                let (stored_key, value) = decode_blob(&blob);
+                let (stored_key, value) = try_decode_blob(&blob)?;
                 (stored_key == *key).then(|| value.to_vec())
             })
             .collect()
@@ -1061,6 +1065,30 @@ mod tests {
         kv.heap.free(&mut pm, PmemPtr(ptr)).unwrap();
         assert!(matches!(kv.try_get(&pm, b"k"), Err(KvError::Corrupt(_))));
         assert_eq!(kv.get(&pm, b"k"), None);
+    }
+
+    #[test]
+    fn read_view_treats_torn_blobs_as_misses_without_panicking() {
+        // A lock-free reader racing a writer can observe a slot whose
+        // length words are newer than its payload bytes. The view must
+        // degrade to a miss (the caller's seqlock retry corrects it),
+        // never slice out of bounds or panic.
+        let (mut pm, mut kv, _, _) = setup(64);
+        kv.set(&mut pm, b"k", b"value").unwrap();
+        let view = kv.read_view();
+        assert_eq!(view.get(&pm, b"k").as_deref(), Some(&b"value"[..]));
+        let mut ptr = 0;
+        kv.index.for_each_entry(&pm, |_, p| ptr = p);
+
+        // Torn key-length prefix: klen runs past the blob's end.
+        pm.write(ptr as usize + 8, &u32::MAX.to_le_bytes());
+        assert_eq!(view.get(&pm, b"k"), None);
+        assert_eq!(view.get_batch(&pm, &[b"k".as_slice()]), vec![None]);
+
+        // Torn slot-length word: blob length exceeds the slot capacity.
+        pm.write_u64(ptr as usize, 1 << 40);
+        assert_eq!(view.get(&pm, b"k"), None);
+        assert_eq!(view.get_batch(&pm, &[b"k".as_slice()]), vec![None]);
     }
 
     #[test]

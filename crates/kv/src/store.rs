@@ -172,6 +172,10 @@ impl WriteTicket {
 enum Op {
     Set(Vec<u8>, Vec<u8>),
     Delete(Vec<u8>),
+    /// Test-only injection: makes the group commit panic mid-batch, to
+    /// exercise the leader/seqlock panic guards.
+    #[cfg(test)]
+    InjectPanic,
 }
 
 struct StagedOp {
@@ -219,15 +223,23 @@ fn backoff(spins: &mut u32) {
 impl<P: Pmem> StoreShard<P> {
     /// Runs `f` under the writer lock with the seqlock marked odd, so
     /// concurrent readers retry instead of observing a half-applied
-    /// mutation.
+    /// mutation. The closing parity bump rides a drop guard: if `f`
+    /// panics the word still comes back even, so readers resume instead
+    /// of spinning forever (torn state they then observe degrades to
+    /// misses via the view's torn-blob tolerance).
     fn with_write<T>(&self, f: impl FnOnce(&mut ShardInner<P>) -> T) -> T {
+        struct SeqGuard<'a>(&'a AtomicU64);
+        impl Drop for SeqGuard<'_> {
+            fn drop(&mut self) {
+                fence(Ordering::SeqCst);
+                self.0.fetch_add(1, Ordering::Release);
+            }
+        }
         let mut inner = self.inner.lock();
         self.seq.fetch_add(1, Ordering::AcqRel);
         fence(Ordering::SeqCst);
-        let out = f(&mut inner);
-        fence(Ordering::SeqCst);
-        self.seq.fetch_add(1, Ordering::Release);
-        out
+        let _guard = SeqGuard(&self.seq);
+        f(&mut inner)
     }
 
     /// Seqlock-validated lock-free read.
@@ -432,7 +444,35 @@ impl<P: Pmem> Store<P> {
                 q.leader_active = true;
                 std::mem::take(&mut q.ops)
             };
+            // If the commit panics, leadership must still be released
+            // (or later stagers never elect a leader) and every drained
+            // ticket must still resolve (or its waiters block forever).
+            struct LeaderGuard<'a, P: Pmem> {
+                shard: &'a StoreShard<P>,
+                batch: &'a [StagedOp],
+                armed: bool,
+            }
+            impl<P: Pmem> Drop for LeaderGuard<'_, P> {
+                fn drop(&mut self) {
+                    if !self.armed {
+                        return;
+                    }
+                    for staged in self.batch {
+                        staged.ticket.fulfill(Err(StoreError::Kv(KvError::Corrupt(
+                            "group commit panicked".into(),
+                        ))));
+                    }
+                    self.shard.staged.lock().leader_active = false;
+                }
+            }
+            let mut guard = LeaderGuard {
+                shard,
+                batch: &batch,
+                armed: true,
+            };
             let results = shard.with_write(|inner| apply_batch(inner, &batch));
+            guard.armed = false;
+            drop(guard);
             // Commit boundary: the batch is durable; publish counters
             // once, then wake the waiters.
             let mut sets = 0u64;
@@ -704,6 +744,10 @@ fn apply_batch<P: Pmem>(
     batch: &[StagedOp],
 ) -> Vec<Result<bool, StoreError>> {
     let ShardInner { pm, kv } = inner;
+    #[cfg(test)]
+    if batch.iter().any(|s| matches!(s.op, Op::InjectPanic)) {
+        panic!("injected group-commit panic");
+    }
     let mut results: Vec<Result<bool, StoreError>> = Vec::with_capacity(batch.len());
     results.resize(batch.len(), Ok(false));
     let mut i = 0;
@@ -718,7 +762,7 @@ fn apply_batch<P: Pmem>(
                 .iter()
                 .map(|s| match &s.op {
                     Op::Set(k, v) => (k.as_slice(), v.as_slice()),
-                    Op::Delete(_) => unreachable!(),
+                    _ => unreachable!(),
                 })
                 .collect();
             match kv.set_batch(pm, &pairs) {
@@ -1107,6 +1151,44 @@ mod tests {
         // mean zero cross-caller coalescing even under 4 writers).
         assert!(c.batches <= c.sets);
         store.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn writer_panic_restores_seqlock_parity_for_readers() {
+        let store = fresh(128);
+        store.set(b"k", b"v").unwrap();
+        let shard = &store.core.shards[0];
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shard.with_write(|_| panic!("boom"));
+        }));
+        assert!(r.is_err());
+        // Parity restored: readers must not spin forever.
+        assert_eq!(shard.seq.load(Ordering::Relaxed) & 1, 0);
+        assert_eq!(store.get(b"k").as_deref(), Some(&b"v"[..]));
+        store.set(b"k2", b"w").unwrap();
+        assert_eq!(store.get(b"k2").as_deref(), Some(&b"w"[..]));
+    }
+
+    #[test]
+    fn panicked_commit_releases_leadership_and_unblocks_waiters() {
+        let store = fresh(128);
+        let shard = &store.core.shards[0];
+        let ticket = WriteTicket::new();
+        shard.staged.lock().ops.push(StagedOp {
+            op: Op::InjectPanic,
+            ticket: ticket.clone(),
+        });
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| store.pump()));
+        assert!(r.is_err());
+        // The drained ticket resolves (with an error) instead of
+        // stranding its waiter, and leadership is released so later
+        // stagers can elect a new leader.
+        assert!(matches!(ticket.wait(), Err(StoreError::Kv(KvError::Corrupt(_)))));
+        assert!(!shard.staged.lock().leader_active);
+        assert_eq!(shard.seq.load(Ordering::Relaxed) & 1, 0);
+        // The store keeps serving.
+        store.set(b"after", b"ok").unwrap();
+        assert_eq!(store.get(b"after").as_deref(), Some(&b"ok"[..]));
     }
 
     /// Rebuilds the deterministic pre-crash state: 20 base keys stored

@@ -24,11 +24,24 @@
 //! for `nc` sessions). `exptime` is parsed and ignored — the store has
 //! no expiry. `<flags>` round-trip: they are stored as a 4-byte prefix
 //! on the value blob.
+//!
+//! A well-formed `set` the server refuses (payload over [`MAX_VALUE`])
+//! still consumes its data block before the error reply, so the
+//! connection stays framed — the payload is never parsed as commands.
+//! `cas` is recognized the same way (fields validated, data block
+//! consumed) but always refused: `gets` reports a store-wide commit
+//! epoch, not a per-key token, so optimistic `cas` cannot be enforced.
 
 /// Longest accepted key, per the memcached protocol.
 pub const MAX_KEY: usize = 250;
 /// Largest accepted value payload.
 pub const MAX_VALUE: usize = 1 << 20;
+/// Largest declared data block the parser will still buffer and discard
+/// when refusing a `set`/`cas` (so the refusal consumes the client's
+/// payload and the connection stays in sync, as memcached does).
+/// Declaring more than this tears the connection down instead of
+/// buffering unboundedly.
+pub const MAX_SWALLOW: usize = 4 * MAX_VALUE;
 /// Longest accepted command line (a full multi-get of long keys).
 pub const MAX_LINE: usize = 8192;
 
@@ -122,12 +135,22 @@ pub fn parse(buf: &[u8]) -> Parsed<'_> {
                 consumed: line_consumed,
             }
         }
-        b"set" => {
+        b"set" | b"cas" => {
+            let is_cas = verb == b"cas";
             let (Some(key), Some(flags), Some(_exptime), Some(bytes)) =
                 (tokens.next(), tokens.next(), tokens.next(), tokens.next())
             else {
                 return client_error(line_consumed);
             };
+            if is_cas {
+                // `cas <key> <flags> <exptime> <bytes> <cas unique>`.
+                let Some(id) = tokens.next() else {
+                    return client_error(line_consumed);
+                };
+                if parse_u64(id).is_none() {
+                    return client_error(line_consumed);
+                }
+            }
             let noreply = match tokens.next() {
                 None => false,
                 Some(b"noreply") => true,
@@ -142,19 +165,23 @@ pub fn parse(buf: &[u8]) -> Parsed<'_> {
             let Some(bytes) = parse_u64(bytes).map(|b| b as usize) else {
                 return client_error(line_consumed);
             };
-            if bytes > MAX_VALUE {
+            if bytes > MAX_SWALLOW {
+                // Too large to even buffer-and-discard; resync is
+                // hopeless without unbounded memory, so tear down.
                 return Parsed::Error {
                     reply: b"SERVER_ERROR object too large for cache\r\n",
                     consumed: line_consumed,
-                    fatal: false,
+                    fatal: true,
                 };
             }
             // The data block: `bytes` payload + its own \r\n terminator.
+            // Waited for (and consumed) even when the command is about
+            // to be refused — otherwise the payload that follows would
+            // be parsed as commands, desyncing the connection.
             let total = line_consumed + bytes + 2;
             if buf.len() < total {
                 return Parsed::Incomplete;
             }
-            let data = &buf[line_consumed..line_consumed + bytes];
             if &buf[line_consumed + bytes..total] != b"\r\n" {
                 return Parsed::Error {
                     reply: b"CLIENT_ERROR bad data chunk\r\n",
@@ -162,6 +189,24 @@ pub fn parse(buf: &[u8]) -> Parsed<'_> {
                     fatal: true,
                 };
             }
+            if is_cas {
+                // `gets` hands out a store-wide commit epoch, not a
+                // per-key token, so optimistic `cas` cannot be
+                // enforced; refuse it clearly (data block consumed).
+                return Parsed::Error {
+                    reply: b"SERVER_ERROR cas not supported\r\n",
+                    consumed: total,
+                    fatal: false,
+                };
+            }
+            if bytes > MAX_VALUE {
+                return Parsed::Error {
+                    reply: b"SERVER_ERROR object too large for cache\r\n",
+                    consumed: total,
+                    fatal: false,
+                };
+            }
+            let data = &buf[line_consumed..line_consumed + bytes];
             Parsed::Cmd {
                 cmd: Command::Set {
                     key,
@@ -295,5 +340,72 @@ mod tests {
             Parsed::Error { fatal, .. } => assert!(fatal),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn oversize_set_swallows_its_data_block() {
+        let line = format!("set k 0 0 {}\r\n", MAX_VALUE + 1);
+        let mut buf = line.clone().into_bytes();
+        buf.extend_from_slice(&vec![b'x'; MAX_VALUE + 1]);
+        buf.extend_from_slice(b"\r\nget k\r\n");
+        // The payload must not become visible until it has fully
+        // arrived, and the error must consume it whole.
+        assert_eq!(parse(&buf[..buf.len() / 2]), Parsed::Incomplete);
+        let consumed = match parse(&buf) {
+            Parsed::Error {
+                reply,
+                consumed,
+                fatal,
+            } => {
+                assert_eq!(reply, b"SERVER_ERROR object too large for cache\r\n");
+                assert_eq!(consumed, line.len() + MAX_VALUE + 1 + 2);
+                assert!(!fatal);
+                consumed
+            }
+            other => panic!("{other:?}"),
+        };
+        // The connection is still framed: the next command parses.
+        match parse(&buf[consumed..]) {
+            Parsed::Cmd {
+                cmd: Command::Get { keys, .. },
+                ..
+            } => assert_eq!(keys, vec![&b"k"[..]]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn absurdly_large_set_is_fatal() {
+        match parse(format!("set k 0 0 {}\r\n", MAX_SWALLOW + 1).as_bytes()) {
+            Parsed::Error { fatal, .. } => assert!(fatal),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cas_is_refused_after_consuming_its_data_block() {
+        let buf = b"cas k 0 0 5 42\r\nhello\r\nget k\r\n";
+        let consumed = match parse(buf) {
+            Parsed::Error {
+                reply,
+                consumed,
+                fatal,
+            } => {
+                assert_eq!(reply, b"SERVER_ERROR cas not supported\r\n");
+                assert_eq!(consumed, 23);
+                assert!(!fatal);
+                consumed
+            }
+            other => panic!("{other:?}"),
+        };
+        match parse(&buf[consumed..]) {
+            Parsed::Cmd {
+                cmd: Command::Get { keys, .. },
+                ..
+            } => assert_eq!(keys, vec![&b"k"[..]]),
+            other => panic!("{other:?}"),
+        }
+        // Malformed cas lines (no cas id) are plain line errors.
+        assert_eq!(parse(b"cas k 0 0 5\r\n"), client_error(13));
     }
 }

@@ -219,6 +219,31 @@ fn session_replies_and_contents_match_direct_store_calls() {
 }
 
 #[test]
+fn oversize_set_payload_is_never_executed_as_commands() {
+    let store = StoreBuilder::new()
+        .capacity(256, 64)
+        .create_sim(SimConfig::fast_test())
+        .expect("create");
+    let stats = ServerStats::new();
+    let mut session = Session::new();
+    // An over-MAX_VALUE payload crafted to look like commands: if the
+    // refusal failed to consume the data block, the connection would
+    // desync and store `sneaky`.
+    let payload = b"set sneaky 0 0 2\r\nhi\r\n"
+        .repeat(nvm_server::protocol::MAX_VALUE / 22 + 1);
+    let mut wire = format!("set big 0 0 {}\r\n", payload.len()).into_bytes();
+    wire.extend_from_slice(&payload);
+    wire.extend_from_slice(b"\r\nget sneaky big\r\n");
+    session.feed(&wire);
+    run_to_quiescence(&mut session, &store, &stats);
+    assert_eq!(
+        session.output(),
+        b"SERVER_ERROR object too large for cache\r\nEND\r\n"
+    );
+    assert_eq!(store.len(), 0, "no part of the refused frame may be stored");
+}
+
+#[test]
 fn crash_while_serving_recovers_with_acked_writes_intact() {
     let builder = StoreBuilder::new().capacity(2048, 96).seed(7);
     let sim = SimConfig::paper_default();
