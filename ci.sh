@@ -41,9 +41,10 @@ if grep -rn "gh_harness" crates/core/src crates/baselines/src \
   echo "layering violation: scheme crates must not import the harness" >&2
   lint_fail=1
 fi
-if grep -rn "nvm_pmem" crates/table/src/probe.rs crates/core/src/table/probe.rs \
+if grep -rn "nvm_pmem" crates/table/src/probe.rs crates/table/src/meta.rs \
+    crates/core/src/table/probe.rs \
     | strip_comments | grep .; then
-  echo "layering violation: probe-plan modules must stay I/O-free (found nvm_pmem)" >&2
+  echo "layering violation: probe-plan/metadata modules must stay I/O-free (found nvm_pmem)" >&2
   lint_fail=1
 fi
 # Read-path modules (read-only view, probe plans, fingerprint scans, and
@@ -53,7 +54,7 @@ fi
 # write-capable Pmem trait there would let a "read" mutate.
 if grep -rnE '\bPmem\b' \
     crates/core/src/table/readview.rs crates/core/src/table/probe.rs \
-    crates/core/src/fpcache.rs crates/table/src/probe.rs \
+    crates/core/src/fpcache.rs crates/table/src/probe.rs crates/table/src/meta.rs \
     | strip_comments | grep .; then
   echo "layering violation: read-path modules must not name the write-capable pmem trait" >&2
   lint_fail=1
@@ -130,6 +131,27 @@ if grep -rnE 'set_and_persist|set_volatile|cas_bit_and_persist|atomic_write[^(]*
     crates/core/src/fpcache.rs \
     | strip_comments | grep .; then
   echo "occupancy lint: core scheme paths must commit occupancy via the cell store" >&2
+  exit 1
+fi
+
+echo "==> iceberg stability lint (entries never move after insert)"
+# The iceberg scheme's whole crash argument rests on stability: no
+# displacement, no backward shift, no direct occupancy-bit mutation —
+# every commit goes through the cell store's publish/retract (tagged)
+# helpers. A displacement helper or raw bitmap verb appearing in
+# iceberg.rs means the stability guarantee (and the bare-mode
+# crash-safety it buys) silently broke.
+if grep -rnE 'set_and_persist|set_volatile|cas_bit_and_persist|backward_shift|evict_to|fn displace|\.displace\(' \
+    crates/baselines/src/iceberg.rs \
+    | strip_comments | grep .; then
+  echo "stability lint: iceberg.rs must not move entries or touch occupancy bits directly" >&2
+  exit 1
+fi
+# The only displacement iceberg may ever record is the literal zero
+# (stability's instrumentation signature).
+if grep -n 'record_displacement(' crates/baselines/src/iceberg.rs \
+    | grep -v 'record_displacement(0)' | grep .; then
+  echo "stability lint: iceberg.rs recorded a non-zero displacement" >&2
   exit 1
 fi
 

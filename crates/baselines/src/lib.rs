@@ -15,6 +15,11 @@
 //!   binary tree where an item may sit anywhere on the paths from its two
 //!   hashed leaves toward the root; position sharing removes extra writes
 //!   but the path cells are scattered across levels (poor locality).
+//! * [`Iceberg`] — an IcebergHT-style *stable* scheme (beyond the paper's
+//!   comparison set; see ROADMAP): wide level-1 buckets filtered by
+//!   volatile 8-lane fingerprint words, paired level-2 backup buckets
+//!   picked by power-of-two-choices, a linearly-probed backyard — and no
+//!   displacement ever (entries never move after insert).
 //!
 //! `ConsistencyMode::None` reproduces the schemes as published (writes are
 //! persisted, but multi-cell updates are not failure-atomic);
@@ -28,10 +33,12 @@
 //! [`Journal`] cell-store primitives — no baseline
 //! carries a private bitmap scan, cell codec, or journal wrapper.
 
+mod iceberg;
 mod linear;
 mod path;
 mod pfht;
 
+pub use iceberg::{Iceberg, MetaMode};
 pub use linear::LinearProbing;
 pub use nvm_table::Journal;
 pub use path::PathHash;

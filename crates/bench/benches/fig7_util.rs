@@ -15,7 +15,7 @@ const CELLS: u64 = 1 << 12;
 fn bench_fill_to_full(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig7/fill_until_full");
     g.sample_size(10);
-    for scheme in ["pfht", "path", "group"] {
+    for scheme in ["pfht", "path", "iceberg", "group"] {
         g.bench_function(scheme, |b| {
             b.iter(|| {
                 let (mut pm, mut table) = build_real(scheme, CELLS, ConsistencyMode::None);

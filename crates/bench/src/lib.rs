@@ -11,7 +11,7 @@
 //! [`RealPmem`]: nvm_pmem::RealPmem
 
 use group_hash::{GroupHash, GroupHashConfig};
-use nvm_baselines::{LinearProbing, PathHash, Pfht};
+use nvm_baselines::{Iceberg, LinearProbing, MetaMode, PathHash, Pfht};
 use nvm_pmem::{RealPmem, Region};
 use nvm_table::{ConsistencyMode, HashScheme, InsertError};
 use nvm_traces::{RandomNum, Trace};
@@ -25,6 +25,7 @@ pub enum BenchScheme {
     Linear(LinearProbing<RealPmem, u64, u64>),
     Pfht(Pfht<RealPmem, u64, u64>),
     Path(PathHash<RealPmem, u64, u64>),
+    Iceberg(Iceberg<RealPmem, u64, u64>),
     Group(GroupHash<RealPmem, u64, u64>),
 }
 
@@ -34,6 +35,7 @@ impl BenchScheme {
             BenchScheme::Linear(t) => t.insert(pm, k, v),
             BenchScheme::Pfht(t) => t.insert(pm, k, v),
             BenchScheme::Path(t) => t.insert(pm, k, v),
+            BenchScheme::Iceberg(t) => t.insert(pm, k, v),
             BenchScheme::Group(t) => t.insert(pm, k, v),
         }
     }
@@ -42,6 +44,7 @@ impl BenchScheme {
             BenchScheme::Linear(t) => t.get(pm, k),
             BenchScheme::Pfht(t) => t.get(pm, k),
             BenchScheme::Path(t) => t.get(pm, k),
+            BenchScheme::Iceberg(t) => t.get(pm, k),
             BenchScheme::Group(t) => t.get(pm, k),
         }
     }
@@ -50,6 +53,7 @@ impl BenchScheme {
             BenchScheme::Linear(t) => t.remove(pm, k),
             BenchScheme::Pfht(t) => t.remove(pm, k),
             BenchScheme::Path(t) => t.remove(pm, k),
+            BenchScheme::Iceberg(t) => t.remove(pm, k),
             BenchScheme::Group(t) => t.remove(pm, k),
         }
     }
@@ -58,6 +62,7 @@ impl BenchScheme {
             BenchScheme::Linear(t) => HashScheme::<RealPmem, u64, u64>::capacity(t),
             BenchScheme::Pfht(t) => HashScheme::<RealPmem, u64, u64>::capacity(t),
             BenchScheme::Path(t) => HashScheme::<RealPmem, u64, u64>::capacity(t),
+            BenchScheme::Iceberg(t) => HashScheme::<RealPmem, u64, u64>::capacity(t),
             BenchScheme::Group(t) => HashScheme::<RealPmem, u64, u64>::capacity(t),
         }
     }
@@ -70,6 +75,7 @@ impl BenchScheme {
             BenchScheme::Linear(t) => HashScheme::<RealPmem, u64, u64>::instrumentation(t),
             BenchScheme::Pfht(t) => HashScheme::<RealPmem, u64, u64>::instrumentation(t),
             BenchScheme::Path(t) => HashScheme::<RealPmem, u64, u64>::instrumentation(t),
+            BenchScheme::Iceberg(t) => HashScheme::<RealPmem, u64, u64>::instrumentation(t),
             BenchScheme::Group(t) => HashScheme::<RealPmem, u64, u64>::instrumentation(t),
         }
     }
@@ -114,6 +120,15 @@ pub fn build_real(name: &str, total_cells: u64, mode: ConsistencyMode) -> (RealP
             let mut pm = RealPmem::with_write_latency(size, BENCH_NVM_NS);
             let t = PathHash::create(&mut pm, Region::new(0, size), lb, lv, seed, mode).unwrap();
             (pm, BenchScheme::Path(t))
+        }
+        "iceberg" => {
+            let geo = Iceberg::<RealPmem, K, V>::geometry_for(total_cells);
+            let (l1, l2, yard) = geo;
+            let size = Iceberg::<RealPmem, K, V>::required_size(l1, l2, yard);
+            let mut pm = RealPmem::with_write_latency(size, BENCH_NVM_NS);
+            let t = Iceberg::create(&mut pm, Region::new(0, size), geo, seed, mode, MetaMode::On)
+                .unwrap();
+            (pm, BenchScheme::Iceberg(t))
         }
         "group" => {
             let cfg =
@@ -162,7 +177,7 @@ mod tests {
 
     #[test]
     fn probe_summary_available_after_fill() {
-        for name in ["linear", "pfht", "path", "group"] {
+        for name in ["linear", "pfht", "path", "iceberg", "group"] {
             let (mut pm, mut t) = build_real(name, 1 << 10, ConsistencyMode::None);
             let keys = fill_real(&mut pm, &mut t, 0.3, 3);
             assert!(!keys.is_empty());

@@ -1,5 +1,6 @@
-//! A tiny flag parser (no CLI dependency needed for six flags).
+//! A tiny flag parser (no CLI dependency needed for seven flags).
 
+use crate::schemes::SchemeKind;
 use std::path::PathBuf;
 
 /// Common experiment options.
@@ -17,6 +18,9 @@ pub struct Args {
     pub out_dir: Option<PathBuf>,
     /// Group size for group hashing (paper default 256).
     pub group_size: u64,
+    /// Explicit scheme cast (`--schemes linear,iceberg,...`); `None`
+    /// leaves each experiment its default cast.
+    pub schemes: Option<Vec<SchemeKind>>,
 }
 
 impl Default for Args {
@@ -28,6 +32,7 @@ impl Default for Args {
             seed: 0x1C99_2018, // ICPP 2018
             out_dir: None,
             group_size: 256,
+            schemes: None,
         }
     }
 }
@@ -54,6 +59,9 @@ impl Args {
          --seed <N>         base seed (default fixed)\n  \
          --out-dir <DIR>    also write CSV files there\n  \
          --group-size <N>   group hashing group size (default 256)\n  \
+         --schemes <LIST>   comma-separated scheme cast, e.g. iceberg,group\n  \
+                            (labels: linear linear-L PFHT PFHT-L path path-L\n  \
+                            iceberg iceberg-L group group-2c)\n  \
          --help             this text"
     }
 
@@ -82,6 +90,21 @@ impl Args {
                     out.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?
                 }
                 "--out-dir" => out.out_dir = Some(PathBuf::from(val("--out-dir")?)),
+                "--schemes" => {
+                    let list = val("--schemes")?;
+                    let cast = list
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(|s| {
+                            SchemeKind::from_label(s.trim())
+                                .ok_or_else(|| format!("--schemes: unknown scheme {s:?}"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if cast.is_empty() {
+                        return Err("--schemes: empty list".into());
+                    }
+                    out.schemes = Some(cast);
+                }
                 "--group-size" => {
                     out.group_size = val("--group-size")?
                         .parse()
@@ -95,6 +118,14 @@ impl Args {
             return Err("--group-size must be a power of two".into());
         }
         Ok(out)
+    }
+
+    /// The scheme cast for an experiment: `--schemes` when given, the
+    /// experiment's `default` otherwise.
+    pub fn cast(&self, default: &[SchemeKind]) -> Vec<SchemeKind> {
+        self.schemes
+            .clone()
+            .unwrap_or_else(|| default.to_vec())
     }
 
     /// The cell budget for `trace`, honouring `--cells-log2`/`--full`.
@@ -154,5 +185,21 @@ mod tests {
         assert!(parse(&["--ops"]).is_err());
         assert!(parse(&["--ops", "abc"]).is_err());
         assert!(parse(&["--group-size", "100"]).is_err());
+        assert!(parse(&["--schemes", "nonesuch"]).is_err());
+        assert!(parse(&["--schemes", ""]).is_err());
+    }
+
+    #[test]
+    fn schemes_filter_parses_labels() {
+        let a = parse(&["--schemes", "iceberg,group, PFHT-L"]).unwrap();
+        assert_eq!(
+            a.schemes,
+            Some(vec![SchemeKind::Iceberg, SchemeKind::Group, SchemeKind::PfhtL])
+        );
+        // The filter overrides an experiment's default cast; absent, the
+        // default stands.
+        assert_eq!(a.cast(&SchemeKind::CONSISTENT).len(), 3);
+        let d = parse(&[]).unwrap();
+        assert_eq!(d.cast(&SchemeKind::CONSISTENT), SchemeKind::CONSISTENT.to_vec());
     }
 }

@@ -58,4 +58,7 @@ fn main() {
     for t in experiments::server::run(&args) {
         t.emit(out, "server");
     }
+    for t in experiments::ycsb::run(&args) {
+        t.emit(out, "ycsb");
+    }
 }

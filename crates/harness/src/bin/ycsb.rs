@@ -1,0 +1,9 @@
+//! YCSB core mixes (A/B/C, uniform + Zipfian) over the five-scheme cast.
+use gh_harness::{experiments, Args};
+
+fn main() {
+    let args = Args::parse();
+    for t in experiments::ycsb::run(&args) {
+        t.emit(args.out_dir.as_deref(), "ycsb");
+    }
+}

@@ -27,13 +27,15 @@ pub const BATCH_SIZES: [usize; 5] = [1, 4, 16, 64, 256];
 
 /// The schemes swept: the bare cast plus the undo-logged variants,
 /// whose journal chunking caps effective coalescing.
-pub const CAST: [SchemeKind; 7] = [
+pub const CAST: [SchemeKind; 9] = [
     SchemeKind::Linear,
     SchemeKind::LinearL,
     SchemeKind::Pfht,
     SchemeKind::PfhtL,
     SchemeKind::Path,
     SchemeKind::PathL,
+    SchemeKind::Iceberg,
+    SchemeKind::IcebergL,
     SchemeKind::Group,
 ];
 
@@ -198,7 +200,13 @@ mod tests {
                 .find(|r| r.scheme == kind && r.batch == k)
                 .unwrap()
         };
-        for kind in [SchemeKind::Linear, SchemeKind::Pfht, SchemeKind::Path, SchemeKind::Group] {
+        for kind in [
+            SchemeKind::Linear,
+            SchemeKind::Pfht,
+            SchemeKind::Path,
+            SchemeKind::Iceberg,
+            SchemeKind::Group,
+        ] {
             let one = pick(kind, 1);
             assert!(
                 (one.fences_per_op() - 3.0).abs() < 0.05,

@@ -53,9 +53,9 @@ pub fn run(args: &Args) -> Vec<Table> {
         "Figure 7: space utilization ratio (load factor at first failed insert)",
         &["scheme", "RandomNum", "Bag-of-Words", "Fingerprint"],
     );
-    // Note: "group-2c" is this reproduction's extension row (paper §4.4
-    // sketches it without evaluating); the paper's Figure 7 has only the
-    // first three schemes.
+    // Note: "iceberg" and "group-2c" are this reproduction's extension
+    // rows (ROADMAP / paper §4.4); the paper's Figure 7 has only the
+    // other three schemes.
     for kind in SchemeKind::BOUNDED_UTIL {
         let row: Vec<f64> = TraceKind::ALL
             .iter()
@@ -102,7 +102,7 @@ mod tests {
             ..Args::default()
         });
         assert_eq!(tables.len(), 1);
-        assert_eq!(tables[0].len(), 4); // 3 paper schemes + group-2c extension
+        assert_eq!(tables[0].len(), 5); // 3 paper schemes + iceberg + group-2c
     }
 
     /// The §4.4 extension: two hash choices must raise group hashing's

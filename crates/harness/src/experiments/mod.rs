@@ -17,3 +17,4 @@ pub mod runner;
 pub mod server;
 pub mod table3;
 pub mod wear;
+pub mod ycsb;

@@ -1,12 +1,13 @@
 //! Unified construction and dispatch over the compared hashing schemes.
 
 use group_hash::{ChoiceMode, GroupHash, GroupHashConfig};
-use nvm_baselines::{LinearProbing, PathHash, Pfht};
+use nvm_baselines::{Iceberg, LinearProbing, MetaMode, PathHash, Pfht};
 use nvm_hashfn::{HashKey, Pod};
 use nvm_pmem::{Pmem, Region, SimConfig, SimPmem};
 use nvm_table::{BatchError, ConsistencyMode, HashScheme, InsertError, TableError};
 
-/// The seven configurations compared in the paper's figures.
+/// The configurations compared in the paper's figures, plus the two
+/// post-paper extensions (group-2c and the stable iceberg scheme).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchemeKind {
     Linear,
@@ -15,6 +16,13 @@ pub enum SchemeKind {
     PfhtL,
     Path,
     PathL,
+    /// Extension (ROADMAP): an IcebergHT-style stable scheme — entries
+    /// never move after insert, lookups are filtered by volatile
+    /// fingerprint metadata words.
+    Iceberg,
+    /// Iceberg with the undo log armed (uniform `-L` treatment; its ops
+    /// are single-word publishes, so the log is belt and braces).
+    IcebergL,
     Group,
     /// Extension (paper §4.4): group hashing with a second hash function.
     Group2C,
@@ -22,13 +30,15 @@ pub enum SchemeKind {
 
 impl SchemeKind {
     /// Everything, bare baselines included (Figure 2's cast).
-    pub const ALL: [SchemeKind; 8] = [
+    pub const ALL: [SchemeKind; 10] = [
         SchemeKind::Linear,
         SchemeKind::LinearL,
         SchemeKind::Pfht,
         SchemeKind::PfhtL,
         SchemeKind::Path,
         SchemeKind::PathL,
+        SchemeKind::Iceberg,
+        SchemeKind::IcebergL,
         SchemeKind::Group,
         SchemeKind::Group2C,
     ];
@@ -44,9 +54,10 @@ impl SchemeKind {
 
     /// The schemes with a bounded space-utilization ratio (Figure 7;
     /// linear probing fills to 1.0 and is excluded by the paper).
-    pub const BOUNDED_UTIL: [SchemeKind; 4] = [
+    pub const BOUNDED_UTIL: [SchemeKind; 5] = [
         SchemeKind::Pfht,
         SchemeKind::Path,
+        SchemeKind::Iceberg,
         SchemeKind::Group,
         SchemeKind::Group2C,
     ];
@@ -59,16 +70,27 @@ impl SchemeKind {
             SchemeKind::PfhtL => "PFHT-L",
             SchemeKind::Path => "path",
             SchemeKind::PathL => "path-L",
+            SchemeKind::Iceberg => "iceberg",
+            SchemeKind::IcebergL => "iceberg-L",
             SchemeKind::Group => "group",
             SchemeKind::Group2C => "group-2c",
         }
     }
 
+    /// Parses a label as printed in figures/CSVs (case-insensitive), for
+    /// `--schemes` on the command line.
+    pub fn from_label(s: &str) -> Option<SchemeKind> {
+        SchemeKind::ALL
+            .into_iter()
+            .find(|k| k.label().eq_ignore_ascii_case(s))
+    }
+
     fn mode(self) -> ConsistencyMode {
         match self {
-            SchemeKind::LinearL | SchemeKind::PfhtL | SchemeKind::PathL => {
-                ConsistencyMode::UndoLog
-            }
+            SchemeKind::LinearL
+            | SchemeKind::PfhtL
+            | SchemeKind::PathL
+            | SchemeKind::IcebergL => ConsistencyMode::UndoLog,
             _ => ConsistencyMode::None,
         }
     }
@@ -80,6 +102,7 @@ pub enum AnyScheme<P: Pmem, K: HashKey, V: Pod> {
     Linear(LinearProbing<P, K, V>),
     Pfht(Pfht<P, K, V>),
     Path(PathHash<P, K, V>),
+    Iceberg(Iceberg<P, K, V>),
     Group(GroupHash<P, K, V>),
 }
 
@@ -89,6 +112,7 @@ macro_rules! dispatch {
             AnyScheme::Linear($t) => $e,
             AnyScheme::Pfht($t) => $e,
             AnyScheme::Path($t) => $e,
+            AnyScheme::Iceberg($t) => $e,
             AnyScheme::Group($t) => $e,
         }
     };
@@ -130,6 +154,21 @@ impl<P: Pmem, K: HashKey, V: Pod> HashScheme<P, K, V> for AnyScheme<P, K, V> {
     }
 }
 
+/// The shared tail of every `build_any` arm: allocate a fresh simulated
+/// pool of `$size` bytes, run the scheme's `create` over the whole region,
+/// and wrap the table in the matching [`AnyScheme`] variant. Adding scheme
+/// N+1 is one `built!` entry (geometry + create call), not another copy of
+/// the pool/region/expect plumbing.
+macro_rules! built {
+    ($variant:ident, $size:expr, $sim:expr, |$pm:ident, $region:ident| $create:expr) => {{
+        let size = $size;
+        let mut $pm = SimPmem::new(size, $sim);
+        let $region = Region::new(0, size);
+        let t = $create.expect(concat!(stringify!($variant), " create"));
+        ($pm, AnyScheme::$variant(t))
+    }};
+}
+
 /// Builds `kind` sized for a `total_cells` budget (a power of two) on a
 /// fresh simulated pool. `group_size` applies to group hashing only.
 pub fn build_any<K: HashKey, V: Pod>(
@@ -141,48 +180,45 @@ pub fn build_any<K: HashKey, V: Pod>(
 ) -> (SimPmem, AnyScheme<SimPmem, K, V>) {
     assert!(total_cells.is_power_of_two(), "cell budget must be 2^k");
     match kind {
-        SchemeKind::Linear | SchemeKind::LinearL => {
-            let size = LinearProbing::<SimPmem, K, V>::required_size(total_cells);
-            let mut pm = SimPmem::new(size, sim);
-            let t = LinearProbing::create(
-                &mut pm,
-                Region::new(0, size),
-                total_cells,
-                seed,
-                kind.mode(),
-            )
-            .expect("linear create");
-            (pm, AnyScheme::Linear(t))
-        }
+        SchemeKind::Linear | SchemeKind::LinearL => built!(
+            Linear,
+            LinearProbing::<SimPmem, K, V>::required_size(total_cells),
+            sim,
+            |pm, region| LinearProbing::create(&mut pm, region, total_cells, seed, kind.mode())
+        ),
         SchemeKind::Pfht | SchemeKind::PfhtL => {
             let (buckets, stash) = Pfht::<SimPmem, K, V>::geometry_for(total_cells);
-            let size = Pfht::<SimPmem, K, V>::required_size(buckets, stash);
-            let mut pm = SimPmem::new(size, sim);
-            let t = Pfht::create(
-                &mut pm,
-                Region::new(0, size),
-                buckets,
-                stash,
-                seed,
-                kind.mode(),
+            built!(
+                Pfht,
+                Pfht::<SimPmem, K, V>::required_size(buckets, stash),
+                sim,
+                |pm, region| Pfht::create(&mut pm, region, buckets, stash, seed, kind.mode())
             )
-            .expect("pfht create");
-            (pm, AnyScheme::Pfht(t))
         }
         SchemeKind::Path | SchemeKind::PathL => {
             let (leaf_bits, levels) = PathHash::<SimPmem, K, V>::geometry_for(total_cells);
-            let size = PathHash::<SimPmem, K, V>::required_size(leaf_bits, levels);
-            let mut pm = SimPmem::new(size, sim);
-            let t = PathHash::create(
-                &mut pm,
-                Region::new(0, size),
-                leaf_bits,
-                levels,
-                seed,
-                kind.mode(),
+            built!(
+                Path,
+                PathHash::<SimPmem, K, V>::required_size(leaf_bits, levels),
+                sim,
+                |pm, region| PathHash::create(&mut pm, region, leaf_bits, levels, seed, kind.mode())
             )
-            .expect("path create");
-            (pm, AnyScheme::Path(t))
+        }
+        SchemeKind::Iceberg | SchemeKind::IcebergL => {
+            let (l1, l2, yard) = Iceberg::<SimPmem, K, V>::geometry_for(total_cells);
+            built!(
+                Iceberg,
+                Iceberg::<SimPmem, K, V>::required_size(l1, l2, yard),
+                sim,
+                |pm, region| Iceberg::create(
+                    &mut pm,
+                    region,
+                    (l1, l2, yard),
+                    seed,
+                    kind.mode(),
+                    MetaMode::On,
+                )
+            )
         }
         SchemeKind::Group | SchemeKind::Group2C => {
             let choice = if kind == SchemeKind::Group2C {
@@ -193,10 +229,12 @@ pub fn build_any<K: HashKey, V: Pod>(
             let cfg = GroupHashConfig::new(total_cells / 2, group_size.min(total_cells / 2))
                 .with_seed(seed)
                 .with_choice(choice);
-            let size = GroupHash::<SimPmem, K, V>::required_size(&cfg);
-            let mut pm = SimPmem::new(size, sim);
-            let t = GroupHash::create(&mut pm, Region::new(0, size), cfg).expect("group create");
-            (pm, AnyScheme::Group(t))
+            built!(
+                Group,
+                GroupHash::<SimPmem, K, V>::required_size(&cfg),
+                sim,
+                |pm, region| GroupHash::create(&mut pm, region, cfg)
+            )
         }
     }
 }
@@ -262,7 +300,7 @@ mod tests {
 
     #[test]
     fn wide_items_build() {
-        for kind in [SchemeKind::Group, SchemeKind::PfhtL] {
+        for kind in [SchemeKind::Group, SchemeKind::PfhtL, SchemeKind::Iceberg] {
             let (mut pm, mut t) = build_any::<[u8; 16], [u8; 16]>(
                 kind,
                 1 << 8,
@@ -274,5 +312,26 @@ mod tests {
             t.insert(&mut pm, k, k).unwrap();
             assert_eq!(t.get(&pm, &k), Some(k));
         }
+    }
+
+    /// The stability property the iceberg scheme advertises, observed
+    /// through the scheme-erased facade: a key's probe cost never changes
+    /// as later keys pour in around it.
+    #[test]
+    fn iceberg_entries_stay_put_behind_the_facade() {
+        let (mut pm, mut t) =
+            build_any::<u64, u64>(SchemeKind::Iceberg, 1 << 9, 3, SimConfig::fast_test(), 64);
+        for k in 0..64u64 {
+            t.insert(&mut pm, k, k).unwrap();
+        }
+        for k in 64..400u64 {
+            if t.insert(&mut pm, k, k).is_err() {
+                break;
+            }
+        }
+        for k in 0..64u64 {
+            assert_eq!(t.get(&pm, &k), Some(k));
+        }
+        t.check_consistency(&pm).unwrap();
     }
 }

@@ -39,6 +39,7 @@ pub mod crashtest;
 mod error;
 mod header;
 mod journal;
+pub mod meta;
 mod migrate;
 pub mod probe;
 mod scheme;
@@ -50,6 +51,7 @@ pub use claims::CellClaims;
 pub use error::TableError;
 pub use header::TableHeader;
 pub use journal::Journal;
+pub use meta::MetaWords;
 pub use migrate::{
     migrate_recover, migrate_recover_split, migrate_step, migrate_step_same_pool, MigrationSource,
 };

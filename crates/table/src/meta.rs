@@ -1,0 +1,163 @@
+//! Volatile per-bucket fingerprint metadata words.
+//!
+//! An iceberg-style scheme keeps one 8-lane tag word per 8-cell bucket in
+//! DRAM: byte lane `i` holds the fingerprint tag of the cell at lane `i`,
+//! or 0 when the lane is believed empty. The words are *advisory* — a tag
+//! hit still verifies occupancy and key bytes against pmem, and a key
+//! whose tag happens to be 0 simply costs the same probe it would without
+//! the filter (false positives allowed, false negatives not). Nothing
+//! here is ever persisted: the array is rebuilt from the occupancy bitmap
+//! and cell keys on open/recover, which is what keeps the failure-atomic
+//! commit argument untouched — the 8-byte bitmap word stays the only
+//! publish point.
+//!
+//! This module is pure DRAM bookkeeping: like the probe plans it never
+//! names the pool (enforced by the ci.sh layering lint).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cells covered by one metadata word (one byte lane per cell).
+pub const META_LANES: u64 = 8;
+
+/// A volatile array of 8-lane fingerprint words, one per 8-cell bucket.
+///
+/// Lane updates are single-CAS byte splices, so a concurrent reader always
+/// observes either the old or the new tag — never a transient 0 that would
+/// make the filter falsely negative for a published cell.
+#[derive(Debug)]
+pub struct MetaWords {
+    words: Vec<AtomicU64>,
+}
+
+impl MetaWords {
+    /// A zeroed metadata array covering `n_cells` cells (rounded up to a
+    /// whole word).
+    pub fn new(n_cells: u64) -> Self {
+        let n_words = n_cells.div_ceil(META_LANES) as usize;
+        MetaWords {
+            words: (0..n_words).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Cells covered (always a multiple of [`META_LANES`]).
+    pub fn n_cells(&self) -> u64 {
+        self.words.len() as u64 * META_LANES
+    }
+
+    /// The raw tag word of `bucket` — feed to
+    /// [`crate::probe::match_bits`] to test all 8 lanes at once.
+    pub fn word(&self, bucket: u64) -> u64 {
+        self.words[bucket as usize].load(Ordering::Acquire)
+    }
+
+    /// The tag currently recorded for cell `idx` (0 = believed empty).
+    pub fn tag(&self, idx: u64) -> u8 {
+        (self.word(idx / META_LANES) >> ((idx % META_LANES) * 8)) as u8
+    }
+
+    /// Records `tag` for cell `idx` (one CAS splice of the byte lane).
+    pub fn set(&self, idx: u64, tag: u8) {
+        self.splice(idx, tag);
+    }
+
+    /// Clears cell `idx`'s lane back to 0.
+    pub fn clear(&self, idx: u64) {
+        self.splice(idx, 0);
+    }
+
+    /// Zeroes every word (rebuild prelude).
+    pub fn reset(&self) {
+        for w in &self.words {
+            w.store(0, Ordering::Release);
+        }
+    }
+
+    fn splice(&self, idx: u64, tag: u8) {
+        let shift = (idx % META_LANES) * 8;
+        let lane_mask = 0xFFu64 << shift;
+        let lane_val = u64::from(tag) << shift;
+        let word = &self.words[(idx / META_LANES) as usize];
+        let mut cur = word.load(Ordering::Relaxed);
+        loop {
+            let next = (cur & !lane_mask) | lane_val;
+            match word.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::match_bits;
+
+    #[test]
+    fn lanes_round_trip_and_pack_into_words() {
+        let m = MetaWords::new(24);
+        assert_eq!(m.n_cells(), 24);
+        for idx in 0..24u64 {
+            m.set(idx, (idx as u8) | 0x40);
+        }
+        for idx in 0..24u64 {
+            assert_eq!(m.tag(idx), (idx as u8) | 0x40);
+        }
+        // Word 1 covers cells 8..16, lane order little-endian.
+        let w = m.word(1);
+        for lane in 0..8u64 {
+            assert_eq!((w >> (lane * 8)) as u8, (8 + lane) as u8 | 0x40);
+        }
+    }
+
+    #[test]
+    fn clear_restores_the_empty_lane() {
+        let m = MetaWords::new(8);
+        m.set(3, 0xAB);
+        assert_eq!(m.tag(3), 0xAB);
+        m.clear(3);
+        assert_eq!(m.tag(3), 0);
+        assert_eq!(m.word(0), 0);
+    }
+
+    #[test]
+    fn words_feed_the_swar_matcher() {
+        let m = MetaWords::new(16);
+        m.set(9, 0x5A);
+        m.set(12, 0x5A);
+        m.set(14, 0x77);
+        let mask = match_bits(m.word(1), 0x5A);
+        assert_eq!(mask, (1 << 1) | (1 << 4));
+    }
+
+    #[test]
+    fn rounds_up_to_whole_words() {
+        let m = MetaWords::new(3);
+        assert_eq!(m.n_cells(), 8);
+        m.set(2, 1);
+        m.reset();
+        assert_eq!(m.tag(2), 0);
+    }
+
+    #[test]
+    fn concurrent_splices_in_one_word_lose_nothing() {
+        let m = std::sync::Arc::new(MetaWords::new(8));
+        let threads: Vec<_> = (0..8u64)
+            .map(|lane| {
+                let m = std::sync::Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for round in 0..200u64 {
+                        m.set(lane, ((lane as u8) ^ (round as u8)) | 1);
+                    }
+                    m.set(lane, lane as u8 + 1);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        for lane in 0..8u64 {
+            assert_eq!(m.tag(lane), lane as u8 + 1);
+        }
+    }
+}

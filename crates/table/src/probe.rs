@@ -308,6 +308,145 @@ impl PathPlan {
     }
 }
 
+/// Lanes per iceberg bucket: fixed at 8 so one bucket's fingerprint tags
+/// pack into a single `u64` metadata word matched by [`match_bits`].
+pub const ICEBERG_LANES: u64 = 8;
+
+/// IcebergHT-style level geometry: wide level-1 buckets addressed by one
+/// hash, a small level-2 of *paired* backup buckets chosen by
+/// power-of-two-choices, and a "backyard" of overflow buckets probed
+/// linearly from a hashed home. Every bucket holds [`ICEBERG_LANES`] cells,
+/// so each bucket owns exactly one 8-lane fingerprint word — the metadata
+/// array a scheme keeps in DRAM and rebuilds on open.
+///
+/// The flat cell index space is `[0, total_cells)`: level-1 cells first,
+/// then level-2, then the backyard. An entry, once placed in a cell, never
+/// moves (stability) — the plan therefore has no displacement predicates,
+/// only candidate enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IcebergPlan {
+    l1_buckets: u64,
+    l2_buckets: u64,
+    backyard_buckets: u64,
+}
+
+impl IcebergPlan {
+    /// Builds the plan. All three bucket counts must be non-zero powers of
+    /// two (validated by the scheme's config).
+    pub fn new(l1_buckets: u64, l2_buckets: u64, backyard_buckets: u64) -> Self {
+        debug_assert!(l1_buckets.is_power_of_two());
+        debug_assert!(l2_buckets.is_power_of_two());
+        debug_assert!(backyard_buckets.is_power_of_two());
+        IcebergPlan { l1_buckets, l2_buckets, backyard_buckets }
+    }
+
+    /// Level-1 bucket count.
+    pub fn l1_buckets(&self) -> u64 {
+        self.l1_buckets
+    }
+
+    /// Level-2 bucket count.
+    pub fn l2_buckets(&self) -> u64 {
+        self.l2_buckets
+    }
+
+    /// Backyard bucket count.
+    pub fn backyard_buckets(&self) -> u64 {
+        self.backyard_buckets
+    }
+
+    /// Total bucket count across all three levels (== metadata words).
+    pub fn n_buckets(&self) -> u64 {
+        self.l1_buckets + self.l2_buckets + self.backyard_buckets
+    }
+
+    /// Total cells across all three levels.
+    pub fn total_cells(&self) -> u64 {
+        self.n_buckets() * ICEBERG_LANES
+    }
+
+    /// The global bucket index of a key's level-1 bucket.
+    pub fn l1_bucket(&self, h1: u64) -> u64 {
+        h1 & (self.l1_buckets - 1)
+    }
+
+    /// The key's *paired* level-2 candidates (global bucket indices): the
+    /// scheme inserts into whichever of the two is emptier
+    /// (power-of-two-choices) and probes both on lookup.
+    pub fn l2_pair(&self, h2: u64, h3: u64) -> (u64, u64) {
+        let base = self.l1_buckets;
+        (base + (h2 & (self.l2_buckets - 1)), base + (h3 & (self.l2_buckets - 1)))
+    }
+
+    /// First global bucket index of the backyard.
+    pub fn backyard_base(&self) -> u64 {
+        self.l1_buckets + self.l2_buckets
+    }
+
+    /// The backyard home bucket of a hash (global bucket index).
+    pub fn backyard_home(&self, h: u64) -> u64 {
+        self.backyard_base() + (h & (self.backyard_buckets - 1))
+    }
+
+    /// The backyard probe sequence from `h`'s home: every backyard bucket
+    /// once, wrapping — the overflow chain, in probe order.
+    pub fn backyard_sequence(&self, h: u64) -> impl Iterator<Item = u64> + '_ {
+        let base = self.backyard_base();
+        let n = self.backyard_buckets;
+        let home = h & (n - 1);
+        (0..n).map(move |step| base + ((home + step) & (n - 1)))
+    }
+
+    /// The cell index of `lane` of global bucket `b`.
+    pub fn cell(&self, b: u64, lane: u64) -> u64 {
+        b * ICEBERG_LANES + lane
+    }
+
+    /// The cells of global bucket `b`, in lane order.
+    pub fn bucket_cells(&self, b: u64) -> impl Iterator<Item = u64> {
+        let base = b * ICEBERG_LANES;
+        base..base + ICEBERG_LANES
+    }
+
+    /// Which global bucket owns cell `idx`.
+    pub fn bucket_of_cell(&self, idx: u64) -> u64 {
+        idx / ICEBERG_LANES
+    }
+
+    /// Which lane of its bucket cell `idx` occupies.
+    pub fn lane_of_cell(&self, idx: u64) -> u64 {
+        idx % ICEBERG_LANES
+    }
+
+    /// Which level (0, 1, or 2) cell `idx` belongs to.
+    pub fn level_of_cell(&self, idx: u64) -> u64 {
+        let b = self.bucket_of_cell(idx);
+        if b < self.l1_buckets {
+            0
+        } else if b < self.backyard_base() {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Is `idx` a legal resting place for a key hashing to
+    /// `(h1, h2, h3)`? Level-1 cells must sit in the key's level-1 bucket,
+    /// level-2 cells in either paired candidate; any backyard cell is
+    /// reachable (the overflow chain scans the whole backyard).
+    pub fn cell_reachable(&self, idx: u64, h1: u64, h2: u64, h3: u64) -> bool {
+        let b = self.bucket_of_cell(idx);
+        match self.level_of_cell(idx) {
+            0 => b == self.l1_bucket(h1),
+            1 => {
+                let (a, c) = self.l2_pair(h2, h3);
+                b == a || b == c
+            }
+            _ => true,
+        }
+    }
+}
+
 /// A reusable selection vector: the positions of a batch still in flight.
 ///
 /// The vectorized multi-get pipeline runs in phases (hash every key, check
@@ -595,5 +734,58 @@ mod tests {
         let p = PathPlan::new(2, 10);
         assert_eq!(p.levels(), 3);
         assert_eq!(p.total_cells(), 4 + 2 + 1);
+    }
+
+    #[test]
+    fn iceberg_plan_level_bases_and_totals() {
+        // 8 L1 + 4 L2 + 4 backyard buckets of 8 lanes = 128 cells.
+        let p = IcebergPlan::new(8, 4, 4);
+        assert_eq!(p.n_buckets(), 16);
+        assert_eq!(p.total_cells(), 128);
+        assert_eq!(p.backyard_base(), 12);
+        assert_eq!(p.l1_bucket(0x35), 0x35 & 7);
+        assert_eq!(p.l2_pair(0x11, 0x22), (8 + 1, 8 + 2));
+        assert_eq!(p.cell(3, 5), 29);
+        assert_eq!(p.bucket_of_cell(29), 3);
+        assert_eq!(p.lane_of_cell(29), 5);
+    }
+
+    #[test]
+    fn iceberg_plan_levels_partition_the_cells() {
+        let p = IcebergPlan::new(8, 4, 4);
+        let mut counts = [0u64; 3];
+        for idx in 0..p.total_cells() {
+            counts[p.level_of_cell(idx) as usize] += 1;
+        }
+        assert_eq!(counts, [64, 32, 32]);
+    }
+
+    #[test]
+    fn iceberg_backyard_sequence_visits_every_bucket_once() {
+        let p = IcebergPlan::new(8, 4, 4);
+        for h in 0..16u64 {
+            let mut seq: Vec<u64> = p.backyard_sequence(h).collect();
+            assert_eq!(seq[0], p.backyard_home(h));
+            seq.sort_unstable();
+            assert_eq!(seq, vec![12, 13, 14, 15]);
+        }
+    }
+
+    #[test]
+    fn iceberg_reachability_matches_levels() {
+        let p = IcebergPlan::new(8, 4, 4);
+        let (h1, h2, h3) = (5u64, 2u64, 7u64);
+        // L1: only the key's own bucket.
+        assert!(p.cell_reachable(p.cell(5, 0), h1, h2, h3));
+        assert!(!p.cell_reachable(p.cell(4, 0), h1, h2, h3));
+        // L2: either paired candidate, nothing else.
+        let (a, b) = p.l2_pair(h2, h3);
+        assert!(p.cell_reachable(p.cell(a, 3), h1, h2, h3));
+        assert!(p.cell_reachable(p.cell(b, 3), h1, h2, h3));
+        assert!(!p.cell_reachable(p.cell(8 + 1, 0), h1, 2, 2), "bucket 9 not in pair for (2,2)");
+        // Backyard: every bucket is on the overflow chain.
+        for by in p.backyard_base()..p.n_buckets() {
+            assert!(p.cell_reachable(p.cell(by, 7), h1, h2, h3));
+        }
     }
 }

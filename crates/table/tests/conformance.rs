@@ -1,18 +1,19 @@
 //! Cross-scheme conformance suite.
 //!
-//! Every hashing scheme in the workspace — group hashing plus the three
-//! baselines — is driven through the shared [`HashScheme`] trait across
-//! both [`ConsistencyMode`]s. The suite asserts the behavioural contract
-//! the trait documents (insert/get/remove roundtrips, duplicate handling,
-//! graceful `TableFull`, persistence across reopen, crash-recovery) without
-//! knowing anything scheme-specific beyond the constructor.
+//! Every hashing scheme in the workspace — group hashing plus the four
+//! baselines (linear, PFHT, path, iceberg) — is driven through the shared
+//! [`HashScheme`] trait across both [`ConsistencyMode`]s. The suite
+//! asserts the behavioural contract the trait documents (insert/get/remove
+//! roundtrips, duplicate handling, graceful `TableFull`, persistence
+//! across reopen, crash-recovery) without knowing anything scheme-specific
+//! beyond the constructor.
 //!
 //! This is the payoff of the layered split: the generic drivers below
-//! compile once and exercise four ops-layer implementations that all sit on
-//! the same probe-plan + cell-store primitives.
+//! compile once and exercise five ops-layer implementations that all sit
+//! on the same probe-plan + cell-store primitives.
 
 use group_hash::{CommitStrategy, FpMode, GroupHash, GroupHashConfig};
-use nvm_baselines::{LinearProbing, PathHash, Pfht};
+use nvm_baselines::{Iceberg, LinearProbing, MetaMode, PathHash, Pfht};
 use nvm_pmem::{
     run_with_crash, CrashPlan, CrashResolution, Pmem, PmemRead, Region, SimConfig, SimPmem,
 };
@@ -94,6 +95,29 @@ fn path_open(pm: &mut SimPmem) -> PathHash<SimPmem, u64, u64> {
     let len = pm.len();
     PathHash::open(pm, Region::new(0, len)).unwrap()
 }
+
+fn iceberg_pool_meta(
+    mode: ConsistencyMode,
+    cells: u64,
+    meta: MetaMode,
+) -> (SimPmem, Iceberg<SimPmem, u64, u64>) {
+    let geo = Iceberg::<SimPmem, u64, u64>::geometry_for(cells);
+    let size = Iceberg::<SimPmem, u64, u64>::required_size(geo.0, geo.1, geo.2);
+    let mut pm = SimPmem::new(size, SimConfig::fast_test());
+    let t = Iceberg::create(&mut pm, Region::new(0, size), geo, 7, mode, meta).unwrap();
+    (pm, t)
+}
+
+fn iceberg_pool(mode: ConsistencyMode, cells: u64) -> (SimPmem, Iceberg<SimPmem, u64, u64>) {
+    iceberg_pool_meta(mode, cells, MetaMode::On)
+}
+
+fn iceberg_open(pm: &mut SimPmem) -> Iceberg<SimPmem, u64, u64> {
+    let len = pm.len();
+    Iceberg::open(pm, Region::new(0, len)).unwrap()
+}
+
+const META_MODES: [MetaMode; 2] = [MetaMode::Off, MetaMode::On];
 
 // ------------------------------------------------------- generic drivers
 
@@ -893,6 +917,103 @@ fn path_get_batch_matches_gets() {
     }
 }
 
+// ---------------------------------------------------------------- iceberg
+
+#[test]
+fn iceberg_basic_ops() {
+    for mode in MODES {
+        for meta in META_MODES {
+            let (mut pm, mut t) = iceberg_pool_meta(mode, 256, meta);
+            basic_ops(&mut pm, &mut t);
+        }
+    }
+}
+
+#[test]
+fn iceberg_full_table() {
+    for mode in MODES {
+        for meta in META_MODES {
+            let (mut pm, mut t) = iceberg_pool_meta(mode, 64, meta);
+            full_table(&mut pm, &mut t);
+        }
+    }
+}
+
+#[test]
+fn iceberg_reopen() {
+    for mode in MODES {
+        for meta in META_MODES {
+            persists_across_reopen(|| iceberg_pool_meta(mode, 256, meta), iceberg_open);
+        }
+    }
+}
+
+#[test]
+fn iceberg_crash_insert() {
+    // Stability means an insert is a pure publish (cell bytes, then the
+    // 8-byte bit flip) — crash-safe in both modes, like linear's insert.
+    for mode in MODES {
+        crash_insert(|| iceberg_pool(mode, 256), iceberg_open);
+    }
+}
+
+#[test]
+fn iceberg_crash_remove() {
+    // Unlike every displacement baseline, iceberg's remove is a pure
+    // retract (no backward-shift, no re-home) — so the *bare* mode is
+    // crash-atomic too, and both modes run the loop.
+    for mode in MODES {
+        crash_remove(|| iceberg_pool(mode, 256), iceberg_open);
+    }
+}
+
+#[test]
+fn iceberg_batch_ops() {
+    for mode in MODES {
+        for meta in META_MODES {
+            let (mut pm, mut t) = iceberg_pool_meta(mode, 256, meta);
+            batch_ops(&mut pm, &mut t);
+        }
+    }
+}
+
+#[test]
+fn iceberg_batch_full_table() {
+    for mode in MODES {
+        let (mut pm, mut t) = iceberg_pool(mode, 64);
+        batch_full_table(&mut pm, &mut t);
+    }
+}
+
+#[test]
+fn iceberg_crash_insert_batch() {
+    // No displacement fallback exists, so the whole batch always stages
+    // and the prefix points are exactly the staged-commit boundaries.
+    for mode in MODES {
+        crash_insert_batch(|| iceberg_pool(mode, 256), iceberg_open);
+    }
+}
+
+#[test]
+fn iceberg_crash_remove_batch() {
+    // Pure retracts: both modes hold prefix durability, not just -L.
+    for mode in MODES {
+        crash_remove_batch(|| iceberg_pool(mode, 256), iceberg_open);
+    }
+}
+
+#[test]
+fn iceberg_get_batch_matches_gets() {
+    // Both consistency modes × both metadata modes: the SWAR tag-word
+    // path and the occupancy-scan path must both match sequential gets.
+    for mode in MODES {
+        for meta in META_MODES {
+            let (mut pm, mut t) = iceberg_pool_meta(mode, 256, meta);
+            get_batch_matches_gets(&mut pm, &mut t);
+        }
+    }
+}
+
 // ------------------------------------------------- online migration crashes
 
 /// Source + double-sized destination in one pool, for [`crash_migration`].
@@ -972,6 +1093,45 @@ fn pfht_crash_migration() {
                 let len = pm.len();
                 let src = Pfht::open(pm, Region::new(0, a)).unwrap();
                 let dst = Pfht::open(pm, Region::new(a, len - a)).unwrap();
+                (src, dst)
+            },
+        );
+    }
+}
+
+#[test]
+fn iceberg_crash_migration() {
+    for mode in MODES {
+        let sg = Iceberg::<SimPmem, u64, u64>::geometry_for(64);
+        let dg = Iceberg::<SimPmem, u64, u64>::geometry_for(128);
+        let a = Iceberg::<SimPmem, u64, u64>::required_size(sg.0, sg.1, sg.2);
+        let b = Iceberg::<SimPmem, u64, u64>::required_size(dg.0, dg.1, dg.2);
+        crash_migration(
+            move || {
+                let mut pm = SimPmem::new(a + b + 128, SimConfig::fast_test());
+                let src = Iceberg::create(
+                    &mut pm,
+                    Region::new(0, a),
+                    sg,
+                    7,
+                    mode,
+                    MetaMode::On,
+                )
+                .unwrap();
+                let dst = Iceberg::create(
+                    &mut pm,
+                    Region::new(a, b + 128),
+                    dg,
+                    7,
+                    mode,
+                    MetaMode::On,
+                )
+                .unwrap();
+                (pm, src, dst)
+            },
+            move |pm| {
+                let src = Iceberg::open(pm, Region::new(0, a)).unwrap();
+                let dst = Iceberg::open(pm, Region::new(a, b + 128)).unwrap();
                 (src, dst)
             },
         );

@@ -6,7 +6,8 @@
 //! every scheme's locality and persistence-cost numbers.
 
 use nvm_table::probe::{
-    broadcast, match_bits, GroupPlan, LinearPlan, PathPlan, PfhtPlan, ProbeLayout,
+    broadcast, match_bits, GroupPlan, IcebergPlan, LinearPlan, PathPlan, PfhtPlan, ProbeLayout,
+    ICEBERG_LANES,
 };
 
 // ------------------------------------------------------------- group plan
@@ -135,6 +136,72 @@ fn path_level_math_round_trips() {
     assert_eq!(tall.levels(), 4);
     assert_eq!(tall.total_cells(), PathPlan::cell_count(3, 99));
     assert_eq!(tall.total_cells(), 15);
+}
+
+// ----------------------------------------------------------- iceberg plan
+
+#[test]
+fn iceberg_exact_cell_indices() {
+    // 16 L1 + 8 L2 + 8 backyard buckets, 8 lanes each: 256 cells with
+    // level bases at cells 0 / 128 / 192.
+    let p = IcebergPlan::new(16, 8, 8);
+    assert_eq!(ICEBERG_LANES, 8);
+    assert_eq!(p.n_buckets(), 32);
+    assert_eq!(p.total_cells(), 256);
+    assert_eq!(p.backyard_base(), 24);
+    assert_eq!(p.cell(0, 0), 0);
+    assert_eq!(p.cell(15, 7), 127);
+    assert_eq!(p.cell(16, 0), 128, "first level-2 cell");
+    assert_eq!(p.cell(24, 0), 192, "first backyard cell");
+    assert_eq!(p.bucket_cells(2).collect::<Vec<u64>>(), vec![16, 17, 18, 19, 20, 21, 22, 23]);
+    assert_eq!(p.level_of_cell(127), 0);
+    assert_eq!(p.level_of_cell(128), 1);
+    assert_eq!(p.level_of_cell(191), 1);
+    assert_eq!(p.level_of_cell(192), 2);
+    assert_eq!(p.level_of_cell(255), 2);
+}
+
+#[test]
+fn iceberg_bucket_addressing_masks_each_level() {
+    let p = IcebergPlan::new(16, 8, 8);
+    // L1 masks h1 by its own bucket count.
+    assert_eq!(p.l1_bucket(0x123), 0x123 & 15);
+    // The L2 pair masks h2/h3 by the level-2 count and offsets past L1.
+    assert_eq!(p.l2_pair(0x29, 0x35), (16 + 1, 16 + 5));
+    // The backyard home offsets past both upper levels.
+    assert_eq!(p.backyard_home(0x0B), 24 + 3);
+}
+
+#[test]
+fn iceberg_backyard_chain_wraps_exactly_once() {
+    let p = IcebergPlan::new(16, 8, 8);
+    let seq: Vec<u64> = p.backyard_sequence(6).collect();
+    assert_eq!(seq, vec![30, 31, 24, 25, 26, 27, 28, 29]);
+}
+
+#[test]
+fn iceberg_lane_round_trips() {
+    let p = IcebergPlan::new(16, 8, 8);
+    for idx in [0u64, 7, 8, 127, 128, 200, 255] {
+        assert_eq!(p.cell(p.bucket_of_cell(idx), p.lane_of_cell(idx)), idx);
+    }
+}
+
+#[test]
+fn iceberg_reachability_is_level_scoped() {
+    let p = IcebergPlan::new(16, 8, 8);
+    let (h1, h2, h3) = (9u64, 3u64, 6u64);
+    let own_l1 = p.l1_bucket(h1);
+    for b in 0..p.l1_buckets() {
+        assert_eq!(p.cell_reachable(p.cell(b, 0), h1, h2, h3), b == own_l1);
+    }
+    let (a, c) = p.l2_pair(h2, h3);
+    for b in p.l1_buckets()..p.backyard_base() {
+        assert_eq!(p.cell_reachable(p.cell(b, 4), h1, h2, h3), b == a || b == c);
+    }
+    for b in p.backyard_base()..p.n_buckets() {
+        assert!(p.cell_reachable(p.cell(b, 7), h1, h2, h3));
+    }
 }
 
 // ------------------------------------------------------- swar fingerprint

@@ -18,7 +18,9 @@
 //! [`Workload`] packages the paper's measurement protocol: fill the table
 //! to a target load factor, then insert 1000 fresh items, query 1000
 //! resident items, delete 1000 items, reporting per-op latency and L3
-//! misses.
+//! misses. [`YcsbWorkload`] layers the YCSB core mixes (A = 50/50
+//! update-heavy, B = 95/5 read-heavy, C = read-only; uniform or Zipfian
+//! key choice) over the same fill machinery.
 
 mod bagofwords;
 mod fingerprint;
@@ -29,7 +31,9 @@ mod zipf;
 pub use bagofwords::BagOfWords;
 pub use fingerprint::Fingerprint;
 pub use randomnum::RandomNum;
-pub use workload::{OpMetrics, Workload, WorkloadReport};
+pub use workload::{
+    KeyDist, OpMetrics, Workload, WorkloadReport, YcsbMix, YcsbReport, YcsbWorkload,
+};
 pub use zipf::Zipf;
 
 use nvm_hashfn::HashKey;

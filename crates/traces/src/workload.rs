@@ -11,12 +11,14 @@
 //! under [`RealPmem`](nvm_pmem::RealPmem)), L3 misses (when the backend
 //! models a cache), and persistence-operation counts.
 
-use crate::Trace;
+use crate::{Trace, Zipf};
 use nvm_cachesim::CacheStats;
 use nvm_hashfn::{HashKey, Pod};
-use nvm_metrics::{Histogram, Json, MetricsRegistry, OpTrace, SchemeInstrumentation};
+use nvm_metrics::{Histogram, Json, MetricsRegistry, OpDelta, OpTrace, SchemeInstrumentation};
 use nvm_pmem::{Pmem, PmemStats};
 use nvm_table::{HashScheme, InsertError, OpKind};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use std::time::Instant;
 
 /// Per-phase measurements.
@@ -319,6 +321,224 @@ impl Workload {
     }
 }
 
+/// The YCSB core mixes the harness sweeps. An "update" is modelled as
+/// delete + reinsert of a resident key — the closest analogue for tables
+/// whose cells are immutable once published (in-place value overwrite
+/// would bypass the failure-atomic commit the schemes are built around).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum YcsbMix {
+    /// Workload A — update heavy: 50 % reads, 50 % updates.
+    A,
+    /// Workload B — read heavy: 95 % reads, 5 % updates.
+    B,
+    /// Workload C — read only.
+    C,
+}
+
+impl YcsbMix {
+    /// All three mixes, sweep order.
+    pub const ALL: [YcsbMix; 3] = [YcsbMix::A, YcsbMix::B, YcsbMix::C];
+
+    /// Mix name as used in the YCSB paper ("A"/"B"/"C").
+    pub fn label(self) -> &'static str {
+        match self {
+            YcsbMix::A => "A",
+            YcsbMix::B => "B",
+            YcsbMix::C => "C",
+        }
+    }
+
+    /// Fraction of requests that are reads.
+    pub fn read_fraction(self) -> f64 {
+        match self {
+            YcsbMix::A => 0.5,
+            YcsbMix::B => 0.95,
+            YcsbMix::C => 1.0,
+        }
+    }
+}
+
+/// How a YCSB run picks which resident key each request touches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeyDist {
+    /// Every resident key equally likely.
+    Uniform,
+    /// YCSB's default skew: Zipf with exponent 0.99 over the resident
+    /// keys ([`Zipf::ycsb`]).
+    Zipfian,
+}
+
+impl KeyDist {
+    /// Both distributions, sweep order.
+    pub const ALL: [KeyDist; 2] = [KeyDist::Uniform, KeyDist::Zipfian];
+
+    /// Distribution name for tables/CSVs.
+    pub fn label(self) -> &'static str {
+        match self {
+            KeyDist::Uniform => "uniform",
+            KeyDist::Zipfian => "zipfian",
+        }
+    }
+}
+
+/// Results of one YCSB run: per-kind phase metrics, latency
+/// distributions, and whole-run counters.
+#[derive(Debug, Clone)]
+pub struct YcsbReport {
+    /// Scheme name (e.g. "iceberg").
+    pub scheme: String,
+    /// The request mix that ran.
+    pub mix: YcsbMix,
+    /// The key-choice distribution that ran.
+    pub dist: KeyDist,
+    /// Load factor actually reached by the fill phase.
+    pub load_factor: f64,
+    /// Items resident during the measured phase.
+    pub fill_count: u64,
+    /// Aggregate read metrics.
+    pub read: OpMetrics,
+    /// Aggregate update (delete + reinsert) metrics.
+    pub update: OpMetrics,
+    /// Per-read latency distribution.
+    pub read_latency: Histogram,
+    /// Per-update latency distribution.
+    pub update_latency: Histogram,
+    /// Persistence totals across the whole run, fill included.
+    pub pmem_total: PmemStats,
+    /// The scheme's probe/occupancy/displacement histograms (fill phase
+    /// included) when it was built with `instrument`.
+    pub scheme_metrics: Option<SchemeInstrumentation>,
+}
+
+impl YcsbReport {
+    /// The shared-schema `metrics` block (`latency` + `pmem` + `scheme`
+    /// sections, like `RunMetrics::to_json`).
+    pub fn to_json(&self) -> Json {
+        let mut reg = MetricsRegistry::new();
+        let mut lat = Json::obj();
+        lat.insert("read", self.read_latency.to_json());
+        lat.insert("update", self.update_latency.to_json());
+        reg.set("latency", lat);
+        reg.set_pmem("pmem", &self.pmem_total);
+        if let Some(s) = &self.scheme_metrics {
+            reg.set_instrumentation("scheme", s);
+        }
+        reg.to_json()
+    }
+}
+
+/// A YCSB-style run: fill to a load factor, then fire `ops` requests at
+/// resident keys under the chosen mix and key distribution. Updates
+/// reinsert the key they delete, so the load factor holds steady.
+#[derive(Debug, Clone, Copy)]
+pub struct YcsbWorkload {
+    /// Target `len / capacity` before the measured phase.
+    pub load_factor: f64,
+    /// Requests in the measured phase.
+    pub ops: usize,
+    /// Read/update mix.
+    pub mix: YcsbMix,
+    /// Key-choice distribution.
+    pub dist: KeyDist,
+    /// Seed for the request stream (op kinds + key picks).
+    pub seed: u64,
+}
+
+impl YcsbWorkload {
+    /// Runs the workload. `value_of` maps keys to stored values (updates
+    /// rewrite the same mapping; the write path cost is what's measured).
+    pub fn run<P, K, V, S, T>(
+        &self,
+        pm: &mut P,
+        table: &mut S,
+        trace: &mut T,
+        mut value_of: impl FnMut(&K) -> V,
+    ) -> YcsbReport
+    where
+        P: Pmem,
+        K: HashKey,
+        V: Pod,
+        S: HashScheme<P, K, V>,
+        T: Trace<Key = K>,
+    {
+        let run_stats_before = pm.stats();
+        let keys = Workload {
+            load_factor: self.load_factor,
+            ops: 0,
+        }
+        .fill(pm, table, trace, &mut value_of);
+        assert!(!keys.is_empty(), "fill left no resident keys to request");
+        let fill_count = table.len(pm);
+        let load_factor = table.load_factor(pm);
+
+        let zipf = match self.dist {
+            KeyDist::Zipfian => Some(Zipf::ycsb(keys.len())),
+            KeyDist::Uniform => None,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x59C5_B0CC);
+
+        let read_latency = Histogram::latency_ns();
+        let update_latency = Histogram::latency_ns();
+        let mut read = OpMetrics::default();
+        let mut update = OpMetrics::default();
+
+        for _ in 0..self.ops {
+            // Zipf ranks map straight onto fill order; the fill keys are
+            // already in random order, so rank 0 is an arbitrary hot key.
+            let i = match &zipf {
+                Some(z) => z.sample(&mut rng),
+                None => rng.gen_range(0..keys.len()),
+            };
+            let k = keys[i];
+            let is_read = rng.gen::<f64>() < self.mix.read_fraction();
+            let tr = OpTrace::begin(pm);
+            if is_read {
+                let hit = table.get(pm, &k).is_some();
+                let d = tr.end(pm);
+                assert!(hit, "resident key missing under YCSB read");
+                read_latency.record(d.latency_ns());
+                accumulate(&mut read, &d);
+            } else {
+                let removed = table.remove(pm, &k);
+                let v = value_of(&k);
+                table.insert(pm, k, v).expect("YCSB update reinsert");
+                let d = tr.end(pm);
+                assert!(removed, "resident key missing under YCSB update");
+                update_latency.record(d.latency_ns());
+                accumulate(&mut update, &d);
+            }
+        }
+
+        YcsbReport {
+            scheme: table.name().to_string(),
+            mix: self.mix,
+            dist: self.dist,
+            load_factor,
+            fill_count,
+            read,
+            update,
+            read_latency,
+            update_latency,
+            pmem_total: pm.stats().delta_since(&run_stats_before),
+            scheme_metrics: table.instrumentation().cloned(),
+        }
+    }
+}
+
+/// Folds one op's deltas into a phase accumulator.
+fn accumulate(m: &mut OpMetrics, d: &OpDelta) {
+    m.ops += 1;
+    m.total_ns += d.latency_ns();
+    m.llc_misses += d.llc_misses();
+    m.pmem.reads += d.pmem.reads;
+    m.pmem.bytes_read += d.pmem.bytes_read;
+    m.pmem.writes += d.pmem.writes;
+    m.pmem.bytes_written += d.pmem.bytes_written;
+    m.pmem.atomic_writes += d.pmem.atomic_writes;
+    m.pmem.flushes += d.pmem.flushes;
+    m.pmem.fences += d.pmem.fences;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,6 +619,60 @@ mod tests {
         let json = r.metrics.to_json().to_string_pretty();
         assert!(json.contains("\"flushes\""), "{json}");
         assert!(json.contains("\"latency\""), "{json}");
+    }
+
+    #[test]
+    fn ycsb_mix_splits_reads_and_updates() {
+        let mut pm = SimPmem::new(4096, SimConfig::fast_test());
+        let mut t = Dummy {
+            map: Default::default(),
+            cap: 4096,
+        };
+        let mut trace = RandomNum::new(3);
+        let w = YcsbWorkload {
+            load_factor: 0.25,
+            ops: 400,
+            mix: YcsbMix::A,
+            dist: KeyDist::Uniform,
+            seed: 9,
+        };
+        let r = w.run(&mut pm, &mut t, &mut trace, |&k| k + 1);
+        assert_eq!(r.scheme, "dummy");
+        assert_eq!(r.read.ops + r.update.ops, 400);
+        // Mix A: 50/50 within binomial slack.
+        assert!((120..=280).contains(&(r.update.ops as usize)), "{}", r.update.ops);
+        assert_eq!(r.read_latency.count(), r.read.ops);
+        assert_eq!(r.update_latency.count(), r.update.ops);
+        // An update is a remove + insert: it must flush, a read must not.
+        assert!(r.update.pmem.flushes >= 2 * r.update.ops);
+        assert_eq!(r.read.pmem.flushes, 0);
+        // Load factor steady: every deleted key was reinserted.
+        assert_eq!(t.map.len() as u64, r.fill_count);
+        let json = r.to_json().to_string_pretty();
+        assert!(json.contains("\"latency\""), "{json}");
+        assert!(json.contains("\"update\""), "{json}");
+    }
+
+    #[test]
+    fn ycsb_c_is_read_only_under_both_dists() {
+        for dist in KeyDist::ALL {
+            let mut pm = SimPmem::new(4096, SimConfig::fast_test());
+            let mut t = Dummy {
+                map: Default::default(),
+                cap: 4096,
+            };
+            let mut trace = RandomNum::new(4);
+            let r = YcsbWorkload {
+                load_factor: 0.25,
+                ops: 200,
+                mix: YcsbMix::C,
+                dist,
+                seed: 11,
+            }
+            .run(&mut pm, &mut t, &mut trace, |&k| k ^ 5);
+            assert_eq!(r.read.ops, 200, "{dist:?}");
+            assert_eq!(r.update.ops, 0, "{dist:?}");
+        }
     }
 
     #[test]

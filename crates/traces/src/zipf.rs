@@ -31,6 +31,12 @@ impl Zipf {
         Zipf { cdf }
     }
 
+    /// The YCSB request distribution: Zipf with the benchmark's default
+    /// exponent 0.99 (Cooper et al., SoCC '10).
+    pub fn ycsb(n: usize) -> Self {
+        Zipf::new(n, 0.99)
+    }
+
     /// Number of ranks.
     pub fn support(&self) -> usize {
         self.cdf.len()
@@ -93,6 +99,23 @@ mod tests {
         let flat_head = head(&flat, &mut rng);
         let steep_head = head(&steep, &mut rng);
         assert!(steep_head > 4 * flat_head, "{steep_head} vs {flat_head}");
+    }
+
+    #[test]
+    fn ycsb_exponent_is_skewed_but_not_degenerate() {
+        let z = Zipf::ycsb(10_000);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut head = 0u32;
+        const N: u32 = 50_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) < 100 {
+                head += 1;
+            }
+        }
+        // At alpha=0.99, n=10k, the top 1% of ranks draw roughly half
+        // the requests — far above uniform's 1 %, far below all of them.
+        let share = head as f64 / N as f64;
+        assert!((0.25..0.75).contains(&share), "top-100 share {share}");
     }
 
     #[test]

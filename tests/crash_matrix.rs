@@ -91,7 +91,7 @@ fn crash_everywhere(kind: SchemeKind) {
 
 /// Reopens a scheme from pool bytes (sizes must match `crash_everywhere`).
 fn reopen(kind: SchemeKind, pm: &mut SimPmem) -> AnyScheme<SimPmem, u64, u64> {
-    use group_hashing::baselines::{LinearProbing, PathHash, Pfht};
+    use group_hashing::baselines::{Iceberg, LinearProbing, PathHash, Pfht};
     use group_hashing::core::GroupHash;
     use group_hashing::pmem::Region;
     let region = Region::new(0, pm.len());
@@ -101,6 +101,9 @@ fn reopen(kind: SchemeKind, pm: &mut SimPmem) -> AnyScheme<SimPmem, u64, u64> {
         }
         SchemeKind::Pfht | SchemeKind::PfhtL => AnyScheme::Pfht(Pfht::open(pm, region).unwrap()),
         SchemeKind::Path | SchemeKind::PathL => AnyScheme::Path(PathHash::open(pm, region).unwrap()),
+        SchemeKind::Iceberg | SchemeKind::IcebergL => {
+            AnyScheme::Iceberg(Iceberg::open(pm, region).unwrap())
+        }
         SchemeKind::Group | SchemeKind::Group2C => {
             AnyScheme::Group(GroupHash::open(pm, region).unwrap())
         }
@@ -125,6 +128,20 @@ fn pfht_logged_crash_safe_everywhere() {
 #[test]
 fn path_logged_crash_safe_everywhere() {
     crash_everywhere(SchemeKind::PathL);
+}
+
+/// Unlike the other bare baselines, *bare* iceberg is crash-safe at every
+/// event: entries never move after insert, so its delete is a pure
+/// bitmap retract — there is no multi-cell shift or displacement for a
+/// crash to tear (the volatile fingerprint words are rebuilt on open).
+#[test]
+fn bare_iceberg_crash_safe_everywhere() {
+    crash_everywhere(SchemeKind::Iceberg);
+}
+
+#[test]
+fn iceberg_logged_crash_safe_everywhere() {
+    crash_everywhere(SchemeKind::IcebergL);
 }
 
 /// Bare linear probing's backward-shift delete is NOT crash-safe: find a
